@@ -1,0 +1,95 @@
+//! # qs-baselines — the comparison paradigms of §5
+//!
+//! The paper compares SCOOP/Qs against C++/TBB, Go, Haskell and Erlang
+//! (Table 3).  Shipping four foreign toolchains is outside the scope of a
+//! Rust reproduction, so this crate provides *paradigm baselines* implemented
+//! in Rust that occupy the same points in the design space:
+//!
+//! | Paper language | Baseline module | Shared memory | Race-free | Mechanism |
+//! |---|---|---|---|---|
+//! | C++/TBB | [`shared`] | shared | no | threads + locks + parallel loops |
+//! | Go | [`channel`] | shared | no | lightweight tasks + channels |
+//! | Haskell (STM/Repa) | [`stm`] | transactional | yes | software transactional memory |
+//! | Erlang | [`actor`] | none (copied) | yes | copying actors with mailboxes |
+//! | SCOOP/Qs | `qs-runtime` | handler-owned | yes | active objects, queue-of-queues |
+//!
+//! The workloads in `qs-workloads` implement every benchmark of §4/§5 on top
+//! of each of these baselines, which is what lets the harness regenerate
+//! Tables 4–5 and Figures 18–20 with the same qualitative axes as the paper.
+
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod channel;
+pub mod shared;
+pub mod stm;
+
+pub use actor::{spawn_actor, ActorExit, ActorRef};
+pub use shared::SharedCounter;
+pub use stm::{atomically, retry, StmError, TVar, Transaction};
+
+/// The paradigm a benchmark implementation belongs to; used by the harness
+/// to label series the way the paper labels languages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Paradigm {
+    /// Threads + shared memory + locks (stands in for C++/TBB).
+    Shared,
+    /// Tasks + channels (stands in for Go).
+    Channel,
+    /// Software transactional memory (stands in for Haskell).
+    Stm,
+    /// Copying actors (stands in for Erlang).
+    Actor,
+    /// The SCOOP/Qs runtime itself.
+    ScoopQs,
+}
+
+impl Paradigm {
+    /// All paradigms, in the order the paper's tables list the languages.
+    pub const ALL: [Paradigm; 5] = [
+        Paradigm::Shared,
+        Paradigm::Channel,
+        Paradigm::Stm,
+        Paradigm::Actor,
+        Paradigm::ScoopQs,
+    ];
+
+    /// The label used in tables (mirrors the paper's language names).
+    pub fn label(self) -> &'static str {
+        match self {
+            Paradigm::Shared => "shared (cxx/TBB-like)",
+            Paradigm::Channel => "channel (Go-like)",
+            Paradigm::Stm => "stm (Haskell-like)",
+            Paradigm::Actor => "actor (Erlang-like)",
+            Paradigm::ScoopQs => "SCOOP/Qs",
+        }
+    }
+
+    /// Whether the paradigm statically excludes data races (Table 3's
+    /// "Races" column).
+    pub fn race_free(self) -> bool {
+        matches!(self, Paradigm::Stm | Paradigm::Actor | Paradigm::ScoopQs)
+    }
+}
+
+impl std::fmt::Display for Paradigm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paradigm_labels_and_safety() {
+        assert_eq!(Paradigm::ALL.len(), 5);
+        assert!(Paradigm::ScoopQs.race_free());
+        assert!(Paradigm::Actor.race_free());
+        assert!(Paradigm::Stm.race_free());
+        assert!(!Paradigm::Shared.race_free());
+        assert!(!Paradigm::Channel.race_free());
+        assert!(Paradigm::Shared.to_string().contains("TBB"));
+    }
+}

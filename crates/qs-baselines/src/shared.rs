@@ -1,0 +1,161 @@
+//! Threads + shared memory + locks (the C++/TBB stand-in).
+//!
+//! The C++/TBB versions of the paper's benchmarks use `parallel_for`-style
+//! loops over shared arrays for the Cowichan problems and plain mutexes /
+//! condition variables for the coordination problems.  This module provides
+//! the same ingredients on top of the `qs-exec` work-stealing pool.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use qs_exec::{parallel_for, ThreadPool};
+
+/// A shared counter protected by a mutex with a condition variable, the
+/// building block of the mutex/condition coordination benchmarks.
+#[derive(Debug, Default)]
+pub struct SharedCounter {
+    value: Mutex<u64>,
+    changed: Condvar,
+}
+
+impl SharedCounter {
+    /// Creates a counter starting at `value`.
+    pub fn new(value: u64) -> Arc<Self> {
+        Arc::new(SharedCounter {
+            value: Mutex::new(value),
+            changed: Condvar::new(),
+        })
+    }
+
+    /// Adds one and wakes waiters; returns the new value.
+    pub fn increment(&self) -> u64 {
+        let mut guard = self.value.lock();
+        *guard += 1;
+        let value = *guard;
+        drop(guard);
+        self.changed.notify_all();
+        value
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        *self.value.lock()
+    }
+
+    /// Blocks until `predicate` holds for the counter value, then applies
+    /// `update` under the lock and wakes waiters.  Returns the updated value.
+    pub fn wait_and_update(
+        &self,
+        predicate: impl Fn(u64) -> bool,
+        update: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let mut guard = self.value.lock();
+        while !predicate(*guard) {
+            self.changed.wait(&mut guard);
+        }
+        *guard = update(*guard);
+        let value = *guard;
+        drop(guard);
+        self.changed.notify_all();
+        value
+    }
+}
+
+/// Fills `output[i] = f(i)` in parallel over `threads` workers — the
+/// `parallel_for` idiom of the TBB versions of randmat/outer/product.
+pub fn par_map_index<T: Send>(
+    pool: &ThreadPool,
+    output: &mut [T],
+    threads: usize,
+    f: impl Fn(usize) -> T + Sync + Send,
+) {
+    let base = output.as_mut_ptr() as usize;
+    let f = &f;
+    parallel_for(pool, output.len(), threads, move |range| {
+        // SAFETY: each range is disjoint, so the writes do not overlap; the
+        // pointer stays valid because `parallel_for` joins before returning
+        // (and before `output` can be dropped).
+        let ptr = base as *mut T;
+        for i in range {
+            unsafe { ptr.add(i).write(f(i)) };
+        }
+    });
+}
+
+/// Parallel sum-reduction of `f(i)` over `0..len`.
+pub fn par_reduce_sum(
+    pool: &ThreadPool,
+    len: usize,
+    threads: usize,
+    f: impl Fn(usize) -> u64 + Sync + Send,
+) -> u64 {
+    let partials: Vec<AtomicU64> = (0..threads.max(1)).map(|_| AtomicU64::new(0)).collect();
+    let f = &f;
+    let partials_ref = &partials;
+    let chunk = len.div_ceil(threads.max(1)).max(1);
+    parallel_for(pool, len, threads, move |range| {
+        let slot = (range.start / chunk).min(partials_ref.len() - 1);
+        let mut local = 0u64;
+        for i in range {
+            local = local.wrapping_add(f(i));
+        }
+        partials_ref[slot].fetch_add(local, Ordering::Relaxed);
+    });
+    partials.iter().map(|p| p.load(Ordering::Relaxed)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_increments_and_waits() {
+        let counter = SharedCounter::new(0);
+        let waiter = {
+            let counter = Arc::clone(&counter);
+            thread::spawn(move || counter.wait_and_update(|v| v >= 5, |v| v + 100))
+        };
+        for _ in 0..5 {
+            counter.increment();
+        }
+        assert_eq!(waiter.join().unwrap(), 105);
+        assert_eq!(counter.get(), 105);
+    }
+
+    #[test]
+    fn par_map_index_fills_every_slot() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0usize; 10_000];
+        par_map_index(&pool, &mut data, 8, |i| i * 3);
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    #[test]
+    fn par_map_handles_small_and_empty_inputs() {
+        let pool = ThreadPool::new(4);
+        let mut empty: Vec<u32> = Vec::new();
+        par_map_index(&pool, &mut empty, 8, |_| 1);
+        assert!(empty.is_empty());
+        let mut tiny = vec![0u32; 3];
+        par_map_index(&pool, &mut tiny, 8, |i| i as u32 + 1);
+        assert_eq!(tiny, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn par_reduce_sum_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let len = 100_000;
+        let parallel = par_reduce_sum(&pool, len, 8, |i| (i as u64) % 7);
+        let sequential: u64 = (0..len as u64).map(|i| i % 7).sum();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn par_reduce_sum_single_thread_and_zero_len() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(par_reduce_sum(&pool, 0, 4, |_| 1), 0);
+        assert_eq!(par_reduce_sum(&pool, 10, 1, |_| 2), 20);
+    }
+}

@@ -1,0 +1,405 @@
+//! A small software transactional memory (the Haskell-STM stand-in).
+//!
+//! The paper's Haskell benchmarks use GHC's STM for the coordination tasks;
+//! "Haskell tends to perform the worst, which is likely due to the use of
+//! STM, which incurs an extra level of bookkeeping on every operation"
+//! (§5.3).  To reproduce that data point on equal footing we implement a
+//! small TL2-style STM from scratch:
+//!
+//! * every [`TVar`] carries a version stamp;
+//! * a transaction records a read set (variable, seen version) and buffers
+//!   writes;
+//! * commit takes a global commit lock, validates the read set and publishes
+//!   the writes with fresh version stamps;
+//! * [`retry`] aborts the transaction and re-runs it after a short backoff,
+//!   giving the blocking behaviour used by the producer/consumer and
+//!   condition benchmarks.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use qs_sync::Backoff;
+
+/// Global commit lock + version clock shared by all TVars in the process.
+static GLOBAL_CLOCK: AtomicU64 = AtomicU64::new(1);
+static COMMIT_LOCK: Mutex<()> = Mutex::new(());
+static NEXT_TVAR_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Errors terminating a transaction attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmError {
+    /// A read or the commit-time validation observed an inconsistent
+    /// snapshot; the transaction will be re-executed.
+    Conflict,
+    /// The transaction called [`retry`]: its preconditions do not hold yet.
+    Retry,
+}
+
+trait AnyTVar: Send + Sync {
+    fn version(&self) -> u64;
+    fn store_any(&self, value: Box<dyn Any>, new_version: u64);
+}
+
+struct TVarInner<T> {
+    id: u64,
+    version: AtomicU64,
+    value: RwLock<T>,
+}
+
+impl<T: Clone + Send + Sync + 'static> AnyTVar for TVarInner<T> {
+    fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    fn store_any(&self, value: Box<dyn Any>, new_version: u64) {
+        let value = *value.downcast::<T>().expect("write log type matches TVar");
+        // The version is updated while holding the value's write lock so that
+        // readers (who load the version under the read lock) always see a
+        // (value, version) pair that belongs together.
+        let mut guard = self.value.write();
+        *guard = value;
+        self.version.store(new_version, Ordering::Release);
+    }
+}
+
+/// A transactional variable holding a value of type `T`.
+///
+/// ```
+/// use qs_baselines::stm::{TVar, atomically};
+/// let account = TVar::new(100i64);
+/// atomically(|tx| {
+///     let balance = tx.read(&account)?;
+///     tx.write(&account, balance - 30);
+///     Ok(())
+/// });
+/// assert_eq!(account.read_atomic(), 70);
+/// ```
+pub struct TVar<T> {
+    inner: Arc<TVarInner<T>>,
+}
+
+impl<T> Clone for TVar<T> {
+    fn clone(&self) -> Self {
+        TVar {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> TVar<T> {
+    /// Creates a new transactional variable.
+    pub fn new(value: T) -> Self {
+        TVar {
+            inner: Arc::new(TVarInner {
+                id: NEXT_TVAR_ID.fetch_add(1, Ordering::Relaxed),
+                version: AtomicU64::new(0),
+                value: RwLock::new(value),
+            }),
+        }
+    }
+
+    /// Reads the current value outside of any transaction (a consistent
+    /// single-variable snapshot).
+    pub fn read_atomic(&self) -> T {
+        self.inner.value.read().clone()
+    }
+
+    /// Replaces the value outside of any transaction.
+    pub fn write_atomic(&self, value: T) {
+        let _commit = COMMIT_LOCK.lock();
+        // The global clock is only advanced *after* the value is published so
+        // that a transaction starting mid-commit cannot adopt a snapshot
+        // number that makes the half-finished commit look consistent.
+        let version = GLOBAL_CLOCK.load(Ordering::Acquire) + 1;
+        let mut guard = self.inner.value.write();
+        *guard = value;
+        self.inner.version.store(version, Ordering::Release);
+        drop(guard);
+        GLOBAL_CLOCK.store(version, Ordering::Release);
+    }
+}
+
+/// A running transaction: read set + write buffer.
+pub struct Transaction {
+    start_version: u64,
+    reads: Vec<(Arc<dyn AnyTVar>, u64)>,
+    writes: HashMap<u64, (Arc<dyn AnyTVar>, Box<dyn Any>)>,
+}
+
+impl Transaction {
+    fn new() -> Self {
+        Transaction {
+            start_version: GLOBAL_CLOCK.load(Ordering::Acquire),
+            reads: Vec::new(),
+            writes: HashMap::new(),
+        }
+    }
+
+    /// Reads a [`TVar`] inside the transaction.
+    pub fn read<T: Clone + Send + Sync + 'static>(&mut self, tvar: &TVar<T>) -> Result<T, StmError> {
+        // Reads observe earlier writes of the same transaction.
+        if let Some((_, buffered)) = self.writes.get(&tvar.inner.id) {
+            let value = buffered
+                .downcast_ref::<T>()
+                .expect("buffered write type matches TVar")
+                .clone();
+            return Ok(value);
+        }
+        // Read (value, version) as a consistent pair under the read lock;
+        // committers update both while holding the write lock.
+        let (value, version) = {
+            let guard = tvar.inner.value.read();
+            let version = tvar.inner.version.load(Ordering::Acquire);
+            (guard.clone(), version)
+        };
+        if version > self.start_version {
+            // The variable changed after the transaction's snapshot; abort so
+            // the caller only ever observes a consistent state (opacity).
+            return Err(StmError::Conflict);
+        }
+        self.reads
+            .push((tvar.inner.clone() as Arc<dyn AnyTVar>, version));
+        Ok(value)
+    }
+
+    /// Buffers a write to a [`TVar`]; it becomes visible only on commit.
+    pub fn write<T: Clone + Send + Sync + 'static>(&mut self, tvar: &TVar<T>, value: T) {
+        self.writes.insert(
+            tvar.inner.id,
+            (tvar.inner.clone() as Arc<dyn AnyTVar>, Box::new(value)),
+        );
+    }
+
+    /// Convenience: read-modify-write.
+    pub fn modify<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        tvar: &TVar<T>,
+        f: impl FnOnce(T) -> T,
+    ) -> Result<(), StmError> {
+        let value = self.read(tvar)?;
+        self.write(tvar, f(value));
+        Ok(())
+    }
+
+    fn commit(self) -> Result<(), StmError> {
+        if self.writes.is_empty() {
+            // Read-only transactions validated their reads as they went.
+            return Ok(());
+        }
+        let _commit = COMMIT_LOCK.lock();
+        // Validate the read set.
+        for (tvar, seen_version) in &self.reads {
+            if tvar.version() != *seen_version {
+                return Err(StmError::Conflict);
+            }
+        }
+        // Publish the write set with a fresh version stamp.  The global clock
+        // is advanced only after every write is in place: a reader that
+        // starts while this commit is in flight keeps the old snapshot number
+        // and will observe version > snapshot on any variable we touched,
+        // aborting instead of seeing a torn update.
+        let version = GLOBAL_CLOCK.load(Ordering::Acquire) + 1;
+        for (_, (tvar, value)) in self.writes {
+            tvar.store_any(value, version);
+        }
+        GLOBAL_CLOCK.store(version, Ordering::Release);
+        Ok(())
+    }
+}
+
+/// Aborts the current transaction attempt because its preconditions do not
+/// hold (e.g. a consumer finding an empty queue); [`atomically`] re-runs it.
+pub fn retry<T>() -> Result<T, StmError> {
+    Err(StmError::Retry)
+}
+
+/// Runs `body` as a transaction, retrying on conflicts and on [`retry`] until
+/// it commits, and returns its result.
+pub fn atomically<R>(mut body: impl FnMut(&mut Transaction) -> Result<R, StmError>) -> R {
+    let backoff = Backoff::new();
+    loop {
+        let mut tx = Transaction::new();
+        match body(&mut tx) {
+            Ok(result) => match tx.commit() {
+                Ok(()) => return result,
+                Err(_) => {
+                    backoff.snooze();
+                }
+            },
+            Err(StmError::Conflict) => {
+                backoff.spin();
+            }
+            Err(StmError::Retry) => {
+                // Blocking retry: wait a little for another thread to change
+                // the world.  GHC waits on the read set; a bounded backoff
+                // plus yield approximates that behaviour.
+                backoff.snooze();
+                if backoff.is_completed() {
+                    std::thread::yield_now();
+                    backoff.reset();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn single_threaded_read_write() {
+        let v = TVar::new(1);
+        let seen = atomically(|tx| {
+            let x = tx.read(&v)?;
+            tx.write(&v, x + 1);
+            tx.read(&v)
+        });
+        // Reads observe the transaction's own buffered writes.
+        assert_eq!(seen, 2);
+        assert_eq!(v.read_atomic(), 2);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 2_000;
+        let counter = TVar::new(0u64);
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let counter = counter.clone();
+            handles.push(thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    atomically(|tx| tx.modify(&counter, |n| n + 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.read_atomic(), (THREADS * PER_THREAD) as u64);
+    }
+
+    #[test]
+    fn multi_variable_invariant_is_preserved() {
+        // Transfers between two accounts keep the sum constant under
+        // concurrent observation.
+        let a = TVar::new(500i64);
+        let b = TVar::new(500i64);
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let (a, b) = (a.clone(), b.clone());
+                thread::spawn(move || {
+                    for i in 0..1_000i64 {
+                        let amount = i % 7;
+                        atomically(|tx| {
+                            let x = tx.read(&a)?;
+                            let y = tx.read(&b)?;
+                            tx.write(&a, x - amount);
+                            tx.write(&b, y + amount);
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        let observer = {
+            let (a, b) = (a.clone(), b.clone());
+            thread::spawn(move || {
+                for _ in 0..2_000 {
+                    let sum = atomically(|tx| {
+                        let x = tx.read(&a)?;
+                        let y = tx.read(&b)?;
+                        Ok(x + y)
+                    });
+                    assert_eq!(sum, 1_000, "observed a torn transfer");
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        observer.join().unwrap();
+    }
+
+    #[test]
+    fn retry_blocks_until_condition_holds() {
+        let slot: TVar<Option<u32>> = TVar::new(None);
+        let producer = {
+            let slot = slot.clone();
+            thread::spawn(move || {
+                thread::sleep(std::time::Duration::from_millis(30));
+                atomically(|tx| {
+                    tx.write(&slot, Some(42));
+                    Ok(())
+                });
+            })
+        };
+        let value = atomically(|tx| match tx.read(&slot)? {
+            Some(v) => Ok(v),
+            None => retry(),
+        });
+        assert_eq!(value, 42);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn write_atomic_is_visible_to_transactions() {
+        let v = TVar::new(10);
+        v.write_atomic(11);
+        assert_eq!(atomically(|tx| tx.read(&v)), 11);
+    }
+
+    #[test]
+    fn stm_queue_behaves_fifo_under_concurrency() {
+        // A tiny STM queue like the one the prodcons benchmark uses.
+        let queue: TVar<Vec<u32>> = TVar::new(Vec::new());
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let queue = queue.clone();
+                thread::spawn(move || {
+                    for i in 0..500 {
+                        atomically(|tx| tx.modify(&queue, |mut q| {
+                            q.push(p * 500 + i);
+                            q
+                        }));
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let queue = queue.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for _ in 0..500 {
+                        let item = atomically(|tx| {
+                            let mut q = tx.read(&queue)?;
+                            if q.is_empty() {
+                                return retry();
+                            }
+                            let item = q.remove(0);
+                            tx.write(&queue, q);
+                            Ok(item)
+                        });
+                        got.push(item);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..2_000).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,73 @@
+//! Frontend-level ablation of the §3.4 sync-removal techniques: the same
+//! qs-lang copy-loop program (the Fig. 14 shape) executed under naive code
+//! generation, the static sync-coalescing plan, and runtime-managed queries,
+//! on runtime configurations with and without dynamic coalescing.
+//!
+//! This reproduces the mechanism behind Fig. 16 one level higher in the
+//! stack than `ablation_query` (which drives the mini-IR directly): here the
+//! programs come out of the parser and checker, exactly as a user would
+//! write them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qs_lang::{compile, programs, run_compiled, Compiled, QueryStrategy};
+use qs_runtime::{OptimizationLevel, Runtime};
+
+fn run(compiled: &Compiled, level: OptimizationLevel, strategy: QueryStrategy) {
+    let runtime = Runtime::new(level.config());
+    let output = run_compiled(compiled, &runtime, strategy).expect("program runs");
+    criterion::black_box(output.printed);
+}
+
+fn ablation_lang(c: &mut Criterion) {
+    const ELEMENTS: usize = 1_000;
+    let compiled = compile(&programs::copy_loop(ELEMENTS)).expect("copy loop compiles");
+
+    let mut group = c.benchmark_group("ablation_lang_copy_loop");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+
+    // QoQ configuration: the runtime gives no sync help, so the difference
+    // between the columns is exactly what the code generator emits.
+    for (name, strategy) in [
+        ("naive", QueryStrategy::NaiveSync),
+        ("static", compiled.static_strategy()),
+        ("runtime", QueryStrategy::RuntimeManaged),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("qoq_config", name),
+            &strategy,
+            |b, strategy| b.iter(|| run(&compiled, OptimizationLevel::QoQ, strategy.clone())),
+        );
+    }
+    // Dynamic configuration: the runtime coalesces at run time, so even naive
+    // code generation recovers most of the benefit (§4.4's point that Dynamic
+    // helps irregular code where Static cannot be applied).
+    for (name, strategy) in [
+        ("naive", QueryStrategy::NaiveSync),
+        ("static", compiled.static_strategy()),
+        ("runtime", QueryStrategy::RuntimeManaged),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("dynamic_config", name),
+            &strategy,
+            |b, strategy| b.iter(|| run(&compiled, OptimizationLevel::Dynamic, strategy.clone())),
+        );
+    }
+    group.finish();
+
+    // Compilation cost itself (lexing through the dataflow pass), to show the
+    // pass is cheap relative to what it saves.
+    let source = programs::copy_loop(ELEMENTS);
+    let mut frontend = c.benchmark_group("lang_frontend");
+    frontend.sample_size(20);
+    frontend.warm_up_time(std::time::Duration::from_millis(200));
+    frontend.measurement_time(std::time::Duration::from_millis(600));
+    frontend.bench_function("compile_copy_loop", |b| {
+        b.iter(|| compile(criterion::black_box(&source)).expect("compiles"))
+    });
+    frontend.finish();
+}
+
+criterion_group!(benches, ablation_lang);
+criterion_main!(benches);

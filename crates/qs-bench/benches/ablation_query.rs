@@ -1,0 +1,32 @@
+//! §3.2 ablation: client-executed queries and sync-coalescing on a
+//! query-heavy copy loop (the Fig. 14 scenario executed through the mini-IR).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qs_compiler::execute_copy_loop;
+use qs_runtime::OptimizationLevel;
+
+fn ablation_query(c: &mut Criterion) {
+    const LEN: usize = 512;
+    let mut group = c.benchmark_group("ablation_query_shift");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for level in OptimizationLevel::ALL {
+        // Naive IR (a sync per element) under each runtime configuration.
+        group.bench_with_input(
+            BenchmarkId::new("naive_ir", level.label()),
+            &level,
+            |b, &level| b.iter(|| execute_copy_loop(level.config(), LEN, false)),
+        );
+        // Statically coalesced IR under the same configuration.
+        group.bench_with_input(
+            BenchmarkId::new("coalesced_ir", level.label()),
+            &level,
+            |b, &level| b.iter(|| execute_copy_loop(level.config(), LEN, true)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_query);
+criterion_main!(benches);

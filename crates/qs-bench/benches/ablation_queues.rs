@@ -1,0 +1,91 @@
+//! §3.1 ablation: the specialised queue structures against the naive
+//! mutex-protected queue that the unoptimised runtime uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qs_queues::{spsc_channel, Dequeue, MutexQueue, QueueOfQueues};
+
+const ITEMS: usize = 20_000;
+const PRODUCERS: usize = 4;
+
+fn spsc_throughput() {
+    let (tx, rx) = spsc_channel();
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for i in 0..ITEMS {
+                tx.enqueue(i);
+            }
+            tx.close();
+        });
+        let mut count = 0usize;
+        while let Dequeue::Item(_) = rx.dequeue() {
+            count += 1;
+        }
+        assert_eq!(count, ITEMS);
+    });
+}
+
+fn mpsc_throughput() {
+    let queue = QueueOfQueues::new();
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let queue = &queue;
+            scope.spawn(move || {
+                for i in 0..ITEMS / PRODUCERS {
+                    queue.enqueue(p * ITEMS + i);
+                }
+            });
+        }
+        scope.spawn(|| {
+            let mut count = 0usize;
+            while count < (ITEMS / PRODUCERS) * PRODUCERS {
+                if let Dequeue::Item(_) = queue.dequeue() {
+                    count += 1;
+                }
+            }
+            queue.close();
+        });
+    });
+}
+
+fn mutex_throughput() {
+    let queue = MutexQueue::new();
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let queue = &queue;
+            scope.spawn(move || {
+                for i in 0..ITEMS / PRODUCERS {
+                    queue.enqueue(p * ITEMS + i);
+                }
+            });
+        }
+        scope.spawn(|| {
+            let mut count = 0usize;
+            while count < (ITEMS / PRODUCERS) * PRODUCERS {
+                if let Dequeue::Item(_) = queue.dequeue() {
+                    count += 1;
+                }
+            }
+            queue.close();
+        });
+    });
+}
+
+fn ablation_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_queue_structures");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.bench_function(BenchmarkId::new("spsc_private_queue", ITEMS), |b| {
+        b.iter(spsc_throughput)
+    });
+    group.bench_function(BenchmarkId::new("mpsc_queue_of_queues", ITEMS), |b| {
+        b.iter(mpsc_throughput)
+    });
+    group.bench_function(BenchmarkId::new("mutex_queue", ITEMS), |b| {
+        b.iter(mutex_throughput)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_queues);
+criterion_main!(benches);

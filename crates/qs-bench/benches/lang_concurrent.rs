@@ -1,0 +1,26 @@
+//! Table 5 / Fig. 20: coordination benchmarks across paradigms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qs_baselines::Paradigm;
+use qs_workloads::concurrent::{run_concurrent, ConcurrentParams, ConcurrentTask};
+
+fn lang_concurrent(c: &mut Criterion) {
+    let params = ConcurrentParams::tiny();
+    let mut group = c.benchmark_group("table5_lang_concurrent");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for task in ConcurrentTask::ALL {
+        for paradigm in Paradigm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(task.name(), paradigm.label()),
+                &(task, paradigm),
+                |b, &(task, paradigm)| b.iter(|| run_concurrent(task, paradigm, &params)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lang_concurrent);
+criterion_main!(benches);

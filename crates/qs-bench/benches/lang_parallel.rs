@@ -1,0 +1,48 @@
+//! Table 4 / Figs. 18–19: Cowichan tasks across paradigms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qs_baselines::Paradigm;
+use qs_workloads::run_parallel;
+use qs_workloads::types::{CowichanParams, ParallelTask};
+
+fn lang_parallel(c: &mut Criterion) {
+    let params = CowichanParams::tiny();
+    let mut group = c.benchmark_group("table4_lang_parallel");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for task in [ParallelTask::Randmat, ParallelTask::Outer, ParallelTask::Chain] {
+        for paradigm in Paradigm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(task.name(), paradigm.label()),
+                &(task, paradigm),
+                |b, &(task, paradigm)| b.iter(|| run_parallel(task, paradigm, &params)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn scalability(c: &mut Criterion) {
+    // Fig. 19: the same task at increasing thread counts (SCOOP/Qs only here;
+    // the full sweep lives in `run_experiments fig19`).
+    let mut group = c.benchmark_group("fig19_scalability_scoop");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for threads in [1usize, 2, 4] {
+        let params = CowichanParams {
+            threads,
+            ..CowichanParams::tiny()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("chain", threads),
+            &params,
+            |b, params| b.iter(|| run_parallel(ParallelTask::Chain, Paradigm::ScoopQs, params)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lang_parallel, scalability);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 2 / Fig. 17: coordination benchmarks per optimisation level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qs_runtime::OptimizationLevel;
+use qs_workloads::concurrent::{run_concurrent_scoop, ConcurrentParams, ConcurrentTask};
+
+fn opt_concurrent(c: &mut Criterion) {
+    let params = ConcurrentParams::tiny();
+    let mut group = c.benchmark_group("table2_opt_concurrent");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for task in ConcurrentTask::ALL {
+        for level in OptimizationLevel::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(task.name(), level.label()),
+                &(task, level),
+                |b, &(task, level)| b.iter(|| run_concurrent_scoop(task, level, &params)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, opt_concurrent);
+criterion_main!(benches);

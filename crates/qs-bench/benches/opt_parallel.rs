@@ -1,0 +1,27 @@
+//! Table 1 / Fig. 16: Cowichan communication time per optimisation level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qs_runtime::OptimizationLevel;
+use qs_workloads::run_parallel_scoop;
+use qs_workloads::types::{CowichanParams, ParallelTask};
+
+fn opt_parallel(c: &mut Criterion) {
+    let params = CowichanParams::tiny();
+    let mut group = c.benchmark_group("table1_opt_parallel");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for task in [ParallelTask::Randmat, ParallelTask::Product, ParallelTask::Chain] {
+        for level in OptimizationLevel::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(task.name(), level.label()),
+                &(task, level),
+                |b, &(task, level)| b.iter(|| run_parallel_scoop(task, level, &params)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, opt_parallel);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! Prints the paper's tables and figure series from fresh measurements.
+//!
+//! ```text
+//! run_experiments [table1|table2|table4|table5|fig19|summary|all] [quick|standard|paper]
+//! ```
+//!
+//! Results (who wins, by what factor) are machine-relative; EXPERIMENTS.md
+//! records a measured run next to the paper's reported numbers.
+
+use qs_bench::experiments::{
+    fig19_scalability, table1_opt_parallel, table2_opt_concurrent, table4_lang_parallel,
+    table5_lang_concurrent, Scale,
+};
+use qs_bench::report::{geometric_mean, print_table};
+use qs_workloads::types::ParallelTask;
+
+fn fmt(values: &[f64]) -> Vec<String> {
+    values.iter().map(|v| format!("{v:.3}")).collect()
+}
+
+fn run_table1(scale: Scale, threads: usize) -> Vec<f64> {
+    let series = table1_opt_parallel(scale, threads);
+    let header: Vec<String> = std::iter::once("task".to_string())
+        .chain(series[0].columns.iter().cloned())
+        .collect();
+    let rows: Vec<(String, Vec<String>)> = series
+        .iter()
+        .map(|s| (s.label.clone(), fmt(&s.normalized())))
+        .collect();
+    print_table(
+        "Table 1 — parallel tasks, communication time normalised to fastest optimisation",
+        &header,
+        &rows,
+    );
+    let rows_seconds: Vec<(String, Vec<String>)> = series
+        .iter()
+        .map(|s| (s.label.clone(), fmt(&s.values)))
+        .collect();
+    print_table(
+        "Fig. 16 — parallel tasks, communication time per optimisation (seconds)",
+        &header,
+        &rows_seconds,
+    );
+    // "All" column feeds the §4.4 summary.
+    series.iter().map(|s| s.values[4]).collect()
+}
+
+fn run_table2(scale: Scale) -> Vec<Vec<f64>> {
+    let series = table2_opt_concurrent(scale);
+    let header: Vec<String> = std::iter::once("task".to_string())
+        .chain(series[0].columns.iter().cloned())
+        .collect();
+    let rows: Vec<(String, Vec<String>)> = series
+        .iter()
+        .map(|s| (s.label.clone(), fmt(&s.values)))
+        .collect();
+    print_table(
+        "Table 2 / Fig. 17 — concurrent tasks, time per optimisation (seconds)",
+        &header,
+        &rows,
+    );
+    series.iter().map(|s| s.values.clone()).collect()
+}
+
+fn run_table4(scale: Scale, threads: usize) {
+    let series = table4_lang_parallel(scale, threads);
+    let header: Vec<String> = std::iter::once("task".to_string())
+        .chain(series[0].0.columns.iter().cloned())
+        .collect();
+    let mut rows = Vec::new();
+    for (total, compute) in &series {
+        rows.push((total.label.clone(), fmt(&total.values)));
+        rows.push((compute.label.clone(), fmt(&compute.values)));
+    }
+    print_table(
+        &format!("Table 4 / Fig. 18 — parallel tasks per paradigm at {threads} threads (seconds)"),
+        &header,
+        &rows,
+    );
+}
+
+fn run_fig19(scale: Scale) {
+    let series = fig19_scalability(scale, &[ParallelTask::Chain, ParallelTask::Randmat]);
+    let header: Vec<String> = std::iter::once("task / paradigm".to_string())
+        .chain(series[0].columns.iter().cloned())
+        .collect();
+    let rows: Vec<(String, Vec<String>)> = series
+        .iter()
+        .map(|s| (s.label.clone(), fmt(&s.values)))
+        .collect();
+    print_table("Fig. 19 — speedup over 1-thread run (chain, randmat)", &header, &rows);
+}
+
+fn run_table5(scale: Scale) {
+    let series = table5_lang_concurrent(scale);
+    let header: Vec<String> = std::iter::once("task".to_string())
+        .chain(series[0].columns.iter().cloned())
+        .collect();
+    let rows: Vec<(String, Vec<String>)> = series
+        .iter()
+        .map(|s| (s.label.clone(), fmt(&s.values)))
+        .collect();
+    print_table(
+        "Table 5 / Fig. 20 — concurrent tasks per paradigm (seconds)",
+        &header,
+        &rows,
+    );
+    let per_paradigm: Vec<(String, Vec<String>)> = series[0]
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, paradigm)| {
+            let column: Vec<f64> = series.iter().map(|s| s.values[i]).collect();
+            (paradigm.clone(), vec![format!("{:.3}", geometric_mean(&column))])
+        })
+        .collect();
+    print_table(
+        "§5.4 — geometric mean over the concurrent tasks (seconds)",
+        &["paradigm".to_string(), "geo-mean".to_string()],
+        &per_paradigm,
+    );
+}
+
+fn run_summary(scale: Scale, threads: usize) {
+    let table2 = table2_opt_concurrent(scale);
+    let levels = table2[0].columns.clone();
+    let per_level: Vec<(String, Vec<String>)> = levels
+        .iter()
+        .enumerate()
+        .map(|(i, level)| {
+            let column: Vec<f64> = table2.iter().map(|s| s.values[i]).collect();
+            (level.clone(), vec![format!("{:.3}", geometric_mean(&column))])
+        })
+        .collect();
+    print_table(
+        "§4.4 — geometric mean of the concurrent benchmarks per optimisation (seconds)",
+        &["optimisation".to_string(), "geo-mean".to_string()],
+        &per_level,
+    );
+    let _ = threads;
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let what = args.get(1).map(String::as_str).unwrap_or("all");
+    let scale = Scale::parse(args.get(2).map(String::as_str).unwrap_or("quick"));
+    let threads = qs_exec::default_parallelism().min(8);
+    println!("experiments: {what}  scale: {scale:?}  threads: {threads}");
+
+    match what {
+        "table1" | "fig16" => {
+            run_table1(scale, threads);
+        }
+        "table2" | "fig17" => {
+            run_table2(scale);
+        }
+        "table4" | "fig18" => run_table4(scale, threads),
+        "fig19" => run_fig19(scale),
+        "table5" | "fig20" => run_table5(scale),
+        "summary" => run_summary(scale, threads),
+        _ => {
+            run_table1(scale, threads);
+            run_table2(scale);
+            run_table4(scale, threads);
+            run_fig19(scale);
+            run_table5(scale);
+            run_summary(scale, threads);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The experiment definitions: one function per table/figure of the paper.
+
+use std::time::Duration;
+
+use qs_baselines::Paradigm;
+use qs_runtime::OptimizationLevel;
+use qs_workloads::concurrent::{run_concurrent, run_concurrent_scoop, ConcurrentParams, ConcurrentTask};
+use qs_workloads::types::{CowichanParams, ParallelTask};
+use qs_workloads::{run_parallel, run_parallel_scoop};
+
+/// How large the problem instances should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast instances for CI / smoke runs (seconds in total).
+    Quick,
+    /// The default benchmark scale (a few minutes in total).
+    Standard,
+    /// The paper's full parameters (hours; requires a large machine).
+    Paper,
+}
+
+impl Scale {
+    /// Parses a scale name; unknown names fall back to `Quick`.
+    pub fn parse(name: &str) -> Scale {
+        match name {
+            "standard" => Scale::Standard,
+            "paper" => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// The Cowichan parameters for this scale.
+    pub fn cowichan(&self, threads: usize) -> CowichanParams {
+        match self {
+            Scale::Quick => CowichanParams {
+                threads,
+                ..CowichanParams::small()
+            },
+            Scale::Standard => CowichanParams::bench(threads),
+            Scale::Paper => CowichanParams::paper(threads),
+        }
+    }
+
+    /// The coordination-benchmark parameters for this scale.
+    pub fn concurrent(&self) -> ConcurrentParams {
+        match self {
+            Scale::Quick => ConcurrentParams::tiny(),
+            Scale::Standard => ConcurrentParams::bench(),
+            Scale::Paper => ConcurrentParams::paper(),
+        }
+    }
+
+    /// Thread counts for the scalability sweep (Fig. 19).
+    pub fn thread_sweep(&self) -> Vec<usize> {
+        let max = qs_exec::default_parallelism();
+        let mut sweep = vec![1, 2, 4, 8, 16, 32];
+        sweep.retain(|&t| t <= max.max(2));
+        if matches!(self, Scale::Quick) {
+            sweep.truncate(3);
+        }
+        sweep
+    }
+}
+
+/// One labelled series of measurements (a row of a table / a line of a plot).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Row label (task name, language name, …).
+    pub label: String,
+    /// Column labels (optimisation level, paradigm, thread count, …).
+    pub columns: Vec<String>,
+    /// One measurement per column.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series from parallel label/value vectors.
+    pub fn new(label: impl Into<String>, columns: Vec<String>, values: Vec<f64>) -> Self {
+        Series {
+            label: label.into(),
+            columns,
+            values,
+        }
+    }
+
+    /// Values normalised to the smallest entry (the format of Table 1).
+    pub fn normalized(&self) -> Vec<f64> {
+        let min = self
+            .values
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .max(f64::MIN_POSITIVE);
+        self.values.iter().map(|v| v / min).collect()
+    }
+}
+
+fn seconds(duration: Duration) -> f64 {
+    duration.as_secs_f64()
+}
+
+/// Table 1 / Fig. 16: communication time of each parallel task under each
+/// optimisation level (values in seconds; Table 1 normalises per row).
+pub fn table1_opt_parallel(scale: Scale, threads: usize) -> Vec<Series> {
+    let params = scale.cowichan(threads);
+    let columns: Vec<String> = OptimizationLevel::ALL.iter().map(|l| l.to_string()).collect();
+    ParallelTask::ALL
+        .iter()
+        .map(|&task| {
+            let values = OptimizationLevel::ALL
+                .iter()
+                .map(|&level| seconds(run_parallel_scoop(task, level, &params).communicate))
+                .collect();
+            Series::new(task.name(), columns.clone(), values)
+        })
+        .collect()
+}
+
+/// Table 2 / Fig. 17: wall-clock time of each concurrent task under each
+/// optimisation level (seconds).
+pub fn table2_opt_concurrent(scale: Scale) -> Vec<Series> {
+    let params = scale.concurrent();
+    let columns: Vec<String> = OptimizationLevel::ALL.iter().map(|l| l.to_string()).collect();
+    ConcurrentTask::ALL
+        .iter()
+        .map(|&task| {
+            let values = OptimizationLevel::ALL
+                .iter()
+                .map(|&level| seconds(run_concurrent_scoop(task, level, &params)))
+                .collect();
+            Series::new(task.name(), columns.clone(), values)
+        })
+        .collect()
+}
+
+/// Table 4 / Fig. 18: total and compute-only times of each parallel task
+/// under each paradigm at a fixed thread count (seconds).  Returns
+/// `(total, compute)` series per task.
+pub fn table4_lang_parallel(scale: Scale, threads: usize) -> Vec<(Series, Series)> {
+    let params = scale.cowichan(threads);
+    let columns: Vec<String> = Paradigm::ALL.iter().map(|p| p.to_string()).collect();
+    ParallelTask::ALL
+        .iter()
+        .map(|&task| {
+            let runs: Vec<_> = Paradigm::ALL
+                .iter()
+                .map(|&paradigm| run_parallel(task, paradigm, &params))
+                .collect();
+            let totals = runs.iter().map(|r| seconds(r.total())).collect();
+            let computes = runs.iter().map(|r| seconds(r.compute)).collect();
+            (
+                Series::new(format!("{task} (total)"), columns.clone(), totals),
+                Series::new(format!("{task} (compute)"), columns.clone(), computes),
+            )
+        })
+        .collect()
+}
+
+/// Fig. 19: speedup of each paradigm on each task over the thread sweep.
+/// Returns one series per (task, paradigm) with one value per thread count.
+pub fn fig19_scalability(scale: Scale, tasks: &[ParallelTask]) -> Vec<Series> {
+    let sweep = scale.thread_sweep();
+    let columns: Vec<String> = sweep.iter().map(|t| format!("{t} threads")).collect();
+    let mut series = Vec::new();
+    for &task in tasks {
+        for &paradigm in &Paradigm::ALL {
+            let mut times = Vec::new();
+            for &threads in &sweep {
+                let params = scale.cowichan(threads);
+                times.push(seconds(run_parallel(task, paradigm, &params).total()));
+            }
+            let base = times[0].max(f64::MIN_POSITIVE);
+            let speedups = times.iter().map(|t| base / t.max(f64::MIN_POSITIVE)).collect();
+            series.push(Series::new(
+                format!("{task} / {paradigm}"),
+                columns.clone(),
+                speedups,
+            ));
+        }
+    }
+    series
+}
+
+/// Table 5 / Fig. 20: wall-clock time of each concurrent task under each
+/// paradigm (seconds).
+pub fn table5_lang_concurrent(scale: Scale) -> Vec<Series> {
+    let params = scale.concurrent();
+    let columns: Vec<String> = Paradigm::ALL.iter().map(|p| p.to_string()).collect();
+    ConcurrentTask::ALL
+        .iter()
+        .map(|&task| {
+            let values = Paradigm::ALL
+                .iter()
+                .map(|&paradigm| seconds(run_concurrent(task, paradigm, &params)))
+                .collect();
+            Series::new(task.name(), columns.clone(), values)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_and_parameters() {
+        assert_eq!(Scale::parse("standard"), Scale::Standard);
+        assert_eq!(Scale::parse("paper"), Scale::Paper);
+        assert_eq!(Scale::parse("anything"), Scale::Quick);
+        assert!(Scale::Quick.cowichan(4).nr < Scale::Standard.cowichan(4).nr);
+        assert!(!Scale::Quick.thread_sweep().is_empty());
+    }
+
+    #[test]
+    fn series_normalisation_uses_the_minimum() {
+        let s = Series::new("x", vec!["a".into(), "b".into()], vec![2.0, 8.0]);
+        assert_eq!(s.normalized(), vec![1.0, 4.0]);
+    }
+}

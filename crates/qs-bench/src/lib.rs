@@ -1,0 +1,25 @@
+//! # qs-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§4 and §5).
+//! The [`experiments`] module produces the raw series; the `run_experiments`
+//! binary prints them in the same shape as the paper's tables, and the
+//! Criterion benches under `benches/` provide statistically sound per-cell
+//! measurements.
+//!
+//! | Paper artefact | Harness entry point |
+//! |---|---|
+//! | Table 1 / Fig. 16 (optimisations, parallel) | `run_experiments table1`, bench `opt_parallel` |
+//! | Table 2 / Fig. 17 (optimisations, concurrent) | `run_experiments table2`, bench `opt_concurrent` |
+//! | Table 4 / Fig. 18 / Fig. 19 (languages, parallel + scalability) | `run_experiments table4`, bench `lang_parallel` |
+//! | Table 5 / Fig. 20 (languages, concurrent) | `run_experiments table5`, bench `lang_concurrent` |
+//! | §4.4 / §5.4 geometric-mean summaries | `run_experiments summary` |
+//! | §3.2 query-shift ablation | bench `ablation_query` |
+//! | §3.1 queue-structure ablation | bench `ablation_queues` |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{Scale, Series};
+pub use report::{geometric_mean, print_table};

@@ -1,0 +1,65 @@
+//! Small formatting/statistics helpers shared by the harness.
+
+/// Geometric mean of a slice of positive numbers (0.0 for an empty slice).
+///
+/// The paper summarises both evaluations with geometric means (§4.4, §5.4).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Prints a simple aligned table: a header row followed by labelled rows.
+pub fn print_table(title: &str, header: &[String], rows: &[(String, Vec<String>)]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for (label, cells) in rows {
+        widths[0] = widths[0].max(label.len());
+        for (i, cell) in cells.iter().enumerate() {
+            if i + 1 < widths.len() {
+                widths[i + 1] = widths[i + 1].max(cell.len());
+            }
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", line.join("  "));
+    };
+    print_row(header);
+    for (label, cells) in rows {
+        let mut line = vec![label.clone()];
+        line.extend(cells.iter().cloned());
+        print_row(&line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_basic_cases() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_rows() {
+        print_table(
+            "demo",
+            &["task".into(), "a".into(), "b".into()],
+            &[
+                ("x".into(), vec!["1".into(), "2".into()]),
+                ("longer-name".into(), vec!["3".into()]),
+            ],
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! The sync-set dataflow analysis (Figs. 12 and 13 of the paper).
+//!
+//! For every basic block the analysis computes the set of handler variables
+//! that are guaranteed to be synchronised at the end of the block, starting
+//! from the intersection of the predecessors' sets (a forward *must*
+//! analysis).  The transfer function follows Fig. 13: a sync adds its
+//! handler, an asynchronous call removes its handler and everything it may
+//! alias, an opaque non-readonly call clears the set, everything else leaves
+//! it unchanged.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::ir::{BlockId, Function, HandlerVar, Instr};
+
+/// Result of the analysis: the sync-set at entry and exit of every block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncSets {
+    /// Sync-set at block entry (the intersection of predecessor exits).
+    pub entry: Vec<BTreeSet<HandlerVar>>,
+    /// Sync-set at block exit.
+    pub exit: Vec<BTreeSet<HandlerVar>>,
+    /// Number of worklist iterations until the fixpoint was reached.
+    pub iterations: usize,
+}
+
+impl SyncSets {
+    /// The sync-set flowing into `block`.
+    pub fn entry_of(&self, block: BlockId) -> &BTreeSet<HandlerVar> {
+        &self.entry[block]
+    }
+
+    /// The sync-set at the end of `block` (as labelled on its out-edges in
+    /// Fig. 14b/15b).
+    pub fn exit_of(&self, block: BlockId) -> &BTreeSet<HandlerVar> {
+        &self.exit[block]
+    }
+}
+
+/// The Fig. 13 transfer function: applies one block's instructions to an
+/// incoming sync-set.
+pub fn update_sync(function: &Function, block: BlockId, incoming: &BTreeSet<HandlerVar>) -> BTreeSet<HandlerVar> {
+    let universe = function.handler_universe();
+    let mut synced = incoming.clone();
+    for instr in &function.blocks[block].instrs {
+        match instr {
+            Instr::Sync(h) => {
+                synced.insert(*h);
+            }
+            Instr::AsyncCall { handler, .. } => {
+                for aliased in function.aliasing.may_alias(*handler, &universe) {
+                    synced.remove(&aliased);
+                }
+            }
+            Instr::OpaqueCall { readonly, .. } => {
+                if !readonly {
+                    synced.clear();
+                }
+            }
+            Instr::QueryRead { .. } | Instr::Local(_) => {}
+        }
+    }
+    synced
+}
+
+/// Runs the worklist fixpoint of Fig. 12 and returns the per-block sync-sets.
+pub fn analyze_sync_sets(function: &Function) -> SyncSets {
+    let n = function.blocks.len();
+    let preds = function.predecessors();
+    // Exit sets start at ⊤ (the full universe) for a must-analysis so that
+    // the intersection over predecessors is not pessimistically empty before
+    // a block has been visited; the entry block's entry set is ∅ (nothing is
+    // synced when the function is entered).
+    let universe = function.handler_universe();
+    let mut entry = vec![BTreeSet::new(); n];
+    let mut exit = vec![universe.clone(); n];
+    let mut iterations = 0usize;
+
+    let mut worklist: VecDeque<BlockId> = (0..n).collect();
+    let mut queued = vec![true; n];
+    while let Some(block) = worklist.pop_front() {
+        queued[block] = false;
+        iterations += 1;
+        let incoming = if block == function.entry {
+            BTreeSet::new()
+        } else if preds[block].is_empty() {
+            // Unreachable block: treat like the entry (nothing synced).
+            BTreeSet::new()
+        } else {
+            let mut iter = preds[block].iter();
+            let first = exit[*iter.next().expect("non-empty preds")].clone();
+            iter.fold(first, |acc, p| acc.intersection(&exit[*p]).cloned().collect())
+        };
+        let new_exit = update_sync(function, block, &incoming);
+        entry[block] = incoming;
+        if new_exit != exit[block] {
+            exit[block] = new_exit;
+            for &succ in &function.blocks[block].successors {
+                if !queued[succ] {
+                    queued[succ] = true;
+                    worklist.push_back(succ);
+                }
+            }
+        }
+    }
+
+    SyncSets {
+        entry,
+        exit,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::AliasModel;
+
+    #[test]
+    fn fig14_all_edges_carry_the_handler() {
+        // After the first sync, every block's out-edge should be labelled
+        // with handler 0 (Fig. 14b).
+        let f = Function::fig14_loop(1, true);
+        let sets = analyze_sync_sets(&f);
+        for block in 0..f.blocks.len() {
+            assert!(
+                sets.exit_of(block).contains(&0),
+                "block {block} lost the sync-set"
+            );
+        }
+        // The loop body's entry set also carries the handler: its
+        // predecessors are B1 and itself, both of which end synced.
+        assert!(sets.entry_of(1).contains(&0));
+        assert!(sets.entry_of(2).contains(&0));
+    }
+
+    #[test]
+    fn fig15_may_alias_blocks_coalescing() {
+        let f = Function::fig15_loop(AliasModel::MayAliasAll);
+        let sets = analyze_sync_sets(&f);
+        // The async call on the possibly-aliasing handler clears h from the
+        // body's exit set, so the loop edges carry nothing (Fig. 15b).
+        assert!(sets.exit_of(1).is_empty());
+        // Consequently the body's entry set is empty too (it is a
+        // predecessor of itself).
+        assert!(sets.entry_of(1).is_empty());
+    }
+
+    #[test]
+    fn fig15_no_alias_allows_coalescing() {
+        let f = Function::fig15_loop(AliasModel::NoAlias);
+        let sets = analyze_sync_sets(&f);
+        // With aliasing resolved, the async call on handler 1 does not
+        // invalidate handler 0.
+        assert!(sets.exit_of(1).contains(&0));
+        assert!(!sets.exit_of(1).contains(&1));
+    }
+
+    #[test]
+    fn opaque_calls_clear_unless_readonly() {
+        let mut f = Function::new("opaque", AliasModel::NoAlias);
+        f.add_block(
+            vec![
+                Instr::Sync(0),
+                Instr::OpaqueCall {
+                    readonly: false,
+                    label: "helper()".into(),
+                },
+            ],
+            vec![1],
+        );
+        f.add_block(vec![Instr::Sync(0)], vec![]);
+        let sets = analyze_sync_sets(&f);
+        assert!(sets.exit_of(0).is_empty());
+
+        let mut g = Function::new("opaque_ro", AliasModel::NoAlias);
+        g.add_block(
+            vec![
+                Instr::Sync(0),
+                Instr::OpaqueCall {
+                    readonly: true,
+                    label: "pure()".into(),
+                },
+            ],
+            vec![],
+        );
+        let sets = analyze_sync_sets(&g);
+        assert!(sets.exit_of(0).contains(&0));
+    }
+
+    #[test]
+    fn diamond_takes_the_intersection_of_branches() {
+        // entry -> {left, right} -> join; only the left branch syncs handler
+        // 1, so the join must not consider it synced.
+        let mut f = Function::new("diamond", AliasModel::NoAlias);
+        let entry = f.add_block(vec![Instr::Sync(0)], vec![1, 2]);
+        let left = f.add_block(vec![Instr::Sync(1)], vec![3]);
+        let right = f.add_block(vec![Instr::Local("nop".into())], vec![3]);
+        let join = f.add_block(vec![], vec![]);
+        f.entry = entry;
+        let sets = analyze_sync_sets(&f);
+        assert!(sets.exit_of(left).contains(&1));
+        assert!(!sets.exit_of(right).contains(&1));
+        assert!(sets.entry_of(join).contains(&0));
+        assert!(!sets.entry_of(join).contains(&1));
+    }
+
+    #[test]
+    fn fixpoint_terminates_on_cycles() {
+        // Two blocks jumping to each other with an async call in one of them.
+        let mut f = Function::new("cycle", AliasModel::NoAlias);
+        f.add_block(vec![Instr::Sync(0)], vec![1]);
+        f.add_block(vec![Instr::async_call(0, "a")], vec![0, 1]);
+        let sets = analyze_sync_sets(&f);
+        assert!(sets.iterations < 50, "fixpoint did not converge quickly");
+        assert!(sets.exit_of(1).is_empty());
+    }
+}

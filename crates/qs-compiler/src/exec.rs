@@ -1,0 +1,159 @@
+//! Executing IR loops against the real runtime.
+//!
+//! This ties the static pass to observable behaviour: the Fig. 14 copy loop
+//! is built in its naive form (a sync in front of every element read), then
+//! optionally run through [`crate::coalesce_syncs`], and finally *executed*
+//! against a `qs-runtime` handler that owns the source array.  The report
+//! carries the number of sync round-trips actually performed, which is what
+//! the optimisation evaluation in §4.2 (Table 1, Fig. 16) measures.
+
+use std::time::{Duration, Instant};
+
+use qs_runtime::{Runtime, RuntimeConfig};
+
+use crate::ir::{Function, Instr};
+use crate::transform::coalesce_syncs;
+
+/// Result of executing a copy loop.
+#[derive(Debug, Clone)]
+pub struct CopyLoopReport {
+    /// The values copied out of the handler (for verification).
+    pub copied: Vec<u64>,
+    /// Sync round-trips actually performed by the runtime.
+    pub syncs_performed: u64,
+    /// Sync operations elided (statically removed plus dynamically skipped).
+    pub syncs_elided: u64,
+    /// `sync` instructions present in the executed IR.
+    pub static_syncs_in_ir: usize,
+    /// Wall-clock time of the copy loop.
+    pub elapsed: Duration,
+}
+
+/// Builds the naive Fig. 14 copy loop, optionally runs the static pass, and
+/// executes it against a handler owning `0..len`.
+///
+/// * `config` — the runtime configuration to execute under;
+/// * `len` — number of elements to copy (loop iterations);
+/// * `statically_optimize` — whether to run the sync-coalescing pass first.
+pub fn execute_copy_loop(
+    config: RuntimeConfig,
+    len: usize,
+    statically_optimize: bool,
+) -> CopyLoopReport {
+    let naive = Function::fig14_loop(1, true);
+    let function = if statically_optimize {
+        coalesce_syncs(&naive).function
+    } else {
+        naive
+    };
+    execute_copy_loop_ir(config, len, &function)
+}
+
+/// Executes a (possibly already optimised) Fig. 14-shaped function.
+///
+/// The entry block (B1) is interpreted once before the loop, the body block
+/// (B2) once per element, and the exit block (B3) once afterwards.  `Sync`
+/// becomes [`qs_runtime::Separate::sync`], `QueryRead` becomes a client-side
+/// read of the current element.
+pub fn execute_copy_loop_ir(config: RuntimeConfig, len: usize, function: &Function) -> CopyLoopReport {
+    assert!(
+        function.blocks.len() >= 3,
+        "expected the Fig. 14 shape: pre-header, body, exit"
+    );
+    let runtime = Runtime::new(config);
+    let source: Vec<u64> = (0..len as u64).collect();
+    let handler = runtime.spawn_handler(source);
+
+    let before = runtime.stats_snapshot();
+    let start = Instant::now();
+    let mut copied = Vec::with_capacity(len);
+    handler.separate(|s| {
+        let mut interpret = |instrs: &[Instr], index: usize, out: &mut Vec<u64>| {
+            for instr in instrs {
+                match instr {
+                    Instr::Sync(_) => s.sync(),
+                    Instr::QueryRead { .. } => {
+                        let value = s.query_unsynced(|v: &mut Vec<u64>| v[index]);
+                        out.push(value);
+                    }
+                    Instr::AsyncCall { .. } => s.call(|_| {}),
+                    Instr::Local(_) | Instr::OpaqueCall { .. } => {}
+                }
+            }
+        };
+        // Pre-header: reads element 0 (and establishes the first sync).
+        let mut header_out = Vec::new();
+        interpret(&function.blocks[0].instrs, 0, &mut header_out);
+        // Loop body: one iteration per element.
+        for i in 0..len {
+            interpret(&function.blocks[1].instrs, i, &mut copied);
+        }
+        // Exit block: a final read, discarded.
+        let mut exit_out = Vec::new();
+        interpret(&function.blocks[2].instrs, len.saturating_sub(1), &mut exit_out);
+    });
+    let elapsed = start.elapsed();
+    let after = runtime.stats_snapshot();
+    let delta = after.since(&before);
+
+    CopyLoopReport {
+        copied,
+        syncs_performed: delta.syncs_performed,
+        syncs_elided: delta.syncs_elided,
+        static_syncs_in_ir: function.count_syncs(),
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_runtime::OptimizationLevel;
+
+    const LEN: usize = 256;
+
+    #[test]
+    fn copy_is_correct_in_all_variants() {
+        for level in OptimizationLevel::ALL {
+            for optimized in [false, true] {
+                let report = execute_copy_loop(level.config(), LEN, optimized);
+                assert_eq!(
+                    report.copied,
+                    (0..LEN as u64).collect::<Vec<_>>(),
+                    "wrong copy under {level} optimized={optimized}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn static_pass_removes_per_iteration_syncs() {
+        // Unoptimised IR under the unoptimised runtime: one sync round-trip
+        // per element (plus pre-header and exit).
+        let naive = execute_copy_loop(OptimizationLevel::None.config(), LEN, false);
+        assert!(naive.syncs_performed as usize >= LEN);
+
+        // Statically optimised IR under the same runtime: a single sync.
+        let optimized = execute_copy_loop(OptimizationLevel::Static.config(), LEN, true);
+        assert_eq!(optimized.static_syncs_in_ir, 1);
+        assert_eq!(optimized.syncs_performed, 1);
+    }
+
+    #[test]
+    fn dynamic_coalescing_matches_static_round_trips() {
+        // The dynamic runtime executes the *naive* IR but still performs only
+        // one real round-trip; the rest are elided at run time (§3.4.1).
+        let dynamic = execute_copy_loop(OptimizationLevel::Dynamic.config(), LEN, false);
+        assert_eq!(dynamic.syncs_performed, 1);
+        assert!(dynamic.syncs_elided as usize >= LEN);
+    }
+
+    #[test]
+    fn ir_sync_counts_differ_between_variants() {
+        let report_naive = execute_copy_loop(OptimizationLevel::All.config(), LEN, false);
+        let report_opt = execute_copy_loop(OptimizationLevel::All.config(), LEN, true);
+        assert_eq!(report_naive.static_syncs_in_ir, 3);
+        assert_eq!(report_opt.static_syncs_in_ir, 1);
+        assert_eq!(report_naive.copied, report_opt.copied);
+    }
+}

@@ -1,0 +1,281 @@
+//! The miniature IR the sync-coalescing pass operates on.
+//!
+//! The IR models exactly the aspects of LLVM bitcode the pass cares about:
+//! which instructions synchronise with a handler, which log asynchronous
+//! calls (invalidating synchronisation), which are opaque calls that might do
+//! either, and how basic blocks are connected.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A handler-valued variable in the program (e.g. the `h_p` / `i_p` private
+/// queue pointers in Fig. 14/15).  Identified by a small index.
+pub type HandlerVar = usize;
+
+/// Identifier of a basic block within a [`Function`].
+pub type BlockId = usize;
+
+/// One IR instruction (the granularity relevant to the pass, Fig. 13).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instr {
+    /// `h.sync()` — a synchronisation with the handler `h`.
+    Sync(HandlerVar),
+    /// A read of handler-owned state that *requires* the handler to be
+    /// synced (e.g. `x[i] := a[i]` in Fig. 14 reading `a` through `h_p`).
+    /// The naive code generator emits a [`Instr::Sync`] immediately before
+    /// each of these; the pass removes the redundant ones.
+    QueryRead {
+        /// Handler the read goes through.
+        handler: HandlerVar,
+        /// Symbolic label (for tests and pretty-printing).
+        label: String,
+    },
+    /// `h.enqueue(...)` — an asynchronous call logged on handler `h`; it
+    /// invalidates the synchronised status of `h` and of anything `h` may
+    /// alias.
+    AsyncCall {
+        /// Handler the call is logged on.
+        handler: HandlerVar,
+        /// Symbolic label.
+        label: String,
+    },
+    /// A local computation that touches no handler.
+    Local(String),
+    /// An arbitrary function call.  Unless `readonly` (LLVM's
+    /// `readonly`/`readnone` attributes), it may log asynchronous calls on
+    /// any handler and therefore clears the whole sync-set.
+    OpaqueCall {
+        /// Whether the callee is known not to issue asynchronous calls.
+        readonly: bool,
+        /// Symbolic label.
+        label: String,
+    },
+}
+
+impl Instr {
+    /// Convenience constructor for a query read.
+    pub fn read(handler: HandlerVar, label: &str) -> Self {
+        Instr::QueryRead {
+            handler,
+            label: label.to_string(),
+        }
+    }
+
+    /// Convenience constructor for an asynchronous call.
+    pub fn async_call(handler: HandlerVar, label: &str) -> Self {
+        Instr::AsyncCall {
+            handler,
+            label: label.to_string(),
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus successor edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// The instructions, in order.
+    pub instrs: Vec<Instr>,
+    /// Successor blocks (empty for exit blocks).
+    pub successors: Vec<BlockId>,
+}
+
+/// What the pass knows about aliasing between handler variables (Fig. 15).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AliasModel {
+    /// Every pair of distinct handler variables is known not to alias
+    /// (the "more aliasing information" case of Fig. 15).
+    NoAlias,
+    /// Any two handler variables may alias (the conservative default).
+    MayAliasAll,
+    /// Variables alias exactly when they are in the same class.
+    Classes(Vec<BTreeSet<HandlerVar>>),
+}
+
+impl AliasModel {
+    /// Returns the set of handler variables that may alias `var` (always
+    /// including `var` itself).
+    pub fn may_alias(&self, var: HandlerVar, universe: &BTreeSet<HandlerVar>) -> BTreeSet<HandlerVar> {
+        match self {
+            AliasModel::NoAlias => [var].into_iter().collect(),
+            AliasModel::MayAliasAll => {
+                let mut all = universe.clone();
+                all.insert(var);
+                all
+            }
+            AliasModel::Classes(classes) => {
+                let mut result: BTreeSet<HandlerVar> = [var].into_iter().collect();
+                for class in classes {
+                    if class.contains(&var) {
+                        result.extend(class.iter().copied());
+                    }
+                }
+                result
+            }
+        }
+    }
+}
+
+/// A function: a control-flow graph of basic blocks with an entry block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// The function name (for reports).
+    pub name: String,
+    /// Basic blocks; block 0 is the entry unless `entry` says otherwise.
+    pub blocks: Vec<Block>,
+    /// The entry block.
+    pub entry: BlockId,
+    /// Aliasing information available to the pass.
+    pub aliasing: AliasModel,
+}
+
+impl Function {
+    /// Creates an empty function with the given aliasing model.
+    pub fn new(name: &str, aliasing: AliasModel) -> Self {
+        Function {
+            name: name.to_string(),
+            blocks: Vec::new(),
+            entry: 0,
+            aliasing,
+        }
+    }
+
+    /// Adds a block and returns its id.
+    pub fn add_block(&mut self, instrs: Vec<Instr>, successors: Vec<BlockId>) -> BlockId {
+        self.blocks.push(Block { instrs, successors });
+        self.blocks.len() - 1
+    }
+
+    /// All handler variables mentioned anywhere in the function.
+    pub fn handler_universe(&self) -> BTreeSet<HandlerVar> {
+        let mut universe = BTreeSet::new();
+        for block in &self.blocks {
+            for instr in &block.instrs {
+                match instr {
+                    Instr::Sync(h)
+                    | Instr::QueryRead { handler: h, .. }
+                    | Instr::AsyncCall { handler: h, .. } => {
+                        universe.insert(*h);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        universe
+    }
+
+    /// Predecessor map (block id → ids of blocks that jump to it).
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (id, block) in self.blocks.iter().enumerate() {
+            for &succ in &block.successors {
+                preds[succ].push(id);
+            }
+        }
+        preds
+    }
+
+    /// Total number of [`Instr::Sync`] instructions in the function.
+    pub fn count_syncs(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i, Instr::Sync(_)))
+            .count()
+    }
+
+    /// Builds the simple counted loop of Fig. 14: a pre-header (B1), a body
+    /// (B2) that reads `reads_per_iteration` elements through handler 0, and
+    /// an exit block (B3) that reads once more.  `naive` controls whether a
+    /// sync is emitted before every read (naive code generation) or only the
+    /// reads themselves are emitted.
+    pub fn fig14_loop(reads_per_iteration: usize, naive: bool) -> Function {
+        let mut f = Function::new("fig14_loop", AliasModel::NoAlias);
+        let handler = 0;
+        let mut header = Vec::new();
+        if naive {
+            header.push(Instr::Sync(handler));
+        }
+        header.push(Instr::read(handler, "x[i] := a[i]"));
+        // Block ids are assigned in insertion order: B1 = 0, B2 = 1, B3 = 2.
+        let b1 = f.add_block(header, vec![1, 2]);
+        let mut body = Vec::new();
+        for i in 0..reads_per_iteration {
+            if naive {
+                body.push(Instr::Sync(handler));
+            }
+            body.push(Instr::read(handler, &format!("x[{i}] := a[{i}]")));
+        }
+        let b2 = f.add_block(body, vec![1, 2]);
+        let mut exit = Vec::new();
+        if naive {
+            exit.push(Instr::Sync(handler));
+        }
+        exit.push(Instr::read(handler, "tail read"));
+        let b3 = f.add_block(exit, vec![]);
+        debug_assert_eq!((b1, b2, b3), (0, 1, 2));
+        f.entry = b1;
+        f
+    }
+
+    /// Builds the Fig. 15 variant of the loop: the body additionally logs an
+    /// asynchronous call through a *second* handler variable which, under the
+    /// given aliasing model, may or may not alias the first.
+    pub fn fig15_loop(aliasing: AliasModel) -> Function {
+        let mut f = Function::new("fig15_loop", aliasing);
+        let h = 0;
+        let i = 1;
+        f.add_block(vec![Instr::Sync(h), Instr::read(h, "x[i] := a[i]")], vec![1, 2]);
+        f.add_block(
+            vec![
+                Instr::Sync(h),
+                Instr::read(h, "x[i] := a[i]"),
+                Instr::async_call(i, "i_p.enqueue(r)"),
+            ],
+            vec![1, 2],
+        );
+        f.add_block(vec![Instr::Sync(h), Instr::read(h, "tail read")], vec![]);
+        f.entry = 0;
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_and_predecessors_are_computed() {
+        let mut f = Function::new("t", AliasModel::NoAlias);
+        let b0 = f.add_block(vec![Instr::Sync(3), Instr::read(4, "r")], vec![1]);
+        let b1 = f.add_block(vec![Instr::async_call(5, "a")], vec![]);
+        assert_eq!(f.handler_universe(), [3, 4, 5].into_iter().collect());
+        let preds = f.predecessors();
+        assert!(preds[b0].is_empty());
+        assert_eq!(preds[b1], vec![b0]);
+    }
+
+    #[test]
+    fn fig14_naive_has_sync_per_block() {
+        let f = Function::fig14_loop(1, true);
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(f.count_syncs(), 3);
+        let optimized_shape = Function::fig14_loop(1, false);
+        assert_eq!(optimized_shape.count_syncs(), 0);
+    }
+
+    #[test]
+    fn alias_model_answers_queries() {
+        let universe: BTreeSet<_> = [0, 1, 2].into_iter().collect();
+        assert_eq!(
+            AliasModel::NoAlias.may_alias(0, &universe),
+            [0].into_iter().collect()
+        );
+        assert_eq!(AliasModel::MayAliasAll.may_alias(0, &universe), universe);
+        let classes = AliasModel::Classes(vec![[0, 1].into_iter().collect()]);
+        assert_eq!(
+            classes.may_alias(0, &universe),
+            [0, 1].into_iter().collect()
+        );
+        assert_eq!(classes.may_alias(2, &universe), [2].into_iter().collect());
+    }
+}

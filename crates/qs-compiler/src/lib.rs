@@ -1,0 +1,33 @@
+//! # qs-compiler — the static sync-coalescing pass (§3.4.2)
+//!
+//! The paper's SCOOP/Qs compiler targets LLVM and ships an extra optimisation
+//! pass that removes redundant `sync` operations: it computes, for every
+//! basic block, the set of handlers that are certainly synchronised at the
+//! end of the block (the *sync-set*, Figs. 12–13) and removes `sync`
+//! instructions whose handler is already in the incoming set (Fig. 14),
+//! conservatively giving up in the presence of aliasing or opaque calls
+//! (Fig. 15).
+//!
+//! This crate reproduces that pass over a miniature SSA-less IR:
+//!
+//! * [`ir`] — instructions, basic blocks and control-flow graphs, plus a
+//!   builder producing the "naive codegen" shape (a sync in front of every
+//!   query) that the pass is meant to clean up;
+//! * [`analysis`] — the sync-set dataflow analysis (the fixpoint of Fig. 12
+//!   with the transfer function of Fig. 13);
+//! * [`transform`] — the sync-coalescing rewrite driven by the analysis;
+//! * [`exec`] — a small interpreter that runs IR loops against the real
+//!   `qs-runtime`, so the effect of the pass on actual executions (and on the
+//!   runtime's sync counters) can be observed and benchmarked.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod exec;
+pub mod ir;
+pub mod transform;
+
+pub use analysis::{analyze_sync_sets, SyncSets};
+pub use exec::{execute_copy_loop, execute_copy_loop_ir, CopyLoopReport};
+pub use ir::{AliasModel, BlockId, Function, HandlerVar, Instr};
+pub use transform::{coalesce_syncs, CoalesceReport};

@@ -1,0 +1,197 @@
+//! The sync-coalescing rewrite (§3.4.2, Fig. 14).
+//!
+//! Driven by the [`crate::analysis`] results, the pass walks every block with
+//! the sync-set flowing into it and deletes `sync` instructions whose handler
+//! is already synchronised, updating the running set with the Fig. 13
+//! transfer function as it goes.
+
+use std::collections::BTreeSet;
+
+use crate::analysis::analyze_sync_sets;
+use crate::ir::{Function, Instr};
+
+/// Outcome of running the pass on one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoalesceReport {
+    /// The rewritten function.
+    pub function: Function,
+    /// Number of `sync` instructions in the input.
+    pub syncs_before: usize,
+    /// Number of `sync` instructions remaining after the pass.
+    pub syncs_after: usize,
+    /// Number of dataflow iterations used by the analysis.
+    pub analysis_iterations: usize,
+}
+
+impl CoalesceReport {
+    /// Number of sync instructions removed.
+    pub fn syncs_removed(&self) -> usize {
+        self.syncs_before - self.syncs_after
+    }
+}
+
+/// Runs the sync-coalescing pass, returning the rewritten function and
+/// statistics about how many syncs were eliminated.
+pub fn coalesce_syncs(function: &Function) -> CoalesceReport {
+    let sets = analyze_sync_sets(function);
+    let universe = function.handler_universe();
+    let syncs_before = function.count_syncs();
+
+    let mut rewritten = function.clone();
+    for (block_id, block) in rewritten.blocks.iter_mut().enumerate() {
+        let mut synced: BTreeSet<_> = sets.entry_of(block_id).clone();
+        let mut kept = Vec::with_capacity(block.instrs.len());
+        for instr in block.instrs.drain(..) {
+            match instr {
+                Instr::Sync(h) => {
+                    if synced.contains(&h) {
+                        // Redundant: the handler is already synchronised on
+                        // every path reaching this point.
+                        continue;
+                    }
+                    synced.insert(h);
+                    kept.push(Instr::Sync(h));
+                }
+                Instr::AsyncCall { handler, label } => {
+                    for aliased in function.aliasing.may_alias(handler, &universe) {
+                        synced.remove(&aliased);
+                    }
+                    kept.push(Instr::AsyncCall { handler, label });
+                }
+                Instr::OpaqueCall { readonly, label } => {
+                    if !readonly {
+                        synced.clear();
+                    }
+                    kept.push(Instr::OpaqueCall { readonly, label });
+                }
+                other @ (Instr::QueryRead { .. } | Instr::Local(_)) => kept.push(other),
+            }
+        }
+        block.instrs = kept;
+    }
+
+    let syncs_after = rewritten.count_syncs();
+    CoalesceReport {
+        function: rewritten,
+        syncs_before,
+        syncs_after,
+        analysis_iterations: sets.iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::AliasModel;
+
+    #[test]
+    fn fig14_keeps_only_the_first_sync() {
+        let f = Function::fig14_loop(1, true);
+        let report = coalesce_syncs(&f);
+        assert_eq!(report.syncs_before, 3);
+        assert_eq!(report.syncs_after, 1, "only B1's sync should remain");
+        assert_eq!(report.syncs_removed(), 2);
+        // The surviving sync is in the entry block.
+        assert!(matches!(
+            report.function.blocks[0].instrs.first(),
+            Some(Instr::Sync(0))
+        ));
+        assert_eq!(report.function.blocks[1].instrs.len(), 1, "loop body sync removed");
+        // Reads are untouched.
+        assert!(report.function.blocks.iter().all(|b| b
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::QueryRead { .. }))));
+    }
+
+    #[test]
+    fn fig14_with_many_reads_per_iteration() {
+        let f = Function::fig14_loop(8, true);
+        let report = coalesce_syncs(&f);
+        assert_eq!(report.syncs_before, 10);
+        assert_eq!(report.syncs_after, 1);
+    }
+
+    #[test]
+    fn fig15_conservative_when_aliasing_unknown() {
+        let f = Function::fig15_loop(AliasModel::MayAliasAll);
+        let report = coalesce_syncs(&f);
+        // The async call on a possibly-aliasing handler forces the loop body
+        // and exit syncs to stay; only re-syncing within a straight line
+        // would be removed, and there is none.
+        assert_eq!(report.syncs_before, 3);
+        assert_eq!(report.syncs_after, 3, "no coalescing under may-alias");
+    }
+
+    #[test]
+    fn fig15_coalesces_with_alias_information() {
+        let f = Function::fig15_loop(AliasModel::NoAlias);
+        let report = coalesce_syncs(&f);
+        assert_eq!(report.syncs_before, 3);
+        assert_eq!(report.syncs_after, 1);
+    }
+
+    #[test]
+    fn opaque_call_forces_resync() {
+        let mut f = Function::new("opaque", AliasModel::NoAlias);
+        f.add_block(
+            vec![
+                Instr::Sync(0),
+                Instr::read(0, "r1"),
+                Instr::OpaqueCall {
+                    readonly: false,
+                    label: "unknown()".into(),
+                },
+                Instr::Sync(0),
+                Instr::read(0, "r2"),
+            ],
+            vec![],
+        );
+        let report = coalesce_syncs(&f);
+        assert_eq!(report.syncs_after, 2, "the post-call sync must survive");
+
+        let mut g = Function::new("opaque_ro", AliasModel::NoAlias);
+        g.add_block(
+            vec![
+                Instr::Sync(0),
+                Instr::OpaqueCall {
+                    readonly: true,
+                    label: "pure()".into(),
+                },
+                Instr::Sync(0),
+            ],
+            vec![],
+        );
+        let report = coalesce_syncs(&g);
+        assert_eq!(report.syncs_after, 1, "readonly calls do not invalidate");
+    }
+
+    #[test]
+    fn straight_line_duplicate_syncs_collapse() {
+        let mut f = Function::new("dup", AliasModel::NoAlias);
+        f.add_block(
+            vec![
+                Instr::Sync(0),
+                Instr::Sync(0),
+                Instr::Sync(1),
+                Instr::Sync(0),
+                Instr::async_call(0, "a"),
+                Instr::Sync(0),
+            ],
+            vec![],
+        );
+        let report = coalesce_syncs(&f);
+        // Kept: first sync(0), first sync(1), and the sync(0) after the async
+        // call that invalidated handler 0.
+        assert_eq!(report.syncs_after, 3);
+    }
+
+    #[test]
+    fn pass_is_idempotent() {
+        let f = Function::fig14_loop(4, true);
+        let once = coalesce_syncs(&f);
+        let twice = coalesce_syncs(&once.function);
+        assert_eq!(once.function, twice.function);
+        assert_eq!(twice.syncs_removed(), 0);
+    }
+}

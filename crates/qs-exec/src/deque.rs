@@ -1,0 +1,272 @@
+//! A work-stealing deque: owner-LIFO, thief-FIFO.
+//!
+//! The scheduling literature the paper builds on (Cilk-style work stealing,
+//! §6 "Related Work") keeps one deque per worker: the owner pushes and pops
+//! at one end (LIFO, for locality and depth-first execution of fork/join
+//! work), thieves steal from the other end (FIFO, taking the oldest — and
+//! typically largest — piece of work).  This module provides that structure
+//! with a short critical section per operation: a spinlock-protected ring
+//! plus an atomic length that lets thieves skip empty deques without ever
+//! touching the lock, which is where almost all steal attempts end in a
+//! balanced system.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use qs_sync::SpinLock;
+
+struct DequeShared<T> {
+    items: SpinLock<VecDeque<T>>,
+    /// Cached length so thieves can skip empty deques without locking.
+    len: AtomicUsize,
+    /// Number of successful steals (statistics).
+    steals: AtomicU64,
+    /// Number of owner pops (statistics).
+    owner_pops: AtomicU64,
+}
+
+/// The owner half of a work-stealing deque.  Not `Clone`: exactly one worker
+/// pushes and pops locally.
+pub struct Worker<T> {
+    shared: Arc<DequeShared<T>>,
+}
+
+/// The thief half: cheap to clone and share with every other worker.
+pub struct Stealer<T> {
+    shared: Arc<DequeShared<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// Creates a connected worker/stealer pair.
+pub fn steal_deque<T>() -> (Worker<T>, Stealer<T>) {
+    let shared = Arc::new(DequeShared {
+        items: SpinLock::new(VecDeque::new()),
+        len: AtomicUsize::new(0),
+        steals: AtomicU64::new(0),
+        owner_pops: AtomicU64::new(0),
+    });
+    (
+        Worker {
+            shared: Arc::clone(&shared),
+        },
+        Stealer { shared },
+    )
+}
+
+impl<T> Worker<T> {
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, value: T) {
+        let mut items = self.shared.items.lock();
+        items.push_back(value);
+        self.shared.len.store(items.len(), Ordering::Release);
+    }
+
+    /// Pops the most recently pushed task (LIFO), if any.
+    pub fn pop(&self) -> Option<T> {
+        if self.shared.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut items = self.shared.items.lock();
+        let value = items.pop_back();
+        self.shared.len.store(items.len(), Ordering::Release);
+        if value.is_some() {
+            self.shared.owner_pops.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Number of queued tasks (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.shared.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the deque is currently empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Number of tasks taken by thieves so far.
+    pub fn steal_count(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Number of tasks the owner popped locally so far.
+    pub fn owner_pop_count(&self) -> u64 {
+        self.shared.owner_pops.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest task (FIFO end), if any.
+    pub fn steal(&self) -> Option<T> {
+        if self.shared.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut items = self.shared.items.lock();
+        let value = items.pop_front();
+        self.shared.len.store(items.len(), Ordering::Release);
+        if value.is_some() {
+            self.shared.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Steals up to half of the queued tasks in one grab (batch stealing
+    /// reduces contention on very imbalanced loads).
+    pub fn steal_batch(&self, limit: usize) -> Vec<T> {
+        if limit == 0 || self.shared.len.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        let mut items = self.shared.items.lock();
+        let take = (items.len() / 2).clamp(usize::from(!items.is_empty()), limit);
+        let mut stolen = Vec::with_capacity(take);
+        for _ in 0..take {
+            match items.pop_front() {
+                Some(value) => stolen.push(value),
+                None => break,
+            }
+        }
+        self.shared.len.store(items.len(), Ordering::Release);
+        self.shared
+            .steals
+            .fetch_add(stolen.len() as u64, Ordering::Relaxed);
+        stolen
+    }
+
+    /// Whether the deque looks empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.shared.len.load(Ordering::Acquire) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_and_thief_is_fifo() {
+        let (worker, stealer) = steal_deque();
+        for i in 0..4 {
+            worker.push(i);
+        }
+        assert_eq!(worker.pop(), Some(3), "owner takes the newest");
+        assert_eq!(stealer.steal(), Some(0), "thief takes the oldest");
+        assert_eq!(worker.pop(), Some(2));
+        assert_eq!(stealer.steal(), Some(1));
+        assert_eq!(worker.pop(), None);
+        assert_eq!(stealer.steal(), None);
+    }
+
+    #[test]
+    fn lengths_and_counters_track_operations() {
+        let (worker, stealer) = steal_deque();
+        assert!(worker.is_empty() && stealer.is_empty());
+        for i in 0..10 {
+            worker.push(i);
+        }
+        assert_eq!(worker.len(), 10);
+        worker.pop();
+        stealer.steal();
+        assert_eq!(worker.len(), 8);
+        assert_eq!(worker.owner_pop_count(), 1);
+        assert_eq!(worker.steal_count(), 1);
+    }
+
+    #[test]
+    fn batch_steal_takes_about_half() {
+        let (worker, stealer) = steal_deque();
+        for i in 0..16 {
+            worker.push(i);
+        }
+        let stolen = stealer.steal_batch(64);
+        assert_eq!(stolen, (0..8).collect::<Vec<_>>());
+        assert_eq!(worker.len(), 8);
+        // Limit caps the batch.
+        let stolen = stealer.steal_batch(2);
+        assert_eq!(stolen.len(), 2);
+        // A single remaining item is still stolen (never rounds down to 0).
+        let (w2, s2) = steal_deque();
+        w2.push(42);
+        assert_eq!(s2.steal_batch(8), vec![42]);
+    }
+
+    #[test]
+    fn concurrent_producers_and_thieves_lose_nothing() {
+        use std::sync::atomic::AtomicBool;
+
+        let (worker, stealer) = steal_deque::<u64>();
+        let worker = Arc::new(worker);
+        let done = Arc::new(AtomicBool::new(false));
+        const ITEMS: u64 = 20_000;
+
+        let producer = {
+            let worker = Arc::clone(&worker);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut owner_taken = Vec::new();
+                for i in 0..ITEMS {
+                    worker.push(i);
+                    if i % 3 == 0 {
+                        if let Some(v) = worker.pop() {
+                            owner_taken.push(v);
+                        }
+                    }
+                }
+                done.store(true, Ordering::Release);
+                owner_taken
+            })
+        };
+        let thieves: Vec<_> = (0..3)
+            .map(|_| {
+                let stealer = stealer.clone();
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let mut taken = Vec::new();
+                    loop {
+                        match stealer.steal() {
+                            Some(v) => taken.push(v),
+                            None => {
+                                if done.load(Ordering::Acquire) && stealer.is_empty() {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    taken
+                })
+            })
+            .collect();
+
+        let mut all = producer.join().unwrap();
+        // Drain what is left after the producer stopped.
+        while let Some(v) = worker.pop() {
+            all.push(v);
+        }
+        for thief in thieves {
+            all.extend(thief.join().unwrap());
+        }
+        // Thieves may exit before the tail is drained; collect the remainder.
+        while let Some(v) = stealer.steal() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), ITEMS as usize, "tasks lost or duplicated");
+    }
+}

@@ -1,0 +1,252 @@
+//! Structured (scoped) parallelism on top of the work-stealing pool.
+//!
+//! The Cowichan kernels (§4.1.1) are data-parallel loops over large arrays;
+//! they need to borrow the input and output buffers from the caller's stack.
+//! [`Scope`] allows spawning non-`'static` tasks onto a [`ThreadPool`] while
+//! guaranteeing — by blocking at the end of the scope — that every task has
+//! finished before the borrows expire, the same contract as
+//! `std::thread::scope` and rayon's `scope`.
+
+use std::marker::PhantomData;
+use std::mem;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use qs_sync::WaitGroup;
+
+use crate::ThreadPool;
+
+/// A scope in which borrowed-data tasks can be spawned onto a pool.
+pub struct Scope<'scope, 'env: 'scope> {
+    pool: &'scope ThreadPool,
+    wait_group: Arc<WaitGroup>,
+    panics: Arc<AtomicUsize>,
+    /// Invariance over the lifetimes, mirroring `std::thread::Scope`.
+    _marker: PhantomData<&'scope mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from the enclosing environment.
+    ///
+    /// The task is guaranteed to finish before [`scope`] returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.wait_group.add(1);
+        let wait_group = Arc::clone(&self.wait_group);
+        let panics = Arc::clone(&self.panics);
+        // SAFETY: `scope` waits for the wait group before returning, so the
+        // closure (and everything it borrows with lifetime 'scope/'env) is
+        // guaranteed to outlive the task's execution.  The transmute only
+        // erases the lifetime, not the type.
+        let static_task: Box<dyn FnOnce() + Send + 'static> = unsafe {
+            mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send + 'static>>(
+                Box::new(f),
+            )
+        };
+        self.pool.spawn(move || {
+            if catch_unwind(AssertUnwindSafe(static_task)).is_err() {
+                panics.fetch_add(1, Ordering::SeqCst);
+            }
+            wait_group.done();
+        });
+    }
+}
+
+/// Runs `f` with a [`Scope`] bound to `pool`, waiting for all spawned tasks
+/// before returning.  Panics if any spawned task panicked.
+pub fn scope<'env, F, R>(pool: &ThreadPool, f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let s = Scope {
+        pool,
+        wait_group: Arc::new(WaitGroup::new()),
+        panics: Arc::new(AtomicUsize::new(0)),
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&s)));
+    // Always wait: even if the closure panicked, spawned tasks may still be
+    // borrowing the environment.  The wait *helps* the pool (steals and runs
+    // pending tasks) so that scopes nested inside pool workers cannot
+    // deadlock the pool by blocking every worker.
+    let backoff = qs_sync::Backoff::new();
+    while s.wait_group.count() != 0 {
+        if pool.help_run_one() {
+            backoff.reset();
+        } else if backoff.is_completed() {
+            std::thread::yield_now();
+        } else {
+            backoff.snooze();
+        }
+    }
+    let task_panics = s.panics.load(Ordering::SeqCst);
+    match result {
+        Err(payload) => resume_unwind(payload),
+        Ok(value) => {
+            if task_panics > 0 {
+                panic!("{task_panics} scoped task(s) panicked");
+            }
+            value
+        }
+    }
+}
+
+/// Splits `0..len` into roughly equal chunks (at most `tasks` of them) and
+/// runs `body` on each chunk in parallel on `pool`.
+///
+/// `body` receives the half-open index range of its chunk.
+pub fn parallel_for<F>(pool: &ThreadPool, len: usize, tasks: usize, body: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync + Send,
+{
+    if len == 0 {
+        return;
+    }
+    let tasks = tasks.clamp(1, len);
+    let chunk = len.div_ceil(tasks);
+    let body = &body;
+    scope(pool, |s| {
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk).min(len);
+            s.spawn(move || body(start..end));
+            start = end;
+        }
+    });
+}
+
+/// Runs `body` over mutable, disjoint chunks of `data` in parallel.
+///
+/// The slice is split into at most `tasks` contiguous chunks; `body` receives
+/// the chunk index, the starting offset of the chunk in the original slice
+/// and the chunk itself.
+pub fn parallel_chunks<T, F>(pool: &ThreadPool, data: &mut [T], tasks: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync + Send,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let tasks = tasks.clamp(1, len);
+    let chunk = len.div_ceil(tasks);
+    let body = &body;
+    scope(pool, |s| {
+        for (index, (offset, slice)) in data
+            .chunks_mut(chunk)
+            .scan(0usize, |offset, slice| {
+                let start = *offset;
+                *offset += slice.len();
+                Some((start, slice))
+            })
+            .enumerate()
+        {
+            s.spawn(move || body(index, offset, slice));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    #[test]
+    fn scope_waits_for_borrowing_tasks() {
+        let pool = ThreadPool::new(4);
+        let mut values = vec![0usize; 64];
+        scope(&pool, |s| {
+            for (i, v) in values.iter_mut().enumerate() {
+                s.spawn(move || *v = i * 2);
+            }
+        });
+        assert!(values.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let pool = ThreadPool::new(2);
+        let out = scope(&pool, |s| {
+            s.spawn(|| {});
+            123
+        });
+        assert_eq!(out, 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped task(s) panicked")]
+    fn scope_propagates_task_panics() {
+        let pool = ThreadPool::new(2);
+        scope(&pool, |s| {
+            s.spawn(|| panic!("boom"));
+        });
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let pool = ThreadPool::new(4);
+        let hits = (0..1_000).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        parallel_for(&pool, hits.len(), 16, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn parallel_for_handles_len_smaller_than_tasks() {
+        let pool = ThreadPool::new(4);
+        let sum = Mutex::new(0usize);
+        parallel_for(&pool, 3, 64, |range| {
+            *sum.lock().unwrap() += range.len();
+        });
+        assert_eq!(*sum.lock().unwrap(), 3);
+        // Zero-length loop is a no-op.
+        parallel_for(&pool, 0, 8, |_range| panic!("must not run"));
+    }
+
+    #[test]
+    fn parallel_chunks_partitions_disjointly() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0u32; 1_000];
+        parallel_chunks(&pool, &mut data, 7, |_, offset, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (offset + i) as u32;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn nested_scopes_work() {
+        let pool = ThreadPool::new(4);
+        let total = AtomicUsize::new(0);
+        scope(&pool, |outer| {
+            for _ in 0..4 {
+                outer.spawn(|| {
+                    // Nested scope on the same pool: tasks spawned here are
+                    // executed by the same workers without deadlocking,
+                    // because the outer task does not block on the pool while
+                    // holding a worker (the inner scope's wait group is
+                    // independent of worker threads).
+                    let inner_total = AtomicUsize::new(0);
+                    scope(&pool, |inner| {
+                        for _ in 0..8 {
+                            inner.spawn(|| {
+                                inner_total.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                    total.fetch_add(inner_total.load(Ordering::SeqCst), Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 32);
+    }
+}

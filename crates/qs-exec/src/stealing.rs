@@ -1,0 +1,441 @@
+//! A work-stealing scheduler built on the per-worker deques of
+//! [`crate::deque`].
+//!
+//! The paper's runtime uses a cooperative task layer beneath the handlers;
+//! the related-work section situates SCOOP/Qs against Cilk-style work
+//! stealing (§6).  This scheduler provides that comparison point inside the
+//! repository: each worker owns a deque (owner-LIFO, thief-FIFO), external
+//! submissions go to an injector queue, and an idle worker first drains its
+//! own deque, then tries to steal from a randomly-chosen victim, then falls
+//! back to the injector before parking.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+use qs_queues::MutexQueue;
+use qs_sync::Backoff;
+
+use crate::deque::{steal_deque, Stealer, Worker};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counters describing scheduler activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Jobs executed in total.
+    pub executed: u64,
+    /// Jobs a worker took from its own deque.
+    pub local_pops: u64,
+    /// Jobs obtained by stealing from another worker.
+    pub steals: u64,
+    /// Jobs taken from the shared injector queue.
+    pub injector_pops: u64,
+    /// Jobs whose closure panicked (caught; the worker survives).
+    pub panics: u64,
+}
+
+struct StealShared {
+    injector: MutexQueue<Job>,
+    stealers: Vec<Stealer<Job>>,
+    pending: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cond: Condvar,
+    shutdown: AtomicBool,
+    executed: AtomicU64,
+    local_pops: AtomicU64,
+    steals: AtomicU64,
+    injector_pops: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl StealShared {
+    fn note_done(&self) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Take the lock before notifying so a waiter that just checked
+            // `pending` cannot miss this wake-up.
+            let _guard = self.idle_lock.lock();
+            self.idle_cond.notify_all();
+        }
+    }
+}
+
+/// A fixed-size pool of workers with per-worker deques and work stealing.
+pub struct StealPool {
+    shared: Arc<StealShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl StealPool {
+    /// Spawns a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let mut worker_deques: Vec<Worker<Job>> = Vec::with_capacity(threads);
+        let mut stealers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (worker, stealer) = steal_deque();
+            worker_deques.push(worker);
+            stealers.push(stealer);
+        }
+        let shared = Arc::new(StealShared {
+            injector: MutexQueue::new(),
+            stealers,
+            pending: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
+            local_pops: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            injector_pops: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        });
+
+        let workers = worker_deques
+            .into_iter()
+            .enumerate()
+            .map(|(index, deque)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("steal-worker-{index}"))
+                    .spawn(move || worker_loop(index, deque, &shared))
+                    .expect("spawn steal-pool worker")
+            })
+            .collect();
+
+        StealPool { shared, workers }
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    pub fn with_default_parallelism() -> Self {
+        Self::new(crate::default_parallelism())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job for execution.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        assert!(
+            !self.shared.shutdown.load(Ordering::Acquire),
+            "spawn on a shut-down StealPool"
+        );
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        // External submissions go through the shared injector; workers pick
+        // them up when their own deques run dry.  Pushing onto a specific
+        // worker's deque is only possible from that worker itself
+        // (`spawn_local`), keeping every deque single-owner.
+        self.shared.injector.enqueue(Box::new(job));
+    }
+
+    /// Blocks until every submitted job (including jobs spawned by jobs) has
+    /// finished.
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.idle_lock.lock();
+        while self.shared.pending.load(Ordering::Acquire) != 0 {
+            self.shared.idle_cond.wait(&mut guard);
+        }
+    }
+
+    /// Runs `jobs` and waits for all of them (plus anything they spawn).
+    pub fn run_all<I>(&self, jobs: I)
+    where
+        I: IntoIterator,
+        I::Item: FnOnce() + Send + 'static,
+    {
+        for job in jobs {
+            self.spawn(job);
+        }
+        self.wait_idle();
+    }
+
+    /// A snapshot of the scheduler counters.
+    pub fn stats(&self) -> StealStats {
+        StealStats {
+            executed: self.shared.executed.load(Ordering::Relaxed),
+            local_pops: self.shared.local_pops.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            injector_pops: self.shared.injector_pops.load(Ordering::Relaxed),
+            panics: self.shared.panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of jobs submitted but not yet finished.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+}
+
+impl Default for StealPool {
+    fn default() -> Self {
+        Self::with_default_parallelism()
+    }
+}
+
+impl Drop for StealPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.injector.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for StealPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StealPool")
+            .field("threads", &self.threads())
+            .field("pending", &self.pending())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+thread_local! {
+    /// The deque of the current worker, when running on a pool thread; lets
+    /// jobs spawned from within jobs stay on the local deque (fork/join
+    /// locality, the point of owner-LIFO ordering).
+    static LOCAL_DEQUE: std::cell::RefCell<Option<LocalHandle>> = const { std::cell::RefCell::new(None) };
+}
+
+struct LocalHandle {
+    shared: Arc<StealShared>,
+    // Raw pointer to the worker deque owned by this thread's worker loop; only
+    // dereferenced while the loop (and therefore the deque) is alive.
+    deque: *const Worker<Job>,
+}
+
+/// Spawns `job` onto the current worker's own deque when called from inside a
+/// pool job, falling back to `pool_spawn` when called from outside.
+pub fn spawn_local(job: impl FnOnce() + Send + 'static, fallback: &StealPool) {
+    let mut job: Option<Job> = Some(Box::new(job));
+    let used_local = LOCAL_DEQUE.with(|slot| {
+        if let Some(handle) = slot.borrow().as_ref() {
+            handle.shared.pending.fetch_add(1, Ordering::AcqRel);
+            // SAFETY: the handle only exists while its worker loop is running
+            // on this very thread, so the deque outlives this call.
+            unsafe { (*handle.deque).push(job.take().expect("job not yet consumed")) };
+            true
+        } else {
+            false
+        }
+    });
+    if !used_local {
+        if let Some(job) = job.take() {
+            fallback.spawn(job);
+        }
+    }
+}
+
+fn worker_loop(index: usize, deque: Worker<Job>, shared: &Arc<StealShared>) {
+    LOCAL_DEQUE.with(|slot| {
+        *slot.borrow_mut() = Some(LocalHandle {
+            shared: Arc::clone(shared),
+            deque: &deque as *const Worker<Job>,
+        });
+    });
+    let backoff = Backoff::new();
+    loop {
+        // 1. Own deque first (LIFO: depth-first on fork/join work).
+        if let Some(job) = deque.pop() {
+            shared.local_pops.fetch_add(1, Ordering::Relaxed);
+            run_job(job, shared);
+            backoff.reset();
+            continue;
+        }
+        // 2. Steal from a victim, starting at a position derived from our
+        //    index so workers fan out over different victims.
+        let victims = shared.stealers.len();
+        let mut stolen = None;
+        for offset in 1..victims {
+            let victim = (index + offset) % victims;
+            if let Some(job) = shared.stealers[victim].steal() {
+                stolen = Some(job);
+                break;
+            }
+        }
+        if let Some(job) = stolen {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+            run_job(job, shared);
+            backoff.reset();
+            continue;
+        }
+        // 3. The shared injector.
+        match shared.injector.try_dequeue() {
+            Ok(Some(job)) => {
+                shared.injector_pops.fetch_add(1, Ordering::Relaxed);
+                run_job(job, shared);
+                backoff.reset();
+                continue;
+            }
+            Err(()) => break, // closed and drained: shut down
+            Ok(None) => {}
+        }
+        if shared.shutdown.load(Ordering::Acquire)
+            && shared.pending.load(Ordering::Acquire) == 0
+        {
+            break;
+        }
+        backoff.snooze();
+    }
+    LOCAL_DEQUE.with(|slot| slot.borrow_mut().take());
+}
+
+fn run_job(job: Job, shared: &Arc<StealShared>) {
+    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+        shared.panics.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.note_done();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Counter;
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        let pool = StealPool::new(4);
+        let counter = Arc::new(Counter::new(0));
+        for _ in 0..1_000 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1_000);
+        let stats = pool.stats();
+        assert_eq!(stats.executed, 1_000);
+        assert_eq!(stats.panics, 0);
+    }
+
+    #[test]
+    fn nested_spawns_complete_before_wait_idle_returns() {
+        let pool = Arc::new(StealPool::new(4));
+        let counter = Arc::new(Counter::new(0));
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            let pool_inner = Arc::clone(&pool);
+            pool.spawn(move || {
+                for _ in 0..8 {
+                    let counter = Arc::clone(&counter);
+                    spawn_local(
+                        move || {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        },
+                        &pool_inner,
+                    );
+                }
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 64 * 8);
+        // Nested jobs went to the local deques, so local pops must dominate
+        // injector pops.
+        let stats = pool.stats();
+        assert!(stats.local_pops > 0, "expected local deque usage: {stats:?}");
+    }
+
+    #[test]
+    fn imbalanced_work_is_stolen() {
+        // One huge job spawns all the real work from inside the pool; without
+        // stealing the other workers would sit idle while one deque holds
+        // everything.
+        let pool = Arc::new(StealPool::new(4));
+        let counter = Arc::new(Counter::new(0));
+        {
+            let pool_inner = Arc::clone(&pool);
+            let counter = Arc::clone(&counter);
+            pool.spawn(move || {
+                for _ in 0..2_000 {
+                    let counter = Arc::clone(&counter);
+                    spawn_local(
+                        move || {
+                            // Enough work per job that the other workers have
+                            // time to engage even in release builds.
+                            std::thread::sleep(std::time::Duration::from_micros(20));
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        },
+                        &pool_inner,
+                    );
+                }
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 2_000);
+        let stats = pool.stats();
+        assert!(
+            stats.steals > 0,
+            "expected at least one steal on an imbalanced load: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_poison_the_pool() {
+        let pool = StealPool::new(2);
+        let counter = Arc::new(Counter::new(0));
+        for i in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(move || {
+                if i % 10 == 0 {
+                    panic!("injected failure");
+                }
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 90);
+        assert_eq!(pool.stats().panics, 10);
+        assert_eq!(pool.stats().executed, 100);
+    }
+
+    #[test]
+    fn run_all_and_reuse() {
+        let pool = StealPool::new(3);
+        let counter = Arc::new(Counter::new(0));
+        for _round in 0..5 {
+            let jobs: Vec<_> = (0..50)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+                .collect();
+            pool.run_all(jobs);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 250);
+        assert_eq!(pool.pending(), 0);
+        assert!(format!("{pool:?}").contains("threads"));
+    }
+
+    #[test]
+    fn fork_join_fibonacci_produces_the_right_answer() {
+        // A classic recursive fork/join workload expressed with a shared
+        // accumulator: fib(n) counted as the number of base-case leaves.
+        fn fib_spawn(n: u64, pool: &Arc<StealPool>, acc: &Arc<Counter>) {
+            if n < 2 {
+                acc.fetch_add(n.max(1), Ordering::Relaxed);
+                return;
+            }
+            let (p1, a1) = (Arc::clone(pool), Arc::clone(acc));
+            let (p2, a2) = (Arc::clone(pool), Arc::clone(acc));
+            spawn_local(move || fib_spawn(n - 1, &p1, &a1), pool);
+            spawn_local(move || fib_spawn(n - 2, &p2, &a2), pool);
+        }
+
+        let pool = Arc::new(StealPool::new(4));
+        let acc = Arc::new(Counter::new(0));
+        fib_spawn(16, &pool, &acc);
+        pool.wait_idle();
+        // Every leaf (n = 0 or 1) adds exactly 1, and the fib call tree for n
+        // has fib(n + 1) leaves: fib(17) = 1597.
+        assert_eq!(acc.load(Ordering::Relaxed), 1_597);
+    }
+}

@@ -1,0 +1,317 @@
+//! Recycled OS threads for handlers (the "lightweight thread" substitution).
+//!
+//! In SCOOP every object has a handler, and programs create and retire
+//! handlers frequently — the paper's prototype keeps this cheap with
+//! user-level threads.  This module amortises thread creation instead: when a
+//! handler shuts down, its OS thread parks itself in a global cache and is
+//! handed to the next handler that starts.  The observable effect (cheap
+//! handler creation and teardown) matches what the benchmarks exercise.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Slot through which a cached thread receives its next job.
+struct Mailbox {
+    job: Mutex<Option<MailboxCommand>>,
+    signal: Condvar,
+}
+
+enum MailboxCommand {
+    Run(Job),
+    Retire,
+}
+
+/// A cache of parked OS threads that can each run one job at a time.
+///
+/// ```
+/// use qs_exec::ThreadCache;
+/// use std::sync::{Arc, atomic::{AtomicBool, Ordering}};
+///
+/// let cache = ThreadCache::new(8);
+/// let done = Arc::new(AtomicBool::new(false));
+/// let d = Arc::clone(&done);
+/// let handle = cache.run(move || d.store(true, Ordering::SeqCst));
+/// handle.join();
+/// assert!(done.load(Ordering::SeqCst));
+/// ```
+pub struct ThreadCache {
+    idle: Mutex<VecDeque<Arc<Mailbox>>>,
+    max_cached: usize,
+    created: AtomicUsize,
+    reused: AtomicUsize,
+    /// Once set, finishing threads exit instead of parking, so a cache whose
+    /// owner (e.g. a `Runtime`) has gone away does not keep OS threads alive.
+    closed: AtomicBool,
+}
+
+impl ThreadCache {
+    /// Creates a cache keeping at most `max_cached` idle threads alive.
+    pub fn new(max_cached: usize) -> Arc<Self> {
+        Arc::new(ThreadCache {
+            idle: Mutex::new(VecDeque::new()),
+            max_cached,
+            created: AtomicUsize::new(0),
+            reused: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+        })
+    }
+
+    /// Number of OS threads ever created by this cache.
+    pub fn threads_created(&self) -> usize {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Number of times a cached thread was reused instead of creating one.
+    pub fn threads_reused(&self) -> usize {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// Number of currently idle cached threads.
+    pub fn idle_threads(&self) -> usize {
+        self.idle.lock().len()
+    }
+
+    /// Runs `job` on a cached thread (or a freshly created one), returning a
+    /// handle that can be joined.
+    pub fn run<F>(self: &Arc<Self>, job: F) -> CachedThread
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let finished = Arc::new(Completion::new());
+        let completion = Arc::clone(&finished);
+        let wrapped: Job = Box::new(move || {
+            // The job itself may panic; completion must still be signalled so
+            // `join` cannot hang.  The panic is recorded, not propagated,
+            // matching handler semantics (a dead handler, not a dead pool).
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            completion.finish(result.is_err());
+        });
+
+        let reused = self.idle.lock().pop_front();
+        match reused {
+            Some(mailbox) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                let mut slot = mailbox.job.lock();
+                *slot = Some(MailboxCommand::Run(wrapped));
+                mailbox.signal.notify_one();
+            }
+            None => {
+                self.created.fetch_add(1, Ordering::Relaxed);
+                let cache = Arc::clone(self);
+                std::thread::Builder::new()
+                    .name(format!("qs-handler-{}", self.created.load(Ordering::Relaxed)))
+                    .spawn(move || cached_thread_loop(cache, wrapped))
+                    .expect("failed to spawn handler thread");
+            }
+        }
+        CachedThread { finished }
+    }
+
+    /// Shuts the cache down: retires every idle thread and makes threads that
+    /// finish their current job exit instead of parking.  Called by the
+    /// owners of a cache (e.g. `qs-runtime`'s `Runtime`) when they are
+    /// dropped, so repeatedly creating and dropping runtimes does not
+    /// accumulate parked OS threads.
+    pub fn shutdown(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.retire_idle();
+    }
+
+    /// Returns `true` once [`shutdown`](Self::shutdown) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Retires all currently idle threads (they exit instead of waiting for
+    /// another job).  Threads running jobs are unaffected.
+    pub fn retire_idle(&self) {
+        let mut idle = self.idle.lock();
+        for mailbox in idle.drain(..) {
+            let mut slot = mailbox.job.lock();
+            *slot = Some(MailboxCommand::Retire);
+            mailbox.signal.notify_one();
+        }
+    }
+
+    /// Returns the mailbox to the idle list, or signals the thread to exit if
+    /// the cache is full.  Returns `true` if the thread should keep running.
+    fn park_thread(&self, mailbox: &Arc<Mailbox>) -> bool {
+        if self.closed.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut idle = self.idle.lock();
+        if idle.len() >= self.max_cached {
+            return false;
+        }
+        idle.push_back(Arc::clone(mailbox));
+        true
+    }
+}
+
+fn cached_thread_loop(cache: Arc<ThreadCache>, first_job: Job) {
+    let mailbox = Arc::new(Mailbox {
+        job: Mutex::new(None),
+        signal: Condvar::new(),
+    });
+    first_job();
+    loop {
+        if !cache.park_thread(&mailbox) {
+            return;
+        }
+        let job = {
+            let mut slot = mailbox.job.lock();
+            while slot.is_none() {
+                mailbox.signal.wait(&mut slot);
+            }
+            slot.take().expect("job present after wait")
+        };
+        match job {
+            MailboxCommand::Run(job) => job(),
+            MailboxCommand::Retire => return,
+        }
+    }
+}
+
+/// Completion state shared between a running job and its [`CachedThread`].
+struct Completion {
+    done: Mutex<Option<bool>>,
+    cond: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Completion {
+    fn new() -> Self {
+        Completion {
+            done: Mutex::new(None),
+            cond: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn finish(&self, panicked: bool) {
+        self.panicked.store(panicked, Ordering::Release);
+        *self.done.lock() = Some(panicked);
+        self.cond.notify_all();
+    }
+}
+
+/// Handle to a job running on a cached thread.
+pub struct CachedThread {
+    finished: Arc<Completion>,
+}
+
+impl CachedThread {
+    /// Blocks until the job finishes.  Returns `true` if the job panicked.
+    pub fn join(self) -> bool {
+        let mut done = self.finished.done.lock();
+        while done.is_none() {
+            self.finished.cond.wait(&mut done);
+        }
+        done.expect("completion recorded")
+    }
+
+    /// Returns `true` if the job has already finished.
+    pub fn is_finished(&self) -> bool {
+        self.finished.done.lock().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_jobs_and_joins() {
+        let cache = ThreadCache::new(4);
+        let value = Arc::new(AtomicUsize::new(0));
+        let v = Arc::clone(&value);
+        let handle = cache.run(move || {
+            v.store(7, Ordering::SeqCst);
+        });
+        assert!(!handle.join());
+        assert_eq!(value.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn threads_are_reused_between_jobs() {
+        let cache = ThreadCache::new(4);
+        for _ in 0..10 {
+            cache.run(|| {}).join();
+        }
+        assert!(
+            cache.threads_created() < 10,
+            "expected reuse; created {} threads",
+            cache.threads_created()
+        );
+        assert!(cache.threads_reused() > 0);
+    }
+
+    #[test]
+    fn cache_limit_is_respected() {
+        let cache = ThreadCache::new(1);
+        let handles: Vec<_> = (0..4)
+            .map(|_| cache.run(|| std::thread::sleep(Duration::from_millis(10))))
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        // Give threads a moment to park or exit.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(cache.idle_threads() <= 1);
+    }
+
+    #[test]
+    fn panicking_job_reports_through_join() {
+        let cache = ThreadCache::new(2);
+        let handle = cache.run(|| panic!("handler body panicked"));
+        assert!(handle.join());
+        // The cache stays usable afterwards.
+        assert!(!cache.run(|| {}).join());
+    }
+
+    #[test]
+    fn is_finished_transitions() {
+        let cache = ThreadCache::new(2);
+        let handle = cache.run(|| std::thread::sleep(Duration::from_millis(30)));
+        assert!(!handle.is_finished());
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(handle.is_finished());
+        handle.join();
+    }
+
+    #[test]
+    fn retire_idle_empties_the_cache() {
+        let cache = ThreadCache::new(8);
+        for _ in 0..4 {
+            cache.run(|| {}).join();
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        cache.retire_idle();
+        assert_eq!(cache.idle_threads(), 0);
+    }
+
+    #[test]
+    fn many_concurrent_jobs_complete() {
+        let cache = ThreadCache::new(8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..64)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                cache.run(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+}

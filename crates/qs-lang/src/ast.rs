@@ -1,0 +1,445 @@
+//! The abstract syntax tree of the surface language.
+//!
+//! The language is deliberately small but covers everything the paper's
+//! programming model needs to be demonstrated end to end:
+//!
+//! * classes with attributes, asynchronous **commands** and synchronous
+//!   **queries** (optionally guarded by `require`/`ensure` contracts);
+//! * a `main` routine running on the root client thread;
+//! * `separate x, y do … end` blocks reserving one or several handlers;
+//! * `create x` spawning a new handler that owns a fresh object;
+//! * commands `x.f(args)` (asynchronous, the `call` rule) and queries
+//!   `x.f(args)` in expression position (synchronous, the `query` rule);
+//! * integers, booleans and integer arrays, `if`/`while`, `print`.
+
+use crate::error::Pos;
+
+/// A type annotation in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `INTEGER`
+    Integer,
+    /// `BOOLEAN`
+    Boolean,
+    /// `ARRAY` — a one-dimensional array of integers.
+    Array,
+    /// `separate C` — a reference to an object of class `C` on its own
+    /// handler.  In this language every class-typed variable is separate,
+    /// mirroring the paper's focus; the keyword is still required so that the
+    /// programs read like SCOOP.
+    SeparateClass(String),
+}
+
+impl TypeExpr {
+    /// Whether this type denotes a handler-owned object.
+    pub fn is_separate(&self) -> bool {
+        matches!(self, TypeExpr::SeparateClass(_))
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (integer division)
+    Div,
+    /// `mod`
+    Mod,
+    /// `=`
+    Eq,
+    /// `/=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Numeric negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Pos),
+    /// Boolean literal.
+    Bool(bool, Pos),
+    /// A variable: local, parameter or (inside a routine) an attribute.
+    Var(String, Pos),
+    /// The `Result` pseudo-variable inside a query body.
+    Result(Pos),
+    /// Array indexing `a[i]`.
+    Index {
+        /// The array-valued expression.
+        array: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+        /// Source position of the `[`.
+        pos: Pos,
+    },
+    /// `array(n)` — a fresh zero-filled integer array of length `n`.
+    NewArray {
+        /// Length expression.
+        len: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `length(a)` — the number of elements of an array expression.
+    Length {
+        /// The array expression.
+        array: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `random(n)` — a pseudo-random integer in `[0, n)`, seeded
+    /// deterministically per run (used by the randmat-style demos).
+    Random {
+        /// Upper bound expression.
+        bound: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// A synchronous **query call** on a separate object: `x.f(args)` in
+    /// expression position.  This is the paper's `query` rule.
+    QueryCall {
+        /// The separate variable the query targets.
+        target: String,
+        /// The routine name.
+        routine: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Source position of the call.
+        pos: Pos,
+        /// A unique identifier assigned by the parser; used to connect the
+        /// call site with the IR instruction the lowering produces for it so
+        /// the static sync-coalescing decision can be applied at this site.
+        site: usize,
+    },
+    /// A synchronous call to a routine of the *current* object, inside a
+    /// routine body (guarantee 1 of §2.2: non-separate calls are immediate).
+    LocalCall {
+        /// The routine name.
+        routine: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source position of the operator.
+        pos: Pos,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl Expr {
+    /// The source position of the expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Bool(_, p)
+            | Expr::Var(_, p)
+            | Expr::Result(p)
+            | Expr::Index { pos: p, .. }
+            | Expr::NewArray { pos: p, .. }
+            | Expr::Length { pos: p, .. }
+            | Expr::Random { pos: p, .. }
+            | Expr::QueryCall { pos: p, .. }
+            | Expr::LocalCall { pos: p, .. }
+            | Expr::Binary { pos: p, .. }
+            | Expr::Unary { pos: p, .. } => *p,
+        }
+    }
+}
+
+/// The target of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A plain variable (local, parameter, attribute or `Result`).
+    Var(String, Pos),
+    /// The `Result` pseudo-variable.
+    Result(Pos),
+    /// An element of an array-valued variable: `a[i] := …`.
+    Index {
+        /// The array variable name.
+        array: String,
+        /// The index expression.
+        index: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl LValue {
+    /// The source position of the assignment target.
+    pub fn pos(&self) -> Pos {
+        match self {
+            LValue::Var(_, p) | LValue::Result(p) | LValue::Index { pos: p, .. } => *p,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `lvalue := expr`
+    Assign {
+        /// Target.
+        target: LValue,
+        /// Value.
+        value: Expr,
+    },
+    /// `create x` — spawns a handler owning a fresh, default-initialised
+    /// object of the class of `x`.
+    Create {
+        /// The separate variable being created.
+        var: String,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `separate x, y do … end` — reserves the listed handlers for the block.
+    SeparateBlock {
+        /// The separate variables reserved by the block.
+        targets: Vec<String>,
+        /// The block body.
+        body: Vec<Stmt>,
+        /// Source position of the `separate` keyword.
+        pos: Pos,
+    },
+    /// An asynchronous **command call** on a separate object (the `call`
+    /// rule): `x.f(args)` in statement position.
+    CommandCall {
+        /// The separate variable the command targets.
+        target: String,
+        /// The routine name.
+        routine: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// A synchronous call to a command of the current object (routine bodies
+    /// only).
+    LocalCommand {
+        /// The routine name.
+        routine: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `if c then … elseif c2 then … else … end`
+    If {
+        /// The `(condition, branch)` arms in order; the first true condition
+        /// wins.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// The `else` branch (empty when absent).
+        otherwise: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `while c loop … end`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `print(expr)` or `print("text")`.
+    Print {
+        /// What to print.
+        value: PrintArg,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+/// Argument of a `print` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrintArg {
+    /// A string literal.
+    Text(String),
+    /// An expression whose value is printed.
+    Value(Expr),
+}
+
+/// A declared name with a type (parameter, local or attribute).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decl {
+    /// The declared name.
+    pub name: String,
+    /// Its type.
+    pub ty: TypeExpr,
+    /// Where it was declared.
+    pub pos: Pos,
+}
+
+/// Whether a routine is an asynchronous command or a synchronous query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutineKind {
+    /// A command: no result, called asynchronously on separate targets.
+    Command,
+    /// A query: has a result, called synchronously.
+    Query,
+}
+
+/// A routine (command or query) of a class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Routine {
+    /// Command or query.
+    pub kind: RoutineKind,
+    /// The routine name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Decl>,
+    /// Result type (queries only).
+    pub result: Option<TypeExpr>,
+    /// Local variable declarations.
+    pub locals: Vec<Decl>,
+    /// `require` precondition (checked/waited on before the body runs).
+    pub require: Option<Expr>,
+    /// `ensure` postcondition (asserted after the body runs).
+    pub ensure: Option<Expr>,
+    /// The body.
+    pub body: Vec<Stmt>,
+    /// Source position of the routine header.
+    pub pos: Pos,
+}
+
+/// A class declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecl {
+    /// The class name.
+    pub name: String,
+    /// Attribute declarations.
+    pub attributes: Vec<Decl>,
+    /// Routines.
+    pub routines: Vec<Routine>,
+    /// Source position of the `class` keyword.
+    pub pos: Pos,
+}
+
+/// The `main` routine: locals plus a body executed on the root client thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MainDecl {
+    /// Local variable declarations.
+    pub locals: Vec<Decl>,
+    /// The body.
+    pub body: Vec<Stmt>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A whole program: classes plus `main`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The class declarations, in source order.
+    pub classes: Vec<ClassDecl>,
+    /// The main routine.
+    pub main: MainDecl,
+}
+
+impl Program {
+    /// Looks up a class by name.
+    pub fn class(&self, name: &str) -> Option<&ClassDecl> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+}
+
+impl ClassDecl {
+    /// Looks up a routine by name.
+    pub fn routine(&self, name: &str) -> Option<&Routine> {
+        self.routines.iter().find(|r| r.name == name)
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attribute(&self, name: &str) -> Option<&Decl> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_expr_separateness() {
+        assert!(TypeExpr::SeparateClass("ACCOUNT".into()).is_separate());
+        assert!(!TypeExpr::Integer.is_separate());
+        assert!(!TypeExpr::Array.is_separate());
+    }
+
+    #[test]
+    fn expr_positions_are_reachable() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Int(1, Pos::new(1, 1))),
+            rhs: Box::new(Expr::Int(2, Pos::new(1, 5))),
+            pos: Pos::new(1, 3),
+        };
+        assert_eq!(e.pos(), Pos::new(1, 3));
+    }
+
+    #[test]
+    fn program_lookup_helpers() {
+        let class = ClassDecl {
+            name: "C".into(),
+            attributes: vec![Decl {
+                name: "n".into(),
+                ty: TypeExpr::Integer,
+                pos: Pos::default(),
+            }],
+            routines: vec![],
+            pos: Pos::default(),
+        };
+        let program = Program {
+            classes: vec![class],
+            main: MainDecl {
+                locals: vec![],
+                body: vec![],
+                pos: Pos::default(),
+            },
+        };
+        assert!(program.class("C").is_some());
+        assert!(program.class("D").is_none());
+        assert!(program.class("C").unwrap().attribute("n").is_some());
+        assert!(program.class("C").unwrap().routine("missing").is_none());
+    }
+}

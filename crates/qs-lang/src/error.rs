@@ -1,0 +1,124 @@
+//! Error types shared by every phase of the qs-lang pipeline.
+//!
+//! Each phase (lexing, parsing, semantic checking, execution) reports errors
+//! with a source position so that a failing program can be diagnosed without
+//! a debugger — the same discipline a production compiler front end follows.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a position.
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The phase of the pipeline an error originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenisation.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic analysis (name resolution, types, separateness).
+    Check,
+    /// Execution.
+    Run,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Check => "check",
+            Phase::Run => "runtime",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An error produced anywhere in the qs-lang pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// The phase that produced the error.
+    pub phase: Phase,
+    /// Position in the source, when known.
+    pub pos: Option<Pos>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl LangError {
+    /// Creates an error with a position.
+    pub fn at(phase: Phase, pos: Pos, message: impl Into<String>) -> Self {
+        LangError {
+            phase,
+            pos: Some(pos),
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error without a position (e.g. end of input).
+    pub fn general(phase: Phase, message: impl Into<String>) -> Self {
+        LangError {
+            phase,
+            pos: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(pos) => write!(f, "{} error at {}: {}", self.phase, pos, self.message),
+            None => write!(f, "{} error: {}", self.phase, self.message),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Result alias used across the crate.
+pub type LangResult<T> = Result<T, LangError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_with_and_without_position() {
+        let with = LangError::at(Phase::Parse, Pos::new(3, 7), "unexpected token");
+        assert_eq!(with.to_string(), "parse error at 3:7: unexpected token");
+        let without = LangError::general(Phase::Lex, "unterminated comment");
+        assert_eq!(without.to_string(), "lex error: unterminated comment");
+    }
+
+    #[test]
+    fn positions_order_lexicographically() {
+        assert!(Pos::new(1, 9) < Pos::new(2, 1));
+        assert!(Pos::new(2, 3) < Pos::new(2, 4));
+    }
+
+    #[test]
+    fn phases_display_names() {
+        assert_eq!(Phase::Check.to_string(), "check");
+        assert_eq!(Phase::Run.to_string(), "runtime");
+    }
+}

@@ -1,0 +1,141 @@
+//! # qs-lang — a miniature SCOOP surface language on top of the SCOOP/Qs runtime
+//!
+//! The paper's system is a compiler (Haskell, targeting LLVM) plus a runtime
+//! (C); the `qs-runtime` crate reproduces the runtime and `qs-compiler`
+//! reproduces the optimisation pass.  This crate closes the remaining gap by
+//! providing a *surface language* in the SCOOP style, so that whole programs —
+//! classes, handlers, separate blocks, asynchronous commands, synchronous
+//! queries, contracts — can be written as text, checked, lowered through the
+//! static sync-coalescing pass and executed on the real runtime:
+//!
+//! ```
+//! use qs_lang::{compile, run_compiled, QueryStrategy};
+//! use qs_runtime::Runtime;
+//!
+//! let program = compile(
+//!     "class COUNTER\n\
+//!        attribute count : INTEGER\n\
+//!        command bump(amount: INTEGER) do count := count + amount end\n\
+//!        query value : INTEGER do Result := count end\n\
+//!      end\n\
+//!      main local c : separate COUNTER local v : INTEGER do\n\
+//!        create c\n\
+//!        separate c do c.bump(3) c.bump(4) v := c.value() end\n\
+//!        print(v)\n\
+//!      end",
+//! ).unwrap();
+//!
+//! let runtime = Runtime::fully_optimized();
+//! let output = run_compiled(&program, &runtime, QueryStrategy::RuntimeManaged).unwrap();
+//! assert_eq!(output.printed, vec!["7"]);
+//! ```
+//!
+//! Pipeline: [`token`] → [`parser`] → [`sema`] → ([`lower`] for the static
+//! pass) → [`interp`].  The [`programs`] module ships ready-made programs used
+//! by the examples, benchmarks and integration tests.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod interp;
+pub mod lower;
+pub mod parser;
+pub mod programs;
+pub mod sema;
+pub mod token;
+pub mod value;
+
+pub use error::{LangError, LangResult, Phase, Pos};
+pub use interp::{run_program, QueryStrategy, RunOutput};
+pub use lower::{build_cfg, lower_main, LoweredMain, SyncPlan};
+pub use parser::{parse_expr, parse_program};
+pub use sema::{check_program, CheckedProgram, ClassInfo, RoutineSig, Type};
+pub use token::{lex, Token, TokenKind};
+pub use value::{ObjectState, SharedRng, Value};
+
+/// A fully front-end-processed program: checked and lowered.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The checked program (class tables, handler variables, query sites).
+    pub checked: CheckedProgram,
+    /// The lowered `main` with the static sync-coalescing results.
+    pub lowered: LoweredMain,
+}
+
+impl Compiled {
+    /// The query strategy derived from the static sync-coalescing pass.
+    pub fn static_strategy(&self) -> QueryStrategy {
+        QueryStrategy::StaticPlan(self.lowered.plan.clone())
+    }
+}
+
+/// Runs the whole front end on `source`: lex, parse, check, lower, optimise.
+pub fn compile(source: &str) -> LangResult<Compiled> {
+    let program = parse_program(source)?;
+    let checked = check_program(program)?;
+    let lowered = lower_main(&checked);
+    Ok(Compiled { checked, lowered })
+}
+
+/// Executes a compiled program on `runtime` with the chosen query strategy.
+pub fn run_compiled(
+    compiled: &Compiled,
+    runtime: &qs_runtime::Runtime,
+    strategy: QueryStrategy,
+) -> LangResult<RunOutput> {
+    run_program(&compiled.checked, runtime, strategy)
+}
+
+/// Convenience: compile and run `source` in one call.
+pub fn run_source(
+    source: &str,
+    runtime: &qs_runtime::Runtime,
+    strategy: QueryStrategy,
+) -> LangResult<RunOutput> {
+    let compiled = compile(source)?;
+    run_compiled(&compiled, runtime, strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_runtime::Runtime;
+
+    #[test]
+    fn compile_reports_errors_from_every_phase() {
+        assert_eq!(compile("main do x := # end").unwrap_err().phase, Phase::Lex);
+        assert_eq!(compile("main do x := end").unwrap_err().phase, Phase::Parse);
+        assert_eq!(compile("main do x := 1 end").unwrap_err().phase, Phase::Check);
+    }
+
+    #[test]
+    fn run_source_round_trips() {
+        let runtime = Runtime::fully_optimized();
+        let output = run_source(
+            "main local i : INTEGER do i := 2 + 3 print(i) end",
+            &runtime,
+            QueryStrategy::RuntimeManaged,
+        )
+        .unwrap();
+        assert_eq!(output.printed, vec!["5"]);
+    }
+
+    #[test]
+    fn static_strategy_matches_lowered_plan() {
+        let compiled = compile(
+            "class C attribute n : INTEGER \
+               command set(v: INTEGER) do n := v end \
+               query get : INTEGER do Result := n end \
+             end \
+             main local c : separate C local a : INTEGER local b : INTEGER do \
+               create c separate c do c.set(1) a := c.get() b := c.get() end end",
+        )
+        .unwrap();
+        let QueryStrategy::StaticPlan(plan) = compiled.static_strategy() else {
+            panic!("expected a static plan");
+        };
+        assert!(plan.needs_sync(0));
+        assert!(!plan.needs_sync(1));
+    }
+}

@@ -1,0 +1,473 @@
+//! Lowering of `main` to the `qs-compiler` mini-IR and extraction of a
+//! per-query-site synchronisation plan.
+//!
+//! The paper's static sync-coalescing pass (§3.4.2) runs over LLVM bitcode;
+//! here the same pass (implemented in `qs-compiler`) runs over a control-flow
+//! graph lowered from the surface program.  What the interpreter ultimately
+//! needs from the pass is one bit per query call site: *does this site still
+//! need a sync before executing the query on the client?*  Lowering therefore
+//! tags the `QueryRead` instruction of each site with its site id; after the
+//! pass runs, the [`SyncPlan`] records which sites kept their preceding sync.
+//!
+//! Two aspects of the lowering are SCOOP-specific:
+//!
+//! * A `separate` block boundary invalidates synchronisation: entering the
+//!   block enqueues a fresh private queue, leaving it enqueues the END
+//!   marker, and both are asynchronous operations on the reserved handlers.
+//!   They are lowered as `AsyncCall`s so the pass can never carry a sync-set
+//!   entry across block boundaries.
+//! * Distinct separate variables always denote distinct handlers in this
+//!   language (they can only be bound by `create`), so the alias model is
+//!   [`AliasModel::NoAlias`] — the favourable case of Fig. 15b.
+
+use qs_compiler::ir::{AliasModel, BlockId, Function, Instr};
+use qs_compiler::transform::{coalesce_syncs, CoalesceReport};
+
+use crate::ast::*;
+use crate::sema::CheckedProgram;
+
+/// For every query call site of `main`: `true` when the site must perform a
+/// sync before executing the query on the client, `false` when the static
+/// pass proved the handler is already synchronised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncPlan {
+    needs_sync: Vec<bool>,
+}
+
+impl SyncPlan {
+    /// A plan in which every site syncs (naive code generation).
+    pub fn naive(sites: usize) -> Self {
+        SyncPlan {
+            needs_sync: vec![true; sites],
+        }
+    }
+
+    /// Whether the given site still needs a sync.
+    pub fn needs_sync(&self, site: usize) -> bool {
+        self.needs_sync.get(site).copied().unwrap_or(true)
+    }
+
+    /// Number of sites whose sync was removed.
+    pub fn elided_sites(&self) -> usize {
+        self.needs_sync.iter().filter(|k| !**k).count()
+    }
+
+    /// Total number of sites covered by the plan.
+    pub fn sites(&self) -> usize {
+        self.needs_sync.len()
+    }
+}
+
+/// The result of lowering and optimising `main`.
+#[derive(Debug, Clone)]
+pub struct LoweredMain {
+    /// The naive-codegen control-flow graph (a sync before every query).
+    pub naive: Function,
+    /// The graph after the sync-coalescing pass.
+    pub coalesced: Function,
+    /// The pass report (sync counts, analysis iterations).
+    pub report: CoalesceReport,
+    /// The per-site synchronisation plan extracted from `coalesced`.
+    pub plan: SyncPlan,
+}
+
+/// Lowers `main` of a checked program and runs the static sync-coalescing
+/// pass over it.
+pub fn lower_main(checked: &CheckedProgram) -> LoweredMain {
+    let naive = build_cfg(checked);
+    let report = coalesce_syncs(&naive);
+    let coalesced = report.function.clone();
+    let plan = extract_plan(&coalesced, checked.query_sites);
+    LoweredMain {
+        naive,
+        coalesced,
+        report,
+        plan,
+    }
+}
+
+/// Builds the naive-codegen CFG for `main`.
+pub fn build_cfg(checked: &CheckedProgram) -> Function {
+    let mut lowerer = Lowerer::new(checked);
+    lowerer.stmts(&checked.program.main.body);
+    lowerer.finish()
+}
+
+/// Derives the per-site plan from a coalesced function: a site needs a sync
+/// exactly when the instruction immediately preceding its `QueryRead`
+/// (lowering always emits the pair adjacently) is still a `Sync` of the same
+/// handler.
+fn extract_plan(coalesced: &Function, sites: usize) -> SyncPlan {
+    let mut needs_sync = vec![false; sites];
+    for block in &coalesced.blocks {
+        let mut previous_sync: Option<usize> = None;
+        for instr in &block.instrs {
+            match instr {
+                Instr::Sync(h) => previous_sync = Some(*h),
+                Instr::QueryRead { handler, label } => {
+                    if let Some(site) = parse_site(label) {
+                        if site < sites {
+                            needs_sync[site] = previous_sync == Some(*handler);
+                        }
+                    }
+                    previous_sync = None;
+                }
+                _ => previous_sync = None,
+            }
+        }
+    }
+    SyncPlan { needs_sync }
+}
+
+fn site_label(site: usize) -> String {
+    format!("site:{site}")
+}
+
+fn parse_site(label: &str) -> Option<usize> {
+    label.strip_prefix("site:")?.parse().ok()
+}
+
+struct Lowerer<'a> {
+    checked: &'a CheckedProgram,
+    function: Function,
+    current: BlockId,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(checked: &'a CheckedProgram) -> Self {
+        let mut function = Function::new("main", AliasModel::NoAlias);
+        let entry = function.add_block(Vec::new(), Vec::new());
+        function.entry = entry;
+        Lowerer {
+            checked,
+            function,
+            current: entry,
+        }
+    }
+
+    fn finish(self) -> Function {
+        self.function
+    }
+
+    fn handler_var(&self, name: &str) -> usize {
+        self.checked.handler_vars[name]
+    }
+
+    fn emit(&mut self, instr: Instr) {
+        self.function.blocks[self.current].instrs.push(instr);
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.function.add_block(Vec::new(), Vec::new())
+    }
+
+    fn set_successors(&mut self, block: BlockId, successors: Vec<BlockId>) {
+        self.function.blocks[block].successors = successors;
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            self.stmt(stmt);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Assign { value, target } => {
+                if let LValue::Index { index, .. } = target {
+                    self.expr(index);
+                }
+                self.expr(value);
+            }
+            Stmt::Create { var, .. } => {
+                self.emit(Instr::Local(format!("create {var}")));
+            }
+            Stmt::SeparateBlock { targets, body, .. } => {
+                // Entering the block: enqueueing the private queue is an
+                // asynchronous operation; the handler is certainly not synced
+                // with this new block.
+                for target in targets {
+                    self.emit(Instr::AsyncCall {
+                        handler: self.handler_var(target),
+                        label: format!("enter separate {target}"),
+                    });
+                }
+                self.stmts(body);
+                // Leaving the block: the END marker is logged asynchronously
+                // and any later block must re-sync.
+                for target in targets {
+                    self.emit(Instr::AsyncCall {
+                        handler: self.handler_var(target),
+                        label: format!("leave separate {target}"),
+                    });
+                }
+            }
+            Stmt::CommandCall {
+                target,
+                routine,
+                args,
+                ..
+            } => {
+                for arg in args {
+                    self.expr(arg);
+                }
+                self.emit(Instr::AsyncCall {
+                    handler: self.handler_var(target),
+                    label: format!("{target}.{routine}"),
+                });
+            }
+            Stmt::LocalCommand { routine, args, .. } => {
+                for arg in args {
+                    self.expr(arg);
+                }
+                self.emit(Instr::Local(format!("{routine}(…)")));
+            }
+            Stmt::If { arms, otherwise, .. } => {
+                let join = self.new_block();
+                let mut branch_entries = Vec::new();
+                // Chain of condition blocks; the first one is the current
+                // block, each subsequent `elseif` gets its own block.
+                for (index, (cond, branch)) in arms.iter().enumerate() {
+                    self.expr(cond);
+                    let branch_block = self.new_block();
+                    branch_entries.push(branch_block);
+                    let next_cond_block = if index + 1 < arms.len() {
+                        self.new_block()
+                    } else if !otherwise.is_empty() {
+                        self.new_block()
+                    } else {
+                        join
+                    };
+                    self.set_successors(self.current, vec![branch_block, next_cond_block]);
+                    // Lower the branch body.
+                    self.current = branch_block;
+                    self.stmts(branch);
+                    self.set_successors(self.current, vec![join]);
+                    // Continue with the next condition (or the else block).
+                    self.current = next_cond_block;
+                }
+                if !otherwise.is_empty() {
+                    self.stmts(otherwise);
+                    self.set_successors(self.current, vec![join]);
+                    self.current = join;
+                } else {
+                    // `self.current` is already `join` when there is no else.
+                    self.current = join;
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                let header = self.new_block();
+                let body_block = self.new_block();
+                let exit = self.new_block();
+                self.set_successors(self.current, vec![header]);
+                self.current = header;
+                self.expr(cond);
+                self.set_successors(header, vec![body_block, exit]);
+                self.current = body_block;
+                self.stmts(body);
+                self.set_successors(self.current, vec![header]);
+                self.current = exit;
+            }
+            Stmt::Print { value, .. } => {
+                if let PrintArg::Value(expr) = value {
+                    self.expr(expr);
+                }
+                self.emit(Instr::Local("print".to_string()));
+            }
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Int(..) | Expr::Bool(..) | Expr::Var(..) | Expr::Result(..) => {}
+            Expr::Index { array, index, .. } => {
+                self.expr(array);
+                self.expr(index);
+            }
+            Expr::NewArray { len, .. } => self.expr(len),
+            Expr::Length { array, .. } => self.expr(array),
+            Expr::Random { bound, .. } => self.expr(bound),
+            Expr::QueryCall {
+                target, args, site, ..
+            } => {
+                for arg in args {
+                    self.expr(arg);
+                }
+                let handler = self.handler_var(target);
+                // Naive code generation: a sync in front of every query read.
+                self.emit(Instr::Sync(handler));
+                self.emit(Instr::QueryRead {
+                    handler,
+                    label: site_label(*site),
+                });
+            }
+            Expr::LocalCall { args, .. } => {
+                for arg in args {
+                    self.expr(arg);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::Unary { expr, .. } => self.expr(expr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::sema::check_program;
+
+    fn lower(source: &str) -> LoweredMain {
+        lower_main(&check_program(parse_program(source).unwrap()).unwrap())
+    }
+
+    const ARRAY_CLASS: &str = "class STORE\n\
+        attribute data : ARRAY\n\
+        command fill(n: INTEGER) local i : INTEGER do \
+          data := array(n) i := 0 \
+          while i < n loop data[i] := i i := i + 1 end \
+        end\n\
+        query item(i: INTEGER) : INTEGER do Result := data[i] end\n\
+        query size : INTEGER do Result := length(data) end\n\
+      end\n";
+
+    #[test]
+    fn straight_line_queries_keep_only_the_first_sync() {
+        let lowered = lower(&format!(
+            "{ARRAY_CLASS}\
+             main local s : separate STORE local a : INTEGER local b : INTEGER do \
+               create s separate s do s.fill(4) a := s.item(0) b := s.item(1) end end"
+        ));
+        // Naive codegen: one sync per query site.
+        assert_eq!(lowered.naive.count_syncs(), 2);
+        // The command `fill` invalidates, so the first query keeps its sync;
+        // the second is covered by the first.
+        assert_eq!(lowered.coalesced.count_syncs(), 1);
+        assert!(lowered.plan.needs_sync(0));
+        assert!(!lowered.plan.needs_sync(1));
+        assert_eq!(lowered.plan.elided_sites(), 1);
+    }
+
+    #[test]
+    fn fig14_shaped_loop_drops_the_loop_body_sync() {
+        // A read before the loop dominates the reads inside the loop, which
+        // is exactly the Fig. 14 situation.
+        let lowered = lower(&format!(
+            "{ARRAY_CLASS}\
+             main local s : separate STORE local x : ARRAY local i : INTEGER local n : INTEGER do \
+               create s \
+               separate s do \
+                 s.fill(64) \
+                 n := s.size() \
+                 x := array(n) \
+                 i := 0 \
+                 while i < n loop x[i] := s.item(i) i := i + 1 end \
+               end \
+             end"
+        ));
+        assert_eq!(lowered.naive.count_syncs(), 2);
+        assert_eq!(lowered.coalesced.count_syncs(), 1, "loop body sync removed");
+        // Site 0 is `s.size()` (keeps its sync: `fill` just invalidated);
+        // site 1 is `s.item(i)` inside the loop (covered on every path).
+        assert!(lowered.plan.needs_sync(0));
+        assert!(!lowered.plan.needs_sync(1));
+    }
+
+    #[test]
+    fn commands_between_queries_force_resync() {
+        let lowered = lower(&format!(
+            "{ARRAY_CLASS}\
+             main local s : separate STORE local a : INTEGER do \
+               create s separate s do \
+                 a := s.size() \
+                 s.fill(8) \
+                 a := s.size() \
+               end end"
+        ));
+        assert_eq!(lowered.coalesced.count_syncs(), 2, "the async fill invalidates");
+        assert!(lowered.plan.needs_sync(0));
+        assert!(lowered.plan.needs_sync(1));
+    }
+
+    #[test]
+    fn separate_block_boundaries_invalidate_sync() {
+        let lowered = lower(&format!(
+            "{ARRAY_CLASS}\
+             main local s : separate STORE local a : INTEGER do \
+               create s \
+               separate s do a := s.size() end \
+               separate s do a := s.size() end \
+             end"
+        ));
+        // Both blocks must keep their sync: the reservation is new each time.
+        assert_eq!(lowered.coalesced.count_syncs(), 2);
+        assert!(lowered.plan.needs_sync(0));
+        assert!(lowered.plan.needs_sync(1));
+    }
+
+    #[test]
+    fn if_branches_intersect_sync_sets() {
+        let lowered = lower(&format!(
+            "{ARRAY_CLASS}\
+             main local s : separate STORE local a : INTEGER local b : INTEGER do \
+               create s separate s do \
+                 a := s.size() \
+                 if a > 0 then b := s.item(0) else s.fill(2) end \
+                 b := s.size() \
+               end end"
+        ));
+        // Site 0 (`s.size()` before the if) syncs.  Site 1 (`s.item(0)` in the
+        // then-branch) is covered by site 0.  Site 2 (`s.size()` after the if)
+        // must re-sync because the else-branch issued an asynchronous call.
+        assert!(lowered.plan.needs_sync(0));
+        assert!(!lowered.plan.needs_sync(1));
+        assert!(lowered.plan.needs_sync(2));
+    }
+
+    #[test]
+    fn two_handlers_do_not_interfere_without_aliasing() {
+        let lowered = lower(&format!(
+            "{ARRAY_CLASS}\
+             main local s : separate STORE local t : separate STORE \
+                  local a : INTEGER local b : INTEGER do \
+               create s create t \
+               separate s, t do \
+                 a := s.size() \
+                 t.fill(4) \
+                 b := s.size() \
+               end end"
+        ));
+        // The async call goes to `t`; under NoAlias it does not invalidate `s`.
+        assert!(lowered.plan.needs_sync(0));
+        assert!(!lowered.plan.needs_sync(1));
+    }
+
+    #[test]
+    fn naive_plan_syncs_everywhere() {
+        let plan = SyncPlan::naive(3);
+        assert!(plan.needs_sync(0) && plan.needs_sync(1) && plan.needs_sync(2));
+        assert_eq!(plan.elided_sites(), 0);
+        assert_eq!(plan.sites(), 3);
+        // Out-of-range sites conservatively sync.
+        assert!(plan.needs_sync(99));
+    }
+
+    #[test]
+    fn lowering_records_pass_statistics() {
+        let lowered = lower(&format!(
+            "{ARRAY_CLASS}\
+             main local s : separate STORE local a : INTEGER local i : INTEGER do \
+               create s separate s do \
+                 s.fill(16) a := s.size() i := 0 \
+                 while i < a loop i := i + s.item(i) end \
+               end end"
+        ));
+        assert_eq!(lowered.report.syncs_before, lowered.naive.count_syncs());
+        assert_eq!(lowered.report.syncs_after, lowered.coalesced.count_syncs());
+        assert!(lowered.report.analysis_iterations >= 1);
+    }
+}

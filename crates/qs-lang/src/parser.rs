@@ -1,0 +1,848 @@
+//! Recursive-descent parser producing the [`crate::ast`] representation.
+//!
+//! The grammar is LL(2): one token of lookahead decides almost everything,
+//! and the distinction between `x := …`, `x.f(…)`, `x[i] := …` and `f(…)` at
+//! statement level needs a peek at the second token.
+
+use crate::ast::*;
+use crate::error::{LangError, LangResult, Phase, Pos};
+use crate::token::{lex, Token, TokenKind};
+
+/// Parses a complete program from source text.
+pub fn parse_program(source: &str) -> LangResult<Program> {
+    let tokens = lex(source)?;
+    Parser::new(tokens).program()
+}
+
+/// Parses a single expression (used by tests and the REPL-style helpers).
+pub fn parse_expr(source: &str) -> LangResult<Expr> {
+    let tokens = lex(source)?;
+    let mut parser = Parser::new(tokens);
+    let expr = parser.expr()?;
+    parser.expect(TokenKind::Eof)?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    index: usize,
+    next_site: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            index: 0,
+            next_site: 0,
+        }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.index.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.index + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn pos(&self) -> Pos {
+        self.peek().pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let token = self.peek().clone();
+        if self.index < self.tokens.len() - 1 {
+            self.index += 1;
+        }
+        token
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> LangResult<Token> {
+        if self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(&format!("expected {}", kind.describe())))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> LangResult<(String, Pos)> {
+        let token = self.peek().clone();
+        match token.kind {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok((name, token.pos))
+            }
+            _ => Err(self.unexpected(&format!("expected {what}"))),
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> LangError {
+        LangError::at(
+            Phase::Parse,
+            self.pos(),
+            format!("{expected}, found {}", self.peek().kind.describe()),
+        )
+    }
+
+    fn fresh_site(&mut self) -> usize {
+        let site = self.next_site;
+        self.next_site += 1;
+        site
+    }
+
+    // ---- declarations -----------------------------------------------------
+
+    fn program(&mut self) -> LangResult<Program> {
+        let mut classes = Vec::new();
+        while self.peek().kind == TokenKind::Class {
+            classes.push(self.class_decl()?);
+        }
+        if self.peek().kind != TokenKind::Main {
+            return Err(self.unexpected("expected `class` or `main`"));
+        }
+        let main = self.main_decl()?;
+        self.expect(TokenKind::Eof)?;
+        Ok(Program { classes, main })
+    }
+
+    fn class_decl(&mut self) -> LangResult<ClassDecl> {
+        let pos = self.pos();
+        self.expect(TokenKind::Class)?;
+        let (name, _) = self.expect_ident("a class name")?;
+        let mut attributes = Vec::new();
+        let mut routines = Vec::new();
+        loop {
+            match self.peek().kind {
+                TokenKind::Attribute => {
+                    self.bump();
+                    let (attr_name, attr_pos) = self.expect_ident("an attribute name")?;
+                    self.expect(TokenKind::Colon)?;
+                    let ty = self.type_expr()?;
+                    attributes.push(Decl {
+                        name: attr_name,
+                        ty,
+                        pos: attr_pos,
+                    });
+                }
+                TokenKind::Command => routines.push(self.routine(RoutineKind::Command)?),
+                TokenKind::Query => routines.push(self.routine(RoutineKind::Query)?),
+                TokenKind::End => {
+                    self.bump();
+                    break;
+                }
+                _ => return Err(self.unexpected("expected `attribute`, `command`, `query` or `end`")),
+            }
+        }
+        Ok(ClassDecl {
+            name,
+            attributes,
+            routines,
+            pos,
+        })
+    }
+
+    fn routine(&mut self, kind: RoutineKind) -> LangResult<Routine> {
+        let pos = self.pos();
+        self.bump(); // `command` or `query`
+        let (name, _) = self.expect_ident("a routine name")?;
+        let params = if self.peek().kind == TokenKind::LParen {
+            self.param_list()?
+        } else {
+            Vec::new()
+        };
+        let result = if self.eat(&TokenKind::Colon) {
+            Some(self.type_expr()?)
+        } else {
+            None
+        };
+        if kind == RoutineKind::Query && result.is_none() {
+            return Err(LangError::at(
+                Phase::Parse,
+                pos,
+                format!("query `{name}` must declare a result type"),
+            ));
+        }
+        if kind == RoutineKind::Command && result.is_some() {
+            return Err(LangError::at(
+                Phase::Parse,
+                pos,
+                format!("command `{name}` must not declare a result type"),
+            ));
+        }
+        let locals = self.local_decls()?;
+        let require = if self.eat(&TokenKind::Require) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::Do)?;
+        let body = self.stmts(&[TokenKind::End, TokenKind::Ensure])?;
+        let ensure = if self.eat(&TokenKind::Ensure) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::End)?;
+        Ok(Routine {
+            kind,
+            name,
+            params,
+            result,
+            locals,
+            require,
+            ensure,
+            body,
+            pos,
+        })
+    }
+
+    fn param_list(&mut self) -> LangResult<Vec<Decl>> {
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                let (name, pos) = self.expect_ident("a parameter name")?;
+                self.expect(TokenKind::Colon)?;
+                let ty = self.type_expr()?;
+                params.push(Decl { name, ty, pos });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(params)
+    }
+
+    fn local_decls(&mut self) -> LangResult<Vec<Decl>> {
+        let mut locals = Vec::new();
+        while self.eat(&TokenKind::Local) {
+            loop {
+                let (name, pos) = self.expect_ident("a local variable name")?;
+                self.expect(TokenKind::Colon)?;
+                let ty = self.type_expr()?;
+                locals.push(Decl { name, ty, pos });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(locals)
+    }
+
+    fn main_decl(&mut self) -> LangResult<MainDecl> {
+        let pos = self.pos();
+        self.expect(TokenKind::Main)?;
+        let locals = self.local_decls()?;
+        self.expect(TokenKind::Do)?;
+        let body = self.stmts(&[TokenKind::End])?;
+        self.expect(TokenKind::End)?;
+        Ok(MainDecl { locals, body, pos })
+    }
+
+    fn type_expr(&mut self) -> LangResult<TypeExpr> {
+        if self.eat(&TokenKind::Separate) {
+            let (class, _) = self.expect_ident("a class name after `separate`")?;
+            return Ok(TypeExpr::SeparateClass(class));
+        }
+        let (name, pos) = self.expect_ident("a type name")?;
+        match name.as_str() {
+            "INTEGER" => Ok(TypeExpr::Integer),
+            "BOOLEAN" => Ok(TypeExpr::Boolean),
+            "ARRAY" => Ok(TypeExpr::Array),
+            other => Err(LangError::at(
+                Phase::Parse,
+                pos,
+                format!("unknown type `{other}`; class types must be written `separate {other}`"),
+            )),
+        }
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    /// Parses statements until one of `terminators` (not consumed).
+    fn stmts(&mut self, terminators: &[TokenKind]) -> LangResult<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        loop {
+            while self.eat(&TokenKind::Semicolon) {}
+            if terminators.contains(&self.peek().kind) || self.peek().kind == TokenKind::Eof {
+                return Ok(stmts);
+            }
+            stmts.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> LangResult<Stmt> {
+        let pos = self.pos();
+        match self.peek().kind.clone() {
+            TokenKind::Create => {
+                self.bump();
+                let (var, _) = self.expect_ident("a variable name after `create`")?;
+                Ok(Stmt::Create { var, pos })
+            }
+            TokenKind::Separate => {
+                self.bump();
+                let mut targets = Vec::new();
+                let (first, _) = self.expect_ident("a separate variable name")?;
+                targets.push(first);
+                while self.eat(&TokenKind::Comma) {
+                    let (next, _) = self.expect_ident("a separate variable name")?;
+                    targets.push(next);
+                }
+                self.expect(TokenKind::Do)?;
+                let body = self.stmts(&[TokenKind::End])?;
+                self.expect(TokenKind::End)?;
+                Ok(Stmt::SeparateBlock { targets, body, pos })
+            }
+            TokenKind::If => {
+                self.bump();
+                let mut arms = Vec::new();
+                let cond = self.expr()?;
+                self.expect(TokenKind::Then)?;
+                let branch = self.stmts(&[TokenKind::Elseif, TokenKind::Else, TokenKind::End])?;
+                arms.push((cond, branch));
+                while self.eat(&TokenKind::Elseif) {
+                    let cond = self.expr()?;
+                    self.expect(TokenKind::Then)?;
+                    let branch =
+                        self.stmts(&[TokenKind::Elseif, TokenKind::Else, TokenKind::End])?;
+                    arms.push((cond, branch));
+                }
+                let otherwise = if self.eat(&TokenKind::Else) {
+                    self.stmts(&[TokenKind::End])?
+                } else {
+                    Vec::new()
+                };
+                self.expect(TokenKind::End)?;
+                Ok(Stmt::If {
+                    arms,
+                    otherwise,
+                    pos,
+                })
+            }
+            TokenKind::While => {
+                self.bump();
+                let cond = self.expr()?;
+                self.expect(TokenKind::Loop)?;
+                let body = self.stmts(&[TokenKind::End])?;
+                self.expect(TokenKind::End)?;
+                Ok(Stmt::While { cond, body, pos })
+            }
+            TokenKind::Print => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let value = if let TokenKind::Str(text) = self.peek().kind.clone() {
+                    self.bump();
+                    PrintArg::Text(text)
+                } else {
+                    PrintArg::Value(self.expr()?)
+                };
+                self.expect(TokenKind::RParen)?;
+                Ok(Stmt::Print { value, pos })
+            }
+            TokenKind::ResultKw => {
+                self.bump();
+                self.expect(TokenKind::Assign)?;
+                let value = self.expr()?;
+                Ok(Stmt::Assign {
+                    target: LValue::Result(pos),
+                    value,
+                })
+            }
+            TokenKind::Ident(name) => self.ident_stmt(name, pos),
+            _ => Err(self.unexpected("expected a statement")),
+        }
+    }
+
+    /// Statements beginning with an identifier: assignment, indexed
+    /// assignment, command call on a separate target, or local command call.
+    fn ident_stmt(&mut self, name: String, pos: Pos) -> LangResult<Stmt> {
+        match self.peek2().kind.clone() {
+            TokenKind::Assign => {
+                self.bump(); // ident
+                self.bump(); // :=
+                let value = self.expr()?;
+                Ok(Stmt::Assign {
+                    target: LValue::Var(name, pos),
+                    value,
+                })
+            }
+            TokenKind::LBracket => {
+                self.bump(); // ident
+                self.bump(); // [
+                let index = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                self.expect(TokenKind::Assign)?;
+                let value = self.expr()?;
+                Ok(Stmt::Assign {
+                    target: LValue::Index {
+                        array: name,
+                        index,
+                        pos,
+                    },
+                    value,
+                })
+            }
+            TokenKind::Dot => {
+                self.bump(); // ident
+                self.bump(); // .
+                let (routine, _) = self.expect_ident("a routine name")?;
+                let args = self.arg_list()?;
+                Ok(Stmt::CommandCall {
+                    target: name,
+                    routine,
+                    args,
+                    pos,
+                })
+            }
+            TokenKind::LParen => {
+                self.bump(); // ident
+                let args = self.arg_list()?;
+                Ok(Stmt::LocalCommand {
+                    routine: name,
+                    args,
+                    pos,
+                })
+            }
+            _ => {
+                // Consume the identifier so the error points at the confusing
+                // token after it.
+                self.bump();
+                Err(self.unexpected("expected `:=`, `[`, `.` or `(` after identifier"))
+            }
+        }
+    }
+
+    fn arg_list(&mut self) -> LangResult<Vec<Expr>> {
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> LangResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.peek().kind == TokenKind::Or {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek().kind == TokenKind::And {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> LangResult<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Neq => BinOp::Neq,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let pos = self.pos();
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            pos,
+        })
+    }
+
+    fn add_expr(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+    }
+
+    fn mul_expr(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Mod => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+    }
+
+    fn unary_expr(&mut self) -> LangResult<Expr> {
+        let pos = self.pos();
+        if self.eat(&TokenKind::Minus) {
+            let expr = self.unary_expr()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(expr),
+                pos,
+            });
+        }
+        if self.eat(&TokenKind::Not) {
+            let expr = self.unary_expr()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(expr),
+                pos,
+            });
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> LangResult<Expr> {
+        let mut expr = self.primary_expr()?;
+        while self.peek().kind == TokenKind::LBracket {
+            let pos = self.pos();
+            self.bump();
+            let index = self.expr()?;
+            self.expect(TokenKind::RBracket)?;
+            expr = Expr::Index {
+                array: Box::new(expr),
+                index: Box::new(index),
+                pos,
+            };
+        }
+        Ok(expr)
+    }
+
+    fn primary_expr(&mut self) -> LangResult<Expr> {
+        let pos = self.pos();
+        match self.peek().kind.clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n, pos))
+            }
+            TokenKind::Bool(b) => {
+                self.bump();
+                Ok(Expr::Bool(b, pos))
+            }
+            TokenKind::ResultKw => {
+                self.bump();
+                Ok(Expr::Result(pos))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let expr = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(expr)
+            }
+            TokenKind::Ident(name) => self.ident_expr(name, pos),
+            _ => Err(self.unexpected("expected an expression")),
+        }
+    }
+
+    fn ident_expr(&mut self, name: String, pos: Pos) -> LangResult<Expr> {
+        match self.peek2().kind.clone() {
+            TokenKind::Dot => {
+                self.bump(); // ident
+                self.bump(); // .
+                let (routine, _) = self.expect_ident("a routine name")?;
+                let args = self.arg_list()?;
+                let site = self.fresh_site();
+                Ok(Expr::QueryCall {
+                    target: name,
+                    routine,
+                    args,
+                    pos,
+                    site,
+                })
+            }
+            TokenKind::LParen => {
+                self.bump(); // ident
+                let args = self.arg_list()?;
+                match name.as_str() {
+                    "array" => {
+                        let len = Self::single_arg(args, pos, "array")?;
+                        Ok(Expr::NewArray {
+                            len: Box::new(len),
+                            pos,
+                        })
+                    }
+                    "length" => {
+                        let arr = Self::single_arg(args, pos, "length")?;
+                        Ok(Expr::Length {
+                            array: Box::new(arr),
+                            pos,
+                        })
+                    }
+                    "random" => {
+                        let bound = Self::single_arg(args, pos, "random")?;
+                        Ok(Expr::Random {
+                            bound: Box::new(bound),
+                            pos,
+                        })
+                    }
+                    _ => Ok(Expr::LocalCall {
+                        routine: name,
+                        args,
+                        pos,
+                    }),
+                }
+            }
+            _ => {
+                self.bump();
+                Ok(Expr::Var(name, pos))
+            }
+        }
+    }
+
+    fn single_arg(mut args: Vec<Expr>, pos: Pos, builtin: &str) -> LangResult<Expr> {
+        if args.len() != 1 {
+            return Err(LangError::at(
+                Phase::Parse,
+                pos,
+                format!("builtin `{builtin}` takes exactly one argument, got {}", args.len()),
+            ));
+        }
+        Ok(args.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_program() {
+        let program = parse_program(
+            "class COUNTER\n\
+               attribute count : INTEGER\n\
+               command bump(amount: INTEGER) do count := count + amount end\n\
+               query value : INTEGER do Result := count end\n\
+             end\n\
+             main\n\
+               local c : separate COUNTER\n\
+               local v : INTEGER\n\
+             do\n\
+               create c\n\
+               separate c do\n\
+                 c.bump(3);\n\
+                 v := c.value()\n\
+               end;\n\
+               print(v)\n\
+             end",
+        )
+        .unwrap();
+        assert_eq!(program.classes.len(), 1);
+        let class = &program.classes[0];
+        assert_eq!(class.name, "COUNTER");
+        assert_eq!(class.attributes.len(), 1);
+        assert_eq!(class.routines.len(), 2);
+        assert_eq!(program.main.locals.len(), 2);
+        assert_eq!(program.main.body.len(), 3);
+        match &program.main.body[1] {
+            Stmt::SeparateBlock { targets, body, .. } => {
+                assert_eq!(targets, &vec!["c".to_string()]);
+                assert_eq!(body.len(), 2);
+                assert!(matches!(body[0], Stmt::CommandCall { .. }));
+            }
+            other => panic!("expected separate block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence_is_standard() {
+        let expr = parse_expr("1 + 2 * 3").unwrap();
+        match expr {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        let cmp = parse_expr("1 + 1 = 2 and true").unwrap();
+        assert!(matches!(cmp, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn query_calls_get_distinct_sites() {
+        let program = parse_program(
+            "main local x : separate C local a : INTEGER do \
+               create x separate x do a := x.f() + x.g() end end",
+        )
+        .unwrap();
+        let Stmt::SeparateBlock { body, .. } = &program.main.body[1] else {
+            panic!("expected separate block");
+        };
+        let Stmt::Assign { value, .. } = &body[0] else {
+            panic!("expected assignment");
+        };
+        let Expr::Binary { lhs, rhs, .. } = value else {
+            panic!("expected binary expr");
+        };
+        let (Expr::QueryCall { site: s1, .. }, Expr::QueryCall { site: s2, .. }) =
+            (lhs.as_ref(), rhs.as_ref())
+        else {
+            panic!("expected two query calls");
+        };
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn builtins_are_recognised() {
+        assert!(matches!(parse_expr("array(10)").unwrap(), Expr::NewArray { .. }));
+        assert!(matches!(parse_expr("length(a)").unwrap(), Expr::Length { .. }));
+        assert!(matches!(parse_expr("random(6)").unwrap(), Expr::Random { .. }));
+        assert!(matches!(parse_expr("helper(1, 2)").unwrap(), Expr::LocalCall { .. }));
+    }
+
+    #[test]
+    fn indexed_assignment_and_reads() {
+        let program = parse_program(
+            "main local a : ARRAY local i : INTEGER do a := array(4) a[0] := 7 i := a[0] end",
+        )
+        .unwrap();
+        assert!(matches!(
+            program.main.body[1],
+            Stmt::Assign {
+                target: LValue::Index { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn if_elseif_else_and_while() {
+        let program = parse_program(
+            "main local i : INTEGER do \
+               while i < 10 loop \
+                 if i mod 2 = 0 then i := i + 2 elseif i > 5 then i := i + 1 else i := i + 3 end \
+               end \
+             end",
+        )
+        .unwrap();
+        let Stmt::While { body, .. } = &program.main.body[0] else {
+            panic!("expected while");
+        };
+        let Stmt::If { arms, otherwise, .. } = &body[0] else {
+            panic!("expected if");
+        };
+        assert_eq!(arms.len(), 2);
+        assert_eq!(otherwise.len(), 1);
+    }
+
+    #[test]
+    fn contracts_parse_on_routines() {
+        let program = parse_program(
+            "class BUF\n\
+               attribute n : INTEGER\n\
+               command put(v: INTEGER) require n < 10 do n := n + 1 ensure n > 0 end\n\
+               query size : INTEGER do Result := n end\n\
+             end\n\
+             main do end",
+        )
+        .unwrap();
+        let routine = program.classes[0].routine("put").unwrap();
+        assert!(routine.require.is_some());
+        assert!(routine.ensure.is_some());
+    }
+
+    #[test]
+    fn query_without_result_type_is_rejected() {
+        let err = parse_program("class C query f do Result := 1 end end main do end").unwrap_err();
+        assert!(err.message.contains("result type"));
+    }
+
+    #[test]
+    fn command_with_result_type_is_rejected() {
+        let err =
+            parse_program("class C command f : INTEGER do end end main do end").unwrap_err();
+        assert!(err.message.contains("must not declare"));
+    }
+
+    #[test]
+    fn unknown_bare_class_type_is_rejected() {
+        let err = parse_program("main local x : ACCOUNT do end").unwrap_err();
+        assert!(err.message.contains("separate ACCOUNT"));
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_program("main do x + end").unwrap_err();
+        assert_eq!(err.phase, Phase::Parse);
+        assert!(err.pos.is_some());
+    }
+
+    #[test]
+    fn multi_target_separate_block() {
+        let program = parse_program(
+            "main local x : separate C local y : separate C do \
+               create x create y separate x, y do x.f(1) y.f(2) end end",
+        )
+        .unwrap();
+        let Stmt::SeparateBlock { targets, .. } = &program.main.body[2] else {
+            panic!("expected separate block");
+        };
+        assert_eq!(targets.len(), 2);
+    }
+}

@@ -1,0 +1,259 @@
+//! Ready-made programs used by the examples, benchmarks and tests.
+//!
+//! Each program exercises a different part of the execution model: plain
+//! asynchronous commands, query-heavy copy loops (the Fig. 14 shape the
+//! static pass targets), multi-handler reservations (Fig. 5) and contracts.
+
+/// A minimal counter program: asynchronous bumps followed by one query.
+pub const COUNTER: &str = "\
+class COUNTER
+  attribute count : INTEGER
+  command bump(amount: INTEGER) do count := count + amount end
+  command reset do count := 0 end
+  query value : INTEGER do Result := count end
+end
+
+main
+  local c : separate COUNTER
+  local v : INTEGER
+  local i : INTEGER
+do
+  create c
+  separate c do
+    i := 0
+    while i < 100 loop c.bump(i) i := i + 1 end
+    v := c.value()
+  end
+  print(v)
+end
+";
+
+/// Expected `print` output of [`COUNTER`].
+pub fn counter_expected() -> Vec<String> {
+    vec![(0..100).sum::<i64>().to_string()]
+}
+
+/// A bank-transfer program with a two-handler separate block: the invariant
+/// (conservation of the total balance) is only observable consistently
+/// because both accounts are reserved together (Fig. 5 of the paper).
+pub const BANK_TRANSFER: &str = "\
+class ACCOUNT
+  attribute balance : INTEGER
+  command open(amount: INTEGER) require amount >= 0 do balance := amount end
+  command deposit(amount: INTEGER) require amount > 0 do balance := balance + amount end
+  command withdraw(amount: INTEGER) require amount > 0 do balance := balance - amount end
+  query value : INTEGER do Result := balance end
+end
+
+main
+  local a : separate ACCOUNT
+  local b : separate ACCOUNT
+  local total : INTEGER
+  local i : INTEGER
+do
+  create a
+  create b
+  separate a, b do
+    a.open(900)
+    b.open(100)
+    i := 0
+    while i < 10 loop
+      a.withdraw(10)
+      b.deposit(10)
+      i := i + 1
+    end
+    total := a.value() + b.value()
+  end
+  print(total)
+  print(\"transfers done\")
+end
+";
+
+/// Expected `print` output of [`BANK_TRANSFER`].
+pub fn bank_transfer_expected() -> Vec<String> {
+    vec!["1000".to_string(), "transfers done".to_string()]
+}
+
+/// The Fig. 14 copy loop: a client pulls `n` elements out of a handler-owned
+/// array with one query per element.  Under naive code generation every read
+/// pays a sync round-trip; the static pass (or dynamic coalescing) removes
+/// all but the first.
+pub fn copy_loop(n: usize) -> String {
+    format!(
+        "\
+class STORE
+  attribute data : ARRAY
+  command fill(n: INTEGER) local i : INTEGER do
+    data := array(n)
+    i := 0
+    while i < n loop data[i] := i * 3 i := i + 1 end
+  end
+  query item(i: INTEGER) : INTEGER do Result := data[i] end
+  query size : INTEGER do Result := length(data) end
+end
+
+main
+  local s : separate STORE
+  local x : ARRAY
+  local i : INTEGER
+  local n : INTEGER
+  local checksum : INTEGER
+do
+  create s
+  separate s do
+    s.fill({n})
+    n := s.size()
+    x := array(n)
+    i := 0
+    while i < n loop
+      x[i] := s.item(i)
+      i := i + 1
+    end
+  end
+  i := 0
+  while i < n loop checksum := checksum + x[i] i := i + 1 end
+  print(checksum)
+end
+"
+    )
+}
+
+/// Expected `print` output of [`copy_loop`]`(n)`.
+pub fn copy_loop_expected(n: usize) -> Vec<String> {
+    vec![(0..n as i64).map(|i| i * 3).sum::<i64>().to_string()]
+}
+
+/// A pipeline of two workers: a producer handler fills a buffer, a consumer
+/// handler folds it; the client moves data between them (the SCOOP "pull"
+/// idiom of §3.4).
+pub const TWO_STAGE_PIPELINE: &str = "\
+class SOURCE
+  attribute items : ARRAY
+  command generate(n: INTEGER) local i : INTEGER do
+    items := array(n)
+    i := 0
+    while i < n loop items[i] := i + 1 i := i + 1 end
+  end
+  query item(i: INTEGER) : INTEGER do Result := items[i] end
+  query count : INTEGER do Result := length(items) end
+end
+
+class SINK
+  attribute total : INTEGER
+  attribute accepted : INTEGER
+  command accept(v: INTEGER) require v > 0 do
+    total := total + v
+    accepted := accepted + 1
+  end
+  query sum : INTEGER do Result := total end
+  query count : INTEGER do Result := accepted end
+end
+
+main
+  local src : separate SOURCE
+  local dst : separate SINK
+  local i : INTEGER
+  local n : INTEGER
+  local v : INTEGER
+  local answer : INTEGER
+do
+  create src
+  create dst
+  separate src do
+    src.generate(64)
+    n := src.count()
+    separate dst do
+      i := 0
+      while i < n loop
+        v := src.item(i)
+        dst.accept(v)
+        i := i + 1
+      end
+      answer := dst.sum()
+    end
+  end
+  print(answer)
+end
+";
+
+/// Expected `print` output of [`TWO_STAGE_PIPELINE`].
+pub fn two_stage_pipeline_expected() -> Vec<String> {
+    vec![(1..=64i64).sum::<i64>().to_string()]
+}
+
+/// A gauge whose commands carry contracts; raising by a non-positive amount
+/// violates the precondition and the run reports it.
+pub const CONTRACT_VIOLATION: &str = "\
+class GAUGE
+  attribute level : INTEGER
+  command raise(amount: INTEGER) require amount > 0 do level := level + amount ensure level > 0 end
+  query value : INTEGER do Result := level end
+end
+
+main
+  local g : separate GAUGE
+  local v : INTEGER
+do
+  create g
+  separate g do
+    g.raise(0 - 3)
+    v := g.value()
+  end
+  print(v)
+end
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, run_compiled, QueryStrategy};
+    use qs_runtime::Runtime;
+
+    fn run_all_strategies(source: &str, expected: &[String]) {
+        let compiled = compile(source).unwrap();
+        for strategy in [
+            QueryStrategy::RuntimeManaged,
+            QueryStrategy::NaiveSync,
+            compiled.static_strategy(),
+        ] {
+            let runtime = Runtime::fully_optimized();
+            let output = run_compiled(&compiled, &runtime, strategy).unwrap();
+            assert_eq!(output.printed, expected);
+        }
+    }
+
+    #[test]
+    fn counter_program_runs() {
+        run_all_strategies(COUNTER, &counter_expected());
+    }
+
+    #[test]
+    fn bank_transfer_conserves_the_total() {
+        run_all_strategies(BANK_TRANSFER, &bank_transfer_expected());
+    }
+
+    #[test]
+    fn copy_loop_matches_reference() {
+        run_all_strategies(&copy_loop(128), &copy_loop_expected(128));
+    }
+
+    #[test]
+    fn pipeline_matches_reference() {
+        run_all_strategies(TWO_STAGE_PIPELINE, &two_stage_pipeline_expected());
+    }
+
+    #[test]
+    fn copy_loop_static_plan_removes_the_inner_sync() {
+        let compiled = compile(&copy_loop(32)).unwrap();
+        assert!(compiled.lowered.report.syncs_removed() >= 1);
+        assert!(compiled.lowered.plan.elided_sites() >= 1);
+    }
+
+    #[test]
+    fn contract_violation_program_fails() {
+        let compiled = compile(CONTRACT_VIOLATION).unwrap();
+        let runtime = Runtime::fully_optimized();
+        let err = run_compiled(&compiled, &runtime, QueryStrategy::RuntimeManaged).unwrap_err();
+        assert!(err.message.contains("precondition"));
+    }
+}

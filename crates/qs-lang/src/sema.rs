@@ -1,0 +1,910 @@
+//! Semantic analysis: name resolution, type checking and the *separateness*
+//! rules of the SCOOP model.
+//!
+//! The central SCOOP rule enforced here is the one §2.1 of the paper states:
+//! "methods may only be called on a separate object if it is protected by a
+//! separate block".  The checker walks `main` tracking which separate
+//! variables are reserved by enclosing `separate` blocks and rejects calls on
+//! unprotected targets.  It also performs conventional checks — duplicate
+//! names, unknown routines, arity and type mismatches — and resolves class
+//! attributes to field slots so the interpreter does not need name lookups on
+//! the hot path.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::*;
+use crate::error::{LangError, LangResult, Phase, Pos};
+
+/// The value types of the language (object references are tracked separately
+/// because they may only be used as call targets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// 64-bit integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// One-dimensional integer array.
+    Array,
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Int => f.write_str("INTEGER"),
+            Type::Bool => f.write_str("BOOLEAN"),
+            Type::Array => f.write_str("ARRAY"),
+        }
+    }
+}
+
+/// Signature of a routine, as needed by call sites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutineSig {
+    /// Command or query.
+    pub kind: RoutineKind,
+    /// Parameter types in order.
+    pub params: Vec<Type>,
+    /// Result type (queries only).
+    pub result: Option<Type>,
+}
+
+/// Resolved information about one class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassInfo {
+    /// The class name.
+    pub name: String,
+    /// Field slots in declaration order.
+    pub fields: Vec<(String, Type)>,
+    /// Map from attribute name to field slot.
+    pub field_index: BTreeMap<String, usize>,
+    /// Routine signatures by name.
+    pub routines: BTreeMap<String, RoutineSig>,
+}
+
+/// The output of the checker: the program plus resolved tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedProgram {
+    /// The (unchanged) parsed program.
+    pub program: Program,
+    /// Resolved class information by class name.
+    pub classes: BTreeMap<String, ClassInfo>,
+    /// Handler-variable index assigned to each separate local of `main`
+    /// (used by the IR lowering; indices are dense starting at 0).
+    pub handler_vars: BTreeMap<String, usize>,
+    /// Class name of each separate local of `main`.
+    pub handler_classes: BTreeMap<String, String>,
+    /// Number of query call sites in `main` (sites are numbered densely by
+    /// the parser).
+    pub query_sites: usize,
+}
+
+/// Runs all semantic checks on a parsed program.
+pub fn check_program(program: Program) -> LangResult<CheckedProgram> {
+    let classes = build_class_table(&program)?;
+    for class in &program.classes {
+        check_class(class, &classes)?;
+    }
+    let (handler_vars, handler_classes) = collect_separate_locals(&program.main, &classes)?;
+    let query_sites = check_main(&program.main, &classes, &handler_vars)?;
+    Ok(CheckedProgram {
+        program,
+        classes,
+        handler_vars,
+        handler_classes,
+        query_sites,
+    })
+}
+
+fn value_type(ty: &TypeExpr, pos: Pos, what: &str) -> LangResult<Type> {
+    match ty {
+        TypeExpr::Integer => Ok(Type::Int),
+        TypeExpr::Boolean => Ok(Type::Bool),
+        TypeExpr::Array => Ok(Type::Array),
+        TypeExpr::SeparateClass(c) => Err(LangError::at(
+            Phase::Check,
+            pos,
+            format!("{what} may not have the separate type `separate {c}`"),
+        )),
+    }
+}
+
+fn build_class_table(program: &Program) -> LangResult<BTreeMap<String, ClassInfo>> {
+    let mut classes = BTreeMap::new();
+    for class in &program.classes {
+        if classes.contains_key(&class.name) {
+            return Err(LangError::at(
+                Phase::Check,
+                class.pos,
+                format!("duplicate class `{}`", class.name),
+            ));
+        }
+        let mut fields = Vec::new();
+        let mut field_index = BTreeMap::new();
+        for attr in &class.attributes {
+            if field_index.contains_key(&attr.name) {
+                return Err(LangError::at(
+                    Phase::Check,
+                    attr.pos,
+                    format!("duplicate attribute `{}` in class `{}`", attr.name, class.name),
+                ));
+            }
+            let ty = value_type(&attr.ty, attr.pos, "an attribute")?;
+            field_index.insert(attr.name.clone(), fields.len());
+            fields.push((attr.name.clone(), ty));
+        }
+        let mut routines = BTreeMap::new();
+        for routine in &class.routines {
+            if routines.contains_key(&routine.name) {
+                return Err(LangError::at(
+                    Phase::Check,
+                    routine.pos,
+                    format!("duplicate routine `{}` in class `{}`", routine.name, class.name),
+                ));
+            }
+            if field_index.contains_key(&routine.name) {
+                return Err(LangError::at(
+                    Phase::Check,
+                    routine.pos,
+                    format!(
+                        "routine `{}` clashes with an attribute of class `{}`",
+                        routine.name, class.name
+                    ),
+                ));
+            }
+            let params = routine
+                .params
+                .iter()
+                .map(|p| value_type(&p.ty, p.pos, "a parameter"))
+                .collect::<LangResult<Vec<_>>>()?;
+            let result = routine
+                .result
+                .as_ref()
+                .map(|t| value_type(t, routine.pos, "a result"))
+                .transpose()?;
+            routines.insert(
+                routine.name.clone(),
+                RoutineSig {
+                    kind: routine.kind,
+                    params,
+                    result,
+                },
+            );
+        }
+        classes.insert(
+            class.name.clone(),
+            ClassInfo {
+                name: class.name.clone(),
+                fields,
+                field_index,
+                routines,
+            },
+        );
+    }
+    Ok(classes)
+}
+
+/// The lexical scope used while checking a routine body or `main`.
+struct Scope<'a> {
+    /// Variable name → type, for plain value variables.
+    vars: BTreeMap<String, Type>,
+    /// For routine bodies: the enclosing class (attribute access allowed).
+    class: Option<&'a ClassInfo>,
+    /// For query bodies: the `Result` type.
+    result: Option<Type>,
+    /// For `main`: separate locals (name → class name).
+    separate_vars: BTreeMap<String, String>,
+}
+
+impl<'a> Scope<'a> {
+    fn lookup(&self, name: &str) -> Option<Type> {
+        if let Some(t) = self.vars.get(name) {
+            return Some(*t);
+        }
+        if let Some(class) = self.class {
+            if let Some(&slot) = class.field_index.get(name) {
+                return Some(class.fields[slot].1);
+            }
+        }
+        None
+    }
+}
+
+fn check_class(class: &ClassDecl, classes: &BTreeMap<String, ClassInfo>) -> LangResult<()> {
+    let info = &classes[&class.name];
+    for routine in &class.routines {
+        let mut vars = BTreeMap::new();
+        for p in &routine.params {
+            let ty = value_type(&p.ty, p.pos, "a parameter")?;
+            if vars.insert(p.name.clone(), ty).is_some() {
+                return Err(LangError::at(
+                    Phase::Check,
+                    p.pos,
+                    format!("duplicate parameter `{}`", p.name),
+                ));
+            }
+        }
+        for l in &routine.locals {
+            let ty = value_type(&l.ty, l.pos, "a routine local")?;
+            if vars.insert(l.name.clone(), ty).is_some() {
+                return Err(LangError::at(
+                    Phase::Check,
+                    l.pos,
+                    format!("duplicate local `{}`", l.name),
+                ));
+            }
+        }
+        let result = routine
+            .result
+            .as_ref()
+            .map(|t| value_type(t, routine.pos, "a result"))
+            .transpose()?;
+        let scope = Scope {
+            vars,
+            class: Some(info),
+            result,
+            separate_vars: BTreeMap::new(),
+        };
+        // Contracts are boolean expressions over the routine scope.  `ensure`
+        // may additionally mention `Result`.
+        if let Some(require) = &routine.require {
+            let mut pre_scope = Scope {
+                vars: scope.vars.clone(),
+                class: Some(info),
+                result: None,
+                separate_vars: BTreeMap::new(),
+            };
+            let t = check_expr(require, &mut pre_scope, classes, &mut RoutineCtx::new())?;
+            expect_type(t, Type::Bool, require.pos(), "a `require` clause")?;
+        }
+        if let Some(ensure) = &routine.ensure {
+            let mut post_scope = Scope {
+                vars: scope.vars.clone(),
+                class: Some(info),
+                result,
+                separate_vars: BTreeMap::new(),
+            };
+            let t = check_expr(ensure, &mut post_scope, classes, &mut RoutineCtx::new())?;
+            expect_type(t, Type::Bool, ensure.pos(), "an `ensure` clause")?;
+        }
+        let mut body_scope = scope;
+        let mut ctx = RoutineCtx::new();
+        check_stmts(&routine.body, &mut body_scope, classes, &mut ctx)?;
+    }
+    Ok(())
+}
+
+fn collect_separate_locals(
+    main: &MainDecl,
+    classes: &BTreeMap<String, ClassInfo>,
+) -> LangResult<(BTreeMap<String, usize>, BTreeMap<String, String>)> {
+    let mut handler_vars = BTreeMap::new();
+    let mut handler_classes = BTreeMap::new();
+    let mut next = 0usize;
+    for local in &main.locals {
+        if let TypeExpr::SeparateClass(class_name) = &local.ty {
+            if !classes.contains_key(class_name) {
+                return Err(LangError::at(
+                    Phase::Check,
+                    local.pos,
+                    format!("unknown class `{class_name}`"),
+                ));
+            }
+            if handler_vars.insert(local.name.clone(), next).is_some() {
+                return Err(LangError::at(
+                    Phase::Check,
+                    local.pos,
+                    format!("duplicate local `{}`", local.name),
+                ));
+            }
+            handler_classes.insert(local.name.clone(), class_name.clone());
+            next += 1;
+        }
+    }
+    Ok((handler_vars, handler_classes))
+}
+
+/// Per-body bookkeeping shared down the statement walk.
+struct RoutineCtx {
+    /// In `main`: separate variables currently protected by an enclosing
+    /// `separate` block.
+    reserved: Vec<BTreeSet<String>>,
+    /// Whether we are inside `main` (separate blocks / create allowed) or a
+    /// routine body (not allowed).
+    in_main: bool,
+    /// Highest query-site id observed (plus one).
+    max_site: usize,
+}
+
+impl RoutineCtx {
+    fn new() -> Self {
+        RoutineCtx {
+            reserved: Vec::new(),
+            in_main: false,
+            max_site: 0,
+        }
+    }
+
+    fn is_reserved(&self, name: &str) -> bool {
+        self.reserved.iter().any(|set| set.contains(name))
+    }
+}
+
+fn check_main(
+    main: &MainDecl,
+    classes: &BTreeMap<String, ClassInfo>,
+    handler_vars: &BTreeMap<String, usize>,
+) -> LangResult<usize> {
+    let mut vars = BTreeMap::new();
+    let mut separate_vars = BTreeMap::new();
+    for local in &main.locals {
+        match &local.ty {
+            TypeExpr::SeparateClass(class_name) => {
+                separate_vars.insert(local.name.clone(), class_name.clone());
+            }
+            other => {
+                let ty = value_type(other, local.pos, "a local")?;
+                if vars.insert(local.name.clone(), ty).is_some()
+                    || handler_vars.contains_key(&local.name)
+                {
+                    return Err(LangError::at(
+                        Phase::Check,
+                        local.pos,
+                        format!("duplicate local `{}`", local.name),
+                    ));
+                }
+            }
+        }
+    }
+    let mut scope = Scope {
+        vars,
+        class: None,
+        result: None,
+        separate_vars,
+    };
+    let mut ctx = RoutineCtx::new();
+    ctx.in_main = true;
+    check_stmts(&main.body, &mut scope, classes, &mut ctx)?;
+    Ok(ctx.max_site)
+}
+
+fn expect_type(actual: Type, expected: Type, pos: Pos, what: &str) -> LangResult<()> {
+    if actual == expected {
+        Ok(())
+    } else {
+        Err(LangError::at(
+            Phase::Check,
+            pos,
+            format!("{what} must have type {expected}, found {actual}"),
+        ))
+    }
+}
+
+fn check_stmts(
+    stmts: &[Stmt],
+    scope: &mut Scope<'_>,
+    classes: &BTreeMap<String, ClassInfo>,
+    ctx: &mut RoutineCtx,
+) -> LangResult<()> {
+    for stmt in stmts {
+        check_stmt(stmt, scope, classes, ctx)?;
+    }
+    Ok(())
+}
+
+fn check_stmt(
+    stmt: &Stmt,
+    scope: &mut Scope<'_>,
+    classes: &BTreeMap<String, ClassInfo>,
+    ctx: &mut RoutineCtx,
+) -> LangResult<()> {
+    match stmt {
+        Stmt::Assign { target, value } => {
+            let value_ty = check_expr(value, scope, classes, ctx)?;
+            match target {
+                LValue::Var(name, pos) => {
+                    if scope.separate_vars.contains_key(name) {
+                        return Err(LangError::at(
+                            Phase::Check,
+                            *pos,
+                            format!("separate variable `{name}` cannot be assigned; use `create {name}`"),
+                        ));
+                    }
+                    let target_ty = scope.lookup(name).ok_or_else(|| {
+                        LangError::at(Phase::Check, *pos, format!("unknown variable `{name}`"))
+                    })?;
+                    expect_type(value_ty, target_ty, value.pos(), "the assigned value")
+                }
+                LValue::Result(pos) => {
+                    let result_ty = scope.result.ok_or_else(|| {
+                        LangError::at(Phase::Check, *pos, "`Result` may only be used inside a query")
+                    })?;
+                    expect_type(value_ty, result_ty, value.pos(), "the assigned value")
+                }
+                LValue::Index { array, index, pos } => {
+                    let array_ty = scope.lookup(array).ok_or_else(|| {
+                        LangError::at(Phase::Check, *pos, format!("unknown variable `{array}`"))
+                    })?;
+                    expect_type(array_ty, Type::Array, *pos, "an indexed assignment target")?;
+                    let index_ty = check_expr(index, scope, classes, ctx)?;
+                    expect_type(index_ty, Type::Int, index.pos(), "an array index")?;
+                    expect_type(value_ty, Type::Int, value.pos(), "an array element")
+                }
+            }
+        }
+        Stmt::Create { var, pos } => {
+            if !ctx.in_main {
+                return Err(LangError::at(
+                    Phase::Check,
+                    *pos,
+                    "`create` is only allowed in `main` in this language",
+                ));
+            }
+            if !scope.separate_vars.contains_key(var) {
+                return Err(LangError::at(
+                    Phase::Check,
+                    *pos,
+                    format!("`create {var}`: `{var}` is not a separate variable"),
+                ));
+            }
+            Ok(())
+        }
+        Stmt::SeparateBlock { targets, body, pos } => {
+            if !ctx.in_main {
+                return Err(LangError::at(
+                    Phase::Check,
+                    *pos,
+                    "separate blocks are only allowed in `main` in this language",
+                ));
+            }
+            let mut set = BTreeSet::new();
+            for target in targets {
+                if !scope.separate_vars.contains_key(target) {
+                    return Err(LangError::at(
+                        Phase::Check,
+                        *pos,
+                        format!("`separate {target}`: `{target}` is not a separate variable"),
+                    ));
+                }
+                if !set.insert(target.clone()) {
+                    return Err(LangError::at(
+                        Phase::Check,
+                        *pos,
+                        format!("`{target}` listed twice in the same separate block"),
+                    ));
+                }
+            }
+            ctx.reserved.push(set);
+            let result = check_stmts(body, scope, classes, ctx);
+            ctx.reserved.pop();
+            result
+        }
+        Stmt::CommandCall {
+            target,
+            routine,
+            args,
+            pos,
+        } => {
+            let sig = resolve_separate_call(target, routine, scope, classes, ctx, *pos)?;
+            if sig.kind != RoutineKind::Command {
+                return Err(LangError::at(
+                    Phase::Check,
+                    *pos,
+                    format!("`{routine}` is a query; its result must be used"),
+                ));
+            }
+            check_args(&sig, routine, args, scope, classes, ctx, *pos)
+        }
+        Stmt::LocalCommand {
+            routine,
+            args,
+            pos,
+        } => {
+            let class = scope.class.ok_or_else(|| {
+                LangError::at(
+                    Phase::Check,
+                    *pos,
+                    format!("`{routine}(…)`: unqualified calls are only allowed inside a class"),
+                )
+            })?;
+            let sig = class.routines.get(routine).cloned().ok_or_else(|| {
+                LangError::at(
+                    Phase::Check,
+                    *pos,
+                    format!("class `{}` has no routine `{routine}`", class.name),
+                )
+            })?;
+            if sig.kind != RoutineKind::Command {
+                return Err(LangError::at(
+                    Phase::Check,
+                    *pos,
+                    format!("`{routine}` is a query; its result must be used"),
+                ));
+            }
+            check_args(&sig, routine, args, scope, classes, ctx, *pos)
+        }
+        Stmt::If { arms, otherwise, pos: _ } => {
+            for (cond, branch) in arms {
+                let t = check_expr(cond, scope, classes, ctx)?;
+                expect_type(t, Type::Bool, cond.pos(), "an `if` condition")?;
+                check_stmts(branch, scope, classes, ctx)?;
+            }
+            check_stmts(otherwise, scope, classes, ctx)
+        }
+        Stmt::While { cond, body, pos: _ } => {
+            let t = check_expr(cond, scope, classes, ctx)?;
+            expect_type(t, Type::Bool, cond.pos(), "a `while` condition")?;
+            check_stmts(body, scope, classes, ctx)
+        }
+        Stmt::Print { value, pos: _ } => match value {
+            PrintArg::Text(_) => Ok(()),
+            PrintArg::Value(expr) => {
+                check_expr(expr, scope, classes, ctx)?;
+                Ok(())
+            }
+        },
+    }
+}
+
+fn resolve_separate_call(
+    target: &str,
+    routine: &str,
+    scope: &Scope<'_>,
+    classes: &BTreeMap<String, ClassInfo>,
+    ctx: &RoutineCtx,
+    pos: Pos,
+) -> LangResult<RoutineSig> {
+    let class_name = scope.separate_vars.get(target).ok_or_else(|| {
+        LangError::at(
+            Phase::Check,
+            pos,
+            format!("`{target}` is not a separate variable"),
+        )
+    })?;
+    if !ctx.is_reserved(target) {
+        return Err(LangError::at(
+            Phase::Check,
+            pos,
+            format!(
+                "call on `{target}` outside a `separate {target}` block; \
+                 SCOOP only allows calls on protected separate objects"
+            ),
+        ));
+    }
+    let class = &classes[class_name];
+    class.routines.get(routine).cloned().ok_or_else(|| {
+        LangError::at(
+            Phase::Check,
+            pos,
+            format!("class `{class_name}` has no routine `{routine}`"),
+        )
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_args(
+    sig: &RoutineSig,
+    routine: &str,
+    args: &[Expr],
+    scope: &mut Scope<'_>,
+    classes: &BTreeMap<String, ClassInfo>,
+    ctx: &mut RoutineCtx,
+    pos: Pos,
+) -> LangResult<()> {
+    if args.len() != sig.params.len() {
+        return Err(LangError::at(
+            Phase::Check,
+            pos,
+            format!(
+                "`{routine}` expects {} argument(s), got {}",
+                sig.params.len(),
+                args.len()
+            ),
+        ));
+    }
+    for (arg, expected) in args.iter().zip(&sig.params) {
+        let t = check_expr(arg, scope, classes, ctx)?;
+        expect_type(t, *expected, arg.pos(), "an argument")?;
+    }
+    Ok(())
+}
+
+fn check_expr(
+    expr: &Expr,
+    scope: &mut Scope<'_>,
+    classes: &BTreeMap<String, ClassInfo>,
+    ctx: &mut RoutineCtx,
+) -> LangResult<Type> {
+    match expr {
+        Expr::Int(..) => Ok(Type::Int),
+        Expr::Bool(..) => Ok(Type::Bool),
+        Expr::Var(name, pos) => {
+            if scope.separate_vars.contains_key(name) {
+                return Err(LangError::at(
+                    Phase::Check,
+                    *pos,
+                    format!("separate variable `{name}` cannot be used as a value"),
+                ));
+            }
+            scope
+                .lookup(name)
+                .ok_or_else(|| LangError::at(Phase::Check, *pos, format!("unknown variable `{name}`")))
+        }
+        Expr::Result(pos) => scope.result.ok_or_else(|| {
+            LangError::at(Phase::Check, *pos, "`Result` may only be used inside a query")
+        }),
+        Expr::Index { array, index, pos } => {
+            let array_ty = check_expr(array, scope, classes, ctx)?;
+            expect_type(array_ty, Type::Array, *pos, "an indexed expression")?;
+            let index_ty = check_expr(index, scope, classes, ctx)?;
+            expect_type(index_ty, Type::Int, index.pos(), "an array index")?;
+            Ok(Type::Int)
+        }
+        Expr::NewArray { len, .. } => {
+            let t = check_expr(len, scope, classes, ctx)?;
+            expect_type(t, Type::Int, len.pos(), "an array length")?;
+            Ok(Type::Array)
+        }
+        Expr::Length { array, pos } => {
+            let t = check_expr(array, scope, classes, ctx)?;
+            expect_type(t, Type::Array, *pos, "the argument of `length`")?;
+            Ok(Type::Int)
+        }
+        Expr::Random { bound, .. } => {
+            let t = check_expr(bound, scope, classes, ctx)?;
+            expect_type(t, Type::Int, bound.pos(), "the argument of `random`")?;
+            Ok(Type::Int)
+        }
+        Expr::QueryCall {
+            target,
+            routine,
+            args,
+            pos,
+            site,
+        } => {
+            if !ctx.in_main {
+                return Err(LangError::at(
+                    Phase::Check,
+                    *pos,
+                    "separate calls are only allowed in `main` in this language",
+                ));
+            }
+            let sig = resolve_separate_call(target, routine, scope, classes, ctx, *pos)?;
+            if sig.kind != RoutineKind::Query {
+                return Err(LangError::at(
+                    Phase::Check,
+                    *pos,
+                    format!("`{routine}` is a command and has no result"),
+                ));
+            }
+            check_args(&sig, routine, args, scope, classes, ctx, *pos)?;
+            ctx.max_site = ctx.max_site.max(site + 1);
+            Ok(sig.result.expect("query has a result type"))
+        }
+        Expr::LocalCall { routine, args, pos } => {
+            let class = scope.class.ok_or_else(|| {
+                LangError::at(
+                    Phase::Check,
+                    *pos,
+                    format!("`{routine}(…)`: unqualified calls are only allowed inside a class"),
+                )
+            })?;
+            let sig = class.routines.get(routine).cloned().ok_or_else(|| {
+                LangError::at(
+                    Phase::Check,
+                    *pos,
+                    format!("class `{}` has no routine `{routine}`", class.name),
+                )
+            })?;
+            if sig.kind != RoutineKind::Query {
+                return Err(LangError::at(
+                    Phase::Check,
+                    *pos,
+                    format!("`{routine}` is a command and has no result"),
+                ));
+            }
+            check_args(&sig, routine, args, scope, classes, ctx, *pos)?;
+            Ok(sig.result.expect("query has a result type"))
+        }
+        Expr::Binary { op, lhs, rhs, pos } => {
+            let lt = check_expr(lhs, scope, classes, ctx)?;
+            let rt = check_expr(rhs, scope, classes, ctx)?;
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                    expect_type(lt, Type::Int, lhs.pos(), "an arithmetic operand")?;
+                    expect_type(rt, Type::Int, rhs.pos(), "an arithmetic operand")?;
+                    Ok(Type::Int)
+                }
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    expect_type(lt, Type::Int, lhs.pos(), "a comparison operand")?;
+                    expect_type(rt, Type::Int, rhs.pos(), "a comparison operand")?;
+                    Ok(Type::Bool)
+                }
+                BinOp::Eq | BinOp::Neq => {
+                    if lt != rt {
+                        return Err(LangError::at(
+                            Phase::Check,
+                            *pos,
+                            format!("cannot compare {lt} with {rt}"),
+                        ));
+                    }
+                    Ok(Type::Bool)
+                }
+                BinOp::And | BinOp::Or => {
+                    expect_type(lt, Type::Bool, lhs.pos(), "a boolean operand")?;
+                    expect_type(rt, Type::Bool, rhs.pos(), "a boolean operand")?;
+                    Ok(Type::Bool)
+                }
+            }
+        }
+        Expr::Unary { op, expr, pos: _ } => {
+            let t = check_expr(expr, scope, classes, ctx)?;
+            match op {
+                UnOp::Neg => {
+                    expect_type(t, Type::Int, expr.pos(), "a negated value")?;
+                    Ok(Type::Int)
+                }
+                UnOp::Not => {
+                    expect_type(t, Type::Bool, expr.pos(), "a negated condition")?;
+                    Ok(Type::Bool)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(source: &str) -> LangResult<CheckedProgram> {
+        check_program(parse_program(source).unwrap())
+    }
+
+    const COUNTER: &str = "class COUNTER\n\
+         attribute count : INTEGER\n\
+         command bump(amount: INTEGER) do count := count + amount end\n\
+         query value : INTEGER do Result := count end\n\
+       end\n";
+
+    #[test]
+    fn accepts_a_well_formed_program() {
+        let checked = check(&format!(
+            "{COUNTER}\
+             main local c : separate COUNTER local v : INTEGER do \
+               create c separate c do c.bump(2) v := c.value() end print(v) end"
+        ))
+        .unwrap();
+        assert_eq!(checked.handler_vars.len(), 1);
+        assert_eq!(checked.handler_vars["c"], 0);
+        assert_eq!(checked.handler_classes["c"], "COUNTER");
+        assert_eq!(checked.query_sites, 1);
+        assert_eq!(checked.classes["COUNTER"].fields.len(), 1);
+    }
+
+    #[test]
+    fn rejects_calls_outside_separate_blocks() {
+        let err = check(&format!(
+            "{COUNTER}main local c : separate COUNTER do create c c.bump(1) end"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("outside a `separate"));
+    }
+
+    #[test]
+    fn rejects_unknown_routine_and_bad_arity() {
+        let err = check(&format!(
+            "{COUNTER}main local c : separate COUNTER do separate c do c.missing() end end"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("no routine"));
+        let err = check(&format!(
+            "{COUNTER}main local c : separate COUNTER do separate c do c.bump(1, 2) end end"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("expects 1 argument"));
+    }
+
+    #[test]
+    fn rejects_command_in_expression_and_query_as_statement() {
+        let err = check(&format!(
+            "{COUNTER}main local c : separate COUNTER local v : INTEGER do \
+               separate c do v := c.bump(1) end end"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("is a command"));
+        let err = check(&format!(
+            "{COUNTER}main local c : separate COUNTER do separate c do c.value() end end"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("is a query"));
+    }
+
+    #[test]
+    fn rejects_type_mismatches() {
+        let err = check("main local b : BOOLEAN do b := 3 end").unwrap_err();
+        assert!(err.message.contains("BOOLEAN"));
+        let err = check("main local i : INTEGER do if i then i := 1 end end").unwrap_err();
+        assert!(err.message.contains("condition"));
+        let err = check("main local a : ARRAY do a := array(true) end").unwrap_err();
+        assert!(err.message.contains("array length"));
+    }
+
+    #[test]
+    fn rejects_unknown_class_and_duplicate_names() {
+        let err = check("main local x : separate NOPE do end").unwrap_err();
+        assert!(err.message.contains("unknown class"));
+        let err = check("class C attribute a : INTEGER attribute a : INTEGER end main do end")
+            .unwrap_err();
+        assert!(err.message.contains("duplicate attribute"));
+        let err = check(&format!("{COUNTER}{COUNTER}main do end")).unwrap_err();
+        assert!(err.message.contains("duplicate class"));
+    }
+
+    #[test]
+    fn rejects_separate_vars_used_as_values() {
+        let err = check(&format!(
+            "{COUNTER}main local c : separate COUNTER local v : INTEGER do v := c end"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("cannot be used as a value"));
+        let err = check(&format!(
+            "{COUNTER}main local c : separate COUNTER do c := 1 end"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("cannot be assigned"));
+    }
+
+    #[test]
+    fn rejects_result_outside_queries_and_nested_restrictions() {
+        let err = check("main do Result := 1 end").unwrap_err();
+        assert!(err.message.contains("Result"));
+        let err = check(
+            "class C attribute n : INTEGER \
+               command f do create n end \
+             end main do end",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("only allowed in `main`"));
+    }
+
+    #[test]
+    fn contracts_must_be_boolean() {
+        let err = check(
+            "class C attribute n : INTEGER \
+               command f require n + 1 do n := 1 end \
+             end main do end",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("require"));
+    }
+
+    #[test]
+    fn multiple_handlers_get_distinct_indices() {
+        let checked = check(&format!(
+            "{COUNTER}main local a : separate COUNTER local b : separate COUNTER do \
+               create a create b separate a, b do a.bump(1) b.bump(2) end end"
+        ))
+        .unwrap();
+        assert_eq!(checked.handler_vars.len(), 2);
+        assert_ne!(checked.handler_vars["a"], checked.handler_vars["b"]);
+    }
+
+    #[test]
+    fn local_calls_inside_routines_are_checked() {
+        let ok = check(
+            "class C attribute n : INTEGER \
+               query twice(v: INTEGER) : INTEGER do Result := v * 2 end \
+               command set(v: INTEGER) do n := twice(v) end \
+             end main do end",
+        );
+        assert!(ok.is_ok());
+        let err = check(
+            "class C attribute n : INTEGER \
+               command set(v: INTEGER) do n := missing(v) end \
+             end main do end",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("no routine"));
+    }
+}

@@ -1,0 +1,504 @@
+//! The lexer: turns source text into a token stream.
+//!
+//! The surface syntax is a small Eiffel/SCOOP-flavoured language.  Comments
+//! are `-- to end of line`; identifiers are case-sensitive; keywords are
+//! lower-case.  The lexer tracks line/column positions for error messages.
+
+use crate::error::{LangError, LangResult, Phase, Pos};
+
+/// The kinds of token the language has.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// An integer literal.
+    Int(i64),
+    /// `true` or `false`.
+    Bool(bool),
+    /// An identifier (variable, class, routine or attribute name).
+    Ident(String),
+    /// A string literal (only used by `print`).
+    Str(String),
+
+    // Keywords.
+    /// `class`
+    Class,
+    /// `attribute`
+    Attribute,
+    /// `command`
+    Command,
+    /// `query`
+    Query,
+    /// `main`
+    Main,
+    /// `local`
+    Local,
+    /// `do`
+    Do,
+    /// `end`
+    End,
+    /// `create`
+    Create,
+    /// `separate`
+    Separate,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `elseif`
+    Elseif,
+    /// `while`
+    While,
+    /// `loop`
+    Loop,
+    /// `print`
+    Print,
+    /// `require`
+    Require,
+    /// `ensure`
+    Ensure,
+    /// `Result`
+    ResultKw,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `mod`
+    Mod,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `:=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `/=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(n) => format!("integer {n}"),
+            TokenKind::Bool(b) => format!("boolean {b}"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.literal()),
+        }
+    }
+
+    fn literal(&self) -> &'static str {
+        match self {
+            TokenKind::Class => "class",
+            TokenKind::Attribute => "attribute",
+            TokenKind::Command => "command",
+            TokenKind::Query => "query",
+            TokenKind::Main => "main",
+            TokenKind::Local => "local",
+            TokenKind::Do => "do",
+            TokenKind::End => "end",
+            TokenKind::Create => "create",
+            TokenKind::Separate => "separate",
+            TokenKind::If => "if",
+            TokenKind::Then => "then",
+            TokenKind::Else => "else",
+            TokenKind::Elseif => "elseif",
+            TokenKind::While => "while",
+            TokenKind::Loop => "loop",
+            TokenKind::Print => "print",
+            TokenKind::Require => "require",
+            TokenKind::Ensure => "ensure",
+            TokenKind::ResultKw => "Result",
+            TokenKind::And => "and",
+            TokenKind::Or => "or",
+            TokenKind::Not => "not",
+            TokenKind::Mod => "mod",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Semicolon => ";",
+            TokenKind::Colon => ":",
+            TokenKind::Dot => ".",
+            TokenKind::Assign => ":=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Eq => "=",
+            TokenKind::Neq => "/=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            _ => "?",
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenises `source`, returning the token stream terminated by
+/// [`TokenKind::Eof`].
+pub fn lex(source: &str) -> LangResult<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    index: usize,
+    line: u32,
+    col: u32,
+    source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            index: 0,
+            line: 1,
+            col: 1,
+            source,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.index).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.index + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.index += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> LangResult<Vec<Token>> {
+        let mut tokens = Vec::with_capacity(self.source.len() / 4 + 8);
+        loop {
+            self.skip_trivia();
+            let pos = self.pos();
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    pos,
+                });
+                return Ok(tokens);
+            };
+            let kind = if c.is_ascii_digit() {
+                self.lex_number(pos)?
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                self.lex_word()
+            } else if c == '"' {
+                self.lex_string(pos)?
+            } else {
+                self.lex_symbol(pos)?
+            };
+            tokens.push(Token { kind, pos });
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('-') if self.peek2() == Some('-') => {
+                    // `--` comment to end of line.
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn lex_number(&mut self, pos: Pos) -> LangResult<TokenKind> {
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                if c != '_' {
+                    digits.push(c);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        digits
+            .parse::<i64>()
+            .map(TokenKind::Int)
+            .map_err(|_| LangError::at(Phase::Lex, pos, format!("integer literal `{digits}` out of range")))
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match word.as_str() {
+            "class" => TokenKind::Class,
+            "attribute" => TokenKind::Attribute,
+            "command" => TokenKind::Command,
+            "query" => TokenKind::Query,
+            "main" => TokenKind::Main,
+            "local" => TokenKind::Local,
+            "do" => TokenKind::Do,
+            "end" => TokenKind::End,
+            "create" => TokenKind::Create,
+            "separate" => TokenKind::Separate,
+            "if" => TokenKind::If,
+            "then" => TokenKind::Then,
+            "else" => TokenKind::Else,
+            "elseif" => TokenKind::Elseif,
+            "while" => TokenKind::While,
+            "loop" => TokenKind::Loop,
+            "print" => TokenKind::Print,
+            "require" => TokenKind::Require,
+            "ensure" => TokenKind::Ensure,
+            "Result" => TokenKind::ResultKw,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "not" => TokenKind::Not,
+            "mod" => TokenKind::Mod,
+            "true" => TokenKind::Bool(true),
+            "false" => TokenKind::Bool(false),
+            _ => TokenKind::Ident(word),
+        }
+    }
+
+    fn lex_string(&mut self, pos: Pos) -> LangResult<TokenKind> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(TokenKind::Str(value)),
+                Some('\n') | None => {
+                    return Err(LangError::at(Phase::Lex, pos, "unterminated string literal"))
+                }
+                Some(c) => value.push(c),
+            }
+        }
+    }
+
+    fn lex_symbol(&mut self, pos: Pos) -> LangResult<TokenKind> {
+        let c = self.bump().expect("symbol start");
+        let kind = match c {
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            '[' => TokenKind::LBracket,
+            ']' => TokenKind::RBracket,
+            ',' => TokenKind::Comma,
+            ';' => TokenKind::Semicolon,
+            '.' => TokenKind::Dot,
+            '+' => TokenKind::Plus,
+            '-' => TokenKind::Minus,
+            '*' => TokenKind::Star,
+            '=' => TokenKind::Eq,
+            ':' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Assign
+                } else {
+                    TokenKind::Colon
+                }
+            }
+            '/' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Neq
+                } else {
+                    TokenKind::Slash
+                }
+            }
+            '<' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            other => {
+                return Err(LangError::at(
+                    Phase::Lex,
+                    pos,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        };
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        lex(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_identifiers() {
+        let ks = kinds("class ACCOUNT attribute balance : INTEGER end");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Class,
+                TokenKind::Ident("ACCOUNT".into()),
+                TokenKind::Attribute,
+                TokenKind::Ident("balance".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("INTEGER".into()),
+                TokenKind::End,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_and_numbers() {
+        let ks = kinds("x := 1_000 + 2 * 3 <= 7 /= 8");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(1000),
+                TokenKind::Plus,
+                TokenKind::Int(2),
+                TokenKind::Star,
+                TokenKind::Int(3),
+                TokenKind::Le,
+                TokenKind::Int(7),
+                TokenKind::Neq,
+                TokenKind::Int(8),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_positions_tracked() {
+        let tokens = lex("-- a comment\n  x := 1").unwrap();
+        assert_eq!(tokens[0].kind, TokenKind::Ident("x".into()));
+        assert_eq!(tokens[0].pos, Pos::new(2, 3));
+        assert_eq!(tokens[1].pos, Pos::new(2, 5));
+    }
+
+    #[test]
+    fn strings_and_booleans() {
+        let ks = kinds(r#"print("hello") true false"#);
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Print,
+                TokenKind::LParen,
+                TokenKind::Str("hello".into()),
+                TokenKind::RParen,
+                TokenKind::Bool(true),
+                TokenKind::Bool(false),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = lex("\"abc").unwrap_err();
+        assert_eq!(err.phase, Phase::Lex);
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        let err = lex("x := #").unwrap_err();
+        assert!(err.message.contains('#'));
+    }
+
+    #[test]
+    fn result_keyword_is_distinct_from_identifier() {
+        assert_eq!(kinds("Result")[0], TokenKind::ResultKw);
+        assert_eq!(kinds("result")[0], TokenKind::Ident("result".into()));
+    }
+}

@@ -1,0 +1,202 @@
+//! Runtime values and handler-owned object state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::sema::{ClassInfo, Type};
+
+/// A runtime value of the language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A one-dimensional integer array.
+    Array(Vec<i64>),
+    /// The absence of a value (result of a command).
+    Void,
+}
+
+impl Value {
+    /// Default value for a declared type.
+    pub fn default_for(ty: Type) -> Value {
+        match ty {
+            Type::Int => Value::Int(0),
+            Type::Bool => Value::Bool(false),
+            Type::Array => Value::Array(Vec::new()),
+        }
+    }
+
+    /// A short name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "INTEGER",
+            Value::Bool(_) => "BOOLEAN",
+            Value::Array(_) => "ARRAY",
+            Value::Void => "VOID",
+        }
+    }
+
+    /// Extracts an integer or reports a runtime error message.
+    pub fn as_int(&self) -> Result<i64, String> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            other => Err(format!("expected INTEGER, found {}", other.type_name())),
+        }
+    }
+
+    /// Extracts a boolean or reports a runtime error message.
+    pub fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected BOOLEAN, found {}", other.type_name())),
+        }
+    }
+
+    /// Extracts an array or reports a runtime error message.
+    pub fn as_array(&self) -> Result<&Vec<i64>, String> {
+        match self {
+            Value::Array(a) => Ok(a),
+            other => Err(format!("expected ARRAY, found {}", other.type_name())),
+        }
+    }
+
+    /// Renders the value the way `print` does.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Int(n) => n.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Array(a) => {
+                let mut out = String::from("[");
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&v.to_string());
+                }
+                out.push(']');
+                out
+            }
+            Value::Void => "Void".to_string(),
+        }
+    }
+}
+
+/// The state a handler owns on behalf of one language-level object: its class
+/// name plus one slot per attribute (slots are resolved by the checker).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectState {
+    /// The class of the object.
+    pub class: String,
+    /// Attribute values, indexed by the checker's field slots.
+    pub fields: Vec<Value>,
+}
+
+impl ObjectState {
+    /// A fresh, default-initialised object of the given class.
+    pub fn new(info: &ClassInfo) -> Self {
+        ObjectState {
+            class: info.name.clone(),
+            fields: info.fields.iter().map(|(_, ty)| Value::default_for(*ty)).collect(),
+        }
+    }
+}
+
+/// A tiny deterministic pseudo-random generator shared between the client
+/// thread and handler threads (`random(n)` in the language).  Determinism
+/// only holds for single-client programs, which is what the demos use it for.
+#[derive(Debug, Clone)]
+pub struct SharedRng {
+    state: Arc<AtomicU64>,
+}
+
+impl SharedRng {
+    /// Creates a generator with the given seed (0 is mapped to a non-zero
+    /// constant because xorshift has a fixed point at 0).
+    pub fn new(seed: u64) -> Self {
+        SharedRng {
+            state: Arc::new(AtomicU64::new(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })),
+        }
+    }
+
+    /// The next value in `[0, bound)`; `bound <= 0` is a runtime error.
+    pub fn next_below(&self, bound: i64) -> Result<i64, String> {
+        if bound <= 0 {
+            return Err(format!("random({bound}): bound must be positive"));
+        }
+        let mut next = 0u64;
+        self.state
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |mut x| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                next = x;
+                Some(x)
+            })
+            .expect("fetch_update with Some never fails");
+        Ok((next % bound as u64) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn defaults_match_types() {
+        assert_eq!(Value::default_for(Type::Int), Value::Int(0));
+        assert_eq!(Value::default_for(Type::Bool), Value::Bool(false));
+        assert_eq!(Value::default_for(Type::Array), Value::Array(vec![]));
+    }
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert_eq!(Value::Int(4).as_int().unwrap(), 4);
+        assert!(Value::Bool(true).as_int().is_err());
+        assert!(Value::Int(1).as_bool().is_err());
+        assert_eq!(Value::Array(vec![1, 2]).as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rendering_is_stable() {
+        assert_eq!(Value::Int(-3).render(), "-3");
+        assert_eq!(Value::Bool(true).render(), "true");
+        assert_eq!(Value::Array(vec![1, 2, 3]).render(), "[1, 2, 3]");
+        assert_eq!(Value::Void.render(), "Void");
+    }
+
+    #[test]
+    fn object_state_uses_field_slots() {
+        let info = ClassInfo {
+            name: "C".into(),
+            fields: vec![("a".into(), Type::Int), ("b".into(), Type::Array)],
+            field_index: BTreeMap::from([("a".into(), 0), ("b".into(), 1)]),
+            routines: BTreeMap::new(),
+        };
+        let obj = ObjectState::new(&info);
+        assert_eq!(obj.fields, vec![Value::Int(0), Value::Array(vec![])]);
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_bounded() {
+        let a = SharedRng::new(42);
+        let b = SharedRng::new(42);
+        for _ in 0..100 {
+            let x = a.next_below(10).unwrap();
+            assert_eq!(x, b.next_below(10).unwrap());
+            assert!((0..10).contains(&x));
+        }
+        assert!(a.next_below(0).is_err());
+    }
+
+    #[test]
+    fn rng_zero_seed_is_usable() {
+        let rng = SharedRng::new(0);
+        // Must not get stuck at zero forever.
+        let distinct: std::collections::BTreeSet<_> =
+            (0..16).map(|_| rng.next_below(1_000_000).unwrap()).collect();
+        assert!(distinct.len() > 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the qs-lang pipeline.
+//!
+//! The key property is *strategy independence*: whatever mixture of commands
+//! and queries a program performs, the observable result must be identical
+//! under every runtime optimisation level and every query strategy — that is
+//! precisely the paper's claim that the optimisations preserve the reasoning
+//! guarantees.
+
+use proptest::prelude::*;
+
+use qs_lang::programs;
+use qs_lang::{compile, run_compiled, QueryStrategy};
+use qs_runtime::{OptimizationLevel, Runtime};
+
+/// Builds a program that applies an arbitrary list of operations to a counter
+/// handler and prints the final value.
+fn counter_program(ops: &[(bool, i64)]) -> (String, i64) {
+    let mut body = String::new();
+    let mut expected = 0i64;
+    let mut queries = 0usize;
+    for (is_query, amount) in ops {
+        if *is_query {
+            body.push_str("    v := c.value()\n");
+            queries += 1;
+        } else {
+            body.push_str(&format!("    c.bump({amount})\n"));
+            expected += amount;
+        }
+    }
+    let _ = queries;
+    let source = format!(
+        "class COUNTER\n\
+           attribute count : INTEGER\n\
+           command bump(amount: INTEGER) do count := count + amount end\n\
+           query value : INTEGER do Result := count end\n\
+         end\n\
+         main\n\
+           local c : separate COUNTER\n\
+           local v : INTEGER\n\
+         do\n\
+           create c\n\
+           separate c do\n{body}    v := c.value()\n  end\n\
+           print(v)\n\
+         end"
+    );
+    (source, expected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn counter_result_is_strategy_independent(
+        ops in proptest::collection::vec((any::<bool>(), -50i64..50), 1..24)
+    ) {
+        let (source, expected) = counter_program(&ops);
+        let compiled = compile(&source).unwrap();
+        let mut observed = Vec::new();
+        for level in [OptimizationLevel::None, OptimizationLevel::Dynamic, OptimizationLevel::All] {
+            for strategy in [
+                QueryStrategy::RuntimeManaged,
+                QueryStrategy::NaiveSync,
+                compiled.static_strategy(),
+            ] {
+                let runtime = Runtime::new(level.config());
+                let output = run_compiled(&compiled, &runtime, strategy).unwrap();
+                observed.push(output.printed.clone());
+            }
+        }
+        for printed in observed {
+            prop_assert_eq!(printed, vec![expected.to_string()]);
+        }
+    }
+
+    #[test]
+    fn copy_loop_output_matches_reference_for_all_sizes(n in 1usize..96) {
+        let compiled = compile(&programs::copy_loop(n)).unwrap();
+        // The loop-body read must always lose its sync, independent of n.
+        prop_assert!(compiled.lowered.plan.elided_sites() >= 1);
+        let runtime = Runtime::fully_optimized();
+        let output = run_compiled(&compiled, &runtime, compiled.static_strategy()).unwrap();
+        prop_assert_eq!(output.printed, programs::copy_loop_expected(n));
+    }
+
+    #[test]
+    fn lexer_never_panics_and_positions_are_monotonic(source in "[ -~\n]{0,200}") {
+        if let Ok(tokens) = qs_lang::lex(&source) {
+            for pair in tokens.windows(2) {
+                prop_assert!(pair[0].pos <= pair[1].pos);
+            }
+            prop_assert!(matches!(tokens.last().unwrap().kind, qs_lang::TokenKind::Eof));
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(source in "[ -~\n]{0,200}") {
+        let _ = qs_lang::parse_program(&source);
+    }
+}

@@ -1,0 +1,57 @@
+//! Specialised queue substrate for the SCOOP/Qs runtime.
+//!
+//! §3.1 of the paper observes that the queue-of-queues pattern induces two
+//! very specific communication shapes, each of which admits a specialised,
+//! efficient queue:
+//!
+//! * the **queue-of-queues** itself has many clients inserting their private
+//!   queues but only one handler removing them — a *multiple-producer,
+//!   single-consumer* (MPSC) arrangement ([`mpsc::QueueOfQueues`]);
+//! * each **private queue** is written by exactly one client and drained by
+//!   exactly one handler — a *single-producer, single-consumer* (SPSC)
+//!   arrangement ([`spsc::SpscQueue`]).
+//!
+//! "These optimizations are important as they are involved in all
+//! communication between clients and handlers."
+//!
+//! The crate also provides a naive lock-based queue ([`mutex_queue`]) used by
+//! the unoptimised baseline configuration and by the ablation benchmark E9,
+//! which quantifies how much the specialised queues matter.
+
+#![warn(missing_docs)]
+
+pub mod mpsc;
+pub mod mutex_queue;
+pub mod spsc;
+
+pub use mpsc::QueueOfQueues;
+pub use mutex_queue::MutexQueue;
+pub use spsc::{spsc_channel, SpscConsumer, SpscProducer, SpscQueue};
+
+/// Outcome of a blocking dequeue operation.
+///
+/// Mirrors the Boolean protocol of the paper's handler loop (Fig. 7): a
+/// `false` result of `dequeue` does not mean "momentarily empty" but "no more
+/// work will ever arrive" (queue closed / END marker reached).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dequeue<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The queue was closed and fully drained; no item will ever arrive.
+    Closed,
+}
+
+impl<T> Dequeue<T> {
+    /// Converts to an `Option`, mapping [`Dequeue::Closed`] to `None`.
+    pub fn into_option(self) -> Option<T> {
+        match self {
+            Dequeue::Item(v) => Some(v),
+            Dequeue::Closed => None,
+        }
+    }
+
+    /// Returns `true` if this is an [`Dequeue::Item`].
+    pub fn is_item(&self) -> bool {
+        matches!(self, Dequeue::Item(_))
+    }
+}

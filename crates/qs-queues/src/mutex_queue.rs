@@ -1,0 +1,204 @@
+//! A naive lock-based MPMC queue.
+//!
+//! This is the queue the *unoptimised* SCOOP runtime (configuration "None" in
+//! §4) uses for its single request queue, and the baseline in the queue
+//! ablation benchmark (E9): every operation takes a mutex and blocking uses a
+//! condition variable, so each handoff pays at least one lock round-trip and
+//! usually an OS wake-up.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::Dequeue;
+
+/// A mutex+condvar protected FIFO queue with a close protocol.
+///
+/// ```
+/// use qs_queues::{MutexQueue, Dequeue};
+/// let q = MutexQueue::new();
+/// q.enqueue(3);
+/// assert_eq!(q.dequeue(), Dequeue::Item(3));
+/// q.close();
+/// assert_eq!(q.dequeue(), Dequeue::Closed);
+/// ```
+#[derive(Debug)]
+pub struct MutexQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    enqueued: usize,
+    dequeued: usize,
+}
+
+impl<T> Default for MutexQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MutexQueue<T> {
+    /// Creates an empty, open queue.
+    pub fn new() -> Self {
+        MutexQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+                enqueued: 0,
+                dequeued: 0,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Appends `value` to the queue.
+    pub fn enqueue(&self, value: T) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.items.push_back(value);
+        inner.enqueued += 1;
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
+    /// Closes the queue; consumers observe [`Dequeue::Closed`] after draining.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Returns `true` once the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Returns `true` if no items are currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of enqueue operations so far.
+    pub fn total_enqueued(&self) -> usize {
+        self.inner.lock().unwrap().enqueued
+    }
+
+    /// Total number of successful dequeues so far.
+    pub fn total_dequeued(&self) -> usize {
+        self.inner.lock().unwrap().dequeued
+    }
+
+    /// Attempts to dequeue without blocking.
+    ///
+    /// Returns `Ok(Some(v))` for an item, `Ok(None)` if currently empty but
+    /// open, `Err(())` if closed and drained.
+    pub fn try_dequeue(&self) -> Result<Option<T>, ()> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(v) = inner.items.pop_front() {
+            inner.dequeued += 1;
+            Ok(Some(v))
+        } else if inner.closed {
+            Err(())
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty but open.
+    pub fn dequeue(&self) -> Dequeue<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(v) = inner.items.pop_front() {
+                inner.dequeued += 1;
+                return Dequeue::Item(v);
+            }
+            if inner.closed {
+                return Dequeue::Closed;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let q = MutexQueue::new();
+        q.enqueue(1);
+        q.enqueue(2);
+        q.enqueue(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.dequeue(), Dequeue::Item(1));
+        assert_eq!(q.dequeue(), Dequeue::Item(2));
+        assert_eq!(q.dequeue(), Dequeue::Item(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn try_dequeue_distinguishes_empty_and_closed() {
+        let q = MutexQueue::<i32>::new();
+        assert_eq!(q.try_dequeue(), Ok(None));
+        q.close();
+        assert_eq!(q.try_dequeue(), Err(()));
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn blocking_dequeue_wakes_on_enqueue_and_close() {
+        let q = Arc::new(MutexQueue::new());
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || (q2.dequeue(), q2.dequeue()));
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.enqueue(7);
+        q.close();
+        assert_eq!(t.join().unwrap(), (Dequeue::Item(7), Dequeue::Closed));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 5_000;
+        let q = Arc::new(MutexQueue::new());
+        let mut producers = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            producers.push(thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    q.enqueue(p * PER_PRODUCER + i);
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..CONSUMERS {
+            let q = Arc::clone(&q);
+            consumers.push(thread::spawn(move || {
+                let mut count = 0usize;
+                while let Dequeue::Item(_) = q.dequeue() {
+                    count += 1;
+                }
+                count
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, PRODUCERS * PER_PRODUCER);
+        assert_eq!(q.total_enqueued(), PRODUCERS * PER_PRODUCER);
+        assert_eq!(q.total_dequeued(), PRODUCERS * PER_PRODUCER);
+    }
+}

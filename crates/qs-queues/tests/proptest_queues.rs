@@ -1,0 +1,117 @@
+//! Property-based tests for the queue substrate.
+//!
+//! The reasoning guarantees of SCOOP/Qs (§2.2) rest on two queue properties:
+//! per-producer FIFO order and exactly-once delivery.  These properties are
+//! exercised here with randomly generated operation sequences and thread
+//! interleavings.
+
+use proptest::prelude::*;
+use qs_queues::{spsc_channel, Dequeue, MutexQueue, QueueOfQueues};
+use std::sync::Arc;
+use std::thread;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SPSC private queue is a FIFO under any interleaving of enqueues
+    /// and dequeues performed by one producer and one consumer thread.
+    #[test]
+    fn spsc_is_fifo(items in proptest::collection::vec(any::<u32>(), 0..2_000)) {
+        let (tx, rx) = spsc_channel();
+        let expected = items.clone();
+        let producer = thread::spawn(move || {
+            for item in items {
+                tx.enqueue(item);
+            }
+            tx.close();
+        });
+        let mut got = Vec::new();
+        while let Dequeue::Item(v) = rx.dequeue() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The MPSC queue-of-queues delivers every item exactly once and keeps
+    /// each producer's items in their insertion order.
+    #[test]
+    fn mpsc_per_producer_fifo(
+        per_producer in proptest::collection::vec(
+            proptest::collection::vec(any::<u16>(), 0..500), 1..6)
+    ) {
+        let q = Arc::new(QueueOfQueues::new());
+        let mut handles = Vec::new();
+        for (p, items) in per_producer.iter().cloned().enumerate() {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || {
+                for (i, item) in items.into_iter().enumerate() {
+                    q.enqueue((p, i, item));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut next_index = vec![0usize; per_producer.len()];
+        let mut received = vec![Vec::new(); per_producer.len()];
+        loop {
+            match q.dequeue() {
+                Dequeue::Item((p, i, item)) => {
+                    prop_assert_eq!(i, next_index[p], "producer {} reordered", p);
+                    next_index[p] += 1;
+                    received[p].push(item);
+                }
+                Dequeue::Closed => break,
+            }
+        }
+        prop_assert_eq!(received, per_producer);
+    }
+
+    /// A sequential interleaving of operations on the lock-free MPSC queue
+    /// matches the behaviour of the reference mutex queue.
+    #[test]
+    fn mpsc_matches_mutex_queue_sequentially(ops in proptest::collection::vec(any::<Option<u8>>(), 0..400)) {
+        let fast = QueueOfQueues::new();
+        let reference = MutexQueue::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    fast.enqueue(v);
+                    reference.enqueue(v);
+                }
+                None => {
+                    let a = fast.try_dequeue();
+                    let b = reference.try_dequeue();
+                    prop_assert_eq!(a, b);
+                }
+            }
+        }
+        // Drain both; remaining contents must agree.
+        loop {
+            let a = fast.try_dequeue();
+            let b = reference.try_dequeue();
+            prop_assert_eq!(&a, &b);
+            if a == Ok(None) {
+                break;
+            }
+        }
+    }
+
+    /// Closing with items still queued never loses them.
+    #[test]
+    fn close_does_not_drop_pending_items(n in 0usize..500) {
+        let (tx, rx) = spsc_channel();
+        for i in 0..n {
+            tx.enqueue(i);
+        }
+        tx.close();
+        let mut count = 0;
+        while let Dequeue::Item(v) = rx.dequeue() {
+            assert_eq!(v, count);
+            count += 1;
+        }
+        prop_assert_eq!(count, n);
+    }
+}

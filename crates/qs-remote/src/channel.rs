@@ -1,0 +1,329 @@
+//! The byte-channel substrate standing in for a socket pair.
+//!
+//! The paper's §7 proposes sockets as the carrier for private queues; this
+//! repository has no network, so the carrier is an in-process byte stream
+//! with the same interface a socket would give the runtime: ordered bytes,
+//! blocking reads, half-close, and (optionally) injected per-flush latency so
+//! wide-area behaviour can be studied on one machine.
+//!
+//! On top of the raw byte stream, [`ByteSender::send_frame`] /
+//! [`ByteReceiver::recv_frame`] speak the length-prefixed format of
+//! [`crate::wire`].
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::wire::{decode_frame, encode_frame, DecodeError, Frame};
+
+/// Configuration of a byte channel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelConfig {
+    /// Latency added to every frame flush (simulated network delay).
+    pub latency: Option<Duration>,
+    /// Maximum number of buffered bytes before senders block (simulated
+    /// socket send-buffer); `None` means unbounded.
+    pub capacity: Option<usize>,
+}
+
+impl ChannelConfig {
+    /// An unbounded channel with no injected latency (the default).
+    pub fn fast() -> Self {
+        ChannelConfig::default()
+    }
+
+    /// A channel that delays every frame by `latency`.
+    pub fn with_latency(latency: Duration) -> Self {
+        ChannelConfig {
+            latency: Some(latency),
+            ..Default::default()
+        }
+    }
+}
+
+#[derive(Default)]
+struct Stream {
+    buffer: VecDeque<u8>,
+    closed: bool,
+}
+
+struct Shared {
+    stream: Mutex<Stream>,
+    readable: Condvar,
+    writable: Condvar,
+    config: ChannelConfig,
+}
+
+/// The sending half of a byte channel.
+pub struct ByteSender {
+    shared: Arc<Shared>,
+}
+
+/// The receiving half of a byte channel.
+pub struct ByteReceiver {
+    shared: Arc<Shared>,
+}
+
+/// Creates a connected sender/receiver pair.
+pub fn byte_channel(config: ChannelConfig) -> (ByteSender, ByteReceiver) {
+    let shared = Arc::new(Shared {
+        stream: Mutex::new(Stream::default()),
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+        config,
+    });
+    (
+        ByteSender {
+            shared: Arc::clone(&shared),
+        },
+        ByteReceiver { shared },
+    )
+}
+
+/// Error returned when the peer has closed the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelClosed;
+
+impl std::fmt::Display for ChannelClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("byte channel closed by peer")
+    }
+}
+
+impl std::error::Error for ChannelClosed {}
+
+/// Errors surfaced by [`ByteReceiver::recv_frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// The peer closed the channel (clean end of stream).
+    Closed,
+    /// The stream carried bytes that do not decode as a frame.
+    Malformed(DecodeError),
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Closed => f.write_str("byte channel closed"),
+            RecvError::Malformed(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+impl ByteSender {
+    /// Appends raw bytes to the stream, blocking while the peer's buffer is
+    /// full (when a capacity was configured).
+    pub fn send_bytes(&self, bytes: &[u8]) -> Result<(), ChannelClosed> {
+        if let Some(latency) = self.shared.config.latency {
+            std::thread::sleep(latency);
+        }
+        let mut stream = self.shared.stream.lock();
+        loop {
+            if stream.closed {
+                return Err(ChannelClosed);
+            }
+            let within_capacity = self
+                .shared
+                .config
+                .capacity
+                .map(|cap| stream.buffer.len() + bytes.len() <= cap.max(bytes.len()))
+                .unwrap_or(true);
+            if within_capacity {
+                break;
+            }
+            self.shared.writable.wait(&mut stream);
+        }
+        stream.buffer.extend(bytes.iter().copied());
+        drop(stream);
+        self.shared.readable.notify_one();
+        Ok(())
+    }
+
+    /// Encodes and sends one frame.
+    pub fn send_frame(&self, frame: &Frame) -> Result<(), ChannelClosed> {
+        let encoded: Bytes = encode_frame(frame);
+        self.send_bytes(&encoded)
+    }
+
+    /// Closes the channel; the receiver sees end-of-stream after draining.
+    pub fn close(&self) {
+        let mut stream = self.shared.stream.lock();
+        stream.closed = true;
+        drop(stream);
+        self.shared.readable.notify_all();
+        self.shared.writable.notify_all();
+    }
+}
+
+impl Drop for ByteSender {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl ByteReceiver {
+    /// Blocks until exactly `n` bytes are available and returns them, or
+    /// reports closure if the stream ends first.
+    pub fn recv_exact(&self, n: usize) -> Result<Vec<u8>, ChannelClosed> {
+        let mut stream = self.shared.stream.lock();
+        loop {
+            if stream.buffer.len() >= n {
+                let bytes: Vec<u8> = stream.buffer.drain(..n).collect();
+                drop(stream);
+                self.shared.writable.notify_one();
+                return Ok(bytes);
+            }
+            if stream.closed {
+                return Err(ChannelClosed);
+            }
+            self.shared.readable.wait(&mut stream);
+        }
+    }
+
+    /// Receives one length-prefixed frame, blocking until it is complete.
+    pub fn recv_frame(&self) -> Result<Frame, RecvError> {
+        let header = self.recv_exact(4).map_err(|_| RecvError::Closed)?;
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        let body = self.recv_exact(len).map_err(|_| RecvError::Closed)?;
+        decode_frame(&body).map_err(RecvError::Malformed)
+    }
+
+    /// Returns `true` when the sender has closed the channel and no buffered
+    /// bytes remain.
+    pub fn is_drained(&self) -> bool {
+        let stream = self.shared.stream.lock();
+        stream.closed && stream.buffer.is_empty()
+    }
+
+    /// Number of bytes currently buffered (diagnostics).
+    pub fn buffered_bytes(&self) -> usize {
+        self.shared.stream.lock().buffer.len()
+    }
+}
+
+impl Drop for ByteReceiver {
+    fn drop(&mut self) {
+        // Closing from the receiving side unblocks a sender waiting on
+        // capacity, mirroring a socket reset.
+        let mut stream = self.shared.stream.lock();
+        stream.closed = true;
+        drop(stream);
+        self.shared.writable.notify_all();
+        self.shared.readable.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WireValue;
+
+    #[test]
+    fn frames_cross_the_channel_in_order() {
+        let (sender, receiver) = byte_channel(ChannelConfig::fast());
+        let frames = vec![
+            Frame::Hello {
+                version: 1,
+                client: "c".into(),
+            },
+            Frame::Call {
+                method: "m".into(),
+                args: vec![WireValue::Int(1)],
+            },
+            Frame::Sync,
+            Frame::End,
+        ];
+        for frame in &frames {
+            sender.send_frame(frame).unwrap();
+        }
+        for frame in &frames {
+            assert_eq!(&receiver.recv_frame().unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn receiver_blocks_until_data_arrives() {
+        let (sender, receiver) = byte_channel(ChannelConfig::fast());
+        let reader = std::thread::spawn(move || receiver.recv_frame().unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        sender.send_frame(&Frame::SyncAck).unwrap();
+        assert_eq!(reader.join().unwrap(), Frame::SyncAck);
+    }
+
+    #[test]
+    fn close_is_seen_as_end_of_stream() {
+        let (sender, receiver) = byte_channel(ChannelConfig::fast());
+        sender.send_frame(&Frame::End).unwrap();
+        sender.close();
+        assert_eq!(receiver.recv_frame().unwrap(), Frame::End);
+        assert_eq!(receiver.recv_frame(), Err(RecvError::Closed));
+        assert!(receiver.is_drained());
+        assert!(sender.send_frame(&Frame::Sync).is_err());
+    }
+
+    #[test]
+    fn dropping_sender_closes_the_stream() {
+        let (sender, receiver) = byte_channel(ChannelConfig::fast());
+        drop(sender);
+        assert_eq!(receiver.recv_frame(), Err(RecvError::Closed));
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (sender, receiver) = byte_channel(ChannelConfig {
+            capacity: Some(64),
+            latency: None,
+        });
+        // Fill beyond the capacity from another thread; the sender must not
+        // lose data and must finish once the receiver drains.
+        let writer = std::thread::spawn(move || {
+            for i in 0..100u32 {
+                sender
+                    .send_frame(&Frame::Call {
+                        method: format!("m{i}"),
+                        args: vec![WireValue::Int(i as i64)],
+                    })
+                    .unwrap();
+            }
+        });
+        let mut received = 0;
+        while received < 100 {
+            match receiver.recv_frame().unwrap() {
+                Frame::Call { args, .. } => {
+                    assert_eq!(args[0], WireValue::Int(received));
+                    received += 1;
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn latency_injection_delays_delivery() {
+        let (sender, receiver) = byte_channel(ChannelConfig::with_latency(Duration::from_millis(5)));
+        let start = std::time::Instant::now();
+        for _ in 0..4 {
+            sender.send_frame(&Frame::Sync).unwrap();
+        }
+        for _ in 0..4 {
+            receiver.recv_frame().unwrap();
+        }
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn buffered_bytes_reports_backlog() {
+        let (sender, receiver) = byte_channel(ChannelConfig::fast());
+        assert_eq!(receiver.buffered_bytes(), 0);
+        sender.send_frame(&Frame::Sync).unwrap();
+        assert!(receiver.buffered_bytes() > 0);
+        receiver.recv_frame().unwrap();
+        assert_eq!(receiver.buffered_bytes(), 0);
+    }
+}

@@ -1,0 +1,551 @@
+//! Remote handler nodes and client proxies.
+//!
+//! A [`RemoteNode`] plays the role of a SCOOP handler whose private queues
+//! are byte streams instead of shared-memory SPSC queues: clients register a
+//! channel pair (requests out, responses back) on the node's queue-of-queues,
+//! and the node drains one private queue at a time — exactly the Fig. 7 loop,
+//! with `recv_frame` in place of `dequeue`.  The §2.2 reasoning guarantees
+//! carry over unchanged: frames of one block are applied in order and blocks
+//! are never interleaved, because the node finishes a private queue before
+//! taking the next.
+//!
+//! Differences from the in-memory runtime, all forced by the byte stream:
+//!
+//! * queries are handler-executed (the client cannot touch remote memory),
+//!   so the §3.2 client-executed-query optimisation does not apply — its
+//!   remote analogue is *sync coalescing*, which is implemented: a query
+//!   implies synchronisation, so an immediately following `sync` is elided;
+//! * calls carry method names and serialised arguments ([`crate::registry`])
+//!   rather than closures.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use qs_queues::{Dequeue, QueueOfQueues};
+
+use crate::channel::{byte_channel, ByteReceiver, ByteSender, ChannelConfig, RecvError};
+use crate::registry::RemoteObject;
+use crate::wire::{Frame, WireValue, WIRE_VERSION};
+
+/// Counters describing one node's activity (the remote analogue of
+/// `qs_runtime::RuntimeStats`).
+#[derive(Debug, Default)]
+struct NodeCounters {
+    blocks_served: AtomicU64,
+    calls_applied: AtomicU64,
+    queries_applied: AtomicU64,
+    syncs_acked: AtomicU64,
+    application_errors: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A point-in-time copy of a node's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Private queues (separate blocks) fully served.
+    pub blocks_served: u64,
+    /// Asynchronous calls applied.
+    pub calls_applied: u64,
+    /// Queries applied (and answered).
+    pub queries_applied: u64,
+    /// Sync tokens acknowledged.
+    pub syncs_acked: u64,
+    /// Application-level method errors (reported to clients for queries,
+    /// counted for calls).
+    pub application_errors: u64,
+    /// Malformed or unexpected frames.
+    pub protocol_errors: u64,
+}
+
+struct NodeShared {
+    name: String,
+    qoq: QueueOfQueues<(ByteReceiver, ByteSender)>,
+    channel_config: ChannelConfig,
+    counters: NodeCounters,
+}
+
+/// A handler node owning one remote object and serving clients over byte
+/// channels.
+pub struct RemoteNode<T> {
+    shared: Arc<NodeShared>,
+    final_state: Arc<Mutex<Option<T>>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A client-side handle used to open separate blocks against a node.
+#[derive(Clone)]
+pub struct RemoteProxy {
+    shared: Arc<NodeShared>,
+    client: String,
+}
+
+/// Errors surfaced to remote clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteError {
+    /// The node shut down or the channel closed.
+    Disconnected,
+    /// The node answered with something unexpected (protocol violation).
+    Protocol(String),
+    /// The invoked method reported an error.
+    Application(String),
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteError::Disconnected => f.write_str("remote handler disconnected"),
+            RemoteError::Protocol(m) => write!(f, "protocol error: {m}"),
+            RemoteError::Application(m) => write!(f, "application error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl<T: Send + 'static> RemoteNode<T> {
+    /// Spawns a node thread hosting `object`; private queues created by
+    /// proxies use `channel_config` (latency / capacity injection).
+    pub fn spawn(name: &str, object: RemoteObject<T>, channel_config: ChannelConfig) -> Self {
+        let shared = Arc::new(NodeShared {
+            name: name.to_string(),
+            qoq: QueueOfQueues::new(),
+            channel_config,
+            counters: NodeCounters::default(),
+        });
+        let final_state = Arc::new(Mutex::new(None));
+        let thread_shared = Arc::clone(&shared);
+        let thread_final = Arc::clone(&final_state);
+        let thread = std::thread::Builder::new()
+            .name(format!("remote-node-{name}"))
+            .spawn(move || {
+                let mut object = object;
+                serve(&thread_shared, &mut object);
+                *thread_final.lock() = Some(object.state);
+            })
+            .expect("spawn remote node thread");
+        RemoteNode {
+            shared,
+            final_state,
+            thread: Some(thread),
+        }
+    }
+
+    /// The node's name.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// Creates a client proxy for this node.
+    pub fn proxy(&self, client: &str) -> RemoteProxy {
+        RemoteProxy {
+            shared: Arc::clone(&self.shared),
+            client: client.to_string(),
+        }
+    }
+
+    /// A snapshot of the node's counters.
+    pub fn stats(&self) -> NodeStats {
+        let c = &self.shared.counters;
+        NodeStats {
+            blocks_served: c.blocks_served.load(Ordering::Relaxed),
+            calls_applied: c.calls_applied.load(Ordering::Relaxed),
+            queries_applied: c.queries_applied.load(Ordering::Relaxed),
+            syncs_acked: c.syncs_acked.load(Ordering::Relaxed),
+            application_errors: c.application_errors.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting new private queues; already-registered blocks are
+    /// still drained.
+    pub fn stop(&self) {
+        self.shared.qoq.close();
+    }
+
+    /// Stops the node, waits for the serving thread and returns the final
+    /// object state.
+    pub fn shutdown_and_take(mut self) -> Option<T> {
+        self.stop();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        self.final_state.lock().take()
+    }
+}
+
+impl<T> Drop for RemoteNode<T> {
+    fn drop(&mut self) {
+        self.shared.qoq.close();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl<T: Send + 'static> std::fmt::Debug for RemoteNode<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteNode")
+            .field("name", &self.shared.name)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// The node's serving loop: Fig. 7 over byte channels.
+fn serve<T>(shared: &Arc<NodeShared>, object: &mut RemoteObject<T>) {
+    while let Dequeue::Item((requests, responses)) = shared.qoq.dequeue() {
+        serve_private_queue(shared, object, &requests, &responses);
+        shared.counters.blocks_served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn serve_private_queue<T>(
+    shared: &Arc<NodeShared>,
+    object: &mut RemoteObject<T>,
+    requests: &ByteReceiver,
+    responses: &ByteSender,
+) {
+    loop {
+        match requests.recv_frame() {
+            Ok(Frame::Hello { version, .. }) => {
+                if version != WIRE_VERSION {
+                    shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Ok(Frame::Call { method, args }) => {
+                shared.counters.calls_applied.fetch_add(1, Ordering::Relaxed);
+                if object.apply(&method, &args).is_err() {
+                    // An asynchronous call has nobody to report to; count it,
+                    // matching the in-memory runtime's `call_panics` counter.
+                    shared
+                        .counters
+                        .application_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(Frame::Query { method, args }) => {
+                shared.counters.queries_applied.fetch_add(1, Ordering::Relaxed);
+                let result = object.apply(&method, &args);
+                if result.is_err() {
+                    shared
+                        .counters
+                        .application_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                if responses.send_frame(&Frame::QueryResult { result }).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::Sync) => {
+                shared.counters.syncs_acked.fetch_add(1, Ordering::Relaxed);
+                if responses.send_frame(&Frame::SyncAck).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::End) => return,
+            Ok(unexpected) => {
+                shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = unexpected;
+                return;
+            }
+            Err(RecvError::Closed) => return,
+            Err(RecvError::Malformed(_)) => {
+                shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+impl RemoteProxy {
+    /// Opens a separate block against the node: registers a fresh byte-channel
+    /// private queue on the node's queue-of-queues, runs `body`, then logs the
+    /// END marker (Fig. 8 over the wire).
+    pub fn separate<R>(&self, body: impl FnOnce(&mut RemoteSeparate) -> R) -> R {
+        let (request_tx, request_rx) = byte_channel(self.shared.channel_config);
+        let (response_tx, response_rx) = byte_channel(self.shared.channel_config);
+        if self.shared.qoq.is_closed() {
+            // The node has shut down: dropping the response sender here makes
+            // every query/sync in the body observe `Disconnected` instead of
+            // blocking on a reply that will never come.
+            drop(response_tx);
+            drop(request_rx);
+        } else {
+            self.shared.qoq.enqueue((request_rx, response_tx));
+        }
+        let _ = request_tx.send_frame(&Frame::Hello {
+            version: WIRE_VERSION,
+            client: self.client.clone(),
+        });
+        let mut guard = RemoteSeparate {
+            requests: request_tx,
+            responses: response_rx,
+            synced: false,
+            ended: false,
+        };
+        let result = body(&mut guard);
+        guard.end();
+        result
+    }
+
+    /// Fire-and-forget convenience: a single asynchronous call in its own
+    /// block.
+    pub fn call_detached(&self, method: &str, args: Vec<WireValue>) -> Result<(), RemoteError> {
+        self.separate(|s| s.call(method, args))
+    }
+
+    /// Convenience: a single query in its own block.
+    pub fn query_detached(&self, method: &str, args: Vec<WireValue>) -> Result<WireValue, RemoteError> {
+        self.separate(|s| s.query(method, args))
+    }
+
+    /// The client name this proxy registers under.
+    pub fn client_name(&self) -> &str {
+        &self.client
+    }
+}
+
+impl std::fmt::Debug for RemoteProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteProxy")
+            .field("node", &self.shared.name)
+            .field("client", &self.client)
+            .finish()
+    }
+}
+
+/// One client's reservation of a remote node for the duration of a block.
+pub struct RemoteSeparate {
+    requests: ByteSender,
+    responses: ByteReceiver,
+    synced: bool,
+    ended: bool,
+}
+
+impl RemoteSeparate {
+    /// Logs an asynchronous command (the `call` rule).
+    pub fn call(&mut self, method: &str, args: Vec<WireValue>) -> Result<(), RemoteError> {
+        assert!(!self.ended, "call after the separate block ended");
+        self.synced = false;
+        self.requests
+            .send_frame(&Frame::Call {
+                method: method.to_string(),
+                args,
+            })
+            .map_err(|_| RemoteError::Disconnected)
+    }
+
+    /// Performs a synchronous query and returns its value (the `query` rule).
+    pub fn query(&mut self, method: &str, args: Vec<WireValue>) -> Result<WireValue, RemoteError> {
+        assert!(!self.ended, "query after the separate block ended");
+        self.requests
+            .send_frame(&Frame::Query {
+                method: method.to_string(),
+                args,
+            })
+            .map_err(|_| RemoteError::Disconnected)?;
+        match self.responses.recv_frame() {
+            Ok(Frame::QueryResult { result }) => {
+                // Receiving the result implies the node drained everything we
+                // logged before the query: the block is synchronised (§3.4).
+                self.synced = true;
+                result.map_err(RemoteError::Application)
+            }
+            Ok(other) => Err(RemoteError::Protocol(format!(
+                "expected QueryResult, received {other:?}"
+            ))),
+            Err(_) => Err(RemoteError::Disconnected),
+        }
+    }
+
+    /// Performs an explicit synchronisation; elided if the block is already
+    /// known to be synchronised (dynamic sync coalescing, §3.4.1).
+    pub fn sync(&mut self) -> Result<(), RemoteError> {
+        assert!(!self.ended, "sync after the separate block ended");
+        if self.synced {
+            return Ok(());
+        }
+        self.requests
+            .send_frame(&Frame::Sync)
+            .map_err(|_| RemoteError::Disconnected)?;
+        match self.responses.recv_frame() {
+            Ok(Frame::SyncAck) => {
+                self.synced = true;
+                Ok(())
+            }
+            Ok(other) => Err(RemoteError::Protocol(format!(
+                "expected SyncAck, received {other:?}"
+            ))),
+            Err(_) => Err(RemoteError::Disconnected),
+        }
+    }
+
+    /// Whether the node is known to have applied everything logged so far.
+    pub fn is_synced(&self) -> bool {
+        self.synced
+    }
+
+    /// Ends the block (logged automatically when the guard is dropped).
+    pub fn end(&mut self) {
+        if self.ended {
+            return;
+        }
+        self.ended = true;
+        let _ = self.requests.send_frame(&Frame::End);
+    }
+}
+
+impl Drop for RemoteSeparate {
+    fn drop(&mut self) {
+        self.end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{counter_registry, MethodRegistry};
+
+    fn counter_node(name: &str) -> RemoteNode<i64> {
+        RemoteNode::spawn(
+            name,
+            RemoteObject::new(0i64, counter_registry()),
+            ChannelConfig::fast(),
+        )
+    }
+
+    #[test]
+    fn calls_and_queries_work_over_the_wire() {
+        let node = counter_node("counter");
+        let proxy = node.proxy("client-a");
+        let value = proxy.separate(|s| {
+            for i in 1..=10 {
+                s.call("add", vec![WireValue::Int(i)]).unwrap();
+            }
+            s.query("value", vec![]).unwrap()
+        });
+        assert_eq!(value, WireValue::Int(55));
+        let stats = node.stats();
+        assert_eq!(stats.calls_applied, 10);
+        assert_eq!(stats.queries_applied, 1);
+        assert_eq!(node.shutdown_and_take(), Some(55));
+    }
+
+    #[test]
+    fn blocks_from_concurrent_clients_never_interleave() {
+        // The node's object records (client, seq) pairs; afterwards each
+        // client's block must form a contiguous, ordered run.
+        let registry = MethodRegistry::<Vec<(i64, i64)>>::new().with("record", |log, args| {
+            let client = args[0].as_int()?;
+            let seq = args[1].as_int()?;
+            log.push((client, seq));
+            Ok(WireValue::Unit)
+        });
+        let node = RemoteNode::spawn("log", RemoteObject::new(Vec::new(), registry), ChannelConfig::fast());
+        let mut threads = Vec::new();
+        for client in 0..4i64 {
+            let proxy = node.proxy(&format!("client-{client}"));
+            threads.push(std::thread::spawn(move || {
+                for _block in 0..5 {
+                    proxy.separate(|s| {
+                        for seq in 0..20i64 {
+                            s.call("record", vec![WireValue::Int(client), WireValue::Int(seq)])
+                                .unwrap();
+                        }
+                    });
+                }
+            }));
+        }
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        let log = node.shutdown_and_take().unwrap();
+        assert_eq!(log.len(), 4 * 5 * 20);
+        // Split into runs of 20 and check each is one client's 0..20 sequence.
+        for chunk in log.chunks(20) {
+            let client = chunk[0].0;
+            for (i, &(c, seq)) in chunk.iter().enumerate() {
+                assert_eq!(c, client, "block interleaved with another client");
+                assert_eq!(seq, i as i64, "calls reordered within a block");
+            }
+        }
+    }
+
+    #[test]
+    fn sync_coalescing_elides_redundant_syncs() {
+        let node = counter_node("counter");
+        let proxy = node.proxy("client");
+        proxy.separate(|s| {
+            s.call("add", vec![WireValue::Int(1)]).unwrap();
+            s.sync().unwrap();
+            assert!(s.is_synced());
+            // Already synced: these must not produce extra round-trips.
+            s.sync().unwrap();
+            s.sync().unwrap();
+            // A query also leaves the block synced.
+            s.query("value", vec![]).unwrap();
+            s.sync().unwrap();
+            // A new call invalidates the synced state.
+            s.call("add", vec![WireValue::Int(1)]).unwrap();
+            assert!(!s.is_synced());
+            s.sync().unwrap();
+        });
+        let stats = node.stats();
+        assert_eq!(stats.syncs_acked, 2, "only two sync round-trips should reach the node");
+    }
+
+    #[test]
+    fn application_errors_are_reported_to_queries_and_counted_for_calls() {
+        let node = counter_node("counter");
+        let proxy = node.proxy("client");
+        let err = proxy.query_detached("missing", vec![]).unwrap_err();
+        assert!(matches!(err, RemoteError::Application(_)));
+        proxy.call_detached("missing", vec![]).unwrap();
+        // Wait until the node has drained the block, then check the counter.
+        proxy.query_detached("value", vec![]).unwrap();
+        let stats = node.stats();
+        assert_eq!(stats.application_errors, 2);
+        assert!(err.to_string().contains("no method"));
+    }
+
+    #[test]
+    fn latency_injection_still_preserves_order() {
+        let node = RemoteNode::spawn(
+            "slow",
+            RemoteObject::new(0i64, counter_registry()),
+            ChannelConfig::with_latency(std::time::Duration::from_millis(1)),
+        );
+        let proxy = node.proxy("client");
+        let value = proxy.separate(|s| {
+            for _ in 0..5 {
+                s.call("add", vec![WireValue::Int(2)]).unwrap();
+            }
+            s.query("value", vec![]).unwrap()
+        });
+        assert_eq!(value, WireValue::Int(10));
+    }
+
+    #[test]
+    fn node_shutdown_disconnects_new_blocks() {
+        let node = counter_node("counter");
+        let proxy = node.proxy("client");
+        node.stop();
+        // The queue-of-queues is closed: new registrations are dropped and
+        // queries observe the disconnect rather than hanging.
+        let result = proxy.separate(|s| s.query("value", vec![]));
+        assert_eq!(result, Err(RemoteError::Disconnected));
+    }
+
+    #[test]
+    fn debug_and_stats_are_exposed() {
+        let node = counter_node("counter");
+        let proxy = node.proxy("debug-client");
+        assert!(format!("{node:?}").contains("counter"));
+        assert!(format!("{proxy:?}").contains("debug-client"));
+        assert_eq!(proxy.client_name(), "debug-client");
+        assert_eq!(node.stats(), NodeStats::default());
+    }
+}

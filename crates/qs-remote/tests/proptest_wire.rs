@@ -1,0 +1,68 @@
+//! Property-based tests for the qs-remote wire format and transport.
+
+use bytes::Buf;
+use proptest::prelude::*;
+
+use qs_remote::{byte_channel, decode_frame, encode_frame, ChannelConfig, Frame, WireValue};
+
+fn arb_wire_value(depth: u32) -> impl Strategy<Value = WireValue> {
+    let leaf = prop_oneof![
+        Just(WireValue::Unit),
+        any::<i64>().prop_map(WireValue::Int),
+        any::<bool>().prop_map(WireValue::Bool),
+        // NaN breaks PartialEq-based round-trip comparison; finite floats only.
+        (-1.0e12f64..1.0e12).prop_map(WireValue::Float),
+        "[a-zA-Z0-9 _αβγ-]{0,24}".prop_map(WireValue::Str),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(WireValue::Bytes),
+    ];
+    leaf.prop_recursive(depth, 64, 8, |inner| {
+        proptest::collection::vec(inner, 0..8).prop_map(WireValue::List)
+    })
+}
+
+fn arb_args() -> impl Strategy<Value = Vec<WireValue>> {
+    proptest::collection::vec(arb_wire_value(3), 0..6)
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        ("[a-z_]{1,16}", arb_args()).prop_map(|(method, args)| Frame::Call { method, args }),
+        ("[a-z_]{1,16}", arb_args()).prop_map(|(method, args)| Frame::Query { method, args }),
+        Just(Frame::Sync),
+        Just(Frame::SyncAck),
+        Just(Frame::End),
+        "[a-z0-9-]{0,16}".prop_map(|client| Frame::Hello { version: 1, client }),
+        arb_wire_value(2).prop_map(|v| Frame::QueryResult { result: Ok(v) }),
+        "[ -~]{0,32}".prop_map(|e| Frame::QueryResult { result: Err(e) }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_frame_round_trips(frame in arb_frame()) {
+        let encoded = encode_frame(&frame);
+        let mut cursor = &encoded[..];
+        let len = cursor.get_u32_le() as usize;
+        prop_assert_eq!(cursor.len(), len);
+        let decoded = decode_frame(cursor).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(body in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = decode_frame(&body);
+    }
+
+    #[test]
+    fn frame_sequences_survive_the_channel(frames in proptest::collection::vec(arb_frame(), 1..24)) {
+        let (sender, receiver) = byte_channel(ChannelConfig::fast());
+        for frame in &frames {
+            sender.send_frame(frame).unwrap();
+        }
+        for frame in &frames {
+            prop_assert_eq!(&receiver.recv_frame().unwrap(), frame);
+        }
+    }
+}

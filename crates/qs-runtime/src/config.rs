@@ -1,0 +1,190 @@
+//! Runtime configuration: the optimisation axes evaluated in §4 of the paper.
+
+use std::fmt;
+
+/// The five named configurations compared in §4 (Tables 1 and 2).
+///
+/// Each level maps to a [`RuntimeConfig`]; the *Static* level additionally
+/// requires the program to have been transformed by the sync-coalescing pass
+/// (either via `qs-compiler` or by hand-hoisting [`crate::Separate::sync`]
+/// out of loops), which the workload crate takes care of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptimizationLevel {
+    /// No optimisations: lock-based handler reservation, handler-executed
+    /// queries, a sync round-trip per query.
+    None,
+    /// Dynamic sync-coalescing (§3.4.1) plus client-executed queries (§3.2).
+    Dynamic,
+    /// Static sync-coalescing (§3.4.2): the program performs explicit,
+    /// statically-placed syncs; the runtime itself runs like `None` but with
+    /// client-executed queries so elided syncs actually pay nothing.
+    Static,
+    /// Queue-of-queues communication (§2.3/§3.1) without any sync reduction.
+    QoQ,
+    /// All optimisations together: the full SCOOP/Qs runtime.
+    All,
+}
+
+impl OptimizationLevel {
+    /// All five levels in the order the paper's tables list them.
+    pub const ALL: [OptimizationLevel; 5] = [
+        OptimizationLevel::None,
+        OptimizationLevel::Dynamic,
+        OptimizationLevel::Static,
+        OptimizationLevel::QoQ,
+        OptimizationLevel::All,
+    ];
+
+    /// The [`RuntimeConfig`] corresponding to this level.
+    pub fn config(self) -> RuntimeConfig {
+        match self {
+            OptimizationLevel::None => RuntimeConfig::unoptimized(),
+            OptimizationLevel::Dynamic => RuntimeConfig {
+                dynamic_sync_coalescing: true,
+                client_executed_queries: true,
+                ..RuntimeConfig::unoptimized()
+            },
+            OptimizationLevel::Static => RuntimeConfig {
+                client_executed_queries: true,
+                assume_static_sync: true,
+                ..RuntimeConfig::unoptimized()
+            },
+            OptimizationLevel::QoQ => RuntimeConfig {
+                queue_of_queues: true,
+                ..RuntimeConfig::unoptimized()
+            },
+            OptimizationLevel::All => RuntimeConfig::all_optimizations(),
+        }
+    }
+
+    /// The short name used in the paper's tables ("none", "Dyn.", …).
+    pub fn label(self) -> &'static str {
+        match self {
+            OptimizationLevel::None => "None",
+            OptimizationLevel::Dynamic => "Dynamic",
+            OptimizationLevel::Static => "Static",
+            OptimizationLevel::QoQ => "QoQ",
+            OptimizationLevel::All => "All",
+        }
+    }
+}
+
+impl fmt::Display for OptimizationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fine-grained runtime switches; see [`OptimizationLevel`] for the bundles
+/// evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Use the queue-of-queues + private SPSC queues communication structure.
+    /// When `false`, the pre-Qs lock-based handler (single request queue,
+    /// handler lock held for the whole separate block) is used.
+    pub queue_of_queues: bool,
+    /// Execute queries on the client after a sync, instead of packaging the
+    /// call and running it on the handler (§3.2).
+    pub client_executed_queries: bool,
+    /// Track a `synced` flag per private queue and skip redundant sync
+    /// round-trips (§3.4.1).
+    pub dynamic_sync_coalescing: bool,
+    /// The program has been statically transformed so that explicit
+    /// [`crate::Separate::sync`] calls are already minimal; queries issued
+    /// through [`crate::Separate::query_unsynced`] skip even the dynamic
+    /// synced-flag check.  This flag exists for reporting purposes (it does
+    /// not change runtime behaviour on its own).
+    pub assume_static_sync: bool,
+    /// Maximum number of idle handler threads kept cached for reuse.
+    pub handler_thread_cache: usize,
+}
+
+impl RuntimeConfig {
+    /// The unoptimised baseline: lock-based handlers, handler-executed
+    /// queries, no sync coalescing.
+    pub fn unoptimized() -> Self {
+        RuntimeConfig {
+            queue_of_queues: false,
+            client_executed_queries: false,
+            dynamic_sync_coalescing: false,
+            assume_static_sync: false,
+            handler_thread_cache: 64,
+        }
+    }
+
+    /// Every optimisation enabled: the full SCOOP/Qs runtime.
+    pub fn all_optimizations() -> Self {
+        RuntimeConfig {
+            queue_of_queues: true,
+            client_executed_queries: true,
+            dynamic_sync_coalescing: true,
+            assume_static_sync: true,
+            handler_thread_cache: 64,
+        }
+    }
+
+    /// The configuration for a named optimisation level.
+    pub fn for_level(level: OptimizationLevel) -> Self {
+        level.config()
+    }
+}
+
+impl Default for RuntimeConfig {
+    /// Defaults to the fully optimised SCOOP/Qs configuration.
+    fn default() -> Self {
+        Self::all_optimizations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fully_optimized() {
+        let c = RuntimeConfig::default();
+        assert!(c.queue_of_queues);
+        assert!(c.client_executed_queries);
+        assert!(c.dynamic_sync_coalescing);
+    }
+
+    #[test]
+    fn none_level_disables_everything() {
+        let c = OptimizationLevel::None.config();
+        assert!(!c.queue_of_queues);
+        assert!(!c.client_executed_queries);
+        assert!(!c.dynamic_sync_coalescing);
+        assert!(!c.assume_static_sync);
+    }
+
+    #[test]
+    fn qoq_level_enables_only_queues() {
+        let c = OptimizationLevel::QoQ.config();
+        assert!(c.queue_of_queues);
+        assert!(!c.client_executed_queries);
+        assert!(!c.dynamic_sync_coalescing);
+    }
+
+    #[test]
+    fn dynamic_level_enables_coalescing_and_client_queries() {
+        let c = OptimizationLevel::Dynamic.config();
+        assert!(!c.queue_of_queues);
+        assert!(c.client_executed_queries);
+        assert!(c.dynamic_sync_coalescing);
+    }
+
+    #[test]
+    fn static_level_marks_static_sync() {
+        let c = OptimizationLevel::Static.config();
+        assert!(c.assume_static_sync);
+        assert!(c.client_executed_queries);
+        assert!(!c.dynamic_sync_coalescing);
+    }
+
+    #[test]
+    fn labels_match_paper_tables() {
+        let labels: Vec<_> = OptimizationLevel::ALL.iter().map(|l| l.label()).collect();
+        assert_eq!(labels, vec!["None", "Dynamic", "Static", "QoQ", "All"]);
+        assert_eq!(OptimizationLevel::All.to_string(), "All");
+    }
+}

@@ -1,0 +1,454 @@
+//! Contracts on separate objects: wait conditions and postconditions.
+//!
+//! The paper's motivation for SCOOP is that concurrent code should keep the
+//! pre/postcondition reasoning of sequential code (§1, §2.2).  On a
+//! *separate* target a precondition cannot simply fail — whether it holds
+//! depends on what other clients have done — so SCOOP turns it into a **wait
+//! condition**: the reservation is retried until the condition holds, and
+//! once the body runs the condition is guaranteed because no other client's
+//! requests can be interleaved with the block's (guarantee 2 of §2.2).
+//!
+//! The functions here implement that protocol on top of the queue-of-queues
+//! runtime:
+//!
+//! * [`separate_when`] / [`try_separate_when`] — single-handler reservation
+//!   guarded by a wait condition;
+//! * [`separate2_when`] — a two-handler reservation guarded by a joint wait
+//!   condition over both objects (the Fig. 5 consistency situation);
+//! * [`check_postcondition`] / [`assert_postcondition`] — postcondition
+//!   evaluation at the end of a block.
+//!
+//! A wait condition must be placed on the *reservation*, not inside an open
+//! separate block: while a client's block is open the handler does not
+//! process any other client, so a condition that depends on other clients'
+//! progress could never become true — the classic way to build a deadlock
+//! out of condition synchronisation.  The API makes the correct structure
+//! the easy one: the condition is evaluated and the block body runs under
+//! the same reservation, and between retries the reservation is released so
+//! other clients can make the condition true.
+
+use std::sync::Arc;
+
+use qs_sync::Backoff;
+
+use crate::handler::Handler;
+use crate::reservation::separate2;
+use crate::separate::Separate;
+use crate::stats::RuntimeStats;
+
+/// Retry policy for wait conditions.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitConfig {
+    /// Maximum number of failed condition evaluations before giving up;
+    /// `None` retries forever (the SCOOP semantics).
+    pub max_retries: Option<usize>,
+    /// After this many spin-retries the client starts yielding the CPU
+    /// between attempts.
+    pub spin_retries: usize,
+}
+
+impl Default for WaitConfig {
+    fn default() -> Self {
+        WaitConfig {
+            max_retries: None,
+            spin_retries: 8,
+        }
+    }
+}
+
+impl WaitConfig {
+    /// A policy that gives up after `max_retries` failed evaluations.
+    pub fn bounded(max_retries: usize) -> Self {
+        WaitConfig {
+            max_retries: Some(max_retries),
+            ..Default::default()
+        }
+    }
+}
+
+/// Returned by [`try_separate_when`] when the wait condition did not hold
+/// within the configured retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeout {
+    /// How many times the condition was evaluated.
+    pub attempts: usize,
+}
+
+impl std::fmt::Display for WaitTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wait condition still false after {} attempts", self.attempts)
+    }
+}
+
+impl std::error::Error for WaitTimeout {}
+
+/// Reserves `handler` once the wait condition holds, and runs `body` under
+/// that same reservation.  Retries forever (releasing the reservation between
+/// attempts so other clients can make the condition true).
+pub fn separate_when<T, R>(
+    handler: &Handler<T>,
+    condition: impl Fn(&T) -> bool + Send + Sync + 'static,
+    body: impl FnOnce(&mut Separate<'_, T>) -> R,
+) -> R
+where
+    T: Send + 'static,
+{
+    match try_separate_when(handler, WaitConfig::default(), condition, body) {
+        Ok(result) => result,
+        Err(_) => unreachable!("unbounded wait config cannot time out"),
+    }
+}
+
+/// Like [`separate_when`] but with an explicit retry policy.
+pub fn try_separate_when<T, R>(
+    handler: &Handler<T>,
+    config: WaitConfig,
+    condition: impl Fn(&T) -> bool + Send + Sync + 'static,
+    body: impl FnOnce(&mut Separate<'_, T>) -> R,
+) -> Result<R, WaitTimeout>
+where
+    T: Send + 'static,
+{
+    let condition = Arc::new(condition);
+    let stats = Arc::clone(handler.stats());
+    let mut body = Some(body);
+    let mut attempts = 0usize;
+    let backoff = Backoff::new();
+    loop {
+        attempts += 1;
+        RuntimeStats::bump(&stats.wait_condition_checks);
+        let outcome = handler.separate(|guard| {
+            let predicate = Arc::clone(&condition);
+            if guard.query(move |object| predicate(object)) {
+                // The condition holds and, because the reservation stays
+                // open, no other client can invalidate it before the body
+                // has run (§2.2 guarantee 2).
+                let body = body.take().expect("body consumed once");
+                Some(body(guard))
+            } else {
+                None
+            }
+        });
+        match outcome {
+            Some(result) => return Ok(result),
+            None => {
+                RuntimeStats::bump(&stats.wait_condition_retries);
+                if let Some(limit) = config.max_retries {
+                    if attempts >= limit {
+                        return Err(WaitTimeout { attempts });
+                    }
+                }
+                if attempts <= config.spin_retries {
+                    backoff.spin();
+                } else {
+                    std::thread::yield_now();
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+}
+
+/// Reserves two handlers atomically once the joint wait condition over both
+/// objects holds, then runs `body` under that same reservation.
+pub fn separate2_when<A, B, R>(
+    a: &Handler<A>,
+    b: &Handler<B>,
+    condition: impl Fn(&A, &B) -> bool + Send + Sync + 'static,
+    body: impl FnOnce(&mut Separate<'_, A>, &mut Separate<'_, B>) -> R,
+) -> R
+where
+    A: Send + 'static,
+    B: Send + 'static,
+{
+    match try_separate2_when(a, b, WaitConfig::default(), condition, body) {
+        Ok(result) => result,
+        Err(_) => unreachable!("unbounded wait config cannot time out"),
+    }
+}
+
+/// Like [`separate2_when`] but with an explicit retry policy.
+pub fn try_separate2_when<A, B, R>(
+    a: &Handler<A>,
+    b: &Handler<B>,
+    config: WaitConfig,
+    condition: impl Fn(&A, &B) -> bool + Send + Sync + 'static,
+    body: impl FnOnce(&mut Separate<'_, A>, &mut Separate<'_, B>) -> R,
+) -> Result<R, WaitTimeout>
+where
+    A: Send + 'static,
+    B: Send + 'static,
+{
+    let stats = Arc::clone(a.stats());
+    let mut body = Some(body);
+    let mut attempts = 0usize;
+    let backoff = Backoff::new();
+    loop {
+        attempts += 1;
+        RuntimeStats::bump(&stats.wait_condition_checks);
+        let outcome = separate2(a, b, |sa, sb| {
+            // Evaluate the joint condition with both handlers synchronised:
+            // after the two syncs both handlers are parked on this client's
+            // (empty) private queues, so reading both objects together is
+            // race-free and the pair is mutually consistent (Fig. 5).
+            sa.sync();
+            sb.sync();
+            let holds = sa.query_unsynced(|object_a| {
+                sb.query_unsynced(|object_b| condition(object_a, object_b))
+            });
+            if holds {
+                let body = body.take().expect("body consumed once");
+                Some(body(sa, sb))
+            } else {
+                None
+            }
+        });
+        match outcome {
+            Some(result) => return Ok(result),
+            None => {
+                RuntimeStats::bump(&stats.wait_condition_retries);
+                if let Some(limit) = config.max_retries {
+                    if attempts >= limit {
+                        return Err(WaitTimeout { attempts });
+                    }
+                }
+                if attempts <= config.spin_retries {
+                    backoff.spin();
+                } else {
+                    std::thread::yield_now();
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates a postcondition at the current point of a separate block and
+/// returns whether it holds.  All calls logged earlier in the block are
+/// applied before the predicate runs (it is a query).
+pub fn check_postcondition<T: Send + 'static>(
+    guard: &mut Separate<'_, T>,
+    predicate: impl Fn(&T) -> bool + Send + 'static,
+) -> bool {
+    let stats = Arc::clone(guard.stats());
+    RuntimeStats::bump(&stats.postcondition_checks);
+    let holds = guard.query(move |object| predicate(object));
+    if !holds {
+        RuntimeStats::bump(&stats.postcondition_failures);
+    }
+    holds
+}
+
+/// Like [`check_postcondition`] but panics with `message` when the
+/// postcondition does not hold.
+pub fn assert_postcondition<T: Send + 'static>(
+    guard: &mut Separate<'_, T>,
+    message: &str,
+    predicate: impl Fn(&T) -> bool + Send + 'static,
+) {
+    assert!(
+        check_postcondition(guard, predicate),
+        "postcondition violated: {message}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{OptimizationLevel, RuntimeConfig};
+    use crate::runtime::Runtime;
+
+    #[derive(Default)]
+    struct Buffer {
+        items: Vec<u64>,
+        capacity: usize,
+    }
+
+    #[test]
+    fn producer_consumer_with_wait_conditions() {
+        for level in [OptimizationLevel::All, OptimizationLevel::None] {
+            let rt = Runtime::new(level.config());
+            let buffer = rt.spawn_handler(Buffer {
+                items: Vec::new(),
+                capacity: 4,
+            });
+            let total_items = 200u64;
+
+            let producer = {
+                let buffer = buffer.clone();
+                std::thread::spawn(move || {
+                    for i in 0..total_items {
+                        // Wait until there is room (bounded buffer).
+                        separate_when(
+                            &buffer,
+                            |b: &Buffer| b.items.len() < b.capacity,
+                            |guard| guard.call(move |b| b.items.push(i)),
+                        );
+                    }
+                })
+            };
+            let consumer = {
+                let buffer = buffer.clone();
+                std::thread::spawn(move || {
+                    let mut received = Vec::new();
+                    while received.len() < total_items as usize {
+                        // Wait until the buffer is non-empty, then drain it.
+                        let batch = separate_when(
+                            &buffer,
+                            |b: &Buffer| !b.items.is_empty(),
+                            |guard| guard.query(|b| std::mem::take(&mut b.items)),
+                        );
+                        received.extend(batch);
+                    }
+                    received
+                })
+            };
+
+            producer.join().unwrap();
+            let received = consumer.join().unwrap();
+            assert_eq!(received, (0..total_items).collect::<Vec<_>>(), "level {level}");
+            let snap = rt.stats_snapshot();
+            assert!(snap.wait_condition_checks >= 2 * total_items);
+        }
+    }
+
+    #[test]
+    fn condition_already_true_runs_immediately() {
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let cell = rt.spawn_handler(10u32);
+        let doubled = separate_when(&cell, |n| *n >= 10, |guard| guard.query(|n| *n * 2));
+        assert_eq!(doubled, 20);
+        let snap = rt.stats_snapshot();
+        assert_eq!(snap.wait_condition_retries, 0);
+        assert_eq!(snap.wait_condition_checks, 1);
+    }
+
+    #[test]
+    fn bounded_wait_times_out_when_nobody_helps() {
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let cell = rt.spawn_handler(0u32);
+        let result = try_separate_when(
+            &cell,
+            WaitConfig::bounded(5),
+            |n| *n > 0,
+            |guard| guard.query(|n| *n),
+        );
+        assert_eq!(result, Err(WaitTimeout { attempts: 5 }));
+        assert!(rt.stats_snapshot().wait_condition_retries >= 5);
+        assert!(WaitTimeout { attempts: 5 }.to_string().contains("5 attempts"));
+    }
+
+    #[test]
+    fn wait_condition_released_between_retries_lets_others_progress() {
+        // A waiter needs the flag to become true; a helper sets it after a
+        // while.  If the waiter held its reservation while waiting this would
+        // deadlock — the test passing is evidence the reservation is released
+        // between attempts.
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let flag = rt.spawn_handler(false);
+        let helper = {
+            let flag = flag.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                flag.call_detached(|f| *f = true);
+            })
+        };
+        let observed = separate_when(&flag, |f| *f, |guard| guard.query(|f| *f));
+        assert!(observed);
+        helper.join().unwrap();
+    }
+
+    #[test]
+    fn two_handler_wait_condition_sees_consistent_pair() {
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let source = rt.spawn_handler(100i64);
+        let target = rt.spawn_handler(0i64);
+
+        // Move money only when the source can afford it.
+        let mover = {
+            let (source, target) = (source.clone(), target.clone());
+            std::thread::spawn(move || {
+                for _ in 0..10 {
+                    separate2_when(
+                        &source,
+                        &target,
+                        |s, _t| *s >= 10,
+                        |ss, st| {
+                            ss.call(|s| *s -= 10);
+                            st.call(|t| *t += 10);
+                        },
+                    );
+                }
+            })
+        };
+        mover.join().unwrap();
+        let total = separate2(&source, &target, |ss, st| ss.query(|s| *s) + st.query(|t| *t));
+        assert_eq!(total, 100);
+        assert_eq!(target.query_detached(|t| *t), 100);
+    }
+
+    #[test]
+    fn two_handler_bounded_wait_times_out() {
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let a = rt.spawn_handler(0u32);
+        let b = rt.spawn_handler(0u32);
+        let result = try_separate2_when(
+            &a,
+            &b,
+            WaitConfig::bounded(3),
+            |x, y| *x + *y > 0,
+            |_, _| 1u32,
+        );
+        assert_eq!(result, Err(WaitTimeout { attempts: 3 }));
+    }
+
+    #[test]
+    fn postconditions_are_counted_and_asserted() {
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let account = rt.spawn_handler(50i64);
+        account.separate(|guard| {
+            guard.call(|balance| *balance += 25);
+            assert!(check_postcondition(guard, |balance| *balance == 75));
+            assert!(!check_postcondition(guard, |balance| *balance < 0));
+            assert_postcondition(guard, "balance stays positive", |balance| *balance > 0);
+        });
+        let snap = rt.stats_snapshot();
+        assert_eq!(snap.postcondition_checks, 3);
+        assert_eq!(snap.postcondition_failures, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "postcondition violated: never negative")]
+    fn failed_assert_postcondition_panics() {
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let cell = rt.spawn_handler(-1i32);
+        cell.separate(|guard| {
+            assert_postcondition(guard, "never negative", |n| *n >= 0);
+        });
+    }
+
+    #[test]
+    fn wait_conditions_work_on_every_optimization_level() {
+        for level in [
+            OptimizationLevel::None,
+            OptimizationLevel::Dynamic,
+            OptimizationLevel::Static,
+            OptimizationLevel::QoQ,
+            OptimizationLevel::All,
+        ] {
+            let rt = Runtime::new(level.config());
+            let counter = rt.spawn_handler(0u32);
+            let adder = {
+                let counter = counter.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        counter.call_detached(|n| *n += 1);
+                    }
+                })
+            };
+            let observed = separate_when(&counter, |n| *n >= 50, |guard| guard.query(|n| *n));
+            assert!(observed >= 50, "level {level}");
+            adder.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! Handlers (SCOOP *processors*): the threads of execution that own objects.
+//!
+//! "The SCOOP model associates every object with a thread of execution, its
+//! handler. There can be many objects associated to a single handler, but
+//! every object has exactly one handler" (§2.1).  In this reproduction a
+//! [`Handler<T>`] owns a single Rust value of type `T` (which may of course
+//! be an arbitrarily large object graph); clients may only reach that value
+//! through separate blocks.
+//!
+//! The handler's main loop is a direct transcription of Fig. 7 of the paper:
+//! dequeue private queues from the queue-of-queues, and for each private
+//! queue dequeue and execute calls until the client signals the end of its
+//! separate block.  The lock-based pre-Qs loop (used when
+//! [`RuntimeConfig::queue_of_queues`] is off) drains a single shared request
+//! queue instead.
+
+use std::cell::UnsafeCell;
+use std::mem::ManuallyDrop;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use qs_queues::{Dequeue, MutexQueue, QueueOfQueues, SpscConsumer};
+use qs_sync::{Event, SpinLock};
+
+use crate::config::RuntimeConfig;
+use crate::request::Request;
+use crate::separate::Separate;
+use crate::stats::RuntimeStats;
+
+/// Unique identifier of a handler within one process.
+pub type HandlerId = u64;
+
+/// Shared state of one handler, owned jointly by the handler thread and all
+/// client-side [`Handler`] handles.
+pub(crate) struct HandlerCore<T> {
+    pub(crate) id: HandlerId,
+    pub(crate) config: RuntimeConfig,
+    pub(crate) stats: Arc<RuntimeStats>,
+    /// The object owned by this handler.  Accessed mutably by the handler
+    /// thread while executing requests, and by a client thread while it is
+    /// executing a client-side query (during which the handler is guaranteed
+    /// to be parked on that client's queue — see §3.2).
+    object: UnsafeCell<ManuallyDrop<T>>,
+    object_taken: AtomicBool,
+
+    /// Queue-of-queues (QoQ configuration): each element is the consumer end
+    /// of one client's private queue.
+    pub(crate) qoq: QueueOfQueues<SpscConsumer<Request<T>>>,
+    /// Spinlock serialising *multi-handler* reservations (§3.3).  Single
+    /// reservations enqueue lock-free and never touch it.
+    pub(crate) reservation_lock: SpinLock<()>,
+
+    /// Single request queue (lock-based configuration).
+    pub(crate) request_queue: MutexQueue<Request<T>>,
+    /// Handler lock held by the reserving client for the whole separate block
+    /// (lock-based configuration; Fig. 2 of the paper).
+    pub(crate) client_lock: parking_lot::Mutex<()>,
+
+    stopped: AtomicBool,
+    finished: Event,
+    final_value: SpinLock<Option<T>>,
+}
+
+// SAFETY: access to `object` is serialised by the execution model (handler
+// executes requests sequentially; a client touches the object only while the
+// handler is parked on that client's private queue).  All other fields are
+// thread-safe primitives.
+unsafe impl<T: Send> Send for HandlerCore<T> {}
+unsafe impl<T: Send> Sync for HandlerCore<T> {}
+
+impl<T: Send + 'static> HandlerCore<T> {
+    pub(crate) fn new(
+        id: HandlerId,
+        config: RuntimeConfig,
+        stats: Arc<RuntimeStats>,
+        object: T,
+    ) -> Arc<Self> {
+        Arc::new(HandlerCore {
+            id,
+            config,
+            stats,
+            object: UnsafeCell::new(ManuallyDrop::new(object)),
+            object_taken: AtomicBool::new(false),
+            qoq: QueueOfQueues::new(),
+            reservation_lock: SpinLock::new(()),
+            request_queue: MutexQueue::new(),
+            client_lock: parking_lot::Mutex::new(()),
+            stopped: AtomicBool::new(false),
+            finished: Event::new(),
+            final_value: SpinLock::new(None),
+        })
+    }
+
+    /// Pointer to the handler-owned object.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that the handler thread is not concurrently
+    /// executing a request for the duration of the access.  The runtime
+    /// establishes this for client-side queries by first performing a sync:
+    /// after the sync completes the handler is parked on the caller's own
+    /// private queue (or, on the lock-based path, on the empty shared request
+    /// queue while the caller holds the handler lock).
+    pub(crate) unsafe fn object_mut(&self) -> &mut T {
+        &mut *(*self.object.get())
+    }
+
+    /// Applies one request to the object.  Returns `false` when the request
+    /// signals the end of the current private queue.
+    pub(crate) fn apply(&self, request: Request<T>) -> bool {
+        match request {
+            Request::Call(f) | Request::Query(f) => {
+                // SAFETY: only the handler thread calls `apply`, and clients
+                // only access the object while the handler is parked.
+                let object = unsafe { self.object_mut() };
+                if catch_unwind(AssertUnwindSafe(|| f(object))).is_err() {
+                    RuntimeStats::bump(&self.stats.call_panics);
+                }
+                true
+            }
+            Request::Sync(handoff) => {
+                handoff.complete(());
+                true
+            }
+            Request::End => false,
+        }
+    }
+
+    /// Marks the handler as stopping and wakes it so it can exit.
+    pub(crate) fn stop(&self) {
+        if !self.stopped.swap(true, Ordering::AcqRel) {
+            self.qoq.close();
+            self.request_queue.close();
+        }
+    }
+
+    /// Returns `true` once [`stop`](Self::stop) has been called.
+    pub(crate) fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::Acquire)
+    }
+
+    /// Handler thread body: drains work until stopped, then parks the final
+    /// object value for retrieval.
+    pub(crate) fn run(self: &Arc<Self>) {
+        if self.config.queue_of_queues {
+            self.run_queue_of_queues();
+        } else {
+            self.run_lock_based();
+        }
+        // Move the object out so `shutdown_and_take` can return it.
+        if !self.object_taken.swap(true, Ordering::AcqRel) {
+            // SAFETY: the handler loop has exited, no request will ever touch
+            // the object again, and the `object_taken` flag guarantees a
+            // single take.
+            let value = unsafe { ManuallyDrop::take(&mut *self.object.get()) };
+            *self.final_value.lock() = Some(value);
+        }
+        self.finished.set();
+    }
+
+    /// Fig. 7: the queue-of-queues main loop.
+    fn run_queue_of_queues(self: &Arc<Self>) {
+        // RUN rule: take the next private queue, if any.
+        while let Dequeue::Item(private_queue) = self.qoq.dequeue() {
+            // Process calls from this private queue until the client ends its
+            // separate block (END rule).
+            loop {
+                match private_queue.dequeue() {
+                    Dequeue::Item(request) => {
+                        if !self.apply(request) {
+                            break;
+                        }
+                    }
+                    Dequeue::Closed => break,
+                }
+            }
+        }
+    }
+
+    /// The pre-Qs lock-based loop: a single shared request queue.
+    fn run_lock_based(self: &Arc<Self>) {
+        while let Dequeue::Item(request) = self.request_queue.dequeue() {
+            self.apply(request);
+        }
+    }
+
+    fn wait_finished(&self) {
+        self.finished.wait();
+    }
+
+    fn take_final_value(&self) -> Option<T> {
+        self.final_value.lock().take()
+    }
+}
+
+impl<T> Drop for HandlerCore<T> {
+    fn drop(&mut self) {
+        if !*self.object_taken.get_mut() {
+            // SAFETY: exclusive access during drop; the value was never taken.
+            unsafe { ManuallyDrop::drop(self.object.get_mut()) };
+        }
+    }
+}
+
+/// Closes the handler's queues when the last client-side handle goes away.
+struct ShutdownOnLastHandle<T: Send + 'static> {
+    core: Arc<HandlerCore<T>>,
+}
+
+impl<T: Send + 'static> Drop for ShutdownOnLastHandle<T> {
+    fn drop(&mut self) {
+        self.core.stop();
+    }
+}
+
+/// A client-side handle to a handler owning a value of type `T`.
+///
+/// Handles are cheap to clone and may be shared freely between threads; the
+/// handler shuts down (after draining already-logged work) when the last
+/// handle is dropped, or earlier if [`Handler::stop`] is called.
+pub struct Handler<T: Send + 'static> {
+    core: Arc<HandlerCore<T>>,
+    shutdown: Arc<ShutdownOnLastHandle<T>>,
+}
+
+impl<T: Send + 'static> Clone for Handler<T> {
+    fn clone(&self) -> Self {
+        Handler {
+            core: Arc::clone(&self.core),
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+}
+
+impl<T: Send + 'static> Handler<T> {
+    pub(crate) fn from_core(core: Arc<HandlerCore<T>>) -> Self {
+        let shutdown = Arc::new(ShutdownOnLastHandle {
+            core: Arc::clone(&core),
+        });
+        Handler { core, shutdown }
+    }
+
+    pub(crate) fn core(&self) -> &Arc<HandlerCore<T>> {
+        &self.core
+    }
+
+    /// The unique identifier of this handler.
+    pub fn id(&self) -> HandlerId {
+        self.core.id
+    }
+
+    /// The configuration the handler was spawned with.
+    pub fn config(&self) -> RuntimeConfig {
+        self.core.config
+    }
+
+    /// Enters a separate block reserving this handler, runs `body` with the
+    /// reservation guard, and releases the reservation afterwards.
+    ///
+    /// This corresponds to `separate x do <body> end` in SCOOP and to the
+    /// compiled sequence of Fig. 8: obtain a private queue, enqueue it on the
+    /// handler's queue-of-queues, log requests, enqueue the END marker.
+    pub fn separate<R>(&self, body: impl FnOnce(&mut Separate<'_, T>) -> R) -> R {
+        let mut guard = Separate::begin_single(&self.core);
+        let result = body(&mut guard);
+        guard.end();
+        result
+    }
+
+    /// Logs a single asynchronous call without keeping the reservation open.
+    ///
+    /// Equivalent to `self.separate(|s| s.call(f))`, provided for
+    /// convenience in fire-and-forget situations.
+    pub fn call_detached(&self, f: impl FnOnce(&mut T) + Send + 'static) {
+        self.separate(|s| s.call(f));
+    }
+
+    /// Performs a single synchronous query in its own separate block.
+    pub fn query_detached<R: Send + 'static>(
+        &self,
+        f: impl FnOnce(&mut T) -> R + Send + 'static,
+    ) -> R {
+        self.separate(|s| s.query(f))
+    }
+
+    /// Requests the handler to stop after draining already-logged work.
+    pub fn stop(&self) {
+        self.core.stop();
+    }
+
+    /// Returns `true` once the handler has been asked to stop.
+    pub fn is_stopped(&self) -> bool {
+        self.core.is_stopped()
+    }
+
+    /// Blocks until the handler thread has exited.
+    ///
+    /// The handler exits once it has been stopped (explicitly or by dropping
+    /// the last handle) and has drained all logged work.
+    pub fn wait_finished(&self) {
+        self.core.wait_finished();
+    }
+
+    /// Stops the handler, waits for it to drain, and returns the owned
+    /// object.
+    ///
+    /// Returns `None` if another handle already retrieved the value.
+    pub fn shutdown_and_take(self) -> Option<T> {
+        self.core.stop();
+        self.core.wait_finished();
+        self.core.take_final_value()
+    }
+
+    /// The runtime statistics block shared by this handler.
+    pub fn stats(&self) -> &Arc<RuntimeStats> {
+        &self.core.stats
+    }
+}
+
+impl<T: Send + 'static> std::fmt::Debug for Handler<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Handler")
+            .field("id", &self.core.id)
+            .field("stopped", &self.core.is_stopped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptimizationLevel;
+
+    fn spawn_inline<T: Send + 'static>(config: RuntimeConfig, object: T) -> Handler<T> {
+        // Handler with its loop running on a plain std thread (the full
+        // runtime uses the cached-thread layer; these tests exercise the core
+        // directly).
+        let stats = RuntimeStats::new();
+        let core = HandlerCore::new(1, config, stats, object);
+        let thread_core = Arc::clone(&core);
+        std::thread::spawn(move || thread_core.run());
+        Handler::from_core(core)
+    }
+
+    #[test]
+    fn calls_and_queries_apply_in_order_qoq() {
+        let handler = spawn_inline(RuntimeConfig::all_optimizations(), Vec::<u32>::new());
+        handler.separate(|s| {
+            for i in 0..100 {
+                s.call(move |v| v.push(i));
+            }
+            let len = s.query(|v| v.len());
+            assert_eq!(len, 100);
+        });
+        let v = handler.shutdown_and_take().unwrap();
+        assert_eq!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn calls_and_queries_apply_in_order_lock_based() {
+        let handler = spawn_inline(OptimizationLevel::None.config(), Vec::<u32>::new());
+        handler.separate(|s| {
+            for i in 0..100 {
+                s.call(move |v| v.push(i));
+            }
+            assert_eq!(s.query(|v| v.len()), 100);
+        });
+        let v = handler.shutdown_and_take().unwrap();
+        assert_eq!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn detached_helpers_work() {
+        let handler = spawn_inline(RuntimeConfig::all_optimizations(), 0u64);
+        handler.call_detached(|n| *n += 5);
+        assert_eq!(handler.query_detached(|n| *n), 5);
+        handler.stop();
+        handler.wait_finished();
+    }
+
+    #[test]
+    fn dropping_last_handle_stops_handler() {
+        let handler = spawn_inline(RuntimeConfig::all_optimizations(), 1u8);
+        let clone = handler.clone();
+        let core = Arc::clone(handler.core());
+        drop(handler);
+        assert!(!core.is_stopped(), "clone still alive");
+        drop(clone);
+        assert!(core.is_stopped());
+        core.wait_finished();
+    }
+
+    #[test]
+    fn shutdown_and_take_returns_object_once() {
+        let handler = spawn_inline(RuntimeConfig::all_optimizations(), String::from("state"));
+        let other = handler.clone();
+        assert_eq!(handler.shutdown_and_take().as_deref(), Some("state"));
+        assert_eq!(other.shutdown_and_take(), None);
+    }
+
+    #[test]
+    fn panicking_call_does_not_kill_handler() {
+        let handler = spawn_inline(RuntimeConfig::all_optimizations(), 0i32);
+        handler.separate(|s| {
+            s.call(|_| panic!("bad call"));
+            s.call(|n| *n = 3);
+            assert_eq!(s.query(|n| *n), 3);
+        });
+        assert_eq!(handler.stats().snapshot().call_panics, 1);
+        handler.stop();
+    }
+
+    #[test]
+    fn debug_output_mentions_id() {
+        let handler = spawn_inline(RuntimeConfig::all_optimizations(), ());
+        assert!(format!("{handler:?}").contains("id"));
+        handler.stop();
+    }
+}

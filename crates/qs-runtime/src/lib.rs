@@ -1,0 +1,78 @@
+//! # qs-runtime — the SCOOP/Qs execution model
+//!
+//! This crate is the primary contribution of the reproduced paper:
+//! *Efficient and Reasonable Object-Oriented Concurrency* (West, Nanz, Meyer;
+//! PPoPP 2015).  It implements the SCOOP concurrency model — every object is
+//! owned by exactly one *handler* (thread of execution), and clients interact
+//! with it only inside *separate blocks* — together with the SCOOP/Qs
+//! *queue-of-queues* execution strategy and the runtime optimisations of §3:
+//!
+//! * **Queue-of-queues (QoQ)** — each client gets a private SPSC queue that
+//!   it shares with the handler; registering for a separate block is a single
+//!   lock-free enqueue of that private queue into the handler's MPSC
+//!   queue-of-queues, so clients never block each other while logging
+//!   asynchronous calls (§2.3, §3.1).
+//! * **Client-executed queries** — a query (synchronous call) is compiled to
+//!   a `sync` token plus a local call executed by the client once the handler
+//!   has drained the client's private queue, avoiding call packaging and
+//!   enabling inlining (§3.2).
+//! * **Direct handoff** — completing a sync wakes the exact waiting client
+//!   thread rather than going through a global scheduler (§3.2).
+//! * **Dynamic sync-coalescing** — a per-private-queue `synced` flag elides
+//!   redundant sync round-trips (§3.4.1).  (The *static* variant lives in the
+//!   `qs-compiler` crate and drives the same elision via [`Separate::sync`] /
+//!   [`Separate::query_unsynced`].)
+//! * **Lock-based baseline** — the pre-Qs SCOOP execution model (a single
+//!   request queue guarded by a handler lock) is retained behind
+//!   [`RuntimeConfig`] so the paper's optimisation study (§4, Tables 1–2) can
+//!   be reproduced.
+//!
+//! ## Reasoning guarantees
+//!
+//! The runtime upholds the two guarantees of §2.2:
+//!
+//! 1. non-separate calls and primitive instructions execute immediately and
+//!    synchronously (ordinary Rust code in the client);
+//! 2. calls logged on a handler inside one separate block are executed in
+//!    order, with no intervening calls from other clients.
+//!
+//! ## Example
+//!
+//! ```
+//! use qs_runtime::{Runtime, RuntimeConfig};
+//!
+//! let rt = Runtime::new(RuntimeConfig::all_optimizations());
+//! let counter = rt.spawn_handler(0u64);
+//!
+//! counter.separate(|c| {
+//!     for _ in 0..10 {
+//!         c.call(|n| *n += 1);       // asynchronous command
+//!     }
+//!     assert_eq!(c.query(|n| *n), 10); // synchronous query
+//! });
+//!
+//! let final_value = counter.shutdown_and_take().unwrap();
+//! assert_eq!(final_value, 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod contracts;
+pub mod handler;
+pub mod request;
+pub mod reservation;
+pub mod runtime;
+pub mod separate;
+pub mod stats;
+
+pub use config::{OptimizationLevel, RuntimeConfig};
+pub use contracts::{
+    assert_postcondition, check_postcondition, separate2_when, separate_when, try_separate2_when,
+    try_separate_when, WaitConfig, WaitTimeout,
+};
+pub use handler::{Handler, HandlerId};
+pub use reservation::{separate2, separate3, separate_all};
+pub use runtime::Runtime;
+pub use separate::Separate;
+pub use stats::{RuntimeStats, StatsSnapshot};

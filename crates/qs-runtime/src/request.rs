@@ -1,0 +1,90 @@
+//! Requests exchanged between clients and handlers.
+//!
+//! A request corresponds to one entry in a private queue (QoQ configuration)
+//! or in the handler's single request queue (lock-based configuration).  The
+//! paper packages asynchronous calls with libffi (§3.2, Fig. 9); the Rust
+//! equivalent is a boxed `FnOnce` closure, which carries the captured
+//! arguments on the heap exactly as the libffi call structure does.
+
+use std::sync::Arc;
+
+use qs_sync::Handoff;
+
+/// A closure applied to the handler-owned object.
+pub type CallFn<T> = Box<dyn FnOnce(&mut T) + Send + 'static>;
+
+/// One client request for a handler owning an object of type `T`.
+pub enum Request<T> {
+    /// An asynchronous command (`call` rule): execute the closure on the
+    /// handler, no reply.
+    Call(CallFn<T>),
+    /// A handler-executed query (`query` rule without the §3.2 shift): the
+    /// closure computes the result and completes the embedded handoff.
+    Query(CallFn<T>),
+    /// A synchronisation token (modified `query` rule of §3.2): the handler
+    /// completes the handoff, signalling that every previous request from
+    /// this client has been applied; the client then executes the query
+    /// locally.
+    Sync(Arc<Handoff<()>>),
+    /// End of a group of requests (`end` rule).  Only used on the lock-based
+    /// path, where the single request queue is shared by all clients and
+    /// cannot be closed per-client; on the QoQ path the private queue's
+    /// `close()` plays this role.
+    End,
+}
+
+impl<T> Request<T> {
+    /// A short label for tracing/debugging.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Call(_) => "call",
+            Request::Query(_) => "query",
+            Request::Sync(_) => "sync",
+            Request::End => "end",
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Request<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Request").field("kind", &self.kind()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_reported() {
+        let call: Request<u32> = Request::Call(Box::new(|n| *n += 1));
+        let query: Request<u32> = Request::Query(Box::new(|_| {}));
+        let sync: Request<u32> = Request::Sync(Arc::new(Handoff::new()));
+        let end: Request<u32> = Request::End;
+        assert_eq!(call.kind(), "call");
+        assert_eq!(query.kind(), "query");
+        assert_eq!(sync.kind(), "sync");
+        assert_eq!(end.kind(), "end");
+        assert!(format!("{call:?}").contains("call"));
+    }
+
+    #[test]
+    fn call_closure_mutates_object() {
+        let req: Request<Vec<u32>> = Request::Call(Box::new(|v| v.push(9)));
+        let mut obj = vec![1, 2];
+        if let Request::Call(f) = req {
+            f(&mut obj);
+        }
+        assert_eq!(obj, vec![1, 2, 9]);
+    }
+
+    #[test]
+    fn sync_request_completes_handoff() {
+        let handoff = Arc::new(Handoff::new());
+        let req: Request<()> = Request::Sync(Arc::clone(&handoff));
+        if let Request::Sync(h) = req {
+            h.complete(());
+        }
+        assert!(handoff.is_ready());
+    }
+}

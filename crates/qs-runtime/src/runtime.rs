@@ -1,0 +1,216 @@
+//! The runtime object: configuration, statistics and handler creation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use qs_exec::ThreadCache;
+
+use crate::config::{OptimizationLevel, RuntimeConfig};
+use crate::handler::{Handler, HandlerCore, HandlerId};
+use crate::stats::{RuntimeStats, StatsSnapshot};
+
+struct RuntimeInner {
+    config: RuntimeConfig,
+    stats: Arc<RuntimeStats>,
+    thread_cache: Arc<ThreadCache>,
+    next_handler_id: AtomicU64,
+}
+
+impl Drop for RuntimeInner {
+    fn drop(&mut self) {
+        // Retire the cached handler threads; without this, every dropped
+        // runtime would leave its idle threads parked forever (visible as
+        // unbounded thread growth in benchmarks that create runtimes in a
+        // loop).  Handlers still running keep their threads until they stop.
+        self.thread_cache.shutdown();
+    }
+}
+
+/// A SCOOP/Qs runtime instance.
+///
+/// The runtime owns the shared resources of the execution model — the
+/// configuration (which optimisations are active), the statistics block and
+/// the cache of handler threads — and creates [`Handler`]s.  Cloning a
+/// `Runtime` is cheap and yields a handle to the same instance.
+///
+/// ```
+/// use qs_runtime::{Runtime, OptimizationLevel};
+///
+/// let rt = Runtime::with_level(OptimizationLevel::All);
+/// let account = rt.spawn_handler(100i64);
+/// account.separate(|acc| {
+///     acc.call(|balance| *balance -= 30);
+///     assert_eq!(acc.query(|balance| *balance), 70);
+/// });
+/// ```
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+}
+
+impl Runtime {
+    /// Creates a runtime with an explicit configuration.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Runtime {
+            inner: Arc::new(RuntimeInner {
+                config,
+                stats: RuntimeStats::new(),
+                thread_cache: ThreadCache::new(config.handler_thread_cache),
+                next_handler_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Creates a runtime for one of the named optimisation levels of §4.
+    pub fn with_level(level: OptimizationLevel) -> Self {
+        Self::new(level.config())
+    }
+
+    /// The fully optimised SCOOP/Qs runtime (the paper's "All").
+    pub fn fully_optimized() -> Self {
+        Self::new(RuntimeConfig::all_optimizations())
+    }
+
+    /// The configuration this runtime was created with.
+    pub fn config(&self) -> RuntimeConfig {
+        self.inner.config
+    }
+
+    /// The shared statistics block.
+    pub fn stats(&self) -> &Arc<RuntimeStats> {
+        &self.inner.stats
+    }
+
+    /// Convenience: a point-in-time snapshot of the statistics.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Number of handlers spawned so far.
+    pub fn handlers_spawned(&self) -> u64 {
+        self.inner.stats.snapshot().handlers_spawned
+    }
+
+    /// Creates a new handler owning `object` and starts its thread.
+    ///
+    /// The handler begins processing requests immediately and runs until it
+    /// is stopped (explicitly or by dropping the last [`Handler`] handle).
+    pub fn spawn_handler<T: Send + 'static>(&self, object: T) -> Handler<T> {
+        let id: HandlerId = self.inner.next_handler_id.fetch_add(1, Ordering::Relaxed);
+        RuntimeStats::bump(&self.inner.stats.handlers_spawned);
+        let core = HandlerCore::new(id, self.inner.config, Arc::clone(&self.inner.stats), object);
+        let thread_core = Arc::clone(&core);
+        // Handlers run on cached OS threads so creating/retiring handlers is
+        // cheap (the paper's lightweight-thread layer; see DESIGN.md).
+        self.inner.thread_cache.run(move || thread_core.run());
+        Handler::from_core(core)
+    }
+
+    /// Spawns one handler per element of `objects`, returning the handles in
+    /// the same order.  Convenient for creating worker groups.
+    pub fn spawn_handlers<T, I>(&self, objects: I) -> Vec<Handler<T>>
+    where
+        T: Send + 'static,
+        I: IntoIterator<Item = T>,
+    {
+        objects.into_iter().map(|o| self.spawn_handler(o)).collect()
+    }
+
+    /// Number of OS threads created for handlers so far (after warm-up this
+    /// stays flat thanks to the thread cache).
+    pub fn handler_threads_created(&self) -> usize {
+        self.inner.thread_cache.threads_created()
+    }
+
+    /// Number of handler activations that reused a cached thread.
+    pub fn handler_threads_reused(&self) -> usize {
+        self.inner.thread_cache.threads_reused()
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("config", &self.inner.config)
+            .field("handlers_spawned", &self.handlers_spawned())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_and_use_many_handlers() {
+        let rt = Runtime::fully_optimized();
+        let handlers = rt.spawn_handlers((0..16).map(|i| i as u64));
+        for (i, h) in handlers.iter().enumerate() {
+            h.separate(|s| {
+                s.call(|v| *v *= 2);
+                assert_eq!(s.query(|v| *v), (i as u64) * 2);
+            });
+        }
+        assert_eq!(rt.handlers_spawned(), 16);
+    }
+
+    #[test]
+    fn handler_ids_are_unique() {
+        let rt = Runtime::fully_optimized();
+        let a = rt.spawn_handler(());
+        let b = rt.spawn_handler(());
+        let c = rt.spawn_handler(());
+        assert_ne!(a.id(), b.id());
+        assert_ne!(b.id(), c.id());
+    }
+
+    #[test]
+    fn threads_are_reused_across_handler_generations() {
+        let rt = Runtime::fully_optimized();
+        for _ in 0..20 {
+            let h = rt.spawn_handler(0u8);
+            h.separate(|s| s.call(|v| *v += 1));
+            h.stop();
+            h.wait_finished();
+        }
+        assert!(
+            rt.handler_threads_created() < 20,
+            "expected thread reuse, created {}",
+            rt.handler_threads_created()
+        );
+        assert!(rt.handler_threads_reused() > 0);
+    }
+
+    #[test]
+    fn clone_shares_the_same_instance() {
+        let rt = Runtime::fully_optimized();
+        let rt2 = rt.clone();
+        let _h = rt.spawn_handler(());
+        assert_eq!(rt2.handlers_spawned(), 1);
+        assert!(format!("{rt2:?}").contains("handlers_spawned"));
+    }
+
+    #[test]
+    fn level_constructor_matches_config() {
+        let rt = Runtime::with_level(OptimizationLevel::QoQ);
+        assert!(rt.config().queue_of_queues);
+        assert!(!rt.config().dynamic_sync_coalescing);
+    }
+
+    #[test]
+    fn stats_accumulate_across_handlers() {
+        let rt = Runtime::fully_optimized();
+        let a = rt.spawn_handler(0u32);
+        let b = rt.spawn_handler(0u32);
+        a.separate(|s| s.call(|v| *v += 1));
+        b.separate(|s| s.call(|v| *v += 1));
+        a.stop();
+        b.stop();
+        a.wait_finished();
+        b.wait_finished();
+        let snap = rt.stats_snapshot();
+        assert_eq!(snap.calls_enqueued, 2);
+        assert_eq!(snap.separate_blocks, 2);
+        assert_eq!(snap.handlers_spawned, 2);
+    }
+}

@@ -1,0 +1,362 @@
+//! The `separate` block reservation guard.
+//!
+//! A [`Separate`] value represents one client's reservation of one handler
+//! for the duration of a separate block.  On the queue-of-queues path it owns
+//! the producer half of the client's private queue (Fig. 8 of the paper); on
+//! the lock-based path it holds the handler lock (Fig. 2).  Within the block
+//! the client can log asynchronous [`call`](Separate::call)s, perform
+//! synchronous [`query`](Separate::query)s, and issue explicit
+//! [`sync`](Separate::sync) operations (the primitive the static
+//! sync-coalescing pass of `qs-compiler` minimises).
+
+use std::sync::Arc;
+
+use qs_queues::{spsc_channel, SpscProducer};
+use qs_sync::Handoff;
+
+use crate::handler::HandlerCore;
+use crate::request::Request;
+use crate::stats::RuntimeStats;
+
+/// Reservation guard for one handler within a separate block.
+///
+/// Obtained through [`crate::Handler::separate`] or the multi-reservation
+/// functions in [`crate::reservation`].  Not `Send`: a reservation belongs to
+/// the client thread that created it, mirroring SCOOP semantics.
+pub struct Separate<'a, T: Send + 'static> {
+    core: &'a Arc<HandlerCore<T>>,
+    /// Producer half of the private queue (QoQ configuration).
+    producer: Option<SpscProducer<Request<T>>>,
+    /// Handler lock guard (lock-based configuration).
+    lock_guard: Option<parking_lot::MutexGuard<'a, ()>>,
+    /// Reusable sync handoff for this reservation.
+    sync_handoff: Arc<Handoff<()>>,
+    /// Whether the handler is known to have drained everything we logged.
+    synced: bool,
+    ended: bool,
+    /// Prevents `Send`/`Sync` auto-derivation.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl<'a, T: Send + 'static> Separate<'a, T> {
+    /// Begins a single-handler reservation (the common case, Fig. 8).
+    pub(crate) fn begin_single(core: &'a Arc<HandlerCore<T>>) -> Self {
+        RuntimeStats::bump(&core.stats.separate_blocks);
+        if core.config.queue_of_queues {
+            // SEPARATE rule: enqueue a fresh private queue on the handler's
+            // queue-of-queues.  Lock-free; never blocks on other clients.
+            let (producer, consumer) = spsc_channel();
+            core.qoq.enqueue(consumer);
+            RuntimeStats::bump(&core.stats.private_queues_enqueued);
+            Self::from_parts(core, Some(producer), None)
+        } else {
+            // Pre-Qs semantics: take the handler lock for the whole block.
+            let guard = core.client_lock.lock();
+            Self::from_parts(core, None, Some(guard))
+        }
+    }
+
+    /// Begins a reservation whose registration was already performed by the
+    /// multi-handler reservation protocol (§2.4 / §3.3).
+    pub(crate) fn from_parts(
+        core: &'a Arc<HandlerCore<T>>,
+        producer: Option<SpscProducer<Request<T>>>,
+        lock_guard: Option<parking_lot::MutexGuard<'a, ()>>,
+    ) -> Self {
+        Separate {
+            core,
+            producer,
+            lock_guard,
+            sync_handoff: Arc::new(Handoff::new()),
+            synced: false,
+            ended: false,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    fn enqueue(&self, request: Request<T>) {
+        match &self.producer {
+            Some(producer) => producer.enqueue(request),
+            None => self.core.request_queue.enqueue(request),
+        }
+    }
+
+    /// Logs an asynchronous call on the handler (the `call` rule).
+    ///
+    /// The closure runs on the handler thread, after every previously logged
+    /// request from this block and before any later one; it never interleaves
+    /// with requests from other clients.
+    pub fn call(&mut self, f: impl FnOnce(&mut T) + Send + 'static) {
+        assert!(!self.ended, "call after the separate block ended");
+        RuntimeStats::bump(&self.core.stats.calls_enqueued);
+        self.enqueue(Request::Call(Box::new(f)));
+        // An asynchronous call invalidates the synced state (§3.4).
+        self.synced = false;
+    }
+
+    /// Returns `true` if the handler is known to have processed everything
+    /// this block logged so far.
+    pub fn is_synced(&self) -> bool {
+        self.synced
+    }
+
+    /// Performs an explicit synchronisation with the handler.
+    ///
+    /// After `sync` returns, every call logged earlier in this block has been
+    /// applied.  With dynamic sync-coalescing enabled a redundant sync is
+    /// elided (§3.4.1); without it the round-trip is always paid, which is
+    /// what makes the unoptimised configurations slow on query-heavy code.
+    pub fn sync(&mut self) {
+        if self.synced && self.core.config.dynamic_sync_coalescing {
+            RuntimeStats::bump(&self.core.stats.syncs_elided);
+            return;
+        }
+        self.force_sync();
+    }
+
+    /// Performs the sync round-trip unconditionally.
+    fn force_sync(&mut self) {
+        RuntimeStats::bump(&self.core.stats.syncs_performed);
+        self.enqueue(Request::Sync(Arc::clone(&self.sync_handoff)));
+        self.sync_handoff.wait();
+        self.synced = true;
+    }
+
+    /// Ensures the handler has drained this block's requests, eliding the
+    /// round-trip when the runtime can prove it redundant.
+    fn ensure_synced(&mut self) {
+        if self.synced {
+            if self.core.config.dynamic_sync_coalescing {
+                RuntimeStats::bump(&self.core.stats.syncs_elided);
+                return;
+            }
+            // Without coalescing the runtime does not exploit the knowledge
+            // that we are synced; it pays the round trip again (this is the
+            // behaviour of the None/QoQ configurations in §4).
+        }
+        self.force_sync();
+    }
+
+    /// Performs a synchronous query (the `query` rule) and returns its
+    /// result.
+    ///
+    /// Depending on [`crate::RuntimeConfig::client_executed_queries`] the
+    /// closure runs either on the client thread after a sync (§3.2, Fig. 10b)
+    /// or on the handler with the result handed back (Fig. 10a).
+    pub fn query<R: Send + 'static>(&mut self, f: impl FnOnce(&mut T) -> R + Send + 'static) -> R {
+        assert!(!self.ended, "query after the separate block ended");
+        if self.core.config.client_executed_queries {
+            self.ensure_synced();
+            RuntimeStats::bump(&self.core.stats.queries_client_executed);
+            // SAFETY: the sync above guarantees the handler has drained this
+            // client's requests and is now parked waiting on this client's
+            // (empty) private queue — or, lock-based, on the empty shared
+            // request queue while we hold the handler lock.  No other client
+            // can schedule work in between, so we have exclusive access.
+            let object = unsafe { self.core.object_mut() };
+            f(object)
+        } else {
+            RuntimeStats::bump(&self.core.stats.queries_handler_executed);
+            let result_handoff: Arc<Handoff<R>> = Arc::new(Handoff::new());
+            let completion = Arc::clone(&result_handoff);
+            self.enqueue(Request::Query(Box::new(move |object: &mut T| {
+                completion.complete(f(object));
+            })));
+            let result = result_handoff.wait();
+            // A completed query implies the handler processed everything
+            // before it, so the block is synced now.
+            self.synced = true;
+            result
+        }
+    }
+
+    /// Executes a query on the client **without** first synchronising.
+    ///
+    /// This is the primitive emitted for queries whose sync was removed by
+    /// the *static* sync-coalescing pass (§3.4.2): the pass has proven that a
+    /// dominating [`sync`](Separate::sync) exists on every path and that no
+    /// intervening asynchronous call invalidated it.  Calling it without that
+    /// guarantee is a logic error; in debug builds it is detected.
+    pub fn query_unsynced<R>(&mut self, f: impl FnOnce(&mut T) -> R) -> R {
+        assert!(!self.ended, "query after the separate block ended");
+        debug_assert!(
+            self.synced,
+            "query_unsynced called while not synced; the static sync-coalescing \
+             contract is violated"
+        );
+        RuntimeStats::bump(&self.core.stats.queries_client_executed);
+        RuntimeStats::bump(&self.core.stats.syncs_elided);
+        // SAFETY: as in `query` — the caller (the static pass) guarantees a
+        // dominating sync with no intervening asynchronous call, so the
+        // handler is parked and cannot touch the object.
+        let object = unsafe { self.core.object_mut() };
+        f(object)
+    }
+
+    /// Ends the separate block, releasing the handler for other clients.
+    ///
+    /// Called automatically when the guard is dropped; calling it twice is
+    /// harmless.
+    pub fn end(&mut self) {
+        if self.ended {
+            return;
+        }
+        self.ended = true;
+        if let Some(producer) = self.producer.take() {
+            // END marker: the handler moves on to the next private queue.
+            producer.close();
+        }
+        // Lock-based path: releasing the handler lock ends the reservation.
+        self.lock_guard = None;
+    }
+
+    /// The identifier of the reserved handler.
+    pub fn handler_id(&self) -> crate::HandlerId {
+        self.core.id
+    }
+
+    /// The runtime statistics block shared by the reserved handler.
+    pub fn stats(&self) -> &Arc<RuntimeStats> {
+        &self.core.stats
+    }
+}
+
+impl<T: Send + 'static> Drop for Separate<'_, T> {
+    fn drop(&mut self) {
+        self.end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{OptimizationLevel, RuntimeConfig};
+    use crate::handler::Handler;
+
+    fn spawn<T: Send + 'static>(config: RuntimeConfig, object: T) -> Handler<T> {
+        let stats = RuntimeStats::new();
+        let core = HandlerCore::new(7, config, stats, object);
+        let thread_core = Arc::clone(&core);
+        std::thread::spawn(move || thread_core.run());
+        Handler::from_core(core)
+    }
+
+    #[test]
+    fn dynamic_coalescing_elides_second_sync() {
+        let handler = spawn(OptimizationLevel::Dynamic.config(), 5u32);
+        handler.separate(|s| {
+            assert_eq!(s.query(|n| *n), 5);
+            assert_eq!(s.query(|n| *n), 5);
+            assert_eq!(s.query(|n| *n), 5);
+        });
+        let snap = handler.stats().snapshot();
+        assert_eq!(snap.syncs_performed, 1, "only the first query syncs");
+        assert_eq!(snap.syncs_elided, 2);
+        handler.stop();
+    }
+
+    #[test]
+    fn without_coalescing_every_query_syncs() {
+        let handler = spawn(OptimizationLevel::QoQ.config(), 5u32);
+        handler.separate(|s| {
+            for _ in 0..4 {
+                s.query(|n| *n);
+            }
+        });
+        let snap = handler.stats().snapshot();
+        // QoQ config has handler-executed queries, so no sync tokens at all,
+        // but also no elisions; every query is a full round trip.
+        assert_eq!(snap.queries_handler_executed, 4);
+        assert_eq!(snap.syncs_elided, 0);
+        handler.stop();
+    }
+
+    #[test]
+    fn call_invalidates_synced_state() {
+        let handler = spawn(RuntimeConfig::all_optimizations(), 0u32);
+        handler.separate(|s| {
+            s.query(|n| *n);
+            assert!(s.is_synced());
+            s.call(|n| *n += 1);
+            assert!(!s.is_synced());
+            assert_eq!(s.query(|n| *n), 1);
+        });
+        let snap = handler.stats().snapshot();
+        assert_eq!(snap.syncs_performed, 2);
+        handler.stop();
+    }
+
+    #[test]
+    fn explicit_sync_plus_unsynced_queries() {
+        // The shape the static pass produces for Fig. 14: one sync hoisted
+        // out of the loop, unsynced reads inside it.
+        let handler = spawn(OptimizationLevel::Static.config(), (0..64).collect::<Vec<u32>>());
+        let total = handler.separate(|s| {
+            s.sync();
+            let mut total = 0u32;
+            for i in 0..64 {
+                total += s.query_unsynced(|v| v[i]);
+            }
+            total
+        });
+        assert_eq!(total, (0..64).sum());
+        let snap = handler.stats().snapshot();
+        assert_eq!(snap.syncs_performed, 1);
+        assert_eq!(snap.queries_client_executed, 64);
+        handler.stop();
+    }
+
+    #[test]
+    fn handler_executed_queries_return_results() {
+        let handler = spawn(OptimizationLevel::None.config(), String::from("abc"));
+        let len = handler.separate(|s| {
+            s.call(|t| t.push('d'));
+            s.query(|t| t.len())
+        });
+        assert_eq!(len, 4);
+        assert_eq!(handler.stats().snapshot().queries_handler_executed, 1);
+        handler.stop();
+    }
+
+    #[test]
+    fn separate_blocks_from_two_threads_do_not_interleave() {
+        // Fig. 1: with two clients logging on the same handler, each client's
+        // requests are applied contiguously.
+        let handler = spawn(RuntimeConfig::all_optimizations(), Vec::<(u8, u32)>::new());
+        let h1 = handler.clone();
+        let h2 = handler.clone();
+        let t1 = std::thread::spawn(move || {
+            h1.separate(|s| {
+                for i in 0..1_000 {
+                    s.call(move |v| v.push((1, i)));
+                }
+            });
+        });
+        let t2 = std::thread::spawn(move || {
+            h2.separate(|s| {
+                for i in 0..1_000 {
+                    s.call(move |v| v.push((2, i)));
+                }
+            });
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let log = handler.shutdown_and_take().unwrap();
+        assert_eq!(log.len(), 2_000);
+        // The log must be exactly client 1's block followed by client 2's, or
+        // vice versa — never interleaved.
+        let first_owner = log[0].0;
+        let first_block: Vec<_> = log.iter().take_while(|(o, _)| *o == first_owner).collect();
+        assert_eq!(first_block.len(), 1_000, "blocks interleaved");
+    }
+
+    #[test]
+    #[should_panic(expected = "after the separate block ended")]
+    fn using_an_ended_guard_panics() {
+        let handler = spawn(RuntimeConfig::all_optimizations(), 0u32);
+        handler.separate(|s| {
+            s.end();
+            s.call(|n| *n += 1);
+        });
+    }
+}

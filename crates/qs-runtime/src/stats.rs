@@ -1,0 +1,209 @@
+//! Runtime statistics.
+//!
+//! §7 of the paper calls for "a SCOOP-specific instrumentation for the
+//! runtime, providing detailed measurements for the internal components".
+//! The counters here are cheap relaxed atomics and are used by the
+//! experiment harness to report, e.g., how many sync round-trips each
+//! optimisation level eliminates (the mechanism behind Fig. 16).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, monotonically increasing counters describing runtime activity.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    /// Asynchronous calls enqueued on private queues / request queues.
+    pub calls_enqueued: AtomicU64,
+    /// Queries executed on the client after a sync (§3.2 optimisation).
+    pub queries_client_executed: AtomicU64,
+    /// Queries packaged, sent to and executed by the handler.
+    pub queries_handler_executed: AtomicU64,
+    /// Sync round-trips actually performed (client blocked on the handler).
+    pub syncs_performed: AtomicU64,
+    /// Sync operations elided by dynamic or static coalescing.
+    pub syncs_elided: AtomicU64,
+    /// Separate blocks entered (single reservations).
+    pub separate_blocks: AtomicU64,
+    /// Multi-handler reservations performed.
+    pub multi_reservations: AtomicU64,
+    /// Private queues enqueued into queue-of-queues.
+    pub private_queues_enqueued: AtomicU64,
+    /// Handlers spawned.
+    pub handlers_spawned: AtomicU64,
+    /// Calls whose execution panicked on the handler.
+    pub call_panics: AtomicU64,
+    /// Wait-condition evaluations performed at reservation time (§2 contracts).
+    pub wait_condition_checks: AtomicU64,
+    /// Reservations retried because their wait condition did not (yet) hold.
+    pub wait_condition_retries: AtomicU64,
+    /// Postcondition checks evaluated.
+    pub postcondition_checks: AtomicU64,
+    /// Postcondition checks that failed.
+    pub postcondition_failures: AtomicU64,
+}
+
+impl RuntimeStats {
+    /// Creates a zeroed statistics block.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Increment helper used throughout the runtime.
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            calls_enqueued: self.calls_enqueued.load(Ordering::Relaxed),
+            queries_client_executed: self.queries_client_executed.load(Ordering::Relaxed),
+            queries_handler_executed: self.queries_handler_executed.load(Ordering::Relaxed),
+            syncs_performed: self.syncs_performed.load(Ordering::Relaxed),
+            syncs_elided: self.syncs_elided.load(Ordering::Relaxed),
+            separate_blocks: self.separate_blocks.load(Ordering::Relaxed),
+            multi_reservations: self.multi_reservations.load(Ordering::Relaxed),
+            private_queues_enqueued: self.private_queues_enqueued.load(Ordering::Relaxed),
+            handlers_spawned: self.handlers_spawned.load(Ordering::Relaxed),
+            call_panics: self.call_panics.load(Ordering::Relaxed),
+            wait_condition_checks: self.wait_condition_checks.load(Ordering::Relaxed),
+            wait_condition_retries: self.wait_condition_retries.load(Ordering::Relaxed),
+            postcondition_checks: self.postcondition_checks.load(Ordering::Relaxed),
+            postcondition_failures: self.postcondition_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of [`RuntimeStats`] at a point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Asynchronous calls enqueued.
+    pub calls_enqueued: u64,
+    /// Queries executed client-side.
+    pub queries_client_executed: u64,
+    /// Queries executed handler-side.
+    pub queries_handler_executed: u64,
+    /// Sync round-trips performed.
+    pub syncs_performed: u64,
+    /// Syncs elided by coalescing.
+    pub syncs_elided: u64,
+    /// Separate blocks entered.
+    pub separate_blocks: u64,
+    /// Multi-handler reservations.
+    pub multi_reservations: u64,
+    /// Private queues enqueued into queue-of-queues.
+    pub private_queues_enqueued: u64,
+    /// Handlers spawned.
+    pub handlers_spawned: u64,
+    /// Panicking calls.
+    pub call_panics: u64,
+    /// Wait-condition evaluations performed at reservation time.
+    pub wait_condition_checks: u64,
+    /// Reservations retried because their wait condition did not hold.
+    pub wait_condition_retries: u64,
+    /// Postcondition checks evaluated.
+    pub postcondition_checks: u64,
+    /// Postcondition checks that failed.
+    pub postcondition_failures: u64,
+}
+
+impl StatsSnapshot {
+    /// Total number of queries, independent of where they executed.
+    pub fn total_queries(&self) -> u64 {
+        self.queries_client_executed + self.queries_handler_executed
+    }
+
+    /// Fraction of sync operations that were elided (0.0 if none occurred).
+    pub fn sync_elision_ratio(&self) -> f64 {
+        let total = self.syncs_performed + self.syncs_elided;
+        if total == 0 {
+            0.0
+        } else {
+            self.syncs_elided as f64 / total as f64
+        }
+    }
+
+    /// Difference between two snapshots (self - earlier), saturating at zero.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            calls_enqueued: self.calls_enqueued.saturating_sub(earlier.calls_enqueued),
+            queries_client_executed: self
+                .queries_client_executed
+                .saturating_sub(earlier.queries_client_executed),
+            queries_handler_executed: self
+                .queries_handler_executed
+                .saturating_sub(earlier.queries_handler_executed),
+            syncs_performed: self.syncs_performed.saturating_sub(earlier.syncs_performed),
+            syncs_elided: self.syncs_elided.saturating_sub(earlier.syncs_elided),
+            separate_blocks: self.separate_blocks.saturating_sub(earlier.separate_blocks),
+            multi_reservations: self
+                .multi_reservations
+                .saturating_sub(earlier.multi_reservations),
+            private_queues_enqueued: self
+                .private_queues_enqueued
+                .saturating_sub(earlier.private_queues_enqueued),
+            handlers_spawned: self.handlers_spawned.saturating_sub(earlier.handlers_spawned),
+            call_panics: self.call_panics.saturating_sub(earlier.call_panics),
+            wait_condition_checks: self
+                .wait_condition_checks
+                .saturating_sub(earlier.wait_condition_checks),
+            wait_condition_retries: self
+                .wait_condition_retries
+                .saturating_sub(earlier.wait_condition_retries),
+            postcondition_checks: self
+                .postcondition_checks
+                .saturating_sub(earlier.postcondition_checks),
+            postcondition_failures: self
+                .postcondition_failures
+                .saturating_sub(earlier.postcondition_failures),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let stats = RuntimeStats::new();
+        RuntimeStats::bump(&stats.calls_enqueued);
+        RuntimeStats::bump(&stats.calls_enqueued);
+        RuntimeStats::bump(&stats.syncs_performed);
+        let snap = stats.snapshot();
+        assert_eq!(snap.calls_enqueued, 2);
+        assert_eq!(snap.syncs_performed, 1);
+        assert_eq!(snap.total_queries(), 0);
+    }
+
+    #[test]
+    fn elision_ratio_handles_zero() {
+        assert_eq!(StatsSnapshot::default().sync_elision_ratio(), 0.0);
+        let snap = StatsSnapshot {
+            syncs_performed: 1,
+            syncs_elided: 3,
+            ..Default::default()
+        };
+        assert!((snap.sync_elision_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let early = StatsSnapshot {
+            calls_enqueued: 10,
+            syncs_performed: 4,
+            ..Default::default()
+        };
+        let late = StatsSnapshot {
+            calls_enqueued: 25,
+            syncs_performed: 9,
+            ..Default::default()
+        };
+        let diff = late.since(&early);
+        assert_eq!(diff.calls_enqueued, 15);
+        assert_eq!(diff.syncs_performed, 5);
+        // Saturation instead of wrap-around.
+        assert_eq!(early.since(&late).calls_enqueued, 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Statement syntax of the SCOOP/Qs execution model (§2.3).
+//!
+//! ```text
+//! s ::= separate X s | call(x, f) | query(x, f) | wait h | release h | end | skip
+//! ```
+//!
+//! `separate`, `call` and `query` model program instructions; `wait`,
+//! `release`, `end` and `skip` only arise at runtime.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Name of a handler (processor).  Handlers are identified by small strings
+/// in the model (e.g. `"x"`, `"client1"`).
+pub type HandlerName = String;
+
+/// Name of a method (feature) being called; purely symbolic in the model.
+pub type Method = String;
+
+/// A statement of the execution model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `separate X s`: reserve every handler in `X`, run the body, then send
+    /// each of them `end` (the generalised rule of §2.4; a single-element `X`
+    /// is the basic rule of Fig. 3).
+    Separate {
+        /// Handlers reserved by this block.
+        targets: Vec<HandlerName>,
+        /// Body of the block.
+        body: Vec<Stmt>,
+    },
+    /// `call(x, f)`: asynchronously log method `f` on handler `x`.
+    Call {
+        /// Target handler.
+        target: HandlerName,
+        /// Logged method.
+        method: Method,
+    },
+    /// `query(x, f)`: synchronously request `f` from handler `x` and wait.
+    Query {
+        /// Target handler.
+        target: HandlerName,
+        /// Requested method.
+        method: Method,
+    },
+    /// A local (non-separate) computation executed immediately by the
+    /// handler running it (guarantee 1 of §2.2); symbolic.
+    Local {
+        /// Label used in traces.
+        label: Method,
+    },
+    /// Runtime statement: wait for `release` from the named handler.
+    Wait(HandlerName),
+    /// Runtime statement: release the named waiting handler.
+    Release(HandlerName),
+    /// Runtime statement: end of a group of requests.
+    End,
+    /// Runtime statement: no behaviour.
+    Skip,
+}
+
+impl Stmt {
+    /// Convenience constructor for a single-handler separate block.
+    pub fn separate(target: &str, body: Vec<Stmt>) -> Stmt {
+        Stmt::Separate {
+            targets: vec![target.to_string()],
+            body,
+        }
+    }
+
+    /// Convenience constructor for a multi-handler separate block.
+    pub fn separate_many(targets: &[&str], body: Vec<Stmt>) -> Stmt {
+        Stmt::Separate {
+            targets: targets.iter().map(|t| t.to_string()).collect(),
+            body,
+        }
+    }
+
+    /// Convenience constructor for `call(x, f)`.
+    pub fn call(target: &str, method: &str) -> Stmt {
+        Stmt::Call {
+            target: target.to_string(),
+            method: method.to_string(),
+        }
+    }
+
+    /// Convenience constructor for `query(x, f)`.
+    pub fn query(target: &str, method: &str) -> Stmt {
+        Stmt::Query {
+            target: target.to_string(),
+            method: method.to_string(),
+        }
+    }
+
+    /// Convenience constructor for a local computation.
+    pub fn local(label: &str) -> Stmt {
+        Stmt::Local {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Separate { targets, body } => {
+                write!(f, "separate {} do {} stmt(s) end", targets.join(" "), body.len())
+            }
+            Stmt::Call { target, method } => write!(f, "call({target}, {method})"),
+            Stmt::Query { target, method } => write!(f, "query({target}, {method})"),
+            Stmt::Local { label } => write!(f, "local({label})"),
+            Stmt::Wait(h) => write!(f, "wait {h}"),
+            Stmt::Release(h) => write!(f, "release {h}"),
+            Stmt::End => write!(f, "end"),
+            Stmt::Skip => write!(f, "skip"),
+        }
+    }
+}
+
+/// A named program: the statement list a handler starts with.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Program {
+    /// Handler executing this program.
+    pub handler: HandlerName,
+    /// Statements executed in sequence.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Creates a program for `handler` with the given statements.
+    pub fn new(handler: &str, body: Vec<Stmt>) -> Self {
+        Program {
+            handler: handler.to_string(),
+            body,
+        }
+    }
+
+    /// Creates a passive handler (a supplier that only ever reacts to
+    /// requests), i.e. a program consisting of `skip`.
+    pub fn passive(handler: &str) -> Self {
+        Program {
+            handler: handler.to_string(),
+            body: Vec::new(),
+        }
+    }
+}
+
+/// Builds the two-client program of Fig. 1 of the paper, used in tests to
+/// check the allowed interleavings on handler `x`.
+pub fn fig1_program() -> Vec<Program> {
+    vec![
+        Program::passive("x"),
+        Program::new(
+            "t1",
+            vec![Stmt::separate(
+                "x",
+                vec![
+                    Stmt::call("x", "foo"),
+                    Stmt::local("long_comp"),
+                    Stmt::call("x", "bar"),
+                ],
+            )],
+        ),
+        Program::new(
+            "t2",
+            vec![Stmt::separate(
+                "x",
+                vec![
+                    Stmt::call("x", "bar"),
+                    Stmt::local("short_comp"),
+                    Stmt::query("x", "baz"),
+                ],
+            )],
+        ),
+    ]
+}
+
+/// Builds the multi-reservation colouring program of Fig. 5.
+pub fn fig5_program() -> Vec<Program> {
+    vec![
+        Program::passive("x"),
+        Program::passive("y"),
+        Program::new(
+            "t1",
+            vec![Stmt::separate_many(
+                &["x", "y"],
+                vec![Stmt::call("x", "set_red"), Stmt::call("y", "set_red")],
+            )],
+        ),
+        Program::new(
+            "t2",
+            vec![Stmt::separate_many(
+                &["x", "y"],
+                vec![Stmt::call("x", "set_blue"), Stmt::call("y", "set_blue")],
+            )],
+        ),
+    ]
+}
+
+/// Builds the nested-reservation program of Fig. 6; with `with_queries` each
+/// client additionally performs a query in its innermost block, which
+/// reintroduces potential deadlock (§2.5).
+///
+/// Without queries the program is deadlock-free under SCOOP/Qs because the
+/// reservations are non-blocking.  With queries, each client blocks on the
+/// handler it reserved in its *inner* block; a schedule in which each
+/// handler's queue-of-queues has the *other* client's still-open private
+/// queue at its head produces a circular wait (client 1 waits on `y` whose
+/// head is client 2's open queue, client 2 waits on `x` whose head is client
+/// 1's open queue).
+pub fn fig6_program(with_queries: bool) -> Vec<Program> {
+    let inner = |outer: &str, inner_target: &str| {
+        let mut body = vec![Stmt::call("x", "foo"), Stmt::call("y", "bar")];
+        let _ = outer;
+        if with_queries {
+            body.push(Stmt::query(inner_target, "q"));
+        }
+        vec![Stmt::separate(inner_target, body)]
+    };
+    vec![
+        Program::passive("x"),
+        Program::passive("y"),
+        Program::new("c1", vec![Stmt::separate("x", inner("x", "y"))]),
+        Program::new("c2", vec![Stmt::separate("y", inner("y", "x"))]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_expected_shapes() {
+        let s = Stmt::separate("x", vec![Stmt::call("x", "f")]);
+        match s {
+            Stmt::Separate { targets, body } => {
+                assert_eq!(targets, vec!["x"]);
+                assert_eq!(body.len(), 1);
+            }
+            _ => panic!("expected separate"),
+        }
+        assert_eq!(Stmt::call("x", "f").to_string(), "call(x, f)");
+        assert_eq!(Stmt::query("y", "g").to_string(), "query(y, g)");
+        assert_eq!(Stmt::Skip.to_string(), "skip");
+    }
+
+    #[test]
+    fn example_programs_have_expected_participants() {
+        assert_eq!(fig1_program().len(), 3);
+        assert_eq!(fig5_program().len(), 4);
+        assert_eq!(fig6_program(false).len(), 4);
+        let with_q = fig6_program(true);
+        // The inner blocks contain a query when requested.
+        let c1 = &with_q[2];
+        let text = format!("{:?}", c1);
+        assert!(text.contains("Query"));
+    }
+
+    #[test]
+    fn programs_clone_and_compare() {
+        let p = Program::new("h", vec![Stmt::separate("x", vec![Stmt::call("x", "f")])]);
+        let q = p.clone();
+        assert_eq!(p, q);
+        assert_ne!(p, Program::passive("h"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Schedulers and bounded exhaustive exploration of the semantics.
+//!
+//! The reasoning guarantees of §2.2 are *schedule-independent* statements:
+//! they must hold under every interleaving the rules allow.  This module
+//! provides a seeded random scheduler (cheap, probabilistic coverage) and a
+//! bounded exhaustive explorer (complete for small models) with deadlock
+//! detection, which is how the Fig. 1 / Fig. 5 / Fig. 6 claims are checked in
+//! the test suite.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ast::Program;
+use crate::machine::{Configuration, StepResult, Transition};
+use crate::trace::Trace;
+
+/// How a single run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All programs ran to completion.
+    Finished,
+    /// The run stopped because no transition was enabled while some handler
+    /// still had work: a deadlock involving the listed handlers.
+    Deadlock(Vec<String>),
+    /// The step budget was exhausted before termination.
+    BudgetExhausted,
+}
+
+/// A scheduling strategy: given the enabled transitions, pick an index.
+pub trait Scheduler {
+    /// Chooses one of the enabled transitions.
+    fn choose(&mut self, enabled: &[Transition]) -> usize;
+}
+
+/// Always picks the first enabled transition (deterministic).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FirstEnabled;
+
+impl Scheduler for FirstEnabled {
+    fn choose(&mut self, _enabled: &[Transition]) -> usize {
+        0
+    }
+}
+
+/// Picks uniformly at random with a fixed seed (reproducible).
+#[derive(Debug, Clone)]
+pub struct SeededRandom {
+    rng: StdRng,
+}
+
+impl SeededRandom {
+    /// Creates a scheduler seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SeededRandom {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for SeededRandom {
+    fn choose(&mut self, enabled: &[Transition]) -> usize {
+        self.rng.gen_range(0..enabled.len())
+    }
+}
+
+/// Runs the programs under `scheduler` for at most `max_steps` steps.
+///
+/// Returns the outcome and the trace of events.
+pub fn run_with<S: Scheduler>(
+    programs: Vec<Program>,
+    scheduler: &mut S,
+    max_steps: usize,
+) -> (RunOutcome, Trace) {
+    let mut config = Configuration::new(programs);
+    let mut trace = Trace::new();
+    for _ in 0..max_steps {
+        match config.step_with(|enabled| scheduler.choose(enabled)) {
+            StepResult::Stepped(events) => trace.extend(events),
+            StepResult::Finished => return (RunOutcome::Finished, trace),
+            StepResult::Deadlock(stuck) => return (RunOutcome::Deadlock(stuck), trace),
+        }
+    }
+    (RunOutcome::BudgetExhausted, trace)
+}
+
+/// Runs the programs once under a seeded random scheduler.
+pub fn random_run(programs: Vec<Program>, seed: u64, max_steps: usize) -> (RunOutcome, Trace) {
+    let mut scheduler = SeededRandom::new(seed);
+    run_with(programs, &mut scheduler, max_steps)
+}
+
+/// Result of a bounded exhaustive exploration.
+#[derive(Debug, Clone, Default)]
+pub struct ExplorationReport {
+    /// Number of distinct configurations visited.
+    pub states_visited: usize,
+    /// Number of complete (finished) terminal traces found.
+    pub finished_runs: usize,
+    /// Deadlocked terminal states, with the stuck handlers.
+    pub deadlocks: Vec<Vec<String>>,
+    /// Traces of finished runs (only kept up to `max_traces`).
+    pub finished_traces: Vec<Trace>,
+    /// `true` if exploration was cut off by the state or depth budget.
+    pub truncated: bool,
+}
+
+impl ExplorationReport {
+    /// Returns `true` if no deadlock was found anywhere in the explored space.
+    pub fn deadlock_free(&self) -> bool {
+        self.deadlocks.is_empty()
+    }
+}
+
+/// Exhaustively explores every schedule of `programs` up to the given budgets.
+///
+/// `max_states` bounds the number of distinct configurations expanded,
+/// `max_depth` bounds the length of a single schedule and `max_traces` bounds
+/// how many finished traces are retained for property checking.
+pub fn explore_all(
+    programs: Vec<Program>,
+    max_states: usize,
+    max_depth: usize,
+    max_traces: usize,
+) -> ExplorationReport {
+    let initial = Configuration::new(programs);
+    let mut report = ExplorationReport::default();
+    let mut visited: HashSet<Configuration> = HashSet::new();
+    // Depth-first over (configuration, trace, depth).  Traces make states
+    // path-dependent, so `visited` is only used to bound the *number of
+    // expansions* of identical configurations with identical remaining
+    // behaviour: identical configurations always produce the same reachable
+    // set, so deadlock-freedom is preserved; finished-trace enumeration stays
+    // exact as long as the budget is not hit (report.truncated says so).
+    let mut stack: Vec<(Configuration, Trace, usize)> = vec![(initial, Trace::new(), 0)];
+    let mut deadlock_states: HashSet<Vec<String>> = HashSet::new();
+
+    while let Some((config, trace, depth)) = stack.pop() {
+        let enabled = config.enabled_transitions();
+        if enabled.is_empty() {
+            if config.all_programs_finished() {
+                report.finished_runs += 1;
+                if report.finished_traces.len() < max_traces {
+                    report.finished_traces.push(trace);
+                }
+            } else {
+                let stuck: Vec<String> = config
+                    .handlers
+                    .values()
+                    .filter(|h| !h.program.is_empty())
+                    .map(|h| h.name.clone())
+                    .collect();
+                if deadlock_states.insert(stuck.clone()) {
+                    report.deadlocks.push(stuck);
+                }
+            }
+            continue;
+        }
+        if depth >= max_depth || report.states_visited >= max_states {
+            report.truncated = true;
+            continue;
+        }
+        if !visited.insert(config.clone()) {
+            continue;
+        }
+        report.states_visited += 1;
+        for transition in &enabled {
+            let mut next = config.clone();
+            let mut next_trace = trace.clone();
+            next_trace.extend(next.apply(transition));
+            stack.push((next, next_trace, depth + 1));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{fig1_program, fig5_program, fig6_program, Program, Stmt};
+
+    #[test]
+    fn deterministic_and_random_runs_finish_fig1() {
+        let (outcome, trace) = run_with(fig1_program(), &mut FirstEnabled, 10_000);
+        assert_eq!(outcome, RunOutcome::Finished);
+        assert_eq!(trace.executed_on("x").len(), 4);
+
+        for seed in 0..20 {
+            let (outcome, trace) = random_run(fig1_program(), seed, 10_000);
+            assert_eq!(outcome, RunOutcome::Finished);
+            let on_x = trace.executed_on("x");
+            assert!(
+                on_x == ["foo", "bar", "bar", "baz"] || on_x == ["bar", "baz", "foo", "bar"],
+                "seed {seed}: disallowed interleaving {on_x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exploration_finds_both_fig1_interleavings() {
+        let report = explore_all(fig1_program(), 200_000, 200, 10_000);
+        assert!(report.deadlock_free());
+        assert!(report.finished_runs > 0);
+        let mut seen = HashSet::new();
+        for trace in &report.finished_traces {
+            seen.insert(trace.executed_on("x"));
+        }
+        assert!(seen.contains(&vec![
+            "foo".to_string(),
+            "bar".to_string(),
+            "bar".to_string(),
+            "baz".to_string()
+        ]));
+        assert!(seen.contains(&vec![
+            "bar".to_string(),
+            "baz".to_string(),
+            "foo".to_string(),
+            "bar".to_string()
+        ]));
+        // And nothing else.
+        assert_eq!(seen.len(), 2, "unexpected interleavings: {seen:?}");
+    }
+
+    #[test]
+    fn fig5_multi_reservation_is_colour_consistent() {
+        let report = explore_all(fig5_program(), 200_000, 200, 10_000);
+        assert!(report.deadlock_free());
+        for trace in &report.finished_traces {
+            let on_x = trace.executed_on("x");
+            let on_y = trace.executed_on("y");
+            // Whoever wrote x last also wrote y last: the final colours agree.
+            assert_eq!(on_x.last(), on_y.last(), "mixed colours: {on_x:?} vs {on_y:?}");
+        }
+    }
+
+    #[test]
+    fn fig6_without_queries_cannot_deadlock() {
+        let report = explore_all(fig6_program(false), 500_000, 300, 16);
+        assert!(report.deadlock_free(), "deadlocks: {:?}", report.deadlocks);
+        assert!(report.finished_runs > 0);
+    }
+
+    #[test]
+    fn fig6_with_queries_can_deadlock() {
+        let report = explore_all(fig6_program(true), 500_000, 300, 16);
+        assert!(
+            !report.deadlock_free(),
+            "expected at least one deadlocking schedule"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let endless = vec![
+            Program::passive("x"),
+            Program::new(
+                "c",
+                vec![Stmt::separate(
+                    "x",
+                    (0..50).map(|i| Stmt::call("x", &format!("m{i}"))).collect(),
+                )],
+            ),
+        ];
+        let (outcome, _) = run_with(endless.clone(), &mut FirstEnabled, 3);
+        assert_eq!(outcome, RunOutcome::BudgetExhausted);
+        let report = explore_all(endless, 2, 2, 4);
+        assert!(report.truncated);
+    }
+}

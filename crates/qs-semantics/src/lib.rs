@@ -1,0 +1,46 @@
+//! # qs-semantics — the SCOOP/Qs operational semantics, executable
+//!
+//! §2 of the paper gives the SCOOP/Qs execution model as a set of inference
+//! rules over configurations of handlers (Fig. 3), plus a generalised
+//! `separate` rule for multi-handler reservations (§2.4).  This crate encodes
+//! those rules directly as a small-step interpreter so that the reasoning
+//! guarantees (§2.2) can be *checked* rather than merely asserted:
+//!
+//! * [`ast`] — the statement syntax `s ::= separate X s | call(x, f) |
+//!   query(x, f) | wait h | release h | end | skip`;
+//! * [`machine`] — configurations (parallel compositions of handler triples
+//!   `(h, q_h, s)`) and the transition rules;
+//! * [`explore`] — schedulers: deterministic, seeded-random, and bounded
+//!   exhaustive exploration with deadlock detection;
+//! * [`trace`] — execution traces and the order/interleaving properties that
+//!   constitute the reasoning guarantees;
+//! * [`deadlock`] — wait-for graphs and the §2.5 reservation-order analysis
+//!   separating lock-based SCOOP deadlocks from SCOOP/Qs deadlocks;
+//! * [`refine`] — conformance checking of observed (runtime) executions
+//!   against the §2.2 guarantees.
+//!
+//! The `qs-runtime` crate is the efficient implementation of this model; the
+//! property tests in `tests/` check that runs of the real runtime observe the
+//! orderings this model allows.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod deadlock;
+pub mod explore;
+pub mod machine;
+pub mod refine;
+pub mod trace;
+
+pub use ast::{fig1_program, fig5_program, fig6_program, HandlerName, Method, Program, Stmt};
+pub use deadlock::{
+    assess_reservation_order, find_cycle, is_deadlocked_now, wait_for_graph, DeadlockAssessment,
+    HandlerGraph,
+};
+pub use refine::{
+    check_handler_log, uniform_expectation, AppliedCall, BlockId, ClientId, ConformanceReport,
+    Violation,
+};
+pub use explore::{explore_all, random_run, ExplorationReport, RunOutcome, Scheduler};
+pub use machine::{Configuration, HandlerState, StepResult};
+pub use trace::{Event, Trace};

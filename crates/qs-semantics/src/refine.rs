@@ -1,0 +1,308 @@
+//! Conformance checking of *observed* executions against the reasoning
+//! guarantees of §2.2.
+//!
+//! The operational semantics says which orderings are allowed; the runtime
+//! (`qs-runtime`) claims to implement them.  This module closes the loop: a
+//! test instruments handler-owned objects so that every applied call records
+//! `(client, block, sequence-number)`, and the resulting per-handler log is
+//! checked against the two guarantees:
+//!
+//! * **per-block order** — within one separate block, calls are applied in
+//!   exactly the order the client logged them (no loss, no duplication, no
+//!   reordering);
+//! * **no interleaving** — the calls of one block form a contiguous run in
+//!   the handler's log; requests from other clients never intrude.
+//!
+//! The checker is deliberately independent of the runtime crate (it only sees
+//! plain data), so the same conformance check can be applied to the model's
+//! own traces, to the real runtime, or to any future implementation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a client thread in an observed execution.
+pub type ClientId = u64;
+/// Identifier of one separate block performed by a client.
+pub type BlockId = u64;
+
+/// One call as applied by a handler, in application order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AppliedCall {
+    /// The client that logged the call.
+    pub client: ClientId,
+    /// The separate block (per client) the call belongs to.
+    pub block: BlockId,
+    /// The position of the call within its block, starting at 0.
+    pub seq: u64,
+}
+
+impl AppliedCall {
+    /// Convenience constructor.
+    pub fn new(client: ClientId, block: BlockId, seq: u64) -> Self {
+        AppliedCall { client, block, seq }
+    }
+}
+
+/// A violation of the reasoning guarantees found in an observed log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Calls of one block were applied out of order (or with gaps or
+    /// duplicates).
+    OrderBroken {
+        /// The client.
+        client: ClientId,
+        /// The block.
+        block: BlockId,
+        /// The sequence numbers in application order.
+        observed: Vec<u64>,
+    },
+    /// A block's calls were interleaved with another client's calls.
+    BlockInterleaved {
+        /// The client whose block was interrupted.
+        client: ClientId,
+        /// The block that was interrupted.
+        block: BlockId,
+        /// The client that intruded.
+        intruder: ClientId,
+    },
+    /// A block was expected to contain `expected` calls but the log holds a
+    /// different number.
+    WrongCallCount {
+        /// The client.
+        client: ClientId,
+        /// The block.
+        block: BlockId,
+        /// Expected number of calls.
+        expected: u64,
+        /// Number of calls found in the log.
+        found: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::OrderBroken {
+                client,
+                block,
+                observed,
+            } => write!(
+                f,
+                "client {client} block {block}: calls applied out of order: {observed:?}"
+            ),
+            Violation::BlockInterleaved {
+                client,
+                block,
+                intruder,
+            } => write!(
+                f,
+                "client {client} block {block}: interleaved with calls from client {intruder}"
+            ),
+            Violation::WrongCallCount {
+                client,
+                block,
+                expected,
+                found,
+            } => write!(
+                f,
+                "client {client} block {block}: expected {expected} call(s), found {found}"
+            ),
+        }
+    }
+}
+
+/// The result of checking one handler's observed log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConformanceReport {
+    /// All violations found (empty = the log conforms to the guarantees).
+    pub violations: Vec<Violation>,
+}
+
+impl ConformanceReport {
+    /// `true` when no violation was found.
+    pub fn conforms(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks a handler's applied-call log against the §2.2 guarantees.
+///
+/// `expected_calls`, when provided, maps `(client, block)` to the number of
+/// calls the client logged in that block, allowing lost or duplicated calls
+/// to be detected even when they would not break ordering.
+pub fn check_handler_log(
+    log: &[AppliedCall],
+    expected_calls: Option<&BTreeMap<(ClientId, BlockId), u64>>,
+) -> ConformanceReport {
+    let mut report = ConformanceReport::default();
+
+    // Group application positions by block.
+    let mut per_block: BTreeMap<(ClientId, BlockId), Vec<(usize, u64)>> = BTreeMap::new();
+    for (position, call) in log.iter().enumerate() {
+        per_block
+            .entry((call.client, call.block))
+            .or_default()
+            .push((position, call.seq));
+    }
+
+    for (&(client, block), entries) in &per_block {
+        // Guarantee 2a: per-block order.  The sequence numbers must be exactly
+        // 0, 1, 2, … in application order.
+        let observed: Vec<u64> = entries.iter().map(|(_, seq)| *seq).collect();
+        let in_order = observed.iter().enumerate().all(|(i, &seq)| seq == i as u64);
+        if !in_order {
+            report.violations.push(Violation::OrderBroken {
+                client,
+                block,
+                observed: observed.clone(),
+            });
+        }
+
+        // Guarantee 2b: contiguity.  The application positions of this block
+        // must form a gap-free range; anything inside the range belonging to
+        // another client is an intruder.
+        let first = entries.first().map(|(p, _)| *p).unwrap_or(0);
+        let last = entries.last().map(|(p, _)| *p).unwrap_or(0);
+        for intruding in &log[first..=last] {
+            if intruding.client != client {
+                report.violations.push(Violation::BlockInterleaved {
+                    client,
+                    block,
+                    intruder: intruding.client,
+                });
+                break;
+            }
+        }
+
+        // Optional completeness check.
+        if let Some(expected) = expected_calls {
+            if let Some(&expected_count) = expected.get(&(client, block)) {
+                if expected_count != observed.len() as u64 {
+                    report.violations.push(Violation::WrongCallCount {
+                        client,
+                        block,
+                        expected: expected_count,
+                        found: observed.len() as u64,
+                    });
+                }
+            }
+        }
+    }
+
+    report
+}
+
+/// Convenience for instrumented runtime tests: builds the expected-call map
+/// for clients that each performed `blocks` blocks of `calls_per_block` calls.
+pub fn uniform_expectation(
+    clients: u64,
+    blocks: u64,
+    calls_per_block: u64,
+) -> BTreeMap<(ClientId, BlockId), u64> {
+    let mut expected = BTreeMap::new();
+    for client in 0..clients {
+        for block in 0..blocks {
+            expected.insert((client, block), calls_per_block);
+        }
+    }
+    expected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(client: ClientId, blk: BlockId, n: u64) -> Vec<AppliedCall> {
+        (0..n).map(|seq| AppliedCall::new(client, blk, seq)).collect()
+    }
+
+    #[test]
+    fn contiguous_in_order_blocks_conform() {
+        let mut log = Vec::new();
+        log.extend(block(1, 0, 5));
+        log.extend(block(2, 0, 3));
+        log.extend(block(1, 1, 4));
+        let expected = BTreeMap::from([((1, 0), 5), ((2, 0), 3), ((1, 1), 4)]);
+        let report = check_handler_log(&log, Some(&expected));
+        assert!(report.conforms(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn reordering_within_a_block_is_detected() {
+        let mut log = block(1, 0, 4);
+        log.swap(1, 2);
+        let report = check_handler_log(&log, None);
+        assert!(!report.conforms());
+        assert!(matches!(report.violations[0], Violation::OrderBroken { client: 1, block: 0, .. }));
+        assert!(report.violations[0].to_string().contains("out of order"));
+    }
+
+    #[test]
+    fn interleaving_between_blocks_is_detected() {
+        // Client 2's call lands in the middle of client 1's block.
+        let log = vec![
+            AppliedCall::new(1, 0, 0),
+            AppliedCall::new(2, 0, 0),
+            AppliedCall::new(1, 0, 1),
+        ];
+        let report = check_handler_log(&log, None);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::BlockInterleaved { client: 1, intruder: 2, .. })));
+    }
+
+    #[test]
+    fn lost_and_duplicated_calls_are_detected() {
+        // Lost: expected 5, got 4 (still in order).
+        let log = block(1, 0, 4);
+        let expected = BTreeMap::from([((1, 0), 5)]);
+        let report = check_handler_log(&log, Some(&expected));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::WrongCallCount { expected: 5, found: 4, .. })));
+
+        // Duplicated: the repeated sequence number also breaks ordering.
+        let mut log = block(1, 0, 3);
+        log.push(AppliedCall::new(1, 0, 2));
+        let report = check_handler_log(&log, None);
+        assert!(!report.conforms());
+    }
+
+    #[test]
+    fn gaps_in_sequence_numbers_break_order() {
+        let log = vec![AppliedCall::new(1, 0, 0), AppliedCall::new(1, 0, 2)];
+        let report = check_handler_log(&log, None);
+        assert!(matches!(report.violations[0], Violation::OrderBroken { .. }));
+    }
+
+    #[test]
+    fn empty_log_conforms() {
+        assert!(check_handler_log(&[], None).conforms());
+    }
+
+    #[test]
+    fn uniform_expectation_builds_full_map() {
+        let expected = uniform_expectation(3, 2, 10);
+        assert_eq!(expected.len(), 6);
+        assert_eq!(expected[&(2, 1)], 10);
+    }
+
+    #[test]
+    fn violations_render_messages() {
+        let interleaved = Violation::BlockInterleaved {
+            client: 3,
+            block: 1,
+            intruder: 9,
+        };
+        assert!(interleaved.to_string().contains("client 9"));
+        let count = Violation::WrongCallCount {
+            client: 1,
+            block: 0,
+            expected: 2,
+            found: 1,
+        };
+        assert!(count.to_string().contains("expected 2"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Exponential backoff for spin loops.
+//!
+//! The queue-of-queues and the reservation spinlocks both contain short
+//! optimistic spin phases.  Spinning without backoff saturates the coherence
+//! fabric (see the MESI discussion in *Rust Atomics and Locks*, ch. 7), so
+//! every spin loop in this workspace goes through [`Backoff`].
+
+use std::hint;
+use std::thread;
+
+/// Maximum exponent used while pure-spinning; beyond this the backoff
+/// starts yielding to the OS scheduler.
+const SPIN_LIMIT: u32 = 6;
+/// Maximum exponent overall; the caller should park instead of continuing to
+/// back off once [`Backoff::is_completed`] returns `true`.
+const YIELD_LIMIT: u32 = 10;
+
+/// An exponential backoff helper for spin loops.
+///
+/// ```
+/// use qs_sync::Backoff;
+/// use std::sync::atomic::{AtomicBool, Ordering};
+///
+/// let flag = AtomicBool::new(true);
+/// let backoff = Backoff::new();
+/// while !flag.load(Ordering::Acquire) {
+///     backoff.snooze();
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Backoff {
+    step: std::cell::Cell<u32>,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backoff {
+    /// Creates a fresh backoff state.
+    #[inline]
+    pub fn new() -> Self {
+        Backoff {
+            step: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Resets the backoff to its initial state.
+    #[inline]
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Backs off for a short, purely busy-waiting period.
+    ///
+    /// Use this when the awaited condition is expected to change within a few
+    /// hundred cycles (e.g. the other side of an SPSC queue is mid-enqueue).
+    #[inline]
+    pub fn spin(&self) {
+        let step = self.step.get().min(SPIN_LIMIT);
+        for _ in 0..(1u32 << step) {
+            hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Backs off, yielding to the OS scheduler once spinning has not helped.
+    #[inline]
+    pub fn snooze(&self) {
+        let step = self.step.get();
+        if step <= SPIN_LIMIT {
+            for _ in 0..(1u32 << step) {
+                hint::spin_loop();
+            }
+        } else {
+            thread::yield_now();
+        }
+        if step <= YIELD_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// Returns `true` once backing off any further is pointless and the
+    /// caller should block (park) instead.
+    #[inline]
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_incomplete() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn completes_after_enough_snoozes() {
+        let b = Backoff::new();
+        for _ in 0..=YIELD_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+    }
+
+    #[test]
+    fn spin_never_completes() {
+        let b = Backoff::new();
+        for _ in 0..100 {
+            b.spin();
+        }
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let b = Backoff::new();
+        for _ in 0..=YIELD_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn usable_in_cross_thread_wait() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let t = std::thread::spawn(move || {
+            f2.store(true, Ordering::Release);
+        });
+        let b = Backoff::new();
+        while !flag.load(Ordering::Acquire) {
+            b.snooze();
+        }
+        t.join().unwrap();
+    }
+}

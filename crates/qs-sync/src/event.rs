@@ -1,0 +1,234 @@
+//! A reusable binary event (set/wait) built on spinning plus thread parking.
+//!
+//! The wait/release pair of the `sync` rule (§2.3) is implemented in the
+//! runtime as: the client enqueues a *sync token* into its private queue and
+//! then waits on an [`Event`]; when the handler dequeues the token it sets
+//! the event, releasing the client.  The event first spins briefly (queries
+//! usually complete quickly when the handler is already draining the private
+//! queue) and then parks the waiting thread.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+use std::thread::Thread;
+use std::time::Duration;
+
+use crate::Backoff;
+
+/// Event state: not signalled, signalled, or not signalled with a parked waiter.
+const EMPTY: u32 = 0;
+const SET: u32 = 1;
+const WAITING: u32 = 2;
+
+/// A reusable binary event.
+///
+/// One or more threads may [`wait`](Event::wait) for the event; a call to
+/// [`set`](Event::set) releases all current waiters and leaves the event in
+/// the signalled state until [`reset`](Event::reset) is called.
+///
+/// ```
+/// use qs_sync::Event;
+/// use std::sync::Arc;
+///
+/// let ev = Arc::new(Event::new());
+/// let ev2 = Arc::clone(&ev);
+/// let t = std::thread::spawn(move || ev2.wait());
+/// ev.set();
+/// t.join().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Event {
+    state: AtomicU32,
+    /// Parked waiter handles.  A `Mutex<Vec<_>>` is acceptable here because
+    /// the fast path (spin-then-set without parking) never touches it.
+    waiters: Mutex<Vec<Thread>>,
+}
+
+impl Default for Event {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Event {
+    /// Creates an event in the non-signalled state.
+    pub fn new() -> Self {
+        Event {
+            state: AtomicU32::new(EMPTY),
+            waiters: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Returns `true` if the event is currently signalled.
+    pub fn is_set(&self) -> bool {
+        self.state.load(Ordering::Acquire) == SET
+    }
+
+    /// Signals the event, waking every thread currently waiting on it.
+    pub fn set(&self) {
+        let prev = self.state.swap(SET, Ordering::Release);
+        if prev == WAITING {
+            let mut waiters = self.waiters.lock().unwrap();
+            for t in waiters.drain(..) {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Clears the signalled state so the event can be waited on again.
+    ///
+    /// Must only be called when no thread is concurrently waiting; in the
+    /// runtime the client resets its own event between queries.
+    pub fn reset(&self) {
+        self.state.store(EMPTY, Ordering::Release);
+    }
+
+    /// Blocks until the event is signalled.
+    pub fn wait(&self) {
+        let backoff = Backoff::new();
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                SET => return,
+                _ if !backoff.is_completed() => backoff.snooze(),
+                _ => break,
+            }
+        }
+        // Slow path: register as a parked waiter.
+        loop {
+            {
+                let mut waiters = self.waiters.lock().unwrap();
+                // Transition EMPTY -> WAITING with a CAS so that a `set`
+                // racing with registration cannot be overwritten (which would
+                // lose the wake-up and park forever).
+                match self.state.compare_exchange(
+                    EMPTY,
+                    WAITING,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) | Err(WAITING) => waiters.push(std::thread::current()),
+                    // Already signalled.
+                    Err(_) => return,
+                }
+            }
+            loop {
+                std::thread::park();
+                match self.state.load(Ordering::Acquire) {
+                    SET => return,
+                    // Spurious wake-up: if we are no longer registered (the
+                    // waiters vec was drained by a set that raced with a
+                    // reset), re-register; otherwise just park again.
+                    _ => {
+                        let waiters = self.waiters.lock().unwrap();
+                        if !waiters.iter().any(|t| t.id() == std::thread::current().id()) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocks until the event is signalled or `timeout` elapses.
+    ///
+    /// Returns `true` if the event was signalled.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let backoff = Backoff::new();
+        loop {
+            if self.state.load(Ordering::Acquire) == SET {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            if backoff.is_completed() {
+                std::thread::park_timeout(Duration::from_micros(200));
+            } else {
+                backoff.snooze();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn set_before_wait_returns_immediately() {
+        let ev = Event::new();
+        ev.set();
+        ev.wait();
+        assert!(ev.is_set());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let ev = Event::new();
+        ev.set();
+        assert!(ev.is_set());
+        ev.reset();
+        assert!(!ev.is_set());
+    }
+
+    #[test]
+    fn wait_blocks_until_set() {
+        let ev = Arc::new(Event::new());
+        let ev2 = Arc::clone(&ev);
+        let t = thread::spawn(move || {
+            ev2.wait();
+            true
+        });
+        thread::sleep(Duration::from_millis(20));
+        ev.set();
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn multiple_waiters_are_all_released() {
+        let ev = Arc::new(Event::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let ev = Arc::clone(&ev);
+            handles.push(thread::spawn(move || ev.wait()));
+        }
+        thread::sleep(Duration::from_millis(20));
+        ev.set();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn wait_timeout_expires_without_set() {
+        let ev = Event::new();
+        assert!(!ev.wait_timeout(Duration::from_millis(10)));
+        ev.set();
+        assert!(ev.wait_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn reusable_across_rounds() {
+        // The query loop in the runtime resets and reuses one event per
+        // private queue; emulate a few thousand rounds.
+        let ev = Arc::new(Event::new());
+        let ev2 = Arc::clone(&ev);
+        let rounds = 2_000;
+        let setter = thread::spawn(move || {
+            for _ in 0..rounds {
+                // wait until consumer has armed (reset) the event
+                while ev2.is_set() {
+                    std::hint::spin_loop();
+                }
+                ev2.set();
+            }
+        });
+        for _ in 0..rounds {
+            ev.wait();
+            ev.reset();
+        }
+        setter.join().unwrap();
+    }
+}

@@ -1,0 +1,238 @@
+//! Single-value rendezvous ("direct handoff") between a handler and a client.
+//!
+//! §3.2 of the paper describes the final query optimisation: "when the
+//! handler finishes synchronizing with a client, it will have no more work to
+//! do. Therefore control passes directly from the handler to the client [...]
+//! avoiding unnecessary context switching."
+//!
+//! [`Handoff`] captures that interaction as a reusable one-slot channel: the
+//! producer (handler) deposits a value and directly unparks the exact
+//! consumer thread (client) that is waiting — no queue, no global scheduler,
+//! no lock on the fast path.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread::Thread;
+
+use crate::Backoff;
+
+const IDLE: u8 = 0;
+const WAITING: u8 = 1;
+const READY: u8 = 2;
+
+/// A reusable one-slot rendezvous channel.
+///
+/// At most one consumer waits at a time (in the runtime, the private queue's
+/// owning client) and at most one producer completes the handoff (the
+/// handler).  The pair may be reused for any number of rounds; rounds are
+/// numbered so that a late producer from a previous round can never satisfy a
+/// later wait.
+///
+/// ```
+/// use qs_sync::Handoff;
+/// use std::sync::Arc;
+///
+/// let h = Arc::new(Handoff::<u64>::new());
+/// let h2 = Arc::clone(&h);
+/// let producer = std::thread::spawn(move || h2.complete(7));
+/// assert_eq!(h.wait(), 7);
+/// producer.join().unwrap();
+/// ```
+pub struct Handoff<T> {
+    state: AtomicU8,
+    round: AtomicUsize,
+    slot: UnsafeCell<MaybeUninit<T>>,
+    waiter: Mutex<Option<Thread>>,
+}
+
+// SAFETY: the state machine guarantees exclusive access to `slot`: the
+// producer writes it only in the IDLE/WAITING -> READY transition and the
+// consumer reads it only after observing READY.
+unsafe impl<T: Send> Send for Handoff<T> {}
+unsafe impl<T: Send> Sync for Handoff<T> {}
+
+impl<T> Default for Handoff<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Handoff<T> {
+    /// Creates an empty handoff slot.
+    pub fn new() -> Self {
+        Handoff {
+            state: AtomicU8::new(IDLE),
+            round: AtomicUsize::new(0),
+            slot: UnsafeCell::new(MaybeUninit::uninit()),
+            waiter: Mutex::new(None),
+        }
+    }
+
+    /// Deposits `value` and wakes the waiting consumer, if any.
+    ///
+    /// Must be called at most once per round (i.e. per matching
+    /// [`wait`](Handoff::wait)); the runtime guarantees this because each
+    /// query enqueues exactly one sync token.
+    pub fn complete(&self, value: T) {
+        // SAFETY: per the round protocol only one producer writes per round
+        // and the consumer does not read until READY is published below.
+        unsafe { (*self.slot.get()).write(value) };
+        let prev = self.state.swap(READY, Ordering::Release);
+        if prev == WAITING {
+            if let Some(thread) = self.waiter.lock().unwrap().take() {
+                thread.unpark();
+            }
+        }
+    }
+
+    /// Returns `true` if a value has been deposited and not yet consumed.
+    pub fn is_ready(&self) -> bool {
+        self.state.load(Ordering::Acquire) == READY
+    }
+
+    /// Waits for the producer and takes the deposited value, resetting the
+    /// handoff for the next round.
+    pub fn wait(&self) -> T {
+        let backoff = Backoff::new();
+        loop {
+            if self.state.load(Ordering::Acquire) == READY {
+                break;
+            }
+            if backoff.is_completed() {
+                self.park_until_ready();
+                break;
+            }
+            backoff.snooze();
+        }
+        // SAFETY: READY was observed with acquire ordering, so the write in
+        // `complete` happens-before this read, and the protocol gives the
+        // consumer exclusive access now.
+        let value = unsafe { (*self.slot.get()).assume_init_read() };
+        self.round.fetch_add(1, Ordering::Relaxed);
+        self.state.store(IDLE, Ordering::Release);
+        value
+    }
+
+    fn park_until_ready(&self) {
+        loop {
+            {
+                let mut waiter = self.waiter.lock().unwrap();
+                // CAS so a racing `complete` (which swaps to READY without
+                // taking the lock) is never overwritten.
+                match self.state.compare_exchange(
+                    IDLE,
+                    WAITING,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => *waiter = Some(std::thread::current()),
+                    Err(READY) => return,
+                    Err(_) => *waiter = Some(std::thread::current()),
+                }
+            }
+            loop {
+                std::thread::park();
+                match self.state.load(Ordering::Acquire) {
+                    READY => return,
+                    WAITING => continue, // spurious wake-up
+                    _ => break,          // retry registration
+                }
+            }
+        }
+    }
+
+    /// Returns the number of completed rounds (mainly for statistics).
+    pub fn rounds(&self) -> usize {
+        self.round.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for Handoff<T> {
+    fn drop(&mut self) {
+        // A value that was deposited but never consumed must still be dropped.
+        if *self.state.get_mut() == READY {
+            // SAFETY: READY means the slot holds an initialised value and no
+            // consumer will read it (we have `&mut self`).
+            unsafe { (*self.slot.get()).assume_init_drop() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn complete_then_wait() {
+        let h = Handoff::new();
+        h.complete(42u32);
+        assert!(h.is_ready());
+        assert_eq!(h.wait(), 42);
+        assert!(!h.is_ready());
+        assert_eq!(h.rounds(), 1);
+    }
+
+    #[test]
+    fn wait_blocks_for_producer() {
+        let h = Arc::new(Handoff::<String>::new());
+        let h2 = Arc::clone(&h);
+        let producer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            h2.complete("hello".to_string());
+        });
+        assert_eq!(h.wait(), "hello");
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn reusable_for_many_rounds() {
+        let h = Arc::new(Handoff::<usize>::new());
+        let h2 = Arc::clone(&h);
+        let rounds = 10_000;
+        let producer = thread::spawn(move || {
+            for i in 0..rounds {
+                // Wait for the slot to be free before the next round.
+                while h2.is_ready() {
+                    std::hint::spin_loop();
+                }
+                h2.complete(i);
+            }
+        });
+        for i in 0..rounds {
+            assert_eq!(h.wait(), i);
+        }
+        producer.join().unwrap();
+        assert_eq!(h.rounds(), rounds);
+    }
+
+    #[test]
+    fn unconsumed_value_is_dropped() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let h = Handoff::new();
+            h.complete(D);
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn values_are_not_dropped_twice() {
+        let h = Handoff::new();
+        h.complete(Box::new(7));
+        let b = h.wait();
+        assert_eq!(*b, 7);
+        drop(h); // must not double-drop the already-taken box
+    }
+}

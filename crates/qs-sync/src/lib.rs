@@ -1,0 +1,33 @@
+//! Low-level synchronisation substrate for the SCOOP/Qs runtime.
+//!
+//! The SCOOP/Qs paper (West, Nanz, Meyer — PPoPP 2015) builds its runtime out
+//! of a small number of synchronisation devices:
+//!
+//! * spinlocks guarding the multi-handler reservation path (§3.3),
+//! * a wait/release ("sync") handoff between a client and a handler used to
+//!   implement queries (§2.3, rules `query`/`sync`),
+//! * direct control transfer from handler to client once a sync completes,
+//!   avoiding the global scheduler (§3.2),
+//! * cache-conscious layout of the hot queue structures (§3.1).
+//!
+//! This crate provides those devices in isolation so that they can be unit
+//! and property tested, benchmarked (ablation E9 in `DESIGN.md`) and reused by
+//! the queue, executor and runtime crates.
+
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod cache_padded;
+pub mod event;
+pub mod handoff;
+pub mod once_cell;
+pub mod spinlock;
+pub mod wait_group;
+
+pub use backoff::Backoff;
+pub use cache_padded::CachePadded;
+pub use event::Event;
+pub use handoff::Handoff;
+pub use once_cell::OnceValue;
+pub use spinlock::{SpinLock, SpinLockGuard};
+pub use wait_group::WaitGroup;

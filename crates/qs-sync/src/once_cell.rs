@@ -1,0 +1,169 @@
+//! A write-once, read-many cell used for lazily published handler state.
+//!
+//! Handlers publish their result slots and statistics blocks exactly once;
+//! clients read them many times.  [`OnceValue`] provides that pattern without
+//! taking a lock on the read path.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::Backoff;
+
+const UNINIT: u8 = 0;
+const WRITING: u8 = 1;
+const INIT: u8 = 2;
+
+/// A cell that can be written exactly once and read any number of times.
+///
+/// ```
+/// use qs_sync::OnceValue;
+/// let cell = OnceValue::new();
+/// assert!(cell.set(10).is_ok());
+/// assert!(cell.set(11).is_err());
+/// assert_eq!(cell.get(), Some(&10));
+/// ```
+pub struct OnceValue<T> {
+    state: AtomicU8,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+// SAFETY: the state machine serialises the single write before any read.
+unsafe impl<T: Send> Send for OnceValue<T> {}
+unsafe impl<T: Send + Sync> Sync for OnceValue<T> {}
+
+impl<T> Default for OnceValue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> OnceValue<T> {
+    /// Creates an empty cell.
+    pub const fn new() -> Self {
+        OnceValue {
+            state: AtomicU8::new(UNINIT),
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+
+    /// Attempts to store `value`; fails (returning it) if already set.
+    pub fn set(&self, value: T) -> Result<(), T> {
+        match self
+            .state
+            .compare_exchange(UNINIT, WRITING, Ordering::Acquire, Ordering::Relaxed)
+        {
+            Ok(_) => {
+                // SAFETY: we won the CAS, so we are the unique writer.
+                unsafe { (*self.value.get()).write(value) };
+                self.state.store(INIT, Ordering::Release);
+                Ok(())
+            }
+            Err(_) => Err(value),
+        }
+    }
+
+    /// Returns the stored value, if initialised.
+    pub fn get(&self) -> Option<&T> {
+        if self.state.load(Ordering::Acquire) == INIT {
+            // SAFETY: INIT published with release ordering guarantees the
+            // write is visible and no further writes occur.
+            Some(unsafe { (*self.value.get()).assume_init_ref() })
+        } else {
+            None
+        }
+    }
+
+    /// Blocks (spinning/yielding) until the value is available and returns it.
+    pub fn wait(&self) -> &T {
+        let backoff = Backoff::new();
+        loop {
+            if let Some(v) = self.get() {
+                return v;
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Returns `true` if the cell has been initialised.
+    pub fn is_set(&self) -> bool {
+        self.state.load(Ordering::Acquire) == INIT
+    }
+}
+
+impl<T> Drop for OnceValue<T> {
+    fn drop(&mut self) {
+        if *self.state.get_mut() == INIT {
+            // SAFETY: value is initialised and we hold exclusive access.
+            unsafe { (*self.value.get()).assume_init_drop() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn set_and_get() {
+        let c = OnceValue::new();
+        assert!(c.get().is_none());
+        assert!(!c.is_set());
+        c.set(String::from("x")).unwrap();
+        assert_eq!(c.get().map(String::as_str), Some("x"));
+        assert!(c.is_set());
+    }
+
+    #[test]
+    fn second_set_fails_and_returns_value() {
+        let c = OnceValue::new();
+        c.set(1).unwrap();
+        assert_eq!(c.set(2), Err(2));
+        assert_eq!(c.get(), Some(&1));
+    }
+
+    #[test]
+    fn only_one_concurrent_setter_wins() {
+        let c = Arc::new(OnceValue::new());
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || c.set(i).is_ok()));
+        }
+        let wins: usize = handles
+            .into_iter()
+            .map(|h| h.join().unwrap() as usize)
+            .sum();
+        assert_eq!(wins, 1);
+        assert!(c.get().is_some());
+    }
+
+    #[test]
+    fn wait_blocks_until_set() {
+        let c = Arc::new(OnceValue::new());
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || *c2.wait());
+        thread::sleep(std::time::Duration::from_millis(10));
+        c.set(99).unwrap();
+        assert_eq!(t.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn drop_releases_value() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let c = OnceValue::new();
+            assert!(c.set(D).is_ok());
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! A counting wait group (latch) used to join groups of handlers/workers.
+//!
+//! The benchmark harness and the executor use it to wait for all workers of a
+//! parallel phase to finish, mirroring the join at the end of the Cowichan
+//! kernels (§4.1.1).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A reusable countdown latch.
+///
+/// ```
+/// use qs_sync::WaitGroup;
+/// use std::sync::Arc;
+///
+/// let wg = Arc::new(WaitGroup::new());
+/// for _ in 0..4 {
+///     wg.add(1);
+///     let wg = Arc::clone(&wg);
+///     std::thread::spawn(move || wg.done());
+/// }
+/// wg.wait();
+/// ```
+#[derive(Debug)]
+pub struct WaitGroup {
+    count: AtomicUsize,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Default for WaitGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WaitGroup {
+    /// Creates a wait group with a count of zero.
+    pub fn new() -> Self {
+        WaitGroup {
+            count: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Creates a wait group with an initial count of `n`.
+    pub fn with_count(n: usize) -> Self {
+        let wg = Self::new();
+        wg.count.store(n, Ordering::Relaxed);
+        wg
+    }
+
+    /// Adds `n` to the outstanding count.
+    pub fn add(&self, n: usize) {
+        self.count.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Decrements the outstanding count by one, waking waiters at zero.
+    pub fn done(&self) {
+        let prev = self.count.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "WaitGroup::done called more times than add");
+        if prev == 1 {
+            // Take the lock so a waiter cannot miss the notification between
+            // its count check and its condvar wait.
+            let _guard = self.lock.lock().unwrap();
+            self.cond.notify_all();
+        }
+    }
+
+    /// Returns the current outstanding count.
+    pub fn count(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the outstanding count reaches zero.
+    pub fn wait(&self) {
+        if self.count.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut guard = self.lock.lock().unwrap();
+        while self.count.load(Ordering::Acquire) != 0 {
+            guard = self.cond.wait(guard).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn zero_count_does_not_block() {
+        WaitGroup::new().wait();
+    }
+
+    #[test]
+    fn waits_for_all_workers() {
+        let wg = Arc::new(WaitGroup::new());
+        let progress = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            wg.add(1);
+            let wg = Arc::clone(&wg);
+            let progress = Arc::clone(&progress);
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(5));
+                progress.fetch_add(1, Ordering::SeqCst);
+                wg.done();
+            });
+        }
+        wg.wait();
+        assert_eq!(progress.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn with_count_prearms_the_latch() {
+        let wg = Arc::new(WaitGroup::with_count(2));
+        assert_eq!(wg.count(), 2);
+        let wg2 = Arc::clone(&wg);
+        let t = thread::spawn(move || {
+            wg2.done();
+            wg2.done();
+        });
+        wg.wait();
+        t.join().unwrap();
+        assert_eq!(wg.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more times than add")]
+    fn unbalanced_done_panics() {
+        let wg = WaitGroup::new();
+        wg.done();
+    }
+
+    #[test]
+    fn reusable_after_reaching_zero() {
+        let wg = Arc::new(WaitGroup::new());
+        for _round in 0..3 {
+            for _ in 0..4 {
+                wg.add(1);
+                let wg = Arc::clone(&wg);
+                thread::spawn(move || wg.done());
+            }
+            wg.wait();
+            assert_eq!(wg.count(), 0);
+        }
+    }
+}

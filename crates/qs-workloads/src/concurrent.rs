@@ -1,0 +1,1216 @@
+//! The coordination benchmarks of §4.1.2 across all paradigms.
+//!
+//! * `mutex` — n threads compete for a single resource (a counter), m
+//!   increments each;
+//! * `prodcons` — n producers and n consumers share an unbounded queue;
+//! * `condition` — "odd" and "even" worker groups alternately increment a
+//!   counter, each group depending on the other to make progress;
+//! * `threadring` — a token is passed around a ring of participants nt times
+//!   (Computer Language Benchmarks Game);
+//! * `chameneos` — creatures meet pairwise at a broker and swap colours, nc
+//!   meetings in total (Computer Language Benchmarks Game).
+//!
+//! Every benchmark is implemented for the SCOOP/Qs runtime and for the
+//! shared-memory, channel, STM and actor baselines, and every run verifies
+//! its functional outcome (counts, conservation laws) before reporting time.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use qs_baselines::actor::{call_actor, spawn_actor, ActorExit, ActorRef};
+use qs_baselines::stm::{atomically, retry, TVar};
+use qs_baselines::Paradigm;
+use qs_runtime::{Handler, OptimizationLevel, Runtime};
+
+/// Parameters of the concurrent benchmarks (§4.1.2: n = 32, m = 20 000,
+/// nt = 600 000, nc = 5 000 000 in the paper; scaled-down presets provided).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcurrentParams {
+    /// Number of competing threads (per role where applicable).
+    pub n: usize,
+    /// Iterations per thread (mutex/prodcons/condition).
+    pub m: usize,
+    /// Number of token passes (threadring).
+    pub nt: usize,
+    /// Ring size (threadring participants).
+    pub ring: usize,
+    /// Number of meetings (chameneos).
+    pub nc: usize,
+}
+
+impl ConcurrentParams {
+    /// Tiny preset for unit tests.
+    pub fn tiny() -> Self {
+        ConcurrentParams {
+            n: 4,
+            m: 50,
+            nt: 200,
+            ring: 8,
+            nc: 100,
+        }
+    }
+
+    /// Benchmark preset (scaled from the paper so a laptop finishes quickly).
+    pub fn bench() -> Self {
+        ConcurrentParams {
+            n: 8,
+            m: 2_000,
+            nt: 20_000,
+            ring: 64,
+            nc: 20_000,
+        }
+    }
+
+    /// The paper's full parameters (n = 32, m = 20 000, nt = 600 000,
+    /// nc = 5 000 000; ring size follows the benchmarks-game convention).
+    pub fn paper() -> Self {
+        ConcurrentParams {
+            n: 32,
+            m: 20_000,
+            nt: 600_000,
+            ring: 503,
+            nc: 5_000_000,
+        }
+    }
+}
+
+/// The concurrent tasks, in the order the paper's tables list them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConcurrentTask {
+    /// Colour-swapping meetings.
+    Chameneos,
+    /// Parity-alternating counter.
+    Condition,
+    /// Lock contention on a single counter.
+    Mutex,
+    /// Producers and consumers on a shared queue.
+    Prodcons,
+    /// Token passing around a ring.
+    Threadring,
+}
+
+impl ConcurrentTask {
+    /// All tasks in table order.
+    pub const ALL: [ConcurrentTask; 5] = [
+        ConcurrentTask::Chameneos,
+        ConcurrentTask::Condition,
+        ConcurrentTask::Mutex,
+        ConcurrentTask::Prodcons,
+        ConcurrentTask::Threadring,
+    ];
+
+    /// Lower-case name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConcurrentTask::Chameneos => "chameneos",
+            ConcurrentTask::Condition => "condition",
+            ConcurrentTask::Mutex => "mutex",
+            ConcurrentTask::Prodcons => "prodcons",
+            ConcurrentTask::Threadring => "threadring",
+        }
+    }
+}
+
+impl std::fmt::Display for ConcurrentTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs one concurrent benchmark under one paradigm (SCOOP/Qs uses the fully
+/// optimised runtime) and returns the elapsed wall-clock time.
+pub fn run_concurrent(
+    task: ConcurrentTask,
+    paradigm: Paradigm,
+    params: &ConcurrentParams,
+) -> Duration {
+    match paradigm {
+        Paradigm::ScoopQs => run_concurrent_scoop(task, OptimizationLevel::All, params),
+        _ => {
+            let start = Instant::now();
+            match (task, paradigm) {
+                (ConcurrentTask::Mutex, Paradigm::Shared) => mutex_shared(params),
+                (ConcurrentTask::Mutex, Paradigm::Channel) => mutex_channel(params),
+                (ConcurrentTask::Mutex, Paradigm::Stm) => mutex_stm(params),
+                (ConcurrentTask::Mutex, Paradigm::Actor) => mutex_actor(params),
+                (ConcurrentTask::Prodcons, Paradigm::Shared) => prodcons_shared(params),
+                (ConcurrentTask::Prodcons, Paradigm::Channel) => prodcons_channel(params),
+                (ConcurrentTask::Prodcons, Paradigm::Stm) => prodcons_stm(params),
+                (ConcurrentTask::Prodcons, Paradigm::Actor) => prodcons_actor(params),
+                (ConcurrentTask::Condition, Paradigm::Shared) => condition_shared(params),
+                (ConcurrentTask::Condition, Paradigm::Channel) => condition_channel(params),
+                (ConcurrentTask::Condition, Paradigm::Stm) => condition_stm(params),
+                (ConcurrentTask::Condition, Paradigm::Actor) => condition_actor(params),
+                (ConcurrentTask::Threadring, Paradigm::Shared) => threadring_shared(params),
+                (ConcurrentTask::Threadring, Paradigm::Channel) => threadring_channel(params),
+                (ConcurrentTask::Threadring, Paradigm::Stm) => threadring_stm(params),
+                (ConcurrentTask::Threadring, Paradigm::Actor) => threadring_actor(params),
+                (ConcurrentTask::Chameneos, Paradigm::Shared) => chameneos_shared(params),
+                (ConcurrentTask::Chameneos, Paradigm::Channel) => chameneos_channel(params),
+                (ConcurrentTask::Chameneos, Paradigm::Stm) => chameneos_stm(params),
+                (ConcurrentTask::Chameneos, Paradigm::Actor) => chameneos_actor(params),
+                (_, Paradigm::ScoopQs) => unreachable!("handled above"),
+            }
+            start.elapsed()
+        }
+    }
+}
+
+/// Runs one concurrent benchmark on the SCOOP/Qs runtime under a specific
+/// optimisation level (the §4.3 study, Table 2 / Fig. 17).
+pub fn run_concurrent_scoop(
+    task: ConcurrentTask,
+    level: OptimizationLevel,
+    params: &ConcurrentParams,
+) -> Duration {
+    let runtime = Runtime::with_level(level);
+    let start = Instant::now();
+    match task {
+        ConcurrentTask::Mutex => mutex_scoop(&runtime, params),
+        ConcurrentTask::Prodcons => prodcons_scoop(&runtime, params),
+        ConcurrentTask::Condition => condition_scoop(&runtime, params),
+        ConcurrentTask::Threadring => threadring_scoop(&runtime, params),
+        ConcurrentTask::Chameneos => chameneos_scoop(&runtime, params),
+    }
+    start.elapsed()
+}
+
+// ---------------------------------------------------------------------------
+// mutex
+// ---------------------------------------------------------------------------
+
+fn mutex_scoop(runtime: &Runtime, p: &ConcurrentParams) {
+    let counter: Handler<u64> = runtime.spawn_handler(0);
+    std::thread::scope(|scope| {
+        for _ in 0..p.n {
+            let counter = counter.clone();
+            let m = p.m;
+            scope.spawn(move || {
+                for _ in 0..m {
+                    counter.separate(|s| s.call(|c| *c += 1));
+                }
+            });
+        }
+    });
+    let total = counter.query_detached(|c| *c);
+    assert_eq!(total, (p.n * p.m) as u64, "scoop mutex lost increments");
+}
+
+fn mutex_shared(p: &ConcurrentParams) {
+    let counter = Arc::new(Mutex::new(0u64));
+    std::thread::scope(|scope| {
+        for _ in 0..p.n {
+            let counter = Arc::clone(&counter);
+            scope.spawn(move || {
+                for _ in 0..p.m {
+                    *counter.lock() += 1;
+                }
+            });
+        }
+    });
+    assert_eq!(*counter.lock(), (p.n * p.m) as u64);
+}
+
+fn mutex_channel(p: &ConcurrentParams) {
+    // A counter "goroutine" owns the resource; competitors send increments.
+    let (tx, rx) = unbounded::<()>();
+    let owner = std::thread::spawn(move || rx.iter().count() as u64);
+    std::thread::scope(|scope| {
+        for _ in 0..p.n {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for _ in 0..p.m {
+                    tx.send(()).unwrap();
+                }
+            });
+        }
+    });
+    drop(tx);
+    assert_eq!(owner.join().unwrap(), (p.n * p.m) as u64);
+}
+
+fn mutex_stm(p: &ConcurrentParams) {
+    let counter = TVar::new(0u64);
+    std::thread::scope(|scope| {
+        for _ in 0..p.n {
+            let counter = counter.clone();
+            scope.spawn(move || {
+                for _ in 0..p.m {
+                    atomically(|tx| tx.modify(&counter, |c| c + 1));
+                }
+            });
+        }
+    });
+    assert_eq!(counter.read_atomic(), (p.n * p.m) as u64);
+}
+
+fn mutex_actor(p: &ConcurrentParams) {
+    #[derive(Clone)]
+    enum Msg {
+        Add,
+        Get(Sender<u64>),
+    }
+    let actor = spawn_actor(0u64, |state, msg: Msg| match msg {
+        Msg::Add => {
+            *state += 1;
+            ActorExit::Continue
+        }
+        Msg::Get(reply) => {
+            let _ = reply.send(*state);
+            ActorExit::Continue
+        }
+    });
+    std::thread::scope(|scope| {
+        for _ in 0..p.n {
+            let actor_ref = actor.reference();
+            scope.spawn(move || {
+                for _ in 0..p.m {
+                    actor_ref.send_owned(Msg::Add);
+                }
+            });
+        }
+    });
+    let total = call_actor(&actor.actor_ref, Msg::Get);
+    assert_eq!(total, (p.n * p.m) as u64);
+}
+
+// ---------------------------------------------------------------------------
+// prodcons
+// ---------------------------------------------------------------------------
+
+fn prodcons_scoop(runtime: &Runtime, p: &ConcurrentParams) {
+    let queue: Handler<VecDeque<u64>> = runtime.spawn_handler(VecDeque::new());
+    let consumed: u64 = std::thread::scope(|scope| {
+        for producer in 0..p.n {
+            let queue = queue.clone();
+            let m = p.m;
+            scope.spawn(move || {
+                for i in 0..m {
+                    let value = (producer * m + i) as u64;
+                    queue.separate(|s| s.call(move |q| q.push_back(value)));
+                }
+            });
+        }
+        let consumers: Vec<_> = (0..p.n)
+            .map(|_| {
+                let queue = queue.clone();
+                let m = p.m;
+                scope.spawn(move || {
+                    let mut sum = 0u64;
+                    for _ in 0..m {
+                        loop {
+                            if let Some(v) = queue.separate(|s| s.query(|q| q.pop_front())) {
+                                sum += v;
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                    sum
+                })
+            })
+            .collect();
+        consumers.into_iter().map(|c| c.join().unwrap()).sum()
+    });
+    let total_items = (p.n * p.m) as u64;
+    assert_eq!(consumed, total_items * (total_items - 1) / 2);
+}
+
+fn prodcons_shared(p: &ConcurrentParams) {
+    struct Shared {
+        queue: Mutex<VecDeque<u64>>,
+        available: Condvar,
+    }
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+    });
+    let consumed: u64 = std::thread::scope(|scope| {
+        for producer in 0..p.n {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || {
+                for i in 0..p.m {
+                    shared.queue.lock().push_back((producer * p.m + i) as u64);
+                    shared.available.notify_one();
+                }
+            });
+        }
+        let consumers: Vec<_> = (0..p.n)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    let mut sum = 0u64;
+                    for _ in 0..p.m {
+                        let mut queue = shared.queue.lock();
+                        loop {
+                            if let Some(v) = queue.pop_front() {
+                                sum += v;
+                                break;
+                            }
+                            shared.available.wait(&mut queue);
+                        }
+                    }
+                    sum
+                })
+            })
+            .collect();
+        consumers.into_iter().map(|c| c.join().unwrap()).sum()
+    });
+    let total_items = (p.n * p.m) as u64;
+    assert_eq!(consumed, total_items * (total_items - 1) / 2);
+}
+
+fn prodcons_channel(p: &ConcurrentParams) {
+    let (tx, rx) = unbounded::<u64>();
+    let consumed: u64 = std::thread::scope(|scope| {
+        for producer in 0..p.n {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for i in 0..p.m {
+                    tx.send((producer * p.m + i) as u64).unwrap();
+                }
+            });
+        }
+        let consumers: Vec<_> = (0..p.n)
+            .map(|_| {
+                let rx = rx.clone();
+                scope.spawn(move || (0..p.m).map(|_| rx.recv().unwrap()).sum::<u64>())
+            })
+            .collect();
+        consumers.into_iter().map(|c| c.join().unwrap()).sum()
+    });
+    let total_items = (p.n * p.m) as u64;
+    assert_eq!(consumed, total_items * (total_items - 1) / 2);
+}
+
+fn prodcons_stm(p: &ConcurrentParams) {
+    let queue: TVar<VecDeque<u64>> = TVar::new(VecDeque::new());
+    let consumed: u64 = std::thread::scope(|scope| {
+        for producer in 0..p.n {
+            let queue = queue.clone();
+            scope.spawn(move || {
+                for i in 0..p.m {
+                    let value = (producer * p.m + i) as u64;
+                    atomically(|tx| {
+                        tx.modify(&queue, |mut q| {
+                            q.push_back(value);
+                            q
+                        })
+                    });
+                }
+            });
+        }
+        let consumers: Vec<_> = (0..p.n)
+            .map(|_| {
+                let queue = queue.clone();
+                scope.spawn(move || {
+                    let mut sum = 0u64;
+                    for _ in 0..p.m {
+                        sum += atomically(|tx| {
+                            let mut q = tx.read(&queue)?;
+                            match q.pop_front() {
+                                Some(v) => {
+                                    tx.write(&queue, q);
+                                    Ok(v)
+                                }
+                                None => retry(),
+                            }
+                        });
+                    }
+                    sum
+                })
+            })
+            .collect();
+        consumers.into_iter().map(|c| c.join().unwrap()).sum()
+    });
+    let total_items = (p.n * p.m) as u64;
+    assert_eq!(consumed, total_items * (total_items - 1) / 2);
+}
+
+fn prodcons_actor(p: &ConcurrentParams) {
+    #[derive(Clone)]
+    enum Msg {
+        Push(u64),
+        Pop(Sender<u64>),
+    }
+    struct State {
+        items: VecDeque<u64>,
+        waiting: VecDeque<Sender<u64>>,
+    }
+    let actor = spawn_actor(
+        State {
+            items: VecDeque::new(),
+            waiting: VecDeque::new(),
+        },
+        |state, msg: Msg| {
+            match msg {
+                Msg::Push(value) => {
+                    if let Some(waiter) = state.waiting.pop_front() {
+                        let _ = waiter.send(value);
+                    } else {
+                        state.items.push_back(value);
+                    }
+                }
+                Msg::Pop(reply) => {
+                    if let Some(value) = state.items.pop_front() {
+                        let _ = reply.send(value);
+                    } else {
+                        state.waiting.push_back(reply);
+                    }
+                }
+            }
+            ActorExit::Continue
+        },
+    );
+    let consumed: u64 = std::thread::scope(|scope| {
+        for producer in 0..p.n {
+            let queue = actor.reference();
+            scope.spawn(move || {
+                for i in 0..p.m {
+                    queue.send_owned(Msg::Push((producer * p.m + i) as u64));
+                }
+            });
+        }
+        let consumers: Vec<_> = (0..p.n)
+            .map(|_| {
+                let queue = actor.reference();
+                scope.spawn(move || {
+                    (0..p.m)
+                        .map(|_| call_actor(&queue, Msg::Pop))
+                        .sum::<u64>()
+                })
+            })
+            .collect();
+        consumers.into_iter().map(|c| c.join().unwrap()).sum()
+    });
+    let total_items = (p.n * p.m) as u64;
+    assert_eq!(consumed, total_items * (total_items - 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// condition
+// ---------------------------------------------------------------------------
+
+/// Target counter value: each of the two parity groups contributes `m`
+/// increments in strict alternation.
+fn condition_target(p: &ConcurrentParams) -> u64 {
+    (2 * p.m) as u64
+}
+
+fn condition_scoop(runtime: &Runtime, p: &ConcurrentParams) {
+    let counter: Handler<u64> = runtime.spawn_handler(0);
+    let target = condition_target(p);
+    std::thread::scope(|scope| {
+        for worker in 0..(2 * p.n) {
+            let parity = (worker % 2) as u64;
+            let counter = counter.clone();
+            scope.spawn(move || loop {
+                let state = counter.separate(|s| {
+                    s.query(move |c| {
+                        if *c >= target {
+                            (*c, false)
+                        } else if *c % 2 == parity {
+                            *c += 1;
+                            (*c, true)
+                        } else {
+                            (*c, false)
+                        }
+                    })
+                });
+                if state.0 >= target {
+                    break;
+                }
+                if !state.1 {
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.query_detached(|c| *c), target);
+}
+
+fn condition_shared(p: &ConcurrentParams) {
+    let target = condition_target(p);
+    let counter = qs_baselines::SharedCounter::new(0);
+    std::thread::scope(|scope| {
+        for worker in 0..(2 * p.n) {
+            let parity = (worker % 2) as u64;
+            let counter = Arc::clone(&counter);
+            scope.spawn(move || loop {
+                let value = counter
+                    .wait_and_update(|v| v >= target || v % 2 == parity, |v| {
+                        if v >= target {
+                            v
+                        } else {
+                            v + 1
+                        }
+                    });
+                if value >= target {
+                    break;
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), target);
+}
+
+fn condition_channel(p: &ConcurrentParams) {
+    let target = condition_target(p);
+    let (even_tx, even_rx) = unbounded::<u64>();
+    let (odd_tx, odd_rx) = unbounded::<u64>();
+    even_tx.send(0).unwrap();
+    std::thread::scope(|scope| {
+        for worker in 0..(2 * p.n) {
+            let parity = worker % 2;
+            let (my_rx, other_tx, my_tx) = if parity == 0 {
+                (even_rx.clone(), odd_tx.clone(), even_tx.clone())
+            } else {
+                (odd_rx.clone(), even_tx.clone(), odd_tx.clone())
+            };
+            scope.spawn(move || loop {
+                let value = my_rx.recv().unwrap();
+                if value >= target {
+                    // Propagate termination to both groups and exit.
+                    let _ = my_tx.send(value);
+                    let _ = other_tx.send(value);
+                    break;
+                }
+                other_tx.send(value + 1).unwrap();
+            });
+        }
+    });
+}
+
+fn condition_stm(p: &ConcurrentParams) {
+    let target = condition_target(p);
+    let counter = TVar::new(0u64);
+    std::thread::scope(|scope| {
+        for worker in 0..(2 * p.n) {
+            let parity = (worker % 2) as u64;
+            let counter = counter.clone();
+            scope.spawn(move || loop {
+                let done = atomically(|tx| {
+                    let value = tx.read(&counter)?;
+                    if value >= target {
+                        Ok(true)
+                    } else if value % 2 == parity {
+                        tx.write(&counter, value + 1);
+                        Ok(false)
+                    } else {
+                        retry()
+                    }
+                });
+                if done {
+                    break;
+                }
+            });
+        }
+    });
+    assert_eq!(counter.read_atomic(), target);
+}
+
+fn condition_actor(p: &ConcurrentParams) {
+    let target = condition_target(p);
+    #[derive(Clone)]
+    struct TryIncrement {
+        parity: u64,
+        reply: Sender<(u64, bool)>,
+    }
+    let coordinator = spawn_actor(0u64, move |count, msg: TryIncrement| {
+        let incremented = *count < target && *count % 2 == msg.parity;
+        if incremented {
+            *count += 1;
+        }
+        let _ = msg.reply.send((*count, incremented));
+        ActorExit::Continue
+    });
+    std::thread::scope(|scope| {
+        for worker in 0..(2 * p.n) {
+            let parity = (worker % 2) as u64;
+            let broker = coordinator.reference();
+            scope.spawn(move || loop {
+                let (value, incremented) =
+                    call_actor(&broker, |reply| TryIncrement { parity, reply });
+                if value >= target {
+                    break;
+                }
+                if !incremented {
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+    let (value, _) = call_actor(&coordinator.actor_ref, |reply| TryIncrement {
+        parity: 2, // never matches: pure read
+        reply,
+    });
+    assert_eq!(value, target);
+}
+
+// ---------------------------------------------------------------------------
+// threadring
+// ---------------------------------------------------------------------------
+
+fn threadring_scoop(runtime: &Runtime, p: &ConcurrentParams) {
+    struct Node {
+        next: Option<Handler<Node>>,
+        finished: Option<Arc<qs_sync::Event>>,
+        last_seen: u64,
+    }
+    let finished = Arc::new(qs_sync::Event::new());
+    let nodes: Vec<Handler<Node>> = (0..p.ring)
+        .map(|_| {
+            runtime.spawn_handler(Node {
+                next: None,
+                finished: Some(Arc::clone(&finished)),
+                last_seen: u64::MAX,
+            })
+        })
+        .collect();
+    // Wire the ring.
+    for (i, node) in nodes.iter().enumerate() {
+        let next = nodes[(i + 1) % p.ring].clone();
+        node.separate(|s| s.call(move |n| n.next = Some(next)));
+    }
+    // Passing the token: each handler, upon receiving `pass(k)`, forwards
+    // `k - 1` to its successor or signals completion at zero.
+    fn pass(node: &Handler<Node>, k: u64) {
+        node.separate(|s| {
+            s.call(move |n| {
+                n.last_seen = k;
+                if k == 0 {
+                    if let Some(event) = &n.finished {
+                        event.set();
+                    }
+                } else {
+                    let next = n.next.clone().expect("ring is wired");
+                    pass(&next, k - 1);
+                }
+            });
+        });
+    }
+    pass(&nodes[0], p.nt as u64);
+    finished.wait();
+    for node in &nodes {
+        node.stop();
+    }
+}
+
+fn threadring_shared(p: &ConcurrentParams) {
+    struct Slot {
+        token: Mutex<Option<u64>>,
+        arrived: Condvar,
+    }
+    let slots: Vec<Arc<Slot>> = (0..p.ring)
+        .map(|_| {
+            Arc::new(Slot {
+                token: Mutex::new(None),
+                arrived: Condvar::new(),
+            })
+        })
+        .collect();
+    *slots[0].token.lock() = Some(p.nt as u64);
+    slots[0].arrived.notify_one();
+    std::thread::scope(|scope| {
+        for i in 0..p.ring {
+            let mine = Arc::clone(&slots[i]);
+            let next = Arc::clone(&slots[(i + 1) % p.ring]);
+            scope.spawn(move || loop {
+                let token = {
+                    let mut slot = mine.token.lock();
+                    loop {
+                        if let Some(token) = slot.take() {
+                            break token;
+                        }
+                        mine.arrived.wait(&mut slot);
+                    }
+                };
+                if token == 0 {
+                    // Propagate the stop token around the ring once.
+                    *next.token.lock() = Some(0);
+                    next.arrived.notify_one();
+                    break;
+                }
+                *next.token.lock() = Some(token - 1);
+                next.arrived.notify_one();
+            });
+        }
+        // The zero token circulates once to stop everyone; the spawner scope
+        // joins all participants.
+    });
+}
+
+fn threadring_channel(p: &ConcurrentParams) {
+    let channels: Vec<(Sender<u64>, crossbeam::channel::Receiver<u64>)> =
+        (0..p.ring).map(|_| unbounded()).collect();
+    channels[0].0.send(p.nt as u64).unwrap();
+    std::thread::scope(|scope| {
+        for i in 0..p.ring {
+            let rx = channels[i].1.clone();
+            let tx = channels[(i + 1) % p.ring].0.clone();
+            scope.spawn(move || loop {
+                let token = rx.recv().unwrap();
+                if token == 0 {
+                    let _ = tx.send(0);
+                    break;
+                }
+                tx.send(token - 1).unwrap();
+            });
+        }
+    });
+}
+
+fn threadring_stm(p: &ConcurrentParams) {
+    let slots: Vec<TVar<Option<u64>>> = (0..p.ring).map(|_| TVar::new(None)).collect();
+    slots[0].write_atomic(Some(p.nt as u64));
+    std::thread::scope(|scope| {
+        for i in 0..p.ring {
+            let mine = slots[i].clone();
+            let next = slots[(i + 1) % p.ring].clone();
+            scope.spawn(move || loop {
+                let token = atomically(|tx| match tx.read(&mine)? {
+                    Some(token) => {
+                        tx.write(&mine, None);
+                        Ok(token)
+                    }
+                    None => retry(),
+                });
+                if token == 0 {
+                    atomically(|tx| {
+                        tx.write(&next, Some(0));
+                        Ok(())
+                    });
+                    break;
+                }
+                atomically(|tx| {
+                    tx.write(&next, Some(token - 1));
+                    Ok(())
+                });
+            });
+        }
+    });
+}
+
+fn threadring_actor(p: &ConcurrentParams) {
+    let (done_tx, done_rx) = unbounded::<()>();
+    // Each actor looks up its successor in a slot that is wired after all
+    // actors exist, closing the ring.
+    let next_slots: Vec<Arc<Mutex<Option<ActorRef<u64>>>>> =
+        (0..p.ring).map(|_| Arc::new(Mutex::new(None))).collect();
+    let actors: Vec<_> = (0..p.ring)
+        .map(|i| {
+            let next = Arc::clone(&next_slots[i]);
+            let done_tx = done_tx.clone();
+            spawn_actor((), move |_, token: u64| {
+                if token == 0 {
+                    let _ = done_tx.send(());
+                    ActorExit::Stop
+                } else {
+                    let next = next.lock().clone().expect("ring wired before kick-off");
+                    next.send_owned(token - 1);
+                    ActorExit::Continue
+                }
+            })
+        })
+        .collect();
+    for (i, slot) in next_slots.iter().enumerate() {
+        *slot.lock() = Some(actors[(i + 1) % p.ring].reference());
+    }
+    actors[0].reference().send_owned(p.nt as u64);
+    done_rx.recv().unwrap();
+    // Shut the remaining actors down and join them.
+    for actor in &actors {
+        actor.reference().send_owned(0);
+    }
+    for actor in actors {
+        actor.join();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// chameneos
+// ---------------------------------------------------------------------------
+
+/// Chameneos colours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Colour {
+    Blue,
+    Red,
+    Yellow,
+}
+
+/// The benchmarks-game complement rule.
+fn complement(a: Colour, b: Colour) -> Colour {
+    use Colour::*;
+    if a == b {
+        return a;
+    }
+    match (a, b) {
+        (Blue, Red) | (Red, Blue) => Yellow,
+        (Blue, Yellow) | (Yellow, Blue) => Red,
+        (Red, Yellow) | (Yellow, Red) => Blue,
+        _ => a,
+    }
+}
+
+const CREATURES: [Colour; 4] = [Colour::Blue, Colour::Red, Colour::Yellow, Colour::Blue];
+
+/// Outcome of asking the broker for a meeting.
+enum MeetOutcome {
+    /// Meetings exhausted.
+    Finished,
+    /// Paired immediately with a creature of the given colour.
+    Paired(Colour),
+    /// First at the meeting place; poll for the partner's colour.
+    Wait,
+}
+
+/// Broker state shared by the shared/STM/SCOOP variants.
+struct Broker {
+    remaining: usize,
+    waiting: Option<(usize, Colour)>,
+    /// Mailbox for the first creature of a pair: partner colour by creature id.
+    mailbox: Vec<Option<Colour>>,
+    total_meetings: usize,
+}
+
+impl Broker {
+    fn new(nc: usize, creatures: usize) -> Self {
+        Broker {
+            remaining: nc,
+            waiting: None,
+            mailbox: vec![None; creatures],
+            total_meetings: 0,
+        }
+    }
+
+    fn meet(&mut self, id: usize, colour: Colour) -> MeetOutcome {
+        if self.remaining == 0 {
+            return MeetOutcome::Finished;
+        }
+        match self.waiting.take() {
+            None => {
+                self.waiting = Some((id, colour));
+                MeetOutcome::Wait
+            }
+            Some((other_id, other_colour)) => {
+                self.remaining -= 1;
+                self.total_meetings += 1;
+                self.mailbox[other_id] = Some(colour);
+                MeetOutcome::Paired(other_colour)
+            }
+        }
+    }
+
+    fn collect(&mut self, id: usize) -> Option<Colour> {
+        self.mailbox[id].take()
+    }
+}
+
+fn chameneos_scoop(runtime: &Runtime, p: &ConcurrentParams) {
+    let broker: Handler<Broker> = runtime.spawn_handler(Broker::new(p.nc, CREATURES.len()));
+    let meetings: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = CREATURES
+            .iter()
+            .enumerate()
+            .map(|(id, &initial)| {
+                let broker = broker.clone();
+                scope.spawn(move || {
+                    let mut colour = initial;
+                    let mut meetings = 0usize;
+                    loop {
+                        let outcome = broker.separate(|s| s.query(move |b| b.meet(id, colour)));
+                        match outcome {
+                            MeetOutcome::Finished => break,
+                            MeetOutcome::Paired(other) => {
+                                colour = complement(colour, other);
+                                meetings += 1;
+                            }
+                            MeetOutcome::Wait => {
+                                let other = loop {
+                                    if let Some(other) =
+                                        broker.separate(|s| s.query(move |b| b.collect(id)))
+                                    {
+                                        break other;
+                                    }
+                                    std::thread::yield_now();
+                                };
+                                colour = complement(colour, other);
+                                meetings += 1;
+                            }
+                        }
+                    }
+                    meetings
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert_eq!(meetings, 2 * p.nc, "every meeting involves two creatures");
+    let brokered = broker.query_detached(|b| b.total_meetings);
+    assert_eq!(brokered, p.nc);
+}
+
+fn chameneos_shared(p: &ConcurrentParams) {
+    let broker = Arc::new(Mutex::new(Broker::new(p.nc, CREATURES.len())));
+    let meetings: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = CREATURES
+            .iter()
+            .enumerate()
+            .map(|(id, &initial)| {
+                let broker = Arc::clone(&broker);
+                scope.spawn(move || {
+                    let mut colour = initial;
+                    let mut meetings = 0usize;
+                    loop {
+                        let outcome = broker.lock().meet(id, colour);
+                        match outcome {
+                            MeetOutcome::Finished => break,
+                            MeetOutcome::Paired(other) => {
+                                colour = complement(colour, other);
+                                meetings += 1;
+                            }
+                            MeetOutcome::Wait => {
+                                let other = loop {
+                                    if let Some(other) = broker.lock().collect(id) {
+                                        break other;
+                                    }
+                                    std::thread::yield_now();
+                                };
+                                colour = complement(colour, other);
+                                meetings += 1;
+                            }
+                        }
+                    }
+                    meetings
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert_eq!(meetings, 2 * p.nc);
+}
+
+fn chameneos_stm(p: &ConcurrentParams) {
+    let remaining = TVar::new(p.nc);
+    let waiting: TVar<Option<(usize, Colour)>> = TVar::new(None);
+    let mailbox: Vec<TVar<Option<Colour>>> =
+        CREATURES.iter().map(|_| TVar::new(None)).collect();
+    let meetings: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = CREATURES
+            .iter()
+            .enumerate()
+            .map(|(id, &initial)| {
+                let remaining = remaining.clone();
+                let waiting = waiting.clone();
+                let mailbox = mailbox.clone();
+                scope.spawn(move || {
+                    let mut colour = initial;
+                    let mut meetings = 0usize;
+                    loop {
+                        #[derive(Clone, Copy)]
+                        enum Outcome {
+                            Finished,
+                            Paired(Colour),
+                            Wait,
+                        }
+                        let outcome = atomically(|tx| {
+                            let left = tx.read(&remaining)?;
+                            if left == 0 {
+                                return Ok(Outcome::Finished);
+                            }
+                            match tx.read(&waiting)? {
+                                None => {
+                                    tx.write(&waiting, Some((id, colour)));
+                                    Ok(Outcome::Wait)
+                                }
+                                Some((other_id, other_colour)) => {
+                                    tx.write(&waiting, None);
+                                    tx.write(&remaining, left - 1);
+                                    tx.write(&mailbox[other_id], Some(colour));
+                                    Ok(Outcome::Paired(other_colour))
+                                }
+                            }
+                        });
+                        match outcome {
+                            Outcome::Finished => break,
+                            Outcome::Paired(other) => {
+                                colour = complement(colour, other);
+                                meetings += 1;
+                            }
+                            Outcome::Wait => {
+                                let other = atomically(|tx| match tx.read(&mailbox[id])? {
+                                    Some(other) => {
+                                        tx.write(&mailbox[id], None);
+                                        Ok(other)
+                                    }
+                                    None => retry(),
+                                });
+                                colour = complement(colour, other);
+                                meetings += 1;
+                            }
+                        }
+                    }
+                    meetings
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert_eq!(meetings, 2 * p.nc);
+}
+
+fn chameneos_channel(p: &ConcurrentParams) {
+    #[allow(clippy::type_complexity)]
+    let (meet_tx, meet_rx) = unbounded::<(Colour, Sender<Option<Colour>>)>();
+    let nc = p.nc;
+    let broker = std::thread::spawn(move || {
+        let mut remaining = nc;
+        let mut waiting: Option<(Colour, Sender<Option<Colour>>)> = None;
+        while let Ok((colour, reply)) = meet_rx.recv() {
+            if remaining == 0 {
+                let _ = reply.send(None);
+                continue;
+            }
+            match waiting.take() {
+                None => waiting = Some((colour, reply)),
+                Some((other_colour, other_reply)) => {
+                    remaining -= 1;
+                    let _ = other_reply.send(Some(colour));
+                    let _ = reply.send(Some(other_colour));
+                }
+            }
+        }
+        remaining
+    });
+    let meetings: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = CREATURES
+            .iter()
+            .map(|&initial| {
+                let meet_tx = meet_tx.clone();
+                scope.spawn(move || {
+                    let mut colour = initial;
+                    let mut meetings = 0usize;
+                    loop {
+                        let (reply_tx, reply_rx) = unbounded();
+                        meet_tx.send((colour, reply_tx)).unwrap();
+                        match reply_rx.recv().unwrap() {
+                            None => break,
+                            Some(other) => {
+                                colour = complement(colour, other);
+                                meetings += 1;
+                            }
+                        }
+                    }
+                    meetings
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    drop(meet_tx);
+    assert_eq!(meetings, 2 * p.nc);
+    assert_eq!(broker.join().unwrap(), 0);
+}
+
+fn chameneos_actor(p: &ConcurrentParams) {
+    #[derive(Clone)]
+    struct Meet {
+        colour: Colour,
+        reply: Sender<Option<Colour>>,
+    }
+    struct BrokerState {
+        remaining: usize,
+        waiting: Option<(Colour, Sender<Option<Colour>>)>,
+    }
+    let broker = spawn_actor(
+        BrokerState {
+            remaining: p.nc,
+            waiting: None,
+        },
+        |state, msg: Meet| {
+            if state.remaining == 0 {
+                let _ = msg.reply.send(None);
+                return ActorExit::Continue;
+            }
+            match state.waiting.take() {
+                None => state.waiting = Some((msg.colour, msg.reply)),
+                Some((other_colour, other_reply)) => {
+                    state.remaining -= 1;
+                    let _ = other_reply.send(Some(msg.colour));
+                    let _ = msg.reply.send(Some(other_colour));
+                }
+            }
+            ActorExit::Continue
+        },
+    );
+    let meetings: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = CREATURES
+            .iter()
+            .map(|&initial| {
+                let broker = broker.reference();
+                scope.spawn(move || {
+                    let mut colour = initial;
+                    let mut meetings = 0usize;
+                    loop {
+                        let response: Option<Colour> =
+                            call_actor(&broker, |reply| Meet { colour, reply });
+                        match response {
+                            None => break,
+                            Some(other) => {
+                                colour = complement(colour, other);
+                                meetings += 1;
+                            }
+                        }
+                    }
+                    meetings
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert_eq!(meetings, 2 * p.nc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complement_follows_the_game_rules() {
+        assert_eq!(complement(Colour::Blue, Colour::Blue), Colour::Blue);
+        assert_eq!(complement(Colour::Blue, Colour::Red), Colour::Yellow);
+        assert_eq!(complement(Colour::Yellow, Colour::Red), Colour::Blue);
+    }
+
+    #[test]
+    fn every_task_runs_under_every_paradigm() {
+        let params = ConcurrentParams::tiny();
+        for task in ConcurrentTask::ALL {
+            for paradigm in Paradigm::ALL {
+                let elapsed = run_concurrent(task, paradigm, &params);
+                assert!(elapsed > Duration::ZERO, "{task} under {paradigm}");
+            }
+        }
+    }
+
+    #[test]
+    fn scoop_levels_run_the_coordination_tasks() {
+        let params = ConcurrentParams::tiny();
+        for level in [OptimizationLevel::None, OptimizationLevel::All] {
+            for task in ConcurrentTask::ALL {
+                run_concurrent_scoop(task, level, &params);
+            }
+        }
+    }
+
+    #[test]
+    fn params_presets_scale() {
+        assert!(ConcurrentParams::tiny().nc < ConcurrentParams::bench().nc);
+        assert!(ConcurrentParams::bench().nc < ConcurrentParams::paper().nc);
+        assert_eq!(ConcurrentTask::Mutex.to_string(), "mutex");
+    }
+}

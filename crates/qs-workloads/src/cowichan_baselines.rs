@@ -1,0 +1,687 @@
+//! Cowichan kernels on the comparison paradigms (§5.2).
+//!
+//! * [`run_shared`] — threads + shared memory + parallel loops (the C++/TBB
+//!   stand-in; also used for the Haskell/Repa data-parallel point, see
+//!   `DESIGN.md`).  There is no separate communication phase: workers write
+//!   straight into the shared output, so the whole run counts as compute.
+//! * [`run_channel`] — tasks + channels (the Go stand-in): row ranges are
+//!   fanned out to goroutine-style tasks which send their finished rows back
+//!   over a channel.
+//! * [`run_actor`] — copying actors (the Erlang stand-in): every worker gets
+//!   its own copy of the inputs and sends back a copy of its outputs, so the
+//!   distribution/collection cost is reported as communication time, the way
+//!   the paper splits the Erlang numbers.
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::unbounded;
+use qs_baselines::actor::{spawn_actor, ActorExit};
+use qs_exec::{parallel_for, ThreadPool};
+
+use crate::seq;
+use crate::types::{
+    assert_close, rand_cell, CowichanParams, IntMatrix, Matrix, ParallelTask, Point, TimedRun,
+};
+
+fn ranges(total: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    crate::cowichan_scoop::split_ranges(total, parts)
+}
+
+// ---------------------------------------------------------------------------
+// Shared-memory (threads + locks + parallel loops)
+// ---------------------------------------------------------------------------
+
+fn shared_randmat(pool: &ThreadPool, params: &CowichanParams) -> IntMatrix {
+    let nr = params.nr;
+    let mut matrix = Matrix::<u32>::zeroed(nr, nr);
+    let seed = params.seed;
+    qs_exec::parallel_chunks(pool, &mut matrix.data, params.threads, |_, offset, chunk| {
+        for (k, cell) in chunk.iter_mut().enumerate() {
+            let index = offset + k;
+            *cell = rand_cell(seed, index / nr, index % nr);
+        }
+    });
+    matrix
+}
+
+fn shared_thresh(pool: &ThreadPool, params: &CowichanParams, matrix: &IntMatrix) -> Matrix<bool> {
+    let threshold = {
+        // Parallel per-range histograms, merged sequentially.
+        let parts = ranges(matrix.data.len(), params.threads);
+        let partials: Vec<std::sync::Mutex<Vec<usize>>> = parts
+            .iter()
+            .map(|_| std::sync::Mutex::new(vec![0usize; crate::types::RAND_MAX as usize + 1]))
+            .collect();
+        let data = &matrix.data;
+        let partials_ref = &partials;
+        let parts_ref = &parts;
+        parallel_for(pool, parts.len(), parts.len(), |range| {
+            for part in range {
+                let mut histogram = partials_ref[part].lock().unwrap();
+                for &value in &data[parts_ref[part].clone()] {
+                    histogram[value as usize] += 1;
+                }
+            }
+        });
+        let mut histogram = vec![0usize; crate::types::RAND_MAX as usize + 1];
+        for partial in &partials {
+            for (total, part) in histogram.iter_mut().zip(partial.lock().unwrap().iter()) {
+                *total += part;
+            }
+        }
+        let target = (matrix.data.len() * params.p_percent as usize).div_ceil(100);
+        let mut kept = 0usize;
+        let mut threshold = 0u32;
+        for value in (0..histogram.len()).rev() {
+            kept += histogram[value];
+            if kept >= target {
+                threshold = value as u32;
+                break;
+            }
+        }
+        threshold
+    };
+    let mut mask = Matrix::<bool>::zeroed(matrix.rows, matrix.cols);
+    let data = &matrix.data;
+    qs_exec::parallel_chunks(pool, &mut mask.data, params.threads, |_, offset, chunk| {
+        for (k, cell) in chunk.iter_mut().enumerate() {
+            *cell = data[offset + k] >= threshold;
+        }
+    });
+    mask
+}
+
+fn shared_winnow(
+    pool: &ThreadPool,
+    params: &CowichanParams,
+    matrix: &IntMatrix,
+    mask: &Matrix<bool>,
+) -> Vec<Point> {
+    let parts = ranges(matrix.rows, params.threads);
+    let collected: Vec<std::sync::Mutex<Vec<(u32, usize, usize)>>> =
+        parts.iter().map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    let parts_ref = &parts;
+    let collected_ref = &collected;
+    parallel_for(pool, parts.len(), parts.len(), |range| {
+        for part in range {
+            let mut local = Vec::new();
+            for row in parts_ref[part].clone() {
+                for col in 0..matrix.cols {
+                    if *mask.get(row, col) {
+                        local.push((*matrix.get(row, col), row, col));
+                    }
+                }
+            }
+            local.sort_unstable();
+            *collected_ref[part].lock().unwrap() = local;
+        }
+    });
+    let mut all: Vec<(u32, usize, usize)> = Vec::new();
+    for part in &collected {
+        all.extend(part.lock().unwrap().iter().copied());
+    }
+    all.sort_unstable();
+    seq::select_evenly(&all, params.nw)
+}
+
+fn shared_outer(pool: &ThreadPool, params: &CowichanParams, points: &[Point]) -> (Matrix<f64>, Vec<f64>) {
+    let n = points.len();
+    let mut matrix = Matrix::<f64>::zeroed(n, n);
+    let mut vector = vec![0.0f64; n];
+    if n == 0 {
+        return (matrix, vector);
+    }
+    {
+        let rows: Vec<&mut [f64]> = matrix.data.chunks_mut(n).collect();
+        let vector_cells: Vec<&mut f64> = vector.iter_mut().collect();
+        let cells = rows.into_iter().zip(vector_cells).collect::<Vec<_>>();
+        let mut holder = cells;
+        qs_exec::parallel_chunks(pool, &mut holder, params.threads, |_, offset, chunk| {
+            for (k, (row, origin)) in chunk.iter_mut().enumerate() {
+                let i = offset + k;
+                let mut row_max = 0.0f64;
+                for j in 0..n {
+                    if i != j {
+                        let d = seq::distance(points[i], points[j]);
+                        row[j] = d;
+                        row_max = row_max.max(d);
+                    }
+                }
+                row[i] = row_max * n as f64;
+                **origin = seq::distance(points[i], (0, 0));
+            }
+        });
+    }
+    (matrix, vector)
+}
+
+fn shared_product(
+    pool: &ThreadPool,
+    params: &CowichanParams,
+    matrix: &Matrix<f64>,
+    vector: &[f64],
+) -> Vec<f64> {
+    let mut result = vec![0.0f64; matrix.rows];
+    qs_exec::parallel_chunks(pool, &mut result, params.threads, |_, offset, chunk| {
+        for (k, cell) in chunk.iter_mut().enumerate() {
+            let row = offset + k;
+            *cell = matrix.row(row).iter().zip(vector).map(|(m, v)| m * v).sum();
+        }
+    });
+    result
+}
+
+/// Runs one Cowichan task on the shared-memory baseline and verifies it.
+pub fn run_shared(task: ParallelTask, params: &CowichanParams) -> TimedRun {
+    let pool = ThreadPool::new(params.threads);
+    let start = Instant::now();
+    verify(task, params, |stage| match stage {
+        Stage::Randmat => StageOutput::Int(shared_randmat(&pool, params)),
+        Stage::Thresh(matrix) => StageOutput::Mask(shared_thresh(&pool, params, matrix)),
+        Stage::Winnow(matrix, mask) => StageOutput::Points(shared_winnow(&pool, params, matrix, mask)),
+        Stage::Outer(points) => {
+            let (m, v) = shared_outer(&pool, params, points);
+            StageOutput::Outer(m, v)
+        }
+        Stage::Product(matrix, vector) => {
+            StageOutput::Vector(shared_product(&pool, params, matrix, vector))
+        }
+    });
+    TimedRun {
+        compute: start.elapsed(),
+        communicate: Duration::ZERO,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Channels (Go-like): scatter ranges, gather rows over channels
+// ---------------------------------------------------------------------------
+
+/// Runs one Cowichan task on the channel baseline and verifies it.
+pub fn run_channel(task: ParallelTask, params: &CowichanParams) -> TimedRun {
+    let start = Instant::now();
+    verify(task, params, |stage| channel_stage(params, stage));
+    TimedRun {
+        compute: start.elapsed(),
+        communicate: Duration::ZERO,
+    }
+}
+
+fn channel_stage(params: &CowichanParams, stage: Stage<'_>) -> StageOutput {
+    match stage {
+        Stage::Randmat => {
+            let nr = params.nr;
+            let (tx, rx) = unbounded();
+            std::thread::scope(|scope| {
+                for range in ranges(nr, params.threads) {
+                    let tx = tx.clone();
+                    let seed = params.seed;
+                    scope.spawn(move || {
+                        let rows: Vec<(usize, Vec<u32>)> = range
+                            .map(|row| (row, (0..nr).map(|col| rand_cell(seed, row, col)).collect()))
+                            .collect();
+                        tx.send(rows).unwrap();
+                    });
+                }
+            });
+            drop(tx);
+            let mut matrix = Matrix::<u32>::zeroed(nr, nr);
+            for rows in rx.iter() {
+                for (row, values) in rows {
+                    matrix.data[row * nr..(row + 1) * nr].copy_from_slice(&values);
+                }
+            }
+            StageOutput::Int(matrix)
+        }
+        Stage::Thresh(matrix) => {
+            let threshold = seq::thresh_value(matrix, params.p_percent);
+            let (tx, rx) = unbounded();
+            std::thread::scope(|scope| {
+                for range in ranges(matrix.rows, params.threads) {
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        let rows: Vec<(usize, Vec<bool>)> = range
+                            .map(|row| (row, matrix.row(row).iter().map(|&v| v >= threshold).collect()))
+                            .collect();
+                        tx.send(rows).unwrap();
+                    });
+                }
+            });
+            drop(tx);
+            let mut mask = Matrix::<bool>::zeroed(matrix.rows, matrix.cols);
+            for rows in rx.iter() {
+                for (row, values) in rows {
+                    for (col, value) in values.into_iter().enumerate() {
+                        mask.set(row, col, value);
+                    }
+                }
+            }
+            StageOutput::Mask(mask)
+        }
+        Stage::Winnow(matrix, mask) => {
+            let (tx, rx) = unbounded();
+            std::thread::scope(|scope| {
+                for range in ranges(matrix.rows, params.threads) {
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        for row in range {
+                            for col in 0..matrix.cols {
+                                if *mask.get(row, col) {
+                                    local.push((*matrix.get(row, col), row, col));
+                                }
+                            }
+                        }
+                        local.sort_unstable();
+                        tx.send(local).unwrap();
+                    });
+                }
+            });
+            drop(tx);
+            let mut all: Vec<(u32, usize, usize)> = rx.iter().flatten().collect();
+            all.sort_unstable();
+            StageOutput::Points(seq::select_evenly(&all, params.nw))
+        }
+        Stage::Outer(points) => {
+            let n = points.len();
+            let (tx, rx) = unbounded();
+            std::thread::scope(|scope| {
+                for range in ranges(n, params.threads) {
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        let rows: Vec<(usize, Vec<f64>, f64)> = range
+                            .map(|i| {
+                                let mut row = vec![0.0; n];
+                                let mut row_max = 0.0f64;
+                                for j in 0..n {
+                                    if i != j {
+                                        let d = seq::distance(points[i], points[j]);
+                                        row[j] = d;
+                                        row_max = row_max.max(d);
+                                    }
+                                }
+                                row[i] = row_max * n as f64;
+                                (i, row, seq::distance(points[i], (0, 0)))
+                            })
+                            .collect();
+                        tx.send(rows).unwrap();
+                    });
+                }
+            });
+            drop(tx);
+            let mut matrix = Matrix::<f64>::zeroed(n, n);
+            let mut vector = vec![0.0; n];
+            for rows in rx.iter() {
+                for (i, row, origin) in rows {
+                    matrix.data[i * n..(i + 1) * n].copy_from_slice(&row);
+                    vector[i] = origin;
+                }
+            }
+            StageOutput::Outer(matrix, vector)
+        }
+        Stage::Product(matrix, vector) => {
+            let (tx, rx) = unbounded();
+            std::thread::scope(|scope| {
+                for range in ranges(matrix.rows, params.threads) {
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        let rows: Vec<(usize, f64)> = range
+                            .map(|row| {
+                                (
+                                    row,
+                                    matrix.row(row).iter().zip(vector).map(|(m, v)| m * v).sum(),
+                                )
+                            })
+                            .collect();
+                        tx.send(rows).unwrap();
+                    });
+                }
+            });
+            drop(tx);
+            let mut result = vec![0.0; matrix.rows];
+            for rows in rx.iter() {
+                for (row, value) in rows {
+                    result[row] = value;
+                }
+            }
+            StageOutput::Vector(result)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Actors (Erlang-like): inputs and outputs are copied whole
+// ---------------------------------------------------------------------------
+
+/// Runs one Cowichan task on the copying-actor baseline and verifies it.
+///
+/// The distribution of inputs and the collection of (copied) outputs are
+/// timed as communication, mirroring how the paper splits Erlang's times.
+pub fn run_actor(task: ParallelTask, params: &CowichanParams) -> TimedRun {
+    let mut compute = Duration::ZERO;
+    let mut communicate = Duration::ZERO;
+    verify(task, params, |stage| {
+        let (output, stage_compute, stage_communicate) = actor_stage(params, stage);
+        compute += stage_compute;
+        communicate += stage_communicate;
+        output
+    });
+    TimedRun { compute, communicate }
+}
+
+/// One actor-based map over row ranges: each worker actor receives a copied
+/// job description, computes its rows, and sends back a copied result.
+fn actor_map<R: Clone + Send + 'static>(
+    params: &CowichanParams,
+    total_rows: usize,
+    job: impl Fn(std::ops::Range<usize>) -> R + Clone + Send + 'static,
+) -> (Vec<R>, Duration, Duration) {
+    #[derive(Clone)]
+    struct Job {
+        range: std::ops::Range<usize>,
+    }
+    let (result_tx, result_rx) = unbounded::<R>();
+    let distribution_start = Instant::now();
+    let workers: Vec<_> = ranges(total_rows, params.threads)
+        .into_iter()
+        .map(|range| {
+            let job = job.clone();
+            let result_tx = result_tx.clone();
+            let actor = spawn_actor((), move |_, message: Job| {
+                let result = job(message.range.clone());
+                let _ = result_tx.send(result);
+                ActorExit::Stop
+            });
+            actor.actor_ref.send_owned(Job { range });
+            actor
+        })
+        .collect();
+    let communicate_distribution = distribution_start.elapsed();
+
+    let compute_start = Instant::now();
+    let results: Vec<R> = (0..workers.len()).map(|_| result_rx.recv().unwrap()).collect();
+    let compute = compute_start.elapsed();
+    let collection_start = Instant::now();
+    // "Copy" the results into the client's heap, as Erlang would.
+    let copied: Vec<R> = results.iter().cloned().collect();
+    for worker in workers {
+        worker.join();
+    }
+    let communicate = communicate_distribution + collection_start.elapsed();
+    (copied, compute, communicate)
+}
+
+fn actor_stage(params: &CowichanParams, stage: Stage<'_>) -> (StageOutput, Duration, Duration) {
+    match stage {
+        Stage::Randmat => {
+            let nr = params.nr;
+            let seed = params.seed;
+            let (parts, compute, communicate) = actor_map(params, nr, move |range| {
+                let start = range.start;
+                let rows: Vec<Vec<u32>> = range
+                    .map(|row| (0..nr).map(|col| rand_cell(seed, row, col)).collect())
+                    .collect();
+                (start, rows)
+            });
+            let mut matrix = Matrix::<u32>::zeroed(nr, nr);
+            for (start, rows) in parts {
+                for (offset, row) in rows.into_iter().enumerate() {
+                    matrix.data[(start + offset) * nr..(start + offset + 1) * nr]
+                        .copy_from_slice(&row);
+                }
+            }
+            (StageOutput::Int(matrix), compute, communicate)
+        }
+        Stage::Thresh(matrix) => {
+            let threshold = seq::thresh_value(matrix, params.p_percent);
+            let matrix_copy = matrix.clone();
+            let (parts, compute, communicate) = actor_map(params, matrix.rows, move |range| {
+                let start = range.start;
+                let rows: Vec<Vec<bool>> = range
+                    .map(|row| matrix_copy.row(row).iter().map(|&v| v >= threshold).collect())
+                    .collect();
+                (start, rows)
+            });
+            let mut mask = Matrix::<bool>::zeroed(matrix.rows, matrix.cols);
+            for (start, rows) in parts {
+                for (offset, row) in rows.into_iter().enumerate() {
+                    for (col, value) in row.into_iter().enumerate() {
+                        mask.set(start + offset, col, value);
+                    }
+                }
+            }
+            (StageOutput::Mask(mask), compute, communicate)
+        }
+        Stage::Winnow(matrix, mask) => {
+            let matrix_copy = matrix.clone();
+            let mask_copy = mask.clone();
+            let (parts, compute, communicate) = actor_map(params, matrix.rows, move |range| {
+                let mut local = Vec::new();
+                for row in range {
+                    for col in 0..matrix_copy.cols {
+                        if *mask_copy.get(row, col) {
+                            local.push((*matrix_copy.get(row, col), row, col));
+                        }
+                    }
+                }
+                local.sort_unstable();
+                local
+            });
+            let mut all: Vec<(u32, usize, usize)> = parts.into_iter().flatten().collect();
+            all.sort_unstable();
+            (
+                StageOutput::Points(seq::select_evenly(&all, params.nw)),
+                compute,
+                communicate,
+            )
+        }
+        Stage::Outer(points) => {
+            let points_copy = points.to_vec();
+            let n = points.len();
+            let (parts, compute, communicate) = actor_map(params, n, move |range| {
+                let rows: Vec<(usize, Vec<f64>, f64)> = range
+                    .map(|i| {
+                        let mut row = vec![0.0; n];
+                        let mut row_max = 0.0f64;
+                        for j in 0..n {
+                            if i != j {
+                                let d = seq::distance(points_copy[i], points_copy[j]);
+                                row[j] = d;
+                                row_max = row_max.max(d);
+                            }
+                        }
+                        row[i] = row_max * n as f64;
+                        (i, row, seq::distance(points_copy[i], (0, 0)))
+                    })
+                    .collect();
+                rows
+            });
+            let mut matrix = Matrix::<f64>::zeroed(n, n);
+            let mut vector = vec![0.0; n];
+            for rows in parts {
+                for (i, row, origin) in rows {
+                    matrix.data[i * n..(i + 1) * n].copy_from_slice(&row);
+                    vector[i] = origin;
+                }
+            }
+            (StageOutput::Outer(matrix, vector), compute, communicate)
+        }
+        Stage::Product(matrix, vector) => {
+            let matrix_copy = matrix.clone();
+            let vector_copy = vector.to_vec();
+            let (parts, compute, communicate) = actor_map(params, matrix.rows, move |range| {
+                let rows: Vec<(usize, f64)> = range
+                    .map(|row| {
+                        (
+                            row,
+                            matrix_copy
+                                .row(row)
+                                .iter()
+                                .zip(&vector_copy)
+                                .map(|(m, v)| m * v)
+                                .sum(),
+                        )
+                    })
+                    .collect();
+                rows
+            });
+            let mut result = vec![0.0; matrix.rows];
+            for rows in parts {
+                for (row, value) in rows {
+                    result[row] = value;
+                }
+            }
+            (StageOutput::Vector(result), compute, communicate)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared verification driver
+// ---------------------------------------------------------------------------
+
+/// One pipeline stage handed to a paradigm implementation.
+enum Stage<'a> {
+    Randmat,
+    Thresh(&'a IntMatrix),
+    Winnow(&'a IntMatrix, &'a Matrix<bool>),
+    Outer(&'a [Point]),
+    Product(&'a Matrix<f64>, &'a [f64]),
+}
+
+/// Output of one stage.
+enum StageOutput {
+    Int(IntMatrix),
+    Mask(Matrix<bool>),
+    Points(Vec<Point>),
+    Outer(Matrix<f64>, Vec<f64>),
+    Vector(Vec<f64>),
+}
+
+/// Drives the requested task through the paradigm's stage function, checking
+/// every produced artefact against the sequential reference.
+fn verify(
+    task: ParallelTask,
+    params: &CowichanParams,
+    mut stage: impl FnMut(Stage<'_>) -> StageOutput,
+) {
+    let reference_matrix = seq::randmat(params);
+    let reference_mask = seq::thresh(&reference_matrix, params.p_percent);
+    let reference_points = seq::winnow(&reference_matrix, &reference_mask, params.nw);
+    let (reference_outer, reference_vector) = seq::outer(&reference_points);
+
+    let check_int = |output: StageOutput| match output {
+        StageOutput::Int(m) => {
+            assert_eq!(m, reference_matrix, "randmat mismatch");
+            m
+        }
+        _ => panic!("stage returned the wrong artefact"),
+    };
+
+    match task {
+        ParallelTask::Randmat => {
+            check_int(stage(Stage::Randmat));
+        }
+        ParallelTask::Thresh => {
+            if let StageOutput::Mask(mask) = stage(Stage::Thresh(&reference_matrix)) {
+                assert_eq!(mask, reference_mask, "thresh mismatch");
+            } else {
+                panic!("stage returned the wrong artefact");
+            }
+        }
+        ParallelTask::Winnow => {
+            if let StageOutput::Points(points) =
+                stage(Stage::Winnow(&reference_matrix, &reference_mask))
+            {
+                assert_eq!(points, reference_points, "winnow mismatch");
+            } else {
+                panic!("stage returned the wrong artefact");
+            }
+        }
+        ParallelTask::Outer => {
+            if let StageOutput::Outer(matrix, vector) = stage(Stage::Outer(&reference_points)) {
+                assert_close("outer matrix", &matrix.data, &reference_outer.data);
+                assert_close("outer vector", &vector, &reference_vector);
+            } else {
+                panic!("stage returned the wrong artefact");
+            }
+        }
+        ParallelTask::Product => {
+            if let StageOutput::Vector(result) =
+                stage(Stage::Product(&reference_outer, &reference_vector))
+            {
+                assert_close(
+                    "product",
+                    &result,
+                    &seq::product(&reference_outer, &reference_vector),
+                );
+            } else {
+                panic!("stage returned the wrong artefact");
+            }
+        }
+        ParallelTask::Chain => {
+            let matrix = check_int(stage(Stage::Randmat));
+            let mask = match stage(Stage::Thresh(&matrix)) {
+                StageOutput::Mask(mask) => mask,
+                _ => panic!("stage returned the wrong artefact"),
+            };
+            let points = match stage(Stage::Winnow(&matrix, &mask)) {
+                StageOutput::Points(points) => points,
+                _ => panic!("stage returned the wrong artefact"),
+            };
+            let (outer_matrix, vector) = match stage(Stage::Outer(&points)) {
+                StageOutput::Outer(m, v) => (m, v),
+                _ => panic!("stage returned the wrong artefact"),
+            };
+            let result = match stage(Stage::Product(&outer_matrix, &vector)) {
+                StageOutput::Vector(result) => result,
+                _ => panic!("stage returned the wrong artefact"),
+            };
+            assert_close("chain", &result, &seq::chain(params));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_matches_reference_on_all_tasks() {
+        let params = CowichanParams::tiny();
+        for task in ParallelTask::ALL {
+            let run = run_shared(task, &params);
+            assert!(run.total() > Duration::ZERO, "{task}");
+            assert_eq!(run.communicate, Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn channel_matches_reference_on_all_tasks() {
+        let params = CowichanParams::tiny();
+        for task in ParallelTask::ALL {
+            run_channel(task, &params);
+        }
+    }
+
+    #[test]
+    fn actor_matches_reference_and_reports_communication() {
+        let params = CowichanParams::tiny();
+        for task in ParallelTask::ALL {
+            let run = run_actor(task, &params);
+            assert!(run.communicate > Duration::ZERO, "{task}");
+        }
+    }
+
+    #[test]
+    fn thresh_uses_parallel_histogram_correctly() {
+        // Exercise an input whose histogram is concentrated: all paradigms
+        // must agree on the threshold edge cases.
+        let params = CowichanParams {
+            p_percent: 100,
+            ..CowichanParams::tiny()
+        };
+        run_shared(ParallelTask::Thresh, &params);
+        run_channel(ParallelTask::Thresh, &params);
+    }
+}

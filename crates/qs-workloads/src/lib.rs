@@ -1,0 +1,86 @@
+//! # qs-workloads — the paper's benchmark programs
+//!
+//! §4.1 of the paper divides the evaluation into two groups:
+//!
+//! * **parallel** problems — a selection from the Cowichan problem set
+//!   (`randmat`, `thresh`, `winnow`, `outer`, `product`, and their
+//!   composition `chain`), numerical kernels over large matrices where
+//!   concurrency is only a means of speeding things up;
+//! * **concurrent** problems — coordination benchmarks (`mutex`, `prodcons`,
+//!   `condition`, plus `threadring` and `chameneos` from the Computer
+//!   Language Benchmarks Game) where the interaction pattern *is* the
+//!   specification.
+//!
+//! Every benchmark is implemented for the SCOOP/Qs runtime (under any
+//! [`qs_runtime::OptimizationLevel`]) and for each comparison paradigm in
+//! `qs-baselines`, which is what the experiment harness sweeps to regenerate
+//! the paper's tables and figures.  Sequential reference implementations act
+//! as correctness oracles for all of them.
+
+#![warn(missing_docs)]
+
+pub mod concurrent;
+pub mod cowichan_baselines;
+pub mod cowichan_scoop;
+pub mod seq;
+pub mod types;
+
+pub use concurrent::{run_concurrent, ConcurrentParams, ConcurrentTask};
+pub use types::{BoolMatrix, CowichanParams, IntMatrix, Matrix, ParallelTask, TimedRun};
+
+use qs_baselines::Paradigm;
+use qs_runtime::OptimizationLevel;
+
+/// Runs one Cowichan task end-to-end under the given paradigm and returns
+/// timing split into computation and communication (§5.2: "we distinguish the
+/// time spent computing versus the time spent communicating the results").
+///
+/// The result is checked against the sequential reference; a mismatch panics,
+/// so every timed run is also a correctness check.
+pub fn run_parallel(task: ParallelTask, paradigm: Paradigm, params: &CowichanParams) -> TimedRun {
+    match paradigm {
+        Paradigm::ScoopQs => cowichan_scoop::run(task, OptimizationLevel::All, params),
+        Paradigm::Shared | Paradigm::Stm => {
+            // The paper's Haskell implementations use Repa (pure data-parallel
+            // arrays) rather than STM for these kernels; the closest Rust
+            // equivalent is the same data-parallel pool the shared baseline
+            // uses (see DESIGN.md).
+            cowichan_baselines::run_shared(task, params)
+        }
+        Paradigm::Channel => cowichan_baselines::run_channel(task, params),
+        Paradigm::Actor => cowichan_baselines::run_actor(task, params),
+    }
+}
+
+/// Runs one Cowichan task under a specific SCOOP/Qs optimisation level
+/// (the §4.2 optimisation study, Table 1 / Fig. 16).
+pub fn run_parallel_scoop(
+    task: ParallelTask,
+    level: OptimizationLevel,
+    params: &CowichanParams,
+) -> TimedRun {
+    cowichan_scoop::run(task, level, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_paradigm_runs_the_chain() {
+        let params = CowichanParams::tiny();
+        for paradigm in Paradigm::ALL {
+            let run = run_parallel(ParallelTask::Chain, paradigm, &params);
+            assert!(run.total() > std::time::Duration::ZERO, "{paradigm}");
+        }
+    }
+
+    #[test]
+    fn every_level_runs_randmat() {
+        let params = CowichanParams::tiny();
+        for level in OptimizationLevel::ALL {
+            let run = run_parallel_scoop(ParallelTask::Randmat, level, &params);
+            assert!(run.total() > std::time::Duration::ZERO, "{level}");
+        }
+    }
+}

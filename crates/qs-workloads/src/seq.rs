@@ -1,0 +1,221 @@
+//! Sequential reference implementations of the Cowichan kernels.
+//!
+//! These are the correctness oracles: every parallel implementation (SCOOP/Qs
+//! under any optimisation level, and every baseline paradigm) must produce
+//! exactly these results for the same parameters.
+
+use crate::types::{rand_cell, BoolMatrix, CowichanParams, IntMatrix, Matrix, Point};
+
+/// randmat: deterministically generate an `nr x nr` matrix of values in
+/// `0..RAND_MAX`.
+pub fn randmat(params: &CowichanParams) -> IntMatrix {
+    let nr = params.nr;
+    let mut data = Vec::with_capacity(nr * nr);
+    for row in 0..nr {
+        for col in 0..nr {
+            data.push(rand_cell(params.seed, row, col));
+        }
+    }
+    Matrix::from_data(nr, nr, data)
+}
+
+/// The threshold value such that keeping all elements `>= threshold` keeps at
+/// least `p_percent` of the matrix.
+pub fn thresh_value(matrix: &IntMatrix, p_percent: u32) -> u32 {
+    let mut histogram = [0usize; crate::types::RAND_MAX as usize + 1];
+    for &value in &matrix.data {
+        histogram[value as usize] += 1;
+    }
+    let target = (matrix.data.len() * p_percent as usize).div_ceil(100);
+    let mut kept = 0usize;
+    let mut threshold = 0u32;
+    for value in (0..histogram.len()).rev() {
+        kept += histogram[value];
+        if kept >= target {
+            threshold = value as u32;
+            break;
+        }
+    }
+    threshold
+}
+
+/// thresh: build a boolean mask selecting the top `p_percent` of values.
+pub fn thresh(matrix: &IntMatrix, p_percent: u32) -> BoolMatrix {
+    let threshold = thresh_value(matrix, p_percent);
+    let data = matrix.data.iter().map(|&v| v >= threshold).collect();
+    Matrix::from_data(matrix.rows, matrix.cols, data)
+}
+
+/// winnow: sort the masked elements by `(value, row, col)` and select `nw`
+/// evenly spaced points.
+pub fn winnow(matrix: &IntMatrix, mask: &BoolMatrix, nw: usize) -> Vec<Point> {
+    let mut candidates: Vec<(u32, usize, usize)> = Vec::new();
+    for row in 0..matrix.rows {
+        for col in 0..matrix.cols {
+            if *mask.get(row, col) {
+                candidates.push((*matrix.get(row, col), row, col));
+            }
+        }
+    }
+    candidates.sort_unstable();
+    select_evenly(&candidates, nw)
+}
+
+/// Selects `nw` evenly spaced entries out of the sorted candidate list
+/// (shared by all winnow implementations so they agree exactly).
+pub fn select_evenly(sorted: &[(u32, usize, usize)], nw: usize) -> Vec<Point> {
+    let n = sorted.len();
+    if n == 0 || nw == 0 {
+        return Vec::new();
+    }
+    let take = nw.min(n);
+    let chunk = n / take;
+    (0..take)
+        .map(|i| {
+            let (_, row, col) = sorted[i * chunk];
+            (row, col)
+        })
+        .collect()
+}
+
+/// outer: a symmetric distance matrix with a dominant diagonal, plus the
+/// vector of distances of each point from the origin.
+pub fn outer(points: &[Point]) -> (Matrix<f64>, Vec<f64>) {
+    let n = points.len();
+    let mut matrix = Matrix::<f64>::zeroed(n, n);
+    let mut vector = vec![0.0; n];
+    for i in 0..n {
+        let mut row_max = 0.0f64;
+        for j in 0..n {
+            if i != j {
+                let d = distance(points[i], points[j]);
+                matrix.set(i, j, d);
+                row_max = row_max.max(d);
+            }
+        }
+        matrix.set(i, i, row_max * n as f64);
+        vector[i] = distance(points[i], (0, 0));
+    }
+    (matrix, vector)
+}
+
+/// Euclidean distance between two grid points.
+#[inline]
+pub fn distance(a: Point, b: Point) -> f64 {
+    let dr = a.0 as f64 - b.0 as f64;
+    let dc = a.1 as f64 - b.1 as f64;
+    (dr * dr + dc * dc).sqrt()
+}
+
+/// product: matrix–vector product.
+pub fn product(matrix: &Matrix<f64>, vector: &[f64]) -> Vec<f64> {
+    (0..matrix.rows)
+        .map(|row| {
+            matrix
+                .row(row)
+                .iter()
+                .zip(vector)
+                .map(|(m, v)| m * v)
+                .sum()
+        })
+        .collect()
+}
+
+/// chain: the sequential composition of all kernels.
+pub fn chain(params: &CowichanParams) -> Vec<f64> {
+    let matrix = randmat(params);
+    let mask = thresh(&matrix, params.p_percent);
+    let points = winnow(&matrix, &mask, params.nw);
+    let (outer_matrix, vector) = outer(&points);
+    product(&outer_matrix, &vector)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CowichanParams {
+        CowichanParams::tiny()
+    }
+
+    #[test]
+    fn randmat_is_deterministic_and_in_range() {
+        let a = randmat(&params());
+        let b = randmat(&params());
+        assert_eq!(a, b);
+        assert!(a.data.iter().all(|&v| v < crate::types::RAND_MAX));
+        assert_eq!(a.rows, params().nr);
+    }
+
+    #[test]
+    fn thresh_keeps_at_least_the_requested_fraction() {
+        let matrix = randmat(&params());
+        let mask = thresh(&matrix, 10);
+        let kept = mask.data.iter().filter(|&&b| b).count();
+        assert!(kept * 100 >= matrix.data.len() * 10);
+        // Everything kept is >= everything dropped.
+        let threshold = thresh_value(&matrix, 10);
+        for (value, keep) in matrix.data.iter().zip(&mask.data) {
+            assert_eq!(*keep, *value >= threshold);
+        }
+    }
+
+    #[test]
+    fn thresh_extremes() {
+        let matrix = randmat(&params());
+        let all = thresh(&matrix, 100);
+        assert!(all.data.iter().all(|&b| b));
+        let top = thresh(&matrix, 1);
+        assert!(top.data.iter().any(|&b| b));
+        assert!(top.data.iter().filter(|&&b| b).count() < matrix.data.len());
+    }
+
+    #[test]
+    fn winnow_returns_sorted_selection_of_requested_size() {
+        let matrix = randmat(&params());
+        let mask = thresh(&matrix, 50);
+        let points = winnow(&matrix, &mask, 10);
+        assert_eq!(points.len(), 10);
+        // Values at the selected points are non-decreasing.
+        let values: Vec<u32> = points.iter().map(|&(r, c)| *matrix.get(r, c)).collect();
+        assert!(values.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn winnow_handles_degenerate_cases() {
+        let matrix = randmat(&params());
+        let mask = thresh(&matrix, 50);
+        assert!(winnow(&matrix, &mask, 0).is_empty());
+        let empty_mask = Matrix::from_data(
+            matrix.rows,
+            matrix.cols,
+            vec![false; matrix.data.len()],
+        );
+        assert!(winnow(&matrix, &empty_mask, 5).is_empty());
+    }
+
+    #[test]
+    fn outer_has_dominant_diagonal_and_symmetric_off_diagonal() {
+        let points = vec![(0, 0), (3, 4), (6, 8)];
+        let (matrix, vector) = outer(&points);
+        assert_eq!(matrix.rows, 3);
+        assert_eq!(*matrix.get(0, 1), 5.0);
+        assert_eq!(*matrix.get(1, 0), 5.0);
+        assert!(*matrix.get(1, 1) > *matrix.get(1, 0));
+        assert_eq!(vector, vec![0.0, 5.0, 10.0]);
+    }
+
+    #[test]
+    fn product_matches_manual_computation() {
+        let matrix = Matrix::from_data(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let vector = vec![10.0, 100.0];
+        assert_eq!(product(&matrix, &vector), vec![210.0, 430.0]);
+    }
+
+    #[test]
+    fn chain_produces_nw_results() {
+        let result = chain(&params());
+        assert_eq!(result.len(), params().nw);
+        assert!(result.iter().all(|v| v.is_finite()));
+    }
+}

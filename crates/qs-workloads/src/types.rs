@@ -1,0 +1,283 @@
+//! Shared data types and parameters for the benchmark programs.
+
+use std::time::Duration;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix<T> {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage (`rows * cols` elements).
+    pub data: Vec<T>,
+}
+
+/// Integer matrices used by randmat/thresh/winnow.
+pub type IntMatrix = Matrix<u32>;
+/// Boolean masks produced by thresh.
+pub type BoolMatrix = Matrix<bool>;
+
+impl<T: Clone + Default> Matrix<T> {
+    /// Creates a matrix filled with `T::default()`.
+    pub fn zeroed(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+}
+
+impl<T> Matrix<T> {
+    /// Builds a matrix from row-major data; panics on a size mismatch.
+    pub fn from_data(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data has the wrong size");
+        Matrix { rows, cols, data }
+    }
+
+    /// Returns the element at (`row`, `col`).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> &T {
+        &self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at (`row`, `col`).
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: T) {
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// A view of one row.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[T] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+}
+
+/// The value range produced by the deterministic random matrix generator.
+pub const RAND_MAX: u32 = 100;
+
+/// Deterministic "random" cell value used by every randmat implementation, so
+/// that all paradigms compute identical matrices and can be cross-checked.
+/// (SplitMix64-style hash of the seed and coordinates.)
+#[inline]
+pub fn rand_cell(seed: u64, row: usize, col: usize) -> u32 {
+    let mut z = seed
+        .wrapping_add((row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((col as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % RAND_MAX as u64) as u32
+}
+
+/// A 2-D point (row, column) produced by winnow.
+pub type Point = (usize, usize);
+
+/// Parameters of the Cowichan problems (§4.1.1: nr = 10 000, p = 1 %,
+/// nw = 10 000 in the paper; scaled-down defaults are provided for tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CowichanParams {
+    /// Matrix is `nr x nr`.
+    pub nr: usize,
+    /// Percentage (1..=100) of elements kept by thresh.
+    pub p_percent: u32,
+    /// Number of points selected by winnow.
+    pub nw: usize,
+    /// Seed of the deterministic matrix generator.
+    pub seed: u64,
+    /// Number of worker threads / handlers to use.
+    pub threads: usize,
+}
+
+impl CowichanParams {
+    /// Tiny instance used by unit tests (fast, still exercises every path).
+    pub fn tiny() -> Self {
+        CowichanParams {
+            nr: 40,
+            p_percent: 10,
+            nw: 20,
+            seed: 42,
+            threads: 4,
+        }
+    }
+
+    /// Small instance for integration tests.
+    pub fn small() -> Self {
+        CowichanParams {
+            nr: 120,
+            p_percent: 5,
+            nw: 60,
+            seed: 7,
+            threads: 4,
+        }
+    }
+
+    /// Benchmark-scale instance (still far below the paper's 10 000² cells so
+    /// a laptop regenerates the tables in minutes; the harness scales it).
+    pub fn bench(threads: usize) -> Self {
+        CowichanParams {
+            nr: 600,
+            p_percent: 1,
+            nw: 600,
+            seed: 2015,
+            threads,
+        }
+    }
+
+    /// The paper's full problem size (nr = 10 000, p = 1, nw = 10 000).
+    pub fn paper(threads: usize) -> Self {
+        CowichanParams {
+            nr: 10_000,
+            p_percent: 1,
+            nw: 10_000,
+            seed: 2015,
+            threads,
+        }
+    }
+}
+
+/// The parallel tasks of §4.1.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParallelTask {
+    /// Randomly generate a matrix.
+    Randmat,
+    /// Select the top p% of the matrix into a mask.
+    Thresh,
+    /// Sort masked elements and pick `nw` of them.
+    Winnow,
+    /// Build a distance matrix and vector from the points.
+    Outer,
+    /// Matrix–vector product.
+    Product,
+    /// The sequential composition of all of the above.
+    Chain,
+}
+
+impl ParallelTask {
+    /// Every parallel task, in the order the paper's tables list them.
+    pub const ALL: [ParallelTask; 6] = [
+        ParallelTask::Chain,
+        ParallelTask::Outer,
+        ParallelTask::Product,
+        ParallelTask::Randmat,
+        ParallelTask::Thresh,
+        ParallelTask::Winnow,
+    ];
+
+    /// Lower-case name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParallelTask::Randmat => "randmat",
+            ParallelTask::Thresh => "thresh",
+            ParallelTask::Winnow => "winnow",
+            ParallelTask::Outer => "outer",
+            ParallelTask::Product => "product",
+            ParallelTask::Chain => "chain",
+        }
+    }
+}
+
+impl std::fmt::Display for ParallelTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Wall-clock timing of one benchmark run, split the way §5.2 reports it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimedRun {
+    /// Time spent computing (workers busy on their slices).
+    pub compute: Duration,
+    /// Time spent distributing inputs / collecting results between the client
+    /// and the workers.
+    pub communicate: Duration,
+}
+
+impl TimedRun {
+    /// Total wall-clock time.
+    pub fn total(&self) -> Duration {
+        self.compute + self.communicate
+    }
+}
+
+/// Compares two `f64` slices allowing for no deviation (all implementations
+/// sum in the same order) but giving a useful panic message on mismatch.
+pub fn assert_close(label: &str, got: &[f64], expected: &[f64]) {
+    assert_eq!(got.len(), expected.len(), "{label}: length mismatch");
+    for (i, (g, e)) in got.iter().zip(expected).enumerate() {
+        assert!(
+            (g - e).abs() <= 1e-9 * e.abs().max(1.0),
+            "{label}: element {i} differs: {g} vs {e}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_indexing_round_trips() {
+        let mut m = Matrix::<u32>::zeroed(3, 4);
+        m.set(2, 3, 7);
+        assert_eq!(*m.get(2, 3), 7);
+        assert_eq!(m.row(2), &[0, 0, 0, 7]);
+        let rebuilt = Matrix::from_data(3, 4, m.data.clone());
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn from_data_rejects_bad_sizes() {
+        let _ = Matrix::from_data(2, 2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rand_cell_is_deterministic_and_bounded() {
+        for row in 0..50 {
+            for col in 0..50 {
+                let a = rand_cell(1, row, col);
+                let b = rand_cell(1, row, col);
+                assert_eq!(a, b);
+                assert!(a < RAND_MAX);
+            }
+        }
+        assert_ne!(rand_cell(1, 0, 1), rand_cell(2, 0, 1));
+    }
+
+    #[test]
+    fn params_presets_are_ordered_by_size() {
+        assert!(CowichanParams::tiny().nr < CowichanParams::small().nr);
+        assert!(CowichanParams::small().nr < CowichanParams::bench(4).nr);
+        assert!(CowichanParams::bench(4).nr < CowichanParams::paper(32).nr);
+    }
+
+    #[test]
+    fn task_names_match_paper() {
+        let names: Vec<_> = ParallelTask::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(
+            names,
+            vec!["chain", "outer", "product", "randmat", "thresh", "winnow"]
+        );
+        assert_eq!(ParallelTask::Chain.to_string(), "chain");
+    }
+
+    #[test]
+    fn timed_run_totals() {
+        let run = TimedRun {
+            compute: Duration::from_millis(10),
+            communicate: Duration::from_millis(5),
+        };
+        assert_eq!(run.total(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn assert_close_accepts_equal_and_rejects_different() {
+        assert_close("ok", &[1.0, 2.0], &[1.0, 2.0]);
+        let result = std::panic::catch_unwind(|| assert_close("bad", &[1.0], &[2.0]));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! The chameneos coordination benchmark (§4.1.2) across paradigms.
+//!
+//! Creatures meet pairwise at a broker and swap colours; the benchmark is all
+//! coordination and no computation, which is where the queue-of-queues and
+//! dynamic sync-coalescing optimisations matter most (Table 2).
+//!
+//! Run with `cargo run --release --example chameneos`.
+
+use scoop_qs::baselines::Paradigm;
+use scoop_qs::runtime::OptimizationLevel;
+use scoop_qs::workloads::concurrent::{
+    run_concurrent, run_concurrent_scoop, ConcurrentParams, ConcurrentTask,
+};
+
+fn main() {
+    let params = ConcurrentParams {
+        nc: 20_000,
+        ..ConcurrentParams::tiny()
+    };
+    println!("chameneos with {} meetings\n", params.nc);
+
+    println!("-- paradigms (Table 5) --");
+    for paradigm in Paradigm::ALL {
+        let elapsed = run_concurrent(ConcurrentTask::Chameneos, paradigm, &params);
+        println!("{:<26} {elapsed:>10.2?}", paradigm.to_string());
+    }
+
+    println!("\n-- SCOOP/Qs optimisation levels (Table 2) --");
+    for level in OptimizationLevel::ALL {
+        let elapsed = run_concurrent_scoop(ConcurrentTask::Chameneos, level, &params);
+        println!("{:<10} {elapsed:>10.2?}", level.to_string());
+    }
+}

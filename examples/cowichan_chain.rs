@@ -1,0 +1,48 @@
+//! The Cowichan `chain` workload (§4.1.1) across paradigms.
+//!
+//! Runs randmat → thresh → winnow → outer → product on the SCOOP/Qs runtime
+//! and on the comparison paradigms, printing the compute/communication split
+//! the paper uses in Fig. 18.
+//!
+//! Run with `cargo run --release --example cowichan_chain`.
+
+use scoop_qs::baselines::Paradigm;
+use scoop_qs::runtime::OptimizationLevel;
+use scoop_qs::workloads::types::{CowichanParams, ParallelTask};
+use scoop_qs::workloads::{run_parallel, run_parallel_scoop};
+
+fn main() {
+    let threads = scoop_qs::exec::default_parallelism().min(8);
+    let params = CowichanParams {
+        threads,
+        ..CowichanParams::small()
+    };
+    println!(
+        "chain on a {}x{} matrix, {} worker threads\n",
+        params.nr, params.nr, params.threads
+    );
+
+    println!("-- paradigms (Fig. 18) --");
+    for paradigm in Paradigm::ALL {
+        let run = run_parallel(ParallelTask::Chain, paradigm, &params);
+        println!(
+            "{:<26} total {:>8.2?}  compute {:>8.2?}  communication {:>8.2?}",
+            paradigm.to_string(),
+            run.total(),
+            run.compute,
+            run.communicate
+        );
+    }
+
+    println!("\n-- SCOOP/Qs optimisation levels (Table 1) --");
+    for level in OptimizationLevel::ALL {
+        let run = run_parallel_scoop(ParallelTask::Chain, level, &params);
+        println!(
+            "{:<10} total {:>8.2?}  compute {:>8.2?}  communication {:>8.2?}",
+            level.to_string(),
+            run.total(),
+            run.compute,
+            run.communicate
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: handlers, separate blocks, asynchronous calls and queries.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use scoop_qs::prelude::*;
+
+/// A tiny domain object that will be owned by a handler.
+#[derive(Default, Debug)]
+struct Sensor {
+    readings: Vec<f64>,
+}
+
+impl Sensor {
+    fn record(&mut self, value: f64) {
+        self.readings.push(value);
+    }
+
+    fn average(&self) -> f64 {
+        if self.readings.is_empty() {
+            0.0
+        } else {
+            self.readings.iter().sum::<f64>() / self.readings.len() as f64
+        }
+    }
+}
+
+fn main() {
+    // The fully optimised SCOOP/Qs runtime: queue-of-queues communication,
+    // client-executed queries, dynamic sync-coalescing.
+    let rt = Runtime::new(RuntimeConfig::all_optimizations());
+
+    // Every object lives on exactly one handler; `sensor` is a cheap handle.
+    let sensor: Handler<Sensor> = rt.spawn_handler(Sensor::default());
+
+    // Two client threads log readings concurrently.  Within each separate
+    // block the calls are applied in order with no interleaving from the
+    // other client — that is the reasoning guarantee of the model.
+    std::thread::scope(|scope| {
+        for client in 0..2 {
+            let sensor = sensor.clone();
+            scope.spawn(move || {
+                sensor.separate(|s| {
+                    for i in 0..100 {
+                        // Asynchronous command: returns immediately.
+                        s.call(move |obj| obj.record((client * 100 + i) as f64));
+                    }
+                    // Synchronous query: waits until this block's calls have
+                    // been applied, then reads the state.
+                    let count = s.query(|obj| obj.readings.len());
+                    assert!(count >= 100);
+                });
+            });
+        }
+    });
+
+    // A detached query outside any long-lived block.
+    let average = sensor.query_detached(|obj| obj.average());
+    println!("recorded {} readings, average {average:.2}",
+        sensor.query_detached(|obj| obj.readings.len()));
+
+    // Inspect what the runtime did.
+    let stats = rt.stats_snapshot();
+    println!(
+        "calls enqueued: {}, queries: {}, sync round-trips: {}, syncs elided: {}",
+        stats.calls_enqueued,
+        stats.total_queries(),
+        stats.syncs_performed,
+        stats.syncs_elided
+    );
+
+    // Retrieve the object when the handler is done.
+    let final_sensor = sensor.shutdown_and_take().expect("sole owner");
+    assert_eq!(final_sensor.readings.len(), 200);
+    println!("final reading count: {}", final_sensor.readings.len());
+}

@@ -1,0 +1,42 @@
+//! # scoop-qs — a reproduction of "Efficient and Reasonable Object-Oriented Concurrency" (PPoPP 2015)
+//!
+//! This facade crate re-exports the workspace members so that downstream
+//! users (and the examples and integration tests in this repository) can use
+//! a single dependency.
+//!
+//! * [`runtime`] — the SCOOP/Qs runtime: handlers, separate blocks,
+//!   asynchronous calls, queries, queue-of-queues, sync-coalescing, wait
+//!   conditions and postconditions.
+//! * [`semantics`] — the executable operational semantics of the paper's
+//!   Fig. 3 inference rules, deadlock analysis (§2.5) and conformance
+//!   checking of observed executions against the §2.2 guarantees.
+//! * [`compiler`] — the mini-IR, control-flow graph and the static
+//!   sync-coalescing pass of §3.4.2.
+//! * [`lang`] — a miniature SCOOP surface language (lexer, parser, checker,
+//!   lowering through the static pass, interpreter on the runtime).
+//! * [`remote`] — serialized private queues over byte channels: the §7
+//!   "sockets as the underlying implementation" direction.
+//! * [`queues`], [`sync`], [`exec`] — the substrates the runtime is built on.
+//! * [`baselines`] — shared-memory, channel, actor and STM paradigm
+//!   baselines standing in for C++/TBB, Go, Erlang and Haskell.
+//! * [`workloads`] — the Cowichan parallel suite and the coordination
+//!   benchmarks from the paper's evaluation.
+
+pub use qs_baselines as baselines;
+pub use qs_compiler as compiler;
+pub use qs_exec as exec;
+pub use qs_lang as lang;
+pub use qs_queues as queues;
+pub use qs_remote as remote;
+pub use qs_runtime as runtime;
+pub use qs_semantics as semantics;
+pub use qs_sync as sync;
+pub use qs_workloads as workloads;
+
+/// Convenience prelude exposing the most common runtime API items.
+pub mod prelude {
+    pub use qs_runtime::{
+        separate2, separate2_when, separate3, separate_all, separate_when, Handler,
+        OptimizationLevel, Runtime, RuntimeConfig, RuntimeStats, Separate,
+    };
+}

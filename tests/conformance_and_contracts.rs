@@ -1,0 +1,230 @@
+//! Cross-crate integration tests: the real runtime's observed behaviour is
+//! checked against the operational-semantics conformance checker
+//! (`qs_semantics::refine`), and the contract layer (wait conditions,
+//! postconditions) is exercised under every optimisation level.
+
+use std::collections::BTreeMap;
+
+use scoop_qs::prelude::*;
+use scoop_qs::runtime::{separate_when, try_separate_when, WaitConfig};
+use scoop_qs::semantics::{check_handler_log, uniform_expectation, AppliedCall};
+
+/// Handler-owned object that records every applied call, so the application
+/// order can be checked against the §2.2 guarantees afterwards.
+#[derive(Default)]
+struct RecordingObject {
+    log: Vec<AppliedCall>,
+}
+
+fn all_levels() -> [OptimizationLevel; 5] {
+    [
+        OptimizationLevel::None,
+        OptimizationLevel::Dynamic,
+        OptimizationLevel::Static,
+        OptimizationLevel::QoQ,
+        OptimizationLevel::All,
+    ]
+}
+
+#[test]
+fn runtime_execution_conforms_to_the_semantics_on_every_level() {
+    const CLIENTS: u64 = 4;
+    const BLOCKS: u64 = 8;
+    const CALLS: u64 = 25;
+
+    for level in all_levels() {
+        let rt = Runtime::new(level.config());
+        let handler = rt.spawn_handler(RecordingObject::default());
+
+        std::thread::scope(|scope| {
+            for client in 0..CLIENTS {
+                let handler = handler.clone();
+                scope.spawn(move || {
+                    for block in 0..BLOCKS {
+                        handler.separate(|s| {
+                            for seq in 0..CALLS {
+                                s.call(move |obj| obj.log.push(AppliedCall::new(client, block, seq)));
+                            }
+                            // Mix in queries so the sync machinery is active
+                            // while the conformance-relevant calls flow.
+                            let seen = s.query(|obj| obj.log.len());
+                            assert!(seen >= CALLS as usize);
+                        });
+                    }
+                });
+            }
+        });
+
+        let object = handler.shutdown_and_take().expect("sole owner");
+        assert_eq!(object.log.len(), (CLIENTS * BLOCKS * CALLS) as usize);
+        let expected = uniform_expectation(CLIENTS, BLOCKS, CALLS);
+        let report = check_handler_log(&object.log, Some(&expected));
+        assert!(
+            report.conforms(),
+            "level {level}: runtime violated the reasoning guarantees: {:?}",
+            report.violations
+        );
+    }
+}
+
+#[test]
+fn multi_reservation_blocks_conform_too() {
+    const CLIENTS: u64 = 3;
+    const BLOCKS: u64 = 6;
+    const CALLS: u64 = 10;
+
+    for level in [OptimizationLevel::All, OptimizationLevel::None] {
+        let rt = Runtime::new(level.config());
+        let x = rt.spawn_handler(RecordingObject::default());
+        let y = rt.spawn_handler(RecordingObject::default());
+
+        std::thread::scope(|scope| {
+            for client in 0..CLIENTS {
+                let x = x.clone();
+                let y = y.clone();
+                scope.spawn(move || {
+                    for block in 0..BLOCKS {
+                        separate2(&x, &y, |sx, sy| {
+                            for seq in 0..CALLS {
+                                sx.call(move |obj| obj.log.push(AppliedCall::new(client, block, seq)));
+                                sy.call(move |obj| obj.log.push(AppliedCall::new(client, block, seq)));
+                            }
+                        });
+                    }
+                });
+            }
+        });
+
+        let expected = uniform_expectation(CLIENTS, BLOCKS, CALLS);
+        for handler in [x, y] {
+            let object = handler.shutdown_and_take().expect("sole owner");
+            let report = check_handler_log(&object.log, Some(&expected));
+            assert!(
+                report.conforms(),
+                "level {level}: multi-reservation violated guarantees: {:?}",
+                report.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn bounded_buffer_with_wait_conditions_works_on_every_level() {
+    #[derive(Default)]
+    struct Buffer {
+        items: Vec<u64>,
+    }
+    const CAPACITY: usize = 8;
+    const ITEMS: u64 = 300;
+
+    for level in all_levels() {
+        let rt = Runtime::new(level.config());
+        let buffer = rt.spawn_handler(Buffer::default());
+
+        let producer = {
+            let buffer = buffer.clone();
+            std::thread::spawn(move || {
+                for i in 0..ITEMS {
+                    separate_when(
+                        &buffer,
+                        |b: &Buffer| b.items.len() < CAPACITY,
+                        |guard| guard.call(move |b| b.items.push(i)),
+                    );
+                }
+            })
+        };
+        let consumer = {
+            let buffer = buffer.clone();
+            std::thread::spawn(move || {
+                let mut received = Vec::new();
+                while received.len() < ITEMS as usize {
+                    let batch = separate_when(
+                        &buffer,
+                        |b: &Buffer| !b.items.is_empty(),
+                        |guard| guard.query(|b| std::mem::take(&mut b.items)),
+                    );
+                    received.extend(batch);
+                }
+                received
+            })
+        };
+
+        producer.join().unwrap();
+        let received = consumer.join().unwrap();
+        assert_eq!(received, (0..ITEMS).collect::<Vec<_>>(), "level {level}");
+        // The buffer really was bounded: at no point could more than CAPACITY
+        // items be present, so the final object is empty and nothing was lost.
+        assert!(buffer.query_detached(|b| b.items.is_empty()));
+    }
+}
+
+#[test]
+fn wait_condition_timeouts_do_not_disturb_other_clients() {
+    let rt = Runtime::fully_optimized();
+    let cell = rt.spawn_handler(0u64);
+
+    // A client waits for a condition that never becomes true, with a bounded
+    // retry budget, while other clients keep using the handler normally.
+    let waiter = {
+        let cell = cell.clone();
+        std::thread::spawn(move || {
+            try_separate_when(&cell, WaitConfig::bounded(50), |n| *n > 1_000_000, |g| g.query(|n| *n))
+        })
+    };
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let cell = cell.clone();
+            std::thread::spawn(move || {
+                for _ in 0..500 {
+                    cell.call_detached(|n| *n += 1);
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+    assert!(waiter.join().unwrap().is_err(), "the unreachable condition must time out");
+    assert_eq!(cell.query_detached(|n| *n), 2_000);
+}
+
+#[test]
+fn postconditions_observe_exactly_this_blocks_effects() {
+    use scoop_qs::runtime::check_postcondition;
+
+    let rt = Runtime::fully_optimized();
+    let account = rt.spawn_handler(0i64);
+
+    // Many clients deposit concurrently; each checks a postcondition that is
+    // stable under other clients' deposits (monotonicity), which must
+    // therefore always hold.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let account = account.clone();
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    account.separate(|s| {
+                        let before = s.query(|b| *b);
+                        s.call(|b| *b += 5);
+                        assert!(check_postcondition(s, move |b| *b >= before + 5));
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(account.query_detached(|b| *b), 4 * 200 * 5);
+    let snap = rt.stats_snapshot();
+    assert_eq!(snap.postcondition_checks, 4 * 200);
+    assert_eq!(snap.postcondition_failures, 0);
+}
+
+#[test]
+fn expected_call_counts_catch_lost_work() {
+    // Negative control for the conformance checker itself: deliberately drop
+    // a call from the expectation and make sure the checker notices.
+    let mut expected: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    expected.insert((0, 0), 3);
+    let log = vec![AppliedCall::new(0, 0, 0), AppliedCall::new(0, 0, 1)];
+    let report = check_handler_log(&log, Some(&expected));
+    assert!(!report.conforms());
+}

@@ -1,0 +1,184 @@
+//! Cross-crate integration tests for the surface language (`qs-lang`) and the
+//! serialized-queue transport (`qs-remote`) running against the rest of the
+//! system through the facade crate.
+
+use scoop_qs::lang::{compile, programs, run_compiled, QueryStrategy};
+use scoop_qs::prelude::*;
+use scoop_qs::remote::{ChannelConfig, MethodRegistry, RemoteNode, RemoteObject, WireValue};
+use scoop_qs::semantics::{check_handler_log, uniform_expectation, AppliedCall};
+
+fn all_levels() -> [OptimizationLevel; 5] {
+    [
+        OptimizationLevel::None,
+        OptimizationLevel::Dynamic,
+        OptimizationLevel::Static,
+        OptimizationLevel::QoQ,
+        OptimizationLevel::All,
+    ]
+}
+
+#[test]
+fn language_programs_agree_across_levels_and_strategies() {
+    let cases: Vec<(String, Vec<String>)> = vec![
+        (programs::COUNTER.to_string(), programs::counter_expected()),
+        (programs::BANK_TRANSFER.to_string(), programs::bank_transfer_expected()),
+        (programs::copy_loop(200), programs::copy_loop_expected(200)),
+        (
+            programs::TWO_STAGE_PIPELINE.to_string(),
+            programs::two_stage_pipeline_expected(),
+        ),
+    ];
+    for (source, expected) in cases {
+        let compiled = compile(&source).expect("program compiles");
+        for level in all_levels() {
+            for strategy in [
+                QueryStrategy::RuntimeManaged,
+                QueryStrategy::NaiveSync,
+                compiled.static_strategy(),
+            ] {
+                let rt = Runtime::new(level.config());
+                let output = run_compiled(&compiled, &rt, strategy).expect("program runs");
+                assert_eq!(output.printed, expected, "level {level}");
+            }
+        }
+    }
+}
+
+#[test]
+fn static_pass_reduces_sync_round_trips_without_changing_results() {
+    let compiled = compile(&programs::copy_loop(2_000)).expect("compiles");
+
+    let naive_rt = Runtime::new(OptimizationLevel::QoQ.config());
+    let naive = run_compiled(&compiled, &naive_rt, QueryStrategy::NaiveSync).unwrap();
+
+    let static_rt = Runtime::new(OptimizationLevel::QoQ.config());
+    let optimized = run_compiled(&compiled, &static_rt, compiled.static_strategy()).unwrap();
+
+    assert_eq!(naive.printed, optimized.printed);
+    assert!(
+        naive.stats.syncs_performed > 2_000,
+        "naive codegen should sync per element, saw {}",
+        naive.stats.syncs_performed
+    );
+    assert!(
+        optimized.stats.syncs_performed <= 2,
+        "static coalescing should hoist the loop sync, saw {}",
+        optimized.stats.syncs_performed
+    );
+}
+
+#[test]
+fn dynamic_runtime_coalescing_matches_static_elision_on_copy_loops() {
+    // The paper's observation behind Table 1: for regular query loops the
+    // Dynamic and Static techniques both collapse the round-trips; Dynamic
+    // does it at runtime, Static at compile time.
+    let compiled = compile(&programs::copy_loop(1_000)).expect("compiles");
+
+    let dynamic_rt = Runtime::new(OptimizationLevel::Dynamic.config());
+    let dynamic = run_compiled(&compiled, &dynamic_rt, QueryStrategy::NaiveSync).unwrap();
+
+    let static_rt = Runtime::new(OptimizationLevel::Static.config());
+    let statically = run_compiled(&compiled, &static_rt, compiled.static_strategy()).unwrap();
+
+    assert_eq!(dynamic.printed, statically.printed);
+    assert!(dynamic.stats.syncs_performed <= 2);
+    assert!(statically.stats.syncs_performed <= 2);
+    assert!(dynamic.stats.syncs_elided >= 1_000);
+}
+
+#[test]
+fn remote_nodes_uphold_the_reasoning_guarantees() {
+    const CLIENTS: u64 = 3;
+    const BLOCKS: u64 = 4;
+    const CALLS: u64 = 15;
+
+    let registry = MethodRegistry::<Vec<AppliedCall>>::new().with("record", |log, args| {
+        let client = args[0].as_int()? as u64;
+        let block = args[1].as_int()? as u64;
+        let seq = args[2].as_int()? as u64;
+        log.push(AppliedCall::new(client, block, seq));
+        Ok(WireValue::Unit)
+    });
+    let node = RemoteNode::spawn("recorder", RemoteObject::new(Vec::new(), registry), ChannelConfig::fast());
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let proxy = node.proxy(&format!("client-{client}"));
+            scope.spawn(move || {
+                for block in 0..BLOCKS {
+                    proxy.separate(|s| {
+                        for seq in 0..CALLS {
+                            s.call(
+                                "record",
+                                vec![
+                                    WireValue::Int(client as i64),
+                                    WireValue::Int(block as i64),
+                                    WireValue::Int(seq as i64),
+                                ],
+                            )
+                            .unwrap();
+                        }
+                    });
+                }
+            });
+        }
+    });
+
+    let log = node.shutdown_and_take().expect("node state");
+    assert_eq!(log.len(), (CLIENTS * BLOCKS * CALLS) as usize);
+    let expected = uniform_expectation(CLIENTS, BLOCKS, CALLS);
+    let report = check_handler_log(&log, Some(&expected));
+    assert!(
+        report.conforms(),
+        "remote node violated the guarantees: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn in_memory_and_remote_counters_compute_the_same_result() {
+    // The same workload expressed against the shared-memory runtime and the
+    // serialized transport must agree — the execution model is the same, only
+    // the private-queue carrier differs (§7).
+    const PER_CLIENT: i64 = 250;
+
+    // In-memory.
+    let rt = Runtime::fully_optimized();
+    let counter = rt.spawn_handler(0i64);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let counter = counter.clone();
+            scope.spawn(move || {
+                counter.separate(|s| {
+                    for _ in 0..PER_CLIENT {
+                        s.call(|n| *n += 1);
+                    }
+                });
+            });
+        }
+    });
+    let local_total = counter.query_detached(|n| *n);
+
+    // Remote.
+    let node = RemoteNode::spawn(
+        "counter",
+        RemoteObject::new(0i64, scoop_qs::remote::counter_registry()),
+        ChannelConfig::fast(),
+    );
+    std::thread::scope(|scope| {
+        for client in 0..4 {
+            let proxy = node.proxy(&format!("c{client}"));
+            scope.spawn(move || {
+                proxy.separate(|s| {
+                    for _ in 0..PER_CLIENT {
+                        s.call("add", vec![WireValue::Int(1)]).unwrap();
+                    }
+                });
+            });
+        }
+    });
+    let remote_total = node.shutdown_and_take().unwrap();
+
+    assert_eq!(local_total, 4 * PER_CLIENT);
+    assert_eq!(remote_total, 4 * PER_CLIENT);
+}

@@ -1,0 +1,167 @@
+//! Cross-crate integration tests for the §2.2 reasoning guarantees: the
+//! behaviours the operational semantics allows are the only ones the real
+//! runtime exhibits.
+
+use scoop_qs::prelude::*;
+use scoop_qs::runtime::separate2;
+use scoop_qs::semantics::{explore_all, fig1_program, fig5_program, fig6_program};
+
+/// Fig. 1: only two interleavings are possible on handler `x`, both in the
+/// model (checked exhaustively) and in the runtime (checked over repeated
+/// racy executions).
+#[test]
+fn fig1_interleavings_model_and_runtime_agree() {
+    // Model: exhaustive exploration of every schedule.
+    let report = explore_all(fig1_program(), 200_000, 200, 10_000);
+    assert!(report.deadlock_free());
+    let allowed: Vec<Vec<String>> = vec![
+        ["foo", "bar", "bar", "baz"].iter().map(|s| s.to_string()).collect(),
+        ["bar", "baz", "foo", "bar"].iter().map(|s| s.to_string()).collect(),
+    ];
+    for trace in &report.finished_traces {
+        assert!(allowed.contains(&trace.executed_on("x")));
+    }
+
+    // Runtime: run the same two-client program many times and check that the
+    // log on x is always one client's block followed by the other's.
+    for _ in 0..50 {
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let x = rt.spawn_handler(Vec::<&'static str>::new());
+        std::thread::scope(|scope| {
+            let x1 = x.clone();
+            scope.spawn(move || {
+                x1.separate(|s| {
+                    s.call(|log| log.push("t1.foo"));
+                    s.call(|log| log.push("t1.bar"));
+                });
+            });
+            let x2 = x.clone();
+            scope.spawn(move || {
+                x2.separate(|s| {
+                    s.call(|log| log.push("t2.bar"));
+                    s.call(|log| log.push("t2.baz"));
+                });
+            });
+        });
+        let log = x.shutdown_and_take().unwrap();
+        assert!(
+            log == ["t1.foo", "t1.bar", "t2.bar", "t2.baz"]
+                || log == ["t2.bar", "t2.baz", "t1.foo", "t1.bar"],
+            "disallowed interleaving: {log:?}"
+        );
+    }
+}
+
+/// Fig. 5: multi-handler reservations keep two handlers consistent, in the
+/// model and in the runtime, under every optimisation level.
+#[test]
+fn fig5_colour_consistency_model_and_runtime() {
+    let report = explore_all(fig5_program(), 200_000, 200, 10_000);
+    assert!(report.deadlock_free());
+    for trace in &report.finished_traces {
+        assert_eq!(trace.executed_on("x").last(), trace.executed_on("y").last());
+    }
+
+    for level in OptimizationLevel::ALL {
+        let rt = Runtime::with_level(level);
+        let x = rt.spawn_handler(0u8);
+        let y = rt.spawn_handler(0u8);
+        std::thread::scope(|scope| {
+            for colour in [1u8, 2u8] {
+                let (x, y) = (x.clone(), y.clone());
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        separate2(&x, &y, |sx, sy| {
+                            sx.call(move |v| *v = colour);
+                            sy.call(move |v| *v = colour);
+                        });
+                    }
+                });
+            }
+            let (x, y) = (x.clone(), y.clone());
+            scope.spawn(move || {
+                for _ in 0..100 {
+                    let (a, b) = separate2(&x, &y, |sx, sy| {
+                        (sx.query(|v| *v), sy.query(|v| *v))
+                    });
+                    assert_eq!(a, b, "mixed colours under {level}");
+                }
+            });
+        });
+    }
+}
+
+/// Fig. 6: without queries the nested-reservation program cannot deadlock
+/// under SCOOP/Qs; the model shows queries reintroduce a deadlocking
+/// schedule, and the runtime completes the query-free program under the
+/// queue-of-queues configuration.
+#[test]
+fn fig6_deadlock_freedom_without_queries() {
+    let without = explore_all(fig6_program(false), 500_000, 300, 8);
+    assert!(without.deadlock_free());
+    let with = explore_all(fig6_program(true), 500_000, 300, 8);
+    assert!(!with.deadlock_free());
+
+    // Runtime counterpart of the query-free program, repeated to give any
+    // deadlock a chance to appear (it must not).
+    for _ in 0..20 {
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let x = rt.spawn_handler(0u32);
+        let y = rt.spawn_handler(0u32);
+        std::thread::scope(|scope| {
+            let (x1, y1) = (x.clone(), y.clone());
+            scope.spawn(move || {
+                x1.separate(|sx| {
+                    y1.separate(|sy| {
+                        sx.call(|v| *v += 1);
+                        sy.call(|v| *v += 1);
+                    });
+                });
+            });
+            let (x2, y2) = (x.clone(), y.clone());
+            scope.spawn(move || {
+                y2.separate(|sy| {
+                    x2.separate(|sx| {
+                        sx.call(|v| *v += 1);
+                        sy.call(|v| *v += 1);
+                    });
+                });
+            });
+        });
+        assert_eq!(x.query_detached(|v| *v), 2);
+        assert_eq!(y.query_detached(|v| *v), 2);
+    }
+}
+
+/// Guarantee 2 holds under every optimisation level, including the lock-based
+/// baseline: per-client blocks never interleave on a handler.
+#[test]
+fn per_client_blocks_never_interleave_under_any_level() {
+    for level in OptimizationLevel::ALL {
+        let rt = Runtime::with_level(level);
+        let handler = rt.spawn_handler(Vec::<(usize, usize)>::new());
+        std::thread::scope(|scope| {
+            for client in 0..4 {
+                let handler = handler.clone();
+                scope.spawn(move || {
+                    for round in 0..20 {
+                        handler.separate(|s| {
+                            for i in 0..10 {
+                                s.call(move |log| log.push((client, round * 10 + i)));
+                            }
+                        });
+                    }
+                });
+            }
+        });
+        let log = handler.shutdown_and_take().unwrap();
+        assert_eq!(log.len(), 4 * 20 * 10);
+        // Within any window belonging to one client the sequence numbers are
+        // increasing, and blocks of 10 are contiguous.
+        for window in log.chunks(10) {
+            let owner = window[0].0;
+            assert!(window.iter().all(|&(c, _)| c == owner), "block interleaved: {window:?}");
+            assert!(window.windows(2).all(|w| w[0].1 + 1 == w[1].1));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based integration tests: randomly generated command/query
+//! programs executed on the SCOOP/Qs runtime behave exactly like their
+//! sequential interpretation, under every optimisation level.
+
+use proptest::prelude::*;
+use scoop_qs::prelude::*;
+use scoop_qs::runtime::separate2;
+
+/// A step of a randomly generated single-client program.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u8),
+    PopIfAny,
+    QueryLen,
+    Sync,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Push),
+        Just(Op::PopIfAny),
+        Just(Op::QueryLen),
+        Just(Op::Sync),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A single client's program applied through separate blocks matches the
+    /// same program applied directly to a local Vec, for every optimisation
+    /// level (guarantee 2 specialised to one client: order preservation).
+    #[test]
+    fn single_client_program_matches_sequential(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        for level in [OptimizationLevel::None, OptimizationLevel::Dynamic, OptimizationLevel::All] {
+            let rt = Runtime::with_level(level);
+            let handler = rt.spawn_handler(Vec::<u8>::new());
+            let mut reference = Vec::<u8>::new();
+            let mut reference_lens = Vec::new();
+            let observed_lens = handler.separate(|s| {
+                let mut lens = Vec::new();
+                for op in &ops {
+                    match op {
+                        Op::Push(v) => {
+                            let v = *v;
+                            s.call(move |vec| vec.push(v));
+                            reference.push(v);
+                        }
+                        Op::PopIfAny => {
+                            s.call(|vec| {
+                                vec.pop();
+                            });
+                            reference.pop();
+                        }
+                        Op::QueryLen => {
+                            lens.push(s.query(|vec| vec.len()));
+                            reference_lens.push(reference.len());
+                        }
+                        Op::Sync => s.sync(),
+                    }
+                }
+                lens
+            });
+            prop_assert_eq!(&observed_lens, &reference_lens, "lens differ under {}", level);
+            let final_vec = handler.shutdown_and_take().unwrap();
+            prop_assert_eq!(&final_vec, &reference, "final state differs under {}", level);
+        }
+    }
+
+    /// Concurrent increments from several clients are never lost and multi-
+    /// handler transfers conserve their sum, regardless of interleaving.
+    #[test]
+    fn transfers_conserve_total(amounts in proptest::collection::vec(0i64..50, 1..40)) {
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let a = rt.spawn_handler(1_000i64);
+        let b = rt.spawn_handler(1_000i64);
+        std::thread::scope(|scope| {
+            for chunk in amounts.chunks(8) {
+                let a = a.clone();
+                let b = b.clone();
+                let chunk = chunk.to_vec();
+                scope.spawn(move || {
+                    for amount in chunk {
+                        separate2(&a, &b, |sa, sb| {
+                            sa.call(move |v| *v -= amount);
+                            sb.call(move |v| *v += amount);
+                        });
+                    }
+                });
+            }
+        });
+        let total = a.query_detached(|v| *v) + b.query_detached(|v| *v);
+        prop_assert_eq!(total, 2_000);
+    }
+}

@@ -1,0 +1,78 @@
+//! Integration tests spanning the workload, baseline and runtime crates:
+//! every benchmark of the paper's evaluation runs, verifies its functional
+//! result, and the instrumentation shows the optimisations doing their job.
+
+use scoop_qs::baselines::Paradigm;
+use scoop_qs::runtime::OptimizationLevel;
+use scoop_qs::workloads::concurrent::{run_concurrent, ConcurrentParams, ConcurrentTask};
+use scoop_qs::workloads::types::{CowichanParams, ParallelTask};
+use scoop_qs::workloads::{run_parallel, run_parallel_scoop};
+
+#[test]
+fn parallel_suite_is_correct_for_every_paradigm() {
+    // `run_parallel` panics if the result deviates from the sequential
+    // reference, so this is a functional check of 6 tasks x 5 paradigms.
+    let params = CowichanParams::tiny();
+    for task in ParallelTask::ALL {
+        for paradigm in Paradigm::ALL {
+            let timing = run_parallel(task, paradigm, &params);
+            assert!(timing.total().as_nanos() > 0, "{task} under {paradigm}");
+        }
+    }
+}
+
+#[test]
+fn parallel_suite_is_correct_for_every_optimization_level() {
+    let params = CowichanParams::tiny();
+    for task in [ParallelTask::Randmat, ParallelTask::Thresh, ParallelTask::Product] {
+        for level in OptimizationLevel::ALL {
+            run_parallel_scoop(task, level, &params);
+        }
+    }
+}
+
+#[test]
+fn concurrent_suite_runs_for_every_paradigm() {
+    let params = ConcurrentParams::tiny();
+    for task in ConcurrentTask::ALL {
+        for paradigm in Paradigm::ALL {
+            run_concurrent(task, paradigm, &params);
+        }
+    }
+}
+
+#[test]
+fn optimizations_reduce_round_trips_on_pull_heavy_workloads() {
+    // The mechanism behind Table 1: the unoptimised configuration pays a
+    // handler round-trip per pulled element, the optimised ones do not.
+    use scoop_qs::compiler::execute_copy_loop;
+    const LEN: usize = 512;
+    let unopt = execute_copy_loop(OptimizationLevel::None.config(), LEN, false);
+    let dynamic = execute_copy_loop(OptimizationLevel::Dynamic.config(), LEN, false);
+    let statically = execute_copy_loop(OptimizationLevel::Static.config(), LEN, true);
+    assert!(unopt.syncs_performed as usize >= LEN);
+    assert_eq!(dynamic.syncs_performed, 1);
+    assert_eq!(statically.syncs_performed, 1);
+    assert_eq!(unopt.copied, dynamic.copied);
+    assert_eq!(unopt.copied, statically.copied);
+}
+
+#[test]
+fn runtime_statistics_expose_communication_structure() {
+    use scoop_qs::prelude::*;
+    let rt = Runtime::new(RuntimeConfig::all_optimizations());
+    let handler = rt.spawn_handler(vec![0u64; 256]);
+    handler.separate(|s| {
+        for i in 0..256 {
+            s.call(move |v| v[i] = i as u64);
+        }
+        s.sync();
+        let sum: u64 = (0..256).map(|i| s.query_unsynced(|v| v[i])).sum();
+        assert_eq!(sum, (0..256u64).sum());
+    });
+    let stats = rt.stats_snapshot();
+    assert_eq!(stats.calls_enqueued, 256);
+    assert_eq!(stats.syncs_performed, 1);
+    assert!(stats.queries_client_executed >= 256);
+    assert!(stats.sync_elision_ratio() > 0.9);
+}

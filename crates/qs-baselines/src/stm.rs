@@ -122,11 +122,13 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
     }
 }
 
+type WriteSet = HashMap<u64, (Arc<dyn AnyTVar>, Box<dyn Any>)>;
+
 /// A running transaction: read set + write buffer.
 pub struct Transaction {
     start_version: u64,
     reads: Vec<(Arc<dyn AnyTVar>, u64)>,
-    writes: HashMap<u64, (Arc<dyn AnyTVar>, Box<dyn Any>)>,
+    writes: WriteSet,
 }
 
 impl Transaction {
@@ -139,7 +141,10 @@ impl Transaction {
     }
 
     /// Reads a [`TVar`] inside the transaction.
-    pub fn read<T: Clone + Send + Sync + 'static>(&mut self, tvar: &TVar<T>) -> Result<T, StmError> {
+    pub fn read<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        tvar: &TVar<T>,
+    ) -> Result<T, StmError> {
         // Reads observe earlier writes of the same transaction.
         if let Some((_, buffered)) = self.writes.get(&tvar.inner.id) {
             let value = buffered
@@ -363,10 +368,12 @@ mod tests {
                 let queue = queue.clone();
                 thread::spawn(move || {
                     for i in 0..500 {
-                        atomically(|tx| tx.modify(&queue, |mut q| {
-                            q.push(p * 500 + i);
-                            q
-                        }));
+                        atomically(|tx| {
+                            tx.modify(&queue, |mut q| {
+                                q.push(p * 500 + i);
+                                q
+                            })
+                        });
                     }
                 })
             })

@@ -34,7 +34,11 @@ fn in_memory(runtime: &Runtime) -> i64 {
 }
 
 fn remote(config: ChannelConfig) -> i64 {
-    let node = RemoteNode::spawn("counter", RemoteObject::new(0i64, counter_registry()), config);
+    let node = RemoteNode::spawn(
+        "counter",
+        RemoteObject::new(0i64, counter_registry()),
+        config,
+    );
     let proxy = node.proxy("bench");
     let result = proxy.separate(|s| {
         for _ in 0..CALLS_PER_BLOCK {
@@ -42,7 +46,11 @@ fn remote(config: ChannelConfig) -> i64 {
         }
         let mut last = 0;
         for _ in 0..QUERIES_PER_BLOCK {
-            last = s.query("value", vec![]).expect("query").as_int().expect("int");
+            last = s
+                .query("value", vec![])
+                .expect("query")
+                .as_int()
+                .expect("int");
         }
         last
     });
@@ -61,9 +69,10 @@ fn ablation_remote(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("counter_block", "in_memory"), |b| {
         b.iter(|| in_memory(&runtime))
     });
-    group.bench_function(BenchmarkId::new("counter_block", "remote_no_latency"), |b| {
-        b.iter(|| remote(ChannelConfig::fast()))
-    });
+    group.bench_function(
+        BenchmarkId::new("counter_block", "remote_no_latency"),
+        |b| b.iter(|| remote(ChannelConfig::fast())),
+    );
     group.bench_function(
         BenchmarkId::new("counter_block", "remote_100us_latency"),
         |b| b.iter(|| remote(ChannelConfig::with_latency(Duration::from_micros(100)))),

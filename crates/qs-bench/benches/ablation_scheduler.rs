@@ -15,7 +15,9 @@ const WORK: u64 = 2_000;
 fn busy_work(iterations: u64) -> u64 {
     let mut accumulator = 0u64;
     for i in 0..iterations {
-        accumulator = accumulator.wrapping_mul(6364136223846793005).wrapping_add(i);
+        accumulator = accumulator
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(i);
     }
     accumulator
 }
@@ -96,12 +98,16 @@ fn ablation_scheduler(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(200));
     group.measurement_time(std::time::Duration::from_millis(800));
 
-    group.bench_with_input(BenchmarkId::new("balanced", "shared_queue"), &shared, |b, pool| {
-        b.iter(|| balanced_shared_pool(pool))
-    });
-    group.bench_with_input(BenchmarkId::new("balanced", "work_stealing"), &stealing, |b, pool| {
-        b.iter(|| balanced_steal_pool(pool))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("balanced", "shared_queue"),
+        &shared,
+        |b, pool| b.iter(|| balanced_shared_pool(pool)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("balanced", "work_stealing"),
+        &stealing,
+        |b, pool| b.iter(|| balanced_steal_pool(pool)),
+    );
     group.bench_with_input(
         BenchmarkId::new("imbalanced", "shared_queue"),
         &shared,

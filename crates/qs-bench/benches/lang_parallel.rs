@@ -11,7 +11,11 @@ fn lang_parallel(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(200));
     group.measurement_time(std::time::Duration::from_millis(600));
-    for task in [ParallelTask::Randmat, ParallelTask::Outer, ParallelTask::Chain] {
+    for task in [
+        ParallelTask::Randmat,
+        ParallelTask::Outer,
+        ParallelTask::Chain,
+    ] {
         for paradigm in Paradigm::ALL {
             group.bench_with_input(
                 BenchmarkId::new(task.name(), paradigm.label()),
@@ -35,11 +39,9 @@ fn scalability(c: &mut Criterion) {
             threads,
             ..CowichanParams::tiny()
         };
-        group.bench_with_input(
-            BenchmarkId::new("chain", threads),
-            &params,
-            |b, params| b.iter(|| run_parallel(ParallelTask::Chain, Paradigm::ScoopQs, params)),
-        );
+        group.bench_with_input(BenchmarkId::new("chain", threads), &params, |b, params| {
+            b.iter(|| run_parallel(ParallelTask::Chain, Paradigm::ScoopQs, params))
+        });
     }
     group.finish();
 }

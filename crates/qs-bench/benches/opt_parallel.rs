@@ -11,7 +11,11 @@ fn opt_parallel(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(200));
     group.measurement_time(std::time::Duration::from_millis(600));
-    for task in [ParallelTask::Randmat, ParallelTask::Product, ParallelTask::Chain] {
+    for task in [
+        ParallelTask::Randmat,
+        ParallelTask::Product,
+        ParallelTask::Chain,
+    ] {
         for level in OptimizationLevel::ALL {
             group.bench_with_input(
                 BenchmarkId::new(task.name(), level.label()),

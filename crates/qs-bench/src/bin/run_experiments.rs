@@ -88,7 +88,11 @@ fn run_fig19(scale: Scale) {
         .iter()
         .map(|s| (s.label.clone(), fmt(&s.values)))
         .collect();
-    print_table("Fig. 19 — speedup over 1-thread run (chain, randmat)", &header, &rows);
+    print_table(
+        "Fig. 19 — speedup over 1-thread run (chain, randmat)",
+        &header,
+        &rows,
+    );
 }
 
 fn run_table5(scale: Scale) {
@@ -111,7 +115,10 @@ fn run_table5(scale: Scale) {
         .enumerate()
         .map(|(i, paradigm)| {
             let column: Vec<f64> = series.iter().map(|s| s.values[i]).collect();
-            (paradigm.clone(), vec![format!("{:.3}", geometric_mean(&column))])
+            (
+                paradigm.clone(),
+                vec![format!("{:.3}", geometric_mean(&column))],
+            )
         })
         .collect();
     print_table(
@@ -129,7 +136,10 @@ fn run_summary(scale: Scale, threads: usize) {
         .enumerate()
         .map(|(i, level)| {
             let column: Vec<f64> = table2.iter().map(|s| s.values[i]).collect();
-            (level.clone(), vec![format!("{:.3}", geometric_mean(&column))])
+            (
+                level.clone(),
+                vec![format!("{:.3}", geometric_mean(&column))],
+            )
         })
         .collect();
     print_table(

@@ -4,7 +4,9 @@ use std::time::Duration;
 
 use qs_baselines::Paradigm;
 use qs_runtime::OptimizationLevel;
-use qs_workloads::concurrent::{run_concurrent, run_concurrent_scoop, ConcurrentParams, ConcurrentTask};
+use qs_workloads::concurrent::{
+    run_concurrent, run_concurrent_scoop, ConcurrentParams, ConcurrentTask,
+};
 use qs_workloads::types::{CowichanParams, ParallelTask};
 use qs_workloads::{run_parallel, run_parallel_scoop};
 
@@ -103,7 +105,10 @@ fn seconds(duration: Duration) -> f64 {
 /// optimisation level (values in seconds; Table 1 normalises per row).
 pub fn table1_opt_parallel(scale: Scale, threads: usize) -> Vec<Series> {
     let params = scale.cowichan(threads);
-    let columns: Vec<String> = OptimizationLevel::ALL.iter().map(|l| l.to_string()).collect();
+    let columns: Vec<String> = OptimizationLevel::ALL
+        .iter()
+        .map(|l| l.to_string())
+        .collect();
     ParallelTask::ALL
         .iter()
         .map(|&task| {
@@ -120,7 +125,10 @@ pub fn table1_opt_parallel(scale: Scale, threads: usize) -> Vec<Series> {
 /// optimisation level (seconds).
 pub fn table2_opt_concurrent(scale: Scale) -> Vec<Series> {
     let params = scale.concurrent();
-    let columns: Vec<String> = OptimizationLevel::ALL.iter().map(|l| l.to_string()).collect();
+    let columns: Vec<String> = OptimizationLevel::ALL
+        .iter()
+        .map(|l| l.to_string())
+        .collect();
     ConcurrentTask::ALL
         .iter()
         .map(|&task| {
@@ -170,7 +178,10 @@ pub fn fig19_scalability(scale: Scale, tasks: &[ParallelTask]) -> Vec<Series> {
                 times.push(seconds(run_parallel(task, paradigm, &params).total()));
             }
             let base = times[0].max(f64::MIN_POSITIVE);
-            let speedups = times.iter().map(|t| base / t.max(f64::MIN_POSITIVE)).collect();
+            let speedups = times
+                .iter()
+                .map(|t| base / t.max(f64::MIN_POSITIVE))
+                .collect();
             series.push(Series::new(
                 format!("{task} / {paradigm}"),
                 columns.clone(),

@@ -38,7 +38,11 @@ impl SyncSets {
 
 /// The Fig. 13 transfer function: applies one block's instructions to an
 /// incoming sync-set.
-pub fn update_sync(function: &Function, block: BlockId, incoming: &BTreeSet<HandlerVar>) -> BTreeSet<HandlerVar> {
+pub fn update_sync(
+    function: &Function,
+    block: BlockId,
+    incoming: &BTreeSet<HandlerVar>,
+) -> BTreeSet<HandlerVar> {
     let universe = function.handler_universe();
     let mut synced = incoming.clone();
     for instr in &function.blocks[block].instrs {
@@ -88,7 +92,9 @@ pub fn analyze_sync_sets(function: &Function) -> SyncSets {
         } else {
             let mut iter = preds[block].iter();
             let first = exit[*iter.next().expect("non-empty preds")].clone();
-            iter.fold(first, |acc, p| acc.intersection(&exit[*p]).cloned().collect())
+            iter.fold(first, |acc, p| {
+                acc.intersection(&exit[*p]).cloned().collect()
+            })
         };
         let new_exit = update_sync(function, block, &incoming);
         entry[block] = incoming;

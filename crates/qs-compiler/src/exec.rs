@@ -55,7 +55,11 @@ pub fn execute_copy_loop(
 /// (B2) once per element, and the exit block (B3) once afterwards.  `Sync`
 /// becomes [`qs_runtime::Separate::sync`], `QueryRead` becomes a client-side
 /// read of the current element.
-pub fn execute_copy_loop_ir(config: RuntimeConfig, len: usize, function: &Function) -> CopyLoopReport {
+pub fn execute_copy_loop_ir(
+    config: RuntimeConfig,
+    len: usize,
+    function: &Function,
+) -> CopyLoopReport {
     assert!(
         function.blocks.len() >= 3,
         "expected the Fig. 14 shape: pre-header, body, exit"
@@ -90,7 +94,11 @@ pub fn execute_copy_loop_ir(config: RuntimeConfig, len: usize, function: &Functi
         }
         // Exit block: a final read, discarded.
         let mut exit_out = Vec::new();
-        interpret(&function.blocks[2].instrs, len.saturating_sub(1), &mut exit_out);
+        interpret(
+            &function.blocks[2].instrs,
+            len.saturating_sub(1),
+            &mut exit_out,
+        );
     });
     let elapsed = start.elapsed();
     let after = runtime.stats_snapshot();

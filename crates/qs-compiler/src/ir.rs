@@ -5,7 +5,6 @@
 //! calls (invalidating synchronisation), which are opaque calls that might do
 //! either, and how basic blocks are connected.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A handler-valued variable in the program (e.g. the `h_p` / `i_p` private
@@ -16,7 +15,7 @@ pub type HandlerVar = usize;
 pub type BlockId = usize;
 
 /// One IR instruction (the granularity relevant to the pass, Fig. 13).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Instr {
     /// `h.sync()` — a synchronisation with the handler `h`.
     Sync(HandlerVar),
@@ -71,7 +70,7 @@ impl Instr {
 }
 
 /// A basic block: straight-line instructions plus successor edges.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Block {
     /// The instructions, in order.
     pub instrs: Vec<Instr>,
@@ -80,7 +79,7 @@ pub struct Block {
 }
 
 /// What the pass knows about aliasing between handler variables (Fig. 15).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AliasModel {
     /// Every pair of distinct handler variables is known not to alias
     /// (the "more aliasing information" case of Fig. 15).
@@ -94,7 +93,11 @@ pub enum AliasModel {
 impl AliasModel {
     /// Returns the set of handler variables that may alias `var` (always
     /// including `var` itself).
-    pub fn may_alias(&self, var: HandlerVar, universe: &BTreeSet<HandlerVar>) -> BTreeSet<HandlerVar> {
+    pub fn may_alias(
+        &self,
+        var: HandlerVar,
+        universe: &BTreeSet<HandlerVar>,
+    ) -> BTreeSet<HandlerVar> {
         match self {
             AliasModel::NoAlias => [var].into_iter().collect(),
             AliasModel::MayAliasAll => {
@@ -116,7 +119,7 @@ impl AliasModel {
 }
 
 /// A function: a control-flow graph of basic blocks with an entry block.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Function {
     /// The function name (for reports).
     pub name: String,
@@ -224,7 +227,10 @@ impl Function {
         let mut f = Function::new("fig15_loop", aliasing);
         let h = 0;
         let i = 1;
-        f.add_block(vec![Instr::Sync(h), Instr::read(h, "x[i] := a[i]")], vec![1, 2]);
+        f.add_block(
+            vec![Instr::Sync(h), Instr::read(h, "x[i] := a[i]")],
+            vec![1, 2],
+        );
         f.add_block(
             vec![
                 Instr::Sync(h),

@@ -96,7 +96,11 @@ mod tests {
             report.function.blocks[0].instrs.first(),
             Some(Instr::Sync(0))
         ));
-        assert_eq!(report.function.blocks[1].instrs.len(), 1, "loop body sync removed");
+        assert_eq!(
+            report.function.blocks[1].instrs.len(),
+            1,
+            "loop body sync removed"
+        );
         // Reads are untouched.
         assert!(report.function.blocks.iter().all(|b| b
             .instrs

@@ -106,8 +106,7 @@ impl ThreadPool {
     /// Creates a pool with `threads` worker threads (at least one).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let workers_local: Vec<Worker<Task>> =
-            (0..threads).map(|_| Worker::new_lifo()).collect();
+        let workers_local: Vec<Worker<Task>> = (0..threads).map(|_| Worker::new_lifo()).collect();
         let stealers = workers_local.iter().map(|w| w.stealer()).collect();
         let shared = Arc::new(Shared {
             injector: Injector::new(),

@@ -273,12 +273,10 @@ fn worker_loop(index: usize, deque: Worker<Job>, shared: &Arc<StealShared>) {
                 backoff.reset();
                 continue;
             }
-            Err(()) => break, // closed and drained: shut down
+            Err(qs_queues::Closed) => break, // closed and drained: shut down
             Ok(None) => {}
         }
-        if shared.shutdown.load(Ordering::Acquire)
-            && shared.pending.load(Ordering::Acquire) == 0
-        {
+        if shared.shutdown.load(Ordering::Acquire) && shared.pending.load(Ordering::Acquire) == 0 {
             break;
         }
         backoff.snooze();
@@ -339,7 +337,10 @@ mod tests {
         // Nested jobs went to the local deques, so local pops must dominate
         // injector pops.
         let stats = pool.stats();
-        assert!(stats.local_pops > 0, "expected local deque usage: {stats:?}");
+        assert!(
+            stats.local_pops > 0,
+            "expected local deque usage: {stats:?}"
+        );
     }
 
     #[test]

@@ -104,7 +104,10 @@ impl ThreadCache {
                 self.created.fetch_add(1, Ordering::Relaxed);
                 let cache = Arc::clone(self);
                 std::thread::Builder::new()
-                    .name(format!("qs-handler-{}", self.created.load(Ordering::Relaxed)))
+                    .name(format!(
+                        "qs-handler-{}",
+                        self.created.load(Ordering::Relaxed)
+                    ))
                     .spawn(move || cached_thread_loop(cache, wrapped))
                     .expect("failed to spawn handler thread");
             }

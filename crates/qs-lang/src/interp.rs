@@ -3,9 +3,9 @@
 //! * `main` runs on the calling (client) thread.
 //! * `create x` spawns a [`qs_runtime::Handler`] owning a fresh
 //!   [`ObjectState`]; the handler *is* the object's SCOOP processor.
-//! * `separate x, y do … end` reserves the handlers through
-//!   [`qs_runtime::separate_all`], so multi-target blocks get the atomic
-//!   multi-reservation of §2.4/§3.3.
+//! * `separate x, y do … end` reserves the handlers through the unified
+//!   [`qs_runtime::reserve`] entry point, so multi-target blocks get the
+//!   atomic multi-reservation of §2.4/§3.3.
 //! * command calls are logged asynchronously ([`Separate::call`]), query
 //!   calls run synchronously; how the synchronisation before a query is
 //!   performed is decided by the [`QueryStrategy`], which is where the
@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use qs_runtime::{separate_all, Handler, Runtime, Separate, StatsSnapshot};
+use qs_runtime::{reserve, Handler, Runtime, Separate, StatsSnapshot};
 
 use crate::ast::*;
 use crate::error::{LangError, LangResult, Phase, Pos};
@@ -219,7 +219,8 @@ impl Interpreter {
                     env.vars.insert(local.name.clone(), Value::Bool(false));
                 }
                 TypeExpr::Array => {
-                    env.vars.insert(local.name.clone(), Value::Array(Vec::new()));
+                    env.vars
+                        .insert(local.name.clone(), Value::Array(Vec::new()));
                 }
             }
         }
@@ -238,7 +239,12 @@ impl Interpreter {
         }
         result?;
 
-        let async_errors = self.ctx.async_errors.lock().expect("error buffer poisoned").clone();
+        let async_errors = self
+            .ctx
+            .async_errors
+            .lock()
+            .expect("error buffer poisoned")
+            .clone();
         if let Some(first) = async_errors.first() {
             return Err(LangError::general(
                 Phase::Run,
@@ -249,7 +255,12 @@ impl Interpreter {
             ));
         }
 
-        let printed = self.ctx.printed.lock().expect("print buffer poisoned").clone();
+        let printed = self
+            .ctx
+            .printed
+            .lock()
+            .expect("print buffer poisoned")
+            .clone();
         Ok(RunOutput {
             printed,
             stats: self.runtime.stats_snapshot(),
@@ -279,7 +290,11 @@ impl Interpreter {
             }
             Stmt::Create { var, pos } => {
                 let class_name = self.checked.handler_classes.get(var).ok_or_else(|| {
-                    LangError::at(Phase::Run, *pos, format!("`{var}` is not a separate variable"))
+                    LangError::at(
+                        Phase::Run,
+                        *pos,
+                        format!("`{var}` is not a separate variable"),
+                    )
                 })?;
                 let info = &self.checked.classes[class_name];
                 let handler = self.runtime.spawn_handler(ObjectState::new(info));
@@ -301,7 +316,7 @@ impl Interpreter {
                         })
                     })
                     .collect::<LangResult<_>>()?;
-                separate_all(&handlers, |reservations| {
+                reserve(&handlers).run(|reservations| {
                     let mut frame = ReservationFrame {
                         names: targets,
                         guards: reservations,
@@ -328,34 +343,40 @@ impl Interpreter {
                 *pos,
                 format!("`{routine}(…)` cannot be called from `main`"),
             )),
-            Stmt::If { arms, otherwise, .. } => {
+            Stmt::If {
+                arms, otherwise, ..
+            } => {
                 for (cond, branch) in arms {
-                    if self.eval_expr(cond, env, guards)?.as_bool().map_err(|m| {
-                        LangError::at(Phase::Run, cond.pos(), m)
-                    })? {
+                    if self
+                        .eval_expr(cond, env, guards)?
+                        .as_bool()
+                        .map_err(|m| LangError::at(Phase::Run, cond.pos(), m))?
+                    {
                         return self.exec_stmts(branch, env, guards);
                     }
                 }
                 self.exec_stmts(otherwise, env, guards)
             }
-            Stmt::While { cond, body, .. } => {
-                loop {
-                    let keep_going = self
-                        .eval_expr(cond, env, guards)?
-                        .as_bool()
-                        .map_err(|m| LangError::at(Phase::Run, cond.pos(), m))?;
-                    if !keep_going {
-                        return Ok(());
-                    }
-                    self.exec_stmts(body, env, guards)?;
+            Stmt::While { cond, body, .. } => loop {
+                let keep_going = self
+                    .eval_expr(cond, env, guards)?
+                    .as_bool()
+                    .map_err(|m| LangError::at(Phase::Run, cond.pos(), m))?;
+                if !keep_going {
+                    return Ok(());
                 }
-            }
+                self.exec_stmts(body, env, guards)?;
+            },
             Stmt::Print { value, .. } => {
                 let line = match value {
                     PrintArg::Text(text) => text.clone(),
                     PrintArg::Value(expr) => self.eval_expr(expr, env, guards)?.render(),
                 };
-                self.ctx.printed.lock().expect("print buffer poisoned").push(line);
+                self.ctx
+                    .printed
+                    .lock()
+                    .expect("print buffer poisoned")
+                    .push(line);
                 Ok(())
             }
         }
@@ -400,13 +421,15 @@ impl Interpreter {
                     ));
                 };
                 let len = elements.len();
-                let slot = elements.get_mut(usize::try_from(i).unwrap_or(usize::MAX)).ok_or_else(|| {
-                    LangError::at(
-                        Phase::Run,
-                        *pos,
-                        format!("index {i} out of bounds for `{array}` of length {len}"),
-                    )
-                })?;
+                let slot = elements
+                    .get_mut(usize::try_from(i).unwrap_or(usize::MAX))
+                    .ok_or_else(|| {
+                        LangError::at(
+                            Phase::Run,
+                            *pos,
+                            format!("index {i} out of bounds for `{array}` of length {len}"),
+                        )
+                    })?;
                 *slot = element;
                 Ok(())
             }
@@ -421,10 +444,17 @@ impl Interpreter {
         env: &mut MainEnv,
         guards: &mut dyn Guards,
     ) -> LangResult<Vec<Value>> {
-        args.iter().map(|a| self.eval_expr(a, env, guards)).collect()
+        args.iter()
+            .map(|a| self.eval_expr(a, env, guards))
+            .collect()
     }
 
-    fn eval_expr(&self, expr: &Expr, env: &mut MainEnv, guards: &mut dyn Guards) -> LangResult<Value> {
+    fn eval_expr(
+        &self,
+        expr: &Expr,
+        env: &mut MainEnv,
+        guards: &mut dyn Guards,
+    ) -> LangResult<Value> {
         match expr {
             Expr::Int(n, _) => Ok(Value::Int(*n)),
             Expr::Bool(b, _) => Ok(Value::Bool(*b)),
@@ -439,7 +469,8 @@ impl Interpreter {
             Expr::Index { array, index, pos } => {
                 let array_value = self.eval_expr(array, env, guards)?;
                 let index_value = self.eval_expr(index, env, guards)?;
-                index_array(&array_value, &index_value).map_err(|m| LangError::at(Phase::Run, *pos, m))
+                index_array(&array_value, &index_value)
+                    .map_err(|m| LangError::at(Phase::Run, *pos, m))
             }
             Expr::NewArray { len, pos } => {
                 let len_value = self.eval_expr(len, env, guards)?;
@@ -485,12 +516,16 @@ impl Interpreter {
                 let left = self.eval_expr(lhs, env, guards)?;
                 // `and`/`or` short-circuit.
                 if let BinOp::And | BinOp::Or = op {
-                    let l = left.as_bool().map_err(|m| LangError::at(Phase::Run, *pos, m))?;
+                    let l = left
+                        .as_bool()
+                        .map_err(|m| LangError::at(Phase::Run, *pos, m))?;
                     if (*op == BinOp::And && !l) || (*op == BinOp::Or && l) {
                         return Ok(Value::Bool(l));
                     }
                     let right = self.eval_expr(rhs, env, guards)?;
-                    let r = right.as_bool().map_err(|m| LangError::at(Phase::Run, *pos, m))?;
+                    let r = right
+                        .as_bool()
+                        .map_err(|m| LangError::at(Phase::Run, *pos, m))?;
                     return Ok(Value::Bool(r));
                 }
                 let right = self.eval_expr(rhs, env, guards)?;
@@ -578,7 +613,9 @@ fn exec_routine(
     depth: usize,
 ) -> Result<Value, String> {
     if depth > MAX_CALL_DEPTH {
-        return Err(format!("call depth exceeded {MAX_CALL_DEPTH} in `{routine_name}`"));
+        return Err(format!(
+            "call depth exceeded {MAX_CALL_DEPTH} in `{routine_name}`"
+        ));
     }
     let class_decl = checked
         .program
@@ -714,7 +751,9 @@ impl RoutineEnv<'_> {
                     }
                 }
             }
-            Stmt::If { arms, otherwise, .. } => {
+            Stmt::If {
+                arms, otherwise, ..
+            } => {
                 for (cond, branch) in arms {
                     if self.eval(cond)?.as_bool()? {
                         return self.exec_stmts(branch);
@@ -733,11 +772,17 @@ impl RoutineEnv<'_> {
                     PrintArg::Text(text) => text.clone(),
                     PrintArg::Value(expr) => self.eval(expr)?.render(),
                 };
-                self.printed.lock().expect("print buffer poisoned").push(line);
+                self.printed
+                    .lock()
+                    .expect("print buffer poisoned")
+                    .push(line);
                 Ok(())
             }
             Stmt::LocalCommand { routine, args, .. } => {
-                let args = args.iter().map(|a| self.eval(a)).collect::<Result<Vec<_>, _>>()?;
+                let args = args
+                    .iter()
+                    .map(|a| self.eval(a))
+                    .collect::<Result<Vec<_>, _>>()?;
                 exec_routine(
                     self.checked,
                     self.printed,
@@ -750,9 +795,15 @@ impl RoutineEnv<'_> {
                 )?;
                 Ok(())
             }
-            Stmt::Create { var, .. } => Err(format!("`create {var}` is not allowed inside a routine")),
-            Stmt::SeparateBlock { .. } => Err("separate blocks are not allowed inside a routine".into()),
-            Stmt::CommandCall { target, routine, .. } => Err(format!(
+            Stmt::Create { var, .. } => {
+                Err(format!("`create {var}` is not allowed inside a routine"))
+            }
+            Stmt::SeparateBlock { .. } => {
+                Err("separate blocks are not allowed inside a routine".into())
+            }
+            Stmt::CommandCall {
+                target, routine, ..
+            } => Err(format!(
                 "`{target}.{routine}`: separate calls are not allowed inside a routine"
             )),
         }
@@ -781,11 +832,16 @@ impl RoutineEnv<'_> {
                 let bound = self.eval(bound)?.as_int()?;
                 self.rng.next_below(bound).map(Value::Int)
             }
-            Expr::QueryCall { target, routine, .. } => Err(format!(
+            Expr::QueryCall {
+                target, routine, ..
+            } => Err(format!(
                 "`{target}.{routine}`: separate calls are not allowed inside a routine"
             )),
             Expr::LocalCall { routine, args, .. } => {
-                let args = args.iter().map(|a| self.eval(a)).collect::<Result<Vec<_>, _>>()?;
+                let args = args
+                    .iter()
+                    .map(|a| self.eval(a))
+                    .collect::<Result<Vec<_>, _>>()?;
                 exec_routine(
                     self.checked,
                     self.printed,
@@ -938,8 +994,7 @@ mod tests {
 
     #[test]
     fn static_plan_elides_syncs_in_copy_loops() {
-        let source = format!(
-            "class STORE\n\
+        let source = "class STORE\n\
                attribute data : ARRAY\n\
                command fill(n: INTEGER) local i : INTEGER do \
                  data := array(n) i := 0 \
@@ -959,7 +1014,7 @@ mod tests {
                end \
                print(x[49]) \
              end"
-        );
+        .to_string();
         let program = checked(&source);
 
         // Naive: one sync round-trip per query (51 queries).  Run on a
@@ -992,7 +1047,8 @@ mod tests {
            main local g : separate GAUGE local v : INTEGER do \
              create g separate g do g.raise(0 - 5) v := g.value() end print(v) end";
         let runtime = Runtime::new(RuntimeConfig::all_optimizations());
-        let err = run_program(&checked(source), &runtime, QueryStrategy::RuntimeManaged).unwrap_err();
+        let err =
+            run_program(&checked(source), &runtime, QueryStrategy::RuntimeManaged).unwrap_err();
         assert!(err.message.contains("precondition"), "got: {}", err.message);
     }
 
@@ -1005,7 +1061,8 @@ mod tests {
            main local b : separate BROKEN local v : INTEGER do \
              create b separate b do v := b.bad() end end";
         let runtime = Runtime::new(RuntimeConfig::all_optimizations());
-        let err = run_program(&checked(source), &runtime, QueryStrategy::RuntimeManaged).unwrap_err();
+        let err =
+            run_program(&checked(source), &runtime, QueryStrategy::RuntimeManaged).unwrap_err();
         assert!(err.message.contains("postcondition"));
     }
 
@@ -1071,7 +1128,8 @@ mod tests {
                create c separate c do v := c.value() end v := v / 0 end"
         );
         let runtime = Runtime::new(RuntimeConfig::all_optimizations());
-        let err = run_program(&checked(&source), &runtime, QueryStrategy::RuntimeManaged).unwrap_err();
+        let err =
+            run_program(&checked(&source), &runtime, QueryStrategy::RuntimeManaged).unwrap_err();
         assert!(err.message.contains("division by zero"));
         assert!(err.pos.is_some());
     }
@@ -1085,7 +1143,8 @@ mod tests {
            main local f : separate FUSSY do \
              create f separate f do f.must_be_positive(0 - 1) end end";
         let runtime = Runtime::new(RuntimeConfig::all_optimizations());
-        let err = run_program(&checked(source), &runtime, QueryStrategy::RuntimeManaged).unwrap_err();
+        let err =
+            run_program(&checked(source), &runtime, QueryStrategy::RuntimeManaged).unwrap_err();
         assert!(err.message.contains("asynchronous command"));
         assert!(err.message.contains("precondition"));
     }

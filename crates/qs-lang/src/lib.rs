@@ -106,7 +106,10 @@ mod tests {
     fn compile_reports_errors_from_every_phase() {
         assert_eq!(compile("main do x := # end").unwrap_err().phase, Phase::Lex);
         assert_eq!(compile("main do x := end").unwrap_err().phase, Phase::Parse);
-        assert_eq!(compile("main do x := 1 end").unwrap_err().phase, Phase::Check);
+        assert_eq!(
+            compile("main do x := 1 end").unwrap_err().phase,
+            Phase::Check
+        );
     }
 
     #[test]

@@ -222,7 +222,9 @@ impl<'a> Lowerer<'a> {
                 }
                 self.emit(Instr::Local(format!("{routine}(…)")));
             }
-            Stmt::If { arms, otherwise, .. } => {
+            Stmt::If {
+                arms, otherwise, ..
+            } => {
                 let join = self.new_block();
                 let mut branch_entries = Vec::new();
                 // Chain of condition blocks; the first one is the current
@@ -231,9 +233,7 @@ impl<'a> Lowerer<'a> {
                     self.expr(cond);
                     let branch_block = self.new_block();
                     branch_entries.push(branch_block);
-                    let next_cond_block = if index + 1 < arms.len() {
-                        self.new_block()
-                    } else if !otherwise.is_empty() {
+                    let next_cond_block = if index + 1 < arms.len() || !otherwise.is_empty() {
                         self.new_block()
                     } else {
                         join
@@ -388,7 +388,11 @@ mod tests {
                  a := s.size() \
                end end"
         ));
-        assert_eq!(lowered.coalesced.count_syncs(), 2, "the async fill invalidates");
+        assert_eq!(
+            lowered.coalesced.count_syncs(),
+            2,
+            "the async fill invalidates"
+        );
         assert!(lowered.plan.needs_sync(0));
         assert!(lowered.plan.needs_sync(1));
     }

@@ -140,7 +140,9 @@ impl Parser {
                     self.bump();
                     break;
                 }
-                _ => return Err(self.unexpected("expected `attribute`, `command`, `query` or `end`")),
+                _ => {
+                    return Err(self.unexpected("expected `attribute`, `command`, `query` or `end`"))
+                }
             }
         }
         Ok(ClassDecl {
@@ -662,7 +664,10 @@ impl Parser {
             return Err(LangError::at(
                 Phase::Parse,
                 pos,
-                format!("builtin `{builtin}` takes exactly one argument, got {}", args.len()),
+                format!(
+                    "builtin `{builtin}` takes exactly one argument, got {}",
+                    args.len()
+                ),
             ));
         }
         Ok(args.remove(0))
@@ -715,7 +720,11 @@ mod tests {
     fn operator_precedence_is_standard() {
         let expr = parse_expr("1 + 2 * 3").unwrap();
         match expr {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected parse: {other:?}"),
@@ -750,10 +759,22 @@ mod tests {
 
     #[test]
     fn builtins_are_recognised() {
-        assert!(matches!(parse_expr("array(10)").unwrap(), Expr::NewArray { .. }));
-        assert!(matches!(parse_expr("length(a)").unwrap(), Expr::Length { .. }));
-        assert!(matches!(parse_expr("random(6)").unwrap(), Expr::Random { .. }));
-        assert!(matches!(parse_expr("helper(1, 2)").unwrap(), Expr::LocalCall { .. }));
+        assert!(matches!(
+            parse_expr("array(10)").unwrap(),
+            Expr::NewArray { .. }
+        ));
+        assert!(matches!(
+            parse_expr("length(a)").unwrap(),
+            Expr::Length { .. }
+        ));
+        assert!(matches!(
+            parse_expr("random(6)").unwrap(),
+            Expr::Random { .. }
+        ));
+        assert!(matches!(
+            parse_expr("helper(1, 2)").unwrap(),
+            Expr::LocalCall { .. }
+        ));
     }
 
     #[test]
@@ -784,7 +805,10 @@ mod tests {
         let Stmt::While { body, .. } = &program.main.body[0] else {
             panic!("expected while");
         };
-        let Stmt::If { arms, otherwise, .. } = &body[0] else {
+        let Stmt::If {
+            arms, otherwise, ..
+        } = &body[0]
+        else {
             panic!("expected if");
         };
         assert_eq!(arms.len(), 2);
@@ -815,8 +839,7 @@ mod tests {
 
     #[test]
     fn command_with_result_type_is_rejected() {
-        let err =
-            parse_program("class C command f : INTEGER do end end main do end").unwrap_err();
+        let err = parse_program("class C command f : INTEGER do end end main do end").unwrap_err();
         assert!(err.message.contains("must not declare"));
     }
 

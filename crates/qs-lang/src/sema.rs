@@ -125,7 +125,10 @@ fn build_class_table(program: &Program) -> LangResult<BTreeMap<String, ClassInfo
                 return Err(LangError::at(
                     Phase::Check,
                     attr.pos,
-                    format!("duplicate attribute `{}` in class `{}`", attr.name, class.name),
+                    format!(
+                        "duplicate attribute `{}` in class `{}`",
+                        attr.name, class.name
+                    ),
                 ));
             }
             let ty = value_type(&attr.ty, attr.pos, "an attribute")?;
@@ -138,7 +141,10 @@ fn build_class_table(program: &Program) -> LangResult<BTreeMap<String, ClassInfo
                 return Err(LangError::at(
                     Phase::Check,
                     routine.pos,
-                    format!("duplicate routine `{}` in class `{}`", routine.name, class.name),
+                    format!(
+                        "duplicate routine `{}` in class `{}`",
+                        routine.name, class.name
+                    ),
                 ));
             }
             if field_index.contains_key(&routine.name) {
@@ -416,7 +422,11 @@ fn check_stmt(
                 }
                 LValue::Result(pos) => {
                     let result_ty = scope.result.ok_or_else(|| {
-                        LangError::at(Phase::Check, *pos, "`Result` may only be used inside a query")
+                        LangError::at(
+                            Phase::Check,
+                            *pos,
+                            "`Result` may only be used inside a query",
+                        )
                     })?;
                     expect_type(value_ty, result_ty, value.pos(), "the assigned value")
                 }
@@ -494,11 +504,7 @@ fn check_stmt(
             }
             check_args(&sig, routine, args, scope, classes, ctx, *pos)
         }
-        Stmt::LocalCommand {
-            routine,
-            args,
-            pos,
-        } => {
+        Stmt::LocalCommand { routine, args, pos } => {
             let class = scope.class.ok_or_else(|| {
                 LangError::at(
                     Phase::Check,
@@ -522,7 +528,11 @@ fn check_stmt(
             }
             check_args(&sig, routine, args, scope, classes, ctx, *pos)
         }
-        Stmt::If { arms, otherwise, pos: _ } => {
+        Stmt::If {
+            arms,
+            otherwise,
+            pos: _,
+        } => {
             for (cond, branch) in arms {
                 let t = check_expr(cond, scope, classes, ctx)?;
                 expect_type(t, Type::Bool, cond.pos(), "an `if` condition")?;
@@ -625,12 +635,16 @@ fn check_expr(
                     format!("separate variable `{name}` cannot be used as a value"),
                 ));
             }
-            scope
-                .lookup(name)
-                .ok_or_else(|| LangError::at(Phase::Check, *pos, format!("unknown variable `{name}`")))
+            scope.lookup(name).ok_or_else(|| {
+                LangError::at(Phase::Check, *pos, format!("unknown variable `{name}`"))
+            })
         }
         Expr::Result(pos) => scope.result.ok_or_else(|| {
-            LangError::at(Phase::Check, *pos, "`Result` may only be used inside a query")
+            LangError::at(
+                Phase::Check,
+                *pos,
+                "`Result` may only be used inside a query",
+            )
         }),
         Expr::Index { array, index, pos } => {
             let array_ty = check_expr(array, scope, classes, ctx)?;

@@ -291,10 +291,13 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        digits
-            .parse::<i64>()
-            .map(TokenKind::Int)
-            .map_err(|_| LangError::at(Phase::Lex, pos, format!("integer literal `{digits}` out of range")))
+        digits.parse::<i64>().map(TokenKind::Int).map_err(|_| {
+            LangError::at(
+                Phase::Lex,
+                pos,
+                format!("integer literal `{digits}` out of range"),
+            )
+        })
     }
 
     fn lex_word(&mut self) -> TokenKind {
@@ -345,7 +348,11 @@ impl<'a> Lexer<'a> {
             match self.bump() {
                 Some('"') => return Ok(TokenKind::Str(value)),
                 Some('\n') | None => {
-                    return Err(LangError::at(Phase::Lex, pos, "unterminated string literal"))
+                    return Err(LangError::at(
+                        Phase::Lex,
+                        pos,
+                        "unterminated string literal",
+                    ))
                 }
                 Some(c) => value.push(c),
             }

@@ -98,7 +98,11 @@ impl ObjectState {
     pub fn new(info: &ClassInfo) -> Self {
         ObjectState {
             class: info.name.clone(),
-            fields: info.fields.iter().map(|(_, ty)| Value::default_for(*ty)).collect(),
+            fields: info
+                .fields
+                .iter()
+                .map(|(_, ty)| Value::default_for(*ty))
+                .collect(),
         }
     }
 }
@@ -116,7 +120,11 @@ impl SharedRng {
     /// constant because xorshift has a fixed point at 0).
     pub fn new(seed: u64) -> Self {
         SharedRng {
-            state: Arc::new(AtomicU64::new(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })),
+            state: Arc::new(AtomicU64::new(if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            })),
         }
     }
 
@@ -195,8 +203,9 @@ mod tests {
     fn rng_zero_seed_is_usable() {
         let rng = SharedRng::new(0);
         // Must not get stuck at zero forever.
-        let distinct: std::collections::BTreeSet<_> =
-            (0..16).map(|_| rng.next_below(1_000_000).unwrap()).collect();
+        let distinct: std::collections::BTreeSet<_> = (0..16)
+            .map(|_| rng.next_below(1_000_000).unwrap())
+            .collect();
         assert!(distinct.len() > 1);
     }
 }

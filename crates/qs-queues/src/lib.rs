@@ -41,6 +41,19 @@ pub enum Dequeue<T> {
     Closed,
 }
 
+/// Error returned by the non-blocking `try_dequeue` operations when the
+/// queue has been closed and fully drained: no item will ever arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed;
+
+impl std::fmt::Display for Closed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("queue closed and drained")
+    }
+}
+
+impl std::error::Error for Closed {}
+
 impl<T> Dequeue<T> {
     /// Converts to an `Option`, mapping [`Dequeue::Closed`] to `None`.
     pub fn into_option(self) -> Option<T> {

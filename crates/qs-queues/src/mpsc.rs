@@ -18,7 +18,7 @@ use std::thread::Thread;
 
 use qs_sync::{Backoff, CachePadded, SpinLock};
 
-use crate::Dequeue;
+use crate::{Closed, Dequeue};
 
 struct Node<T> {
     next: AtomicPtr<Node<T>>,
@@ -164,8 +164,8 @@ impl<T> QueueOfQueues<T> {
     /// Attempts to dequeue without blocking.
     ///
     /// Returns `Ok(Some(v))` on success, `Ok(None)` if empty-but-open, and
-    /// `Err(())` if closed and drained.
-    pub fn try_dequeue(&self) -> Result<Option<T>, ()> {
+    /// `Err(Closed)` if closed and drained.
+    pub fn try_dequeue(&self) -> Result<Option<T>, Closed> {
         let backoff = Backoff::new();
         loop {
             match self.pop() {
@@ -176,7 +176,7 @@ impl<T> QueueOfQueues<T> {
                         // An enqueue may have raced ahead of the close flag.
                         return match self.pop() {
                             Pop::Item(v) => Ok(Some(v)),
-                            Pop::Empty => Err(()),
+                            Pop::Empty => Err(Closed),
                             Pop::Inconsistent => {
                                 backoff.spin();
                                 continue;
@@ -196,7 +196,7 @@ impl<T> QueueOfQueues<T> {
         loop {
             match self.try_dequeue() {
                 Ok(Some(v)) => return Dequeue::Item(v),
-                Err(()) => return Dequeue::Closed,
+                Err(Closed) => return Dequeue::Closed,
                 Ok(None) => {
                     if backoff.is_completed() {
                         self.park_until_work();
@@ -296,13 +296,8 @@ mod tests {
             let q = Arc::clone(&q);
             thread::spawn(move || {
                 let mut seen = HashSet::new();
-                loop {
-                    match q.dequeue() {
-                        Dequeue::Item(v) => {
-                            assert!(seen.insert(v), "duplicate item {v}");
-                        }
-                        Dequeue::Closed => break,
-                    }
+                while let Dequeue::Item(v) = q.dequeue() {
+                    assert!(seen.insert(v), "duplicate item {v}");
                 }
                 seen
             })
@@ -336,17 +331,12 @@ mod tests {
             h.join().unwrap();
         }
         q.close();
-        let mut last = vec![None; PRODUCERS];
-        loop {
-            match q.dequeue() {
-                Dequeue::Item((p, i)) => {
-                    if let Some(prev) = last[p] {
-                        assert!(i > prev, "producer {p} reordered: {prev} then {i}");
-                    }
-                    last[p] = Some(i);
-                }
-                Dequeue::Closed => break,
+        let mut last = [None; PRODUCERS];
+        while let Dequeue::Item((p, i)) = q.dequeue() {
+            if let Some(prev) = last[p] {
+                assert!(i > prev, "producer {p} reordered: {prev} then {i}");
             }
+            last[p] = Some(i);
         }
         for (p, l) in last.iter().enumerate() {
             assert_eq!(*l, Some(PER_PRODUCER - 1), "producer {p} lost items");

@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
-use crate::Dequeue;
+use crate::{Closed, Dequeue};
 
 /// A mutex+condvar protected FIFO queue with a close protocol.
 ///
@@ -98,14 +98,14 @@ impl<T> MutexQueue<T> {
     /// Attempts to dequeue without blocking.
     ///
     /// Returns `Ok(Some(v))` for an item, `Ok(None)` if currently empty but
-    /// open, `Err(())` if closed and drained.
-    pub fn try_dequeue(&self) -> Result<Option<T>, ()> {
+    /// open, `Err(Closed)` if closed and drained.
+    pub fn try_dequeue(&self) -> Result<Option<T>, Closed> {
         let mut inner = self.inner.lock().unwrap();
         if let Some(v) = inner.items.pop_front() {
             inner.dequeued += 1;
             Ok(Some(v))
         } else if inner.closed {
-            Err(())
+            Err(Closed)
         } else {
             Ok(None)
         }
@@ -151,7 +151,7 @@ mod tests {
         let q = MutexQueue::<i32>::new();
         assert_eq!(q.try_dequeue(), Ok(None));
         q.close();
-        assert_eq!(q.try_dequeue(), Err(()));
+        assert_eq!(q.try_dequeue(), Err(Closed));
         assert!(q.is_closed());
     }
 

@@ -17,7 +17,7 @@ use std::thread::Thread;
 
 use qs_sync::{Backoff, CachePadded, SpinLock};
 
-use crate::Dequeue;
+use crate::{Closed, Dequeue};
 
 /// Number of slots per segment.  Chosen so a segment (with its header) stays
 /// within a few cache lines for pointer-sized payloads while amortising the
@@ -194,9 +194,9 @@ impl<T> SpscConsumer<T> {
     /// Attempts to dequeue without blocking.
     ///
     /// Returns `Ok(Some(v))` for an item, `Ok(None)` if the queue is
-    /// currently empty but still open, and `Err(())` if it is closed and
+    /// currently empty but still open, and `Err(Closed)` if it is closed and
     /// drained.
-    pub fn try_dequeue(&self) -> Result<Option<T>, ()> {
+    pub fn try_dequeue(&self) -> Result<Option<T>, Closed> {
         let queue = &*self.queue;
         let mut head = queue.head.lock();
         // SAFETY: only the consumer follows the head cursor.
@@ -239,7 +239,7 @@ impl<T> SpscConsumer<T> {
                 drop(head);
                 return self.try_dequeue();
             }
-            return Err(());
+            return Err(Closed);
         }
         Ok(None)
     }
@@ -251,7 +251,7 @@ impl<T> SpscConsumer<T> {
         loop {
             match self.try_dequeue() {
                 Ok(Some(v)) => return Dequeue::Item(v),
-                Err(()) => return Dequeue::Closed,
+                Err(Closed) => return Dequeue::Closed,
                 Ok(None) => {
                     if backoff.is_completed() {
                         self.park_until_work();
@@ -390,14 +390,9 @@ mod tests {
             tx.close();
         });
         let mut expected = 0usize;
-        loop {
-            match rx.dequeue() {
-                Dequeue::Item(v) => {
-                    assert_eq!(v, expected);
-                    expected += 1;
-                }
-                Dequeue::Closed => break,
-            }
+        while let Dequeue::Item(v) = rx.dequeue() {
+            assert_eq!(v, expected);
+            expected += 1;
         }
         assert_eq!(expected, n);
         producer.join().unwrap();

@@ -56,15 +56,10 @@ proptest! {
         q.close();
         let mut next_index = vec![0usize; per_producer.len()];
         let mut received = vec![Vec::new(); per_producer.len()];
-        loop {
-            match q.dequeue() {
-                Dequeue::Item((p, i, item)) => {
-                    prop_assert_eq!(i, next_index[p], "producer {} reordered", p);
-                    next_index[p] += 1;
-                    received[p].push(item);
-                }
-                Dequeue::Closed => break,
-            }
+        while let Dequeue::Item((p, i, item)) = q.dequeue() {
+            prop_assert_eq!(i, next_index[p], "producer {} reordered", p);
+            next_index[p] += 1;
+            received[p].push(item);
         }
         prop_assert_eq!(received, per_producer);
     }

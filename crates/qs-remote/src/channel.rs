@@ -306,7 +306,8 @@ mod tests {
 
     #[test]
     fn latency_injection_delays_delivery() {
-        let (sender, receiver) = byte_channel(ChannelConfig::with_latency(Duration::from_millis(5)));
+        let (sender, receiver) =
+            byte_channel(ChannelConfig::with_latency(Duration::from_millis(5)));
         let start = std::time::Instant::now();
         for _ in 0..4 {
             sender.send_frame(&Frame::Sync).unwrap();

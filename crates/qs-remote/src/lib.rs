@@ -50,7 +50,9 @@ pub mod node;
 pub mod registry;
 pub mod wire;
 
-pub use channel::{byte_channel, ByteReceiver, ByteSender, ChannelClosed, ChannelConfig, RecvError};
+pub use channel::{
+    byte_channel, ByteReceiver, ByteSender, ChannelClosed, ChannelConfig, RecvError,
+};
 pub use node::{NodeStats, RemoteError, RemoteNode, RemoteProxy, RemoteSeparate};
 pub use registry::{counter_registry, MethodRegistry, RemoteObject};
 pub use wire::{decode_frame, encode_frame, DecodeError, Frame, WireValue, WIRE_VERSION};

@@ -197,7 +197,10 @@ impl<T: Send + 'static> std::fmt::Debug for RemoteNode<T> {
 fn serve<T>(shared: &Arc<NodeShared>, object: &mut RemoteObject<T>) {
     while let Dequeue::Item((requests, responses)) = shared.qoq.dequeue() {
         serve_private_queue(shared, object, &requests, &responses);
-        shared.counters.blocks_served.fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .blocks_served
+            .fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -211,12 +214,18 @@ fn serve_private_queue<T>(
         match requests.recv_frame() {
             Ok(Frame::Hello { version, .. }) => {
                 if version != WIRE_VERSION {
-                    shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
                     return;
                 }
             }
             Ok(Frame::Call { method, args }) => {
-                shared.counters.calls_applied.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .calls_applied
+                    .fetch_add(1, Ordering::Relaxed);
                 if object.apply(&method, &args).is_err() {
                     // An asynchronous call has nobody to report to; count it,
                     // matching the in-memory runtime's `call_panics` counter.
@@ -227,7 +236,10 @@ fn serve_private_queue<T>(
                 }
             }
             Ok(Frame::Query { method, args }) => {
-                shared.counters.queries_applied.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .queries_applied
+                    .fetch_add(1, Ordering::Relaxed);
                 let result = object.apply(&method, &args);
                 if result.is_err() {
                     shared
@@ -235,7 +247,10 @@ fn serve_private_queue<T>(
                         .application_errors
                         .fetch_add(1, Ordering::Relaxed);
                 }
-                if responses.send_frame(&Frame::QueryResult { result }).is_err() {
+                if responses
+                    .send_frame(&Frame::QueryResult { result })
+                    .is_err()
+                {
                     return;
                 }
             }
@@ -247,13 +262,19 @@ fn serve_private_queue<T>(
             }
             Ok(Frame::End) => return,
             Ok(unexpected) => {
-                shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
                 let _ = unexpected;
                 return;
             }
             Err(RecvError::Closed) => return,
             Err(RecvError::Malformed(_)) => {
-                shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
                 return;
             }
         }
@@ -298,7 +319,11 @@ impl RemoteProxy {
     }
 
     /// Convenience: a single query in its own block.
-    pub fn query_detached(&self, method: &str, args: Vec<WireValue>) -> Result<WireValue, RemoteError> {
+    pub fn query_detached(
+        &self,
+        method: &str,
+        args: Vec<WireValue>,
+    ) -> Result<WireValue, RemoteError> {
         self.separate(|s| s.query(method, args))
     }
 
@@ -444,7 +469,11 @@ mod tests {
             log.push((client, seq));
             Ok(WireValue::Unit)
         });
-        let node = RemoteNode::spawn("log", RemoteObject::new(Vec::new(), registry), ChannelConfig::fast());
+        let node = RemoteNode::spawn(
+            "log",
+            RemoteObject::new(Vec::new(), registry),
+            ChannelConfig::fast(),
+        );
         let mut threads = Vec::new();
         for client in 0..4i64 {
             let proxy = node.proxy(&format!("client-{client}"));
@@ -494,7 +523,10 @@ mod tests {
             s.sync().unwrap();
         });
         let stats = node.stats();
-        assert_eq!(stats.syncs_acked, 2, "only two sync round-trips should reach the node");
+        assert_eq!(
+            stats.syncs_acked, 2,
+            "only two sync round-trips should reach the node"
+        );
     }
 
     #[test]

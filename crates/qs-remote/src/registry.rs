@@ -60,7 +60,12 @@ impl<T> MethodRegistry<T> {
     }
 
     /// Applies the method registered under `name`.
-    pub fn dispatch(&self, state: &mut T, name: &str, args: &[WireValue]) -> Result<WireValue, String> {
+    pub fn dispatch(
+        &self,
+        state: &mut T,
+        name: &str,
+        args: &[WireValue],
+    ) -> Result<WireValue, String> {
         match self.methods.get(name) {
             Some(method) => method(state, args),
             None => Err(format!("no method `{name}` registered")),
@@ -134,8 +139,12 @@ mod tests {
     fn dispatch_routes_to_registered_methods() {
         let registry = counter_registry();
         let mut state = 0i64;
-        registry.dispatch(&mut state, "add", &[WireValue::Int(4)]).unwrap();
-        registry.dispatch(&mut state, "add", &[WireValue::Int(-1)]).unwrap();
+        registry
+            .dispatch(&mut state, "add", &[WireValue::Int(4)])
+            .unwrap();
+        registry
+            .dispatch(&mut state, "add", &[WireValue::Int(-1)])
+            .unwrap();
         assert_eq!(
             registry.dispatch(&mut state, "value", &[]).unwrap(),
             WireValue::Int(3)

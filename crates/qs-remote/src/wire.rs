@@ -448,7 +448,13 @@ mod tests {
         assert!(WireValue::Int(0).as_bool().is_err());
         assert_eq!(WireValue::Str("x".into()).as_str().unwrap(), "x");
         assert!(WireValue::Unit.as_str().is_err());
-        assert_eq!(WireValue::List(vec![WireValue::Unit]).as_list().unwrap().len(), 1);
+        assert_eq!(
+            WireValue::List(vec![WireValue::Unit])
+                .as_list()
+                .unwrap()
+                .len(),
+            1
+        );
         assert!(WireValue::Int(1).as_list().is_err());
     }
 

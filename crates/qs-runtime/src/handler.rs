@@ -102,8 +102,13 @@ impl<T: Send + 'static> HandlerCore<T> {
     /// after the sync completes the handler is parked on the caller's own
     /// private queue (or, on the lock-based path, on the empty shared request
     /// queue while the caller holds the handler lock).
+    ///
+    /// The `&self -> &mut T` shape is the point of the execution model: the
+    /// `UnsafeCell` is the single place where the model's "exactly one thread
+    /// touches the object at a time" argument is cashed in.
+    #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn object_mut(&self) -> &mut T {
-        &mut *(*self.object.get())
+        &mut (*self.object.get())
     }
 
     /// Applies one request to the object.  Returns `false` when the request
@@ -165,14 +170,9 @@ impl<T: Send + 'static> HandlerCore<T> {
         while let Dequeue::Item(private_queue) = self.qoq.dequeue() {
             // Process calls from this private queue until the client ends its
             // separate block (END rule).
-            loop {
-                match private_queue.dequeue() {
-                    Dequeue::Item(request) => {
-                        if !self.apply(request) {
-                            break;
-                        }
-                    }
-                    Dequeue::Closed => break,
+            while let Dequeue::Item(request) = private_queue.dequeue() {
+                if !self.apply(request) {
+                    break;
                 }
             }
         }

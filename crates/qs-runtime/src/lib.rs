@@ -38,17 +38,29 @@
 //!
 //! ## Example
 //!
+//! Reservations — single-handler or atomic multi-handler, optionally guarded
+//! by a wait condition — all go through the composable [`reserve`] entry
+//! point:
+//!
 //! ```
-//! use qs_runtime::{Runtime, RuntimeConfig};
+//! use qs_runtime::{reserve, Runtime, RuntimeConfig};
 //!
 //! let rt = Runtime::new(RuntimeConfig::all_optimizations());
 //! let counter = rt.spawn_handler(0u64);
+//! let log = rt.spawn_handler(Vec::<u64>::new());
 //!
-//! counter.separate(|c| {
+//! // Single-handler separate block (`Handler::separate` is shorthand).
+//! reserve(&counter).run(|c| {
 //!     for _ in 0..10 {
 //!         c.call(|n| *n += 1);       // asynchronous command
 //!     }
 //!     assert_eq!(c.query(|n| *n), 10); // synchronous query
+//! });
+//!
+//! // Atomic two-handler reservation: the pair is observed consistently.
+//! reserve((&counter, &log)).run(|(c, l)| {
+//!     let value = c.query(|n| *n);
+//!     l.call(move |entries| entries.push(value));
 //! });
 //!
 //! let final_value = counter.shutdown_and_take().unwrap();
@@ -62,17 +74,19 @@ pub mod contracts;
 pub mod handler;
 pub mod request;
 pub mod reservation;
+pub mod reserve;
 pub mod runtime;
 pub mod separate;
 pub mod stats;
 
 pub use config::{OptimizationLevel, RuntimeConfig};
-pub use contracts::{
-    assert_postcondition, check_postcondition, separate2_when, separate_when, try_separate2_when,
-    try_separate_when, WaitConfig, WaitTimeout,
-};
+pub use contracts::{assert_postcondition, check_postcondition, WaitConfig, WaitTimeout};
+#[allow(deprecated)]
+pub use contracts::{separate2_when, separate_when, try_separate2_when, try_separate_when};
 pub use handler::{Handler, HandlerId};
+#[allow(deprecated)]
 pub use reservation::{separate2, separate3, separate_all};
+pub use reserve::{reserve, GuardedReservation, Reservation, ReservationSet, WaitCondition};
 pub use runtime::Runtime;
-pub use separate::Separate;
+pub use separate::{QueryToken, Separate};
 pub use stats::{RuntimeStats, StatsSnapshot};

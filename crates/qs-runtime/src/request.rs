@@ -47,7 +47,9 @@ impl<T> Request<T> {
 
 impl<T> std::fmt::Debug for Request<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Request").field("kind", &self.kind()).finish()
+        f.debug_struct("Request")
+            .field("kind", &self.kind())
+            .finish()
     }
 }
 

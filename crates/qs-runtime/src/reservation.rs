@@ -1,26 +1,20 @@
-//! Multi-handler reservations (§2.4 of the paper).
+//! Deprecated arity-specialised multi-reservation shims.
 //!
-//! A client sometimes needs consistency across several handlers at once —
-//! the red/blue example of Fig. 5: whoever reserves `x` and `y` together must
-//! observe them with the same colour.  The generalised `separate` rule
-//! registers the client's private queues with *all* requested handlers
-//! atomically; §3.3 implements that atomicity with one spinlock per handler.
-//!
-//! This module provides [`separate2`], [`separate3`] for heterogeneous
-//! handler types and [`separate_all`] for a homogeneous slice.  Atomicity is
-//! obtained by acquiring each reserved handler's spinlock (or, on the
-//! lock-based path, its handler lock) in increasing handler-id order, so two
-//! overlapping multi-reservations can never deadlock against each other.
-
-use qs_queues::spsc_channel;
+//! The generalised `separate` rule (§2.4 of the paper) is now exposed through
+//! the unified [`crate::reserve`] builder, which performs the id-ordered
+//! atomic registration of §3.3 in one place for every arity and both runtime
+//! configurations.  The free functions here are thin delegating shims kept so
+//! existing code continues to compile; they will be removed in a later
+//! release (see `ROADMAP.md`).
 
 use crate::handler::Handler;
+use crate::reserve::reserve;
 use crate::separate::Separate;
-use crate::stats::RuntimeStats;
 
 /// Reserves two handlers atomically and runs `body` with both reservations.
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use qs_runtime::{Runtime, RuntimeConfig, separate2};
 ///
 /// let rt = Runtime::new(RuntimeConfig::all_optimizations());
@@ -31,6 +25,7 @@ use crate::stats::RuntimeStats;
 ///     sy.call(|v| *v = 1);
 /// });
 /// ```
+#[deprecated(since = "0.2.0", note = "use `reserve((a, b)).run(|(sa, sb)| …)`")]
 pub fn separate2<A, B, R>(
     a: &Handler<A>,
     b: &Handler<B>,
@@ -40,59 +35,14 @@ where
     A: Send + 'static,
     B: Send + 'static,
 {
-    let core_a = a.core();
-    let core_b = b.core();
-    RuntimeStats::bump(&core_a.stats.multi_reservations);
-    RuntimeStats::bump(&core_a.stats.separate_blocks);
-
-    let qoq = core_a.config.queue_of_queues;
-    let (mut sa, mut sb);
-    if qoq {
-        // Phase 1: take both reservation spinlocks in id order.
-        let (first_lock, second_lock) = if core_a.id <= core_b.id {
-            (&core_a.reservation_lock, &core_b.reservation_lock)
-        } else {
-            (&core_b.reservation_lock, &core_a.reservation_lock)
-        };
-        let g1 = first_lock.lock();
-        let g2 = second_lock.lock();
-        // Phase 2: register one private queue with each handler.
-        let (pa, ca) = spsc_channel();
-        let (pb, cb) = spsc_channel();
-        core_a.qoq.enqueue(ca);
-        core_b.qoq.enqueue(cb);
-        RuntimeStats::bump(&core_a.stats.private_queues_enqueued);
-        RuntimeStats::bump(&core_b.stats.private_queues_enqueued);
-        // Phase 3: release the spinlocks; the reservation is now atomic.
-        drop(g2);
-        drop(g1);
-        sa = Separate::from_parts(core_a, Some(pa), None);
-        sb = Separate::from_parts(core_b, Some(pb), None);
-    } else {
-        // Lock-based path: take both handler locks in id order and hold them
-        // for the whole block (this is where the Fig. 6 deadlock can come
-        // from when programs nest single reservations in opposite orders;
-        // the combined reservation here always orders by id).
-        let (ga, gb) = if core_a.id <= core_b.id {
-            let ga = core_a.client_lock.lock();
-            let gb = core_b.client_lock.lock();
-            (ga, gb)
-        } else {
-            let gb = core_b.client_lock.lock();
-            let ga = core_a.client_lock.lock();
-            (ga, gb)
-        };
-        sa = Separate::from_parts(core_a, None, Some(ga));
-        sb = Separate::from_parts(core_b, None, Some(gb));
-    }
-
-    let result = body(&mut sa, &mut sb);
-    sa.end();
-    sb.end();
-    result
+    reserve((a, b)).run(|(sa, sb)| body(sa, sb))
 }
 
 /// Reserves three handlers atomically and runs `body` with the reservations.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `reserve((a, b, c)).run(|(sa, sb, sc)| …)`"
+)]
 pub fn separate3<A, B, C, R>(
     a: &Handler<A>,
     b: &Handler<B>,
@@ -104,65 +54,12 @@ where
     B: Send + 'static,
     C: Send + 'static,
 {
-    let core_a = a.core();
-    let core_b = b.core();
-    let core_c = c.core();
-    RuntimeStats::bump(&core_a.stats.multi_reservations);
-    RuntimeStats::bump(&core_a.stats.separate_blocks);
-
-    let qoq = core_a.config.queue_of_queues;
-    let (mut sa, mut sb, mut sc);
-    if qoq {
-        // Sort the three spinlocks by handler id and lock in that order.
-        let mut locks = [
-            (core_a.id, &core_a.reservation_lock),
-            (core_b.id, &core_b.reservation_lock),
-            (core_c.id, &core_c.reservation_lock),
-        ];
-        locks.sort_by_key(|(id, _)| *id);
-        let guards: Vec<_> = locks.iter().map(|(_, lock)| lock.lock()).collect();
-        let (pa, ca) = spsc_channel();
-        let (pb, cb) = spsc_channel();
-        let (pc, cc) = spsc_channel();
-        core_a.qoq.enqueue(ca);
-        core_b.qoq.enqueue(cb);
-        core_c.qoq.enqueue(cc);
-        for core_stats in [&core_a.stats, &core_b.stats, &core_c.stats] {
-            RuntimeStats::bump(&core_stats.private_queues_enqueued);
-        }
-        drop(guards);
-        sa = Separate::from_parts(core_a, Some(pa), None);
-        sb = Separate::from_parts(core_b, Some(pb), None);
-        sc = Separate::from_parts(core_c, Some(pc), None);
-    } else {
-        // Acquire the three handler locks in id order.  Because the guards
-        // have the same type we can collect them and hand them back by id.
-        let mut order = [(core_a.id, 0usize), (core_b.id, 1), (core_c.id, 2)];
-        order.sort_by_key(|(id, _)| *id);
-        let mut guard_a = None;
-        let mut guard_b = None;
-        let mut guard_c = None;
-        for (_, which) in order {
-            match which {
-                0 => guard_a = Some(core_a.client_lock.lock()),
-                1 => guard_b = Some(core_b.client_lock.lock()),
-                _ => guard_c = Some(core_c.client_lock.lock()),
-            }
-        }
-        sa = Separate::from_parts(core_a, None, guard_a);
-        sb = Separate::from_parts(core_b, None, guard_b);
-        sc = Separate::from_parts(core_c, None, guard_c);
-    }
-
-    let result = body(&mut sa, &mut sb, &mut sc);
-    sa.end();
-    sb.end();
-    sc.end();
-    result
+    reserve((a, b, c)).run(|(sa, sb, sc)| body(sa, sb, sc))
 }
 
 /// Reserves every handler in `handlers` atomically and runs `body` with one
 /// reservation guard per handler, in the same order as the input slice.
+#[deprecated(since = "0.2.0", note = "use `reserve(handlers).run(|guards| …)`")]
 pub fn separate_all<T, R>(
     handlers: &[Handler<T>],
     body: impl FnOnce(&mut [Separate<'_, T>]) -> R,
@@ -170,164 +67,40 @@ pub fn separate_all<T, R>(
 where
     T: Send + 'static,
 {
-    if handlers.is_empty() {
-        let mut empty: Vec<Separate<'_, T>> = Vec::new();
-        return body(&mut empty);
-    }
-    let stats = &handlers[0].core().stats;
-    RuntimeStats::bump(&stats.multi_reservations);
-    RuntimeStats::bump(&stats.separate_blocks);
-
-    let qoq = handlers[0].core().config.queue_of_queues;
-    let mut order: Vec<usize> = (0..handlers.len()).collect();
-    order.sort_by_key(|&i| handlers[i].id());
-
-    let mut guards: Vec<Separate<'_, T>>;
-    if qoq {
-        let spin_guards: Vec<_> = order
-            .iter()
-            .map(|&i| handlers[i].core().reservation_lock.lock())
-            .collect();
-        guards = handlers
-            .iter()
-            .map(|h| {
-                let (producer, consumer) = spsc_channel();
-                h.core().qoq.enqueue(consumer);
-                RuntimeStats::bump(&h.core().stats.private_queues_enqueued);
-                Separate::from_parts(h.core(), Some(producer), None)
-            })
-            .collect();
-        drop(spin_guards);
-    } else {
-        // Lock in id order, then restore the caller's ordering.
-        let mut locked: Vec<(usize, parking_lot::MutexGuard<'_, ()>)> = order
-            .iter()
-            .map(|&i| (i, handlers[i].core().client_lock.lock()))
-            .collect();
-        locked.sort_by_key(|(i, _)| *i);
-        guards = locked
-            .into_iter()
-            .map(|(i, guard)| Separate::from_parts(handlers[i].core(), None, Some(guard)))
-            .collect();
-    }
-
-    let result = body(&mut guards);
-    for mut guard in guards {
-        guard.end();
-    }
-    result
+    reserve(handlers).run(|guards| body(guards))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
-    use crate::config::{OptimizationLevel, RuntimeConfig};
+    use crate::config::RuntimeConfig;
     use crate::runtime::Runtime;
 
     #[test]
-    fn separate2_sees_consistent_state() {
-        // Fig. 5: two clients painting (x, y) red or blue; observers that
-        // reserve both must never see mixed colours.
-        for level in [OptimizationLevel::All, OptimizationLevel::None] {
-            let rt = Runtime::new(level.config());
-            let x = rt.spawn_handler(0u8);
-            let y = rt.spawn_handler(0u8);
-            let mut painters = Vec::new();
-            for colour in [1u8, 2u8] {
-                let x = x.clone();
-                let y = y.clone();
-                painters.push(std::thread::spawn(move || {
-                    for _ in 0..200 {
-                        separate2(&x, &y, |sx, sy| {
-                            sx.call(move |v| *v = colour);
-                            sy.call(move |v| *v = colour);
-                        });
-                    }
-                }));
-            }
-            let observer = {
-                let x = x.clone();
-                let y = y.clone();
-                std::thread::spawn(move || {
-                    for _ in 0..200 {
-                        let (cx, cy) = separate2(&x, &y, |sx, sy| {
-                            let cx = sx.query(|v| *v);
-                            let cy = sy.query(|v| *v);
-                            (cx, cy)
-                        });
-                        assert_eq!(cx, cy, "observed mixed colours under {level}");
-                    }
-                })
-            };
-            for p in painters {
-                p.join().unwrap();
-            }
-            observer.join().unwrap();
-        }
-    }
-
-    #[test]
-    fn separate3_orders_heterogeneous_handlers() {
+    fn shims_delegate_to_the_unified_reservation() {
         let rt = Runtime::new(RuntimeConfig::all_optimizations());
         let a = rt.spawn_handler(0u32);
         let b = rt.spawn_handler(String::new());
         let c = rt.spawn_handler(Vec::<u32>::new());
-        separate3(&a, &b, &c, |sa, sb, sc| {
-            sa.call(|n| *n = 5);
+
+        separate2(&a, &b, |sa, sb| {
+            sa.call(|n| *n = 2);
             sb.call(|s| s.push('x'));
-            sc.call(|v| v.push(9));
-            assert_eq!(sa.query(|n| *n), 5);
+        });
+        separate3(&a, &b, &c, |sa, sb, sc| {
+            assert_eq!(sa.query(|n| *n), 2);
             assert_eq!(sb.query(|s| s.len()), 1);
+            sc.call(|v| v.push(9));
             assert_eq!(sc.query(|v| v[0]), 9);
         });
-    }
 
-    #[test]
-    fn separate_all_handles_empty_and_many() {
-        let rt = Runtime::new(RuntimeConfig::all_optimizations());
-        let none: Vec<crate::Handler<u32>> = Vec::new();
-        assert_eq!(separate_all(&none, |guards| guards.len()), 0);
-
-        let handlers: Vec<_> = (0..6).map(|i| rt.spawn_handler(i as u64)).collect();
-        let sum = separate_all(&handlers, |guards| {
+        let homogeneous: Vec<_> = (0..3).map(|i| rt.spawn_handler(i as u64)).collect();
+        let sum = separate_all(&homogeneous, |guards| {
             guards.iter_mut().map(|g| g.query(|v| *v)).sum::<u64>()
         });
-        assert_eq!(sum, (0..6).sum());
-    }
-
-    #[test]
-    fn opposite_order_multi_reservations_do_not_deadlock() {
-        // Two clients reserving (x, y) and (y, x) concurrently, many times.
-        for level in [OptimizationLevel::All, OptimizationLevel::None] {
-            let rt = Runtime::new(level.config());
-            let x = rt.spawn_handler(0u64);
-            let y = rt.spawn_handler(0u64);
-            let t1 = {
-                let (x, y) = (x.clone(), y.clone());
-                std::thread::spawn(move || {
-                    for _ in 0..500 {
-                        separate2(&x, &y, |sx, sy| {
-                            sx.call(|v| *v += 1);
-                            sy.call(|v| *v += 1);
-                        });
-                    }
-                })
-            };
-            let t2 = {
-                let (x, y) = (x.clone(), y.clone());
-                std::thread::spawn(move || {
-                    for _ in 0..500 {
-                        separate2(&y, &x, |sy, sx| {
-                            sy.call(|v| *v += 1);
-                            sx.call(|v| *v += 1);
-                        });
-                    }
-                })
-            };
-            t1.join().unwrap();
-            t2.join().unwrap();
-            assert_eq!(x.query_detached(|v| *v), 1_000);
-            assert_eq!(y.query_detached(|v| *v), 1_000);
-        }
+        assert_eq!(sum, 3);
+        assert_eq!(rt.stats_snapshot().multi_reservations, 3);
     }
 }

@@ -1,0 +1,808 @@
+//! The unified reservation API: one composable [`reserve`] entry point.
+//!
+//! The paper's generalised `separate` rule (§2.4, §3.3) is a single concept —
+//! atomically reserve a *set* of handlers, optionally guarded by a wait
+//! condition — and this module exposes it as a single builder:
+//!
+//! ```
+//! use qs_runtime::{reserve, Runtime, RuntimeConfig, WaitConfig};
+//!
+//! let rt = Runtime::new(RuntimeConfig::all_optimizations());
+//! let x = rt.spawn_handler(1u64);
+//! let y = rt.spawn_handler(2u64);
+//! let z = rt.spawn_handler(3u64);
+//!
+//! // Plain atomic multi-reservation.
+//! let sum = reserve((&x, &y, &z)).run(|(sx, sy, sz)| {
+//!     sx.query(|v| *v) + sy.query(|v| *v) + sz.query(|v| *v)
+//! });
+//! assert_eq!(sum, 6);
+//!
+//! // Guarded by a joint wait condition, with a retry budget.
+//! let result = reserve((&x, &y, &z))
+//!     .when(|x: &u64, y: &u64, z: &u64| x + y + z >= 6)
+//!     .timeout(WaitConfig::bounded(100))
+//!     .try_run(|(sx, _sy, _sz)| sx.query(|v| *v));
+//! assert_eq!(result, Ok(1));
+//! ```
+//!
+//! A [`ReservationSet`] is a single `&Handler<T>`, a heterogeneous tuple of
+//! handler references up to arity 4, or a homogeneous `&[Handler<T>]` slice.
+//! Whatever the shape, the atomic registration happens here, in one place,
+//! for both the queue-of-queues and the lock-based configurations: the
+//! reservation locks (§3.3) — or, lock-based, the handler locks themselves —
+//! are acquired in increasing handler-id order, so two overlapping
+//! reservations can never deadlock against each other, and the client's
+//! private queues are enqueued while all locks are held, making the
+//! registration atomic (Fig. 5's consistency guarantee).
+//!
+//! Wait conditions follow the SCOOP contract semantics (§2.2): the condition
+//! is evaluated under the reservation, the body runs under that *same*
+//! reservation when it holds, and the reservation is released between
+//! retries so other clients can make the condition true.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::Instant;
+
+use qs_sync::{Backoff, SpinLock, SpinLockGuard};
+
+use crate::contracts::{WaitConfig, WaitTimeout};
+use crate::handler::{Handler, HandlerCore, HandlerId};
+use crate::separate::Separate;
+use crate::stats::RuntimeStats;
+
+// ---------------------------------------------------------------------------
+// Type-erased view of a handler used by the atomic registration protocol
+// ---------------------------------------------------------------------------
+
+/// The parts of a [`HandlerCore`] the id-ordered locking protocol needs,
+/// independent of the owned object's type.
+pub(crate) trait RawReservable {
+    fn raw_id(&self) -> HandlerId;
+    fn raw_queue_of_queues(&self) -> bool;
+    fn raw_reservation_lock(&self) -> &SpinLock<()>;
+    fn raw_client_lock(&self) -> &parking_lot::Mutex<()>;
+    fn raw_stats(&self) -> &RuntimeStats;
+}
+
+impl<T> RawReservable for HandlerCore<T> {
+    fn raw_id(&self) -> HandlerId {
+        self.id
+    }
+    fn raw_queue_of_queues(&self) -> bool {
+        self.config.queue_of_queues
+    }
+    fn raw_reservation_lock(&self) -> &SpinLock<()> {
+        &self.reservation_lock
+    }
+    fn raw_client_lock(&self) -> &parking_lot::Mutex<()> {
+        &self.client_lock
+    }
+    fn raw_stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+}
+
+/// The one place where multi-handler reservations acquire their locks.
+///
+/// §3.3: "a spinlock per handler" serialises multi-reservations on the
+/// queue-of-queues path; the pre-Qs path takes the handler locks themselves.
+/// Either way the locks are taken in increasing handler-id order, which makes
+/// overlapping reservations deadlock-free regardless of the order the caller
+/// listed the handlers in.
+pub(crate) struct AtomicRegistration<'h> {
+    /// Reservation spinlock guards (queue-of-queues path); held until drop,
+    /// i.e. until every private queue of the set has been enqueued.
+    _spin_guards: Vec<SpinLockGuard<'h, ()>>,
+    /// Handler lock guards by *set position* (lock-based path); taken out by
+    /// the caller and carried in the [`Separate`] guards for the whole block.
+    lock_guards: Vec<Option<parking_lot::MutexGuard<'h, ()>>>,
+}
+
+/// Reservation sets rarely exceed the tuple arities; index buffers up to
+/// this size stay on the stack.
+const INLINE_SET: usize = 8;
+
+/// The global lock-acquisition key of one handler: primarily its id (the
+/// paper's protocol), with the core's address as tiebreaker so handlers from
+/// *different* [`crate::Runtime`] instances — whose per-runtime ids may
+/// collide — still fall into one total order.  Pointer equality (not id
+/// equality) is what identifies "the same handler twice".
+fn lock_key(core: &dyn RawReservable) -> (HandlerId, *const ()) {
+    (core.raw_id(), core as *const dyn RawReservable as *const ())
+}
+
+impl<'h> AtomicRegistration<'h> {
+    /// Acquires the reservation locks for `cores` in handler-id order and
+    /// records the set-level statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same handler appears twice in the set — reserving a
+    /// handler against itself would self-deadlock, so it is rejected eagerly.
+    pub(crate) fn acquire(cores: &[&'h dyn RawReservable]) -> Self {
+        let first = cores.first().expect("reservation sets are non-empty");
+        let stats = first.raw_stats();
+        RuntimeStats::bump(&stats.separate_blocks);
+        if cores.len() > 1 {
+            RuntimeStats::bump(&stats.multi_reservations);
+        }
+
+        // Index-sort the set by its global lock key; small sets (every tuple
+        // arity) sort in a stack buffer.
+        let mut inline_buffer = [0usize; INLINE_SET];
+        let mut spill_buffer;
+        let order: &mut [usize] = if cores.len() <= INLINE_SET {
+            let order = &mut inline_buffer[..cores.len()];
+            for (slot, index) in order.iter_mut().zip(0..) {
+                *slot = index;
+            }
+            order
+        } else {
+            spill_buffer = (0..cores.len()).collect::<Vec<usize>>();
+            &mut spill_buffer
+        };
+        order.sort_by_key(|&i| lock_key(cores[i]));
+        for pair in order.windows(2) {
+            assert!(
+                lock_key(cores[pair[0]]).1 != lock_key(cores[pair[1]]).1,
+                "a reservation set must not contain the same handler twice"
+            );
+        }
+
+        let mut spin_guards = Vec::new();
+        let mut lock_guards = Vec::new();
+        if first.raw_queue_of_queues() {
+            // Phase 1 of §3.3: take the reservation spinlocks in id order.
+            // A single reservation enqueues lock-free and skips them.
+            if cores.len() > 1 {
+                spin_guards.reserve_exact(cores.len());
+                spin_guards.extend(
+                    order
+                        .iter()
+                        .map(|&i| cores[i].raw_reservation_lock().lock()),
+                );
+            }
+        } else {
+            // Pre-Qs path: take the handler locks themselves, in id order,
+            // and hold them for the whole block (Fig. 2 semantics).
+            lock_guards.resize_with(cores.len(), || None);
+            for &i in order.iter() {
+                lock_guards[i] = Some(cores[i].raw_client_lock().lock());
+            }
+        }
+        AtomicRegistration {
+            _spin_guards: spin_guards,
+            lock_guards,
+        }
+    }
+
+    /// Takes the handler-lock guard for the handler at `set_index` (always
+    /// `None` on the queue-of-queues path).
+    pub(crate) fn take_lock(
+        &mut self,
+        set_index: usize,
+    ) -> Option<parking_lot::MutexGuard<'h, ()>> {
+        self.lock_guards.get_mut(set_index).and_then(Option::take)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReservationSet: the shapes that can be reserved
+// ---------------------------------------------------------------------------
+
+/// A set of handlers that can be reserved atomically by [`reserve`].
+///
+/// Implemented for `&Handler<T>` (arity 1), heterogeneous tuples of handler
+/// references up to arity 4, and homogeneous `&[Handler<T>]` /
+/// `&Vec<Handler<T>>` slices.  `Guards` is the matching shape of
+/// [`Separate`] reservation guards handed to the block body.
+pub trait ReservationSet<'h>: Copy {
+    /// The reservation guards for this set: a single [`Separate`], a tuple
+    /// of them, or a `Vec` for slices.
+    type Guards;
+
+    /// Performs the atomic registration and returns the guards.
+    #[doc(hidden)]
+    fn begin(self) -> Self::Guards;
+
+    /// The statistics block reservation retries are accounted to.
+    #[doc(hidden)]
+    fn shared_stats(self) -> Option<Arc<RuntimeStats>>;
+}
+
+impl<'h, T: Send + 'static> ReservationSet<'h> for &'h Handler<T> {
+    type Guards = Separate<'h, T>;
+
+    fn begin(self) -> Self::Guards {
+        // Arity 1 is the Fig. 8 fast path: no reservation spinlock at all.
+        Separate::begin_single(self.core())
+    }
+
+    fn shared_stats(self) -> Option<Arc<RuntimeStats>> {
+        Some(Arc::clone(self.stats()))
+    }
+}
+
+macro_rules! impl_reservation_set_for_tuple {
+    ($(($($name:ident : $ty:ident @ $index:tt),+)),+ $(,)?) => {$(
+        impl<'h, $($ty: Send + 'static),+> ReservationSet<'h> for ($(&'h Handler<$ty>,)+) {
+            type Guards = ($(Separate<'h, $ty>,)+);
+
+            fn begin(self) -> Self::Guards {
+                let ($($name,)+) = self;
+                let mut registration = AtomicRegistration::acquire(&[
+                    $(&**$name.core() as &dyn RawReservable,)+
+                ]);
+                // Register one private queue per handler (queue-of-queues)
+                // or carry the already-acquired handler locks (lock-based)
+                // while the registration keeps the set atomic.
+                let guards = ($(
+                    Separate::attach($name.core(), registration.take_lock($index)),
+                )+);
+                drop(registration);
+                guards
+            }
+
+            fn shared_stats(self) -> Option<Arc<RuntimeStats>> {
+                let ($($name,)+) = self;
+                let mut stats = None;
+                $(if stats.is_none() { stats = Some(Arc::clone($name.stats())); })+
+                stats
+            }
+        }
+    )+};
+}
+
+impl_reservation_set_for_tuple! {
+    (a: A @ 0, b: B @ 1),
+    (a: A @ 0, b: B @ 1, c: C @ 2),
+    (a: A @ 0, b: B @ 1, c: C @ 2, d: D @ 3),
+}
+
+impl<'h, T: Send + 'static> ReservationSet<'h> for &'h [Handler<T>] {
+    type Guards = Vec<Separate<'h, T>>;
+
+    fn begin(self) -> Self::Guards {
+        match self {
+            [] => Vec::new(),
+            [single] => vec![Separate::begin_single(single.core())],
+            handlers => {
+                let raws: Vec<&dyn RawReservable> = handlers
+                    .iter()
+                    .map(|h| &**h.core() as &dyn RawReservable)
+                    .collect();
+                let mut registration = AtomicRegistration::acquire(&raws);
+                let guards = handlers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, h)| Separate::attach(h.core(), registration.take_lock(i)))
+                    .collect();
+                drop(registration);
+                guards
+            }
+        }
+    }
+
+    fn shared_stats(self) -> Option<Arc<RuntimeStats>> {
+        self.first().map(|h| Arc::clone(h.stats()))
+    }
+}
+
+impl<'h, T: Send + 'static> ReservationSet<'h> for &'h Vec<Handler<T>> {
+    type Guards = Vec<Separate<'h, T>>;
+
+    fn begin(self) -> Self::Guards {
+        self.as_slice().begin()
+    }
+
+    fn shared_stats(self) -> Option<Arc<RuntimeStats>> {
+        self.as_slice().shared_stats()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wait conditions
+// ---------------------------------------------------------------------------
+
+/// A wait condition over the objects of a [`ReservationSet`].
+///
+/// Blanket-implemented for plain closures matching the set's shape:
+/// `Fn(&T) -> bool` for a single handler, `Fn(&A, &B) -> bool` (and so on up
+/// to arity 4) for tuples, and `Fn(&[&T]) -> bool` for slices.  Evaluation
+/// synchronises every handler of the set first, so the condition observes a
+/// mutually consistent snapshot (the Fig. 5 situation), and runs under the
+/// same reservation as the body — no other client can invalidate a condition
+/// that was observed to hold (§2.2 guarantee 2).
+pub trait WaitCondition<'h, S: ReservationSet<'h>> {
+    /// Evaluates the condition against a freshly reserved set.
+    #[doc(hidden)]
+    fn holds(&self, guards: &mut S::Guards) -> bool;
+}
+
+impl<'h, T, F> WaitCondition<'h, &'h Handler<T>> for F
+where
+    T: Send + 'static,
+    F: Fn(&T) -> bool,
+{
+    fn holds(&self, guard: &mut Separate<'h, T>) -> bool {
+        guard.sync();
+        self(guard.peek_synced())
+    }
+}
+
+macro_rules! impl_wait_condition_for_tuple {
+    ($(($($name:ident : $ty:ident),+)),+ $(,)?) => {$(
+        impl<'h, $($ty,)+ F> WaitCondition<'h, ($(&'h Handler<$ty>,)+)> for F
+        where
+            $($ty: Send + 'static,)+
+            F: Fn($(&$ty),+) -> bool,
+        {
+            fn holds(&self, guards: &mut ($(Separate<'h, $ty>,)+)) -> bool {
+                let ($($name,)+) = guards;
+                // Sync every handler first: afterwards all of them are parked
+                // on this client's queues, so the joint read is race-free and
+                // the tuple of observations is mutually consistent.
+                $($name.sync();)+
+                self($($name.peek_synced()),+)
+            }
+        }
+    )+};
+}
+
+impl_wait_condition_for_tuple! {
+    (a: A, b: B),
+    (a: A, b: B, c: C),
+    (a: A, b: B, c: C, d: D),
+}
+
+/// Shared evaluation for the homogeneous (slice-shaped) sets: sync every
+/// guard, then hand the condition one consistent snapshot of all objects.
+fn holds_for_slice<T, F>(guards: &mut [Separate<'_, T>], condition: &F) -> bool
+where
+    T: Send + 'static,
+    F: Fn(&[&T]) -> bool,
+{
+    for guard in guards.iter_mut() {
+        guard.sync();
+    }
+    let objects: Vec<&T> = guards.iter().map(Separate::peek_synced).collect();
+    condition(&objects)
+}
+
+impl<'h, T, F> WaitCondition<'h, &'h [Handler<T>]> for F
+where
+    T: Send + 'static,
+    F: Fn(&[&T]) -> bool,
+{
+    fn holds(&self, guards: &mut Vec<Separate<'h, T>>) -> bool {
+        holds_for_slice(guards, self)
+    }
+}
+
+impl<'h, T, F> WaitCondition<'h, &'h Vec<Handler<T>>> for F
+where
+    T: Send + 'static,
+    F: Fn(&[&T]) -> bool,
+{
+    fn holds(&self, guards: &mut Vec<Separate<'h, T>>) -> bool {
+        holds_for_slice(guards, self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The builder
+// ---------------------------------------------------------------------------
+
+/// Builder returned by [`reserve`]; see the module docs for the full shape.
+#[must_use = "a reservation does nothing until `.run(…)` is called"]
+pub struct Reservation<'h, S: ReservationSet<'h>> {
+    set: S,
+    _handlers: PhantomData<&'h ()>,
+}
+
+/// A reservation guarded by a wait condition, returned by
+/// [`Reservation::when`].
+#[must_use = "a reservation does nothing until `.run(…)` or `.try_run(…)` is called"]
+pub struct GuardedReservation<'h, S: ReservationSet<'h>, C> {
+    set: S,
+    condition: C,
+    config: WaitConfig,
+    _handlers: PhantomData<&'h ()>,
+}
+
+/// Reserves a set of handlers atomically.
+///
+/// The entry point of the unified reservation API.  `set` is a single
+/// `&Handler<T>`, a tuple of handler references up to arity 4, or a
+/// `&[Handler<T>]` slice; the returned builder optionally takes a wait
+/// condition ([`when`](Reservation::when)) and a retry/timeout policy
+/// ([`timeout`](Reservation::timeout)) before running the block body
+/// ([`run`](Reservation::run) / [`try_run`](Reservation::try_run)).
+///
+/// ```
+/// use qs_runtime::{reserve, Runtime, RuntimeConfig};
+///
+/// let rt = Runtime::new(RuntimeConfig::all_optimizations());
+/// let account = rt.spawn_handler(100i64);
+/// let audit = rt.spawn_handler(Vec::<i64>::new());
+///
+/// reserve((&account, &audit)).run(|(acc, log)| {
+///     acc.call(|balance| *balance -= 30);
+///     let remaining = acc.query(|balance| *balance);
+///     log.call(move |entries| entries.push(remaining));
+/// });
+/// ```
+pub fn reserve<'h, S: ReservationSet<'h>>(set: S) -> Reservation<'h, S> {
+    Reservation {
+        set,
+        _handlers: PhantomData,
+    }
+}
+
+impl<'h, S: ReservationSet<'h>> Reservation<'h, S> {
+    /// Guards the reservation with a wait condition: the body runs only once
+    /// the condition holds, under the same reservation that observed it.
+    /// Between failed attempts the reservation is released so other clients
+    /// can make the condition true.
+    pub fn when<C: WaitCondition<'h, S>>(self, condition: C) -> GuardedReservation<'h, S, C> {
+        GuardedReservation {
+            set: self.set,
+            condition,
+            config: WaitConfig::default(),
+            _handlers: PhantomData,
+        }
+    }
+
+    /// Reserves the set and runs `body` with the reservation guards.
+    pub fn run<R>(self, body: impl FnOnce(&mut S::Guards) -> R) -> R {
+        let mut guards = self.set.begin();
+        body(&mut guards)
+        // Dropping the guards ends the block (END rule) for every handler.
+    }
+}
+
+impl<'h, S: ReservationSet<'h>, C> GuardedReservation<'h, S, C> {
+    /// Sets the retry/timeout policy for the wait condition; see
+    /// [`WaitConfig`].  Without this, the reservation retries forever (the
+    /// SCOOP semantics).
+    pub fn timeout(mut self, config: WaitConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+impl<'h, S: ReservationSet<'h>, C: WaitCondition<'h, S>> GuardedReservation<'h, S, C> {
+    /// Runs `body` once the wait condition holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bounded [`timeout`](Reservation::timeout) policy is exhausted;
+    /// use [`try_run`](Reservation::try_run) to handle that case.
+    pub fn run<R>(self, body: impl FnOnce(&mut S::Guards) -> R) -> R {
+        match self.try_run(body) {
+            Ok(result) => result,
+            Err(timeout) => panic!("reservation wait condition timed out: {timeout}"),
+        }
+    }
+
+    /// Runs `body` once the wait condition holds, giving up according to the
+    /// configured [`timeout`](Reservation::timeout) policy.
+    pub fn try_run<R>(self, body: impl FnOnce(&mut S::Guards) -> R) -> Result<R, WaitTimeout> {
+        let stats = self.set.shared_stats();
+        let mut body = Some(body);
+        let mut attempts = 0usize;
+        let started = Instant::now();
+        let backoff = Backoff::new();
+        loop {
+            attempts += 1;
+            if let Some(stats) = &stats {
+                RuntimeStats::bump(&stats.wait_condition_checks);
+            }
+            {
+                let mut guards = self.set.begin();
+                if self.condition.holds(&mut guards) {
+                    // The condition holds and the reservation stays open, so
+                    // no other client can invalidate it before the body has
+                    // run (§2.2 guarantee 2).
+                    let body = body.take().expect("body consumed once");
+                    return Ok(body(&mut guards));
+                }
+                // Release the reservation (guards drop here) so other
+                // clients can make the condition true.
+            }
+            if let Some(stats) = &stats {
+                RuntimeStats::bump(&stats.wait_condition_retries);
+            }
+            if let Some(limit) = self.config.max_retries {
+                if attempts >= limit {
+                    return Err(WaitTimeout { attempts });
+                }
+            }
+            if let Some(max_wait) = self.config.max_wait {
+                if started.elapsed() >= max_wait {
+                    return Err(WaitTimeout { attempts });
+                }
+            }
+            if attempts <= self.config.spin_retries {
+                backoff.spin();
+            } else {
+                std::thread::yield_now();
+                backoff.snooze();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{OptimizationLevel, RuntimeConfig};
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn single_handler_reserve_matches_separate() {
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let cell = rt.spawn_handler(0u32);
+        let doubled = reserve(&cell).run(|guard| {
+            guard.call(|n| *n = 21);
+            guard.query(|n| *n * 2)
+        });
+        assert_eq!(doubled, 42);
+        // Arity 1 must not touch the multi-reservation machinery.
+        assert_eq!(rt.stats_snapshot().multi_reservations, 0);
+        assert_eq!(rt.stats_snapshot().separate_blocks, 1);
+    }
+
+    #[test]
+    fn tuple_reserve_sees_consistent_state() {
+        // Fig. 5: painters colour (x, y) atomically; an observer reserving
+        // both must never see mixed colours.
+        for level in [OptimizationLevel::All, OptimizationLevel::None] {
+            let rt = Runtime::new(level.config());
+            let x = rt.spawn_handler(0u8);
+            let y = rt.spawn_handler(0u8);
+            let mut painters = Vec::new();
+            for colour in [1u8, 2u8] {
+                let x = x.clone();
+                let y = y.clone();
+                painters.push(std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        reserve((&x, &y)).run(|(sx, sy)| {
+                            sx.call(move |v| *v = colour);
+                            sy.call(move |v| *v = colour);
+                        });
+                    }
+                }));
+            }
+            let observer = {
+                let x = x.clone();
+                let y = y.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let (cx, cy) =
+                            reserve((&x, &y)).run(|(sx, sy)| (sx.query(|v| *v), sy.query(|v| *v)));
+                        assert_eq!(cx, cy, "observed mixed colours under {level}");
+                    }
+                })
+            };
+            for painter in painters {
+                painter.join().unwrap();
+            }
+            observer.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn arity_four_tuples_reserve_heterogeneous_handlers() {
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let a = rt.spawn_handler(1u32);
+        let b = rt.spawn_handler(String::new());
+        let c = rt.spawn_handler(Vec::<u8>::new());
+        let d = rt.spawn_handler(0.5f64);
+        reserve((&a, &b, &c, &d)).run(|(sa, sb, sc, sd)| {
+            sa.call(|n| *n += 1);
+            sb.call(|s| s.push('q'));
+            sc.call(|v| v.push(3));
+            sd.call(|f| *f *= 4.0);
+            assert_eq!(sa.query(|n| *n), 2);
+            assert_eq!(sb.query(|s| s.clone()), "q");
+            assert_eq!(sc.query(|v| v.len()), 1);
+            assert_eq!(sd.query(|f| *f), 2.0);
+        });
+        assert_eq!(rt.stats_snapshot().multi_reservations, 1);
+    }
+
+    #[test]
+    fn slice_reserve_handles_empty_single_and_many() {
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let none: Vec<Handler<u64>> = Vec::new();
+        assert_eq!(reserve(&none[..]).run(|guards| guards.len()), 0);
+
+        let one = vec![rt.spawn_handler(5u64)];
+        assert_eq!(reserve(&one).run(|guards| guards[0].query(|v| *v)), 5);
+        // A singleton set takes the lock-free fast path.
+        assert_eq!(rt.stats_snapshot().multi_reservations, 0);
+
+        let handlers: Vec<_> = (0..6).map(|i| rt.spawn_handler(i as u64)).collect();
+        let sum = reserve(&handlers)
+            .run(|guards| guards.iter_mut().map(|g| g.query(|v| *v)).sum::<u64>());
+        assert_eq!(sum, (0..6).sum());
+        assert_eq!(rt.stats_snapshot().multi_reservations, 1);
+    }
+
+    #[test]
+    fn opposite_order_reservations_do_not_deadlock() {
+        for level in [OptimizationLevel::All, OptimizationLevel::None] {
+            let rt = Runtime::new(level.config());
+            let x = rt.spawn_handler(0u64);
+            let y = rt.spawn_handler(0u64);
+            let t1 = {
+                let (x, y) = (x.clone(), y.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        reserve((&x, &y)).run(|(sx, sy)| {
+                            sx.call(|v| *v += 1);
+                            sy.call(|v| *v += 1);
+                        });
+                    }
+                })
+            };
+            let t2 = {
+                let (x, y) = (x.clone(), y.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        reserve((&y, &x)).run(|(sy, sx)| {
+                            sy.call(|v| *v += 1);
+                            sx.call(|v| *v += 1);
+                        });
+                    }
+                })
+            };
+            t1.join().unwrap();
+            t2.join().unwrap();
+            assert_eq!(x.query_detached(|v| *v), 1_000);
+            assert_eq!(y.query_detached(|v| *v), 1_000);
+        }
+    }
+
+    #[test]
+    fn triple_wait_condition_holds_under_the_reservation() {
+        // The arity-3 guarded invariant the old API could not express.
+        for level in [OptimizationLevel::All, OptimizationLevel::None] {
+            let rt = Runtime::new(level.config());
+            let a = rt.spawn_handler(0i64);
+            let b = rt.spawn_handler(0i64);
+            let c = rt.spawn_handler(0i64);
+            let feeder = {
+                let (a, b, c) = (a.clone(), b.clone(), c.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        reserve((&a, &b, &c)).run(|(sa, sb, sc)| {
+                            sa.call(|v| *v += 1);
+                            sb.call(|v| *v += 2);
+                            sc.call(|v| *v += 3);
+                        });
+                    }
+                })
+            };
+            let observed = reserve((&a, &b, &c))
+                .when(|a: &i64, b: &i64, c: &i64| a + b + c >= 60)
+                .run(|(sa, sb, sc)| sa.query(|v| *v) + sb.query(|v| *v) + sc.query(|v| *v));
+            assert_eq!(observed % 6, 0, "level {level}: tuple must be consistent");
+            assert!(observed >= 60);
+            feeder.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn bounded_retries_and_wall_clock_timeouts_fire() {
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let a = rt.spawn_handler(0u32);
+        let b = rt.spawn_handler(0u32);
+        let c = rt.spawn_handler(0u32);
+
+        let by_attempts = reserve((&a, &b, &c))
+            .when(|a: &u32, b: &u32, c: &u32| *a + *b + *c > 0)
+            .timeout(WaitConfig::bounded(4))
+            .try_run(|_| ());
+        assert_eq!(by_attempts, Err(WaitTimeout { attempts: 4 }));
+
+        let by_clock = reserve((&a, &b))
+            .when(|a: &u32, b: &u32| *a + *b > 0)
+            .timeout(WaitConfig::wall_clock(std::time::Duration::from_millis(15)))
+            .try_run(|_| ());
+        assert!(by_clock.is_err(), "wall-clock timeout must fire");
+        assert!(rt.stats_snapshot().wait_condition_retries >= 4);
+    }
+
+    #[test]
+    fn slice_wait_condition_sees_all_objects() {
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let handlers: Vec<_> = (0..4).map(|_| rt.spawn_handler(0u64)).collect();
+        let feeder = {
+            let handlers = handlers.clone();
+            std::thread::spawn(move || {
+                for h in &handlers {
+                    h.call_detached(|v| *v += 1);
+                }
+            })
+        };
+        let total = reserve(&handlers)
+            .when(|objects: &[&u64]| objects.iter().all(|v| **v >= 1))
+            .run(|guards| guards.iter_mut().map(|g| g.query(|v| *v)).sum::<u64>());
+        assert_eq!(total, 4);
+        feeder.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "same handler twice")]
+    fn duplicate_handlers_in_a_set_are_rejected() {
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let x = rt.spawn_handler(0u8);
+        reserve((&x, &x)).run(|_| ());
+    }
+
+    #[test]
+    fn handlers_from_different_runtimes_can_share_a_set() {
+        // Handler ids are per-runtime, so `a` and `b` both carry id 1; the
+        // lock order falls back to the core address and the distinct
+        // handlers must not be mistaken for duplicates.
+        for level in [OptimizationLevel::All, OptimizationLevel::None] {
+            let rt1 = Runtime::new(level.config());
+            let rt2 = Runtime::new(level.config());
+            let a = rt1.spawn_handler(0u64);
+            let b = rt2.spawn_handler(0u64);
+            assert_eq!(a.id(), b.id(), "precondition: per-runtime ids collide");
+            let t1 = {
+                let (a, b) = (a.clone(), b.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        reserve((&a, &b)).run(|(sa, sb)| {
+                            sa.call(|v| *v += 1);
+                            sb.call(|v| *v += 1);
+                        });
+                    }
+                })
+            };
+            let t2 = {
+                let (a, b) = (a.clone(), b.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        reserve((&b, &a)).run(|(sb, sa)| {
+                            sb.call(|v| *v += 1);
+                            sa.call(|v| *v += 1);
+                        });
+                    }
+                })
+            };
+            t1.join().unwrap();
+            t2.join().unwrap();
+            assert_eq!(a.query_detached(|v| *v), 400, "level {level}");
+            assert_eq!(b.query_detached(|v| *v), 400, "level {level}");
+        }
+    }
+
+    #[test]
+    fn reservation_released_between_retries_lets_others_progress() {
+        // If the waiter held its reservation while waiting this would
+        // deadlock — completion is evidence the reservation is released
+        // between attempts.
+        let rt = Runtime::new(RuntimeConfig::all_optimizations());
+        let flag = rt.spawn_handler(false);
+        let other = rt.spawn_handler(0u8);
+        let helper = {
+            let flag = flag.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                flag.call_detached(|f| *f = true);
+            })
+        };
+        let observed = reserve((&flag, &other))
+            .when(|f: &bool, _: &u8| *f)
+            .run(|(sf, _)| sf.query(|f| *f));
+        assert!(observed);
+        helper.join().unwrap();
+    }
+}

@@ -34,11 +34,11 @@ impl Drop for RuntimeInner {
 /// `Runtime` is cheap and yields a handle to the same instance.
 ///
 /// ```
-/// use qs_runtime::{Runtime, OptimizationLevel};
+/// use qs_runtime::{reserve, Runtime, OptimizationLevel};
 ///
 /// let rt = Runtime::with_level(OptimizationLevel::All);
 /// let account = rt.spawn_handler(100i64);
-/// account.separate(|acc| {
+/// reserve(&account).run(|acc| {
 ///     acc.call(|balance| *balance -= 30);
 ///     assert_eq!(acc.query(|balance| *balance), 70);
 /// });

@@ -43,16 +43,33 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
     pub(crate) fn begin_single(core: &'a Arc<HandlerCore<T>>) -> Self {
         RuntimeStats::bump(&core.stats.separate_blocks);
         if core.config.queue_of_queues {
-            // SEPARATE rule: enqueue a fresh private queue on the handler's
-            // queue-of-queues.  Lock-free; never blocks on other clients.
+            Self::attach(core, None)
+        } else {
+            // Pre-Qs semantics: take the handler lock for the whole block.
+            let guard = core.client_lock.lock();
+            Self::attach(core, Some(guard))
+        }
+    }
+
+    /// Registers this client with one handler and returns the guard.
+    ///
+    /// On the queue-of-queues path (no `lock_guard`), this is the SEPARATE
+    /// rule: enqueue a fresh private queue on the handler's queue-of-queues —
+    /// lock-free, never blocks on other clients.  On the lock-based path the
+    /// caller has already acquired the handler lock (directly, or through the
+    /// id-ordered multi-reservation protocol in [`crate::reserve`]) and the
+    /// guard simply carries it for the duration of the block.
+    pub(crate) fn attach(
+        core: &'a Arc<HandlerCore<T>>,
+        lock_guard: Option<parking_lot::MutexGuard<'a, ()>>,
+    ) -> Self {
+        if lock_guard.is_none() && core.config.queue_of_queues {
             let (producer, consumer) = spsc_channel();
             core.qoq.enqueue(consumer);
             RuntimeStats::bump(&core.stats.private_queues_enqueued);
             Self::from_parts(core, Some(producer), None)
         } else {
-            // Pre-Qs semantics: take the handler lock for the whole block.
-            let guard = core.client_lock.lock();
-            Self::from_parts(core, None, Some(guard))
+            Self::from_parts(core, None, lock_guard)
         }
     }
 
@@ -125,15 +142,13 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
     /// Ensures the handler has drained this block's requests, eliding the
     /// round-trip when the runtime can prove it redundant.
     fn ensure_synced(&mut self) {
-        if self.synced {
-            if self.core.config.dynamic_sync_coalescing {
-                RuntimeStats::bump(&self.core.stats.syncs_elided);
-                return;
-            }
-            // Without coalescing the runtime does not exploit the knowledge
-            // that we are synced; it pays the round trip again (this is the
-            // behaviour of the None/QoQ configurations in §4).
+        if self.synced && self.core.config.dynamic_sync_coalescing {
+            RuntimeStats::bump(&self.core.stats.syncs_elided);
+            return;
         }
+        // Without coalescing the runtime does not exploit the knowledge
+        // that we are synced; it pays the round trip again (this is the
+        // behaviour of the None/QoQ configurations in §4).
         self.force_sync();
     }
 
@@ -193,6 +208,71 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
         f(object)
     }
 
+    /// Reads the handler-owned object directly, without logging a request.
+    ///
+    /// Used by the wait-condition machinery in [`crate::reserve`]: after an
+    /// explicit [`sync`](Separate::sync) the handler is parked on this
+    /// client's queue, so the read is race-free.  Unlike
+    /// [`query_unsynced`](Separate::query_unsynced) this does not count as a
+    /// query in the statistics — condition evaluations are tracked separately
+    /// via `wait_condition_checks`.
+    pub(crate) fn peek_synced(&self) -> &T {
+        debug_assert!(
+            self.synced,
+            "peek_synced called while not synced; the reservation protocol \
+             must sync before evaluating a wait condition"
+        );
+        // SAFETY: as in `query` — after the sync the handler is parked and
+        // cannot touch the object, and the returned borrow keeps `self`
+        // borrowed so no new request can be logged while it is alive.
+        unsafe { self.core.object_mut() }
+    }
+
+    /// Logs an asynchronous (pipelined) query and returns immediately.
+    ///
+    /// The closure runs on the handler, after every previously logged request
+    /// from this block, and its result is deposited in the returned
+    /// [`QueryToken`].  Unlike [`query`](Separate::query), the client does
+    /// not block: it can log further calls, issue more asynchronous queries —
+    /// including on *other* handlers, overlapping N round-trips that
+    /// [`query`](Separate::query) would serialise — and collect the results
+    /// later with [`QueryToken::wait`] or [`QueryToken::try_take`].
+    ///
+    /// This generalises the §3.2 direct-handoff path: the handoff is still
+    /// one-to-one between the handler and this client, but the rendezvous is
+    /// deferred to the token instead of being taken immediately.
+    ///
+    /// ```
+    /// use qs_runtime::{Runtime, RuntimeConfig};
+    ///
+    /// let rt = Runtime::new(RuntimeConfig::all_optimizations());
+    /// let a = rt.spawn_handler(2u64);
+    /// let b = rt.spawn_handler(3u64);
+    /// let (ta, tb) = qs_runtime::reserve((&a, &b)).run(|(sa, sb)| {
+    ///     // Both queries are in flight before either result is awaited.
+    ///     (sa.query_async(|v| *v * 10), sb.query_async(|v| *v * 10))
+    /// });
+    /// assert_eq!(ta.wait() + tb.wait(), 50);
+    /// ```
+    pub fn query_async<R: Send + 'static>(
+        &mut self,
+        f: impl FnOnce(&mut T) -> R + Send + 'static,
+    ) -> QueryToken<R> {
+        assert!(!self.ended, "query after the separate block ended");
+        RuntimeStats::bump(&self.core.stats.queries_pipelined);
+        let handoff: Arc<Handoff<R>> = Arc::new(Handoff::new());
+        let completion = Arc::clone(&handoff);
+        self.enqueue(Request::Query(Box::new(move |object: &mut T| {
+            completion.complete(f(object));
+        })));
+        // The handler now has pending work from this block again.
+        self.synced = false;
+        QueryToken {
+            handoff,
+            taken: false,
+        }
+    }
+
     /// Ends the separate block, releasing the handler for other clients.
     ///
     /// Called automatically when the guard is dropped; calling it twice is
@@ -224,6 +304,58 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
 impl<T: Send + 'static> Drop for Separate<'_, T> {
     fn drop(&mut self) {
         self.end();
+    }
+}
+
+/// Handle to the pending result of a [`Separate::query_async`] call.
+///
+/// The token is independent of the separate block that created it: the
+/// result may be collected inside the block, after it ended, or from a
+/// different point in the client's control flow.  Dropping an unconsumed
+/// token is fine — the deposited result is released when the token and the
+/// handler are done with it.
+#[must_use = "a pipelined query's result is lost unless the token is waited on"]
+pub struct QueryToken<R: Send + 'static> {
+    handoff: Arc<Handoff<R>>,
+    taken: bool,
+}
+
+impl<R: Send + 'static> QueryToken<R> {
+    /// Blocks until the handler has executed the query and returns its
+    /// result (the deferred half of the §3.2 direct handoff).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was already collected with
+    /// [`try_take`](QueryToken::try_take).
+    pub fn wait(self) -> R {
+        assert!(!self.taken, "query result already taken");
+        self.handoff.wait()
+    }
+
+    /// Returns the result if the handler has already deposited it, without
+    /// blocking.  Returns `None` while the query is still in flight and
+    /// after the result has been taken.
+    pub fn try_take(&mut self) -> Option<R> {
+        if !self.taken && self.handoff.is_ready() {
+            self.taken = true;
+            Some(self.handoff.wait())
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` once the result is available.
+    pub fn is_ready(&self) -> bool {
+        self.handoff.is_ready()
+    }
+}
+
+impl<R: Send + 'static> std::fmt::Debug for QueryToken<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryToken")
+            .field("ready", &self.is_ready())
+            .finish()
     }
 }
 
@@ -290,7 +422,10 @@ mod tests {
     fn explicit_sync_plus_unsynced_queries() {
         // The shape the static pass produces for Fig. 14: one sync hoisted
         // out of the loop, unsynced reads inside it.
-        let handler = spawn(OptimizationLevel::Static.config(), (0..64).collect::<Vec<u32>>());
+        let handler = spawn(
+            OptimizationLevel::Static.config(),
+            (0..64).collect::<Vec<u32>>(),
+        );
         let total = handler.separate(|s| {
             s.sync();
             let mut total = 0u32;
@@ -348,6 +483,56 @@ mod tests {
         let first_owner = log[0].0;
         let first_block: Vec<_> = log.iter().take_while(|(o, _)| *o == first_owner).collect();
         assert_eq!(first_block.len(), 1_000, "blocks interleaved");
+    }
+
+    #[test]
+    fn query_async_pipelines_and_orders_with_calls() {
+        for level in [OptimizationLevel::All, OptimizationLevel::None] {
+            let handler = spawn(level.config(), 0u64);
+            let (first, second) = handler.separate(|s| {
+                s.call(|n| *n = 10);
+                let first = s.query_async(|n| *n);
+                s.call(|n| *n += 5);
+                let second = s.query_async(|n| *n);
+                (first, second)
+            });
+            // Tokens remain valid after the block has ended.
+            assert_eq!(first.wait(), 10, "level {level:?}");
+            assert_eq!(second.wait(), 15, "level {level:?}");
+            let snap = handler.stats().snapshot();
+            assert_eq!(snap.queries_pipelined, 2);
+            handler.stop();
+        }
+    }
+
+    #[test]
+    fn query_async_try_take_yields_exactly_once() {
+        let handler = spawn(RuntimeConfig::all_optimizations(), 7u32);
+        let mut token = handler.separate(|s| s.query_async(|n| *n));
+        // Spin until the handler has deposited the result.
+        let value = loop {
+            if let Some(value) = token.try_take() {
+                break value;
+            }
+            std::hint::spin_loop();
+        };
+        assert_eq!(value, 7);
+        assert!(token.try_take().is_none(), "result is taken at most once");
+        handler.stop();
+    }
+
+    #[test]
+    fn query_async_invalidates_the_synced_flag() {
+        let handler = spawn(RuntimeConfig::all_optimizations(), 1u32);
+        handler.separate(|s| {
+            s.sync();
+            assert!(s.is_synced());
+            let token = s.query_async(|n| *n);
+            assert!(!s.is_synced(), "a pipelined query is pending work");
+            assert_eq!(token.wait(), 1);
+            assert_eq!(s.query(|n| *n), 1);
+        });
+        handler.stop();
     }
 
     #[test]

@@ -18,6 +18,8 @@ pub struct RuntimeStats {
     pub queries_client_executed: AtomicU64,
     /// Queries packaged, sent to and executed by the handler.
     pub queries_handler_executed: AtomicU64,
+    /// Asynchronous (pipelined) queries logged via `query_async`.
+    pub queries_pipelined: AtomicU64,
     /// Sync round-trips actually performed (client blocked on the handler).
     pub syncs_performed: AtomicU64,
     /// Sync operations elided by dynamic or static coalescing.
@@ -60,6 +62,7 @@ impl RuntimeStats {
             calls_enqueued: self.calls_enqueued.load(Ordering::Relaxed),
             queries_client_executed: self.queries_client_executed.load(Ordering::Relaxed),
             queries_handler_executed: self.queries_handler_executed.load(Ordering::Relaxed),
+            queries_pipelined: self.queries_pipelined.load(Ordering::Relaxed),
             syncs_performed: self.syncs_performed.load(Ordering::Relaxed),
             syncs_elided: self.syncs_elided.load(Ordering::Relaxed),
             separate_blocks: self.separate_blocks.load(Ordering::Relaxed),
@@ -84,6 +87,8 @@ pub struct StatsSnapshot {
     pub queries_client_executed: u64,
     /// Queries executed handler-side.
     pub queries_handler_executed: u64,
+    /// Pipelined queries logged without blocking (`query_async`).
+    pub queries_pipelined: u64,
     /// Sync round-trips performed.
     pub syncs_performed: u64,
     /// Syncs elided by coalescing.
@@ -111,7 +116,7 @@ pub struct StatsSnapshot {
 impl StatsSnapshot {
     /// Total number of queries, independent of where they executed.
     pub fn total_queries(&self) -> u64 {
-        self.queries_client_executed + self.queries_handler_executed
+        self.queries_client_executed + self.queries_handler_executed + self.queries_pipelined
     }
 
     /// Fraction of sync operations that were elided (0.0 if none occurred).
@@ -134,6 +139,9 @@ impl StatsSnapshot {
             queries_handler_executed: self
                 .queries_handler_executed
                 .saturating_sub(earlier.queries_handler_executed),
+            queries_pipelined: self
+                .queries_pipelined
+                .saturating_sub(earlier.queries_pipelined),
             syncs_performed: self.syncs_performed.saturating_sub(earlier.syncs_performed),
             syncs_elided: self.syncs_elided.saturating_sub(earlier.syncs_elided),
             separate_blocks: self.separate_blocks.saturating_sub(earlier.separate_blocks),
@@ -143,7 +151,9 @@ impl StatsSnapshot {
             private_queues_enqueued: self
                 .private_queues_enqueued
                 .saturating_sub(earlier.private_queues_enqueued),
-            handlers_spawned: self.handlers_spawned.saturating_sub(earlier.handlers_spawned),
+            handlers_spawned: self
+                .handlers_spawned
+                .saturating_sub(earlier.handlers_spawned),
             call_panics: self.call_panics.saturating_sub(earlier.call_panics),
             wait_condition_checks: self
                 .wait_condition_checks

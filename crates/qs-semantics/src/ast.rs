@@ -7,7 +7,6 @@
 //! `separate`, `call` and `query` model program instructions; `wait`,
 //! `release`, `end` and `skip` only arise at runtime.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Name of a handler (processor).  Handlers are identified by small strings
@@ -18,7 +17,7 @@ pub type HandlerName = String;
 pub type Method = String;
 
 /// A statement of the execution model.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Stmt {
     /// `separate X s`: reserve every handler in `X`, run the body, then send
     /// each of them `end` (the generalised rule of §2.4; a single-element `X`
@@ -104,7 +103,12 @@ impl fmt::Display for Stmt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Stmt::Separate { targets, body } => {
-                write!(f, "separate {} do {} stmt(s) end", targets.join(" "), body.len())
+                write!(
+                    f,
+                    "separate {} do {} stmt(s) end",
+                    targets.join(" "),
+                    body.len()
+                )
             }
             Stmt::Call { target, method } => write!(f, "call({target}, {method})"),
             Stmt::Query { target, method } => write!(f, "query({target}, {method})"),
@@ -118,7 +122,7 @@ impl fmt::Display for Stmt {
 }
 
 /// A named program: the statement list a handler starts with.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Program {
     /// Handler executing this program.
     pub handler: HandlerName,

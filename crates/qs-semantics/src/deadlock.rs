@@ -35,7 +35,10 @@ pub fn wait_for_graph(config: &Configuration) -> HandlerGraph {
     let mut graph: HandlerGraph = BTreeMap::new();
     for (name, handler) in &config.handlers {
         if let Some(Stmt::Wait(target)) = handler.program.front() {
-            graph.entry(name.clone()).or_default().insert(target.clone());
+            graph
+                .entry(name.clone())
+                .or_default()
+                .insert(target.clone());
         }
     }
     graph
@@ -194,7 +197,10 @@ fn walk(
                 for outer in held.iter().flatten() {
                     for inner in targets {
                         if outer != inner {
-                            order.entry(outer.clone()).or_default().insert(inner.clone());
+                            order
+                                .entry(outer.clone())
+                                .or_default()
+                                .insert(inner.clone());
                         }
                     }
                 }
@@ -234,7 +240,10 @@ mod tests {
         assert_eq!(find_cycle(&graph), None);
         graph.entry("c".into()).or_default().insert("a".into());
         let cycle = find_cycle(&graph).expect("cycle exists");
-        assert_eq!(cycle, vec!["a".to_string(), "b".to_string(), "c".to_string()]);
+        assert_eq!(
+            cycle,
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+        );
     }
 
     #[test]
@@ -255,7 +264,10 @@ mod tests {
 
         // Cross-check dynamically: exhaustive exploration finds no deadlock.
         let report = explore_all(fig6_program(false), 200_000, 300, 16);
-        assert!(report.deadlock_free(), "Fig. 6 must be deadlock-free under Qs");
+        assert!(
+            report.deadlock_free(),
+            "Fig. 6 must be deadlock-free under Qs"
+        );
         assert!(report.finished_runs > 0);
     }
 
@@ -268,7 +280,10 @@ mod tests {
 
         // Dynamically, at least one schedule deadlocks.
         let report = explore_all(programs, 500_000, 300, 16);
-        assert!(!report.deadlock_free(), "expected at least one deadlocking schedule");
+        assert!(
+            !report.deadlock_free(),
+            "expected at least one deadlocking schedule"
+        );
     }
 
     #[test]
@@ -291,7 +306,10 @@ mod tests {
             Program::passive("x"),
             Program::new(
                 "c",
-                vec![Stmt::separate("x", vec![Stmt::call("x", "f"), Stmt::query("x", "g")])],
+                vec![Stmt::separate(
+                    "x",
+                    vec![Stmt::call("x", "f"), Stmt::query("x", "g")],
+                )],
             ),
         ];
         let assessment = assess_reservation_order(&programs);
@@ -334,7 +352,10 @@ mod tests {
         assert!(assessment.qs_deadlock_possible());
         assert_eq!(assessment.nested_blocking_clients.len(), 2);
         let report = explore_all(programs, 500_000, 300, 16);
-        assert!(!report.deadlock_free(), "registration-order inversion deadlock exists");
+        assert!(
+            !report.deadlock_free(),
+            "registration-order inversion deadlock exists"
+        );
     }
 
     #[test]

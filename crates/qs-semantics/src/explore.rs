@@ -9,9 +9,6 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::ast::Program;
 use crate::machine::{Configuration, StepResult, Transition};
 use crate::trace::Trace;
@@ -45,23 +42,34 @@ impl Scheduler for FirstEnabled {
 }
 
 /// Picks uniformly at random with a fixed seed (reproducible).
+///
+/// Uses a local SplitMix64 generator so the crate needs no external RNG
+/// dependency; the stream is a pure function of the seed.
 #[derive(Debug, Clone)]
 pub struct SeededRandom {
-    rng: StdRng,
+    state: u64,
 }
 
 impl SeededRandom {
     /// Creates a scheduler seeded with `seed`.
     pub fn new(seed: u64) -> Self {
         SeededRandom {
-            rng: StdRng::seed_from_u64(seed),
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
         }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 }
 
 impl Scheduler for SeededRandom {
     fn choose(&mut self, enabled: &[Transition]) -> usize {
-        self.rng.gen_range(0..enabled.len())
+        (self.next_u64() % enabled.len().max(1) as u64) as usize
     }
 }
 
@@ -230,7 +238,11 @@ mod tests {
             let on_x = trace.executed_on("x");
             let on_y = trace.executed_on("y");
             // Whoever wrote x last also wrote y last: the final colours agree.
-            assert_eq!(on_x.last(), on_y.last(), "mixed colours: {on_x:?} vs {on_y:?}");
+            assert_eq!(
+                on_x.last(),
+                on_y.last(),
+                "mixed colours: {on_x:?} vs {on_y:?}"
+            );
         }
     }
 

@@ -37,10 +37,10 @@ pub use deadlock::{
     assess_reservation_order, find_cycle, is_deadlocked_now, wait_for_graph, DeadlockAssessment,
     HandlerGraph,
 };
+pub use explore::{explore_all, random_run, ExplorationReport, RunOutcome, Scheduler};
+pub use machine::{Configuration, HandlerState, StepResult};
 pub use refine::{
     check_handler_log, uniform_expectation, AppliedCall, BlockId, ClientId, ConformanceReport,
     Violation,
 };
-pub use explore::{explore_all, random_run, ExplorationReport, RunOutcome, Scheduler};
-pub use machine::{Configuration, HandlerState, StepResult};
 pub use trace::{Event, Trace};

@@ -334,7 +334,10 @@ impl Configuration {
                 // the request queue.
                 let handler = self.handlers.get_mut(name).expect("handler exists");
                 let (client, private) = handler.queue.remove(0);
-                assert!(private.is_empty(), "end rule requires an empty private queue");
+                assert!(
+                    private.is_empty(),
+                    "end rule requires an empty private queue"
+                );
                 vec![Event::QueueRetired {
                     handler: name.to_string(),
                     client,

@@ -213,7 +213,9 @@ mod tests {
     use super::*;
 
     fn block(client: ClientId, blk: BlockId, n: u64) -> Vec<AppliedCall> {
-        (0..n).map(|seq| AppliedCall::new(client, blk, seq)).collect()
+        (0..n)
+            .map(|seq| AppliedCall::new(client, blk, seq))
+            .collect()
     }
 
     #[test]
@@ -233,7 +235,14 @@ mod tests {
         log.swap(1, 2);
         let report = check_handler_log(&log, None);
         assert!(!report.conforms());
-        assert!(matches!(report.violations[0], Violation::OrderBroken { client: 1, block: 0, .. }));
+        assert!(matches!(
+            report.violations[0],
+            Violation::OrderBroken {
+                client: 1,
+                block: 0,
+                ..
+            }
+        ));
         assert!(report.violations[0].to_string().contains("out of order"));
     }
 
@@ -246,10 +255,14 @@ mod tests {
             AppliedCall::new(1, 0, 1),
         ];
         let report = check_handler_log(&log, None);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::BlockInterleaved { client: 1, intruder: 2, .. })));
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::BlockInterleaved {
+                client: 1,
+                intruder: 2,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -258,10 +271,14 @@ mod tests {
         let log = block(1, 0, 4);
         let expected = BTreeMap::from([((1, 0), 5)]);
         let report = check_handler_log(&log, Some(&expected));
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::WrongCallCount { expected: 5, found: 4, .. })));
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::WrongCallCount {
+                expected: 5,
+                found: 4,
+                ..
+            }
+        )));
 
         // Duplicated: the repeated sequence number also breaks ordering.
         let mut log = block(1, 0, 3);
@@ -274,7 +291,10 @@ mod tests {
     fn gaps_in_sequence_numbers_break_order() {
         let log = vec![AppliedCall::new(1, 0, 0), AppliedCall::new(1, 0, 2)];
         let report = check_handler_log(&log, None);
-        assert!(matches!(report.violations[0], Violation::OrderBroken { .. }));
+        assert!(matches!(
+            report.violations[0],
+            Violation::OrderBroken { .. }
+        ));
     }
 
     #[test]

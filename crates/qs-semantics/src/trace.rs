@@ -131,7 +131,9 @@ impl Trace {
         for event in &self.events {
             if let Event::Reserved { client, handlers } = event {
                 if handlers.iter().any(|h| h == handler) {
-                    *reservations_per_client.entry(client.clone()).or_insert(0usize) += 1;
+                    *reservations_per_client
+                        .entry(client.clone())
+                        .or_insert(0usize) += 1;
                 }
             }
         }
@@ -145,9 +147,9 @@ impl Trace {
             }
         }
         let _ = retired;
-        blocks_per_client
-            .iter()
-            .all(|(client, blocks)| *blocks <= reservations_per_client.get(client).copied().unwrap_or(0))
+        blocks_per_client.iter().all(|(client, blocks)| {
+            *blocks <= reservations_per_client.get(client).copied().unwrap_or(0)
+        })
     }
 
     /// Checks that `earlier` was executed before `later` on `handler`.

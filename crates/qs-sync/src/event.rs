@@ -119,7 +119,10 @@ impl Event {
                     // reset), re-register; otherwise just park again.
                     _ => {
                         let waiters = self.waiters.lock().unwrap();
-                        if !waiters.iter().any(|t| t.id() == std::thread::current().id()) {
+                        if !waiters
+                            .iter()
+                            .any(|t| t.id() == std::thread::current().id())
+                        {
                             break;
                         }
                     }

@@ -477,11 +477,7 @@ fn prodcons_actor(p: &ConcurrentParams) {
         let consumers: Vec<_> = (0..p.n)
             .map(|_| {
                 let queue = actor.reference();
-                scope.spawn(move || {
-                    (0..p.m)
-                        .map(|_| call_actor(&queue, Msg::Pop))
-                        .sum::<u64>()
-                })
+                scope.spawn(move || (0..p.m).map(|_| call_actor(&queue, Msg::Pop)).sum::<u64>())
             })
             .collect();
         consumers.into_iter().map(|c| c.join().unwrap()).sum()
@@ -540,14 +536,16 @@ fn condition_shared(p: &ConcurrentParams) {
             let parity = (worker % 2) as u64;
             let counter = Arc::clone(&counter);
             scope.spawn(move || loop {
-                let value = counter
-                    .wait_and_update(|v| v >= target || v % 2 == parity, |v| {
+                let value = counter.wait_and_update(
+                    |v| v >= target || v % 2 == parity,
+                    |v| {
                         if v >= target {
                             v
                         } else {
                             v + 1
                         }
-                    });
+                    },
+                );
                 if value >= target {
                     break;
                 }
@@ -997,8 +995,7 @@ fn chameneos_shared(p: &ConcurrentParams) {
 fn chameneos_stm(p: &ConcurrentParams) {
     let remaining = TVar::new(p.nc);
     let waiting: TVar<Option<(usize, Colour)>> = TVar::new(None);
-    let mailbox: Vec<TVar<Option<Colour>>> =
-        CREATURES.iter().map(|_| TVar::new(None)).collect();
+    let mailbox: Vec<TVar<Option<Colour>>> = CREATURES.iter().map(|_| TVar::new(None)).collect();
     let meetings: usize = std::thread::scope(|scope| {
         let handles: Vec<_> = CREATURES
             .iter()

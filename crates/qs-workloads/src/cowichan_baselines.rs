@@ -35,12 +35,17 @@ fn shared_randmat(pool: &ThreadPool, params: &CowichanParams) -> IntMatrix {
     let nr = params.nr;
     let mut matrix = Matrix::<u32>::zeroed(nr, nr);
     let seed = params.seed;
-    qs_exec::parallel_chunks(pool, &mut matrix.data, params.threads, |_, offset, chunk| {
-        for (k, cell) in chunk.iter_mut().enumerate() {
-            let index = offset + k;
-            *cell = rand_cell(seed, index / nr, index % nr);
-        }
-    });
+    qs_exec::parallel_chunks(
+        pool,
+        &mut matrix.data,
+        params.threads,
+        |_, offset, chunk| {
+            for (k, cell) in chunk.iter_mut().enumerate() {
+                let index = offset + k;
+                *cell = rand_cell(seed, index / nr, index % nr);
+            }
+        },
+    );
     matrix
 }
 
@@ -98,8 +103,10 @@ fn shared_winnow(
     mask: &Matrix<bool>,
 ) -> Vec<Point> {
     let parts = ranges(matrix.rows, params.threads);
-    let collected: Vec<std::sync::Mutex<Vec<(u32, usize, usize)>>> =
-        parts.iter().map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    let collected: Vec<std::sync::Mutex<Vec<(u32, usize, usize)>>> = parts
+        .iter()
+        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .collect();
     let parts_ref = &parts;
     let collected_ref = &collected;
     parallel_for(pool, parts.len(), parts.len(), |range| {
@@ -124,7 +131,11 @@ fn shared_winnow(
     seq::select_evenly(&all, params.nw)
 }
 
-fn shared_outer(pool: &ThreadPool, params: &CowichanParams, points: &[Point]) -> (Matrix<f64>, Vec<f64>) {
+fn shared_outer(
+    pool: &ThreadPool,
+    params: &CowichanParams,
+    points: &[Point],
+) -> (Matrix<f64>, Vec<f64>) {
     let n = points.len();
     let mut matrix = Matrix::<f64>::zeroed(n, n);
     let mut vector = vec![0.0f64; n];
@@ -178,7 +189,9 @@ pub fn run_shared(task: ParallelTask, params: &CowichanParams) -> TimedRun {
     verify(task, params, |stage| match stage {
         Stage::Randmat => StageOutput::Int(shared_randmat(&pool, params)),
         Stage::Thresh(matrix) => StageOutput::Mask(shared_thresh(&pool, params, matrix)),
-        Stage::Winnow(matrix, mask) => StageOutput::Points(shared_winnow(&pool, params, matrix, mask)),
+        Stage::Winnow(matrix, mask) => {
+            StageOutput::Points(shared_winnow(&pool, params, matrix, mask))
+        }
         Stage::Outer(points) => {
             let (m, v) = shared_outer(&pool, params, points);
             StageOutput::Outer(m, v)
@@ -218,7 +231,9 @@ fn channel_stage(params: &CowichanParams, stage: Stage<'_>) -> StageOutput {
                     let seed = params.seed;
                     scope.spawn(move || {
                         let rows: Vec<(usize, Vec<u32>)> = range
-                            .map(|row| (row, (0..nr).map(|col| rand_cell(seed, row, col)).collect()))
+                            .map(|row| {
+                                (row, (0..nr).map(|col| rand_cell(seed, row, col)).collect())
+                            })
                             .collect();
                         tx.send(rows).unwrap();
                     });
@@ -241,7 +256,12 @@ fn channel_stage(params: &CowichanParams, stage: Stage<'_>) -> StageOutput {
                     let tx = tx.clone();
                     scope.spawn(move || {
                         let rows: Vec<(usize, Vec<bool>)> = range
-                            .map(|row| (row, matrix.row(row).iter().map(|&v| v >= threshold).collect()))
+                            .map(|row| {
+                                (
+                                    row,
+                                    matrix.row(row).iter().map(|&v| v >= threshold).collect(),
+                                )
+                            })
                             .collect();
                         tx.send(rows).unwrap();
                     });
@@ -366,7 +386,10 @@ pub fn run_actor(task: ParallelTask, params: &CowichanParams) -> TimedRun {
         communicate += stage_communicate;
         output
     });
-    TimedRun { compute, communicate }
+    TimedRun {
+        compute,
+        communicate,
+    }
 }
 
 /// One actor-based map over row ranges: each worker actor receives a copied
@@ -399,11 +422,13 @@ fn actor_map<R: Clone + Send + 'static>(
     let communicate_distribution = distribution_start.elapsed();
 
     let compute_start = Instant::now();
-    let results: Vec<R> = (0..workers.len()).map(|_| result_rx.recv().unwrap()).collect();
+    let results: Vec<R> = (0..workers.len())
+        .map(|_| result_rx.recv().unwrap())
+        .collect();
     let compute = compute_start.elapsed();
     let collection_start = Instant::now();
     // "Copy" the results into the client's heap, as Erlang would.
-    let copied: Vec<R> = results.iter().cloned().collect();
+    let copied: Vec<R> = results.to_vec();
     for worker in workers {
         worker.join();
     }
@@ -438,7 +463,13 @@ fn actor_stage(params: &CowichanParams, stage: Stage<'_>) -> (StageOutput, Durat
             let (parts, compute, communicate) = actor_map(params, matrix.rows, move |range| {
                 let start = range.start;
                 let rows: Vec<Vec<bool>> = range
-                    .map(|row| matrix_copy.row(row).iter().map(|&v| v >= threshold).collect())
+                    .map(|row| {
+                        matrix_copy
+                            .row(row)
+                            .iter()
+                            .map(|&v| v >= threshold)
+                            .collect()
+                    })
                     .collect();
                 (start, rows)
             });

@@ -180,7 +180,13 @@ fn randmat(cluster: &Cluster, params: &CowichanParams) -> (IntMatrix, TimedRun) 
         });
     }
     let communicate = communicate_start.elapsed();
-    (matrix, TimedRun { compute, communicate })
+    (
+        matrix,
+        TimedRun {
+            compute,
+            communicate,
+        },
+    )
 }
 
 /// thresh: per-worker histograms, a global threshold, per-worker masks, and a
@@ -254,7 +260,13 @@ fn thresh(cluster: &Cluster, params: &CowichanParams) -> (Matrix<bool>, TimedRun
         });
     }
     communicate += communicate_start.elapsed();
-    (mask, TimedRun { compute, communicate })
+    (
+        mask,
+        TimedRun {
+            compute,
+            communicate,
+        },
+    )
 }
 
 /// winnow: workers sort their local masked candidates; the client pulls and
@@ -296,16 +308,19 @@ fn winnow(cluster: &Cluster, params: &CowichanParams) -> (Vec<Point>, TimedRun) 
     all.sort_unstable();
     let points = seq::select_evenly(&all, params.nw);
     let communicate = thresh_time.communicate + communicate_start.elapsed();
-    (points, TimedRun { compute, communicate })
+    (
+        points,
+        TimedRun {
+            compute,
+            communicate,
+        },
+    )
 }
 
 /// outer: the client pushes the point list to every worker (communication),
 /// workers compute their rows of the distance matrix plus the origin-distance
 /// vector (compute), the client pulls the rows back (communication).
-fn outer_from_points(
-    cluster: &Cluster,
-    points: &[Point],
-) -> (Matrix<f64>, Vec<f64>, TimedRun) {
+fn outer_from_points(cluster: &Cluster, points: &[Point]) -> (Matrix<f64>, Vec<f64>, TimedRun) {
     let n = points.len();
     let ranges = split_ranges(n, cluster.workers.len());
     let mut communicate = Duration::ZERO;
@@ -374,16 +389,19 @@ fn outer_from_points(
         });
     }
     communicate += communicate_start.elapsed();
-    (matrix, vector, TimedRun { compute, communicate })
+    (
+        matrix,
+        vector,
+        TimedRun {
+            compute,
+            communicate,
+        },
+    )
 }
 
 /// product: workers hold their rows of the matrix plus a copy of the vector,
 /// compute the partial products, and the client pulls the result vector.
-fn product_from(
-    cluster: &Cluster,
-    matrix: &Matrix<f64>,
-    vector: &[f64],
-) -> (Vec<f64>, TimedRun) {
+fn product_from(cluster: &Cluster, matrix: &Matrix<f64>, vector: &[f64]) -> (Vec<f64>, TimedRun) {
     let n = matrix.rows;
     let ranges = split_ranges(n, cluster.workers.len());
 
@@ -431,7 +449,13 @@ fn product_from(
         });
     }
     communicate += communicate_start.elapsed();
-    (result, TimedRun { compute, communicate })
+    (
+        result,
+        TimedRun {
+            compute,
+            communicate,
+        },
+    )
 }
 
 /// Runs one Cowichan task under the given optimisation level and verifies the
@@ -441,7 +465,11 @@ pub fn run(task: ParallelTask, level: OptimizationLevel, params: &CowichanParams
     let timing = match task {
         ParallelTask::Randmat => {
             let (matrix, timing) = randmat(&cluster, params);
-            assert_eq!(matrix, seq::randmat(params), "randmat mismatch under {level}");
+            assert_eq!(
+                matrix,
+                seq::randmat(params),
+                "randmat mismatch under {level}"
+            );
             timing
         }
         ParallelTask::Thresh => {

@@ -110,14 +110,7 @@ pub fn distance(a: Point, b: Point) -> f64 {
 /// product: matrix–vector product.
 pub fn product(matrix: &Matrix<f64>, vector: &[f64]) -> Vec<f64> {
     (0..matrix.rows)
-        .map(|row| {
-            matrix
-                .row(row)
-                .iter()
-                .zip(vector)
-                .map(|(m, v)| m * v)
-                .sum()
-        })
+        .map(|row| matrix.row(row).iter().zip(vector).map(|(m, v)| m * v).sum())
         .collect()
 }
 
@@ -186,11 +179,8 @@ mod tests {
         let matrix = randmat(&params());
         let mask = thresh(&matrix, 50);
         assert!(winnow(&matrix, &mask, 0).is_empty());
-        let empty_mask = Matrix::from_data(
-            matrix.rows,
-            matrix.cols,
-            vec![false; matrix.data.len()],
-        );
+        let empty_mask =
+            Matrix::from_data(matrix.rows, matrix.cols, vec![false; matrix.data.len()]);
         assert!(winnow(&matrix, &empty_mask, 5).is_empty());
     }
 

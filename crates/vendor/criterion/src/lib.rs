@@ -1,0 +1,282 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the benchmark files in
+//! this workspace run against this shim.  It keeps the `criterion` surface
+//! the benches use — groups, [`BenchmarkId`], `bench_function` /
+//! `bench_with_input`, [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — and implements a
+//! simple mean-of-samples timer instead of criterion's statistics.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from eliding a value computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id consisting only of a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Types accepted where criterion accepts `impl Into<BenchmarkId>`-style ids.
+pub trait IntoLabel {
+    /// The printable benchmark label.
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoLabel, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        run_benchmark(
+            &label,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            &mut routine,
+        );
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Benchmarks `routine`.
+    pub fn bench_function<F>(&mut self, id: impl IntoLabel, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_benchmark(
+            &label,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            &mut routine,
+        );
+    }
+
+    /// Benchmarks `routine` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl IntoLabel, input: &I, mut routine: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_benchmark(
+            &label,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            &mut |bencher: &mut Bencher| routine(bencher, input),
+        );
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing extra to do).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark routines; runs and times the measured closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly for the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.iterations += 1;
+        self.elapsed += start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(
+    label: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    routine: &mut F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run the routine until the warm-up budget is exhausted.
+    let warm_up_start = Instant::now();
+    while warm_up_start.elapsed() < warm_up {
+        let mut bencher = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        if bencher.iterations == 0 {
+            break;
+        }
+    }
+    // Measurement: keep sampling until the budget or the sample count is hit.
+    let mut total = Duration::ZERO;
+    let mut iterations = 0u64;
+    let measure_start = Instant::now();
+    for _ in 0..sample_size.max(1) {
+        let mut bencher = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        total += bencher.elapsed;
+        iterations += bencher.iterations;
+        if measure_start.elapsed() >= measurement {
+            break;
+        }
+    }
+    if iterations == 0 {
+        println!("{label:<60} (no iterations)");
+        return;
+    }
+    let nanos_per_iter = total.as_nanos() as f64 / iterations as f64;
+    println!(
+        "{label:<60} {:>12.1} ns/iter ({iterations} iters)",
+        nanos_per_iter
+    );
+}
+
+/// Declares a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_function(BenchmarkId::new("sum", 8), |b| {
+            b.iter(|| (0..8u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("sum", "input"), &16u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, tiny_bench);
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+}

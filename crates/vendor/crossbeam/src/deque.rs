@@ -1,0 +1,211 @@
+//! Work-stealing deques (shim over `std::sync`).
+//!
+//! Provides the `crossbeam_deque` types used by the executor crate:
+//! [`Worker`] (owner side), [`Stealer`] (thief side) and the shared
+//! [`Injector`] queue.  The shim serialises each deque behind a mutex — the
+//! *scheduling discipline* (LIFO owner, FIFO thieves) is preserved, which is
+//! what the workloads exercise.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Outcome of a steal attempt.
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.
+    Retry,
+}
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Inner<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The owner side of a work-stealing deque.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    lifo: bool,
+}
+
+impl<T> Worker<T> {
+    /// Creates a deque whose owner pops in LIFO order.
+    pub fn new_lifo() -> Self {
+        Worker {
+            inner: Arc::new(Inner {
+                queue: Mutex::new(VecDeque::new()),
+            }),
+            lifo: true,
+        }
+    }
+
+    /// Creates a deque whose owner pops in FIFO order.
+    pub fn new_fifo() -> Self {
+        Worker {
+            inner: Arc::new(Inner {
+                queue: Mutex::new(VecDeque::new()),
+            }),
+            lifo: false,
+        }
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.inner.lock().push_back(task);
+    }
+
+    /// Pops a task from the owner's end.
+    pub fn pop(&self) -> Option<T> {
+        let mut queue = self.inner.lock();
+        if self.lifo {
+            queue.pop_back()
+        } else {
+            queue.pop_front()
+        }
+    }
+
+    /// Returns `true` if the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Creates a [`Stealer`] for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// The thief side of a work-stealing deque.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task from the opposite (FIFO) end.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Returns `true` if the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+/// A shared FIFO injector queue feeding external submissions into a pool.
+pub struct Injector<T> {
+    inner: Inner<T>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            inner: Inner {
+                queue: Mutex::new(VecDeque::new()),
+            },
+        }
+    }
+
+    /// Pushes a task.
+    pub fn push(&self, task: T) {
+        self.inner.lock().push_back(task);
+    }
+
+    /// Steals one task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a batch of tasks into `worker` and pops one of them.
+    pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
+        let mut queue = self.inner.lock();
+        match queue.pop_front() {
+            Some(first) => {
+                // Move up to half of the remaining tasks over to the worker.
+                let batch = queue.len() / 2;
+                let mut destination = worker.inner.lock();
+                for _ in 0..batch {
+                    if let Some(task) = queue.pop_front() {
+                        destination.push_back(task);
+                    }
+                }
+                Steal::Success(first)
+            }
+            None => Steal::Empty,
+        }
+    }
+
+    /// Returns `true` if the injector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let worker = Worker::new_lifo();
+        let stealer = worker.stealer();
+        worker.push(1);
+        worker.push(2);
+        worker.push(3);
+        assert_eq!(worker.pop(), Some(3));
+        match stealer.steal() {
+            Steal::Success(v) => assert_eq!(v, 1),
+            _ => panic!("expected a stolen task"),
+        }
+        assert_eq!(worker.pop(), Some(2));
+        assert!(worker.is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let injector = Injector::new();
+        injector.push('a');
+        injector.push('b');
+        assert_eq!(injector.len(), 2);
+        match injector.steal() {
+            Steal::Success(v) => assert_eq!(v, 'a'),
+            _ => panic!("expected a stolen task"),
+        }
+        assert!(!injector.is_empty());
+    }
+}

@@ -1,0 +1,13 @@
+//! A minimal, dependency-free stand-in for the `crossbeam` facade crate.
+//!
+//! The build environment has no network access, so the subset of the
+//! `crossbeam` API used by this workspace (multi-producer/multi-consumer
+//! channels and work-stealing deques) is implemented here with `std::sync`
+//! primitives.  It is a functional shim, not a performance-equivalent one:
+//! the baselines built on it remain valid *paradigm* baselines, but absolute
+//! numbers should not be read as crossbeam numbers.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod deque;

@@ -7,7 +7,6 @@
 //! Run with `cargo run --example bank_transfer`.
 
 use scoop_qs::prelude::*;
-use scoop_qs::runtime::separate2;
 
 #[derive(Debug)]
 struct Account {
@@ -17,8 +16,14 @@ struct Account {
 
 fn main() {
     let rt = Runtime::new(RuntimeConfig::all_optimizations());
-    let alice = rt.spawn_handler(Account { owner: "alice", balance: 1_000 });
-    let bob = rt.spawn_handler(Account { owner: "bob", balance: 1_000 });
+    let alice = rt.spawn_handler(Account {
+        owner: "alice",
+        balance: 1_000,
+    });
+    let bob = rt.spawn_handler(Account {
+        owner: "bob",
+        balance: 1_000,
+    });
 
     std::thread::scope(|scope| {
         // Transfer workers move money back and forth.
@@ -30,7 +35,7 @@ fn main() {
                     let amount = (worker as i64 + i) % 17;
                     // Reserving both handlers atomically keeps the invariant
                     // "total balance is constant" observable at all times.
-                    separate2(&alice, &bob, |a, b| {
+                    reserve((&alice, &bob)).run(|(a, b)| {
                         a.call(move |acc| acc.balance -= amount);
                         b.call(move |acc| acc.balance += amount);
                     });
@@ -43,9 +48,8 @@ fn main() {
         let bob_audit = bob.clone();
         scope.spawn(move || {
             for _ in 0..200 {
-                let (a, b) = separate2(&alice_audit, &bob_audit, |a, b| {
-                    (a.query(|acc| acc.balance), b.query(|acc| acc.balance))
-                });
+                let (a, b) = reserve((&alice_audit, &bob_audit))
+                    .run(|(a, b)| (a.query(|acc| acc.balance), b.query(|acc| acc.balance)));
                 assert_eq!(a + b, 2_000, "the auditor saw a torn transfer");
             }
             println!("auditor: invariant held across 200 checks");
@@ -54,7 +58,10 @@ fn main() {
 
     let final_alice = alice.query_detached(|acc| acc.balance);
     let final_bob = bob.query_detached(|acc| acc.balance);
-    println!("alice: {final_alice}, bob: {final_bob}, total: {}", final_alice + final_bob);
+    println!(
+        "alice: {final_alice}, bob: {final_bob}, total: {}",
+        final_alice + final_bob
+    );
     assert_eq!(final_alice + final_bob, 2_000);
 
     for handler in [alice, bob] {

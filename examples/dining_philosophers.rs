@@ -2,8 +2,8 @@
 //! conditions.
 //!
 //! Each fork is a handler-owned object.  A philosopher picks up *both* forks
-//! with one atomic two-handler reservation (`separate2_when`, §2.4/§3.3 of
-//! the paper) guarded by the wait condition "both forks are free", so the
+//! with one atomic two-handler reservation (`reserve((&l, &r)).when(…)`,
+//! §2.4/§3.3 of the paper) guarded by "both forks are free", so the
 //! classic deadlock (everyone holding their left fork) is impossible by
 //! construction, and so is starvation-by-inconsistency: whoever observes the
 //! forks sees a consistent pair (Fig. 5).
@@ -27,7 +27,9 @@ const MEALS_PER_PHILOSOPHER: usize = 20;
 
 fn main() {
     let rt = Runtime::new(RuntimeConfig::all_optimizations());
-    let forks: Vec<Handler<Fork>> = (0..PHILOSOPHERS).map(|_| rt.spawn_handler(Fork::default())).collect();
+    let forks: Vec<Handler<Fork>> = (0..PHILOSOPHERS)
+        .map(|_| rt.spawn_handler(Fork::default()))
+        .collect();
 
     std::thread::scope(|scope| {
         for philosopher in 0..PHILOSOPHERS {
@@ -39,11 +41,9 @@ fn main() {
                     // atomically and eat.  The wait condition and the body run
                     // under the same reservation, so nobody can grab a fork
                     // between the check and the pick-up.
-                    separate2_when(
-                        &left,
-                        &right,
-                        |l: &Fork, r: &Fork| l.held_by.is_none() && r.held_by.is_none(),
-                        |l, r| {
+                    reserve((&left, &right))
+                        .when(|l: &Fork, r: &Fork| l.held_by.is_none() && r.held_by.is_none())
+                        .run(|(l, r)| {
                             l.call(move |f| {
                                 f.held_by = Some(philosopher);
                                 f.uses += 1;
@@ -58,8 +58,7 @@ fn main() {
                             // Put the forks back down.
                             l.call(|f| f.held_by = None);
                             r.call(|f| f.held_by = None);
-                        },
-                    );
+                        });
                     if meal % 10 == 0 {
                         std::thread::yield_now();
                     }

@@ -30,7 +30,10 @@ fn main() {
     let optimized =
         run_compiled(&compiled, &static_rt, compiled.static_strategy()).expect("optimised run");
 
-    assert_eq!(naive.printed, optimized.printed, "optimisation must not change results");
+    assert_eq!(
+        naive.printed, optimized.printed,
+        "optimisation must not change results"
+    );
     println!("program output: {:?}", naive.printed);
     println!(
         "sync round-trips — naive codegen: {}, after static sync-coalescing: {}",

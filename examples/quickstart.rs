@@ -55,8 +55,10 @@ fn main() {
 
     // A detached query outside any long-lived block.
     let average = sensor.query_detached(|obj| obj.average());
-    println!("recorded {} readings, average {average:.2}",
-        sensor.query_detached(|obj| obj.readings.len()));
+    println!(
+        "recorded {} readings, average {average:.2}",
+        sensor.query_detached(|obj| obj.readings.len())
+    );
 
     // Inspect what the runtime did.
     let stats = rt.stats_snapshot();

@@ -35,14 +35,18 @@ fn source_registry() -> MethodRegistry<Source> {
                 .collect();
             Ok(WireValue::Unit)
         })
-        .with("row_count", |source: &mut Source, _| Ok(WireValue::Int(source.rows.len() as i64)))
+        .with("row_count", |source: &mut Source, _| {
+            Ok(WireValue::Int(source.rows.len() as i64))
+        })
         .with("row", |source: &mut Source, args| {
             let index = args[0].as_int()? as usize;
             let row = source
                 .rows
                 .get(index)
                 .ok_or_else(|| format!("row {index} out of range"))?;
-            Ok(WireValue::List(row.iter().map(|&v| WireValue::Int(v)).collect()))
+            Ok(WireValue::List(
+                row.iter().map(|&v| WireValue::Int(v)).collect(),
+            ))
         })
 }
 
@@ -56,8 +60,12 @@ fn sink_registry() -> MethodRegistry<Sink> {
             sink.rows_received += 1;
             Ok(WireValue::Unit)
         })
-        .with("checksum", |sink: &mut Sink, _| Ok(WireValue::Int(sink.checksum)))
-        .with("rows_received", |sink: &mut Sink, _| Ok(WireValue::Int(sink.rows_received)))
+        .with("checksum", |sink: &mut Sink, _| {
+            Ok(WireValue::Int(sink.checksum))
+        })
+        .with("rows_received", |sink: &mut Sink, _| {
+            Ok(WireValue::Int(sink.rows_received))
+        })
 }
 
 fn main() {
@@ -68,8 +76,16 @@ fn main() {
     // network; set it to zero to measure pure protocol overhead.
     let wire = ChannelConfig::with_latency(Duration::from_micros(50));
 
-    let source = RemoteNode::spawn("source", RemoteObject::new(Source { rows: Vec::new() }, source_registry()), wire);
-    let sink = RemoteNode::spawn("sink", RemoteObject::new(Sink::default(), sink_registry()), wire);
+    let source = RemoteNode::spawn(
+        "source",
+        RemoteObject::new(Source { rows: Vec::new() }, source_registry()),
+        wire,
+    );
+    let sink = RemoteNode::spawn(
+        "sink",
+        RemoteObject::new(Sink::default(), sink_registry()),
+        wire,
+    );
 
     let source_proxy = source.proxy("pipeline-driver");
     let sink_proxy = sink.proxy("pipeline-driver");
@@ -80,14 +96,22 @@ fn main() {
     let (rows_moved, checksum) = source_proxy.separate(|src| {
         src.call("generate", vec![WireValue::Int(ROWS), WireValue::Int(COLS)])
             .expect("generate");
-        let row_count = src.query("row_count", vec![]).expect("row_count").as_int().unwrap();
+        let row_count = src
+            .query("row_count", vec![])
+            .expect("row_count")
+            .as_int()
+            .unwrap();
 
         sink_proxy.separate(|dst| {
             for index in 0..row_count {
                 let row = src.query("row", vec![WireValue::Int(index)]).expect("row");
                 dst.call("accept_row", vec![row]).expect("accept_row");
             }
-            let checksum = dst.query("checksum", vec![]).expect("checksum").as_int().unwrap();
+            let checksum = dst
+                .query("checksum", vec![])
+                .expect("checksum")
+                .as_int()
+                .unwrap();
             (row_count, checksum)
         })
     });
@@ -101,7 +125,10 @@ fn main() {
     println!("source node stats: {:?}", source.stats());
     println!("sink node stats:   {:?}", sink.stats());
 
-    assert_eq!(source.shutdown_and_take().map(|s| s.rows.len()), Some(ROWS as usize));
+    assert_eq!(
+        source.shutdown_and_take().map(|s| s.rows.len()),
+        Some(ROWS as usize)
+    );
     let final_sink = sink.shutdown_and_take().expect("sink state");
     assert_eq!(final_sink.rows_received, ROWS);
     println!("pipeline complete; both nodes shut down cleanly");

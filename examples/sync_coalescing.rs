@@ -7,8 +7,8 @@
 //!
 //! Run with `cargo run --release --example sync_coalescing`.
 
-use scoop_qs::compiler::{analyze_sync_sets, coalesce_syncs, execute_copy_loop_ir, Function};
 use scoop_qs::compiler::ir::AliasModel;
+use scoop_qs::compiler::{analyze_sync_sets, coalesce_syncs, execute_copy_loop_ir, Function};
 use scoop_qs::runtime::OptimizationLevel;
 
 fn main() {

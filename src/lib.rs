@@ -21,6 +21,32 @@
 //!   baselines standing in for C++/TBB, Go, Erlang and Haskell.
 //! * [`workloads`] — the Cowichan parallel suite and the coordination
 //!   benchmarks from the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! Handlers own objects; clients reserve one or more handlers with the
+//! composable [`runtime::reserve`] entry point and interact with the objects
+//! through the reservation guards:
+//!
+//! ```
+//! use scoop_qs::prelude::*;
+//!
+//! let rt = Runtime::new(RuntimeConfig::all_optimizations());
+//! let source = rt.spawn_handler(100i64);
+//! let target = rt.spawn_handler(0i64);
+//!
+//! // Atomically reserve both accounts, but only once the source can afford
+//! // the transfer; give up after 1000 failed attempts.
+//! let moved = reserve((&source, &target))
+//!     .when(|s: &i64, _t: &i64| *s >= 10)
+//!     .timeout(WaitConfig::bounded(1000))
+//!     .try_run(|(s, t)| {
+//!         s.call(|balance| *balance -= 10);
+//!         t.call(|balance| *balance += 10);
+//!         t.query(|balance| *balance)
+//!     });
+//! assert_eq!(moved, Ok(10));
+//! ```
 
 pub use qs_baselines as baselines;
 pub use qs_compiler as compiler;
@@ -36,7 +62,10 @@ pub use qs_workloads as workloads;
 /// Convenience prelude exposing the most common runtime API items.
 pub mod prelude {
     pub use qs_runtime::{
-        separate2, separate2_when, separate3, separate_all, separate_when, Handler,
-        OptimizationLevel, Runtime, RuntimeConfig, RuntimeStats, Separate,
+        reserve, GuardedReservation, Handler, OptimizationLevel, QueryToken, Reservation,
+        ReservationSet, Runtime, RuntimeConfig, RuntimeStats, Separate, WaitCondition, WaitConfig,
+        WaitTimeout,
     };
+    #[allow(deprecated)]
+    pub use qs_runtime::{separate2, separate2_when, separate3, separate_all, separate_when};
 }

@@ -6,7 +6,7 @@
 use std::collections::BTreeMap;
 
 use scoop_qs::prelude::*;
-use scoop_qs::runtime::{separate_when, try_separate_when, WaitConfig};
+use scoop_qs::runtime::WaitConfig;
 use scoop_qs::semantics::{check_handler_log, uniform_expectation, AppliedCall};
 
 /// Handler-owned object that records every applied call, so the application
@@ -43,7 +43,9 @@ fn runtime_execution_conforms_to_the_semantics_on_every_level() {
                     for block in 0..BLOCKS {
                         handler.separate(|s| {
                             for seq in 0..CALLS {
-                                s.call(move |obj| obj.log.push(AppliedCall::new(client, block, seq)));
+                                s.call(move |obj| {
+                                    obj.log.push(AppliedCall::new(client, block, seq))
+                                });
                             }
                             // Mix in queries so the sync machinery is active
                             // while the conformance-relevant calls flow.
@@ -84,10 +86,14 @@ fn multi_reservation_blocks_conform_too() {
                 let y = y.clone();
                 scope.spawn(move || {
                     for block in 0..BLOCKS {
-                        separate2(&x, &y, |sx, sy| {
+                        reserve((&x, &y)).run(|(sx, sy)| {
                             for seq in 0..CALLS {
-                                sx.call(move |obj| obj.log.push(AppliedCall::new(client, block, seq)));
-                                sy.call(move |obj| obj.log.push(AppliedCall::new(client, block, seq)));
+                                sx.call(move |obj| {
+                                    obj.log.push(AppliedCall::new(client, block, seq))
+                                });
+                                sy.call(move |obj| {
+                                    obj.log.push(AppliedCall::new(client, block, seq))
+                                });
                             }
                         });
                     }
@@ -125,11 +131,9 @@ fn bounded_buffer_with_wait_conditions_works_on_every_level() {
             let buffer = buffer.clone();
             std::thread::spawn(move || {
                 for i in 0..ITEMS {
-                    separate_when(
-                        &buffer,
-                        |b: &Buffer| b.items.len() < CAPACITY,
-                        |guard| guard.call(move |b| b.items.push(i)),
-                    );
+                    reserve(&buffer)
+                        .when(|b: &Buffer| b.items.len() < CAPACITY)
+                        .run(|guard| guard.call(move |b| b.items.push(i)));
                 }
             })
         };
@@ -138,11 +142,9 @@ fn bounded_buffer_with_wait_conditions_works_on_every_level() {
             std::thread::spawn(move || {
                 let mut received = Vec::new();
                 while received.len() < ITEMS as usize {
-                    let batch = separate_when(
-                        &buffer,
-                        |b: &Buffer| !b.items.is_empty(),
-                        |guard| guard.query(|b| std::mem::take(&mut b.items)),
-                    );
+                    let batch = reserve(&buffer)
+                        .when(|b: &Buffer| !b.items.is_empty())
+                        .run(|guard| guard.query(|b| std::mem::take(&mut b.items)));
                     received.extend(batch);
                 }
                 received
@@ -168,7 +170,10 @@ fn wait_condition_timeouts_do_not_disturb_other_clients() {
     let waiter = {
         let cell = cell.clone();
         std::thread::spawn(move || {
-            try_separate_when(&cell, WaitConfig::bounded(50), |n| *n > 1_000_000, |g| g.query(|n| *n))
+            reserve(&cell)
+                .when(|n: &u64| *n > 1_000_000)
+                .timeout(WaitConfig::bounded(50))
+                .try_run(|g| g.query(|n| *n))
         })
     };
     let workers: Vec<_> = (0..4)
@@ -184,7 +189,10 @@ fn wait_condition_timeouts_do_not_disturb_other_clients() {
     for worker in workers {
         worker.join().unwrap();
     }
-    assert!(waiter.join().unwrap().is_err(), "the unreachable condition must time out");
+    assert!(
+        waiter.join().unwrap().is_err(),
+        "the unreachable condition must time out"
+    );
     assert_eq!(cell.query_detached(|n| *n), 2_000);
 }
 

@@ -21,7 +21,10 @@ fn all_levels() -> [OptimizationLevel; 5] {
 fn language_programs_agree_across_levels_and_strategies() {
     let cases: Vec<(String, Vec<String>)> = vec![
         (programs::COUNTER.to_string(), programs::counter_expected()),
-        (programs::BANK_TRANSFER.to_string(), programs::bank_transfer_expected()),
+        (
+            programs::BANK_TRANSFER.to_string(),
+            programs::bank_transfer_expected(),
+        ),
         (programs::copy_loop(200), programs::copy_loop_expected(200)),
         (
             programs::TWO_STAGE_PIPELINE.to_string(),
@@ -99,7 +102,11 @@ fn remote_nodes_uphold_the_reasoning_guarantees() {
         log.push(AppliedCall::new(client, block, seq));
         Ok(WireValue::Unit)
     });
-    let node = RemoteNode::spawn("recorder", RemoteObject::new(Vec::new(), registry), ChannelConfig::fast());
+    let node = RemoteNode::spawn(
+        "recorder",
+        RemoteObject::new(Vec::new(), registry),
+        ChannelConfig::fast(),
+    );
 
     std::thread::scope(|scope| {
         for client in 0..CLIENTS {

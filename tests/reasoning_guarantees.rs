@@ -3,7 +3,6 @@
 //! runtime exhibits.
 
 use scoop_qs::prelude::*;
-use scoop_qs::runtime::separate2;
 use scoop_qs::semantics::{explore_all, fig1_program, fig5_program, fig6_program};
 
 /// Fig. 1: only two interleavings are possible on handler `x`, both in the
@@ -15,8 +14,14 @@ fn fig1_interleavings_model_and_runtime_agree() {
     let report = explore_all(fig1_program(), 200_000, 200, 10_000);
     assert!(report.deadlock_free());
     let allowed: Vec<Vec<String>> = vec![
-        ["foo", "bar", "bar", "baz"].iter().map(|s| s.to_string()).collect(),
-        ["bar", "baz", "foo", "bar"].iter().map(|s| s.to_string()).collect(),
+        ["foo", "bar", "bar", "baz"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        ["bar", "baz", "foo", "bar"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
     ];
     for trace in &report.finished_traces {
         assert!(allowed.contains(&trace.executed_on("x")));
@@ -71,7 +76,7 @@ fn fig5_colour_consistency_model_and_runtime() {
                 let (x, y) = (x.clone(), y.clone());
                 scope.spawn(move || {
                     for _ in 0..100 {
-                        separate2(&x, &y, |sx, sy| {
+                        reserve((&x, &y)).run(|(sx, sy)| {
                             sx.call(move |v| *v = colour);
                             sy.call(move |v| *v = colour);
                         });
@@ -81,9 +86,8 @@ fn fig5_colour_consistency_model_and_runtime() {
             let (x, y) = (x.clone(), y.clone());
             scope.spawn(move || {
                 for _ in 0..100 {
-                    let (a, b) = separate2(&x, &y, |sx, sy| {
-                        (sx.query(|v| *v), sy.query(|v| *v))
-                    });
+                    let (a, b) =
+                        reserve((&x, &y)).run(|(sx, sy)| (sx.query(|v| *v), sy.query(|v| *v)));
                     assert_eq!(a, b, "mixed colours under {level}");
                 }
             });
@@ -160,7 +164,10 @@ fn per_client_blocks_never_interleave_under_any_level() {
         // increasing, and blocks of 10 are contiguous.
         for window in log.chunks(10) {
             let owner = window[0].0;
-            assert!(window.iter().all(|&(c, _)| c == owner), "block interleaved: {window:?}");
+            assert!(
+                window.iter().all(|&(c, _)| c == owner),
+                "block interleaved: {window:?}"
+            );
             assert!(window.windows(2).all(|w| w[0].1 + 1 == w[1].1));
         }
     }

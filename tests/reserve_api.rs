@@ -1,0 +1,164 @@
+//! Integration tests for the unified `reserve()` API: wait conditions at
+//! arity ≥ 3 (which the old arity-specialised functions could not express),
+//! timeout behaviour on both runtime configurations, and pipelined
+//! asynchronous queries.
+
+use scoop_qs::prelude::*;
+
+/// A three-handler guarded invariant under both the queue-of-queues and the
+/// lock-based configuration: a mover shifts units between three cells but
+/// only when the joint invariant allows it, and every observer reserving all
+/// three sees the conserved total.
+#[test]
+fn three_handler_wait_condition_on_both_configurations() {
+    for level in [OptimizationLevel::All, OptimizationLevel::None] {
+        let rt = Runtime::with_level(level);
+        let a = rt.spawn_handler(30i64);
+        let b = rt.spawn_handler(0i64);
+        let c = rt.spawn_handler(0i64);
+
+        let mover = {
+            let (a, b, c) = (a.clone(), b.clone(), c.clone());
+            std::thread::spawn(move || {
+                for _ in 0..10 {
+                    // Move 3 units a → b → c, but only while `a` can pay.
+                    reserve((&a, &b, &c))
+                        .when(|a: &i64, _b: &i64, _c: &i64| *a >= 3)
+                        .run(|(sa, sb, sc)| {
+                            sa.call(|v| *v -= 3);
+                            sb.call(|v| *v += 2);
+                            sc.call(|v| *v += 1);
+                        });
+                }
+            })
+        };
+        let observer = {
+            let (a, b, c) = (a.clone(), b.clone(), c.clone());
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let total = reserve((&a, &b, &c))
+                        .run(|(sa, sb, sc)| sa.query(|v| *v) + sb.query(|v| *v) + sc.query(|v| *v));
+                    assert_eq!(total, 30, "level {level}: total must be conserved");
+                }
+            })
+        };
+        mover.join().unwrap();
+        observer.join().unwrap();
+        assert_eq!(a.query_detached(|v| *v), 0, "level {level}");
+        assert_eq!(b.query_detached(|v| *v), 20, "level {level}");
+        assert_eq!(c.query_detached(|v| *v), 10, "level {level}");
+    }
+}
+
+/// The timeout path at arity 3, on both configurations: an unreachable joint
+/// condition must report a bounded-retry timeout, and the handlers must stay
+/// fully usable afterwards.
+#[test]
+fn three_handler_wait_condition_times_out_on_both_configurations() {
+    for level in [OptimizationLevel::All, OptimizationLevel::None] {
+        let rt = Runtime::with_level(level);
+        let a = rt.spawn_handler(0u32);
+        let b = rt.spawn_handler(0u32);
+        let c = rt.spawn_handler(0u32);
+
+        let result = reserve((&a, &b, &c))
+            .when(|a: &u32, b: &u32, c: &u32| *a + *b + *c > 1_000)
+            .timeout(WaitConfig::bounded(6))
+            .try_run(|_| ());
+        assert_eq!(result, Err(WaitTimeout { attempts: 6 }), "level {level}");
+
+        // Wall-clock timeouts fire too.
+        let clocked = reserve((&a, &b, &c))
+            .when(|a: &u32, _: &u32, _: &u32| *a > 0)
+            .timeout(WaitConfig::wall_clock(std::time::Duration::from_millis(10)))
+            .try_run(|_| ());
+        assert!(
+            clocked.is_err(),
+            "level {level}: wall-clock timeout must fire"
+        );
+
+        // The failed reservations released everything: normal work proceeds.
+        reserve((&a, &b, &c)).run(|(sa, sb, sc)| {
+            sa.call(|v| *v = 1);
+            sb.call(|v| *v = 2);
+            sc.call(|v| *v = 3);
+        });
+        assert_eq!(a.query_detached(|v| *v), 1, "level {level}");
+        assert_eq!(c.query_detached(|v| *v), 3, "level {level}");
+        assert!(rt.stats_snapshot().wait_condition_retries >= 6);
+    }
+}
+
+/// Pipelined queries overlap round-trips against several handlers and remain
+/// valid after their separate block ended, on every optimisation level.
+#[test]
+fn query_async_overlaps_handlers_on_every_level() {
+    for level in OptimizationLevel::ALL {
+        let rt = Runtime::with_level(level);
+        let handlers: Vec<_> = (0..4).map(|i| rt.spawn_handler(i as u64)).collect();
+
+        let tokens: Vec<QueryToken<u64>> = reserve(&handlers).run(|guards| {
+            guards
+                .iter_mut()
+                .map(|g| g.query_async(|v| *v * 10))
+                .collect()
+        });
+        let collected: Vec<u64> = tokens.into_iter().map(QueryToken::wait).collect();
+        assert_eq!(collected, vec![0, 10, 20, 30], "level {level}");
+
+        let snap = rt.stats_snapshot();
+        assert_eq!(snap.queries_pipelined, 4, "level {level}");
+        assert_eq!(
+            snap.queries_client_executed + snap.queries_handler_executed,
+            0,
+            "level {level}: pipelined queries are counted separately"
+        );
+    }
+}
+
+/// `try_take` never blocks and eventually observes the deposited result.
+#[test]
+fn query_async_try_take_polls_without_blocking() {
+    let rt = Runtime::fully_optimized();
+    let cell = rt.spawn_handler(21u64);
+    let mut token = reserve(&cell).run(|g| g.query_async(|v| *v * 2));
+    let mut polls = 0u64;
+    let value = loop {
+        match token.try_take() {
+            Some(value) => break value,
+            None => {
+                polls += 1;
+                std::thread::yield_now();
+            }
+        }
+    };
+    assert_eq!(value, 42);
+    assert!(token.try_take().is_none());
+    let _ = polls; // may legitimately be zero if the handler was fast
+}
+
+/// Mixing a guarded tuple reservation with plain reservations of the same
+/// handlers from other threads keeps the invariant observable.
+#[test]
+fn guarded_and_unguarded_reservations_compose() {
+    let rt = Runtime::fully_optimized();
+    let x = rt.spawn_handler(0i64);
+    let y = rt.spawn_handler(0i64);
+
+    let bumper = {
+        let (x, y) = (x.clone(), y.clone());
+        std::thread::spawn(move || {
+            for _ in 0..100 {
+                reserve((&x, &y)).run(|(sx, sy)| {
+                    sx.call(|v| *v += 1);
+                    sy.call(|v| *v += 1);
+                });
+            }
+        })
+    };
+    let seen = reserve((&x, &y))
+        .when(|x: &i64, y: &i64| *x >= 100 && *y >= 100)
+        .run(|(sx, sy)| (sx.query(|v| *v), sy.query(|v| *v)));
+    assert_eq!(seen.0, seen.1, "joint condition saw a consistent pair");
+    bumper.join().unwrap();
+}

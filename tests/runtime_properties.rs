@@ -4,7 +4,6 @@
 
 use proptest::prelude::*;
 use scoop_qs::prelude::*;
-use scoop_qs::runtime::separate2;
 
 /// A step of a randomly generated single-client program.
 #[derive(Debug, Clone)]
@@ -81,7 +80,7 @@ proptest! {
                 let chunk = chunk.to_vec();
                 scope.spawn(move || {
                     for amount in chunk {
-                        separate2(&a, &b, |sa, sb| {
+                        reserve((&a, &b)).run(|(sa, sb)| {
                             sa.call(move |v| *v -= amount);
                             sb.call(move |v| *v += amount);
                         });
@@ -91,5 +90,70 @@ proptest! {
         });
         let total = a.query_detached(|v| *v) + b.query_detached(|v| *v);
         prop_assert_eq!(total, 2_000);
+    }
+
+    /// Overlapping `reserve()` calls of mixed arity (1, 2 and 3) over the
+    /// same three handlers, in randomly chosen orders, never deadlock and
+    /// never interleave their blocks: every handler's log consists of
+    /// contiguous (client, block) runs.  Extends the fixed-order
+    /// `opposite_order_multi_reservations_do_not_deadlock` unit test.
+    #[test]
+    fn mixed_arity_overlapping_reservations_are_atomic(
+        plans in proptest::collection::vec(
+            proptest::collection::vec((0usize..6, 1usize..4), 4..12), 2..5)
+    ) {
+        for level in [OptimizationLevel::All, OptimizationLevel::None] {
+            let rt = Runtime::with_level(level);
+            let handlers: Vec<Handler<Vec<(usize, usize, usize)>>> =
+                (0..3).map(|_| rt.spawn_handler(Vec::new())).collect();
+
+            std::thread::scope(|scope| {
+                for (client, plan) in plans.iter().enumerate() {
+                    let handlers = handlers.clone();
+                    scope.spawn(move || {
+                        for (block, &(order, arity)) in plan.iter().enumerate() {
+                            // Pick `arity` distinct handlers in one of six
+                            // rotations, so concurrent sets overlap in
+                            // conflicting orders.
+                            let rotation = [
+                                [0, 1, 2], [0, 2, 1], [1, 0, 2],
+                                [1, 2, 0], [2, 0, 1], [2, 1, 0],
+                            ][order];
+                            let set: Vec<Handler<_>> = rotation[..arity]
+                                .iter()
+                                .map(|&i| handlers[i].clone())
+                                .collect();
+                            reserve(&set).run(|guards| {
+                                for seq in 0..3 {
+                                    for guard in guards.iter_mut() {
+                                        guard.call(move |log| log.push((client, block, seq)));
+                                    }
+                                }
+                            });
+                        }
+                    });
+                }
+            });
+
+            // Completion already proves deadlock-freedom; now check that no
+            // handler log interleaves two blocks.
+            for handler in handlers {
+                let log = handler.shutdown_and_take().unwrap();
+                let mut position = 0;
+                while position < log.len() {
+                    let (client, block, _) = log[position];
+                    let run: Vec<_> = log[position..]
+                        .iter()
+                        .take_while(|(c, b, _)| *c == client && *b == block)
+                        .collect();
+                    prop_assert_eq!(run.len(), 3, "level {}: block split at {}", level, position);
+                    prop_assert!(
+                        run.iter().enumerate().all(|(i, (_, _, seq))| *seq == i),
+                        "level {}: calls reordered within a block", level
+                    );
+                    position += run.len();
+                }
+            }
+        }
     }
 }

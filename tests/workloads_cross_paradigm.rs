@@ -24,7 +24,11 @@ fn parallel_suite_is_correct_for_every_paradigm() {
 #[test]
 fn parallel_suite_is_correct_for_every_optimization_level() {
     let params = CowichanParams::tiny();
-    for task in [ParallelTask::Randmat, ParallelTask::Thresh, ParallelTask::Product] {
+    for task in [
+        ParallelTask::Randmat,
+        ParallelTask::Thresh,
+        ParallelTask::Product,
+    ] {
         for level in OptimizationLevel::ALL {
             run_parallel_scoop(task, level, &params);
         }

@@ -1,0 +1,143 @@
+//! Batching/backpressure ablation: batch-drained, bounded mailboxes against
+//! the seed's one-request-per-iteration handler loop.
+//!
+//! The scenario is the heavy fan-in shape the mailbox work targets: several
+//! clients log bursts of asynchronous calls on one handler, ending each
+//! burst with a query (so the measured time includes full drains, not just
+//! enqueue throughput).  `max_batch = 1` reproduces the seed behaviour —
+//! every request pays its own queue crossing; larger batches amortise that
+//! cost.  The bounded variants additionally cap the handler's memory and
+//! throttle the clients (backpressure) instead of letting the mailboxes
+//! grow without limit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qs_runtime::{OptimizationLevel, Runtime, RuntimeConfig};
+
+const CLIENTS: usize = 4;
+const BURSTS_PER_CLIENT: usize = 20;
+const CALLS_PER_BURST: usize = 64;
+
+/// One complete fan-in round: spawn a handler, hammer it from `CLIENTS`
+/// threads, drain, and return the final counter value.
+fn fan_in(config: RuntimeConfig) -> u64 {
+    let rt = Runtime::new(config);
+    let handler = rt.spawn_handler(0u64);
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let handler = handler.clone();
+            scope.spawn(move || {
+                for _ in 0..BURSTS_PER_CLIENT {
+                    handler.separate(|s| {
+                        for _ in 0..CALLS_PER_BURST {
+                            s.call(|n| *n += 1);
+                        }
+                        s.query(|n| *n);
+                    });
+                }
+            });
+        }
+    });
+    handler.shutdown_and_take().unwrap()
+}
+
+fn ablation_batching(c: &mut Criterion) {
+    let expected = (CLIENTS * BURSTS_PER_CLIENT * CALLS_PER_BURST) as u64;
+    let mut group = c.benchmark_group("ablation_batching");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+
+    for level in [OptimizationLevel::All, OptimizationLevel::None] {
+        // Seed behaviour: unbounded mailboxes, one request per iteration.
+        group.bench_with_input(
+            BenchmarkId::new("unbounded_batch1", level.label()),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    let config = level.config().with_mailbox_capacity(None).with_max_batch(1);
+                    assert_eq!(fan_in(config), expected);
+                })
+            },
+        );
+        // Batch draining alone (still unbounded).
+        group.bench_with_input(
+            BenchmarkId::new("unbounded_batch32", level.label()),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    let config = level
+                        .config()
+                        .with_mailbox_capacity(None)
+                        .with_max_batch(32);
+                    assert_eq!(fan_in(config), expected);
+                })
+            },
+        );
+        // The full mailbox design: bounded + batch-drained (the default).
+        group.bench_with_input(
+            BenchmarkId::new("bounded1024_batch32", level.label()),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    assert_eq!(fan_in(level.config()), expected);
+                })
+            },
+        );
+        // A deliberately tiny mailbox: worst-case backpressure pressure.
+        group.bench_with_input(
+            BenchmarkId::new("bounded16_batch32", level.label()),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    let config = level.config().with_mailbox_capacity(Some(16));
+                    assert_eq!(fan_in(config), expected);
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Evidence that the batching actually happened: run the fully optimised
+    // configuration once more on an instrumented runtime and report the
+    // batch statistics.  A regression to one-at-a-time draining would show
+    // up here as batches_drained == 0 (or a mean batch size of exactly 1).
+    let rt = Runtime::new(
+        OptimizationLevel::All
+            .config()
+            .with_mailbox_capacity(Some(16)),
+    );
+    let handler = rt.spawn_handler(0u64);
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let handler = handler.clone();
+            scope.spawn(move || {
+                for _ in 0..BURSTS_PER_CLIENT {
+                    handler.separate(|s| {
+                        for _ in 0..CALLS_PER_BURST {
+                            s.call(|n| *n += 1);
+                        }
+                        s.query(|n| *n);
+                    });
+                }
+            });
+        }
+    });
+    handler.stop();
+    handler.wait_finished();
+    let snap = rt.stats_snapshot();
+    assert!(
+        snap.batches_drained > 0,
+        "the All configuration must drain batches"
+    );
+    println!(
+        "ablation_batching/All(bounded16): {} batches drained, {:.2} requests per batch, \
+         {} backpressure stalls, batch-size histogram {:?}",
+        snap.batches_drained,
+        snap.mean_batch_size(),
+        snap.backpressure_stalls,
+        snap.batch_size_buckets,
+    );
+}
+
+criterion_group!(benches, ablation_batching);
+criterion_main!(benches);

@@ -15,6 +15,7 @@
 //! | §4.4 / §5.4 geometric-mean summaries | `run_experiments summary` |
 //! | §3.2 query-shift ablation | bench `ablation_query` |
 //! | §3.1 queue-structure ablation | bench `ablation_queues` |
+//! | Mailbox batching/backpressure ablation | bench `ablation_batching` |
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,67 @@
+//! Shared batch-draining loops.
+//!
+//! Every consumer flavour (unbounded SPSC, bounded ring, mutex queue) offers
+//! the same two operations — a non-blocking `try_drain_batch` and a blocking
+//! `drain_batch` — with identical semantics: draining a batch observes
+//! exactly the items that repeated single dequeues would have, in the same
+//! order.  The loops live here once so a fix (e.g. to the close protocol or
+//! the spin-then-park policy) cannot drift between flavours.
+
+use qs_sync::Backoff;
+
+use crate::{Closed, Dequeue};
+
+/// Drains up to `max` immediately available items into `out` via repeated
+/// `try_dequeue`, stopping at the first empty/closed observation.  Returns
+/// the number of items appended, or [`Closed`] only when the queue is closed
+/// and `out` received nothing.
+pub(crate) fn try_drain_with<T>(
+    out: &mut Vec<T>,
+    max: usize,
+    mut try_dequeue: impl FnMut() -> Result<Option<T>, Closed>,
+) -> Result<usize, Closed> {
+    let mut drained = 0;
+    while drained < max {
+        match try_dequeue() {
+            Ok(Some(v)) => {
+                out.push(v);
+                drained += 1;
+            }
+            Ok(None) => break,
+            Err(Closed) => {
+                if drained == 0 {
+                    return Err(Closed);
+                }
+                break;
+            }
+        }
+    }
+    Ok(drained)
+}
+
+/// The blocking drain loop: spin-then-park (via `park`) until `try_drain`
+/// yields at least one item (`Dequeue::Item(n)`, `n >= 1`) or reports the
+/// queue closed and drained ([`Dequeue::Closed`]).
+pub(crate) fn drain_batch_with<T>(
+    out: &mut Vec<T>,
+    max: usize,
+    mut try_drain: impl FnMut(&mut Vec<T>, usize) -> Result<usize, Closed>,
+    mut park: impl FnMut(),
+) -> Dequeue<usize> {
+    let max = max.max(1);
+    let backoff = Backoff::new();
+    loop {
+        match try_drain(out, max) {
+            Err(Closed) => return Dequeue::Closed,
+            Ok(0) => {
+                if backoff.is_completed() {
+                    park();
+                    backoff.reset();
+                } else {
+                    backoff.snooze();
+                }
+            }
+            Ok(n) => return Dequeue::Item(n),
+        }
+    }
+}

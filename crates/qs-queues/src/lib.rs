@@ -17,13 +17,34 @@
 //! The crate also provides a naive lock-based queue ([`mutex_queue`]) used by
 //! the unoptimised baseline configuration and by the ablation benchmark E9,
 //! which quantifies how much the specialised queues matter.
+//!
+//! Two production-scale extensions sit on top of the paper's structures:
+//!
+//! * a **capacity-bounded SPSC ring** ([`bounded`]) whose blocking `push`
+//!   applies *backpressure* to clients that outrun their handler, instead of
+//!   growing the private queue without limit; and
+//! * **batch draining** (`drain_batch` on every consumer flavour, including
+//!   [`MutexQueue`]), so the handler amortises its dequeue overhead — one
+//!   lock acquisition per batch on the mutex queue, one spin/park round and
+//!   one accounting update per batch on the lock-free queues — instead of
+//!   paying it per request.
+//!
+//! The [`mailbox`] module unifies the bounded and unbounded private queues
+//! behind one producer/consumer pair, keyed by an optional capacity.
 
 #![warn(missing_docs)]
 
+pub(crate) mod batch;
+pub mod bounded;
+pub mod mailbox;
 pub mod mpsc;
 pub mod mutex_queue;
 pub mod spsc;
 
+pub use bounded::{
+    bounded_spsc_channel, BoundedSpsc, BoundedSpscConsumer, BoundedSpscProducer, Full,
+};
+pub use mailbox::{mailbox, MailboxConsumer, MailboxProducer};
 pub use mpsc::QueueOfQueues;
 pub use mutex_queue::MutexQueue;
 pub use spsc::{spsc_channel, SpscConsumer, SpscProducer, SpscQueue};

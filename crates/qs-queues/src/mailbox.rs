@@ -1,0 +1,202 @@
+//! The *mailbox*: one client's private queue, bounded or unbounded.
+//!
+//! The runtime threads a `mailbox_capacity` knob through its configuration;
+//! this module gives it a single producer/consumer pair that dispatches to
+//! the unbounded segment-list queue ([`crate::spsc`], the paper's §3.1
+//! structure) or to the capacity-bounded ring ([`crate::bounded`], the
+//! backpressure variant) depending on that knob.  Both sides expose the
+//! batch-draining consumer interface, so the handler main loop is written
+//! once against mailboxes and never matches on the configuration again.
+
+use crate::bounded::{bounded_spsc_channel, BoundedSpscConsumer, BoundedSpscProducer};
+use crate::spsc::{spsc_channel, SpscConsumer, SpscProducer};
+use crate::{Closed, Dequeue};
+
+/// Producer (client) half of a mailbox.
+pub enum MailboxProducer<T> {
+    /// Unbounded private queue (the seed behaviour; `capacity = None`).
+    Unbounded(SpscProducer<T>),
+    /// Capacity-bounded ring with blocking-push backpressure.
+    Bounded(BoundedSpscProducer<T>),
+}
+
+/// Consumer (handler) half of a mailbox.
+pub enum MailboxConsumer<T> {
+    /// Unbounded private queue (the seed behaviour; `capacity = None`).
+    Unbounded(SpscConsumer<T>),
+    /// Capacity-bounded ring with blocking-push backpressure.
+    Bounded(BoundedSpscConsumer<T>),
+}
+
+/// Creates a mailbox: unbounded when `capacity` is `None`, a bounded ring
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics if `capacity` is `Some(0)`.
+pub fn mailbox<T>(capacity: Option<usize>) -> (MailboxProducer<T>, MailboxConsumer<T>) {
+    match capacity {
+        None => {
+            let (tx, rx) = spsc_channel();
+            (
+                MailboxProducer::Unbounded(tx),
+                MailboxConsumer::Unbounded(rx),
+            )
+        }
+        Some(capacity) => {
+            let (tx, rx) = bounded_spsc_channel(capacity);
+            (MailboxProducer::Bounded(tx), MailboxConsumer::Bounded(rx))
+        }
+    }
+}
+
+impl<T> MailboxProducer<T> {
+    /// Enqueues `value`, blocking for space when the mailbox is bounded and
+    /// full.  Returns `true` if the enqueue had to wait (a backpressure
+    /// stall); an unbounded mailbox never stalls.
+    pub fn enqueue(&self, value: T) -> bool {
+        match self {
+            MailboxProducer::Unbounded(tx) => {
+                tx.enqueue(value);
+                false
+            }
+            MailboxProducer::Bounded(tx) => tx.push(value),
+        }
+    }
+
+    /// Attempts to enqueue without blocking; hands `value` back when a
+    /// bounded mailbox is at capacity.  Never fails on an unbounded mailbox.
+    pub fn try_enqueue(&self, value: T) -> Result<(), T> {
+        match self {
+            MailboxProducer::Unbounded(tx) => {
+                tx.enqueue(value);
+                Ok(())
+            }
+            MailboxProducer::Bounded(tx) => tx.try_push(value).map_err(|full| full.0),
+        }
+    }
+
+    /// Closes the mailbox (the END marker of a separate block).
+    pub fn close(&self) {
+        match self {
+            MailboxProducer::Unbounded(tx) => tx.close(),
+            MailboxProducer::Bounded(tx) => tx.close(),
+        }
+    }
+
+    /// The capacity bound, or `None` if unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        match self {
+            MailboxProducer::Unbounded(_) => None,
+            MailboxProducer::Bounded(tx) => Some(tx.queue().capacity()),
+        }
+    }
+
+    /// Number of blocking enqueues that had to wait for space so far.
+    pub fn total_stalls(&self) -> usize {
+        match self {
+            MailboxProducer::Unbounded(_) => 0,
+            MailboxProducer::Bounded(tx) => tx.queue().total_stalls(),
+        }
+    }
+}
+
+impl<T> MailboxConsumer<T> {
+    /// Attempts to dequeue one item without blocking.
+    pub fn try_dequeue(&self) -> Result<Option<T>, Closed> {
+        match self {
+            MailboxConsumer::Unbounded(rx) => rx.try_dequeue(),
+            MailboxConsumer::Bounded(rx) => rx.try_dequeue(),
+        }
+    }
+
+    /// Dequeues the next item, blocking while the mailbox is empty but open.
+    pub fn dequeue(&self) -> Dequeue<T> {
+        match self {
+            MailboxConsumer::Unbounded(rx) => rx.dequeue(),
+            MailboxConsumer::Bounded(rx) => rx.dequeue(),
+        }
+    }
+
+    /// Drains up to `max` immediately available items into `out` without
+    /// blocking; `Err(Closed)` once closed and fully drained.
+    pub fn try_drain_batch(&self, out: &mut Vec<T>, max: usize) -> Result<usize, Closed> {
+        match self {
+            MailboxConsumer::Unbounded(rx) => rx.try_drain_batch(out, max),
+            MailboxConsumer::Bounded(rx) => rx.try_drain_batch(out, max),
+        }
+    }
+
+    /// Drains a batch of up to `max` items into `out`, blocking until at
+    /// least one item is available or the mailbox is closed and drained.
+    pub fn drain_batch(&self, out: &mut Vec<T>, max: usize) -> Dequeue<usize> {
+        match self {
+            MailboxConsumer::Unbounded(rx) => rx.drain_batch(out, max),
+            MailboxConsumer::Bounded(rx) => rx.drain_batch(out, max),
+        }
+    }
+
+    /// Number of items ever enqueued into this mailbox.
+    pub fn total_enqueued(&self) -> usize {
+        match self {
+            MailboxConsumer::Unbounded(rx) => rx.queue().total_enqueued(),
+            MailboxConsumer::Bounded(rx) => rx.queue().total_enqueued(),
+        }
+    }
+
+    /// Number of items ever dequeued from this mailbox.
+    pub fn total_dequeued(&self) -> usize {
+        match self {
+            MailboxConsumer::Unbounded(rx) => rx.queue().total_dequeued(),
+            MailboxConsumer::Bounded(rx) => rx.queue().total_dequeued(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_mailbox_never_stalls() {
+        let (tx, rx) = mailbox(None);
+        assert_eq!(tx.capacity(), None);
+        for i in 0..1_000 {
+            assert!(!tx.enqueue(i));
+        }
+        assert_eq!(tx.total_stalls(), 0);
+        tx.close();
+        let mut out = Vec::new();
+        while let Dequeue::Item(_) = rx.drain_batch(&mut out, 64) {}
+        assert_eq!(out, (0..1_000).collect::<Vec<_>>());
+        assert_eq!(rx.total_dequeued(), 1_000);
+    }
+
+    #[test]
+    fn bounded_mailbox_enforces_capacity() {
+        let (tx, rx) = mailbox(Some(3));
+        assert_eq!(tx.capacity(), Some(3));
+        tx.try_enqueue(1).unwrap();
+        tx.try_enqueue(2).unwrap();
+        tx.try_enqueue(3).unwrap();
+        assert_eq!(tx.try_enqueue(4), Err(4));
+        assert_eq!(rx.try_dequeue(), Ok(Some(1)));
+        tx.try_enqueue(4).unwrap();
+        tx.close();
+        let mut out = Vec::new();
+        while let Dequeue::Item(_) = rx.drain_batch(&mut out, 2) {}
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn both_flavours_share_the_dequeue_protocol() {
+        for capacity in [None, Some(2)] {
+            let (tx, rx) = mailbox(capacity);
+            tx.enqueue('x');
+            tx.close();
+            assert_eq!(rx.dequeue(), Dequeue::Item('x'));
+            assert_eq!(rx.dequeue(), Dequeue::Closed);
+            assert_eq!(rx.total_enqueued(), 1);
+        }
+    }
+}

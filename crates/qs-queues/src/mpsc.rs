@@ -14,9 +14,8 @@
 
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
-use std::thread::Thread;
 
-use qs_sync::{Backoff, CachePadded, SpinLock};
+use qs_sync::{Backoff, CachePadded, Parker};
 
 use crate::{Closed, Dequeue};
 
@@ -62,8 +61,7 @@ pub struct QueueOfQueues<T> {
     closed: AtomicBool,
     enqueued: AtomicUsize,
     dequeued: AtomicUsize,
-    consumer: SpinLock<Option<Thread>>,
-    consumer_parked: AtomicBool,
+    consumer: Parker,
 }
 
 // SAFETY: producers only touch `head` (atomic swap) and their own node;
@@ -87,8 +85,7 @@ impl<T> QueueOfQueues<T> {
             closed: AtomicBool::new(false),
             enqueued: AtomicUsize::new(0),
             dequeued: AtomicUsize::new(0),
-            consumer: SpinLock::new(None),
-            consumer_parked: AtomicBool::new(false),
+            consumer: Parker::new(),
         }
     }
 
@@ -129,11 +126,7 @@ impl<T> QueueOfQueues<T> {
     }
 
     fn wake_consumer(&self) {
-        if self.consumer_parked.swap(false, Ordering::AcqRel) {
-            if let Some(thread) = self.consumer.lock().take() {
-                thread.unpark();
-            }
-        }
+        self.consumer.wake();
     }
 
     /// Non-blocking pop; must only be called from the single consumer thread.
@@ -210,21 +203,7 @@ impl<T> QueueOfQueues<T> {
     }
 
     fn park_until_work(&self) {
-        *self.consumer.lock() = Some(std::thread::current());
-        self.consumer_parked.store(true, Ordering::Release);
-        if self.has_work_or_closed() {
-            self.consumer_parked.store(false, Ordering::Release);
-            self.consumer.lock().take();
-            return;
-        }
-        while self.consumer_parked.load(Ordering::Acquire) {
-            std::thread::park();
-            if self.has_work_or_closed() {
-                self.consumer_parked.store(false, Ordering::Release);
-                self.consumer.lock().take();
-                return;
-            }
-        }
+        self.consumer.park_until(|| self.has_work_or_closed());
     }
 
     fn has_work_or_closed(&self) -> bool {

@@ -1,17 +1,25 @@
-//! A naive lock-based MPMC queue.
+//! A naive lock-based MPMC queue, optionally capacity-bounded.
 //!
 //! This is the queue the *unoptimised* SCOOP runtime (configuration "None" in
 //! §4) uses for its single request queue, and the baseline in the queue
 //! ablation benchmark (E9): every operation takes a mutex and blocking uses a
 //! condition variable, so each handoff pays at least one lock round-trip and
 //! usually an OS wake-up.
+//!
+//! To keep the optimisation study apples-to-apples, the lock-based
+//! configuration gets the same mailbox semantics as the queue-of-queues one:
+//! [`with_capacity`](MutexQueue::with_capacity) bounds the queue (producers
+//! block — *backpressure* — instead of growing it without limit) and
+//! [`drain_batch`](MutexQueue::drain_batch) hands the consumer a whole batch
+//! per lock acquisition instead of one item.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
 use crate::{Closed, Dequeue};
 
-/// A mutex+condvar protected FIFO queue with a close protocol.
+/// A mutex+condvar protected FIFO queue with a close protocol and an
+/// optional capacity bound.
 ///
 /// ```
 /// use qs_queues::{MutexQueue, Dequeue};
@@ -25,6 +33,9 @@ use crate::{Closed, Dequeue};
 pub struct MutexQueue<T> {
     inner: Mutex<Inner<T>>,
     not_empty: Condvar,
+    not_full: Condvar,
+    /// `None` = unbounded (the seed behaviour).
+    capacity: Option<usize>,
 }
 
 #[derive(Debug)]
@@ -33,6 +44,7 @@ struct Inner<T> {
     closed: bool,
     enqueued: usize,
     dequeued: usize,
+    stalls: usize,
 }
 
 impl<T> Default for MutexQueue<T> {
@@ -42,32 +54,93 @@ impl<T> Default for MutexQueue<T> {
 }
 
 impl<T> MutexQueue<T> {
-    /// Creates an empty, open queue.
+    /// Creates an empty, open, unbounded queue.
     pub fn new() -> Self {
+        Self::with_capacity(None)
+    }
+
+    /// Creates an empty, open queue bounded at `capacity` items (`None` =
+    /// unbounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is `Some(0)`.
+    pub fn with_capacity(capacity: Option<usize>) -> Self {
+        assert!(capacity != Some(0), "a bounded queue needs capacity >= 1");
         MutexQueue {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
                 closed: false,
                 enqueued: 0,
                 dequeued: 0,
+                stalls: 0,
             }),
             not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
         }
     }
 
-    /// Appends `value` to the queue.
-    pub fn enqueue(&self, value: T) {
+    /// The capacity bound, or `None` if unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    fn is_full(&self, inner: &Inner<T>) -> bool {
+        matches!(self.capacity, Some(cap) if inner.items.len() >= cap)
+    }
+
+    /// Signals waiting producers that space appeared.  An unbounded queue
+    /// can never have a producer waiting on `not_full`, so the consumer-side
+    /// hot path (the E9 lock-based baseline) skips the condvar entirely.
+    fn notify_space(&self) {
+        if self.capacity.is_some() {
+            self.not_full.notify_all();
+        }
+    }
+
+    /// Attempts to append `value` without blocking; hands it back when the
+    /// queue is at capacity.
+    pub fn try_enqueue(&self, value: T) -> Result<(), T> {
         let mut inner = self.inner.lock().unwrap();
+        if self.is_full(&inner) {
+            return Err(value);
+        }
         inner.items.push_back(value);
         inner.enqueued += 1;
         drop(inner);
         self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Appends `value`, blocking while the queue is at capacity
+    /// (backpressure).  Returns `true` if the enqueue had to wait for space.
+    ///
+    /// Once the queue is closed the bound is no longer enforced: a draining
+    /// (or exiting) consumer must never leave a producer blocked forever, so
+    /// shutdown reverts to the unbounded enqueue semantics.
+    pub fn enqueue(&self, value: T) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let mut stalled = false;
+        while self.is_full(&inner) && !inner.closed {
+            if !stalled {
+                stalled = true;
+                inner.stalls += 1;
+            }
+            inner = self.not_full.wait(inner).unwrap();
+        }
+        inner.items.push_back(value);
+        inner.enqueued += 1;
+        drop(inner);
+        self.not_empty.notify_one();
+        stalled
     }
 
     /// Closes the queue; consumers observe [`Dequeue::Closed`] after draining.
     pub fn close(&self) {
         self.inner.lock().unwrap().closed = true;
         self.not_empty.notify_all();
+        self.not_full.notify_all();
     }
 
     /// Returns `true` once the queue has been closed.
@@ -95,6 +168,12 @@ impl<T> MutexQueue<T> {
         self.inner.lock().unwrap().dequeued
     }
 
+    /// Number of blocking enqueues that found the queue full and had to wait
+    /// (the backpressure stall count).  Always zero for unbounded queues.
+    pub fn total_stalls(&self) -> usize {
+        self.inner.lock().unwrap().stalls
+    }
+
     /// Attempts to dequeue without blocking.
     ///
     /// Returns `Ok(Some(v))` for an item, `Ok(None)` if currently empty but
@@ -103,6 +182,8 @@ impl<T> MutexQueue<T> {
         let mut inner = self.inner.lock().unwrap();
         if let Some(v) = inner.items.pop_front() {
             inner.dequeued += 1;
+            drop(inner);
+            self.notify_space();
             Ok(Some(v))
         } else if inner.closed {
             Err(Closed)
@@ -117,6 +198,8 @@ impl<T> MutexQueue<T> {
         loop {
             if let Some(v) = inner.items.pop_front() {
                 inner.dequeued += 1;
+                drop(inner);
+                self.notify_space();
                 return Dequeue::Item(v);
             }
             if inner.closed {
@@ -124,6 +207,52 @@ impl<T> MutexQueue<T> {
             }
             inner = self.not_empty.wait(inner).unwrap();
         }
+    }
+
+    /// Drains up to `max` immediately available items into `out` without
+    /// blocking.  Returns the number of items appended, or [`Closed`] if the
+    /// queue is closed and fully drained.
+    pub fn try_drain_batch(&self, out: &mut Vec<T>, max: usize) -> Result<usize, Closed> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.items.is_empty() && inner.closed {
+            return Err(Closed);
+        }
+        let drained = self.drain_locked(&mut inner, out, max);
+        drop(inner);
+        if drained > 0 {
+            self.notify_space();
+        }
+        Ok(drained)
+    }
+
+    /// Drains a batch of up to `max` items into `out`, blocking until at
+    /// least one item is available or the queue is closed and drained.
+    ///
+    /// One `drain_batch` under the lock replaces `n` lock round-trips of
+    /// repeated [`dequeue`](Self::dequeue), observing the same items in the
+    /// same order.
+    pub fn drain_batch(&self, out: &mut Vec<T>, max: usize) -> Dequeue<usize> {
+        let max = max.max(1);
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if !inner.items.is_empty() {
+                let drained = self.drain_locked(&mut inner, out, max);
+                drop(inner);
+                self.notify_space();
+                return Dequeue::Item(drained);
+            }
+            if inner.closed {
+                return Dequeue::Closed;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    fn drain_locked(&self, inner: &mut Inner<T>, out: &mut Vec<T>, max: usize) -> usize {
+        let take = inner.items.len().min(max);
+        out.extend(inner.items.drain(..take));
+        inner.dequeued += take;
+        take
     }
 }
 
@@ -167,11 +296,51 @@ mod tests {
     }
 
     #[test]
+    fn bounded_enqueue_blocks_and_counts_the_stall() {
+        let q = Arc::new(MutexQueue::with_capacity(Some(2)));
+        assert_eq!(q.capacity(), Some(2));
+        assert!(!q.enqueue(1));
+        assert!(!q.enqueue(2));
+        assert_eq!(q.try_enqueue(3), Err(3));
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || q2.enqueue(3));
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.dequeue(), Dequeue::Item(1));
+        assert!(producer.join().unwrap(), "full enqueue must report a stall");
+        assert_eq!(q.total_stalls(), 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn unbounded_queue_never_stalls() {
+        let q = MutexQueue::new();
+        for i in 0..10_000 {
+            assert!(!q.enqueue(i));
+        }
+        assert_eq!(q.total_stalls(), 0);
+    }
+
+    #[test]
+    fn drain_batch_matches_repeated_dequeue() {
+        let q = MutexQueue::new();
+        for i in 0..50 {
+            q.enqueue(i);
+        }
+        q.close();
+        let mut got = Vec::new();
+        while let Dequeue::Item(n) = q.drain_batch(&mut got, 7) {
+            assert!((1..=7).contains(&n));
+        }
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        assert_eq!(q.total_dequeued(), 50);
+    }
+
+    #[test]
     fn concurrent_producers_and_consumers_lose_nothing() {
         const PRODUCERS: usize = 4;
         const CONSUMERS: usize = 4;
         const PER_PRODUCER: usize = 5_000;
-        let q = Arc::new(MutexQueue::new());
+        let q = Arc::new(MutexQueue::with_capacity(Some(64)));
         let mut producers = Vec::new();
         for p in 0..PRODUCERS {
             let q = Arc::clone(&q);
@@ -186,8 +355,10 @@ mod tests {
             let q = Arc::clone(&q);
             consumers.push(thread::spawn(move || {
                 let mut count = 0usize;
-                while let Dequeue::Item(_) = q.dequeue() {
-                    count += 1;
+                let mut batch = Vec::new();
+                while let Dequeue::Item(n) = q.drain_batch(&mut batch, 16) {
+                    count += n;
+                    batch.clear();
                 }
                 count
             }));

@@ -13,9 +13,8 @@ use std::mem::MaybeUninit;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::thread::Thread;
 
-use qs_sync::{Backoff, CachePadded, SpinLock};
+use qs_sync::{Backoff, CachePadded, Parker, SpinLock};
 
 use crate::{Closed, Dequeue};
 
@@ -67,9 +66,7 @@ pub struct SpscQueue<T> {
     /// Number of items dequeued over the queue's lifetime (statistics).
     dequeued: AtomicUsize,
     /// Parked consumer thread, if any.
-    consumer: SpinLock<Option<Thread>>,
-    /// Flag set while the consumer is (about to be) parked.
-    consumer_parked: AtomicBool,
+    consumer: Parker,
 }
 
 struct Cursor<T> {
@@ -97,8 +94,7 @@ impl<T> SpscQueue<T> {
             closed: AtomicBool::new(false),
             enqueued: AtomicUsize::new(0),
             dequeued: AtomicUsize::new(0),
-            consumer: SpinLock::new(None),
-            consumer_parked: AtomicBool::new(false),
+            consumer: Parker::new(),
         })
     }
 
@@ -118,11 +114,7 @@ impl<T> SpscQueue<T> {
     }
 
     fn wake_consumer(&self) {
-        if self.consumer_parked.swap(false, Ordering::AcqRel) {
-            if let Some(thread) = self.consumer.lock().take() {
-                thread.unpark();
-            }
-        }
+        self.consumer.wake();
     }
 }
 
@@ -264,25 +256,31 @@ impl<T> SpscConsumer<T> {
         }
     }
 
+    /// Drains up to `max` immediately available items into `out` without
+    /// blocking.  Returns the number of items appended, or [`Closed`] if the
+    /// queue is closed and fully drained.
+    pub fn try_drain_batch(&self, out: &mut Vec<T>, max: usize) -> Result<usize, Closed> {
+        crate::batch::try_drain_with(out, max, || self.try_dequeue())
+    }
+
+    /// Drains a batch of up to `max` items into `out`, blocking until at
+    /// least one item is available or the queue is closed and drained.
+    ///
+    /// Returns `Dequeue::Item(n)` with `n >= 1` items appended to `out`, or
+    /// [`Dequeue::Closed`].  A blocking `drain_batch` observes exactly the
+    /// items that `n` repeated [`dequeue`](Self::dequeue) calls would have,
+    /// in the same order — batching changes cost, not semantics.
+    pub fn drain_batch(&self, out: &mut Vec<T>, max: usize) -> Dequeue<usize> {
+        crate::batch::drain_batch_with(
+            out,
+            max,
+            |out, max| self.try_drain_batch(out, max),
+            || self.park_until_work(),
+        )
+    }
+
     fn park_until_work(&self) {
-        let queue = &*self.queue;
-        *queue.consumer.lock() = Some(std::thread::current());
-        queue.consumer_parked.store(true, Ordering::Release);
-        // Re-check after publishing the parked flag: if work arrived (or the
-        // queue closed) in the meantime the producer may have missed it.
-        if self.has_work_or_closed() {
-            queue.consumer_parked.store(false, Ordering::Release);
-            queue.consumer.lock().take();
-            return;
-        }
-        while queue.consumer_parked.load(Ordering::Acquire) {
-            std::thread::park();
-            if self.has_work_or_closed() {
-                queue.consumer_parked.store(false, Ordering::Release);
-                queue.consumer.lock().take();
-                return;
-            }
-        }
+        self.queue.consumer.park_until(|| self.has_work_or_closed());
     }
 
     fn has_work_or_closed(&self) -> bool {
@@ -446,6 +444,21 @@ mod tests {
             }
         }
         assert_eq!(DROPS.load(Ordering::SeqCst), SEGMENT_SIZE + 3);
+    }
+
+    #[test]
+    fn drain_batch_matches_repeated_dequeue() {
+        let (tx, rx) = spsc_channel();
+        let n = SEGMENT_SIZE * 2 + 11;
+        for i in 0..n {
+            tx.enqueue(i);
+        }
+        tx.close();
+        let mut got = Vec::new();
+        while let Dequeue::Item(drained) = rx.drain_batch(&mut got, 13) {
+            assert!((1..=13).contains(&drained));
+        }
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
     }
 
     #[test]

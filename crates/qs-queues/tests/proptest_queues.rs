@@ -6,7 +6,7 @@
 //! interleavings.
 
 use proptest::prelude::*;
-use qs_queues::{spsc_channel, Dequeue, MutexQueue, QueueOfQueues};
+use qs_queues::{bounded_spsc_channel, spsc_channel, Dequeue, MutexQueue, QueueOfQueues};
 use std::sync::Arc;
 use std::thread;
 
@@ -92,6 +92,112 @@ proptest! {
                 break;
             }
         }
+    }
+
+    /// The bounded ring delivers every item exactly once, in FIFO order,
+    /// across a real producer/consumer thread pair, and its length never
+    /// exceeds the capacity — for any capacity, including the degenerate 1.
+    #[test]
+    fn bounded_ring_is_fifo_and_respects_capacity(
+        items in proptest::collection::vec(any::<u32>(), 0..2_000),
+        capacity in 1usize..17,
+    ) {
+        let (tx, rx) = bounded_spsc_channel(capacity);
+        let expected = items.clone();
+        let producer = thread::spawn(move || {
+            let mut stalls = 0usize;
+            for item in items {
+                if tx.push(item) {
+                    stalls += 1;
+                }
+            }
+            tx.close();
+            (tx, stalls)
+        });
+        let mut got = Vec::new();
+        loop {
+            let len = rx.queue().len();
+            prop_assert!(len <= capacity, "len {} exceeded capacity {}", len, capacity);
+            match rx.dequeue() {
+                Dequeue::Item(v) => got.push(v),
+                Dequeue::Closed => break,
+            }
+        }
+        let (tx, stalls) = producer.join().unwrap();
+        // Exactly once, in order: the received sequence *is* the sent one.
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(tx.queue().total_enqueued(), expected.len());
+        prop_assert_eq!(tx.queue().total_dequeued(), expected.len());
+        prop_assert_eq!(tx.queue().total_stalls(), stalls);
+    }
+
+    /// Draining in batches is observably equivalent to repeated single
+    /// dequeues: same items, same order, same close behaviour — for any
+    /// batch limit, capacity and item count.
+    #[test]
+    fn bounded_drain_batch_equals_repeated_dequeue(
+        items in proptest::collection::vec(any::<u16>(), 0..600),
+        capacity in 1usize..9,
+        max_batch in 1usize..12,
+    ) {
+        // Feed both queues the same way: producer threads with identical
+        // input, so backpressure interleavings are exercised on both.
+        let run = |by_batch: bool| {
+            let (tx, rx) = bounded_spsc_channel(capacity);
+            let items = items.clone();
+            let producer = thread::spawn(move || {
+                for item in items {
+                    tx.push(item);
+                }
+                tx.close();
+            });
+            let mut got = Vec::new();
+            if by_batch {
+                while let Dequeue::Item(n) = rx.drain_batch(&mut got, max_batch) {
+                    assert!(n >= 1 && n <= max_batch);
+                }
+            } else {
+                while let Dequeue::Item(v) = rx.dequeue() {
+                    got.push(v);
+                }
+            }
+            producer.join().unwrap();
+            got
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    /// The bounded MutexQueue (the lock-based configuration's mailbox) keeps
+    /// the same FIFO/exactly-once guarantees and honours its capacity bound.
+    #[test]
+    fn bounded_mutex_queue_is_fifo_and_respects_capacity(
+        items in proptest::collection::vec(any::<u32>(), 0..800),
+        capacity in 1usize..9,
+        max_batch in 1usize..12,
+    ) {
+        let q = Arc::new(MutexQueue::with_capacity(Some(capacity)));
+        let expected = items.clone();
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for item in items {
+                    q.enqueue(item);
+                }
+                q.close();
+            })
+        };
+        let mut got = Vec::new();
+        loop {
+            prop_assert!(q.len() <= capacity, "len exceeded capacity {}", capacity);
+            match q.drain_batch(&mut got, max_batch) {
+                Dequeue::Item(n) => prop_assert!(n >= 1 && n <= max_batch),
+                Dequeue::Closed => break,
+            }
+        }
+        producer.join().unwrap();
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(q.total_enqueued(), expected.len());
+        prop_assert_eq!(q.total_dequeued(), expected.len());
     }
 
     /// Closing with items still queued never loses them.

@@ -75,6 +75,16 @@ impl fmt::Display for OptimizationLevel {
     }
 }
 
+/// Default bound on every client mailbox (private queue / shared request
+/// queue).  Large enough that well-paced workloads never stall, small enough
+/// that a slow handler caps its memory at `clients × capacity` requests
+/// instead of growing without limit.
+pub const DEFAULT_MAILBOX_CAPACITY: usize = 1024;
+
+/// Default maximum number of requests the handler drains from a mailbox per
+/// queue crossing.
+pub const DEFAULT_MAX_BATCH: usize = 32;
+
 /// Fine-grained runtime switches; see [`OptimizationLevel`] for the bundles
 /// evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +107,18 @@ pub struct RuntimeConfig {
     pub assume_static_sync: bool,
     /// Maximum number of idle handler threads kept cached for reuse.
     pub handler_thread_cache: usize,
+    /// Bound on each client mailbox (private SPSC queue on the
+    /// queue-of-queues path, shared request queue on the lock-based path).
+    /// `None` reverts to the paper's unbounded queues; with a bound, clients
+    /// that outrun the handler block on enqueue (*backpressure*) instead of
+    /// growing the queue without limit.  Applies to every
+    /// [`OptimizationLevel`].
+    pub mailbox_capacity: Option<usize>,
+    /// Maximum number of requests the handler drains from a mailbox per
+    /// queue crossing (always at least 1).  Batch draining amortises the
+    /// per-request dequeue cost on the hottest runtime path; `1` reproduces
+    /// the seed's one-request-per-iteration loop.
+    pub max_batch: usize,
 }
 
 impl RuntimeConfig {
@@ -109,6 +131,8 @@ impl RuntimeConfig {
             dynamic_sync_coalescing: false,
             assume_static_sync: false,
             handler_thread_cache: 64,
+            mailbox_capacity: Some(DEFAULT_MAILBOX_CAPACITY),
+            max_batch: DEFAULT_MAX_BATCH,
         }
     }
 
@@ -120,12 +144,34 @@ impl RuntimeConfig {
             dynamic_sync_coalescing: true,
             assume_static_sync: true,
             handler_thread_cache: 64,
+            mailbox_capacity: Some(DEFAULT_MAILBOX_CAPACITY),
+            max_batch: DEFAULT_MAX_BATCH,
         }
     }
 
     /// The configuration for a named optimisation level.
     pub fn for_level(level: OptimizationLevel) -> Self {
         level.config()
+    }
+
+    /// Returns this configuration with the mailbox bound replaced (`None` =
+    /// unbounded, the paper's original queues).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is `Some(0)`.
+    pub fn with_mailbox_capacity(mut self, capacity: Option<usize>) -> Self {
+        assert!(capacity != Some(0), "a bounded mailbox needs capacity >= 1");
+        self.mailbox_capacity = capacity;
+        self
+    }
+
+    /// Returns this configuration with the drain batch limit replaced
+    /// (clamped to at least 1; `1` reproduces the seed's
+    /// one-request-per-iteration handler loop).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
     }
 }
 
@@ -179,6 +225,37 @@ mod tests {
         assert!(c.assume_static_sync);
         assert!(c.client_executed_queries);
         assert!(!c.dynamic_sync_coalescing);
+    }
+
+    #[test]
+    fn every_level_carries_the_mailbox_knobs() {
+        for level in OptimizationLevel::ALL {
+            let c = level.config();
+            assert_eq!(
+                c.mailbox_capacity,
+                Some(DEFAULT_MAILBOX_CAPACITY),
+                "{level}"
+            );
+            assert_eq!(c.max_batch, DEFAULT_MAX_BATCH, "{level}");
+        }
+    }
+
+    #[test]
+    fn mailbox_builders_override_and_clamp() {
+        let c = OptimizationLevel::All
+            .config()
+            .with_mailbox_capacity(Some(7))
+            .with_max_batch(0);
+        assert_eq!(c.mailbox_capacity, Some(7));
+        assert_eq!(c.max_batch, 1, "max_batch clamps to at least 1");
+        let unbounded = c.with_mailbox_capacity(None);
+        assert_eq!(unbounded.mailbox_capacity, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_mailbox_capacity_is_rejected() {
+        let _ = RuntimeConfig::default().with_mailbox_capacity(Some(0));
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use qs_queues::{Dequeue, MutexQueue, QueueOfQueues, SpscConsumer};
+use qs_queues::{Dequeue, MailboxConsumer, MutexQueue, QueueOfQueues};
 use qs_sync::{Event, SpinLock};
 
 use crate::config::RuntimeConfig;
@@ -30,6 +30,14 @@ use crate::stats::RuntimeStats;
 
 /// Unique identifier of a handler within one process.
 pub type HandlerId = u64;
+
+/// Caps the batch buffer's *pre*-allocation: a huge `max_batch` (e.g.
+/// `usize::MAX` as "drain everything") must not panic `Vec::with_capacity`
+/// or reserve gigabytes up front — the buffer simply grows on demand beyond
+/// this.
+fn batch_prealloc(max_batch: usize) -> usize {
+    max_batch.min(1024)
+}
 
 /// Shared state of one handler, owned jointly by the handler thread and all
 /// client-side [`Handler`] handles.
@@ -45,8 +53,9 @@ pub(crate) struct HandlerCore<T> {
     object_taken: AtomicBool,
 
     /// Queue-of-queues (QoQ configuration): each element is the consumer end
-    /// of one client's private queue.
-    pub(crate) qoq: QueueOfQueues<SpscConsumer<Request<T>>>,
+    /// of one client's mailbox (bounded or unbounded private queue,
+    /// per [`RuntimeConfig::mailbox_capacity`]).
+    pub(crate) qoq: QueueOfQueues<MailboxConsumer<Request<T>>>,
     /// Spinlock serialising *multi-handler* reservations (§3.3).  Single
     /// reservations enqueue lock-free and never touch it.
     pub(crate) reservation_lock: SpinLock<()>,
@@ -84,7 +93,7 @@ impl<T: Send + 'static> HandlerCore<T> {
             object_taken: AtomicBool::new(false),
             qoq: QueueOfQueues::new(),
             reservation_lock: SpinLock::new(()),
-            request_queue: MutexQueue::new(),
+            request_queue: MutexQueue::with_capacity(config.mailbox_capacity),
             client_lock: parking_lot::Mutex::new(()),
             stopped: AtomicBool::new(false),
             finished: Event::new(),
@@ -116,6 +125,7 @@ impl<T: Send + 'static> HandlerCore<T> {
     pub(crate) fn apply(&self, request: Request<T>) -> bool {
         match request {
             Request::Call(f) | Request::Query(f) => {
+                RuntimeStats::bump(&self.stats.requests_executed);
                 // SAFETY: only the handler thread calls `apply`, and clients
                 // only access the object while the handler is parked.
                 let object = unsafe { self.object_mut() };
@@ -164,24 +174,45 @@ impl<T: Send + 'static> HandlerCore<T> {
         self.finished.set();
     }
 
-    /// Fig. 7: the queue-of-queues main loop.
+    /// Fig. 7: the queue-of-queues main loop, batch-drained.
+    ///
+    /// Instead of paying one queue crossing per request, the handler pulls up
+    /// to [`RuntimeConfig::max_batch`] requests from the current private
+    /// queue at a time and applies them back to back.  Within a batch the
+    /// semantics are unchanged: requests were drained in FIFO order, and a
+    /// `Sync` request is always the last of its batch, because the client
+    /// blocks on the sync handoff before it can log anything further — so
+    /// after completing a sync the handler goes back to (blocking) drain,
+    /// i.e. it is parked from the client's point of view, which is what makes
+    /// client-executed queries race-free (§3.2).
     fn run_queue_of_queues(self: &Arc<Self>) {
+        let max_batch = self.config.max_batch.max(1);
+        let mut batch: Vec<Request<T>> = Vec::with_capacity(batch_prealloc(max_batch));
         // RUN rule: take the next private queue, if any.
         while let Dequeue::Item(private_queue) = self.qoq.dequeue() {
             // Process calls from this private queue until the client ends its
-            // separate block (END rule).
-            while let Dequeue::Item(request) = private_queue.dequeue() {
-                if !self.apply(request) {
-                    break;
+            // separate block (END rule: on this path the end of a block is
+            // the mailbox close — `Request::End` never enters a private
+            // queue, so every drained request is applied).
+            while let Dequeue::Item(drained) = private_queue.drain_batch(&mut batch, max_batch) {
+                self.stats.record_batch(drained);
+                for request in batch.drain(..) {
+                    self.apply(request);
                 }
             }
         }
     }
 
-    /// The pre-Qs lock-based loop: a single shared request queue.
+    /// The pre-Qs lock-based loop: a single shared request queue, drained in
+    /// batches under one lock acquisition each.
     fn run_lock_based(self: &Arc<Self>) {
-        while let Dequeue::Item(request) = self.request_queue.dequeue() {
-            self.apply(request);
+        let max_batch = self.config.max_batch.max(1);
+        let mut batch: Vec<Request<T>> = Vec::with_capacity(batch_prealloc(max_batch));
+        while let Dequeue::Item(drained) = self.request_queue.drain_batch(&mut batch, max_batch) {
+            self.stats.record_batch(drained);
+            for request in batch.drain(..) {
+                self.apply(request);
+            }
         }
     }
 
@@ -368,6 +399,23 @@ mod tests {
         });
         let v = handler.shutdown_and_take().unwrap();
         assert_eq!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gigantic_max_batch_does_not_panic_the_handler() {
+        // "Drain everything" expressed as usize::MAX must not blow up the
+        // batch buffer pre-allocation on either loop flavour.
+        for level in [OptimizationLevel::All, OptimizationLevel::None] {
+            let config = level.config().with_max_batch(usize::MAX);
+            let handler = spawn_inline(config, 0u64);
+            handler.separate(|s| {
+                for _ in 0..100 {
+                    s.call(|n| *n += 1);
+                }
+                assert_eq!(s.query(|n| *n), 100);
+            });
+            assert_eq!(handler.shutdown_and_take(), Some(100));
+        }
     }
 
     #[test]

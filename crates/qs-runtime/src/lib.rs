@@ -79,7 +79,7 @@ pub mod runtime;
 pub mod separate;
 pub mod stats;
 
-pub use config::{OptimizationLevel, RuntimeConfig};
+pub use config::{OptimizationLevel, RuntimeConfig, DEFAULT_MAILBOX_CAPACITY, DEFAULT_MAX_BATCH};
 pub use contracts::{assert_postcondition, check_postcondition, WaitConfig, WaitTimeout};
 #[allow(deprecated)]
 pub use contracts::{separate2_when, separate_when, try_separate2_when, try_separate_when};
@@ -89,4 +89,4 @@ pub use reservation::{separate2, separate3, separate_all};
 pub use reserve::{reserve, GuardedReservation, Reservation, ReservationSet, WaitCondition};
 pub use runtime::Runtime;
 pub use separate::{QueryToken, Separate};
-pub use stats::{RuntimeStats, StatsSnapshot};
+pub use stats::{batch_bucket_range, RuntimeStats, StatsSnapshot, BATCH_SIZE_BUCKETS};

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use qs_queues::{spsc_channel, SpscProducer};
+use qs_queues::{mailbox, MailboxProducer};
 use qs_sync::Handoff;
 
 use crate::handler::HandlerCore;
@@ -25,8 +25,9 @@ use crate::stats::RuntimeStats;
 /// the client thread that created it, mirroring SCOOP semantics.
 pub struct Separate<'a, T: Send + 'static> {
     core: &'a Arc<HandlerCore<T>>,
-    /// Producer half of the private queue (QoQ configuration).
-    producer: Option<SpscProducer<Request<T>>>,
+    /// Producer half of the client mailbox (QoQ configuration); bounded or
+    /// unbounded per [`crate::RuntimeConfig::mailbox_capacity`].
+    producer: Option<MailboxProducer<Request<T>>>,
     /// Handler lock guard (lock-based configuration).
     lock_guard: Option<parking_lot::MutexGuard<'a, ()>>,
     /// Reusable sync handoff for this reservation.
@@ -64,7 +65,7 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
         lock_guard: Option<parking_lot::MutexGuard<'a, ()>>,
     ) -> Self {
         if lock_guard.is_none() && core.config.queue_of_queues {
-            let (producer, consumer) = spsc_channel();
+            let (producer, consumer) = mailbox(core.config.mailbox_capacity);
             core.qoq.enqueue(consumer);
             RuntimeStats::bump(&core.stats.private_queues_enqueued);
             Self::from_parts(core, Some(producer), None)
@@ -77,7 +78,7 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
     /// multi-handler reservation protocol (§2.4 / §3.3).
     pub(crate) fn from_parts(
         core: &'a Arc<HandlerCore<T>>,
-        producer: Option<SpscProducer<Request<T>>>,
+        producer: Option<MailboxProducer<Request<T>>>,
         lock_guard: Option<parking_lot::MutexGuard<'a, ()>>,
     ) -> Self {
         Separate {
@@ -92,9 +93,16 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
     }
 
     fn enqueue(&self, request: Request<T>) {
-        match &self.producer {
+        // Both mailbox flavours report whether the enqueue had to wait for
+        // space: that wait *is* the backpressure the bounded configuration
+        // promises (the client is throttled to the handler's pace), and it
+        // is surfaced in the runtime statistics.
+        let stalled = match &self.producer {
             Some(producer) => producer.enqueue(request),
             None => self.core.request_queue.enqueue(request),
+        };
+        if stalled {
+            RuntimeStats::bump(&self.core.stats.backpressure_stalls);
         }
     }
 

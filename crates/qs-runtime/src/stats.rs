@@ -9,6 +9,37 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Number of batch-size histogram buckets; bucket `i` counts drained batches
+/// whose size falls in [`batch_bucket_range`]`(i)`.
+pub const BATCH_SIZE_BUCKETS: usize = 7;
+
+/// The inclusive `(lo, hi)` batch-size range of histogram bucket `index`
+/// (`hi = u64::MAX` for the open-ended last bucket): 1, 2, 3–4, 5–8, 9–16,
+/// 17–32, 33+.
+pub fn batch_bucket_range(index: usize) -> (u64, u64) {
+    match index {
+        0 => (1, 1),
+        1 => (2, 2),
+        2 => (3, 4),
+        3 => (5, 8),
+        4 => (9, 16),
+        5 => (17, 32),
+        _ => (33, u64::MAX),
+    }
+}
+
+fn batch_bucket_index(size: usize) -> usize {
+    match size {
+        0..=1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        17..=32 => 5,
+        _ => 6,
+    }
+}
+
 /// Shared, monotonically increasing counters describing runtime activity.
 #[derive(Debug, Default)]
 pub struct RuntimeStats {
@@ -42,6 +73,17 @@ pub struct RuntimeStats {
     pub postcondition_checks: AtomicU64,
     /// Postcondition checks that failed.
     pub postcondition_failures: AtomicU64,
+    /// Batches drained from mailboxes by handler main loops.
+    pub batches_drained: AtomicU64,
+    /// Requests delivered inside drained batches.
+    pub batch_requests_drained: AtomicU64,
+    /// Requests (calls and handler-executed/pipelined queries) actually
+    /// applied to a handler-owned object.
+    pub requests_executed: AtomicU64,
+    /// Enqueues that had to wait for mailbox space (bounded mailboxes only).
+    pub backpressure_stalls: AtomicU64,
+    /// Histogram of drained batch sizes; see [`batch_bucket_range`].
+    pub batch_size_buckets: [AtomicU64; BATCH_SIZE_BUCKETS],
 }
 
 impl RuntimeStats {
@@ -54,6 +96,15 @@ impl RuntimeStats {
     #[inline]
     pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one drained batch of `size` requests.
+    #[inline]
+    pub(crate) fn record_batch(&self, size: usize) {
+        self.batches_drained.fetch_add(1, Ordering::Relaxed);
+        self.batch_requests_drained
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.batch_size_buckets[batch_bucket_index(size)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Takes a point-in-time snapshot of all counters.
@@ -74,6 +125,13 @@ impl RuntimeStats {
             wait_condition_retries: self.wait_condition_retries.load(Ordering::Relaxed),
             postcondition_checks: self.postcondition_checks.load(Ordering::Relaxed),
             postcondition_failures: self.postcondition_failures.load(Ordering::Relaxed),
+            batches_drained: self.batches_drained.load(Ordering::Relaxed),
+            batch_requests_drained: self.batch_requests_drained.load(Ordering::Relaxed),
+            requests_executed: self.requests_executed.load(Ordering::Relaxed),
+            backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
+            batch_size_buckets: std::array::from_fn(|i| {
+                self.batch_size_buckets[i].load(Ordering::Relaxed)
+            }),
         }
     }
 }
@@ -111,12 +169,32 @@ pub struct StatsSnapshot {
     pub postcondition_checks: u64,
     /// Postcondition checks that failed.
     pub postcondition_failures: u64,
+    /// Batches drained from mailboxes by handler main loops.
+    pub batches_drained: u64,
+    /// Requests delivered inside drained batches.
+    pub batch_requests_drained: u64,
+    /// Requests (calls and handler-executed/pipelined queries) applied to a
+    /// handler-owned object.
+    pub requests_executed: u64,
+    /// Enqueues that had to wait for mailbox space (bounded mailboxes only).
+    pub backpressure_stalls: u64,
+    /// Histogram of drained batch sizes; see [`batch_bucket_range`].
+    pub batch_size_buckets: [u64; BATCH_SIZE_BUCKETS],
 }
 
 impl StatsSnapshot {
     /// Total number of queries, independent of where they executed.
     pub fn total_queries(&self) -> u64 {
         self.queries_client_executed + self.queries_handler_executed + self.queries_pipelined
+    }
+
+    /// Mean number of requests per drained batch (0.0 before any batch).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches_drained == 0 {
+            0.0
+        } else {
+            self.batch_requests_drained as f64 / self.batches_drained as f64
+        }
     }
 
     /// Fraction of sync operations that were elided (0.0 if none occurred).
@@ -167,6 +245,19 @@ impl StatsSnapshot {
             postcondition_failures: self
                 .postcondition_failures
                 .saturating_sub(earlier.postcondition_failures),
+            batches_drained: self.batches_drained.saturating_sub(earlier.batches_drained),
+            batch_requests_drained: self
+                .batch_requests_drained
+                .saturating_sub(earlier.batch_requests_drained),
+            requests_executed: self
+                .requests_executed
+                .saturating_sub(earlier.requests_executed),
+            backpressure_stalls: self
+                .backpressure_stalls
+                .saturating_sub(earlier.backpressure_stalls),
+            batch_size_buckets: std::array::from_fn(|i| {
+                self.batch_size_buckets[i].saturating_sub(earlier.batch_size_buckets[i])
+            }),
         }
     }
 }
@@ -196,6 +287,34 @@ mod tests {
             ..Default::default()
         };
         assert!((snap.sync_elision_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_histogram_buckets_cover_all_sizes() {
+        let stats = RuntimeStats::new();
+        for size in [1usize, 2, 3, 4, 5, 8, 9, 16, 17, 32, 33, 1000] {
+            stats.record_batch(size);
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.batches_drained, 12);
+        assert_eq!(snap.batch_size_buckets, [1, 1, 2, 2, 2, 2, 2]);
+        assert_eq!(
+            snap.batch_requests_drained,
+            1 + 2 + 3 + 4 + 5 + 8 + 9 + 16 + 17 + 32 + 33 + 1000
+        );
+        assert!(snap.mean_batch_size() > 1.0);
+        // Bucket ranges partition [1, ∞): each upper bound + 1 is the next
+        // lower bound.
+        for i in 0..BATCH_SIZE_BUCKETS - 1 {
+            let (_, hi) = batch_bucket_range(i);
+            let (lo_next, _) = batch_bucket_range(i + 1);
+            assert_eq!(hi + 1, lo_next);
+        }
+    }
+
+    #[test]
+    fn mean_batch_size_handles_zero() {
+        assert_eq!(StatsSnapshot::default().mean_batch_size(), 0.0);
     }
 
     #[test]

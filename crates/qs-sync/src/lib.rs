@@ -21,6 +21,7 @@ pub mod cache_padded;
 pub mod event;
 pub mod handoff;
 pub mod once_cell;
+pub mod parker;
 pub mod spinlock;
 pub mod wait_group;
 
@@ -29,5 +30,6 @@ pub use cache_padded::CachePadded;
 pub use event::Event;
 pub use handoff::Handoff;
 pub use once_cell::OnceValue;
+pub use parker::Parker;
 pub use spinlock::{SpinLock, SpinLockGuard};
 pub use wait_group::WaitGroup;

@@ -5,8 +5,21 @@
 //! The shim keeps the same *surface* — the [`proptest!`] macro, [`Strategy`]
 //! combinators, `any::<T>()`, ranges, tuples, string classes, and the
 //! `prop_assert*` macros — but generates cases with a deterministic seeded
-//! RNG and does **not** shrink failures: a failing case reports the case
-//! index so it can be replayed (generation is deterministic per test name).
+//! RNG and does **not** shrink failures: a failing case reports the RNG
+//! state (the *case seed*) at the start of the case, which replays it
+//! exactly (generation is a pure function of that state).
+//!
+//! Two reproducibility mechanisms mirror real proptest's workflow:
+//!
+//! * **Seed pinning** — the base RNG stream of every property is a pure
+//!   function of the test name XOR the `PROPTEST_RNG_SEED` environment
+//!   variable (default 0; CI pins it explicitly).  The same seed always
+//!   replays the same cases.
+//! * **Regression persistence** — before generating fresh cases, each
+//!   property replays the case seeds recorded in
+//!   `<crate>/proptest-regressions/<source file stem>.txt` (lines of the
+//!   form `cc <test_name> <seed>`).  A failing case's panic message prints
+//!   the exact `cc` line to commit, so the failure reproduces forever.
 
 #![warn(missing_docs)]
 
@@ -23,13 +36,30 @@ pub struct TestRng {
 }
 
 impl TestRng {
-    /// Creates an RNG whose stream is a pure function of `name`.
+    /// Creates an RNG whose stream is a pure function of `name` and of the
+    /// `PROPTEST_RNG_SEED` environment variable (decimal or `0x`-prefixed
+    /// hex; absent or unparsable means 0, so runs are deterministic either
+    /// way — the variable exists so CI can pin the stream *explicitly* and
+    /// a developer can explore alternative streams locally).
     pub fn deterministic(name: &str) -> Self {
-        let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64 ^ env_seed();
         for byte in name.bytes() {
             seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(byte as u64);
         }
         TestRng { state: seed }
+    }
+
+    /// Creates an RNG starting from an explicit state, as captured by
+    /// [`state`](Self::state) — the replay mechanism behind regression
+    /// persistence.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The current RNG state.  Captured at the start of a case, it replays
+    /// that case exactly via [`from_seed`](Self::from_seed).
+    pub fn state(&self) -> u64 {
+        self.state
     }
 
     /// Next raw 64-bit value.
@@ -55,6 +85,81 @@ impl TestRng {
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Parses `PROPTEST_RNG_SEED` (decimal or `0x`-hex); 0 when absent.
+fn env_seed() -> u64 {
+    match std::env::var("PROPTEST_RNG_SEED") {
+        Ok(raw) => {
+            let raw = raw.trim();
+            let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => raw.parse(),
+            };
+            parsed.unwrap_or(0)
+        }
+        Err(_) => 0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression persistence
+// ---------------------------------------------------------------------------
+
+/// Loading and addressing of `proptest-regressions` persistence files.
+///
+/// Mirrors real proptest's workflow: a shrunk failure is recorded as a `cc`
+/// line in `<crate>/proptest-regressions/<source file stem>.txt` and replayed
+/// before fresh generation on every subsequent run.  The shim's line format
+/// is `cc <test_name> <case seed>` (`#` starts a comment); the seed is the
+/// RNG state captured at the start of the failing case.
+pub mod persistence {
+    use std::path::Path;
+
+    /// The persistence file for a test source file: `manifest_dir`
+    /// (`env!("CARGO_MANIFEST_DIR")` at the macro call site) joined with
+    /// `proptest-regressions/<stem of source_file>.txt`.
+    pub fn file_for(manifest_dir: &str, source_file: &str) -> String {
+        let stem = Path::new(source_file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unknown");
+        format!("{manifest_dir}/proptest-regressions/{stem}.txt")
+    }
+
+    /// The persisted case seeds for `test_name`, in file order.  A missing
+    /// or unreadable file is simply an empty set.
+    pub fn load(manifest_dir: &str, source_file: &str, test_name: &str) -> Vec<u64> {
+        let path = file_for(manifest_dir, source_file);
+        let Ok(contents) = std::fs::read_to_string(&path) else {
+            return Vec::new();
+        };
+        let mut seeds = Vec::new();
+        for line in contents.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            if fields.next() != Some("cc") {
+                continue;
+            }
+            let (Some(name), Some(seed)) = (fields.next(), fields.next()) else {
+                continue;
+            };
+            if name != test_name {
+                continue;
+            }
+            let parsed = match seed.strip_prefix("0x").or_else(|| seed.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => seed.parse(),
+            };
+            if let Ok(seed) = parsed {
+                seeds.push(seed);
+            }
+        }
+        seeds
     }
 }
 
@@ -442,13 +547,41 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
-                let mut rng = $crate::TestRng::deterministic(stringify!($name));
-                for case in 0..config.cases {
+                let persistence_file =
+                    $crate::persistence::file_for(env!("CARGO_MANIFEST_DIR"), file!());
+                // Replay committed regressions first, then fresh cases from
+                // the deterministic stream.
+                let persisted =
+                    $crate::persistence::load(env!("CARGO_MANIFEST_DIR"), file!(), stringify!($name));
+                // Committed regressions replay first, each from its recorded
+                // case seed.
+                for &seed in &persisted {
+                    let mut rng = $crate::TestRng::from_seed(seed);
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
                     let outcome: ::std::result::Result<(), ::std::string::String> =
                         (|| { $body ::std::result::Result::Ok(()) })();
                     if let ::std::result::Result::Err(message) = outcome {
-                        panic!("property failed at case {case}: {message}");
+                        panic!(
+                            "persisted regression {} {:#018x} failed again: {}",
+                            stringify!($name), seed, message,
+                        );
+                    }
+                }
+                // Fresh cases from the (seed-pinned) deterministic stream; a
+                // case is a pure function of the RNG state at its start.
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    let seed = rng.state();
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!(
+                            "property failed at case {} (seed {:#018x}): {}\n\
+                             to pin this case, add the line\n    cc {} {:#018x}\n\
+                             to {}",
+                            case, seed, message, stringify!($name), seed, persistence_file,
+                        );
                     }
                 }
             }
@@ -558,5 +691,62 @@ mod tests {
             prop_assert_eq!(doubled % 2, 0);
             let _ = flag;
         }
+    }
+
+    #[test]
+    fn from_seed_replays_a_case_exactly() {
+        let mut rng = TestRng::deterministic("replay");
+        // Skip a few cases' worth of draws, then capture a case seed.
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let seed = rng.state();
+        let original: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        let mut replay = TestRng::from_seed(seed);
+        let replayed: Vec<u64> = (0..8).map(|_| replay.next_u64()).collect();
+        assert_eq!(original, replayed);
+    }
+
+    #[test]
+    fn persistence_files_are_addressed_per_source_stem() {
+        let path = crate::persistence::file_for("/work/crate-a", "tests/proptest_queues.rs");
+        assert_eq!(
+            path,
+            "/work/crate-a/proptest-regressions/proptest_queues.txt"
+        );
+    }
+
+    #[test]
+    fn persistence_load_filters_by_test_name_and_skips_comments() {
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-shim-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        std::fs::create_dir_all(dir.join("proptest-regressions")).unwrap();
+        std::fs::write(
+            dir.join("proptest-regressions/sample.txt"),
+            "# comment line\n\
+             cc wanted 0x10\n\
+             cc other 0x20\n\
+             cc wanted 48\n\
+             malformed line\n\
+             cc wanted\n",
+        )
+        .unwrap();
+        let manifest = dir.to_str().unwrap();
+        assert_eq!(
+            crate::persistence::load(manifest, "tests/sample.rs", "wanted"),
+            vec![0x10, 48]
+        );
+        assert_eq!(
+            crate::persistence::load(manifest, "tests/sample.rs", "absent"),
+            Vec::<u64>::new()
+        );
+        assert_eq!(
+            crate::persistence::load(manifest, "tests/missing_file.rs", "wanted"),
+            Vec::<u64>::new()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -15,7 +15,13 @@ struct Account {
 }
 
 fn main() {
-    let rt = Runtime::new(RuntimeConfig::all_optimizations());
+    // Production posture: bounded mailboxes (a slow handler caps its memory
+    // and throttles clients via backpressure instead of queueing unbounded
+    // transfers) drained in batches of up to 16 requests per queue crossing.
+    let config = RuntimeConfig::all_optimizations()
+        .with_mailbox_capacity(Some(64))
+        .with_max_batch(16);
+    let rt = Runtime::new(config);
     let alice = rt.spawn_handler(Account {
         owner: "alice",
         balance: 1_000,
@@ -68,4 +74,12 @@ fn main() {
         let account = handler.shutdown_and_take().unwrap();
         println!("{} closed with balance {}", account.owner, account.balance);
     }
+
+    let stats = rt.stats_snapshot();
+    println!(
+        "mailboxes: {} batches drained ({:.2} requests/batch), {} backpressure stalls",
+        stats.batches_drained,
+        stats.mean_batch_size(),
+        stats.backpressure_stalls,
+    );
 }

@@ -26,7 +26,11 @@ const PHILOSOPHERS: usize = 5;
 const MEALS_PER_PHILOSOPHER: usize = 20;
 
 fn main() {
-    let rt = Runtime::new(RuntimeConfig::all_optimizations());
+    // Tiny bounded mailboxes: each fork handler holds at most 8 queued
+    // requests, so a philosopher logging faster than a fork processes is
+    // throttled (backpressure) rather than queueing unbounded work.
+    let config = RuntimeConfig::all_optimizations().with_mailbox_capacity(Some(8));
+    let rt = Runtime::new(config);
     let forks: Vec<Handler<Fork>> = (0..PHILOSOPHERS)
         .map(|_| rt.spawn_handler(Fork::default()))
         .collect();
@@ -82,6 +86,12 @@ fn main() {
          {total_uses} fork pick-ups, {} wait-condition checks ({} retries), \
          {} multi-handler reservations",
         stats.wait_condition_checks, stats.wait_condition_retries, stats.multi_reservations
+    );
+    println!(
+        "mailboxes: {} batches drained ({:.2} requests/batch), {} backpressure stalls",
+        stats.batches_drained,
+        stats.mean_batch_size(),
+        stats.backpressure_stalls,
     );
     println!("no deadlock, no starvation, forks all back on the table");
 }

@@ -5,6 +5,59 @@
 use proptest::prelude::*;
 use scoop_qs::prelude::*;
 
+/// Regression: `QueryToken::try_take` polled *before* the handler has
+/// executed the query must simply report "not ready" — never panic, never
+/// consume the token, never lose the eventual result.  The handler is held
+/// up by a gate call so the first polls are guaranteed to race ahead of
+/// execution.
+#[test]
+fn try_take_before_execution_keeps_the_token_usable() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    for level in [OptimizationLevel::All, OptimizationLevel::None] {
+        let rt = Runtime::with_level(level);
+        let handler = rt.spawn_handler(41u32);
+        let gate = Arc::new(AtomicBool::new(false));
+        let gate_for_handler = Arc::clone(&gate);
+        let mut token = handler.separate(|s| {
+            // The handler parks on this call until the gate opens, so the
+            // query logged after it cannot have executed yet.
+            s.call(move |n| {
+                while !gate_for_handler.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                *n += 1;
+            });
+            s.query_async(|n| *n)
+        });
+        // Poll the in-flight token: every attempt must return None and leave
+        // the token intact for reuse.
+        for _ in 0..100 {
+            assert!(
+                token.try_take().is_none(),
+                "query cannot be ready while the gate call is parked ({level})"
+            );
+            assert!(!token.is_ready(), "({level})");
+        }
+        gate.store(true, Ordering::Release);
+        // The result is not lost: the same token eventually yields it.
+        let value = loop {
+            if let Some(value) = token.try_take() {
+                break value;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(value, 42, "({level})");
+        assert!(
+            token.try_take().is_none(),
+            "a taken result must not be yielded twice ({level})"
+        );
+        handler.stop();
+        handler.wait_finished();
+    }
+}
+
 /// A step of a randomly generated single-client program.
 #[derive(Debug, Clone)]
 enum Op {

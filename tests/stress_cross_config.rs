@@ -1,0 +1,183 @@
+//! Cross-configuration stress/soak suite: N clients × M handlers hammering
+//! logs and queries across every `OptimizationLevel`, with deliberately tiny
+//! mailbox capacities (1, 2, 7) so the backpressure path is exercised
+//! constantly, plus the unbounded configuration as the stall-free control.
+//!
+//! Each round asserts the full set of accounting invariants:
+//!
+//! * nothing is lost: the handlers' final state reflects every logged call;
+//! * enqueued == executed: every call and handler-executed/pipelined query
+//!   that entered a mailbox was applied exactly once;
+//! * no stall is counted without a bounded mailbox;
+//! * batch draining actually happens (nonzero `batches_drained`);
+//! * shutdown is clean: every handler drains and hands its object back.
+
+use scoop_qs::prelude::*;
+
+/// One stress round: `clients` threads × `handler_count` handlers, each
+/// client running `blocks` separate blocks of `calls_per_block` calls plus a
+/// query mix, on a fresh runtime configured with `capacity`.
+fn stress_round(
+    level: OptimizationLevel,
+    capacity: Option<usize>,
+    clients: usize,
+    handler_count: usize,
+    blocks: usize,
+    calls_per_block: usize,
+) {
+    let config = level.config().with_mailbox_capacity(capacity);
+    let rt = Runtime::new(config);
+    let handlers: Vec<Handler<u64>> = (0..handler_count).map(|_| rt.spawn_handler(0u64)).collect();
+
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let handlers = handlers.clone();
+            scope.spawn(move || {
+                for block in 0..blocks {
+                    let handler = &handlers[(client + block) % handlers.len()];
+                    let label = format!("{level}/cap {capacity:?}");
+                    handler.separate(|s| {
+                        for _ in 0..calls_per_block {
+                            s.call(|n| *n += 1);
+                        }
+                        // A pipelined query in flight while further calls are
+                        // logged, then a synchronous query: both must observe
+                        // a prefix-consistent counter.
+                        let early = s.query_async(|n| *n);
+                        s.call(|n| *n += 1);
+                        let late = s.query(|n| *n);
+                        let early = early.wait();
+                        assert!(
+                            early < late,
+                            "{label}: pipelined query saw {early}, later sync query saw {late}"
+                        );
+                    });
+                }
+            });
+        }
+    });
+
+    // Clean shutdown: every handler drains its remaining work and returns
+    // its object.
+    let total: u64 = handlers
+        .into_iter()
+        .map(|h| h.shutdown_and_take().expect("object taken exactly once"))
+        .sum();
+    let expected_calls = (clients * blocks * (calls_per_block + 1)) as u64;
+    let context = format!("{level} with capacity {capacity:?}");
+    assert_eq!(total, expected_calls, "{context}: calls lost or duplicated");
+
+    let snap = rt.stats_snapshot();
+    assert_eq!(snap.calls_enqueued, expected_calls, "{context}");
+    // Every request that entered a mailbox was applied exactly once.
+    assert_eq!(
+        snap.requests_executed,
+        snap.calls_enqueued + snap.queries_handler_executed + snap.queries_pipelined,
+        "{context}: enqueued != executed"
+    );
+    assert_eq!(
+        snap.queries_pipelined,
+        (clients * blocks) as u64,
+        "{context}"
+    );
+    assert!(snap.batches_drained > 0, "{context}: no batches drained");
+    assert_eq!(
+        snap.batch_requests_drained,
+        snap.requests_executed + snap.syncs_performed,
+        "{context}: drained requests must be exactly the executed ones plus sync tokens"
+    );
+    if capacity.is_none() {
+        assert_eq!(
+            snap.backpressure_stalls, 0,
+            "{context}: an unbounded mailbox must never stall"
+        );
+    }
+}
+
+/// Every optimisation level must survive the tiniest possible mailbox: with
+/// capacity 1 every second enqueue stalls, so this is the maximal-contention
+/// backpressure configuration.
+#[test]
+fn all_levels_survive_mailbox_capacity_one() {
+    for level in OptimizationLevel::ALL {
+        stress_round(level, Some(1), 4, 2, 6, 20);
+    }
+}
+
+/// Small odd capacities exercise ring wrap-around (7) and the two-entry
+/// boundary (2) across every level.
+#[test]
+fn all_levels_survive_tiny_capacities() {
+    for level in OptimizationLevel::ALL {
+        for capacity in [2, 7] {
+            stress_round(level, Some(capacity), 4, 2, 6, 20);
+        }
+    }
+}
+
+/// The unbounded control: identical workload, and the invariant that no
+/// backpressure stall is ever counted without a bound.
+#[test]
+fn all_levels_unbounded_control_never_stalls() {
+    for level in OptimizationLevel::ALL {
+        stress_round(level, None, 4, 2, 6, 20);
+    }
+}
+
+/// A bounded run whose clients deliberately outrun the handler must record
+/// backpressure stalls (the complement of the unbounded control above).
+#[test]
+fn capacity_one_fan_in_records_stalls() {
+    let rt = Runtime::new(
+        OptimizationLevel::All
+            .config()
+            .with_mailbox_capacity(Some(1)),
+    );
+    let handler = rt.spawn_handler(0u64);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let handler = handler.clone();
+            scope.spawn(move || {
+                handler.separate(|s| {
+                    for _ in 0..500 {
+                        s.call(|n| *n += 1);
+                    }
+                });
+            });
+        }
+    });
+    assert_eq!(handler.shutdown_and_take(), Some(1_000));
+    let snap = rt.stats_snapshot();
+    assert!(
+        snap.backpressure_stalls > 0,
+        "two clients bursting 500 calls into capacity-1 mailboxes must stall"
+    );
+}
+
+/// Release-mode soak of the queue-of-queues configurations (QoQ and All),
+/// sized for the CI stress job.  Run with `--include-ignored`.
+#[test]
+#[ignore = "soak test; run in release mode via the CI stress job"]
+fn soak_queue_of_queues_configurations() {
+    for level in [OptimizationLevel::QoQ, OptimizationLevel::All] {
+        for capacity in [Some(1), Some(7), Some(64), None] {
+            stress_round(level, capacity, 8, 4, 100, 500);
+        }
+    }
+}
+
+/// Release-mode soak of the lock-based configurations (None, Dynamic,
+/// Static).  Run with `--include-ignored`.
+#[test]
+#[ignore = "soak test; run in release mode via the CI stress job"]
+fn soak_lock_based_configurations() {
+    for level in [
+        OptimizationLevel::None,
+        OptimizationLevel::Dynamic,
+        OptimizationLevel::Static,
+    ] {
+        for capacity in [Some(1), Some(7), Some(64), None] {
+            stress_round(level, capacity, 8, 4, 100, 250);
+        }
+    }
+}

@@ -1,13 +1,16 @@
 //! Scheduling-layer ablation: the shared-queue [`qs_exec::ThreadPool`] versus
 //! the per-worker-deque [`qs_exec::StealPool`] on balanced and imbalanced
 //! fork/join workloads (the §6 related-work comparison point: Cilk-style
-//! work stealing versus a central queue).
+//! work stealing versus a central queue), plus the *handler* scheduling
+//! ablation — dedicated cached threads versus the M:N pool — on a fan-out /
+//! fan-in workload over live handlers.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qs_exec::{spawn_local, StealPool, ThreadPool};
+use qs_runtime::{OptimizationLevel, Runtime, SchedulerMode};
 
 const TASKS: usize = 512;
 const WORK: u64 = 2_000;
@@ -121,5 +124,46 @@ fn ablation_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablation_scheduler);
+/// Fan-out/fan-in over `handlers` live handlers: one separate block of
+/// `calls` asynchronous calls per handler, then a query per handler.
+fn handler_fan_out(rt: &Runtime, handlers: usize, calls: usize) -> u64 {
+    let fleet: Vec<_> = (0..handlers).map(|_| rt.spawn_handler(0u64)).collect();
+    for handler in &fleet {
+        handler.separate(|s| {
+            for _ in 0..calls {
+                s.call(|n| *n += 1);
+            }
+        });
+    }
+    let total: u64 = fleet.iter().map(|h| h.query_detached(|n| *n)).sum();
+    assert_eq!(total, (handlers * calls) as u64);
+    total
+}
+
+fn ablation_handler_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_handler_scheduling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    for (label, mode) in [
+        ("dedicated", SchedulerMode::Dedicated),
+        ("pooled", SchedulerMode::Pooled { workers: 0 }),
+    ] {
+        let rt = Runtime::new(OptimizationLevel::All.config().with_scheduler(mode));
+        group.bench_with_input(
+            BenchmarkId::new("fan_out_8_handlers", label),
+            &rt,
+            |b, rt| b.iter(|| handler_fan_out(rt, 8, 200)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fan_out_256_handlers", label),
+            &rt,
+            |b, rt| b.iter(|| handler_fan_out(rt, 256, 8)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_scheduler, ablation_handler_scheduling);
 criterion_main!(benches);

@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! run_experiments [table1|table2|table4|table5|fig19|summary|all] [quick|standard|paper]
+//! run_experiments scheduler [smoke|quick|full]   # writes BENCH_scheduler.json
 //! ```
 //!
 //! Results (who wins, by what factor) are machine-relative; EXPERIMENTS.md
-//! records a measured run next to the paper's reported numbers.
+//! records a measured run next to the paper's reported numbers, and
+//! `BENCH_scheduler.json` a handler-count sweep of the M:N scheduler.
 
 use qs_bench::experiments::{
-    fig19_scalability, table1_opt_parallel, table2_opt_concurrent, table4_lang_parallel,
-    table5_lang_concurrent, Scale,
+    fig19_scalability, scheduler_sweep, table1_opt_parallel, table2_opt_concurrent,
+    table4_lang_parallel, table5_lang_concurrent, Scale, SchedulerPoint,
 };
 use qs_bench::report::{geometric_mean, print_table};
 use qs_workloads::types::ParallelTask;
@@ -150,9 +152,90 @@ fn run_summary(scale: Scale, threads: usize) {
     let _ = threads;
 }
 
+/// Hand-rolled JSON for the scheduler sweep (the workspace is offline; no
+/// serde).  One object per point, stable key order.
+fn scheduler_points_to_json(points: &[SchedulerPoint], dedicated_cap: usize) -> String {
+    let mut out = String::from("{\n  \"bench\": \"scheduler_handler_sweep\",\n");
+    out.push_str("  \"unit\": \"requests_per_sec\",\n");
+    out.push_str(&format!(
+        "  \"parallelism\": {},\n  \"dedicated_handler_cap\": {dedicated_cap},\n  \
+         \"dedicated_cap_reason\": \"one OS thread per handler exhausts memory above \
+         ~16k threads on this class of machine; the pooled scheduler exists to lift \
+         exactly this limit\",\n  \"points\": [\n",
+        qs_exec::default_parallelism()
+    ));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"workers\": {}, \"handlers\": {}, \
+             \"requests\": {}, \"elapsed_secs\": {:.6}, \"requests_per_sec\": {:.1}, \
+             \"peak_process_threads\": {}, \"peak_scheduler_threads\": {}}}{}\n",
+            p.mode,
+            p.workers,
+            p.handlers,
+            p.requests,
+            p.elapsed.as_secs_f64(),
+            p.requests_per_sec,
+            p.peak_process_threads,
+            p.peak_scheduler_threads,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The `scheduler` mode: run the handler-count sweep and write
+/// `BENCH_scheduler.json` next to the current directory.
+fn run_scheduler_sweep(scale: &str) {
+    let (counts, dedicated_cap): (&[usize], usize) = match scale {
+        "smoke" => (&[1_000], 1_000),
+        "quick" => (&[1_000, 10_000], 10_000),
+        // Full sweep.  Dedicated is capped at 10k on purpose: 50k concurrent
+        // OS threads exhausts memory on ordinary boxes (measured here:
+        // thread creation aborts with ENOMEM around 16k threads) — that
+        // infeasibility is the motivation for the pooled scheduler, and the
+        // cap is recorded in the JSON instead of silently shrinking the
+        // sweep.
+        _ => (&[1_000, 10_000, 50_000], 10_000),
+    };
+    let points = scheduler_sweep(counts, dedicated_cap);
+    let header = vec![
+        "mode x handlers".to_string(),
+        "req/s".to_string(),
+        "peak proc threads".to_string(),
+        "peak sched threads".to_string(),
+    ];
+    let rows: Vec<(String, Vec<String>)> = points
+        .iter()
+        .map(|p| {
+            (
+                format!("{} x{}", p.mode, p.handlers),
+                vec![
+                    format!("{:.0}", p.requests_per_sec),
+                    p.peak_process_threads.to_string(),
+                    p.peak_scheduler_threads.to_string(),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Handler scheduling — dedicated threads vs M:N pool (fan-out/fan-in)",
+        &header,
+        &rows,
+    );
+    let json = scheduler_points_to_json(&points, dedicated_cap);
+    let path = "BENCH_scheduler.json";
+    std::fs::write(path, json).expect("write BENCH_scheduler.json");
+    println!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let what = args.get(1).map(String::as_str).unwrap_or("all");
+    if what == "scheduler" {
+        run_scheduler_sweep(args.get(2).map(String::as_str).unwrap_or("full"));
+        return;
+    }
     let scale = Scale::parse(args.get(2).map(String::as_str).unwrap_or("quick"));
     let threads = qs_exec::default_parallelism().min(8);
     println!("experiments: {what}  scale: {scale:?}  threads: {threads}");

@@ -1,9 +1,10 @@
-//! The experiment definitions: one function per table/figure of the paper.
+//! The experiment definitions: one function per table/figure of the paper,
+//! plus the handler-scheduling sweep behind `BENCH_scheduler.json`.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use qs_baselines::Paradigm;
-use qs_runtime::OptimizationLevel;
+use qs_runtime::{OptimizationLevel, Runtime, RuntimeConfig, SchedulerMode};
 use qs_workloads::concurrent::{
     run_concurrent, run_concurrent_scoop, ConcurrentParams, ConcurrentTask,
 };
@@ -209,9 +210,149 @@ pub fn table5_lang_concurrent(scale: Scale) -> Vec<Series> {
         .collect()
 }
 
+/// One measured point of the handler-count scaling sweep: `handlers` live
+/// handlers under one scheduling mode, each receiving one fan-out block of
+/// asynchronous calls followed by a fan-in query.
+#[derive(Debug, Clone)]
+pub struct SchedulerPoint {
+    /// Scheduling mode label ("Dedicated" / "Pooled").
+    pub mode: String,
+    /// Pool workers (0 for dedicated threads).
+    pub workers: usize,
+    /// Concurrently live handlers.
+    pub handlers: usize,
+    /// Requests executed during the measured window.
+    pub requests: u64,
+    /// Wall-clock time of fan-out + fan-in.
+    pub elapsed: Duration,
+    /// Requests per second over the measured window.
+    pub requests_per_sec: f64,
+    /// Highest OS thread count of the process observed during the point.
+    pub peak_process_threads: usize,
+    /// Scheduler-side worker-thread high-water (0 for dedicated).
+    pub peak_scheduler_threads: usize,
+}
+
+/// Current OS thread count of this process (`/proc/self/status`); 0 when the
+/// platform does not expose it.
+pub fn process_threads() -> usize {
+    let status = match std::fs::read_to_string("/proc/self/status") {
+        Ok(status) => status,
+        Err(_) => return 0,
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Runs one sweep point: spawns `handlers` handlers, fans one block of
+/// `calls_per_handler` calls out to every handler from four client threads,
+/// fans the results back in with one query per handler, and verifies the
+/// total before reporting.
+pub fn scheduler_point(
+    mode: SchedulerMode,
+    handlers: usize,
+    calls_per_handler: usize,
+) -> SchedulerPoint {
+    let rt = Runtime::new(RuntimeConfig::all_optimizations().with_scheduler(mode));
+    let fleet: Vec<_> = (0..handlers).map(|_| rt.spawn_handler(0u64)).collect();
+    let baseline = rt.stats_snapshot();
+    // With dedicated threads the whole fleet is alive right now; sample
+    // before the work so that cost is visible.
+    let mut peak_threads = process_threads();
+
+    let start = Instant::now();
+    let clients = 4.min(handlers).max(1);
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let fleet = &fleet;
+            scope.spawn(move || {
+                for handler in fleet.iter().skip(client).step_by(clients) {
+                    handler.separate(|s| {
+                        for _ in 0..calls_per_handler {
+                            s.call(|n| *n += 1);
+                        }
+                    });
+                }
+            });
+        }
+    });
+    peak_threads = peak_threads.max(process_threads());
+    // Fan-in: one query per handler proves every logged call was applied.
+    let total: u64 = fleet.iter().map(|h| h.query_detached(|n| *n)).sum();
+    let elapsed = start.elapsed();
+    peak_threads = peak_threads.max(process_threads());
+    assert_eq!(
+        total,
+        (handlers * calls_per_handler) as u64,
+        "sweep point lost requests ({mode:?}, {handlers} handlers)"
+    );
+
+    let snap = rt.stats_snapshot().since(&baseline);
+    let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    let point = SchedulerPoint {
+        mode: mode.label().to_string(),
+        workers: mode.effective_workers().unwrap_or(0),
+        handlers,
+        requests: snap.requests_executed,
+        elapsed,
+        requests_per_sec: snap.requests_executed as f64 / secs,
+        peak_process_threads: peak_threads,
+        peak_scheduler_threads: rt.scheduler_peak_threads(),
+    };
+    drop(fleet);
+    point
+}
+
+/// The handler-count sweep behind `BENCH_scheduler.json`: dedicated versus
+/// pooled at each count in `counts`.  Dedicated points above
+/// `dedicated_cap` are skipped (tens of thousands of concurrent OS threads
+/// are exactly the configuration the pooled scheduler exists to avoid, and
+/// not every CI box survives them).
+pub fn scheduler_sweep(counts: &[usize], dedicated_cap: usize) -> Vec<SchedulerPoint> {
+    let mut points = Vec::new();
+    for &handlers in counts {
+        if handlers <= dedicated_cap {
+            points.push(scheduler_point(SchedulerMode::Dedicated, handlers, 10));
+        }
+        points.push(scheduler_point(
+            SchedulerMode::Pooled { workers: 0 },
+            handlers,
+            10,
+        ));
+    }
+    points
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scheduler_point_accounts_every_request() {
+        for mode in [
+            SchedulerMode::Dedicated,
+            SchedulerMode::Pooled { workers: 2 },
+        ] {
+            let point = scheduler_point(mode, 32, 10);
+            assert_eq!(point.handlers, 32);
+            // 10 calls per handler plus one fan-in query each (client- or
+            // handler-executed depending on level; All uses client-executed,
+            // so only the calls count as executed requests).
+            assert!(point.requests >= 320, "{point:?}");
+            assert!(point.requests_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn process_thread_count_is_visible_on_linux() {
+        let threads = process_threads();
+        if cfg!(target_os = "linux") {
+            assert!(threads >= 1, "at least the main thread");
+        }
+    }
 
     #[test]
     fn scale_parsing_and_parameters() {

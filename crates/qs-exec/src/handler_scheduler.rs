@@ -1,0 +1,1036 @@
+//! M:N scheduling of handlers: many resumable tasks on a small
+//! work-stealing worker pool.
+//!
+//! The paper keeps handler creation cheap with user-level threads (§3); the
+//! dedicated-thread substitution ([`crate::thread_cache`]) caps the number
+//! of *live* handlers at the number of OS threads the machine tolerates,
+//! because an idle handler blocks its thread inside a queue dequeue.  This
+//! module removes that cap: a handler is rewritten as a [`PooledTask`] whose
+//! [`step`](PooledTask::step) *returns* when its queues are empty, and the
+//! [`HandlerScheduler`] re-arms it when a producer signals new work through
+//! the task's [`TaskHandle`].  Fifty thousand mostly-idle handlers then cost
+//! fifty thousand small task structs, not fifty thousand OS threads.
+//!
+//! # The schedule-flag protocol
+//!
+//! Each task carries one atomic flag with five states — `Idle`, `Scheduled`,
+//! `Running`, `Notified` (running with a wake pending) and `Done` — which
+//! guarantees the two properties an M:N handler loop needs:
+//!
+//! * **a task is never enqueued twice**: only the `Idle → Scheduled` and
+//!   `Running → Idle`-failed transitions enqueue, and both are CAS-guarded;
+//! * **a wake is never lost**: a notify that finds the task `Running` moves
+//!   it to `Notified`, and the worker's `Running → Idle` CAS then fails and
+//!   reschedules instead of parking, so work enqueued *while* the task was
+//!   deciding to go idle is always seen.
+//!
+//! Producers therefore do not need to detect empty→nonempty transitions;
+//! they notify on every enqueue and the flag collapses the duplicates.
+//!
+//! # Blocking edges and compensation
+//!
+//! A handler step may block: a request closure can enter a nested separate
+//! block, wait on a query, or stall on bounded-mailbox backpressure.  A
+//! blocked step pins its worker, and with every worker pinned the pool would
+//! deadlock even though runnable tasks are queued.  The scheduler
+//! compensates instead of requiring annotations: a monitor thread watches
+//! for "runnable tasks, no sleeping worker, and every core worker pinned
+//! inside its current step for at least `STALL_THRESHOLD` (100ms)" and
+//! spawns an
+//! extra worker (up to [`MAX_EXTRA_WORKERS`]), which retires once the queue
+//! calms down.  This is the detect-and-spawn strategy of classic M:N
+//! runtimes, traded for the simplicity of not distinguishing blocking from
+//! non-blocking handler bodies.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use qs_queues::MutexQueue;
+use qs_sync::Backoff;
+
+use crate::deque::{steal_deque, Stealer, Worker};
+
+/// What a [`PooledTask::step`] reports back to its scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Out of immediately available work; the task parks until the next
+    /// [`TaskHandle::notify`].
+    Idle,
+    /// The yield budget ran out with work still pending; reschedule so other
+    /// tasks get the worker (fairness).
+    Yielded,
+    /// The task terminated; it is never scheduled again and further notifies
+    /// are no-ops.
+    Done,
+}
+
+/// A resumable task multiplexed onto the scheduler's workers.
+///
+/// `step` must *poll*, never block on "queue empty": when it finds no
+/// immediately available work it returns [`StepOutcome::Idle`] and relies on
+/// a producer calling [`TaskHandle::notify`] after enqueuing.  The scheduler
+/// runs at most one `step` of a given task at a time, so implementations may
+/// keep interior mutable loop state behind an uncontended lock.
+pub trait PooledTask: Send + Sync + 'static {
+    /// Runs until out of work, out of budget, or done.
+    fn step(&self) -> StepOutcome;
+}
+
+// Schedule-flag states.
+const IDLE: u8 = 0;
+const SCHEDULED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+/// Upper bound on live compensation workers; far above what any reasonable
+/// blocking-edge chain needs, low enough to turn a runaway into a visible
+/// plateau instead of thread exhaustion.
+pub const MAX_EXTRA_WORKERS: usize = 1024;
+
+/// How often the monitor checks for a stalled pool while tasks are
+/// runnable.
+const MONITOR_INTERVAL: Duration = Duration::from_millis(1);
+
+/// Monitor tick while the pool is idle (nothing queued): nothing to
+/// compensate for, so the monitor mostly sleeps.
+const IDLE_MONITOR_INTERVAL: Duration = Duration::from_millis(25);
+
+/// A core worker counts as blocked once it has been inside one step this
+/// long.  Long enough that ordinary steps (bounded by the caller's yield
+/// budget) and OS preemption on oversubscribed boxes do not trigger
+/// spurious compensation, short enough that a genuine blocking-edge
+/// deadlock resolves in a fraction of a second per chain link.
+const STALL_THRESHOLD: Duration = Duration::from_millis(100);
+
+/// Pause after spawning a compensation worker, giving it time to drain the
+/// queue before the monitor re-evaluates (bounds the spawn rate during one
+/// long stall).
+const POST_SPAWN_PAUSE: Duration = Duration::from_millis(25);
+
+struct TaskState {
+    /// Cleared when the task reaches `Done`.  Handles commonly sit inside
+    /// the task's own wake plumbing (a handler core owns the hook closure
+    /// owning this state, while the task owns the core), so dropping the
+    /// task reference at the terminal transition is what breaks that cycle
+    /// and lets a finished task's resources free while notify handles
+    /// linger.
+    task: Mutex<Option<Arc<dyn PooledTask>>>,
+    flag: AtomicU8,
+    scheduler: Weak<Shared>,
+}
+
+impl TaskState {
+    /// The task to step, if not yet done.
+    fn task(&self) -> Option<Arc<dyn PooledTask>> {
+        self.task.lock().clone()
+    }
+
+    /// Terminal transition: mark done and release the task reference.
+    fn mark_done(&self) {
+        self.flag.store(DONE, Ordering::SeqCst);
+        *self.task.lock() = None;
+    }
+}
+
+/// Shared handle to a registered task; producers call
+/// [`notify`](TaskHandle::notify) after making work available.
+pub struct TaskHandle {
+    state: Arc<TaskState>,
+}
+
+impl Clone for TaskHandle {
+    fn clone(&self) -> Self {
+        TaskHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl TaskHandle {
+    /// Wakes the task: schedules it if idle, or flags the running step to
+    /// re-check its queues before parking.  Returns `true` when this call
+    /// transitioned the task from idle to scheduled (a "handler wakeup");
+    /// duplicates and notifies against running/done tasks return `false`.
+    pub fn notify(&self) -> bool {
+        loop {
+            match self.state.flag.load(Ordering::SeqCst) {
+                IDLE => {
+                    if self
+                        .state
+                        .flag
+                        .compare_exchange(IDLE, SCHEDULED, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        schedule(Arc::clone(&self.state));
+                        return true;
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .state
+                        .flag
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        return false;
+                    }
+                }
+                // SCHEDULED, NOTIFIED, DONE: the wake is already covered.
+                _ => return false,
+            }
+        }
+    }
+
+    /// Returns `true` once the task reported [`StepOutcome::Done`].
+    pub fn is_done(&self) -> bool {
+        self.state.flag.load(Ordering::SeqCst) == DONE
+    }
+}
+
+impl std::fmt::Debug for TaskHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskHandle")
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+/// Hands a `Scheduled` task to the pool, or — when the scheduler is gone or
+/// shut down — runs it inline on the calling thread so a task with pending
+/// work can never be stranded.
+fn schedule(state: Arc<TaskState>) {
+    match state.scheduler.upgrade() {
+        Some(shared) if !shared.shutdown.load(Ordering::Acquire) => shared.enqueue(state),
+        _ => run_inline(&state),
+    }
+}
+
+/// Degraded post-shutdown execution: step the task to quiescence on the
+/// current (producer) thread.  Notifies arriving mid-step are honoured by
+/// the same flag protocol the pool uses.
+fn run_inline(state: &Arc<TaskState>) {
+    let Some(task) = state.task() else {
+        return;
+    };
+    loop {
+        state.flag.store(RUNNING, Ordering::SeqCst);
+        let outcome = catch_unwind(AssertUnwindSafe(|| task.step())).unwrap_or(StepOutcome::Done);
+        match outcome {
+            StepOutcome::Done => {
+                state.mark_done();
+                return;
+            }
+            StepOutcome::Yielded => continue,
+            StepOutcome::Idle => {
+                if state
+                    .flag
+                    .compare_exchange(RUNNING, IDLE, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    return;
+                }
+                // Notified while running: step again.
+            }
+        }
+    }
+}
+
+struct Shared {
+    /// External (non-worker) submissions and post-yield overflow.
+    injector: MutexQueue<Arc<TaskState>>,
+    /// Thief handles onto every core worker's deque.
+    stealers: Vec<Stealer<Arc<TaskState>>>,
+    /// Tasks currently sitting in the injector or a deque.
+    queued: AtomicUsize,
+    /// Core workers currently parked.
+    sleeping: AtomicUsize,
+    shutdown: AtomicBool,
+    idle_lock: Mutex<()>,
+    idle_cond: Condvar,
+    /// Clock origin for the per-worker step timestamps.
+    epoch: std::time::Instant,
+    /// Per core worker: `1 + millis-since-epoch` at which its current step
+    /// began, or 0 while between steps.  The monitor reads these to decide
+    /// whether every worker is pinned inside a (probably blocking) step.
+    step_started: Vec<AtomicU64>,
+    /// Steps started (statistics).
+    steps: AtomicU64,
+    steals: AtomicU64,
+    panics: AtomicU64,
+    /// Compensation bookkeeping.
+    extras_spawned: AtomicU64,
+    extras_live: AtomicUsize,
+    extra_handles: Mutex<Vec<JoinHandle<()>>>,
+    live_threads: AtomicUsize,
+    peak_threads: AtomicUsize,
+}
+
+impl Shared {
+    fn enqueue(self: &Arc<Self>, state: Arc<TaskState>) {
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        self.injector.enqueue(state);
+        if self.injector.is_closed() {
+            // Shutdown finished behind our back; no worker will ever look at
+            // the injector again.  Drain it here so the task still runs.
+            while let Ok(Some(task)) = self.injector.try_dequeue() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                run_inline(&task);
+            }
+        } else {
+            self.wake_one();
+        }
+    }
+
+    fn wake_one(&self) {
+        if self.sleeping.load(Ordering::SeqCst) > 0 {
+            let _guard = self.idle_lock.lock();
+            self.idle_cond.notify_one();
+        }
+    }
+
+    fn wake_all(&self) {
+        let _guard = self.idle_lock.lock();
+        self.idle_cond.notify_all();
+    }
+
+    /// Grabs a task from the injector or any core deque (used by extra
+    /// workers and by core workers whose own deque ran dry).
+    fn take_shared(&self, skip_deque: Option<usize>) -> Option<Arc<TaskState>> {
+        if let Ok(Some(task)) = self.injector.try_dequeue() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(task);
+        }
+        for (victim, stealer) in self.stealers.iter().enumerate() {
+            if Some(victim) == skip_deque {
+                continue;
+            }
+            if let Some(task) = stealer.steal() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// `1 + millis since scheduler creation` (the +1 keeps 0 free as the
+    /// "between steps" marker).
+    fn now_marker(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64 + 1
+    }
+
+    fn note_thread_started(&self) {
+        let live = self.live_threads.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak_threads.fetch_max(live, Ordering::SeqCst);
+    }
+
+    fn note_thread_exited(&self) {
+        self.live_threads.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Runs one step of `state` and routes the outcome: `Done` parks the flag
+/// terminally, `Yielded` goes back to the runnable set (the worker's own
+/// deque when it has one, so thieves can balance it), `Idle` parks unless a
+/// notify raced in.
+fn run_task(shared: &Arc<Shared>, local: Option<&Worker<Arc<TaskState>>>, state: Arc<TaskState>) {
+    let Some(task) = state.task() else {
+        return;
+    };
+    shared.steps.fetch_add(1, Ordering::SeqCst);
+    state.flag.store(RUNNING, Ordering::SeqCst);
+    let outcome = catch_unwind(AssertUnwindSafe(|| task.step())).unwrap_or_else(|_| {
+        shared.panics.fetch_add(1, Ordering::Relaxed);
+        StepOutcome::Done
+    });
+    match outcome {
+        StepOutcome::Done => state.mark_done(),
+        StepOutcome::Yielded => {
+            state.flag.store(SCHEDULED, Ordering::SeqCst);
+            requeue(shared, local, state);
+        }
+        StepOutcome::Idle => {
+            if state
+                .flag
+                .compare_exchange(RUNNING, IDLE, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                // A producer notified while the step was running: the task
+                // stays runnable so the new work cannot be lost.
+                state.flag.store(SCHEDULED, Ordering::SeqCst);
+                requeue(shared, local, state);
+            }
+        }
+    }
+}
+
+fn requeue(shared: &Arc<Shared>, local: Option<&Worker<Arc<TaskState>>>, state: Arc<TaskState>) {
+    match local {
+        Some(deque) => {
+            shared.queued.fetch_add(1, Ordering::SeqCst);
+            deque.push(state);
+            // Another worker may be parked while this deque now holds work.
+            shared.wake_one();
+        }
+        None => shared.enqueue(state),
+    }
+}
+
+/// A worker consults the shared sources (injector, sibling deques) first on
+/// every Nth task acquisition.  Without this, a handler that yields on its
+/// budget goes back to the owner's LIFO deque and is immediately re-popped,
+/// so one hot handler could starve every task waiting in the injector.
+const SHARED_POLL_INTERVAL: u32 = 16;
+
+fn worker_loop(index: usize, local: Worker<Arc<TaskState>>, shared: Arc<Shared>) {
+    let backoff = Backoff::new();
+    let mut acquisitions = 0u32;
+    loop {
+        acquisitions = acquisitions.wrapping_add(1);
+        let pop_local = || {
+            local.pop().inspect(|_| {
+                shared.queued.fetch_sub(1, Ordering::SeqCst);
+            })
+        };
+        let task = if acquisitions.is_multiple_of(SHARED_POLL_INTERVAL) {
+            shared.take_shared(Some(index)).or_else(pop_local)
+        } else {
+            pop_local().or_else(|| shared.take_shared(Some(index)))
+        };
+        if let Some(task) = task {
+            shared.step_started[index].store(shared.now_marker(), Ordering::SeqCst);
+            run_task(&shared, Some(&local), task);
+            shared.step_started[index].store(0, Ordering::SeqCst);
+            backoff.reset();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            if shared.queued.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            // Someone is mid-enqueue; spin briefly and retry the take.
+            backoff.snooze();
+            continue;
+        }
+        if shared.queued.load(Ordering::SeqCst) > 0 {
+            // Counted but not yet visible in any queue: a producer is between
+            // the increment and the push.
+            backoff.snooze();
+            continue;
+        }
+        let mut guard = shared.idle_lock.lock();
+        if shared.shutdown.load(Ordering::Acquire) || shared.queued.load(Ordering::SeqCst) > 0 {
+            continue;
+        }
+        shared.sleeping.fetch_add(1, Ordering::SeqCst);
+        shared.idle_cond.wait(&mut guard);
+        shared.sleeping.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Compensation worker: pulls from the injector and the core deques only,
+/// retires after a stretch of idleness or on shutdown.
+fn extra_worker_loop(shared: Arc<Shared>) {
+    let mut idle_rounds = 0u32;
+    while idle_rounds < 64 {
+        if let Some(task) = shared.take_shared(None) {
+            run_task(&shared, None, task);
+            idle_rounds = 0;
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) && shared.queued.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        idle_rounds += 1;
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    shared.extras_live.fetch_sub(1, Ordering::SeqCst);
+    shared.note_thread_exited();
+}
+
+fn monitor_loop(shared: Arc<Shared>) {
+    loop {
+        // Tick fast only while tasks are runnable; an idle pool downshifts
+        // so a long-lived runtime full of parked handlers costs ~40 monitor
+        // wakeups a second instead of 1000 (detection latency is dominated
+        // by the 100ms stall threshold either way).
+        let busy = shared.queued.load(Ordering::SeqCst) > 0;
+        std::thread::sleep(if busy {
+            MONITOR_INTERVAL
+        } else {
+            IDLE_MONITOR_INTERVAL
+        });
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Retired compensation workers leave finished JoinHandles behind;
+        // reap them so a long-lived scheduler does not accumulate one
+        // handle per extra ever spawned.
+        {
+            let mut extras = shared.extra_handles.lock();
+            if !extras.is_empty() {
+                extras.retain(|handle| !handle.is_finished());
+            }
+        }
+        if shared.queued.load(Ordering::SeqCst) == 0 {
+            continue;
+        }
+        if shared.sleeping.load(Ordering::SeqCst) > 0 {
+            // A worker is available; make sure it is awake and move on.
+            shared.wake_one();
+            continue;
+        }
+        // Compensate only when every core worker has been pinned inside one
+        // step for at least the stall threshold — the signature of blocking
+        // steps, not of short steps or scheduling jitter.
+        let now = shared.now_marker();
+        let threshold = STALL_THRESHOLD.as_millis() as u64;
+        let all_stuck = shared.step_started.iter().all(|started| {
+            let started = started.load(Ordering::SeqCst);
+            started != 0 && now.saturating_sub(started) >= threshold
+        });
+        if !all_stuck {
+            continue;
+        }
+        // Runnable tasks, no free worker, every worker blocked.  Compensate.
+        if shared.extras_live.load(Ordering::SeqCst) < MAX_EXTRA_WORKERS {
+            shared.extras_live.fetch_add(1, Ordering::SeqCst);
+            shared.extras_spawned.fetch_add(1, Ordering::Relaxed);
+            shared.note_thread_started();
+            let worker_shared = Arc::clone(&shared);
+            let id = shared.extras_spawned.load(Ordering::Relaxed);
+            let handle = std::thread::Builder::new()
+                .name(format!("qs-hsched-extra-{id}"))
+                .spawn(move || extra_worker_loop(worker_shared))
+                .expect("failed to spawn compensation worker");
+            shared.extra_handles.lock().push(handle);
+            std::thread::sleep(POST_SPAWN_PAUSE);
+        }
+    }
+}
+
+/// A fixed-size M:N scheduler for [`PooledTask`]s with lost-wakeup-free
+/// re-arming and blocked-worker compensation.
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+/// use qs_exec::{HandlerScheduler, PooledTask, StepOutcome};
+///
+/// struct Countdown(AtomicU64);
+/// impl PooledTask for Countdown {
+///     fn step(&self) -> StepOutcome {
+///         if self.0.fetch_sub(1, Ordering::SeqCst) > 1 {
+///             StepOutcome::Idle // wait for the next notify
+///         } else {
+///             StepOutcome::Done
+///         }
+///     }
+/// }
+///
+/// let scheduler = HandlerScheduler::new(2);
+/// let handle = scheduler.register(Arc::new(Countdown(AtomicU64::new(3))));
+/// while !handle.is_done() {
+///     handle.notify();
+/// }
+/// ```
+pub struct HandlerScheduler {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    monitor: Mutex<Option<JoinHandle<()>>>,
+    core_workers: usize,
+}
+
+impl HandlerScheduler {
+    /// Spawns a scheduler with `workers` core worker threads (at least one)
+    /// plus the compensation monitor.
+    pub fn new(workers: usize) -> Arc<Self> {
+        let workers = workers.max(1);
+        let mut deques = Vec::with_capacity(workers);
+        let mut stealers = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (deque, stealer) = steal_deque();
+            deques.push(deque);
+            stealers.push(stealer);
+        }
+        let shared = Arc::new(Shared {
+            injector: MutexQueue::new(),
+            stealers,
+            queued: AtomicUsize::new(0),
+            sleeping: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            idle_lock: Mutex::new(()),
+            idle_cond: Condvar::new(),
+            epoch: std::time::Instant::now(),
+            step_started: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            steps: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            extras_spawned: AtomicU64::new(0),
+            extras_live: AtomicUsize::new(0),
+            extra_handles: Mutex::new(Vec::new()),
+            live_threads: AtomicUsize::new(0),
+            peak_threads: AtomicUsize::new(0),
+        });
+        let worker_handles = deques
+            .into_iter()
+            .enumerate()
+            .map(|(index, deque)| {
+                let shared = Arc::clone(&shared);
+                shared.note_thread_started();
+                std::thread::Builder::new()
+                    .name(format!("qs-hsched-worker-{index}"))
+                    .spawn(move || {
+                        worker_loop(index, deque, Arc::clone(&shared));
+                        shared.note_thread_exited();
+                    })
+                    .expect("failed to spawn scheduler worker")
+            })
+            .collect();
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("qs-hsched-monitor".to_string())
+                .spawn(move || monitor_loop(shared))
+                .expect("failed to spawn scheduler monitor")
+        };
+        Arc::new(HandlerScheduler {
+            shared,
+            workers: Mutex::new(worker_handles),
+            monitor: Mutex::new(Some(monitor)),
+            core_workers: workers,
+        })
+    }
+
+    /// Registers a task, initially idle; the first
+    /// [`notify`](TaskHandle::notify) schedules it.
+    pub fn register(&self, task: Arc<dyn PooledTask>) -> TaskHandle {
+        TaskHandle {
+            state: Arc::new(TaskState {
+                task: Mutex::new(Some(task)),
+                flag: AtomicU8::new(IDLE),
+                scheduler: Arc::downgrade(&self.shared),
+            }),
+        }
+    }
+
+    /// Number of core worker threads.
+    pub fn workers(&self) -> usize {
+        self.core_workers
+    }
+
+    /// Tasks successfully stolen from a core worker's deque by another
+    /// thread (sibling worker, compensation worker, or the shutdown
+    /// drainer).  Injector grabs are not steals and are not counted.
+    pub fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Total steps started.
+    pub fn steps(&self) -> u64 {
+        self.shared.steps.load(Ordering::SeqCst)
+    }
+
+    /// Steps whose task panicked (the task is retired, the worker survives).
+    pub fn panicked_steps(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Compensation workers ever spawned by the monitor.
+    pub fn extra_workers_spawned(&self) -> u64 {
+        self.shared.extras_spawned.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads currently alive (core + compensation).
+    pub fn live_threads(&self) -> usize {
+        self.shared.live_threads.load(Ordering::SeqCst)
+    }
+
+    /// Most worker threads ever alive at once (core + compensation).
+    pub fn peak_threads(&self) -> usize {
+        self.shared.peak_threads.load(Ordering::SeqCst)
+    }
+
+    /// Drains queued tasks, stops every worker and the monitor, and joins
+    /// them.  Tasks notified after shutdown run inline on the notifying
+    /// thread, so no pending work is ever stranded.
+    ///
+    /// While joining, the calling thread doubles as a drain worker: a core
+    /// worker pinned inside a blocking step may depend on a still-queued
+    /// task to unblock it (the compensation scenario), and the monitor is
+    /// winding down — so the joiner runs queued tasks itself until the
+    /// worker exits.  Blocks until in-flight steps return; a step that only
+    /// an external event can unblock keeps `shutdown` waiting for it.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.wake_all();
+        for handle in self.workers.lock().drain(..) {
+            while !handle.is_finished() {
+                match self.shared.take_shared(None) {
+                    Some(task) => run_task(&self.shared, None, task),
+                    None => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+            let _ = handle.join();
+        }
+        if let Some(monitor) = self.monitor.lock().take() {
+            let _ = monitor.join();
+        }
+        loop {
+            let extras: Vec<_> = self.shared.extra_handles.lock().drain(..).collect();
+            if extras.is_empty() {
+                break;
+            }
+            for handle in extras {
+                let _ = handle.join();
+            }
+        }
+        self.shared.injector.close();
+        while let Ok(Some(task)) = self.shared.injector.try_dequeue() {
+            self.shared.queued.fetch_sub(1, Ordering::SeqCst);
+            run_inline(&task);
+        }
+    }
+}
+
+impl Drop for HandlerScheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for HandlerScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HandlerScheduler")
+            .field("workers", &self.core_workers)
+            .field("live_threads", &self.live_threads())
+            .field("steps", &self.steps())
+            .field("steals", &self.steals())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_sync::Event;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Counts notifies received while draining a shared work counter.
+    struct DrainTask {
+        pending: AtomicUsize,
+        executed: AtomicUsize,
+        done: AtomicBool,
+    }
+
+    impl DrainTask {
+        fn new() -> Arc<Self> {
+            Arc::new(DrainTask {
+                pending: AtomicUsize::new(0),
+                executed: AtomicUsize::new(0),
+                done: AtomicBool::new(false),
+            })
+        }
+    }
+
+    impl PooledTask for DrainTask {
+        fn step(&self) -> StepOutcome {
+            loop {
+                if self
+                    .pending
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    self.executed.fetch_add(1, Ordering::SeqCst);
+                } else if self.done.load(Ordering::SeqCst) {
+                    return StepOutcome::Done;
+                } else {
+                    return StepOutcome::Idle;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_notified_unit_of_work_executes() {
+        let scheduler = HandlerScheduler::new(2);
+        let task = DrainTask::new();
+        let handle = scheduler.register(Arc::clone(&task) as Arc<dyn PooledTask>);
+        const UNITS: usize = 10_000;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let task = Arc::clone(&task);
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    for _ in 0..UNITS / 4 {
+                        task.pending.fetch_add(1, Ordering::SeqCst);
+                        handle.notify();
+                    }
+                });
+            }
+        });
+        // Wait for the drain, then let the task finish.
+        while task.executed.load(Ordering::SeqCst) < UNITS {
+            std::thread::yield_now();
+        }
+        task.done.store(true, Ordering::SeqCst);
+        handle.notify();
+        while !handle.is_done() {
+            std::thread::yield_now();
+        }
+        assert_eq!(task.executed.load(Ordering::SeqCst), UNITS);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn idle_tasks_cost_no_threads() {
+        let scheduler = HandlerScheduler::new(2);
+        let handles: Vec<_> = (0..10_000)
+            .map(|_| scheduler.register(DrainTask::new() as Arc<dyn PooledTask>))
+            .collect();
+        assert!(
+            scheduler.live_threads() <= 2 + scheduler.shared.extras_live.load(Ordering::SeqCst)
+        );
+        drop(handles);
+        scheduler.shutdown();
+        assert_eq!(scheduler.live_threads(), 0);
+    }
+
+    #[test]
+    fn yielded_tasks_are_rescheduled_until_done() {
+        struct Stepper {
+            steps_left: AtomicUsize,
+        }
+        impl PooledTask for Stepper {
+            fn step(&self) -> StepOutcome {
+                if self.steps_left.fetch_sub(1, Ordering::SeqCst) > 1 {
+                    StepOutcome::Yielded
+                } else {
+                    StepOutcome::Done
+                }
+            }
+        }
+        let scheduler = HandlerScheduler::new(1);
+        let handle = scheduler.register(Arc::new(Stepper {
+            steps_left: AtomicUsize::new(50),
+        }));
+        handle.notify();
+        while !handle.is_done() {
+            std::thread::yield_now();
+        }
+        assert!(scheduler.steps() >= 50);
+    }
+
+    #[test]
+    fn blocked_worker_is_compensated() {
+        // Task A blocks its (only) worker until task B has run; without the
+        // monitor spawning an extra worker this deadlocks.
+        let scheduler = HandlerScheduler::new(1);
+        let gate = Arc::new(Event::new());
+
+        struct Blocker {
+            gate: Arc<Event>,
+        }
+        impl PooledTask for Blocker {
+            fn step(&self) -> StepOutcome {
+                self.gate.wait();
+                StepOutcome::Done
+            }
+        }
+        struct Opener {
+            gate: Arc<Event>,
+        }
+        impl PooledTask for Opener {
+            fn step(&self) -> StepOutcome {
+                self.gate.set();
+                StepOutcome::Done
+            }
+        }
+
+        let blocker = scheduler.register(Arc::new(Blocker {
+            gate: Arc::clone(&gate),
+        }));
+        let opener = scheduler.register(Arc::new(Opener {
+            gate: Arc::clone(&gate),
+        }));
+        blocker.notify();
+        // Give the worker a moment to pick up the blocking step.
+        std::thread::sleep(Duration::from_millis(5));
+        opener.notify();
+        while !blocker.is_done() || !opener.is_done() {
+            std::thread::yield_now();
+        }
+        assert!(scheduler.extra_workers_spawned() >= 1);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn shutdown_runs_queued_unblocker_tasks() {
+        // Regression: a worker pinned in a blocking step whose unblocker is
+        // still queued must not deadlock shutdown — the joining thread
+        // drains the queue itself while it waits.
+        let scheduler = HandlerScheduler::new(1);
+        let gate = Arc::new(Event::new());
+
+        struct Blocker {
+            gate: Arc<Event>,
+        }
+        impl PooledTask for Blocker {
+            fn step(&self) -> StepOutcome {
+                self.gate.wait();
+                StepOutcome::Done
+            }
+        }
+        struct Opener {
+            gate: Arc<Event>,
+        }
+        impl PooledTask for Opener {
+            fn step(&self) -> StepOutcome {
+                self.gate.set();
+                StepOutcome::Done
+            }
+        }
+
+        let blocker = scheduler.register(Arc::new(Blocker {
+            gate: Arc::clone(&gate),
+        }));
+        let opener = scheduler.register(Arc::new(Opener {
+            gate: Arc::clone(&gate),
+        }));
+        blocker.notify();
+        std::thread::sleep(Duration::from_millis(5));
+        // The single worker is now pinned inside Blocker::step; the opener
+        // sits in the injector.  Shut down before the 100ms compensation
+        // threshold can fire.
+        opener.notify();
+        scheduler.shutdown();
+        assert!(blocker.is_done());
+        assert!(opener.is_done());
+    }
+
+    #[test]
+    fn yielding_task_does_not_starve_the_injector() {
+        // Regression: a hot task re-queued to its owner's LIFO deque must
+        // not keep a single worker from ever consulting the injector.
+        struct Hog {
+            yields_left: AtomicUsize,
+            other_done_first: Arc<AtomicBool>,
+            other: Arc<Event>,
+        }
+        impl PooledTask for Hog {
+            fn step(&self) -> StepOutcome {
+                if self.yields_left.fetch_sub(1, Ordering::SeqCst) > 1 {
+                    StepOutcome::Yielded
+                } else {
+                    self.other_done_first
+                        .store(self.other.is_set(), Ordering::SeqCst);
+                    StepOutcome::Done
+                }
+            }
+        }
+        struct Quick {
+            done: Arc<Event>,
+        }
+        impl PooledTask for Quick {
+            fn step(&self) -> StepOutcome {
+                self.done.set();
+                StepOutcome::Done
+            }
+        }
+
+        let scheduler = HandlerScheduler::new(1);
+        let quick_done = Arc::new(Event::new());
+        let other_done_first = Arc::new(AtomicBool::new(false));
+        let hog = scheduler.register(Arc::new(Hog {
+            yields_left: AtomicUsize::new(10_000),
+            other_done_first: Arc::clone(&other_done_first),
+            other: Arc::clone(&quick_done),
+        }));
+        let quick = scheduler.register(Arc::new(Quick {
+            done: Arc::clone(&quick_done),
+        }));
+        hog.notify();
+        quick.notify();
+        while !hog.is_done() || !quick.is_done() {
+            std::thread::yield_now();
+        }
+        assert!(
+            other_done_first.load(Ordering::SeqCst),
+            "the injector task must run before a 10k-yield hog finishes"
+        );
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn notify_after_shutdown_runs_inline() {
+        let scheduler = HandlerScheduler::new(1);
+        let task = DrainTask::new();
+        let handle = scheduler.register(Arc::clone(&task) as Arc<dyn PooledTask>);
+        scheduler.shutdown();
+        task.pending.fetch_add(1, Ordering::SeqCst);
+        handle.notify();
+        assert_eq!(task.executed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn panicking_step_retires_the_task_and_spares_the_worker() {
+        struct Bomb;
+        impl PooledTask for Bomb {
+            fn step(&self) -> StepOutcome {
+                panic!("task failure");
+            }
+        }
+        let scheduler = HandlerScheduler::new(1);
+        let bomb = scheduler.register(Arc::new(Bomb));
+        bomb.notify();
+        while !bomb.is_done() {
+            std::thread::yield_now();
+        }
+        assert_eq!(scheduler.panicked_steps(), 1);
+        // The worker survives and still runs other tasks.
+        let task = DrainTask::new();
+        let handle = scheduler.register(Arc::clone(&task) as Arc<dyn PooledTask>);
+        task.pending.fetch_add(1, Ordering::SeqCst);
+        task.done.store(true, Ordering::SeqCst);
+        handle.notify();
+        while !handle.is_done() {
+            std::thread::yield_now();
+        }
+        assert_eq!(task.executed.load(Ordering::SeqCst), 1);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn work_is_stolen_across_workers() {
+        let scheduler = HandlerScheduler::new(2);
+        // Many independent yield-happy tasks force cross-deque traffic.
+        let handles: Vec<_> = (0..64)
+            .map(|_| {
+                let task = DrainTask::new();
+                task.pending.store(50, Ordering::SeqCst);
+                task.done.store(true, Ordering::SeqCst);
+                (
+                    Arc::clone(&task),
+                    scheduler.register(task as Arc<dyn PooledTask>),
+                )
+            })
+            .collect();
+        for (_, handle) in &handles {
+            handle.notify();
+        }
+        for (task, handle) in &handles {
+            while !handle.is_done() {
+                std::thread::yield_now();
+            }
+            assert_eq!(task.executed.load(Ordering::SeqCst), 50);
+        }
+        scheduler.shutdown();
+    }
+}

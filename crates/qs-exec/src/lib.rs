@@ -12,23 +12,30 @@
 //!   tasks (the "task switching" layer), used by the data-parallel workloads;
 //! * [`scope`]/[`Scope`] — structured borrowing parallelism on top of the
 //!   pool (parallel-for, fork/join);
-//! * [`ThreadCache`] — recycled OS threads for handlers, so that creating and
-//!   retiring a handler does not pay thread creation cost each time (the
-//!   "lightweight threads" layer);
+//! * [`ThreadCache`] — recycled OS threads for handlers running in the
+//!   *dedicated* scheduling mode, so that creating and retiring a handler
+//!   does not pay thread creation cost each time (the "lightweight threads"
+//!   layer);
+//! * [`HandlerScheduler`] — M:N scheduling of handlers: resumable
+//!   [`PooledTask`]s multiplexed onto a fixed work-stealing worker pool with
+//!   a lost-wakeup-free re-arming protocol and blocked-worker compensation,
+//!   so handler count is no longer bounded by OS thread count;
 //! * [`deque`]/[`stealing`] — per-worker work-stealing deques (owner-LIFO,
-//!   thief-FIFO) and a Cilk-style stealing scheduler built on them, used as
-//!   the comparison point for the §6 related-work discussion and by the
-//!   scheduling ablation benchmarks.
+//!   thief-FIFO) and a Cilk-style stealing scheduler built on them, used by
+//!   the handler scheduler, as the comparison point for the §6 related-work
+//!   discussion and by the scheduling ablation benchmarks.
 
 #![warn(missing_docs)]
 
 pub mod deque;
+pub mod handler_scheduler;
 pub mod pool;
 pub mod scope;
 pub mod stealing;
 pub mod thread_cache;
 
 pub use deque::{steal_deque, Stealer, Worker};
+pub use handler_scheduler::{HandlerScheduler, PooledTask, StepOutcome, TaskHandle};
 pub use pool::ThreadPool;
 pub use scope::{parallel_chunks, parallel_for, Scope};
 pub use stealing::{spawn_local, StealPool, StealStats};

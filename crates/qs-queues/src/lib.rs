@@ -49,6 +49,20 @@ pub use mpsc::QueueOfQueues;
 pub use mutex_queue::MutexQueue;
 pub use spsc::{spsc_channel, SpscConsumer, SpscProducer, SpscQueue};
 
+/// A consumer-wake callback registered on a queue by its (single) consumer's
+/// scheduler.
+///
+/// Producers invoke the hook after every operation that can make new work
+/// visible to the consumer — an enqueue or a close — so a consumer that is
+/// *not* parked inside the blocking dequeue/drain entry points (an M:N
+/// scheduled handler that returned to its pool instead of blocking) can be
+/// re-armed.  Producers may invoke the hook spuriously (more often than the
+/// queue transitions from empty to nonempty); deduplication is the
+/// receiver's job — the scheduler's schedule-flag protocol collapses
+/// redundant wakes, which keeps the queue-side contract trivial: *never miss
+/// one*, duplicates are free.
+pub type WakeHook = std::sync::Arc<dyn Fn() + Send + Sync>;
+
 /// Outcome of a blocking dequeue operation.
 ///
 /// Mirrors the Boolean protocol of the paper's handler loop (Fig. 7): a

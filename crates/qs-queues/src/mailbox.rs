@@ -10,14 +10,24 @@
 
 use crate::bounded::{bounded_spsc_channel, BoundedSpscConsumer, BoundedSpscProducer};
 use crate::spsc::{spsc_channel, SpscConsumer, SpscProducer};
-use crate::{Closed, Dequeue};
+use crate::{Closed, Dequeue, WakeHook};
 
-/// Producer (client) half of a mailbox.
-pub enum MailboxProducer<T> {
+/// The two underlying queue flavours of a mailbox producer.
+enum ProducerFlavour<T> {
     /// Unbounded private queue (the seed behaviour; `capacity = None`).
     Unbounded(SpscProducer<T>),
     /// Capacity-bounded ring with blocking-push backpressure.
     Bounded(BoundedSpscProducer<T>),
+}
+
+/// Producer (client) half of a mailbox.
+pub struct MailboxProducer<T> {
+    flavour: ProducerFlavour<T>,
+    /// Optional consumer-wake hook; see [`WakeHook`].  Carried by the
+    /// producer (rather than the shared queue) because a mailbox's consumer
+    /// scheduler is known at creation time — the client building the mailbox
+    /// copies the hook from the handler it is reserving.
+    wake_hook: Option<WakeHook>,
 }
 
 /// Consumer (handler) half of a mailbox.
@@ -35,68 +45,96 @@ pub enum MailboxConsumer<T> {
 ///
 /// Panics if `capacity` is `Some(0)`.
 pub fn mailbox<T>(capacity: Option<usize>) -> (MailboxProducer<T>, MailboxConsumer<T>) {
-    match capacity {
+    let (flavour, consumer) = match capacity {
         None => {
             let (tx, rx) = spsc_channel();
             (
-                MailboxProducer::Unbounded(tx),
+                ProducerFlavour::Unbounded(tx),
                 MailboxConsumer::Unbounded(rx),
             )
         }
         Some(capacity) => {
             let (tx, rx) = bounded_spsc_channel(capacity);
-            (MailboxProducer::Bounded(tx), MailboxConsumer::Bounded(rx))
+            (ProducerFlavour::Bounded(tx), MailboxConsumer::Bounded(rx))
         }
-    }
+    };
+    (
+        MailboxProducer {
+            flavour,
+            wake_hook: None,
+        },
+        consumer,
+    )
 }
 
 impl<T> MailboxProducer<T> {
+    /// Attaches a consumer-wake hook, invoked after every enqueue and on
+    /// close.  Used by M:N scheduled consumers that poll the mailbox instead
+    /// of blocking inside it.
+    pub fn with_wake_hook(mut self, hook: WakeHook) -> Self {
+        self.wake_hook = Some(hook);
+        self
+    }
+
+    fn invoke_wake_hook(&self) {
+        if let Some(hook) = &self.wake_hook {
+            hook();
+        }
+    }
+
     /// Enqueues `value`, blocking for space when the mailbox is bounded and
     /// full.  Returns `true` if the enqueue had to wait (a backpressure
     /// stall); an unbounded mailbox never stalls.
     pub fn enqueue(&self, value: T) -> bool {
-        match self {
-            MailboxProducer::Unbounded(tx) => {
+        let stalled = match &self.flavour {
+            ProducerFlavour::Unbounded(tx) => {
                 tx.enqueue(value);
                 false
             }
-            MailboxProducer::Bounded(tx) => tx.push(value),
-        }
+            ProducerFlavour::Bounded(tx) => tx.push(value),
+        };
+        self.invoke_wake_hook();
+        stalled
     }
 
     /// Attempts to enqueue without blocking; hands `value` back when a
     /// bounded mailbox is at capacity.  Never fails on an unbounded mailbox.
     pub fn try_enqueue(&self, value: T) -> Result<(), T> {
-        match self {
-            MailboxProducer::Unbounded(tx) => {
+        let result = match &self.flavour {
+            ProducerFlavour::Unbounded(tx) => {
                 tx.enqueue(value);
                 Ok(())
             }
-            MailboxProducer::Bounded(tx) => tx.try_push(value).map_err(|full| full.0),
+            ProducerFlavour::Bounded(tx) => tx.try_push(value).map_err(|full| full.0),
+        };
+        if result.is_ok() {
+            self.invoke_wake_hook();
         }
+        result
     }
 
     /// Closes the mailbox (the END marker of a separate block).
     pub fn close(&self) {
-        match self {
-            MailboxProducer::Unbounded(tx) => tx.close(),
-            MailboxProducer::Bounded(tx) => tx.close(),
+        match &self.flavour {
+            ProducerFlavour::Unbounded(tx) => tx.close(),
+            ProducerFlavour::Bounded(tx) => tx.close(),
         }
+        self.invoke_wake_hook();
     }
 
     /// The capacity bound, or `None` if unbounded.
     pub fn capacity(&self) -> Option<usize> {
-        match self {
-            MailboxProducer::Unbounded(_) => None,
-            MailboxProducer::Bounded(tx) => Some(tx.queue().capacity()),
+        match &self.flavour {
+            ProducerFlavour::Unbounded(_) => None,
+            ProducerFlavour::Bounded(tx) => Some(tx.queue().capacity()),
         }
     }
 
     /// Number of blocking enqueues that had to wait for space so far.
     pub fn total_stalls(&self) -> usize {
-        match self {
-            MailboxProducer::Unbounded(_) => 0,
-            MailboxProducer::Bounded(tx) => tx.queue().total_stalls(),
+        match &self.flavour {
+            ProducerFlavour::Unbounded(_) => 0,
+            ProducerFlavour::Bounded(tx) => tx.queue().total_stalls(),
         }
     }
 }

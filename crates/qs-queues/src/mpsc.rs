@@ -15,9 +15,9 @@
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 
-use qs_sync::{Backoff, CachePadded, Parker};
+use qs_sync::{Backoff, CachePadded, OnceValue, Parker};
 
-use crate::{Closed, Dequeue};
+use crate::{Closed, Dequeue, WakeHook};
 
 struct Node<T> {
     next: AtomicPtr<Node<T>>,
@@ -62,6 +62,9 @@ pub struct QueueOfQueues<T> {
     enqueued: AtomicUsize,
     dequeued: AtomicUsize,
     consumer: Parker,
+    /// Optional consumer-wake hook (M:N scheduled consumers); see
+    /// [`WakeHook`].
+    wake_hook: OnceValue<WakeHook>,
 }
 
 // SAFETY: producers only touch `head` (atomic swap) and their own node;
@@ -86,6 +89,21 @@ impl<T> QueueOfQueues<T> {
             enqueued: AtomicUsize::new(0),
             dequeued: AtomicUsize::new(0),
             consumer: Parker::new(),
+            wake_hook: OnceValue::new(),
+        }
+    }
+
+    /// Registers the consumer-wake hook, invoked after every enqueue and on
+    /// close.  May be set at most once (subsequent calls are ignored); the
+    /// consumer's scheduler registers it before any producer it wants to
+    /// hear from starts enqueuing.
+    pub fn set_wake_hook(&self, hook: WakeHook) {
+        let _ = self.wake_hook.set(hook);
+    }
+
+    fn invoke_wake_hook(&self) {
+        if let Some(hook) = self.wake_hook.get() {
+            hook();
         }
     }
 
@@ -101,6 +119,7 @@ impl<T> QueueOfQueues<T> {
         unsafe { (*prev).next.store(node, Ordering::Release) };
         self.enqueued.fetch_add(1, Ordering::Relaxed);
         self.wake_consumer();
+        self.invoke_wake_hook();
     }
 
     /// Marks the queue closed.  The consumer drains the remaining items and
@@ -108,6 +127,7 @@ impl<T> QueueOfQueues<T> {
     pub fn close(&self) {
         self.closed.store(true, Ordering::Release);
         self.wake_consumer();
+        self.invoke_wake_hook();
     }
 
     /// Returns `true` once [`close`](Self::close) has been called.

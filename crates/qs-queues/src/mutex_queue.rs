@@ -16,7 +16,9 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
-use crate::{Closed, Dequeue};
+use qs_sync::OnceValue;
+
+use crate::{Closed, Dequeue, WakeHook};
 
 /// A mutex+condvar protected FIFO queue with a close protocol and an
 /// optional capacity bound.
@@ -29,13 +31,25 @@ use crate::{Closed, Dequeue};
 /// q.close();
 /// assert_eq!(q.dequeue(), Dequeue::Closed);
 /// ```
-#[derive(Debug)]
 pub struct MutexQueue<T> {
     inner: Mutex<Inner<T>>,
     not_empty: Condvar,
     not_full: Condvar,
     /// `None` = unbounded (the seed behaviour).
     capacity: Option<usize>,
+    /// Optional consumer-wake hook (M:N scheduled consumers); see
+    /// [`WakeHook`].
+    wake_hook: OnceValue<WakeHook>,
+}
+
+impl<T> std::fmt::Debug for MutexQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MutexQueue")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("closed", &self.is_closed())
+            .finish()
+    }
 }
 
 #[derive(Debug)]
@@ -78,6 +92,20 @@ impl<T> MutexQueue<T> {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
+            wake_hook: OnceValue::new(),
+        }
+    }
+
+    /// Registers the consumer-wake hook, invoked after every enqueue and on
+    /// close (outside the queue lock).  May be set at most once; subsequent
+    /// calls are ignored.
+    pub fn set_wake_hook(&self, hook: WakeHook) {
+        let _ = self.wake_hook.set(hook);
+    }
+
+    fn invoke_wake_hook(&self) {
+        if let Some(hook) = self.wake_hook.get() {
+            hook();
         }
     }
 
@@ -110,6 +138,7 @@ impl<T> MutexQueue<T> {
         inner.enqueued += 1;
         drop(inner);
         self.not_empty.notify_one();
+        self.invoke_wake_hook();
         Ok(())
     }
 
@@ -133,6 +162,7 @@ impl<T> MutexQueue<T> {
         inner.enqueued += 1;
         drop(inner);
         self.not_empty.notify_one();
+        self.invoke_wake_hook();
         stalled
     }
 
@@ -141,6 +171,7 @@ impl<T> MutexQueue<T> {
         self.inner.lock().unwrap().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
+        self.invoke_wake_hook();
     }
 
     /// Returns `true` once the queue has been closed.

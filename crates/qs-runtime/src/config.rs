@@ -75,6 +75,76 @@ impl fmt::Display for OptimizationLevel {
     }
 }
 
+/// How handler main loops are mapped onto OS threads.
+///
+/// The paper's prototype multiplexes handlers over user-level threads so
+/// that "millions of objects" does not mean "millions of OS threads".  The
+/// runtime offers both substitutions:
+///
+/// * [`Dedicated`](SchedulerMode::Dedicated) — one (cached) OS thread per
+///   *live* handler.  Handler bodies may block freely, but the number of
+///   concurrently live handlers is capped by what the OS tolerates in
+///   threads.
+/// * [`Pooled`](SchedulerMode::Pooled) — M:N: every handler is a resumable
+///   task on a fixed work-stealing worker pool
+///   ([`qs_exec::HandlerScheduler`]), re-armed by producer-side wake hooks
+///   when work arrives.  Idle handlers cost no thread, so tens of thousands
+///   of mostly-idle handlers run on a handful of workers.  Steps that block
+///   (nested separate blocks, bounded-mailbox backpressure) pin a worker;
+///   the scheduler's monitor detects the stall and spawns compensation
+///   workers so the pool cannot starve itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerMode {
+    /// One cached OS thread per live handler (the pre-M:N behaviour).
+    Dedicated,
+    /// Handlers are multiplexed onto `workers` pool threads; `0` sizes the
+    /// pool to the machine's available parallelism (at least 2, so a single
+    /// blocking handler on a single-core box does not immediately lean on
+    /// compensation).
+    Pooled {
+        /// Core worker threads; `0` = auto-size.
+        workers: usize,
+    },
+}
+
+impl SchedulerMode {
+    /// The number of pool workers this mode resolves to, or `None` for
+    /// dedicated threads.
+    pub fn effective_workers(self) -> Option<usize> {
+        match self {
+            SchedulerMode::Dedicated => None,
+            SchedulerMode::Pooled { workers: 0 } => Some(qs_exec::default_parallelism().max(2)),
+            SchedulerMode::Pooled { workers } => Some(workers),
+        }
+    }
+
+    /// Returns `true` for the pooled (M:N) mode.
+    pub fn is_pooled(self) -> bool {
+        matches!(self, SchedulerMode::Pooled { .. })
+    }
+
+    /// Short display label ("Dedicated" / "Pooled").
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerMode::Dedicated => "Dedicated",
+            SchedulerMode::Pooled { .. } => "Pooled",
+        }
+    }
+}
+
+impl Default for SchedulerMode {
+    /// Defaults to the auto-sized pooled scheduler.
+    fn default() -> Self {
+        SchedulerMode::Pooled { workers: 0 }
+    }
+}
+
+impl fmt::Display for SchedulerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Default bound on every client mailbox (private queue / shared request
 /// queue).  Large enough that well-paced workloads never stall, small enough
 /// that a slow handler caps its memory at `clients × capacity` requests
@@ -105,7 +175,12 @@ pub struct RuntimeConfig {
     /// synced-flag check.  This flag exists for reporting purposes (it does
     /// not change runtime behaviour on its own).
     pub assume_static_sync: bool,
-    /// Maximum number of idle handler threads kept cached for reuse.
+    /// How handler main loops are mapped onto OS threads: one dedicated
+    /// cached thread per live handler, or M:N over a fixed work-stealing
+    /// pool (the default).  Applies to every [`OptimizationLevel`].
+    pub scheduler: SchedulerMode,
+    /// Maximum number of idle handler threads kept cached for reuse
+    /// (dedicated scheduling mode only).
     pub handler_thread_cache: usize,
     /// Bound on each client mailbox (private SPSC queue on the
     /// queue-of-queues path, shared request queue on the lock-based path).
@@ -130,6 +205,7 @@ impl RuntimeConfig {
             client_executed_queries: false,
             dynamic_sync_coalescing: false,
             assume_static_sync: false,
+            scheduler: SchedulerMode::default(),
             handler_thread_cache: 64,
             mailbox_capacity: Some(DEFAULT_MAILBOX_CAPACITY),
             max_batch: DEFAULT_MAX_BATCH,
@@ -143,6 +219,7 @@ impl RuntimeConfig {
             client_executed_queries: true,
             dynamic_sync_coalescing: true,
             assume_static_sync: true,
+            scheduler: SchedulerMode::default(),
             handler_thread_cache: 64,
             mailbox_capacity: Some(DEFAULT_MAILBOX_CAPACITY),
             max_batch: DEFAULT_MAX_BATCH,
@@ -171,6 +248,14 @@ impl RuntimeConfig {
     /// one-request-per-iteration handler loop).
     pub fn with_max_batch(mut self, max_batch: usize) -> Self {
         self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Returns this configuration with the handler scheduling mode replaced
+    /// (`SchedulerMode::Dedicated` = one cached OS thread per live handler,
+    /// `SchedulerMode::Pooled { workers }` = M:N on a work-stealing pool).
+    pub fn with_scheduler(mut self, scheduler: SchedulerMode) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }
@@ -238,6 +323,39 @@ mod tests {
             );
             assert_eq!(c.max_batch, DEFAULT_MAX_BATCH, "{level}");
         }
+    }
+
+    #[test]
+    fn every_level_defaults_to_the_pooled_scheduler() {
+        for level in OptimizationLevel::ALL {
+            let c = level.config();
+            assert_eq!(c.scheduler, SchedulerMode::Pooled { workers: 0 }, "{level}");
+            assert!(c.scheduler.is_pooled(), "{level}");
+        }
+    }
+
+    #[test]
+    fn scheduler_mode_resolves_workers() {
+        assert_eq!(SchedulerMode::Dedicated.effective_workers(), None);
+        assert_eq!(
+            SchedulerMode::Pooled { workers: 3 }.effective_workers(),
+            Some(3)
+        );
+        let auto = SchedulerMode::Pooled { workers: 0 }
+            .effective_workers()
+            .expect("pooled resolves to a worker count");
+        assert!(auto >= 2, "auto-sizing keeps at least two workers: {auto}");
+        assert_eq!(SchedulerMode::Dedicated.to_string(), "Dedicated");
+        assert_eq!(SchedulerMode::default().label(), "Pooled");
+    }
+
+    #[test]
+    fn scheduler_builder_overrides_the_mode() {
+        let c = RuntimeConfig::default().with_scheduler(SchedulerMode::Dedicated);
+        assert_eq!(c.scheduler, SchedulerMode::Dedicated);
+        assert!(!c.scheduler.is_pooled());
+        let c = c.with_scheduler(SchedulerMode::Pooled { workers: 2 });
+        assert_eq!(c.scheduler.effective_workers(), Some(2));
     }
 
     #[test]

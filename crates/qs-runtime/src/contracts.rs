@@ -11,10 +11,8 @@
 //! Wait conditions are expressed through the unified reservation builder:
 //! `reserve(set).when(condition)` — see [`crate::reserve`].  This module
 //! provides the retry policy ([`WaitConfig`]), the timeout error
-//! ([`WaitTimeout`]), postcondition evaluation at the end of a block
-//! ([`check_postcondition`] / [`assert_postcondition`]), and deprecated
-//! shims for the pre-unification free functions ([`separate_when`] and
-//! friends).
+//! ([`WaitTimeout`]), and postcondition evaluation at the end of a block
+//! ([`check_postcondition`] / [`assert_postcondition`]).
 //!
 //! A wait condition must be placed on the *reservation*, not inside an open
 //! separate block: while a client's block is open the handler does not
@@ -28,8 +26,6 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::handler::Handler;
-use crate::reserve::reserve;
 use crate::separate::Separate;
 use crate::stats::RuntimeStats;
 
@@ -94,85 +90,6 @@ impl std::fmt::Display for WaitTimeout {
 
 impl std::error::Error for WaitTimeout {}
 
-/// Reserves `handler` once the wait condition holds, and runs `body` under
-/// that same reservation.  Retries forever (releasing the reservation between
-/// attempts so other clients can make the condition true).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `reserve(handler).when(condition).run(body)`"
-)]
-pub fn separate_when<T, R>(
-    handler: &Handler<T>,
-    condition: impl Fn(&T) -> bool + Send + Sync + 'static,
-    body: impl FnOnce(&mut Separate<'_, T>) -> R,
-) -> R
-where
-    T: Send + 'static,
-{
-    reserve(handler).when(condition).run(body)
-}
-
-/// Like [`separate_when`] but with an explicit retry policy.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `reserve(handler).when(condition).timeout(config).try_run(body)`"
-)]
-pub fn try_separate_when<T, R>(
-    handler: &Handler<T>,
-    config: WaitConfig,
-    condition: impl Fn(&T) -> bool + Send + Sync + 'static,
-    body: impl FnOnce(&mut Separate<'_, T>) -> R,
-) -> Result<R, WaitTimeout>
-where
-    T: Send + 'static,
-{
-    reserve(handler)
-        .when(condition)
-        .timeout(config)
-        .try_run(body)
-}
-
-/// Reserves two handlers atomically once the joint wait condition over both
-/// objects holds, then runs `body` under that same reservation.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `reserve((a, b)).when(condition).run(body)`"
-)]
-pub fn separate2_when<A, B, R>(
-    a: &Handler<A>,
-    b: &Handler<B>,
-    condition: impl Fn(&A, &B) -> bool + Send + Sync + 'static,
-    body: impl FnOnce(&mut Separate<'_, A>, &mut Separate<'_, B>) -> R,
-) -> R
-where
-    A: Send + 'static,
-    B: Send + 'static,
-{
-    reserve((a, b)).when(condition).run(|(sa, sb)| body(sa, sb))
-}
-
-/// Like [`separate2_when`] but with an explicit retry policy.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `reserve((a, b)).when(condition).timeout(config).try_run(body)`"
-)]
-pub fn try_separate2_when<A, B, R>(
-    a: &Handler<A>,
-    b: &Handler<B>,
-    config: WaitConfig,
-    condition: impl Fn(&A, &B) -> bool + Send + Sync + 'static,
-    body: impl FnOnce(&mut Separate<'_, A>, &mut Separate<'_, B>) -> R,
-) -> Result<R, WaitTimeout>
-where
-    A: Send + 'static,
-    B: Send + 'static,
-{
-    reserve((a, b))
-        .when(condition)
-        .timeout(config)
-        .try_run(|(sa, sb)| body(sa, sb))
-}
-
 /// Evaluates a postcondition at the current point of a separate block and
 /// returns whether it holds.  All calls logged earlier in the block are
 /// applied before the predicate runs (it is a query).
@@ -206,6 +123,7 @@ pub fn assert_postcondition<T: Send + 'static>(
 mod tests {
     use super::*;
     use crate::config::{OptimizationLevel, RuntimeConfig};
+    use crate::reserve::reserve;
     use crate::runtime::Runtime;
 
     #[derive(Default)]
@@ -291,38 +209,6 @@ mod tests {
         assert!(WaitTimeout { attempts: 5 }
             .to_string()
             .contains("5 attempts"));
-    }
-
-    #[test]
-    fn deprecated_shims_still_delegate() {
-        #![allow(deprecated)]
-        let rt = Runtime::new(RuntimeConfig::all_optimizations());
-        let cell = rt.spawn_handler(3u32);
-        let tripled = separate_when(&cell, |n| *n >= 3, |g| g.query(|n| *n * 3));
-        assert_eq!(tripled, 9);
-        let timed_out = try_separate_when(
-            &cell,
-            WaitConfig::bounded(2),
-            |n| *n > 100,
-            |g| g.query(|n| *n),
-        );
-        assert_eq!(timed_out, Err(WaitTimeout { attempts: 2 }));
-        let other = rt.spawn_handler(4u32);
-        let sum = separate2_when(
-            &cell,
-            &other,
-            |a, b| *a + *b >= 7,
-            |sa, sb| sa.query(|a| *a) + sb.query(|b| *b),
-        );
-        assert_eq!(sum, 7);
-        let pair_timeout = try_separate2_when(
-            &cell,
-            &other,
-            WaitConfig::bounded(3),
-            |a, b| *a + *b > 100,
-            |_, _| 0u32,
-        );
-        assert_eq!(pair_timeout, Err(WaitTimeout { attempts: 3 }));
     }
 
     #[test]

@@ -13,6 +13,22 @@
 //! separate block.  The lock-based pre-Qs loop (used when
 //! [`RuntimeConfig::queue_of_queues`] is off) drains a single shared request
 //! queue instead.
+//!
+//! Both loops exist in two forms, selected by [`RuntimeConfig::scheduler`]:
+//!
+//! * **dedicated** ([`HandlerCore::run`]) — the loop owns an OS thread (from
+//!   the [`qs_exec::ThreadCache`]) and *blocks* inside the queue dequeues
+//!   while idle, so live handler count is bounded by OS thread count;
+//! * **pooled** (the default; [`PooledHandler`]) — the loop is a resumable
+//!   state machine whose step *returns* [`qs_exec::StepOutcome::Idle`] when
+//!   its queues are momentarily empty.  The [`qs_exec::HandlerScheduler`]
+//!   re-arms it when a producer fires the handler's wake hook, so tens of
+//!   thousands of mostly-idle handlers share a handful of worker threads.
+//!
+//! The pooled form preserves the §3.2 client-executed-query contract: after
+//! completing a sync the handler cannot proceed past the syncing client's
+//! private queue (its step only re-polls that queue and goes idle), so the
+//! client's direct object access still races with nothing.
 
 use std::cell::UnsafeCell;
 use std::mem::ManuallyDrop;
@@ -20,8 +36,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use qs_queues::{Dequeue, MailboxConsumer, MutexQueue, QueueOfQueues};
-use qs_sync::{Event, SpinLock};
+use qs_exec::{PooledTask, StepOutcome};
+use qs_queues::{Dequeue, MailboxConsumer, MutexQueue, QueueOfQueues, WakeHook};
+use qs_sync::{Event, OnceValue, SpinLock};
 
 use crate::config::RuntimeConfig;
 use crate::request::Request;
@@ -38,6 +55,11 @@ pub type HandlerId = u64;
 fn batch_prealloc(max_batch: usize) -> usize {
     max_batch.min(1024)
 }
+
+/// Requests a pooled handler applies per scheduler step before yielding the
+/// worker (fairness between handlers sharing a pool; counted in
+/// `handler_yields`).
+const YIELD_BUDGET: usize = 1024;
 
 /// Shared state of one handler, owned jointly by the handler thread and all
 /// client-side [`Handler`] handles.
@@ -69,6 +91,12 @@ pub(crate) struct HandlerCore<T> {
     stopped: AtomicBool,
     finished: Event,
     final_value: SpinLock<Option<T>>,
+
+    /// Pooled-mode wake hook: copied into every mailbox producer this
+    /// handler hands out and registered on the queue-of-queues / request
+    /// queue, so any producer making work visible re-arms the handler's
+    /// scheduler task.  Unset in dedicated mode.
+    wake_hook: OnceValue<WakeHook>,
 }
 
 // SAFETY: access to `object` is serialised by the execution model (handler
@@ -98,7 +126,22 @@ impl<T: Send + 'static> HandlerCore<T> {
             stopped: AtomicBool::new(false),
             finished: Event::new(),
             final_value: SpinLock::new(None),
+            wake_hook: OnceValue::new(),
         })
+    }
+
+    /// Registers the pooled-mode wake hook on the handler and its queues.
+    /// Must be called before any client can reach the handler (i.e. before
+    /// `spawn_handler` returns its handle).
+    pub(crate) fn set_wake_hook(&self, hook: WakeHook) {
+        self.qoq.set_wake_hook(Arc::clone(&hook));
+        self.request_queue.set_wake_hook(Arc::clone(&hook));
+        let _ = self.wake_hook.set(hook);
+    }
+
+    /// The pooled-mode wake hook, if this handler is pool-scheduled.
+    pub(crate) fn wake_hook(&self) -> Option<&WakeHook> {
+        self.wake_hook.get()
     }
 
     /// Pointer to the handler-owned object.
@@ -155,19 +198,25 @@ impl<T: Send + 'static> HandlerCore<T> {
         self.stopped.load(Ordering::Acquire)
     }
 
-    /// Handler thread body: drains work until stopped, then parks the final
-    /// object value for retrieval.
+    /// Handler thread body (dedicated scheduling mode): drains work until
+    /// stopped, then parks the final object value for retrieval.
     pub(crate) fn run(self: &Arc<Self>) {
         if self.config.queue_of_queues {
             self.run_queue_of_queues();
         } else {
             self.run_lock_based();
         }
-        // Move the object out so `shutdown_and_take` can return it.
+        self.finish();
+    }
+
+    /// Terminal transition shared by both scheduling modes: moves the object
+    /// out so `shutdown_and_take` can return it and signals completion.
+    pub(crate) fn finish(self: &Arc<Self>) {
         if !self.object_taken.swap(true, Ordering::AcqRel) {
-            // SAFETY: the handler loop has exited, no request will ever touch
-            // the object again, and the `object_taken` flag guarantees a
-            // single take.
+            // SAFETY: the handler loop has exited (dedicated) or stepped to
+            // `Done` (pooled; the scheduler never steps a done task again),
+            // no request will ever touch the object again, and the
+            // `object_taken` flag guarantees a single take.
             let value = unsafe { ManuallyDrop::take(&mut *self.object.get()) };
             *self.final_value.lock() = Some(value);
         }
@@ -216,6 +265,82 @@ impl<T: Send + 'static> HandlerCore<T> {
         }
     }
 
+    /// One pooled scheduler step of the Fig. 7 queue-of-queues loop.
+    ///
+    /// Resumable transcription of [`run_queue_of_queues`]
+    /// (Self::run_queue_of_queues): the blocking dequeues become polls, and
+    /// the loop position (which private queue is being drained) lives in
+    /// `state` across steps.  Care point (§3.2): when the current private
+    /// queue is empty but open — which is exactly the situation after
+    /// completing a sync for a client that may now be executing a query on
+    /// the object — the step returns [`StepOutcome::Idle`] *without
+    /// advancing past that queue* and without touching the object, so being
+    /// rescheduled by an unrelated producer's wake is harmless.
+    fn step_queue_of_queues(&self, state: &mut PooledLoopState<T>) -> StepOutcome {
+        let max_batch = self.config.max_batch.max(1);
+        let mut budget = YIELD_BUDGET;
+        loop {
+            let Some(current) = state.current.as_ref() else {
+                // RUN rule, polled: take the next private queue if one is
+                // ready.
+                match self.qoq.try_dequeue() {
+                    Ok(Some(private_queue)) => {
+                        state.current = Some(private_queue);
+                        continue;
+                    }
+                    Ok(None) => return StepOutcome::Idle,
+                    Err(qs_queues::Closed) => return StepOutcome::Done,
+                }
+            };
+            match current.try_drain_batch(&mut state.batch, max_batch) {
+                // END rule: the client closed its mailbox; move on.
+                Err(qs_queues::Closed) => state.current = None,
+                // Mid-block and momentarily empty: the handler is "parked on
+                // the client's queue" from the client's point of view.
+                Ok(0) => return StepOutcome::Idle,
+                Ok(drained) => {
+                    self.stats.record_batch(drained);
+                    for request in state.batch.drain(..) {
+                        self.apply(request);
+                    }
+                    budget = budget.saturating_sub(drained);
+                    if budget == 0 {
+                        return StepOutcome::Yielded;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One pooled scheduler step of the lock-based loop: poll-drain the
+    /// single shared request queue.  The §3.2 argument holds here too: a
+    /// client-executed query runs while the caller holds the handler lock
+    /// and the request queue is empty, and an empty poll touches only the
+    /// queue, never the object.
+    fn step_lock_based(&self, state: &mut PooledLoopState<T>) -> StepOutcome {
+        let max_batch = self.config.max_batch.max(1);
+        let mut budget = YIELD_BUDGET;
+        loop {
+            match self
+                .request_queue
+                .try_drain_batch(&mut state.batch, max_batch)
+            {
+                Err(qs_queues::Closed) => return StepOutcome::Done,
+                Ok(0) => return StepOutcome::Idle,
+                Ok(drained) => {
+                    self.stats.record_batch(drained);
+                    for request in state.batch.drain(..) {
+                        self.apply(request);
+                    }
+                    budget = budget.saturating_sub(drained);
+                    if budget == 0 {
+                        return StepOutcome::Yielded;
+                    }
+                }
+            }
+        }
+    }
+
     fn wait_finished(&self) {
         self.finished.wait();
     }
@@ -231,6 +356,56 @@ impl<T> Drop for HandlerCore<T> {
             // SAFETY: exclusive access during drop; the value was never taken.
             unsafe { ManuallyDrop::drop(self.object.get_mut()) };
         }
+    }
+}
+
+/// Loop position of a pooled handler, persisted across scheduler steps.
+pub(crate) struct PooledLoopState<T> {
+    /// The private queue currently being drained (queue-of-queues mode).
+    /// While set, the handler must not advance to another client — the
+    /// §3.2 "parked on the client's queue" guarantee.
+    current: Option<MailboxConsumer<Request<T>>>,
+    /// Reusable drain buffer.
+    batch: Vec<Request<T>>,
+}
+
+/// The [`PooledTask`] adapter running a handler on the M:N scheduler.
+pub(crate) struct PooledHandler<T: Send + 'static> {
+    core: Arc<HandlerCore<T>>,
+    /// Loop state; the scheduler runs at most one step of a task at a time,
+    /// so this lock is uncontended and only fences the state against the
+    /// `Send`-across-workers handoff.
+    state: SpinLock<PooledLoopState<T>>,
+}
+
+impl<T: Send + 'static> PooledHandler<T> {
+    pub(crate) fn new(core: Arc<HandlerCore<T>>) -> Self {
+        let max_batch = core.config.max_batch.max(1);
+        PooledHandler {
+            core,
+            state: SpinLock::new(PooledLoopState {
+                current: None,
+                batch: Vec::with_capacity(batch_prealloc(max_batch)),
+            }),
+        }
+    }
+}
+
+impl<T: Send + 'static> PooledTask for PooledHandler<T> {
+    fn step(&self) -> StepOutcome {
+        let mut state = self.state.lock();
+        let outcome = if self.core.config.queue_of_queues {
+            self.core.step_queue_of_queues(&mut state)
+        } else {
+            self.core.step_lock_based(&mut state)
+        };
+        drop(state);
+        match outcome {
+            StepOutcome::Done => self.core.finish(),
+            StepOutcome::Yielded => RuntimeStats::bump(&self.core.stats.handler_yields),
+            StepOutcome::Idle => {}
+        }
+        outcome
     }
 }
 

@@ -73,20 +73,17 @@ pub mod config;
 pub mod contracts;
 pub mod handler;
 pub mod request;
-pub mod reservation;
 pub mod reserve;
 pub mod runtime;
 pub mod separate;
 pub mod stats;
 
-pub use config::{OptimizationLevel, RuntimeConfig, DEFAULT_MAILBOX_CAPACITY, DEFAULT_MAX_BATCH};
+pub use config::{
+    OptimizationLevel, RuntimeConfig, SchedulerMode, DEFAULT_MAILBOX_CAPACITY, DEFAULT_MAX_BATCH,
+};
 pub use contracts::{assert_postcondition, check_postcondition, WaitConfig, WaitTimeout};
-#[allow(deprecated)]
-pub use contracts::{separate2_when, separate_when, try_separate2_when, try_separate_when};
 pub use handler::{Handler, HandlerId};
-#[allow(deprecated)]
-pub use reservation::{separate2, separate3, separate_all};
 pub use reserve::{reserve, GuardedReservation, Reservation, ReservationSet, WaitCondition};
 pub use runtime::Runtime;
-pub use separate::{QueryToken, Separate};
+pub use separate::{MailboxFull, QueryToken, Separate};
 pub use stats::{batch_bucket_range, RuntimeStats, StatsSnapshot, BATCH_SIZE_BUCKETS};

@@ -3,16 +3,21 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use qs_exec::ThreadCache;
+use qs_exec::{HandlerScheduler, ThreadCache};
+use qs_queues::WakeHook;
 
-use crate::config::{OptimizationLevel, RuntimeConfig};
-use crate::handler::{Handler, HandlerCore, HandlerId};
+use crate::config::{OptimizationLevel, RuntimeConfig, SchedulerMode};
+use crate::handler::{Handler, HandlerCore, HandlerId, PooledHandler};
 use crate::stats::{RuntimeStats, StatsSnapshot};
 
 struct RuntimeInner {
     config: RuntimeConfig,
     stats: Arc<RuntimeStats>,
     thread_cache: Arc<ThreadCache>,
+    /// M:N handler scheduler, created lazily at the first pooled
+    /// `spawn_handler` so runtimes that never spawn (or run dedicated) pay
+    /// no worker threads.
+    scheduler: parking_lot::Mutex<Option<Arc<HandlerScheduler>>>,
     next_handler_id: AtomicU64,
 }
 
@@ -23,6 +28,18 @@ impl Drop for RuntimeInner {
         // unbounded thread growth in benchmarks that create runtimes in a
         // loop).  Handlers still running keep their threads until they stop.
         self.thread_cache.shutdown();
+        // Tear the pooled scheduler down on a detached reaper thread: the
+        // shutdown drains queued steps and joins workers, which can take as
+        // long as the longest in-flight (possibly blocking) handler step —
+        // and the dedicated mode's contract is that dropping the runtime
+        // never waits on running handlers.  Handlers notified after the
+        // shutdown flag is set run their steps inline on the notifying
+        // thread, so no work is stranded either way.
+        if let Some(scheduler) = self.scheduler.lock().take() {
+            let _ = std::thread::Builder::new()
+                .name("qs-sched-reaper".to_string())
+                .spawn(move || scheduler.shutdown());
+        }
     }
 }
 
@@ -56,9 +73,27 @@ impl Runtime {
                 config,
                 stats: RuntimeStats::new(),
                 thread_cache: ThreadCache::new(config.handler_thread_cache),
+                scheduler: parking_lot::Mutex::new(None),
                 next_handler_id: AtomicU64::new(1),
             }),
         }
+    }
+
+    /// The M:N scheduler, created on first use (pooled mode only).
+    fn scheduler(&self) -> Arc<HandlerScheduler> {
+        let mut slot = self.inner.scheduler.lock();
+        if let Some(scheduler) = slot.as_ref() {
+            return Arc::clone(scheduler);
+        }
+        let workers = self
+            .inner
+            .config
+            .scheduler
+            .effective_workers()
+            .expect("scheduler() is only called in pooled mode");
+        let scheduler = HandlerScheduler::new(workers);
+        *slot = Some(Arc::clone(&scheduler));
+        scheduler
     }
 
     /// Creates a runtime for one of the named optimisation levels of §4.
@@ -81,9 +116,14 @@ impl Runtime {
         &self.inner.stats
     }
 
-    /// Convenience: a point-in-time snapshot of the statistics.
+    /// Convenience: a point-in-time snapshot of the statistics, including
+    /// the pooled scheduler's steal count when one is running.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
-        self.inner.stats.snapshot()
+        let mut snapshot = self.inner.stats.snapshot();
+        if let Some(scheduler) = self.inner.scheduler.lock().as_ref() {
+            snapshot.scheduler_steals = scheduler.steals();
+        }
+        snapshot
     }
 
     /// Number of handlers spawned so far.
@@ -91,7 +131,9 @@ impl Runtime {
         self.inner.stats.snapshot().handlers_spawned
     }
 
-    /// Creates a new handler owning `object` and starts its thread.
+    /// Creates a new handler owning `object` and schedules its main loop —
+    /// on a dedicated cached thread or as an M:N pooled task, per
+    /// [`RuntimeConfig::scheduler`].
     ///
     /// The handler begins processing requests immediately and runs until it
     /// is stopped (explicitly or by dropping the last [`Handler`] handle).
@@ -99,10 +141,30 @@ impl Runtime {
         let id: HandlerId = self.inner.next_handler_id.fetch_add(1, Ordering::Relaxed);
         RuntimeStats::bump(&self.inner.stats.handlers_spawned);
         let core = HandlerCore::new(id, self.inner.config, Arc::clone(&self.inner.stats), object);
-        let thread_core = Arc::clone(&core);
-        // Handlers run on cached OS threads so creating/retiring handlers is
-        // cheap (the paper's lightweight-thread layer; see DESIGN.md).
-        self.inner.thread_cache.run(move || thread_core.run());
+        match self.inner.config.scheduler {
+            SchedulerMode::Dedicated => {
+                // One cached OS thread per live handler; creating/retiring
+                // handlers stays cheap (the paper's lightweight-thread
+                // substitution), but live handler count is thread-bounded.
+                let thread_core = Arc::clone(&core);
+                self.inner.thread_cache.run(move || thread_core.run());
+            }
+            SchedulerMode::Pooled { .. } => {
+                // M:N: the handler becomes a resumable task; producers
+                // re-arm it through the wake hook.  The hook must be
+                // registered before the handle escapes, so no client can
+                // enqueue into a hook-less queue.
+                let scheduler = self.scheduler();
+                let handle = scheduler.register(Arc::new(PooledHandler::new(Arc::clone(&core))));
+                let stats = Arc::clone(&self.inner.stats);
+                let hook: WakeHook = Arc::new(move || {
+                    if handle.notify() {
+                        RuntimeStats::bump(&stats.handler_wakeups);
+                    }
+                });
+                core.set_wake_hook(hook);
+            }
+        }
         Handler::from_core(core)
     }
 
@@ -116,15 +178,38 @@ impl Runtime {
         objects.into_iter().map(|o| self.spawn_handler(o)).collect()
     }
 
-    /// Number of OS threads created for handlers so far (after warm-up this
-    /// stays flat thanks to the thread cache).
+    /// Number of OS threads created for handlers so far (dedicated mode;
+    /// after warm-up this stays flat thanks to the thread cache).  Always
+    /// zero under pooled scheduling — see
+    /// [`scheduler_threads`](Self::scheduler_threads).
     pub fn handler_threads_created(&self) -> usize {
         self.inner.thread_cache.threads_created()
     }
 
-    /// Number of handler activations that reused a cached thread.
+    /// Number of handler activations that reused a cached thread (dedicated
+    /// mode).
     pub fn handler_threads_reused(&self) -> usize {
         self.inner.thread_cache.threads_reused()
+    }
+
+    /// Number of M:N scheduler worker threads currently alive (core workers
+    /// plus live compensation workers); zero when no pooled handler has been
+    /// spawned yet or the mode is dedicated.
+    pub fn scheduler_threads(&self) -> usize {
+        self.inner
+            .scheduler
+            .lock()
+            .as_ref()
+            .map_or(0, |s| s.live_threads())
+    }
+
+    /// Most M:N scheduler worker threads ever alive at once.
+    pub fn scheduler_peak_threads(&self) -> usize {
+        self.inner
+            .scheduler
+            .lock()
+            .as_ref()
+            .map_or(0, |s| s.peak_threads())
     }
 }
 
@@ -166,7 +251,11 @@ mod tests {
 
     #[test]
     fn threads_are_reused_across_handler_generations() {
-        let rt = Runtime::fully_optimized();
+        // Dedicated mode: handler threads come from the cache and are
+        // recycled between handler generations.
+        let rt = Runtime::new(
+            RuntimeConfig::all_optimizations().with_scheduler(SchedulerMode::Dedicated),
+        );
         for _ in 0..20 {
             let h = rt.spawn_handler(0u8);
             h.separate(|s| s.call(|v| *v += 1));
@@ -179,6 +268,88 @@ mod tests {
             rt.handler_threads_created()
         );
         assert!(rt.handler_threads_reused() > 0);
+    }
+
+    #[test]
+    fn pooled_mode_spawns_no_dedicated_threads() {
+        let rt = Runtime::fully_optimized();
+        assert_eq!(rt.scheduler_threads(), 0, "scheduler starts lazily");
+        let handlers = rt.spawn_handlers((0..256).map(|i| i as u64));
+        for (i, h) in handlers.iter().enumerate() {
+            h.separate(|s| {
+                s.call(|v| *v += 1);
+                assert_eq!(s.query(|v| *v), i as u64 + 1);
+            });
+        }
+        // 256 live handlers, zero dedicated threads, a fixed-size pool.
+        assert_eq!(rt.handler_threads_created(), 0);
+        let workers = rt.config().scheduler.effective_workers().unwrap();
+        assert!(
+            rt.scheduler_threads() >= workers,
+            "all {workers} pool workers must be alive, saw {}",
+            rt.scheduler_threads()
+        );
+        let snap = rt.stats_snapshot();
+        assert!(snap.handler_wakeups > 0, "producers re-armed handlers");
+        for h in handlers {
+            assert!(h.shutdown_and_take().is_some());
+        }
+    }
+
+    #[test]
+    fn retired_pooled_handlers_release_their_objects() {
+        // Regression: the wake-hook closure (core → hook → task handle →
+        // pooled task → core) must not keep a finished handler's core — and
+        // with it the owned object — alive forever.  The scheduler breaks
+        // the cycle by releasing the task reference at the Done transition.
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Token;
+        impl Drop for Token {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let rt = Runtime::fully_optimized();
+        for _ in 0..10 {
+            let h = rt.spawn_handler(Token);
+            h.call_detached(|_| {});
+            h.stop();
+            h.wait_finished();
+        }
+        // The final core release happens on a worker thread just after the
+        // finished event; give it a bounded moment.
+        for _ in 0..2_000 {
+            if DROPS.load(Ordering::SeqCst) == 10 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(
+            DROPS.load(Ordering::SeqCst),
+            10,
+            "retired pooled handlers leaked their cores/objects"
+        );
+    }
+
+    #[test]
+    fn pooled_and_dedicated_agree_on_results() {
+        for mode in [
+            SchedulerMode::Dedicated,
+            SchedulerMode::Pooled { workers: 2 },
+        ] {
+            for level in OptimizationLevel::ALL {
+                let rt = Runtime::new(level.config().with_scheduler(mode));
+                let h = rt.spawn_handler(0u64);
+                h.separate(|s| {
+                    for _ in 0..100 {
+                        s.call(|v| *v += 1);
+                    }
+                    assert_eq!(s.query(|v| *v), 100, "{level} / {mode}");
+                });
+                assert_eq!(h.shutdown_and_take(), Some(100), "{level} / {mode}");
+            }
+        }
     }
 
     #[test]

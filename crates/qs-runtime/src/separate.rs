@@ -20,8 +20,8 @@ use crate::stats::RuntimeStats;
 
 /// Reservation guard for one handler within a separate block.
 ///
-/// Obtained through [`crate::Handler::separate`] or the multi-reservation
-/// functions in [`crate::reservation`].  Not `Send`: a reservation belongs to
+/// Obtained through [`crate::Handler::separate`] or the unified
+/// [`crate::reserve`] builder.  Not `Send`: a reservation belongs to
 /// the client thread that created it, mirroring SCOOP semantics.
 pub struct Separate<'a, T: Send + 'static> {
     core: &'a Arc<HandlerCore<T>>,
@@ -66,6 +66,12 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
     ) -> Self {
         if lock_guard.is_none() && core.config.queue_of_queues {
             let (producer, consumer) = mailbox(core.config.mailbox_capacity);
+            // Pooled scheduling: every request logged into this private
+            // queue must re-arm the handler's scheduler task.
+            let producer = match core.wake_hook() {
+                Some(hook) => producer.with_wake_hook(Arc::clone(hook)),
+                None => producer,
+            };
             core.qoq.enqueue(consumer);
             RuntimeStats::bump(&core.stats.private_queues_enqueued);
             Self::from_parts(core, Some(producer), None)
@@ -117,6 +123,69 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
         self.enqueue(Request::Call(Box::new(f)));
         // An asynchronous call invalidates the synced state (§3.4).
         self.synced = false;
+    }
+
+    /// Attempts to log an asynchronous call without blocking, surfacing a
+    /// full bounded mailbox to the caller instead of stalling on
+    /// backpressure.
+    ///
+    /// On `Ok(())` the call is enqueued exactly as [`call`](Separate::call)
+    /// would have.  On a full mailbox the closure is handed back inside
+    /// [`MailboxFull`] so the client can retry, shed load, or fall back to
+    /// the blocking [`call`](Separate::call); the rejection is counted in
+    /// the `backpressure_rejections` statistic.  Unbounded mailboxes never
+    /// reject.
+    ///
+    /// Retry with [`try_call_boxed`](Separate::try_call_boxed) — re-passing
+    /// the returned box through `try_call` would wrap it in a fresh box per
+    /// attempt, and the handler would then pay one level of call-stack per
+    /// rejected attempt when it finally executes the call.
+    ///
+    /// ```
+    /// use qs_runtime::{Runtime, RuntimeConfig};
+    ///
+    /// let rt = Runtime::new(RuntimeConfig::all_optimizations());
+    /// let counter = rt.spawn_handler(0u64);
+    /// counter.separate(|s| {
+    ///     let mut pending = s.try_call(|n| *n += 1);
+    ///     // Retry until the handler makes room (here: immediately).
+    ///     while let Err(rejected) = pending {
+    ///         pending = s.try_call_boxed(rejected.call);
+    ///     }
+    ///     assert_eq!(s.query(|n| *n), 1);
+    /// });
+    /// ```
+    pub fn try_call(
+        &mut self,
+        f: impl FnOnce(&mut T) + Send + 'static,
+    ) -> Result<(), MailboxFull<T>> {
+        self.try_call_boxed(Box::new(f))
+    }
+
+    /// [`try_call`](Separate::try_call) for an already-boxed call — the
+    /// retry form: a call rejected with [`MailboxFull`] is re-submitted
+    /// as-is, without another layer of boxing.
+    pub fn try_call_boxed(
+        &mut self,
+        call: crate::request::CallFn<T>,
+    ) -> Result<(), MailboxFull<T>> {
+        assert!(!self.ended, "call after the separate block ended");
+        let result = match &self.producer {
+            Some(producer) => producer.try_enqueue(Request::Call(call)),
+            None => self.core.request_queue.try_enqueue(Request::Call(call)),
+        };
+        match result {
+            Ok(()) => {
+                RuntimeStats::bump(&self.core.stats.calls_enqueued);
+                self.synced = false;
+                Ok(())
+            }
+            Err(Request::Call(call)) => {
+                RuntimeStats::bump(&self.core.stats.backpressure_rejections);
+                Err(MailboxFull { call })
+            }
+            Err(_) => unreachable!("try_call only enqueues Request::Call"),
+        }
     }
 
     /// Returns `true` if the handler is known to have processed everything
@@ -314,6 +383,32 @@ impl<T: Send + 'static> Drop for Separate<'_, T> {
         self.end();
     }
 }
+
+/// Error returned by [`Separate::try_call`] when the bounded mailbox is at
+/// capacity: the handler has not kept up and the runtime refuses to block
+/// the client.
+///
+/// Carries the rejected closure back so the caller can retry it (possibly
+/// after shedding load) without reconstructing the captured state.  Retry
+/// through [`Separate::try_call_boxed`], which re-submits the box as-is.
+pub struct MailboxFull<T> {
+    /// The rejected call, returned unexecuted.
+    pub call: Box<dyn FnOnce(&mut T) + Send + 'static>,
+}
+
+impl<T> std::fmt::Debug for MailboxFull<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MailboxFull").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Display for MailboxFull<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("mailbox full: bounded queue at capacity, call rejected")
+    }
+}
+
+impl<T> std::error::Error for MailboxFull<T> {}
 
 /// Handle to the pending result of a [`Separate::query_async`] call.
 ///
@@ -540,6 +635,78 @@ mod tests {
             assert_eq!(token.wait(), 1);
             assert_eq!(s.query(|n| *n), 1);
         });
+        handler.stop();
+    }
+
+    #[test]
+    fn try_call_rejects_on_a_full_capacity_one_mailbox() {
+        use crate::config::SchedulerMode;
+        use crate::runtime::Runtime;
+
+        // Both loop flavours and both scheduling modes: fill the capacity-1
+        // mailbox while the handler is provably busy, then assert the
+        // non-blocking path hands the call back instead of stalling.
+        for level in [OptimizationLevel::All, OptimizationLevel::None] {
+            for mode in [
+                SchedulerMode::Dedicated,
+                SchedulerMode::Pooled { workers: 2 },
+            ] {
+                let rt = Runtime::new(
+                    level
+                        .config()
+                        .with_mailbox_capacity(Some(1))
+                        .with_scheduler(mode),
+                );
+                let handler = rt.spawn_handler(0u64);
+                let context = format!("{level} / {mode}");
+                handler.separate(|s| {
+                    let gate = Arc::new(qs_sync::Event::new());
+                    let opened = Arc::clone(&gate);
+                    // Occupies the handler until the gate opens.
+                    s.call(move |_| opened.wait());
+                    // Fills the capacity-1 mailbox; by the time this
+                    // blocking enqueue returns, the handler has drained the
+                    // gate call (making room) and is stuck executing it.
+                    s.call(|n| *n += 1);
+                    // Non-blocking: must reject, not stall.
+                    let rejected = s
+                        .try_call(|n| *n += 10)
+                        .expect_err(&format!("{context}: mailbox must be full"));
+                    assert!(format!("{rejected}").contains("mailbox full"), "{context}");
+                    assert!(format!("{rejected:?}").contains("MailboxFull"), "{context}");
+                    gate.set();
+                    // The rejected closure is handed back executable; the
+                    // boxed retry form re-submits it without re-wrapping.
+                    let mut pending = s.try_call_boxed(rejected.call);
+                    while let Err(again) = pending {
+                        std::thread::yield_now();
+                        pending = s.try_call_boxed(again.call);
+                    }
+                    assert_eq!(s.query(|n| *n), 11, "{context}");
+                });
+                let snap = handler.stats().snapshot();
+                assert!(
+                    snap.backpressure_rejections >= 1,
+                    "{context}: rejection must be counted, got {snap:?}"
+                );
+                assert_eq!(handler.shutdown_and_take(), Some(11), "{context}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_call_never_rejects_on_an_unbounded_mailbox() {
+        let handler = spawn(
+            RuntimeConfig::all_optimizations().with_mailbox_capacity(None),
+            0u64,
+        );
+        handler.separate(|s| {
+            for _ in 0..1_000 {
+                s.try_call(|n| *n += 1).expect("unbounded never rejects");
+            }
+            assert_eq!(s.query(|n| *n), 1_000);
+        });
+        assert_eq!(handler.stats().snapshot().backpressure_rejections, 0);
         handler.stop();
     }
 

@@ -82,6 +82,15 @@ pub struct RuntimeStats {
     pub requests_executed: AtomicU64,
     /// Enqueues that had to wait for mailbox space (bounded mailboxes only).
     pub backpressure_stalls: AtomicU64,
+    /// Non-blocking `try_call`s rejected because the bounded mailbox was
+    /// full.
+    pub backpressure_rejections: AtomicU64,
+    /// Pooled scheduling: idle→scheduled transitions (a producer's wake
+    /// hook re-armed a parked handler).
+    pub handler_wakeups: AtomicU64,
+    /// Pooled scheduling: steps that exhausted their request budget and
+    /// yielded the worker with work still pending.
+    pub handler_yields: AtomicU64,
     /// Histogram of drained batch sizes; see [`batch_bucket_range`].
     pub batch_size_buckets: [AtomicU64; BATCH_SIZE_BUCKETS],
 }
@@ -129,6 +138,10 @@ impl RuntimeStats {
             batch_requests_drained: self.batch_requests_drained.load(Ordering::Relaxed),
             requests_executed: self.requests_executed.load(Ordering::Relaxed),
             backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
+            backpressure_rejections: self.backpressure_rejections.load(Ordering::Relaxed),
+            handler_wakeups: self.handler_wakeups.load(Ordering::Relaxed),
+            handler_yields: self.handler_yields.load(Ordering::Relaxed),
+            scheduler_steals: 0,
             batch_size_buckets: std::array::from_fn(|i| {
                 self.batch_size_buckets[i].load(Ordering::Relaxed)
             }),
@@ -178,6 +191,16 @@ pub struct StatsSnapshot {
     pub requests_executed: u64,
     /// Enqueues that had to wait for mailbox space (bounded mailboxes only).
     pub backpressure_stalls: u64,
+    /// Non-blocking `try_call`s rejected on a full bounded mailbox.
+    pub backpressure_rejections: u64,
+    /// Pooled scheduling: idle→scheduled handler transitions.
+    pub handler_wakeups: u64,
+    /// Pooled scheduling: steps that yielded on an exhausted budget.
+    pub handler_yields: u64,
+    /// Pooled scheduling: tasks stolen across scheduler workers.  Tracked by
+    /// the scheduler, merged in by [`crate::Runtime::stats_snapshot`]; zero
+    /// in a snapshot taken directly from [`RuntimeStats`].
+    pub scheduler_steals: u64,
     /// Histogram of drained batch sizes; see [`batch_bucket_range`].
     pub batch_size_buckets: [u64; BATCH_SIZE_BUCKETS],
 }
@@ -255,6 +278,14 @@ impl StatsSnapshot {
             backpressure_stalls: self
                 .backpressure_stalls
                 .saturating_sub(earlier.backpressure_stalls),
+            backpressure_rejections: self
+                .backpressure_rejections
+                .saturating_sub(earlier.backpressure_rejections),
+            handler_wakeups: self.handler_wakeups.saturating_sub(earlier.handler_wakeups),
+            handler_yields: self.handler_yields.saturating_sub(earlier.handler_yields),
+            scheduler_steals: self
+                .scheduler_steals
+                .saturating_sub(earlier.scheduler_steals),
             batch_size_buckets: std::array::from_fn(|i| {
                 self.batch_size_buckets[i].saturating_sub(earlier.batch_size_buckets[i])
             }),

@@ -62,10 +62,8 @@ pub use qs_workloads as workloads;
 /// Convenience prelude exposing the most common runtime API items.
 pub mod prelude {
     pub use qs_runtime::{
-        reserve, GuardedReservation, Handler, OptimizationLevel, QueryToken, Reservation,
-        ReservationSet, Runtime, RuntimeConfig, RuntimeStats, Separate, WaitCondition, WaitConfig,
-        WaitTimeout,
+        reserve, GuardedReservation, Handler, MailboxFull, OptimizationLevel, QueryToken,
+        Reservation, ReservationSet, Runtime, RuntimeConfig, RuntimeStats, SchedulerMode, Separate,
+        WaitCondition, WaitConfig, WaitTimeout,
     };
-    #[allow(deprecated)]
-    pub use qs_runtime::{separate2, separate2_when, separate3, separate_all, separate_when};
 }

@@ -1,7 +1,8 @@
 //! Cross-configuration stress/soak suite: N clients × M handlers hammering
 //! logs and queries across every `OptimizationLevel`, with deliberately tiny
 //! mailbox capacities (1, 2, 7) so the backpressure path is exercised
-//! constantly, plus the unbounded configuration as the stall-free control.
+//! constantly, plus the unbounded configuration as the stall-free control,
+//! and both handler scheduling modes (dedicated threads and the M:N pool).
 //!
 //! Each round asserts the full set of accounting invariants:
 //!
@@ -25,7 +26,31 @@ fn stress_round(
     blocks: usize,
     calls_per_block: usize,
 ) {
-    let config = level.config().with_mailbox_capacity(capacity);
+    stress_round_scheduled(
+        level,
+        SchedulerMode::default(),
+        capacity,
+        clients,
+        handler_count,
+        blocks,
+        calls_per_block,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stress_round_scheduled(
+    level: OptimizationLevel,
+    scheduler: SchedulerMode,
+    capacity: Option<usize>,
+    clients: usize,
+    handler_count: usize,
+    blocks: usize,
+    calls_per_block: usize,
+) {
+    let config = level
+        .config()
+        .with_mailbox_capacity(capacity)
+        .with_scheduler(scheduler);
     let rt = Runtime::new(config);
     let handlers: Vec<Handler<u64>> = (0..handler_count).map(|_| rt.spawn_handler(0u64)).collect();
 
@@ -152,6 +177,103 @@ fn capacity_one_fan_in_records_stalls() {
         snap.backpressure_stalls > 0,
         "two clients bursting 500 calls into capacity-1 mailboxes must stall"
     );
+}
+
+/// The M:N pool at its most constrained: 200 live handlers multiplexed over
+/// 2 workers, across every optimisation level, asserting the full
+/// enqueued == executed accounting and clean shutdown.  The same workload
+/// runs under dedicated threads as the behavioural control.
+#[test]
+fn pooled_two_workers_two_hundred_handlers_across_levels() {
+    for level in OptimizationLevel::ALL {
+        for scheduler in [
+            SchedulerMode::Pooled { workers: 2 },
+            SchedulerMode::Dedicated,
+        ] {
+            stress_round_scheduled(level, scheduler, Some(7), 4, 200, 8, 10);
+        }
+    }
+}
+
+/// Lost-wakeup regression: hammer the idle→nonempty race.
+///
+/// Every `query` forces the handler to drain the client's queue, complete
+/// the sync handoff and go idle; the client then immediately enqueues the
+/// next call, racing the producer-side wake hook against the worker's
+/// running→idle transition.  If the schedule-flag protocol ever drops a
+/// wake, the next sync round-trip strands forever and the test times out
+/// instead of passing; if it double-schedules, the accounting assertions
+/// catch the duplicated drain.
+#[test]
+fn lost_wakeup_hammer_idle_nonempty_race() {
+    for level in [OptimizationLevel::All, OptimizationLevel::None] {
+        let rt = Runtime::new(
+            level
+                .config()
+                .with_scheduler(SchedulerMode::Pooled { workers: 1 }),
+        );
+        let handler = rt.spawn_handler(0u64);
+        const ROUNDS: u64 = 2_000;
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let handler = handler.clone();
+                scope.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        handler.separate(|s| {
+                            s.call(|n| *n += 1);
+                            // The round-trip parks the handler right after
+                            // the drain — the racy window.
+                            let _ = s.query(|n| *n);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            handler.shutdown_and_take(),
+            Some(2 * ROUNDS),
+            "{level}: a wakeup was lost or a request stranded"
+        );
+        let snap = rt.stats_snapshot();
+        assert_eq!(snap.calls_enqueued, 2 * ROUNDS, "{level}");
+        assert_eq!(
+            snap.requests_executed,
+            snap.calls_enqueued + snap.queries_handler_executed + snap.queries_pipelined,
+            "{level}: enqueued != executed"
+        );
+        assert!(snap.handler_wakeups > 0, "{level}: no wakeups recorded");
+    }
+}
+
+/// A mostly-idle fleet: thousands of live handlers, a trickle of work, a
+/// 2-worker pool.  Verifies idle handlers cost no OS threads (the M:N
+/// point) while every handler still makes progress when poked.
+#[test]
+fn thousands_of_idle_handlers_on_two_workers() {
+    let rt = Runtime::new(
+        OptimizationLevel::All
+            .config()
+            .with_scheduler(SchedulerMode::Pooled { workers: 2 }),
+    );
+    let handlers: Vec<Handler<u64>> = (0..2_000).map(|_| rt.spawn_handler(0u64)).collect();
+    // Poke a scattered subset.
+    for (i, handler) in handlers.iter().enumerate().step_by(37) {
+        handler.call_detached(move |n| *n = i as u64);
+    }
+    for (i, handler) in handlers.iter().enumerate().step_by(37) {
+        assert_eq!(handler.query_detached(|n| *n), i as u64);
+    }
+    // 2 core workers + possibly a few compensation workers, never
+    // thousands.
+    assert!(
+        rt.scheduler_peak_threads() < 64,
+        "2000 idle handlers must not cost threads: peak {}",
+        rt.scheduler_peak_threads()
+    );
+    assert_eq!(rt.handler_threads_created(), 0);
+    for handler in handlers {
+        assert!(handler.shutdown_and_take().is_some());
+    }
 }
 
 /// Release-mode soak of the queue-of-queues configurations (QoQ and All),

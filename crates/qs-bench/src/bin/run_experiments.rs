@@ -10,8 +10,9 @@
 //! `BENCH_scheduler.json` a handler-count sweep of the M:N scheduler.
 
 use qs_bench::experiments::{
-    fig19_scalability, scheduler_sweep, table1_opt_parallel, table2_opt_concurrent,
-    table4_lang_parallel, table5_lang_concurrent, Scale, SchedulerPoint,
+    backpressure_sweep, fig19_scalability, scheduler_sweep, table1_opt_parallel,
+    table2_opt_concurrent, table4_lang_parallel, table5_lang_concurrent, BackpressurePoint, Scale,
+    SchedulerPoint, BACKPRESSURE_CALLS_PER_BLOCK, BACKPRESSURE_CAPACITY, BACKPRESSURE_PIPELINES,
 };
 use qs_bench::report::{geometric_mean, print_table};
 use qs_workloads::types::ParallelTask;
@@ -154,7 +155,11 @@ fn run_summary(scale: Scale, threads: usize) {
 
 /// Hand-rolled JSON for the scheduler sweep (the workspace is offline; no
 /// serde).  One object per point, stable key order.
-fn scheduler_points_to_json(points: &[SchedulerPoint], dedicated_cap: usize) -> String {
+fn scheduler_points_to_json(
+    points: &[SchedulerPoint],
+    dedicated_cap: usize,
+    backpressure: &(BackpressurePoint, BackpressurePoint),
+) -> String {
     let mut out = String::from("{\n  \"bench\": \"scheduler_handler_sweep\",\n");
     out.push_str("  \"unit\": \"requests_per_sec\",\n");
     out.push_str(&format!(
@@ -180,23 +185,57 @@ fn scheduler_points_to_json(points: &[SchedulerPoint], dedicated_cap: usize) -> 
             if i + 1 == points.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    let (dedicated, pooled) = backpressure;
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"backpressure\": {{\n    \"capacity\": {BACKPRESSURE_CAPACITY}, \
+         \"pipelines\": {BACKPRESSURE_PIPELINES}, \
+         \"calls_per_block\": {BACKPRESSURE_CALLS_PER_BLOCK},\n"
+    ));
+    let mut point = |label: &str, p: &BackpressurePoint, trailing: &str| {
+        out.push_str(&format!(
+            "    \"{label}\": {{\"mode\": \"{}\", \"workers\": {}, \"requests\": {}, \
+             \"elapsed_secs\": {:.6}, \"requests_per_sec\": {:.1}, \
+             \"backpressure_stalls\": {}, \"pressure_wakes\": {}, \
+             \"budget_shrinks\": {}}}{trailing}\n",
+            p.mode,
+            p.workers,
+            p.requests,
+            p.elapsed.as_secs_f64(),
+            p.requests_per_sec,
+            p.backpressure_stalls,
+            p.pressure_wakes,
+            p.budget_shrinks,
+        ));
+    };
+    point("dedicated", dedicated, ",");
+    point("pooled", pooled, ",");
+    out.push_str(&format!(
+        "    \"pooled_over_dedicated\": {:.3}\n  }}\n}}\n",
+        pooled.requests_per_sec / dedicated.requests_per_sec.max(f64::MIN_POSITIVE)
+    ));
     out
 }
 
 /// The `scheduler` mode: run the handler-count sweep and write
 /// `BENCH_scheduler.json` next to the current directory.
+/// Minimum pooled/dedicated throughput ratio the sustained-backpressure
+/// experiment must reach; the CI smoke run fails below it so the ~0.4×
+/// collapse this ratio used to sit at cannot silently return.
+const BACKPRESSURE_MIN_RATIO: f64 = 0.6;
+
 fn run_scheduler_sweep(scale: &str) {
-    let (counts, dedicated_cap): (&[usize], usize) = match scale {
-        "smoke" => (&[1_000], 1_000),
-        "quick" => (&[1_000, 10_000], 10_000),
-        // Full sweep.  Dedicated is capped at 10k on purpose: 50k concurrent
-        // OS threads exhausts memory on ordinary boxes (measured here:
-        // thread creation aborts with ENOMEM around 16k threads) — that
-        // infeasibility is the motivation for the pooled scheduler, and the
-        // cap is recorded in the JSON instead of silently shrinking the
-        // sweep.
-        _ => (&[1_000, 10_000, 50_000], 10_000),
+    let (counts, dedicated_cap, bp_blocks, bp_rounds): (&[usize], usize, usize, usize) = match scale
+    {
+        "smoke" => (&[1_000], 1_000, 30, 3),
+        "quick" => (&[1_000, 10_000], 10_000, 30, 3),
+        // Full sweep.  Dedicated is capped at 10k on purpose: 50k
+        // concurrent OS threads exhausts memory on ordinary boxes
+        // (measured here: thread creation aborts with ENOMEM around 16k
+        // threads) — that infeasibility is the motivation for the pooled
+        // scheduler, and the cap is recorded in the JSON instead of
+        // silently shrinking the sweep.
+        _ => (&[1_000, 10_000, 50_000], 10_000, 60, 5),
     };
     let points = scheduler_sweep(counts, dedicated_cap);
     let header = vec![
@@ -223,10 +262,55 @@ fn run_scheduler_sweep(scale: &str) {
         &header,
         &rows,
     );
-    let json = scheduler_points_to_json(&points, dedicated_cap);
+
+    // Sustained backpressure: blocks ≫ mailbox capacity on an undersized
+    // (1-worker) pool against dedicated consumer threads.
+    let backpressure = backpressure_sweep(bp_blocks, bp_rounds);
+    let (dedicated, pooled) = &backpressure;
+    let ratio = pooled.requests_per_sec / dedicated.requests_per_sec.max(f64::MIN_POSITIVE);
+    let bp_rows: Vec<(String, Vec<String>)> = [dedicated, pooled]
+        .iter()
+        .map(|p| {
+            (
+                format!("{} (workers {})", p.mode, p.workers),
+                vec![
+                    format!("{:.0}", p.requests_per_sec),
+                    p.backpressure_stalls.to_string(),
+                    p.pressure_wakes.to_string(),
+                    p.budget_shrinks.to_string(),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Sustained backpressure — {BACKPRESSURE_PIPELINES} pipelines, capacity \
+             {BACKPRESSURE_CAPACITY}, {BACKPRESSURE_CALLS_PER_BLOCK} calls/block \
+             (pooled/dedicated = {ratio:.3})"
+        ),
+        &[
+            "mode".to_string(),
+            "req/s".to_string(),
+            "stalls".to_string(),
+            "pressure wakes".to_string(),
+            "budget shrinks".to_string(),
+        ],
+        &bp_rows,
+    );
+
+    let json = scheduler_points_to_json(&points, dedicated_cap, &backpressure);
     let path = "BENCH_scheduler.json";
     std::fs::write(path, json).expect("write BENCH_scheduler.json");
     println!("wrote {path}");
+
+    // The regression gate CI runs in release mode: the backpressure collapse
+    // must not silently return.
+    assert!(
+        ratio >= BACKPRESSURE_MIN_RATIO,
+        "sustained-backpressure regression: pooled reached only {ratio:.3}x dedicated \
+         throughput (minimum {BACKPRESSURE_MIN_RATIO}); see the backpressure section of \
+         BENCH_scheduler.json"
+    );
 }
 
 fn main() {

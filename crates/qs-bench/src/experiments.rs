@@ -326,6 +326,106 @@ pub fn scheduler_sweep(counts: &[usize], dedicated_cap: usize) -> Vec<SchedulerP
     points
 }
 
+/// One measured point of the sustained-backpressure experiment: `pipelines`
+/// client/handler pairs, each client logging `blocks` separate blocks of
+/// `calls_per_block` asynchronous calls into a capacity-`capacity` mailbox
+/// with `calls_per_block` ≫ `capacity`, so every block spends most of its
+/// life with the producer blocked on a full ring.
+#[derive(Debug, Clone)]
+pub struct BackpressurePoint {
+    /// Scheduling mode label ("Dedicated" / "Pooled").
+    pub mode: String,
+    /// Pool workers (0 for dedicated threads).
+    pub workers: usize,
+    /// Requests executed during the measured window.
+    pub requests: u64,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Requests per second over the measured window.
+    pub requests_per_sec: f64,
+    /// Producer enqueues that had to block for mailbox space.
+    pub backpressure_stalls: u64,
+    /// Pressure wakes fired by producers at/past the mailbox watermark.
+    pub pressure_wakes: u64,
+    /// Yield budgets shrunk under mailbox backpressure.
+    pub budget_shrinks: u64,
+}
+
+/// Parameters of the sustained-backpressure experiment (shared by the bench
+/// sweep and the CI smoke gate so they measure the same thing).
+pub const BACKPRESSURE_CAPACITY: usize = 8;
+/// Client/handler pairs; deliberately more than the 1-worker pool.
+pub const BACKPRESSURE_PIPELINES: usize = 4;
+/// Calls per separate block — ≫ the mailbox capacity, the "sustained" part.
+pub const BACKPRESSURE_CALLS_PER_BLOCK: usize = 400;
+
+/// Runs the sustained-backpressure workload under one scheduling mode and
+/// reports its throughput.  The pooled mode is measured on a deliberately
+/// *undersized* pool (`workers: 1` against [`BACKPRESSURE_PIPELINES`]
+/// pipelines): that is the configuration where ring-sized service bursts
+/// used to collapse to ~0.4× dedicated throughput.
+pub fn backpressure_point(mode: SchedulerMode, blocks: usize) -> BackpressurePoint {
+    let rt = Runtime::new(
+        RuntimeConfig::all_optimizations()
+            .with_mailbox_capacity(Some(BACKPRESSURE_CAPACITY))
+            .with_scheduler(mode),
+    );
+    let handlers: Vec<_> = (0..BACKPRESSURE_PIPELINES)
+        .map(|_| rt.spawn_handler(0u64))
+        .collect();
+    let baseline = rt.stats_snapshot();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for handler in &handlers {
+            scope.spawn(move || {
+                for _ in 0..blocks {
+                    handler.separate(|s| {
+                        for _ in 0..BACKPRESSURE_CALLS_PER_BLOCK {
+                            s.call(|n| *n += 1);
+                        }
+                    });
+                }
+            });
+        }
+    });
+    let total: u64 = handlers.iter().map(|h| h.query_detached(|n| *n)).sum();
+    let elapsed = start.elapsed();
+    assert_eq!(
+        total,
+        (BACKPRESSURE_PIPELINES * blocks * BACKPRESSURE_CALLS_PER_BLOCK) as u64,
+        "backpressure point lost requests ({mode:?})"
+    );
+    let snap = rt.stats_snapshot().since(&baseline);
+    let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    BackpressurePoint {
+        mode: mode.label().to_string(),
+        workers: mode.effective_workers().unwrap_or(0),
+        requests: snap.requests_executed,
+        elapsed,
+        requests_per_sec: snap.requests_executed as f64 / secs,
+        backpressure_stalls: snap.backpressure_stalls,
+        pressure_wakes: snap.pressure_wakes,
+        budget_shrinks: snap.budget_shrinks,
+    }
+}
+
+/// The sustained-backpressure comparison: dedicated threads versus the
+/// 1-worker pool, plus the pooled/dedicated throughput ratio.  Each mode is
+/// measured `rounds` times and the best run kept (the experiment is
+/// latency-dominated and a single descheduling hiccup should not decide the
+/// recorded figure).
+pub fn backpressure_sweep(blocks: usize, rounds: usize) -> (BackpressurePoint, BackpressurePoint) {
+    let best = |mode| {
+        (0..rounds.max(1))
+            .map(|_| backpressure_point(mode, blocks))
+            .max_by(|a, b| a.requests_per_sec.total_cmp(&b.requests_per_sec))
+            .expect("at least one round")
+    };
+    let dedicated = best(SchedulerMode::Dedicated);
+    let pooled = best(SchedulerMode::Pooled { workers: 1 });
+    (dedicated, pooled)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

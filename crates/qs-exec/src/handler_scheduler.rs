@@ -27,6 +27,20 @@
 //! Producers therefore do not need to detect empty→nonempty transitions;
 //! they notify on every enqueue and the flag collapses the duplicates.
 //!
+//! # The pressure lane
+//!
+//! Wakes come in two flavours: plain [`TaskHandle::notify`] and
+//! [`TaskHandle::notify_pressure`], fired by producers that crossed a
+//! bounded queue's half-full watermark or blocked on a full one.
+//! Pressure-woken tasks enter a dedicated FIFO consulted before the
+//! injector, the deques and every worker's LIFO slot, so the consumer of a
+//! backpressured pipeline runs promptly instead of queueing behind
+//! burst-mode peers — the scheduling half of restoring the fine
+//! producer/consumer interleaving dedicated threads get from the OS futex.
+//! Budget-exhausted (`Yielded`) tasks re-enter through the global FIFO
+//! rather than the owner's LIFO deque, so one hot handler cannot starve its
+//! deque peers between shared polls.
+//!
 //! # Blocking edges and compensation
 //!
 //! A handler step may block: a request closure can enter a nested separate
@@ -41,6 +55,15 @@
 //! calms down.  This is the detect-and-spawn strategy of classic M:N
 //! runtimes, traded for the simplicity of not distinguishing blocking from
 //! non-blocking handler bodies.
+//!
+//! "Pinned for a long time" alone is not proof of blocking: on an
+//! oversubscribed box a CPU-bound step can be preempted past the threshold,
+//! and spawning more threads there only worsens the oversubscription.  The
+//! monitor therefore samples each pinned worker's *thread CPU time* from
+//! `/proc/self/task/<tid>/stat` and compensates only when at least one
+//! pinned worker is genuinely off-CPU (futex-parked on a blocking edge).
+//! Where procfs is unavailable the monitor falls back to treating every
+//! long-pinned step as blocked.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -121,6 +144,12 @@ struct TaskState {
     /// linger.
     task: Mutex<Option<Arc<dyn PooledTask>>>,
     flag: AtomicU8,
+    /// Set by [`TaskHandle::notify_pressure`]; consumed (and cleared) at the
+    /// next enqueue decision, routing the task through the priority lane.
+    /// Kept separate from the schedule flag so a pressure wake arriving
+    /// while the task is `Running`/`Scheduled` still upgrades its next
+    /// enqueue.
+    pressure: AtomicBool,
     scheduler: Weak<Shared>,
 }
 
@@ -186,6 +215,20 @@ impl TaskHandle {
         }
     }
 
+    /// A *pressure wake*: like [`notify`](TaskHandle::notify), but the task
+    /// is routed through the scheduler's priority lane — consulted before
+    /// every worker's LIFO deque — so a consumer whose producer is blocked
+    /// (or nearly blocked) on a bounded queue runs promptly instead of
+    /// queueing behind burst-mode peers.
+    ///
+    /// The pressure marking is sticky until the task's next enqueue: a
+    /// pressure wake that finds the task `Running` or already `Scheduled`
+    /// still upgrades its next trip through the queues.
+    pub fn notify_pressure(&self) -> bool {
+        self.state.pressure.store(true, Ordering::SeqCst);
+        self.notify()
+    }
+
     /// Returns `true` once the task reported [`StepOutcome::Done`].
     pub fn is_done(&self) -> bool {
         self.state.flag.load(Ordering::SeqCst) == DONE
@@ -205,8 +248,22 @@ impl std::fmt::Debug for TaskHandle {
 /// work can never be stranded.
 fn schedule(state: Arc<TaskState>) {
     match state.scheduler.upgrade() {
-        Some(shared) if !shared.shutdown.load(Ordering::Acquire) => shared.enqueue(state),
+        Some(shared) if !shared.shutdown.load(Ordering::Acquire) => {
+            enqueue_runnable(&shared, state)
+        }
         _ => run_inline(&state),
+    }
+}
+
+/// Routes a `Scheduled` task into the priority lane when a pressure wake is
+/// pending for it, the plain injector otherwise.  Consuming the pressure
+/// flag here (the single enqueue decision point) means a pressure wake
+/// arriving at any flag state upgrades exactly one subsequent enqueue.
+fn enqueue_runnable(shared: &Arc<Shared>, state: Arc<TaskState>) {
+    if state.pressure.swap(false, Ordering::SeqCst) {
+        shared.enqueue_priority(state);
+    } else {
+        shared.enqueue(state);
     }
 }
 
@@ -218,6 +275,9 @@ fn run_inline(state: &Arc<TaskState>) {
         return;
     };
     loop {
+        // Inline execution consumes any pending pressure marking: the wake
+        // it requested is happening right now.
+        state.pressure.store(false, Ordering::SeqCst);
         state.flag.store(RUNNING, Ordering::SeqCst);
         let outcome = catch_unwind(AssertUnwindSafe(|| task.step())).unwrap_or(StepOutcome::Done);
         match outcome {
@@ -243,6 +303,18 @@ fn run_inline(state: &Arc<TaskState>) {
 struct Shared {
     /// External (non-worker) submissions and post-yield overflow.
     injector: MutexQueue<Arc<TaskState>>,
+    /// The pressure lane: tasks whose producers are blocked (or nearly
+    /// blocked) on a bounded queue.  Consulted before the injector, the
+    /// deques *and* each worker's LIFO slot, so a backpressured pipeline's
+    /// consumer never queues behind burst-mode peers.  Every
+    /// `SHARED_POLL_INTERVAL`th acquisition inverts the order (plain
+    /// sources first) so a perpetually-pressured pipeline cannot starve
+    /// plain-woken tasks.
+    priority: MutexQueue<Arc<TaskState>>,
+    /// Lock-free occupancy count of `priority`: workers check it before
+    /// touching the lane's mutex, keeping the (overwhelmingly common)
+    /// pressure-free acquisition path free of the global lock.
+    priority_len: AtomicUsize,
     /// Thief handles onto every core worker's deque.
     stealers: Vec<Stealer<Arc<TaskState>>>,
     /// Tasks currently sitting in the injector or a deque.
@@ -258,10 +330,15 @@ struct Shared {
     /// began, or 0 while between steps.  The monitor reads these to decide
     /// whether every worker is pinned inside a (probably blocking) step.
     step_started: Vec<AtomicU64>,
+    /// Per core worker: OS thread id (0 while unknown / unsupported), used
+    /// by the monitor to sample per-thread CPU time from `/proc`.
+    worker_tids: Vec<AtomicU64>,
     /// Steps started (statistics).
     steps: AtomicU64,
     steals: AtomicU64,
     panics: AtomicU64,
+    /// Tasks enqueued through the pressure lane (statistics).
+    pressure_scheduled: AtomicU64,
     /// Compensation bookkeeping.
     extras_spawned: AtomicU64,
     extras_live: AtomicUsize,
@@ -277,12 +354,60 @@ impl Shared {
         if self.injector.is_closed() {
             // Shutdown finished behind our back; no worker will ever look at
             // the injector again.  Drain it here so the task still runs.
-            while let Ok(Some(task)) = self.injector.try_dequeue() {
-                self.queued.fetch_sub(1, Ordering::SeqCst);
-                run_inline(&task);
-            }
+            self.drain_injector_inline();
         } else {
             self.wake_one();
+        }
+    }
+
+    /// Like [`enqueue`](Self::enqueue), but through the pressure lane.  The
+    /// occupancy count is raised *before* the push: any taker that would
+    /// find the item also sees a nonzero count (the reverse order could
+    /// make a concurrent `take_priority` skip a visible task).
+    fn enqueue_priority(self: &Arc<Self>, state: Arc<TaskState>) {
+        self.pressure_scheduled.fetch_add(1, Ordering::Relaxed);
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        self.priority_len.fetch_add(1, Ordering::SeqCst);
+        self.priority.enqueue(state);
+        if self.priority.is_closed() {
+            // Shutdown finished behind our back (see `enqueue`).
+            self.drain_priority_inline();
+        } else {
+            self.wake_one();
+        }
+    }
+
+    /// Grabs the next pressure-lane task, if any.  The common (empty-lane)
+    /// case is one relaxed-ish atomic load; the lane's mutex is only taken
+    /// while pressure wakes are actually in flight.
+    fn take_priority(&self) -> Option<Arc<TaskState>> {
+        if self.priority_len.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        if let Ok(Some(task)) = self.priority.try_dequeue() {
+            self.priority_len.fetch_sub(1, Ordering::SeqCst);
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(task);
+        }
+        None
+    }
+
+    /// Runs everything still in the pressure lane inline (shutdown path and
+    /// the enqueue/close race).
+    fn drain_priority_inline(&self) {
+        while let Ok(Some(task)) = self.priority.try_dequeue() {
+            self.priority_len.fetch_sub(1, Ordering::SeqCst);
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            run_inline(&task);
+        }
+    }
+
+    /// Runs everything still in the injector inline (shutdown path and the
+    /// enqueue/close race).
+    fn drain_injector_inline(&self) {
+        while let Ok(Some(task)) = self.injector.try_dequeue() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            run_inline(&task);
         }
     }
 
@@ -298,9 +423,15 @@ impl Shared {
         self.idle_cond.notify_all();
     }
 
-    /// Grabs a task from the injector or any core deque (used by extra
-    /// workers and by core workers whose own deque ran dry).
+    /// Grabs a task from the pressure lane, the injector or any core deque
+    /// (used by extra workers and by core workers whose own deque ran dry).
     fn take_shared(&self, skip_deque: Option<usize>) -> Option<Arc<TaskState>> {
+        self.take_priority().or_else(|| self.take_plain(skip_deque))
+    }
+
+    /// Grabs a task from the plain (non-pressure) shared sources: the
+    /// injector, then any core deque.
+    fn take_plain(&self, skip_deque: Option<usize>) -> Option<Arc<TaskState>> {
         if let Ok(Some(task)) = self.injector.try_dequeue() {
             self.queued.fetch_sub(1, Ordering::SeqCst);
             return Some(task);
@@ -335,8 +466,9 @@ impl Shared {
 }
 
 /// Runs one step of `state` and routes the outcome: `Done` parks the flag
-/// terminally, `Yielded` goes back to the runnable set (the worker's own
-/// deque when it has one, so thieves can balance it), `Idle` parks unless a
+/// terminally, `Yielded` goes back to the *global* runnable FIFO (fairness:
+/// re-entering through the owner's LIFO deque would let one hot handler be
+/// re-popped immediately and starve its deque peers), `Idle` parks unless a
 /// notify raced in.
 fn run_task(shared: &Arc<Shared>, local: Option<&Worker<Arc<TaskState>>>, state: Arc<TaskState>) {
     let Some(task) = state.task() else {
@@ -352,7 +484,10 @@ fn run_task(shared: &Arc<Shared>, local: Option<&Worker<Arc<TaskState>>>, state:
         StepOutcome::Done => state.mark_done(),
         StepOutcome::Yielded => {
             state.flag.store(SCHEDULED, Ordering::SeqCst);
-            requeue(shared, local, state);
+            // A yield is a fairness event: the task goes to the back of the
+            // global FIFO (or the pressure lane when its producers are
+            // backpressured), behind every peer that was already runnable.
+            enqueue_runnable(shared, state);
         }
         StepOutcome::Idle => {
             if state
@@ -369,7 +504,14 @@ fn run_task(shared: &Arc<Shared>, local: Option<&Worker<Arc<TaskState>>>, state:
     }
 }
 
+/// Re-enqueues a task that was notified mid-step: the owner's deque for
+/// locality (the task's queues were just hot in this worker's cache), unless
+/// a pressure wake raced in, which routes through the priority lane.
 fn requeue(shared: &Arc<Shared>, local: Option<&Worker<Arc<TaskState>>>, state: Arc<TaskState>) {
+    if state.pressure.swap(false, Ordering::SeqCst) {
+        shared.enqueue_priority(state);
+        return;
+    }
     match local {
         Some(deque) => {
             shared.queued.fetch_add(1, Ordering::SeqCst);
@@ -385,9 +527,15 @@ fn requeue(shared: &Arc<Shared>, local: Option<&Worker<Arc<TaskState>>>, state: 
 /// every Nth task acquisition.  Without this, a handler that yields on its
 /// budget goes back to the owner's LIFO deque and is immediately re-popped,
 /// so one hot handler could starve every task waiting in the injector.
+/// The same rotation also inverts the pressure lane's precedence (plain
+/// sources first on the Nth acquisition), so a perpetually-backpressured
+/// pipeline — which re-enters the priority lane on every yield — cannot
+/// starve plain-woken tasks either: pressure buys promptness, never
+/// exclusivity.
 const SHARED_POLL_INTERVAL: u32 = 16;
 
 fn worker_loop(index: usize, local: Worker<Arc<TaskState>>, shared: Arc<Shared>) {
+    shared.worker_tids[index].store(current_thread_id(), Ordering::SeqCst);
     let backoff = Backoff::new();
     let mut acquisitions = 0u32;
     loop {
@@ -397,10 +545,21 @@ fn worker_loop(index: usize, local: Worker<Arc<TaskState>>, shared: Arc<Shared>)
                 shared.queued.fetch_sub(1, Ordering::SeqCst);
             })
         };
+        // The pressure lane outranks the LIFO slot on ordinary
+        // acquisitions (a backpressured pipeline's consumer must not wait
+        // behind this worker's own burst-mode tasks); every Nth
+        // acquisition inverts the order so neither the lane nor the LIFO
+        // slot can starve the plain shared sources.
         let task = if acquisitions.is_multiple_of(SHARED_POLL_INTERVAL) {
-            shared.take_shared(Some(index)).or_else(pop_local)
+            shared
+                .take_plain(Some(index))
+                .or_else(|| shared.take_priority())
+                .or_else(pop_local)
         } else {
-            pop_local().or_else(|| shared.take_shared(Some(index)))
+            shared
+                .take_priority()
+                .or_else(pop_local)
+                .or_else(|| shared.take_plain(Some(index)))
         };
         if let Some(task) = task {
             shared.step_started[index].store(shared.now_marker(), Ordering::SeqCst);
@@ -453,7 +612,87 @@ fn extra_worker_loop(shared: Arc<Shared>) {
     shared.note_thread_exited();
 }
 
+/// The OS id of the calling thread (`/proc/thread-self/stat` field 1), or 0
+/// where that is unavailable (non-Linux, masked procfs).  0 makes the
+/// monitor fall back to its pre-sampling behaviour for this worker: treat a
+/// long-pinned step as blocked.
+fn current_thread_id() -> u64 {
+    std::fs::read_to_string("/proc/thread-self/stat")
+        .ok()
+        .and_then(|stat| stat.split_whitespace().next()?.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Cumulative CPU time (user + system, in clock ticks) consumed by thread
+/// `tid` of this process, sampled from `/proc/self/task/<tid>/stat`.
+fn thread_cpu_ticks(tid: u64) -> Option<u64> {
+    let stat = std::fs::read_to_string(format!("/proc/self/task/{tid}/stat")).ok()?;
+    // Fields 14 (utime) and 15 (stime), counted 1-based from the front of
+    // the line; the comm field (2) may contain spaces, so parse from the
+    // closing parenthesis: the remainder starts at field 3.
+    let after_comm = &stat[stat.rfind(')')? + 1..];
+    let mut fields = after_comm.split_whitespace();
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    Some(utime + stime)
+}
+
+/// `/proc` reports CPU time in `USER_HZ` ticks; the kernel ABI pins the
+/// value observed through procfs at 100 regardless of the kernel's internal
+/// HZ, so 1 tick = 10ms of CPU.
+const PROC_TICK_MS: u64 = 10;
+
+/// CPU-time observation of one worker's current step, keyed by the step's
+/// start marker so a new step resets the baseline.
+#[derive(Clone, Copy)]
+struct StepCpuBaseline {
+    step_marker: u64,
+    cpu_ticks: Option<u64>,
+    wall_marker: u64,
+}
+
+/// How long a step must have been pinned before the monitor starts a CPU
+/// baseline for it.  Keeps the per-tick procfs reads away from pools whose
+/// steps are ordinarily short: only steps already suspiciously long (but
+/// still well before the stall threshold) get sampled.
+const BASELINE_MIN_PIN: Duration = Duration::from_millis(25);
+
+/// Minimum wall-clock window a CPU baseline must span before a "blocked"
+/// verdict is trusted.  With USER_HZ ticks of 10ms, a verdict off a 1-2ms
+/// window would read every thread as 0-CPU ("blocked") and re-introduce the
+/// spurious compensation this sampling exists to prevent.  A step that
+/// started its baseline at `BASELINE_MIN_PIN` has a 75ms window by the time
+/// the 100ms stall threshold passes, so the gate adds no detection latency
+/// on the common path.
+const MIN_BLOCKED_WINDOW: Duration = Duration::from_millis(50);
+
+/// Whether a worker pinned inside one step since `baseline` is *blocked*
+/// (parked in a futex, waiting on I/O) rather than CPU-bound: a blocked
+/// thread accrues (almost) no CPU time across the stall window, while a
+/// CPU-bound step — even one starved by preemption on an oversubscribed box
+/// — keeps accruing.  Unknown CPU time (no procfs) counts as blocked, which
+/// is the monitor's original, conservative behaviour.  A window still
+/// shorter than [`MIN_BLOCKED_WINDOW`] counts as *not* blocked: too little
+/// wall time has passed to distinguish anything at tick granularity, and
+/// the verdict matures within a couple of monitor ticks.
+fn pinned_step_is_blocked(baseline: &StepCpuBaseline, now: u64, tid: u64) -> bool {
+    let wall_ms = now.saturating_sub(baseline.wall_marker);
+    let (Some(cpu_then), Some(cpu_now)) = (baseline.cpu_ticks, thread_cpu_ticks(tid)) else {
+        return true;
+    };
+    if wall_ms < MIN_BLOCKED_WINDOW.as_millis() as u64 {
+        return false;
+    }
+    let cpu_ms = cpu_now.saturating_sub(cpu_then) * PROC_TICK_MS;
+    // Blocked = the thread used under a quarter of the wall-clock window as
+    // CPU.  The 25% margin absorbs tick granularity (10ms per tick against
+    // a >=50ms window) and steps that briefly compute before blocking.
+    cpu_ms * 4 < wall_ms
+}
+
 fn monitor_loop(shared: Arc<Shared>) {
+    // Per core worker: the CPU baseline of the step it is currently inside.
+    let mut baselines: Vec<Option<StepCpuBaseline>> = vec![None; shared.step_started.len()];
     loop {
         // Tick fast only while tasks are runnable; an idle pool downshifts
         // so a long-lived runtime full of parked handlers costs ~40 monitor
@@ -477,6 +716,31 @@ fn monitor_loop(shared: Arc<Shared>) {
                 extras.retain(|handle| !handle.is_finished());
             }
         }
+        // Track per-worker CPU baselines for steps that have been pinned
+        // past `BASELINE_MIN_PIN` — regardless of queue state or sleeping
+        // workers, so the baseline predates the stall window even when the
+        // queue only becomes nonempty after the stall began.  Short steps
+        // never reach the pin threshold and cost no procfs reads.
+        let now = shared.now_marker();
+        for (index, started) in shared.step_started.iter().enumerate() {
+            let started = started.load(Ordering::SeqCst);
+            if started == 0 {
+                baselines[index] = None;
+                continue;
+            }
+            if now.saturating_sub(started) < BASELINE_MIN_PIN.as_millis() as u64 {
+                continue;
+            }
+            let stale = !matches!(&baselines[index], Some(b) if b.step_marker == started);
+            if stale {
+                let tid = shared.worker_tids[index].load(Ordering::SeqCst);
+                baselines[index] = Some(StepCpuBaseline {
+                    step_marker: started,
+                    cpu_ticks: (tid != 0).then(|| thread_cpu_ticks(tid)).flatten(),
+                    wall_marker: now,
+                });
+            }
+        }
         if shared.queued.load(Ordering::SeqCst) == 0 {
             continue;
         }
@@ -488,7 +752,6 @@ fn monitor_loop(shared: Arc<Shared>) {
         // Compensate only when every core worker has been pinned inside one
         // step for at least the stall threshold — the signature of blocking
         // steps, not of short steps or scheduling jitter.
-        let now = shared.now_marker();
         let threshold = STALL_THRESHOLD.as_millis() as u64;
         let all_stuck = shared.step_started.iter().all(|started| {
             let started = started.load(Ordering::SeqCst);
@@ -497,7 +760,23 @@ fn monitor_loop(shared: Arc<Shared>) {
         if !all_stuck {
             continue;
         }
-        // Runnable tasks, no free worker, every worker blocked.  Compensate.
+        // Distinguish blocked workers from CPU-bound ones: a step that is
+        // merely slow (or preempted on an oversubscribed box) burns CPU the
+        // whole time, and spawning more threads would only worsen the
+        // oversubscription.  Compensate only when at least one pinned
+        // worker is genuinely off-CPU (futex-parked on a blocking edge).
+        let any_blocked = baselines.iter().enumerate().any(|(index, baseline)| {
+            let Some(baseline) = baseline else {
+                return true;
+            };
+            let tid = shared.worker_tids[index].load(Ordering::SeqCst);
+            pinned_step_is_blocked(baseline, now, tid)
+        });
+        if !any_blocked {
+            continue;
+        }
+        // Runnable tasks, no free worker, every worker pinned, at least one
+        // provably blocked.  Compensate.
         if shared.extras_live.load(Ordering::SeqCst) < MAX_EXTRA_WORKERS {
             shared.extras_live.fetch_add(1, Ordering::SeqCst);
             shared.extras_spawned.fetch_add(1, Ordering::Relaxed);
@@ -560,6 +839,8 @@ impl HandlerScheduler {
         }
         let shared = Arc::new(Shared {
             injector: MutexQueue::new(),
+            priority: MutexQueue::new(),
+            priority_len: AtomicUsize::new(0),
             stealers,
             queued: AtomicUsize::new(0),
             sleeping: AtomicUsize::new(0),
@@ -568,9 +849,11 @@ impl HandlerScheduler {
             idle_cond: Condvar::new(),
             epoch: std::time::Instant::now(),
             step_started: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            worker_tids: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             steps: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            pressure_scheduled: AtomicU64::new(0),
             extras_spawned: AtomicU64::new(0),
             extras_live: AtomicUsize::new(0),
             extra_handles: Mutex::new(Vec::new()),
@@ -614,6 +897,7 @@ impl HandlerScheduler {
             state: Arc::new(TaskState {
                 task: Mutex::new(Some(task)),
                 flag: AtomicU8::new(IDLE),
+                pressure: AtomicBool::new(false),
                 scheduler: Arc::downgrade(&self.shared),
             }),
         }
@@ -639,6 +923,13 @@ impl HandlerScheduler {
     /// Steps whose task panicked (the task is retired, the worker survives).
     pub fn panicked_steps(&self) -> u64 {
         self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Tasks scheduled through the pressure lane (a
+    /// [`TaskHandle::notify_pressure`] wake, or a yield while a pressure
+    /// wake was pending).
+    pub fn pressure_scheduled(&self) -> u64 {
+        self.shared.pressure_scheduled.load(Ordering::Relaxed)
     }
 
     /// Compensation workers ever spawned by the monitor.
@@ -692,11 +983,10 @@ impl HandlerScheduler {
                 let _ = handle.join();
             }
         }
+        self.shared.priority.close();
         self.shared.injector.close();
-        while let Ok(Some(task)) = self.shared.injector.try_dequeue() {
-            self.shared.queued.fetch_sub(1, Ordering::SeqCst);
-            run_inline(&task);
-        }
+        self.shared.drain_priority_inline();
+        self.shared.drain_injector_inline();
     }
 }
 
@@ -964,6 +1254,77 @@ mod tests {
         assert!(
             other_done_first.load(Ordering::SeqCst),
             "the injector task must run before a 10k-yield hog finishes"
+        );
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn pressure_notified_task_overtakes_the_queue() {
+        // One worker, pinned by a gate task; a crowd of plain-notified tasks
+        // piles into the injector, then one task is pressure-notified.  When
+        // the gate opens, the pressure-lane task must run before the crowd
+        // that was queued ahead of it.
+        use std::sync::Mutex as StdMutex;
+
+        struct Recorder {
+            id: usize,
+            order: Arc<StdMutex<Vec<usize>>>,
+        }
+        impl PooledTask for Recorder {
+            fn step(&self) -> StepOutcome {
+                self.order.lock().unwrap().push(self.id);
+                StepOutcome::Done
+            }
+        }
+        struct Gate {
+            gate: Arc<Event>,
+        }
+        impl PooledTask for Gate {
+            fn step(&self) -> StepOutcome {
+                self.gate.wait();
+                StepOutcome::Done
+            }
+        }
+
+        let scheduler = HandlerScheduler::new(1);
+        let order: Arc<StdMutex<Vec<usize>>> = Arc::default();
+        let gate = Arc::new(Event::new());
+        let blocker = scheduler.register(Arc::new(Gate {
+            gate: Arc::clone(&gate),
+        }));
+        blocker.notify();
+        // Let the worker pick the gate task up and pin itself.
+        std::thread::sleep(Duration::from_millis(5));
+        let crowd: Vec<_> = (0..8)
+            .map(|id| {
+                let handle = scheduler.register(Arc::new(Recorder {
+                    id,
+                    order: Arc::clone(&order),
+                }));
+                handle.notify();
+                handle
+            })
+            .collect();
+        let urgent = scheduler.register(Arc::new(Recorder {
+            id: 99,
+            order: Arc::clone(&order),
+        }));
+        urgent.notify_pressure();
+        gate.set();
+        for handle in crowd.iter().chain([&urgent, &blocker]) {
+            while !handle.is_done() {
+                std::thread::yield_now();
+            }
+        }
+        assert!(scheduler.pressure_scheduled() >= 1);
+        let order = order.lock().unwrap();
+        // First in the common case; second at most, when the gate happened
+        // to open on the every-16th anti-starvation acquisition (which
+        // consults the plain injector before the pressure lane on purpose).
+        let position = order.iter().position(|&id| id == 99);
+        assert!(
+            position <= Some(1),
+            "the pressure-woken task must overtake the injector crowd: {order:?}"
         );
         scheduler.shutdown();
     }

@@ -147,6 +147,14 @@ impl<T> BoundedSpsc<T> {
         self.stalls.load(Ordering::Relaxed)
     }
 
+    /// Returns `true` while the ring is at or past its half-full watermark
+    /// (`len * 2 >= capacity`) — the occupancy signal behind
+    /// [`crate::WakeReason::Pressure`].  Racy snapshot, like
+    /// [`len`](Self::len).
+    pub fn is_pressured(&self) -> bool {
+        self.len() * 2 >= self.capacity()
+    }
+
     /// Returns `true` if the producer has closed the queue.
     pub fn is_closed(&self) -> bool {
         self.closed.load(Ordering::Acquire)

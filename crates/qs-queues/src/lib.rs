@@ -31,6 +31,14 @@
 //!
 //! The [`mailbox`] module unifies the bounded and unbounded private queues
 //! behind one producer/consumer pair, keyed by an optional capacity.
+//!
+//! For M:N scheduled consumers, every queue accepts a [`WakeHook`] invoked
+//! by producers whenever work may have become visible.  Each invocation
+//! carries a [`WakeReason`] occupancy hint: bounded queues report
+//! [`WakeReason::Pressure`] when a push crosses the half-full watermark or
+//! blocks for space, letting the consumer's scheduler prioritise
+//! backpressured pipelines.  The reason is advisory only — receivers must
+//! honour every wake regardless of reason (see the [`WakeReason`] contract).
 
 #![warn(missing_docs)]
 
@@ -61,7 +69,39 @@ pub use spsc::{spsc_channel, SpscConsumer, SpscProducer, SpscQueue};
 /// receiver's job — the scheduler's schedule-flag protocol collapses
 /// redundant wakes, which keeps the queue-side contract trivial: *never miss
 /// one*, duplicates are free.
-pub type WakeHook = std::sync::Arc<dyn Fn() + Send + Sync>;
+///
+/// Every invocation carries a [`WakeReason`] occupancy hint.  The reason is
+/// *advisory*: a receiver must treat every invocation, whatever the reason,
+/// as "work may now be visible" — it may only use the reason to decide *how
+/// urgently* to run the consumer, never *whether* to wake it at all.
+pub type WakeHook = std::sync::Arc<dyn Fn(WakeReason) + Send + Sync>;
+
+/// Occupancy hint carried by every [`WakeHook`] invocation.
+///
+/// # Contract
+///
+/// * Producers fire [`Pressure`](WakeReason::Pressure) when a push into a
+///   *bounded* queue crosses the half-full watermark (`len * 2 >= capacity`
+///   after the push) or had to block for space; such a wake means the
+///   producer is at (or near) the point of being throttled, and the consumer
+///   should be scheduled promptly so backpressured pipelines keep the fine
+///   producer/consumer interleaving dedicated threads would get.
+/// * All other enqueues fire [`Enqueue`](WakeReason::Enqueue), and a close
+///   fires [`Close`](WakeReason::Close).
+/// * Receivers may not drop a wake based on its reason: the reason modulates
+///   scheduling priority only.  Producers may over-report pressure
+///   (spuriously), never under-report it while actually blocking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeReason {
+    /// An ordinary enqueue made work visible; no urgency implied.
+    Enqueue,
+    /// The queue was closed (END of a separate block / shutdown).
+    Close,
+    /// A push crossed the bounded queue's half-full watermark or blocked on
+    /// a full queue: the producer is being throttled, schedule the consumer
+    /// promptly.
+    Pressure,
+}
 
 /// Outcome of a blocking dequeue operation.
 ///

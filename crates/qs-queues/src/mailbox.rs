@@ -10,7 +10,7 @@
 
 use crate::bounded::{bounded_spsc_channel, BoundedSpscConsumer, BoundedSpscProducer};
 use crate::spsc::{spsc_channel, SpscConsumer, SpscProducer};
-use crate::{Closed, Dequeue, WakeHook};
+use crate::{Closed, Dequeue, WakeHook, WakeReason};
 
 /// The two underlying queue flavours of a mailbox producer.
 enum ProducerFlavour<T> {
@@ -76,9 +76,25 @@ impl<T> MailboxProducer<T> {
         self
     }
 
-    fn invoke_wake_hook(&self) {
+    fn invoke_wake_hook(&self, reason: WakeReason) {
         if let Some(hook) = &self.wake_hook {
-            hook();
+            hook(reason);
+        }
+    }
+
+    /// The [`WakeReason`] for a completed push: a bounded mailbox that had
+    /// to block for space, or sits at/past its half-full watermark after the
+    /// push, reports [`WakeReason::Pressure`].
+    fn push_reason(&self, stalled: bool) -> WakeReason {
+        match &self.flavour {
+            ProducerFlavour::Unbounded(_) => WakeReason::Enqueue,
+            ProducerFlavour::Bounded(tx) => {
+                if stalled || tx.queue().is_pressured() {
+                    WakeReason::Pressure
+                } else {
+                    WakeReason::Enqueue
+                }
+            }
         }
     }
 
@@ -93,7 +109,7 @@ impl<T> MailboxProducer<T> {
             }
             ProducerFlavour::Bounded(tx) => tx.push(value),
         };
-        self.invoke_wake_hook();
+        self.invoke_wake_hook(self.push_reason(stalled));
         stalled
     }
 
@@ -108,7 +124,7 @@ impl<T> MailboxProducer<T> {
             ProducerFlavour::Bounded(tx) => tx.try_push(value).map_err(|full| full.0),
         };
         if result.is_ok() {
-            self.invoke_wake_hook();
+            self.invoke_wake_hook(self.push_reason(false));
         }
         result
     }
@@ -119,7 +135,7 @@ impl<T> MailboxProducer<T> {
             ProducerFlavour::Unbounded(tx) => tx.close(),
             ProducerFlavour::Bounded(tx) => tx.close(),
         }
-        self.invoke_wake_hook();
+        self.invoke_wake_hook(WakeReason::Close);
     }
 
     /// The capacity bound, or `None` if unbounded.
@@ -189,6 +205,25 @@ impl<T> MailboxConsumer<T> {
             MailboxConsumer::Bounded(rx) => rx.queue().total_dequeued(),
         }
     }
+
+    /// Returns `true` while a bounded mailbox sits at or past its half-full
+    /// watermark (see [`WakeReason::Pressure`]).  An unbounded mailbox is
+    /// never pressured.
+    pub fn is_pressured(&self) -> bool {
+        match self {
+            MailboxConsumer::Unbounded(_) => false,
+            MailboxConsumer::Bounded(rx) => rx.queue().is_pressured(),
+        }
+    }
+
+    /// Number of blocking enqueues into this mailbox that had to wait for
+    /// space so far.  Always zero for an unbounded mailbox.
+    pub fn total_stalls(&self) -> usize {
+        match self {
+            MailboxConsumer::Unbounded(_) => 0,
+            MailboxConsumer::Bounded(rx) => rx.queue().total_stalls(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -236,5 +271,80 @@ mod tests {
             assert_eq!(rx.dequeue(), Dequeue::Closed);
             assert_eq!(rx.total_enqueued(), 1);
         }
+    }
+
+    #[test]
+    fn bounded_wake_hook_reports_pressure_at_the_watermark() {
+        use crate::WakeReason;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let reasons: Arc<std::sync::Mutex<Vec<WakeReason>>> = Arc::default();
+        let sink = Arc::clone(&reasons);
+        let (tx, rx) = mailbox::<u32>(Some(4));
+        let tx = tx.with_wake_hook(Arc::new(move |reason| sink.lock().unwrap().push(reason)));
+        // 1 of 4: below the half-full watermark.
+        tx.enqueue(1);
+        // 2..4 of 4: at or past it.
+        tx.enqueue(2);
+        tx.try_enqueue(3).unwrap();
+        tx.enqueue(4);
+        tx.close();
+        assert!(rx.is_pressured(), "full ring is pressured");
+        assert_eq!(
+            *reasons.lock().unwrap(),
+            vec![
+                WakeReason::Enqueue,
+                WakeReason::Pressure,
+                WakeReason::Pressure,
+                WakeReason::Pressure,
+                WakeReason::Close,
+            ]
+        );
+        // Draining below the watermark clears the consumer-visible signal.
+        rx.try_dequeue().unwrap();
+        rx.try_dequeue().unwrap();
+        rx.try_dequeue().unwrap();
+        assert!(!rx.is_pressured());
+        assert_eq!(rx.total_stalls(), 0, "no push ever blocked");
+
+        // A blocked push reports pressure (and the stall) even though the
+        // ring is briefly below the watermark when it completes.
+        let stalls = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mailbox::<u32>(Some(1));
+        let observed = Arc::clone(&stalls);
+        let tx = tx.with_wake_hook(Arc::new(move |reason| {
+            if reason == WakeReason::Pressure {
+                observed.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+        tx.enqueue(1); // capacity 1: immediately at the watermark
+        let producer = std::thread::spawn(move || assert!(tx.enqueue(2), "push must stall"));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.try_dequeue(), Ok(Some(1)));
+        producer.join().unwrap();
+        assert!(rx.total_stalls() >= 1);
+        assert!(stalls.load(Ordering::SeqCst) >= 2);
+    }
+
+    #[test]
+    fn unbounded_wake_hook_never_reports_pressure() {
+        use crate::WakeReason;
+        use std::sync::Arc;
+
+        let reasons: Arc<std::sync::Mutex<Vec<WakeReason>>> = Arc::default();
+        let sink = Arc::clone(&reasons);
+        let (tx, rx) = mailbox::<u32>(None);
+        let tx = tx.with_wake_hook(Arc::new(move |reason| sink.lock().unwrap().push(reason)));
+        for i in 0..100 {
+            tx.enqueue(i);
+        }
+        tx.close();
+        assert!(!rx.is_pressured());
+        assert_eq!(rx.total_stalls(), 0);
+        let reasons = reasons.lock().unwrap();
+        assert_eq!(reasons.len(), 101);
+        assert!(reasons[..100].iter().all(|r| *r == WakeReason::Enqueue));
+        assert_eq!(reasons[100], WakeReason::Close);
     }
 }

@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 
 use qs_sync::{Backoff, CachePadded, OnceValue, Parker};
 
-use crate::{Closed, Dequeue, WakeHook};
+use crate::{Closed, Dequeue, WakeHook, WakeReason};
 
 struct Node<T> {
     next: AtomicPtr<Node<T>>,
@@ -101,14 +101,16 @@ impl<T> QueueOfQueues<T> {
         let _ = self.wake_hook.set(hook);
     }
 
-    fn invoke_wake_hook(&self) {
+    fn invoke_wake_hook(&self, reason: WakeReason) {
         if let Some(hook) = self.wake_hook.get() {
-            hook();
+            hook(reason);
         }
     }
 
     /// Appends `value`.  Wait-free for producers: one allocation, one swap,
-    /// one store.
+    /// one store.  The queue-of-queues is unbounded, so its wakes always
+    /// carry [`WakeReason::Enqueue`] — pressure originates in the (bounded)
+    /// private queues, never here.
     pub fn enqueue(&self, value: T) {
         let node = Node::new(Some(value));
         // SAFETY: `node` is a fresh allocation we exclusively own until the
@@ -119,7 +121,7 @@ impl<T> QueueOfQueues<T> {
         unsafe { (*prev).next.store(node, Ordering::Release) };
         self.enqueued.fetch_add(1, Ordering::Relaxed);
         self.wake_consumer();
-        self.invoke_wake_hook();
+        self.invoke_wake_hook(WakeReason::Enqueue);
     }
 
     /// Marks the queue closed.  The consumer drains the remaining items and
@@ -127,7 +129,7 @@ impl<T> QueueOfQueues<T> {
     pub fn close(&self) {
         self.closed.store(true, Ordering::Release);
         self.wake_consumer();
-        self.invoke_wake_hook();
+        self.invoke_wake_hook(WakeReason::Close);
     }
 
     /// Returns `true` once [`close`](Self::close) has been called.

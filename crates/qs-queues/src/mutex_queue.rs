@@ -18,7 +18,7 @@ use std::sync::{Condvar, Mutex};
 
 use qs_sync::OnceValue;
 
-use crate::{Closed, Dequeue, WakeHook};
+use crate::{Closed, Dequeue, WakeHook, WakeReason};
 
 /// A mutex+condvar protected FIFO queue with a close protocol and an
 /// optional capacity bound.
@@ -103,9 +103,9 @@ impl<T> MutexQueue<T> {
         let _ = self.wake_hook.set(hook);
     }
 
-    fn invoke_wake_hook(&self) {
+    fn invoke_wake_hook(&self, reason: WakeReason) {
         if let Some(hook) = self.wake_hook.get() {
-            hook();
+            hook(reason);
         }
     }
 
@@ -116,6 +116,31 @@ impl<T> MutexQueue<T> {
 
     fn is_full(&self, inner: &Inner<T>) -> bool {
         matches!(self.capacity, Some(cap) if inner.items.len() >= cap)
+    }
+
+    /// Whether `len` items sit at or past the half-full watermark of a
+    /// bounded queue (see [`WakeReason::Pressure`]); unbounded queues are
+    /// never pressured.
+    fn pressured_at(&self, len: usize) -> bool {
+        matches!(self.capacity, Some(cap) if len * 2 >= cap)
+    }
+
+    /// The [`WakeReason`] for a push that left `len` items queued and may
+    /// have stalled waiting for space.
+    fn push_reason(&self, stalled: bool, len: usize) -> WakeReason {
+        if stalled || self.pressured_at(len) {
+            WakeReason::Pressure
+        } else {
+            WakeReason::Enqueue
+        }
+    }
+
+    /// Returns `true` while a bounded queue sits at or past its half-full
+    /// watermark.  Always `false` for unbounded queues — answered without
+    /// touching the queue mutex, since consumers poll this on their hot
+    /// path.
+    pub fn is_pressured(&self) -> bool {
+        self.capacity.is_some() && self.pressured_at(self.len())
     }
 
     /// Signals waiting producers that space appeared.  An unbounded queue
@@ -136,9 +161,10 @@ impl<T> MutexQueue<T> {
         }
         inner.items.push_back(value);
         inner.enqueued += 1;
+        let len = inner.items.len();
         drop(inner);
         self.not_empty.notify_one();
-        self.invoke_wake_hook();
+        self.invoke_wake_hook(self.push_reason(false, len));
         Ok(())
     }
 
@@ -160,9 +186,10 @@ impl<T> MutexQueue<T> {
         }
         inner.items.push_back(value);
         inner.enqueued += 1;
+        let len = inner.items.len();
         drop(inner);
         self.not_empty.notify_one();
-        self.invoke_wake_hook();
+        self.invoke_wake_hook(self.push_reason(stalled, len));
         stalled
     }
 
@@ -171,7 +198,7 @@ impl<T> MutexQueue<T> {
         self.inner.lock().unwrap().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
-        self.invoke_wake_hook();
+        self.invoke_wake_hook(WakeReason::Close);
     }
 
     /// Returns `true` once the queue has been closed.
@@ -349,6 +376,34 @@ mod tests {
             assert!(!q.enqueue(i));
         }
         assert_eq!(q.total_stalls(), 0);
+    }
+
+    #[test]
+    fn wake_hook_reports_pressure_only_at_a_bound() {
+        use crate::WakeReason;
+
+        let reasons: Arc<std::sync::Mutex<Vec<WakeReason>>> = Arc::default();
+        let sink = Arc::clone(&reasons);
+        let q = MutexQueue::with_capacity(Some(4));
+        q.set_wake_hook(Arc::new(move |reason| sink.lock().unwrap().push(reason)));
+        assert!(!q.is_pressured());
+        q.enqueue(1); // 1/4: below the watermark
+        q.try_enqueue(2).unwrap(); // 2/4: at it
+        assert!(q.is_pressured());
+        q.close();
+        assert_eq!(
+            *reasons.lock().unwrap(),
+            vec![WakeReason::Enqueue, WakeReason::Pressure, WakeReason::Close]
+        );
+
+        let unbounded = MutexQueue::new();
+        for i in 0..100 {
+            unbounded.enqueue(i);
+        }
+        assert!(
+            !unbounded.is_pressured(),
+            "an unbounded queue has no watermark"
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ use std::sync::Arc;
 
 use qs_exec::{PooledTask, StepOutcome};
 use qs_queues::{Dequeue, MailboxConsumer, MutexQueue, QueueOfQueues, WakeHook};
-use qs_sync::{Event, OnceValue, SpinLock};
+use qs_sync::{Backoff, Event, OnceValue, SpinLock};
 
 use crate::config::RuntimeConfig;
 use crate::request::Request;
@@ -56,9 +56,17 @@ fn batch_prealloc(max_batch: usize) -> usize {
     max_batch.min(1024)
 }
 
-/// Requests a pooled handler applies per scheduler step before yielding the
-/// worker (fairness between handlers sharing a pool; counted in
-/// `handler_yields`).
+/// Requests a pooled handler may apply before yielding the worker (fairness
+/// between handlers sharing a pool; counted in `handler_yields`).
+///
+/// The *remaining* budget persists in [`PooledLoopState`] across scheduler
+/// steps and is refilled only once it is spent — i.e. only after the handler
+/// has been through the scheduler's global FIFO behind its runnable peers —
+/// so an immediately re-enqueued hot handler cannot restart from a full
+/// budget and monopolise its worker.  While a mailbox reports backpressure
+/// the remaining budget additionally shrinks to one batch
+/// (`RuntimeConfig::max_batch`; counted in `budget_shrinks`), restoring the
+/// fine producer/consumer interleaving of dedicated threads.
 const YIELD_BUDGET: usize = 1024;
 
 /// Shared state of one handler, owned jointly by the handler thread and all
@@ -278,7 +286,8 @@ impl<T: Send + 'static> HandlerCore<T> {
     /// rescheduled by an unrelated producer's wake is harmless.
     fn step_queue_of_queues(&self, state: &mut PooledLoopState<T>) -> StepOutcome {
         let max_batch = self.config.max_batch.max(1);
-        let mut budget = YIELD_BUDGET;
+        state.refill_budget_if_spent();
+        let spin = Backoff::new();
         loop {
             let Some(current) = state.current.as_ref() else {
                 // RUN rule, polled: take the next private queue if one is
@@ -286,25 +295,42 @@ impl<T: Send + 'static> HandlerCore<T> {
                 match self.qoq.try_dequeue() {
                     Ok(Some(private_queue)) => {
                         state.current = Some(private_queue);
+                        state.stalls_seen = 0;
                         continue;
                     }
                     Ok(None) => return StepOutcome::Idle,
                     Err(qs_queues::Closed) => return StepOutcome::Done,
                 }
             };
+            // Sampled before the drain: a ring at its watermark right now is
+            // about to be emptied by it.
+            let pressured = current.is_pressured();
             match current.try_drain_batch(&mut state.batch, max_batch) {
                 // END rule: the client closed its mailbox; move on.
                 Err(qs_queues::Closed) => state.current = None,
                 // Mid-block and momentarily empty: the handler is "parked on
                 // the client's queue" from the client's point of view.
-                Ok(0) => return StepOutcome::Idle,
-                Ok(drained) => {
-                    self.stats.record_batch(drained);
-                    for request in state.batch.drain(..) {
-                        self.apply(request);
+                // When this mailbox's producer has blocked for space since
+                // the last idle transition (a backpressured pipeline, likely
+                // refilling the ring right now), spin-repoll briefly before
+                // conceding Idle — the polling analogue of the dedicated
+                // consumer's spin-then-park, without which every ring refill
+                // costs a full scheduler wake round-trip.  The spin only
+                // re-polls this same queue, so the §3.2 guarantee is
+                // untouched; the stalls-recency gate keeps long-quiet queues
+                // from paying the backoff ladder on every idle transition.
+                Ok(0) => {
+                    let stalls = current.total_stalls();
+                    if stalls > state.stalls_seen && !spin.is_completed() {
+                        spin.snooze();
+                        continue;
                     }
-                    budget = budget.saturating_sub(drained);
-                    if budget == 0 {
+                    state.stalls_seen = stalls;
+                    return StepOutcome::Idle;
+                }
+                Ok(drained) => {
+                    spin.reset();
+                    if self.apply_batch(state, drained, pressured) {
                         return StepOutcome::Yielded;
                     }
                 }
@@ -319,26 +345,66 @@ impl<T: Send + 'static> HandlerCore<T> {
     /// queue, never the object.
     fn step_lock_based(&self, state: &mut PooledLoopState<T>) -> StepOutcome {
         let max_batch = self.config.max_batch.max(1);
-        let mut budget = YIELD_BUDGET;
+        state.refill_budget_if_spent();
+        let spin = Backoff::new();
         loop {
+            let pressured = self.request_queue.is_pressured();
             match self
                 .request_queue
                 .try_drain_batch(&mut state.batch, max_batch)
             {
                 Err(qs_queues::Closed) => return StepOutcome::Done,
-                Ok(0) => return StepOutcome::Idle,
-                Ok(drained) => {
-                    self.stats.record_batch(drained);
-                    for request in state.batch.drain(..) {
-                        self.apply(request);
+                // See `step_queue_of_queues`: briefly spin-repoll instead of
+                // paying a wake round-trip per ring refill of a
+                // backpressured producer — but only when a stall happened
+                // since the last idle transition (the request queue lives as
+                // long as the handler, so the raw lifetime counter would buy
+                // a backoff ladder per idle forever after one stall).
+                Ok(0) => {
+                    let stalls = self.request_queue.total_stalls();
+                    if stalls > state.stalls_seen && !spin.is_completed() {
+                        spin.snooze();
+                        continue;
                     }
-                    budget = budget.saturating_sub(drained);
-                    if budget == 0 {
+                    state.stalls_seen = stalls;
+                    return StepOutcome::Idle;
+                }
+                Ok(drained) => {
+                    spin.reset();
+                    if self.apply_batch(state, drained, pressured) {
                         return StepOutcome::Yielded;
                     }
                 }
             }
         }
+    }
+
+    /// Applies one drained batch and charges it against the persisted yield
+    /// budget — the single copy of the record/apply/budget sequence shared
+    /// by [`step_queue_of_queues`](Self::step_queue_of_queues) and
+    /// [`step_lock_based`](Self::step_lock_based), so the budget logic
+    /// cannot drift between the two loop flavours.  Returns `true` when the
+    /// budget is spent and the step must yield the worker.
+    ///
+    /// `pressured` is the source queue's occupancy at drain time: while a
+    /// bounded mailbox reports pressure the remaining budget shrinks to one
+    /// batch, so the handler yields after every batch and backpressured
+    /// pipelines interleave finely (the blocked producer's pressure wake
+    /// re-schedules the handler through the priority lane).
+    fn apply_batch(&self, state: &mut PooledLoopState<T>, drained: usize, pressured: bool) -> bool {
+        self.stats.record_batch(drained);
+        for request in state.batch.drain(..) {
+            self.apply(request);
+        }
+        if pressured {
+            let batch_budget = self.config.max_batch.max(1);
+            if state.budget > batch_budget {
+                state.budget = batch_budget;
+                RuntimeStats::bump(&self.stats.budget_shrinks);
+            }
+        }
+        state.budget = state.budget.saturating_sub(drained);
+        state.budget == 0
     }
 
     fn wait_finished(&self) {
@@ -367,6 +433,30 @@ pub(crate) struct PooledLoopState<T> {
     current: Option<MailboxConsumer<Request<T>>>,
     /// Reusable drain buffer.
     batch: Vec<Request<T>>,
+    /// Remaining yield budget, carried across steps (see [`YIELD_BUDGET`]).
+    budget: usize,
+    /// The drain source's backpressure-stall count as of the last idle
+    /// transition.  The empty-poll spin-repoll only runs while new stalls
+    /// have happened since, so one historical stall does not buy a backoff
+    /// ladder per idle transition for the rest of the source's life.  Reset
+    /// when the QoQ loop advances to a fresh private queue (whose counter
+    /// restarts at zero).
+    stalls_seen: usize,
+}
+
+impl<T> PooledLoopState<T> {
+    /// Refills the budget once it has been fully spent.  Called at step
+    /// entry: a spent budget means the previous step yielded, and the yield
+    /// re-enqueued the handler at the back of the scheduler's global FIFO —
+    /// every peer that was runnable has had the worker since, so a fresh
+    /// budget is earned.  A budget merely *shrunk* by backpressure (nonzero
+    /// remainder) is kept: the pipeline is still in its fine-interleaving
+    /// regime until the pressure drains.
+    fn refill_budget_if_spent(&mut self) {
+        if self.budget == 0 {
+            self.budget = YIELD_BUDGET;
+        }
+    }
 }
 
 /// The [`PooledTask`] adapter running a handler on the M:N scheduler.
@@ -386,6 +476,8 @@ impl<T: Send + 'static> PooledHandler<T> {
             state: SpinLock::new(PooledLoopState {
                 current: None,
                 batch: Vec::with_capacity(batch_prealloc(max_batch)),
+                budget: YIELD_BUDGET,
+                stalls_seen: 0,
             }),
         }
     }

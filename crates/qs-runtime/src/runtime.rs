@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use qs_exec::{HandlerScheduler, ThreadCache};
-use qs_queues::WakeHook;
+use qs_queues::{WakeHook, WakeReason};
 
 use crate::config::{OptimizationLevel, RuntimeConfig, SchedulerMode};
 use crate::handler::{Handler, HandlerCore, HandlerId, PooledHandler};
@@ -138,10 +138,33 @@ impl Runtime {
     /// The handler begins processing requests immediately and runs until it
     /// is stopped (explicitly or by dropping the last [`Handler`] handle).
     pub fn spawn_handler<T: Send + 'static>(&self, object: T) -> Handler<T> {
+        self.spawn_with_config(self.inner.config, object)
+    }
+
+    /// Like [`spawn_handler`](Self::spawn_handler), but with this handler's
+    /// mailbox bound overridden (`None` = unbounded): every client mailbox
+    /// this handler hands out — private queue or shared request queue — uses
+    /// `capacity` instead of the runtime-wide
+    /// [`RuntimeConfig::mailbox_capacity`].  Handlers spawned either way
+    /// coexist freely on one runtime; the override is visible in the
+    /// handler's [`Handler::config`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is `Some(0)`.
+    pub fn spawn_with_capacity<T: Send + 'static>(
+        &self,
+        object: T,
+        capacity: Option<usize>,
+    ) -> Handler<T> {
+        self.spawn_with_config(self.inner.config.with_mailbox_capacity(capacity), object)
+    }
+
+    fn spawn_with_config<T: Send + 'static>(&self, config: RuntimeConfig, object: T) -> Handler<T> {
         let id: HandlerId = self.inner.next_handler_id.fetch_add(1, Ordering::Relaxed);
         RuntimeStats::bump(&self.inner.stats.handlers_spawned);
-        let core = HandlerCore::new(id, self.inner.config, Arc::clone(&self.inner.stats), object);
-        match self.inner.config.scheduler {
+        let core = HandlerCore::new(id, config, Arc::clone(&self.inner.stats), object);
+        match config.scheduler {
             SchedulerMode::Dedicated => {
                 // One cached OS thread per live handler; creating/retiring
                 // handlers stays cheap (the paper's lightweight-thread
@@ -157,8 +180,17 @@ impl Runtime {
                 let scheduler = self.scheduler();
                 let handle = scheduler.register(Arc::new(PooledHandler::new(Arc::clone(&core))));
                 let stats = Arc::clone(&self.inner.stats);
-                let hook: WakeHook = Arc::new(move || {
-                    if handle.notify() {
+                let hook: WakeHook = Arc::new(move |reason| {
+                    // A pressure wake (bounded mailbox at its watermark or a
+                    // blocked producer) routes through the scheduler's
+                    // priority lane so this handler runs promptly.
+                    let scheduled = if reason == WakeReason::Pressure {
+                        RuntimeStats::bump(&stats.pressure_wakes);
+                        handle.notify_pressure()
+                    } else {
+                        handle.notify()
+                    };
+                    if scheduled {
                         RuntimeStats::bump(&stats.handler_wakeups);
                     }
                 });

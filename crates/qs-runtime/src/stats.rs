@@ -91,6 +91,14 @@ pub struct RuntimeStats {
     /// Pooled scheduling: steps that exhausted their request budget and
     /// yielded the worker with work still pending.
     pub handler_yields: AtomicU64,
+    /// Pooled scheduling: producer wakes that carried
+    /// `WakeReason::Pressure` (a push crossed a bounded mailbox's half-full
+    /// watermark or blocked for space), routing the handler through the
+    /// scheduler's priority lane.
+    pub pressure_wakes: AtomicU64,
+    /// Pooled scheduling: yield budgets shrunk to one batch because the
+    /// handler's mailbox reported backpressure.
+    pub budget_shrinks: AtomicU64,
     /// Histogram of drained batch sizes; see [`batch_bucket_range`].
     pub batch_size_buckets: [AtomicU64; BATCH_SIZE_BUCKETS],
 }
@@ -141,6 +149,8 @@ impl RuntimeStats {
             backpressure_rejections: self.backpressure_rejections.load(Ordering::Relaxed),
             handler_wakeups: self.handler_wakeups.load(Ordering::Relaxed),
             handler_yields: self.handler_yields.load(Ordering::Relaxed),
+            pressure_wakes: self.pressure_wakes.load(Ordering::Relaxed),
+            budget_shrinks: self.budget_shrinks.load(Ordering::Relaxed),
             scheduler_steals: 0,
             batch_size_buckets: std::array::from_fn(|i| {
                 self.batch_size_buckets[i].load(Ordering::Relaxed)
@@ -197,6 +207,11 @@ pub struct StatsSnapshot {
     pub handler_wakeups: u64,
     /// Pooled scheduling: steps that yielded on an exhausted budget.
     pub handler_yields: u64,
+    /// Pooled scheduling: pressure wakes fired by bounded-mailbox producers
+    /// at or past the half-full watermark (or blocking for space).
+    pub pressure_wakes: u64,
+    /// Pooled scheduling: yield budgets shrunk under mailbox backpressure.
+    pub budget_shrinks: u64,
     /// Pooled scheduling: tasks stolen across scheduler workers.  Tracked by
     /// the scheduler, merged in by [`crate::Runtime::stats_snapshot`]; zero
     /// in a snapshot taken directly from [`RuntimeStats`].
@@ -283,6 +298,8 @@ impl StatsSnapshot {
                 .saturating_sub(earlier.backpressure_rejections),
             handler_wakeups: self.handler_wakeups.saturating_sub(earlier.handler_wakeups),
             handler_yields: self.handler_yields.saturating_sub(earlier.handler_yields),
+            pressure_wakes: self.pressure_wakes.saturating_sub(earlier.pressure_wakes),
+            budget_shrinks: self.budget_shrinks.saturating_sub(earlier.budget_shrinks),
             scheduler_steals: self
                 .scheduler_steals
                 .saturating_sub(earlier.scheduler_steals),

@@ -276,6 +276,234 @@ fn thousands_of_idle_handlers_on_two_workers() {
     }
 }
 
+/// Sustained-backpressure regression (the ISSUE 4 tentpole): pipelines whose
+/// blocks are far larger than their capacity-8 mailboxes, on a deliberately
+/// undersized 1-worker pool versus dedicated consumer threads.  Before the
+/// pressure-wake + adaptive-budget mechanism the pooled side collapsed to
+/// ~0.4x dedicated throughput (ring-sized service bursts instead of fine
+/// futex interleaving); it must now hold >= 0.7x, and the pressure
+/// instrumentation must actually fire.
+#[test]
+fn sustained_backpressure_pooled_keeps_pace_with_dedicated() {
+    use qs_bench::experiments::backpressure_sweep;
+
+    // The experiment (pipelines, capacity 8, calls per block, undersized
+    // 1-worker pool vs dedicated, best-of-N rounds) lives in
+    // qs_bench::experiments so this regression test and the CI bench gate
+    // measure the same thing; only the block count and threshold are
+    // test-local (debug build: fewer blocks, and a laxer 0.7 than the
+    // release gate's 0.6).  Best-of-3: the ratio is a timing measurement
+    // and a single descheduling hiccup on a loaded CI box must not fail
+    // the regression.
+    const BLOCKS: usize = 6; // blocks >> capacity: sustained stalls
+    let (dedicated, pooled) = backpressure_sweep(BLOCKS, 3);
+    assert!(
+        dedicated.backpressure_stalls > 0 && pooled.backpressure_stalls > 0,
+        "no sustained pressure: {dedicated:?} / {pooled:?}"
+    );
+    assert_eq!(
+        dedicated.pressure_wakes, 0,
+        "dedicated mode has no wake hooks"
+    );
+    assert!(
+        pooled.pressure_wakes > 0,
+        "bounded mailboxes at capacity must fire pressure wakes"
+    );
+    let ratio = pooled.requests_per_sec / dedicated.requests_per_sec;
+    assert!(
+        ratio >= 0.7,
+        "sustained-backpressure collapse is back: pooled {:.0} req/s is only \
+         {ratio:.3}x dedicated {:.0} req/s (required >= 0.7)",
+        pooled.requests_per_sec,
+        dedicated.requests_per_sec,
+    );
+}
+
+/// Two-handler fairness regression on a single pool worker: the remaining
+/// yield budget must persist across scheduler steps (and a yielded handler
+/// must re-enter behind its runnable peers), or one hot handler with a deep
+/// backlog monopolises the worker and the other starves until the first is
+/// completely done.
+#[test]
+fn two_preloaded_handlers_share_one_worker_fairly() {
+    use std::sync::{Arc, Mutex};
+
+    /// Global execution-order bookkeeping: the longest contiguous run of
+    /// calls one handler got the worker for.
+    #[derive(Default)]
+    struct Streaks {
+        last: u8,
+        current: u64,
+        max: u64,
+    }
+
+    impl Streaks {
+        fn record(&mut self, who: u8) {
+            if self.last == who {
+                self.current += 1;
+            } else {
+                self.last = who;
+                self.current = 1;
+            }
+            self.max = self.max.max(self.current);
+        }
+    }
+
+    const PRELOAD: u64 = 20_000;
+    // One yield budget is the intended scheduling quantum; anything a few
+    // multiples above it means a handler held the worker across what should
+    // have been a yield boundary.
+    const MAX_FAIR_STREAK: u64 = 4_096;
+    const ATTEMPTS: usize = 5;
+
+    /// One measured round: preload both handlers behind the gate, release,
+    /// and return (max contiguous streak, whether the run stayed on the
+    /// single worker).  If preloading outlasts the ~100ms compensation
+    /// threshold (slow CI box), the monitor hands the second handler its own
+    /// thread and the streak measurement is meaningless — the caller retries.
+    fn round(preload: u64) -> (u64, bool) {
+        let rt = Runtime::new(
+            OptimizationLevel::All
+                .config()
+                // Unbounded: the clients must fully preload both backlogs
+                // without ever blocking, so the fairness of the drain itself
+                // is what is measured.
+                .with_mailbox_capacity(None)
+                .with_scheduler(SchedulerMode::Pooled { workers: 1 }),
+        );
+        let a = rt.spawn_handler(0u64);
+        let b = rt.spawn_handler(0u64);
+        let streaks = Arc::new(Mutex::new(Streaks::default()));
+        let gate = Arc::new(qs_sync::Event::new());
+
+        std::thread::scope(|scope| {
+            for (who, handler) in [(1u8, &a), (2u8, &b)] {
+                let streaks = &streaks;
+                let gate = &gate;
+                scope.spawn(move || {
+                    handler.separate(|s| {
+                        // The single worker blocks here until both backlogs
+                        // are fully preloaded, so neither handler gets a
+                        // head start.
+                        let gate = Arc::clone(gate);
+                        s.call(move |_| gate.wait());
+                        for _ in 0..preload {
+                            let streaks = Arc::clone(streaks);
+                            s.call(move |n| {
+                                *n += 1;
+                                streaks.lock().unwrap().record(who);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        // Both backlogs are fully logged (the clients never block on the
+        // unbounded mailboxes); only now may the drain race begin.
+        gate.set();
+
+        assert_eq!(a.shutdown_and_take(), Some(preload));
+        assert_eq!(b.shutdown_and_take(), Some(preload));
+        let max_streak = streaks.lock().unwrap().max;
+        (max_streak, rt.scheduler_peak_threads() <= 1)
+    }
+
+    let mut last_clean = None;
+    for _ in 0..ATTEMPTS {
+        let (max_streak, single_worker) = round(PRELOAD);
+        if single_worker {
+            last_clean = Some(max_streak);
+            break;
+        }
+    }
+    let Some(max_streak) = last_clean else {
+        // Compensation fired on every attempt: the box is too loaded to
+        // keep the gate window under the 100ms stall threshold, and with
+        // two workers there is no single-worker fairness to measure.
+        eprintln!("skipping streak assertion: compensation fired on all {ATTEMPTS} attempts");
+        return;
+    };
+    // Persisted budgets + yield-to-global-FIFO give strict ~1024-request
+    // alternation.  The old fresh-budget-per-step behaviour let the first
+    // handler hold the worker for 16+ consecutive budgets (its LIFO deque
+    // re-popped it until the next shared poll), i.e. streaks >= 16384.
+    assert!(
+        max_streak <= MAX_FAIR_STREAK,
+        "one handler monopolised the single worker for {max_streak} consecutive \
+         requests (fairness quantum is ~1024, allowed at most {MAX_FAIR_STREAK})"
+    );
+}
+
+/// Per-handler mailbox-capacity overrides coexist with the runtime-wide
+/// default on one runtime: a capacity-1 handler applies hard backpressure
+/// while sibling handlers keep the roomy default, on both loop flavours and
+/// both scheduling modes.
+#[test]
+fn per_handler_capacity_override_coexists_with_global_default() {
+    for level in [OptimizationLevel::All, OptimizationLevel::None] {
+        for scheduler in [
+            SchedulerMode::Pooled { workers: 2 },
+            SchedulerMode::Dedicated,
+        ] {
+            let context = format!("{level} / {scheduler}");
+            let rt = Runtime::new(level.config().with_scheduler(scheduler));
+            let roomy = rt.spawn_handler(0u64);
+            let tiny = rt.spawn_with_capacity(0u64, Some(1));
+            assert_eq!(tiny.config().mailbox_capacity, Some(1), "{context}");
+            assert_eq!(
+                roomy.config().mailbox_capacity,
+                rt.config().mailbox_capacity,
+                "{context}"
+            );
+
+            // The roomy handler first: blocks far below the default bound
+            // must finish without a single stall.
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    let roomy = roomy.clone();
+                    scope.spawn(move || {
+                        for _ in 0..3 {
+                            roomy.separate(|s| {
+                                for _ in 0..100 {
+                                    s.call(|n| *n += 1);
+                                }
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(roomy.query_detached(|n| *n), 600, "{context}");
+            assert_eq!(
+                rt.stats_snapshot().backpressure_stalls,
+                0,
+                "{context}: the default-capacity handler must not stall"
+            );
+
+            // The capacity-1 handler: every burst vastly exceeds the bound,
+            // so the producers must stall — and still lose nothing.
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    let tiny = tiny.clone();
+                    scope.spawn(move || {
+                        tiny.separate(|s| {
+                            for _ in 0..500 {
+                                s.call(|n| *n += 1);
+                            }
+                        });
+                    });
+                }
+            });
+            assert_eq!(tiny.query_detached(|n| *n), 1_000, "{context}");
+            assert!(
+                rt.stats_snapshot().backpressure_stalls > 0,
+                "{context}: the capacity-1 override must apply backpressure"
+            );
+            assert_eq!(roomy.shutdown_and_take(), Some(600), "{context}");
+            assert_eq!(tiny.shutdown_and_take(), Some(1_000), "{context}");
+        }
+    }
+}
+
 /// Release-mode soak of the queue-of-queues configurations (QoQ and All),
 /// sized for the CI stress job.  Run with `--include-ignored`.
 #[test]

@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use qs_sync::{Backoff, CachePadded, Parker};
 
-use crate::{Closed, Dequeue};
+use crate::{BlockWatcher, Closed, Dequeue};
 
 /// Error returned by [`BoundedSpscProducer::try_push`] when the ring is at
 /// capacity; the rejected value is handed back to the caller.
@@ -131,6 +131,14 @@ impl<T> BoundedSpsc<T> {
         self.len() == 0
     }
 
+    /// Returns `true` while the ring is at capacity (racy snapshot, like
+    /// [`len`](Self::len)).  Used by the deadlock detector as a liveness
+    /// probe: a registered "blocked push" edge is only trusted while the
+    /// ring it blocks on is still actually full.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity()
+    }
+
     /// Number of items ever enqueued (statistics; racy snapshot).
     pub fn total_enqueued(&self) -> usize {
         self.tail.load(Ordering::Relaxed)
@@ -205,20 +213,54 @@ impl<T> BoundedSpscProducer<T> {
     /// limit.  Returns `true` if the push had to wait for space (a
     /// "backpressure stall"), `false` if it was immediate.
     pub fn push(&self, value: T) -> bool {
+        match self.push_impl(value, None) {
+            Ok(stalled) => stalled,
+            Err(_) => unreachable!("an unwatched push never aborts"),
+        }
+    }
+
+    /// [`push`](Self::push) under a [`BlockWatcher`]: the watcher observes
+    /// the blocking interval and may abort the wait, in which case the value
+    /// is handed back inside [`Full`] without having been enqueued.
+    ///
+    /// This is the deadlock-detection hook: the runtime registers the
+    /// blocked push as a wait-for edge in `block_begin`, and the detector's
+    /// `Break` policy makes `should_abort` true (then wakes the producer via
+    /// [`unblocker`](Self::unblocker)) to fail one push on a confirmed
+    /// cycle.
+    pub fn push_watched(&self, value: T, watcher: &dyn BlockWatcher) -> Result<bool, Full<T>> {
+        self.push_impl(value, Some(watcher))
+    }
+
+    fn push_impl(&self, value: T, watcher: Option<&dyn BlockWatcher>) -> Result<bool, Full<T>> {
         let mut value = match self.try_push(value) {
-            Ok(()) => return false,
+            Ok(()) => return Ok(false),
             Err(Full(v)) => v,
         };
         let queue = &*self.queue;
         queue.stalls.fetch_add(1, Ordering::Relaxed);
+        if let Some(watcher) = watcher {
+            watcher.block_begin();
+        }
         let backoff = Backoff::new();
         loop {
+            if watcher.is_some_and(BlockWatcher::should_abort) {
+                if let Some(watcher) = watcher {
+                    watcher.block_end();
+                }
+                return Err(Full(value));
+            }
             value = match self.try_push(value) {
-                Ok(()) => return true,
+                Ok(()) => {
+                    if let Some(watcher) = watcher {
+                        watcher.block_end();
+                    }
+                    return Ok(true);
+                }
                 Err(Full(v)) => v,
             };
             if backoff.is_completed() {
-                self.park_until_space();
+                self.park_until_space(watcher);
                 backoff.reset();
             } else {
                 backoff.snooze();
@@ -226,15 +268,19 @@ impl<T> BoundedSpscProducer<T> {
         }
     }
 
-    fn park_until_space(&self) {
+    fn park_until_space(&self, watcher: Option<&dyn BlockWatcher>) {
         let queue = &*self.queue;
         // Abandonment must be part of the wait condition: if the consumer is
         // dropped between a failed `try_push` and this park, `wake_producer`
         // fires before the parked flag is up, and space alone will never
-        // appear — only the abandoned flag ends the wait.
-        queue
-            .producer
-            .park_until(|| self.has_space() || queue.abandoned.load(Ordering::Acquire));
+        // appear — only the abandoned flag ends the wait.  The watcher's
+        // abort request ends the wait the same way (its setter wakes the
+        // producer after flipping it).
+        queue.producer.park_until(|| {
+            self.has_space()
+                || queue.abandoned.load(Ordering::Acquire)
+                || watcher.is_some_and(BlockWatcher::should_abort)
+        });
     }
 
     fn has_space(&self) -> bool {
@@ -255,6 +301,27 @@ impl<T> BoundedSpscProducer<T> {
     /// Statistics / inspection access to the underlying queue.
     pub fn queue(&self) -> &BoundedSpsc<T> {
         &self.queue
+    }
+}
+
+impl<T: Send + 'static> BoundedSpscProducer<T> {
+    /// A detached handle that wakes this producer if it is blocked in a
+    /// [`push`](Self::push) / [`push_watched`](Self::push_watched).
+    ///
+    /// The deadlock detector calls it after flipping a watcher's abort flag
+    /// so the parked producer re-checks its wait condition; spurious wakes
+    /// are harmless (the park protocol re-checks and re-parks).
+    pub fn unblocker(&self) -> Arc<dyn Fn() + Send + Sync> {
+        let queue = Arc::clone(&self.queue);
+        Arc::new(move || queue.wake_producer())
+    }
+
+    /// A detached probe answering "is the ring currently full?" — see
+    /// [`BoundedSpsc::is_full`].  The deadlock detector re-validates a
+    /// registered blocked-push edge with it at scan time.
+    pub fn full_probe(&self) -> Arc<dyn Fn() -> bool + Send + Sync> {
+        let queue = Arc::clone(&self.queue);
+        Arc::new(move || queue.is_full())
     }
 }
 
@@ -349,10 +416,27 @@ impl<T> BoundedSpscConsumer<T> {
     pub fn queue(&self) -> &BoundedSpsc<T> {
         &self.queue
     }
+
+    /// Shared handle to the underlying queue (for detached probes).
+    pub(crate) fn shared(&self) -> Arc<BoundedSpsc<T>> {
+        Arc::clone(&self.queue)
+    }
 }
 
 impl<T> Drop for BoundedSpscConsumer<T> {
     fn drop(&mut self) {
+        // Drop the undrained items first (ordinary consumer-side dequeues,
+        // safe against a concurrent producer): requests carry completion
+        // guards whose drop wakes their waiting client (see the runtime's
+        // sync/query tokens), and deferring that to the ring's own drop
+        // could deadlock — a client parked on such a guard holds the
+        // producer half, so the ring would never drop.  Known residue: a
+        // push racing with the tail of this drain (its abandoned-check
+        // happened before the flag below, its slot write after the drain's
+        // last look) can strand one item until the ring drops.
+        while let Ok(Some(item)) = self.try_dequeue() {
+            drop(item);
+        }
         // Nobody will ever drain this queue again: release any producer
         // blocked on a full ring (see `try_push` for the discard semantics).
         self.queue.abandoned.store(true, Ordering::Release);
@@ -526,6 +610,61 @@ mod tests {
     #[should_panic(expected = "capacity >= 1")]
     fn zero_capacity_is_rejected() {
         let _ = bounded_spsc_channel::<u8>(0);
+    }
+
+    #[test]
+    fn watched_push_can_be_aborted_while_parked() {
+        use std::sync::atomic::AtomicUsize;
+
+        struct Abortable {
+            begins: AtomicUsize,
+            ends: AtomicUsize,
+            abort: AtomicBool,
+        }
+        impl BlockWatcher for Abortable {
+            fn block_begin(&self) {
+                self.begins.fetch_add(1, Ordering::SeqCst);
+            }
+            fn should_abort(&self) -> bool {
+                self.abort.load(Ordering::SeqCst)
+            }
+            fn block_end(&self) {
+                self.ends.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let (tx, rx) = bounded_spsc_channel(1);
+        tx.try_push(1).unwrap();
+        let watcher = Arc::new(Abortable {
+            begins: AtomicUsize::new(0),
+            ends: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+        });
+        let unblock = tx.unblocker();
+        let producer = {
+            let watcher = Arc::clone(&watcher);
+            thread::spawn(move || {
+                let aborted = tx.push_watched(2, &*watcher);
+                (tx, aborted)
+            })
+        };
+        // Let the producer block and park, then abort + wake it.
+        thread::sleep(std::time::Duration::from_millis(30));
+        watcher.abort.store(true, Ordering::SeqCst);
+        unblock();
+        let (tx, aborted) = producer.join().unwrap();
+        assert_eq!(aborted, Err(Full(2)), "abort hands the value back");
+        assert_eq!(watcher.begins.load(Ordering::SeqCst), 1);
+        assert_eq!(watcher.ends.load(Ordering::SeqCst), 1);
+        assert!(tx.queue().is_full(), "nothing was enqueued by the abort");
+        // The ring still works: space appears, the next watched push is
+        // immediate and never consults the watcher.
+        assert_eq!(rx.try_dequeue(), Ok(Some(1)));
+        watcher.abort.store(false, Ordering::SeqCst);
+        assert_eq!(tx.push_watched(3, &*watcher), Ok(false));
+        assert_eq!(watcher.begins.load(Ordering::SeqCst), 1, "no new block");
+        assert_eq!(rx.try_dequeue(), Ok(Some(3)));
+        assert!(!rx.queue().is_full());
     }
 
     #[test]

@@ -32,6 +32,11 @@
 //! The [`mailbox`] module unifies the bounded and unbounded private queues
 //! behind one producer/consumer pair, keyed by an optional capacity.
 //!
+//! The blocking (backpressure) push paths additionally accept a
+//! [`BlockWatcher`], the instrumentation hook the runtime's deadlock
+//! detector uses to register "producer blocked on full mailbox" wait-for
+//! edges and to *break* one such push when it sits on a confirmed cycle.
+//!
 //! For M:N scheduled consumers, every queue accepts a [`WakeHook`] invoked
 //! by producers whenever work may have become visible.  Each invocation
 //! carries a [`WakeReason`] occupancy hint: bounded queues report
@@ -75,6 +80,31 @@ pub use spsc::{spsc_channel, SpscConsumer, SpscProducer, SpscQueue};
 /// as "work may now be visible" — it may only use the reason to decide *how
 /// urgently* to run the consumer, never *whether* to wake it at all.
 pub type WakeHook = std::sync::Arc<dyn Fn(WakeReason) + Send + Sync>;
+
+/// Observer of producer-side *blocking* on a bounded queue, the
+/// instrumentation hook behind runtime deadlock detection.
+///
+/// A blocking push that finds the queue full calls
+/// [`block_begin`](BlockWatcher::block_begin) once before waiting,
+/// [`should_abort`](BlockWatcher::should_abort) inside the wait loop (after
+/// every wake), and [`block_end`](BlockWatcher::block_end) once when the
+/// wait ends — whether space appeared, the queue closed/was abandoned, or
+/// the watcher aborted it.  When `should_abort` returns `true` the push
+/// gives up and hands the value back to the caller instead of enqueueing.
+///
+/// The watcher's implementor is responsible for waking the blocked producer
+/// (e.g. via [`BoundedSpscProducer::unblocker`] /
+/// [`MutexQueue::wake_producers`]) after making `should_abort` true; the
+/// queue re-checks it on every wake-up.  Watcher methods are called with no
+/// queue lock held, so they may take their own locks freely.
+pub trait BlockWatcher: Send + Sync {
+    /// The push found the queue full and is about to wait for space.
+    fn block_begin(&self);
+    /// Polled inside the wait loop; returning `true` aborts the push.
+    fn should_abort(&self) -> bool;
+    /// The wait ended (success, close/abandon, or abort).
+    fn block_end(&self);
+}
 
 /// Occupancy hint carried by every [`WakeHook`] invocation.
 ///

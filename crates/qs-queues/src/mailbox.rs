@@ -8,9 +8,11 @@
 //! batch-draining consumer interface, so the handler main loop is written
 //! once against mailboxes and never matches on the configuration again.
 
-use crate::bounded::{bounded_spsc_channel, BoundedSpscConsumer, BoundedSpscProducer};
+use std::sync::Arc;
+
+use crate::bounded::{bounded_spsc_channel, BoundedSpscConsumer, BoundedSpscProducer, Full};
 use crate::spsc::{spsc_channel, SpscConsumer, SpscProducer};
-use crate::{Closed, Dequeue, WakeHook, WakeReason};
+use crate::{BlockWatcher, Closed, Dequeue, WakeHook, WakeReason};
 
 /// The two underlying queue flavours of a mailbox producer.
 enum ProducerFlavour<T> {
@@ -113,6 +115,26 @@ impl<T> MailboxProducer<T> {
         stalled
     }
 
+    /// [`enqueue`](Self::enqueue) under a [`BlockWatcher`]: the watcher
+    /// observes the blocking interval of a bounded mailbox and may abort the
+    /// wait, in which case the value is handed back in `Err` without having
+    /// been enqueued.  Unbounded mailboxes never block, never consult the
+    /// watcher, and never fail.
+    pub fn enqueue_watched(&self, value: T, watcher: &dyn BlockWatcher) -> Result<bool, T> {
+        let stalled = match &self.flavour {
+            ProducerFlavour::Unbounded(tx) => {
+                tx.enqueue(value);
+                false
+            }
+            ProducerFlavour::Bounded(tx) => match tx.push_watched(value, watcher) {
+                Ok(stalled) => stalled,
+                Err(Full(value)) => return Err(value),
+            },
+        };
+        self.invoke_wake_hook(self.push_reason(stalled));
+        Ok(stalled)
+    }
+
     /// Attempts to enqueue without blocking; hands `value` back when a
     /// bounded mailbox is at capacity.  Never fails on an unbounded mailbox.
     pub fn try_enqueue(&self, value: T) -> Result<(), T> {
@@ -151,6 +173,30 @@ impl<T> MailboxProducer<T> {
         match &self.flavour {
             ProducerFlavour::Unbounded(_) => 0,
             ProducerFlavour::Bounded(tx) => tx.queue().total_stalls(),
+        }
+    }
+}
+
+impl<T: Send + 'static> MailboxProducer<T> {
+    /// A detached handle that wakes this producer if it is blocked in a
+    /// bounded [`enqueue`](Self::enqueue) /
+    /// [`enqueue_watched`](Self::enqueue_watched); `None` for unbounded
+    /// mailboxes, which never block.  See
+    /// [`BoundedSpscProducer::unblocker`].
+    pub fn unblocker(&self) -> Option<Arc<dyn Fn() + Send + Sync>> {
+        match &self.flavour {
+            ProducerFlavour::Unbounded(_) => None,
+            ProducerFlavour::Bounded(tx) => Some(tx.unblocker()),
+        }
+    }
+
+    /// A detached probe answering "is this mailbox currently full?"; `None`
+    /// for unbounded mailboxes.  The deadlock detector uses it to
+    /// re-validate a registered blocked-push edge at scan time.
+    pub fn full_probe(&self) -> Option<Arc<dyn Fn() -> bool + Send + Sync>> {
+        match &self.flavour {
+            ProducerFlavour::Unbounded(_) => None,
+            ProducerFlavour::Bounded(tx) => Some(tx.full_probe()),
         }
     }
 }
@@ -222,6 +268,32 @@ impl<T> MailboxConsumer<T> {
         match self {
             MailboxConsumer::Unbounded(_) => 0,
             MailboxConsumer::Bounded(rx) => rx.queue().total_stalls(),
+        }
+    }
+}
+
+impl<T: Send + 'static> MailboxConsumer<T> {
+    /// A detached probe answering "is this mailbox still open and empty?" —
+    /// the liveness condition of a consumer *parked on* it.
+    ///
+    /// The deadlock detector attaches it to the handler's "parked on this
+    /// client's open queue" (Serving) wait-for edge: the moment the client
+    /// enqueues something or ends its block, the probe goes false and a
+    /// stale edge (registered at the idle transition, not yet cleared
+    /// because the woken consumer is still waiting for a worker) cannot
+    /// complete a phantom cycle.
+    pub fn serving_probe(&self) -> Arc<dyn Fn() -> bool + Send + Sync> {
+        match self {
+            MailboxConsumer::Unbounded(rx) => {
+                let queue = rx.shared();
+                Arc::new(move || {
+                    !queue.is_closed() && queue.total_dequeued() == queue.total_enqueued()
+                })
+            }
+            MailboxConsumer::Bounded(rx) => {
+                let queue = rx.shared();
+                Arc::new(move || !queue.is_closed() && queue.is_empty())
+            }
         }
     }
 }

@@ -15,10 +15,11 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 use qs_sync::OnceValue;
 
-use crate::{Closed, Dequeue, WakeHook, WakeReason};
+use crate::{BlockWatcher, Closed, Dequeue, WakeHook, WakeReason};
 
 /// A mutex+condvar protected FIFO queue with a close protocol and an
 /// optional capacity bound.
@@ -191,6 +192,68 @@ impl<T> MutexQueue<T> {
         self.not_empty.notify_one();
         self.invoke_wake_hook(self.push_reason(stalled, len));
         stalled
+    }
+
+    /// [`enqueue`](Self::enqueue) under a [`BlockWatcher`]: the watcher
+    /// observes the blocking (backpressure) interval and may abort the wait,
+    /// in which case the value is handed back in `Err` without having been
+    /// enqueued.  An unbounded queue never blocks and never consults the
+    /// watcher.
+    ///
+    /// Watcher callbacks run *outside* the queue lock (they typically take a
+    /// registry lock of their own).  The wait polls `should_abort` on a
+    /// short condvar timeout, so an abort is observed promptly even without
+    /// a [`wake_producers`](Self::wake_producers) nudge.
+    pub fn enqueue_watched(&self, value: T, watcher: &dyn BlockWatcher) -> Result<bool, T> {
+        let mut stalled = false;
+        let mut inner = self.inner.lock().unwrap();
+        while self.is_full(&inner) && !inner.closed {
+            if !stalled {
+                stalled = true;
+                inner.stalls += 1;
+                // First wait round: register the block with the watcher,
+                // outside the queue lock, then re-evaluate from scratch.
+                drop(inner);
+                watcher.block_begin();
+            } else {
+                let (guard, _timed_out) = self
+                    .not_full
+                    .wait_timeout(inner, Duration::from_millis(5))
+                    .unwrap();
+                // Poll the abort flag outside the queue lock (the watcher
+                // contract), re-acquiring it for the loop re-check.
+                drop(guard);
+            }
+            if watcher.should_abort() {
+                watcher.block_end();
+                return Err(value);
+            }
+            inner = self.inner.lock().unwrap();
+        }
+        inner.items.push_back(value);
+        inner.enqueued += 1;
+        let len = inner.items.len();
+        drop(inner);
+        if stalled {
+            watcher.block_end();
+        }
+        self.not_empty.notify_one();
+        self.invoke_wake_hook(self.push_reason(stalled, len));
+        Ok(stalled)
+    }
+
+    /// Wakes every producer blocked waiting for space (the deadlock
+    /// detector's nudge after requesting an abort; spurious wakes are
+    /// harmless).  No-op for unbounded queues, which never block producers.
+    pub fn wake_producers(&self) {
+        self.notify_space();
+    }
+
+    /// Returns `true` while a bounded queue is at capacity; always `false`
+    /// for unbounded queues.  The deadlock detector's liveness probe for
+    /// registered blocked-push edges.
+    pub fn is_at_capacity(&self) -> bool {
+        self.capacity.is_some() && self.is_full(&self.inner.lock().unwrap())
     }
 
     /// Closes the queue; consumers observe [`Dequeue::Closed`] after draining.
@@ -367,6 +430,58 @@ mod tests {
         assert!(producer.join().unwrap(), "full enqueue must report a stall");
         assert_eq!(q.total_stalls(), 1);
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn watched_enqueue_can_be_aborted() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+        struct Abortable {
+            begins: AtomicUsize,
+            ends: AtomicUsize,
+            abort: AtomicBool,
+        }
+        impl BlockWatcher for Abortable {
+            fn block_begin(&self) {
+                self.begins.fetch_add(1, Ordering::SeqCst);
+            }
+            fn should_abort(&self) -> bool {
+                self.abort.load(Ordering::SeqCst)
+            }
+            fn block_end(&self) {
+                self.ends.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let q = Arc::new(MutexQueue::with_capacity(Some(1)));
+        q.enqueue(1);
+        let watcher = Arc::new(Abortable {
+            begins: AtomicUsize::new(0),
+            ends: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+        });
+        let producer = {
+            let (q, watcher) = (Arc::clone(&q), Arc::clone(&watcher));
+            thread::spawn(move || q.enqueue_watched(2, &*watcher))
+        };
+        thread::sleep(std::time::Duration::from_millis(30));
+        assert!(q.is_at_capacity());
+        watcher.abort.store(true, Ordering::SeqCst);
+        q.wake_producers();
+        assert_eq!(
+            producer.join().unwrap(),
+            Err(2),
+            "abort hands the value back"
+        );
+        assert_eq!(watcher.begins.load(Ordering::SeqCst), 1);
+        assert_eq!(watcher.ends.load(Ordering::SeqCst), 1);
+        assert_eq!(q.len(), 1, "nothing enqueued by the abort");
+        // Un-aborted watched enqueues behave like plain ones.
+        watcher.abort.store(false, Ordering::SeqCst);
+        assert_eq!(q.dequeue(), Dequeue::Item(1));
+        assert_eq!(q.enqueue_watched(3, &*watcher), Ok(false));
+        assert_eq!(watcher.begins.load(Ordering::SeqCst), 1, "no new block");
+        assert!(!MutexQueue::<u8>::new().is_at_capacity());
     }
 
     #[test]

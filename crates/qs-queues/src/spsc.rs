@@ -298,6 +298,26 @@ impl<T> SpscConsumer<T> {
     pub fn queue(&self) -> &SpscQueue<T> {
         &self.queue
     }
+
+    /// Shared handle to the underlying queue (for detached probes).
+    pub(crate) fn shared(&self) -> Arc<SpscQueue<T>> {
+        Arc::clone(&self.queue)
+    }
+}
+
+impl<T> Drop for SpscConsumer<T> {
+    fn drop(&mut self) {
+        // Drop the undrained items now (ordinary consumer-side dequeues,
+        // safe against a concurrent producer): requests carry completion
+        // guards whose drop wakes their waiting client, and deferring that
+        // to the queue's own drop could deadlock — a client parked on such
+        // a completion holds the producer half, so the queue would never
+        // drop.  Known residue: an enqueue racing with the tail of this
+        // drain can strand one item until the queue drops.
+        while let Ok(Some(item)) = self.try_dequeue() {
+            drop(item);
+        }
+    }
 }
 
 impl<T> Drop for SpscQueue<T> {

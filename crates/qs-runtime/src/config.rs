@@ -145,6 +145,64 @@ impl fmt::Display for SchedulerMode {
     }
 }
 
+/// What the runtime does about wait-for cycles among handlers and clients.
+///
+/// Bounded mailboxes (the default) add blocking edges the paper's §2.5
+/// deadlock argument does not cover: a producer blocked pushing into a full
+/// mailbox.  With a policy other than [`Off`](DeadlockPolicy::Off), the
+/// runtime's blocking edges — query/sync handoffs, blocked bounded pushes,
+/// handlers parked on open private queues, `reserve().when(...)` retries —
+/// report into a per-runtime `qs-deadlock` wait-for registry, and a
+/// detector thread runs incremental cycle detection over it.  (Not yet
+/// tracked: acquiring the lock-based configuration's handler lock itself;
+/// see the ROADMAP follow-up.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DeadlockPolicy {
+    /// No tracking, no detector thread, zero overhead on every blocking
+    /// path (the default).  A cyclic topology hangs silently, as in the
+    /// seed runtime.
+    #[default]
+    Off,
+    /// Detect and report: a confirmed cycle is logged, counted in the
+    /// `deadlocks_detected` statistic and retrievable via
+    /// `Runtime::deadlock_reports`.  The cycle itself is left in place.
+    Report,
+    /// Detect, report, then *break* the cycle: one blocked bounded push on
+    /// it is failed — the push aborts, the logging `call` panics with
+    /// [`crate::MailboxError::DeadlockBroken`] (caught and counted like any
+    /// handler-side call panic), and the freed handler unwinds the rest of
+    /// the cycle.  Cycles without a bounded-push edge (pure query cycles)
+    /// are only reported.
+    Break,
+}
+
+impl DeadlockPolicy {
+    /// `true` unless the policy is [`Off`](DeadlockPolicy::Off).
+    pub fn is_enabled(self) -> bool {
+        !matches!(self, DeadlockPolicy::Off)
+    }
+
+    /// `true` for the cycle-breaking policy.
+    pub fn breaks_cycles(self) -> bool {
+        matches!(self, DeadlockPolicy::Break)
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeadlockPolicy::Off => "Off",
+            DeadlockPolicy::Report => "Report",
+            DeadlockPolicy::Break => "Break",
+        }
+    }
+}
+
+impl fmt::Display for DeadlockPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Default bound on every client mailbox (private queue / shared request
 /// queue).  Large enough that well-paced workloads never stall, small enough
 /// that a slow handler caps its memory at `clients × capacity` requests
@@ -194,6 +252,11 @@ pub struct RuntimeConfig {
     /// per-request dequeue cost on the hottest runtime path; `1` reproduces
     /// the seed's one-request-per-iteration loop.
     pub max_batch: usize,
+    /// Runtime deadlock detection over the live wait-for graph (queries,
+    /// blocked bounded pushes, open-queue serving, reservation retries).
+    /// `Off` (the default) keeps every blocking path un-instrumented.
+    /// Applies to every [`OptimizationLevel`].
+    pub deadlock_policy: DeadlockPolicy,
 }
 
 impl RuntimeConfig {
@@ -209,6 +272,7 @@ impl RuntimeConfig {
             handler_thread_cache: 64,
             mailbox_capacity: Some(DEFAULT_MAILBOX_CAPACITY),
             max_batch: DEFAULT_MAX_BATCH,
+            deadlock_policy: DeadlockPolicy::Off,
         }
     }
 
@@ -223,6 +287,7 @@ impl RuntimeConfig {
             handler_thread_cache: 64,
             mailbox_capacity: Some(DEFAULT_MAILBOX_CAPACITY),
             max_batch: DEFAULT_MAX_BATCH,
+            deadlock_policy: DeadlockPolicy::Off,
         }
     }
 
@@ -256,6 +321,13 @@ impl RuntimeConfig {
     /// `SchedulerMode::Pooled { workers }` = M:N on a work-stealing pool).
     pub fn with_scheduler(mut self, scheduler: SchedulerMode) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Returns this configuration with the deadlock-detection policy
+    /// replaced; see [`DeadlockPolicy`].
+    pub fn with_deadlock_policy(mut self, policy: DeadlockPolicy) -> Self {
+        self.deadlock_policy = policy;
         self
     }
 }
@@ -368,6 +440,22 @@ mod tests {
         assert_eq!(c.max_batch, 1, "max_batch clamps to at least 1");
         let unbounded = c.with_mailbox_capacity(None);
         assert_eq!(unbounded.mailbox_capacity, None);
+    }
+
+    #[test]
+    fn deadlock_policy_defaults_off_on_every_level() {
+        for level in OptimizationLevel::ALL {
+            let c = level.config();
+            assert_eq!(c.deadlock_policy, DeadlockPolicy::Off, "{level}");
+            assert!(!c.deadlock_policy.is_enabled());
+        }
+        let c = RuntimeConfig::default().with_deadlock_policy(DeadlockPolicy::Report);
+        assert!(c.deadlock_policy.is_enabled());
+        assert!(!c.deadlock_policy.breaks_cycles());
+        let c = c.with_deadlock_policy(DeadlockPolicy::Break);
+        assert!(c.deadlock_policy.breaks_cycles());
+        assert_eq!(DeadlockPolicy::Break.to_string(), "Break");
+        assert_eq!(DeadlockPolicy::default().label(), "Off");
     }
 
     #[test]

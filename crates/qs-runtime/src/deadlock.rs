@@ -1,0 +1,251 @@
+//! Wiring between the runtime's blocking sites and the `qs-deadlock`
+//! wait-for registry.
+//!
+//! With [`crate::DeadlockPolicy`] enabled, the runtime's blocking edges
+//! report into the [`WaitRegistry`] for exactly the duration of the wait
+//! (the one exception, a ROADMAP follow-up: acquiring the lock-based
+//! configuration's handler lock itself):
+//!
+//! * **query edges** — a client (or a handler executing a nested separate
+//!   block) parked in a sync/query handoff, including
+//!   [`crate::QueryToken::wait`];
+//! * **mailbox-push edges** — a producer blocked pushing into a full bounded
+//!   mailbox (private SPSC ring or the lock-based shared `MutexQueue`),
+//!   instrumented through [`qs_queues::BlockWatcher`];
+//! * **serving edges** — a handler parked on a client's open-but-empty
+//!   private queue (it cannot serve anyone else until that client logs more
+//!   requests or ends its block);
+//! * **reserve edges** — a client retrying a `reserve().when(...)` wait
+//!   condition.
+//!
+//! The *waiter* identity is resolved at block time: a thread executing a
+//! handler's request attributes its waits to that handler (tracked by a
+//! thread-local scope stack pushed around request application), any other
+//! thread gets a per-thread client participant.  This is what lets a
+//! cyclic-logging deadlock name `handler-1 → handler-2 → handler-1` instead
+//! of two anonymous pool workers.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use qs_deadlock::{EdgeGuard, EdgeKind, ParticipantId, ProbeFn, WaitRegistry, WakerFn};
+use qs_queues::BlockWatcher;
+use qs_sync::SpinLock;
+
+/// A handler's hook into its runtime's deadlock detection: the shared
+/// registry plus the handler's own participant identity.
+#[derive(Clone)]
+pub(crate) struct Tracking {
+    pub(crate) registry: Arc<WaitRegistry>,
+    pub(crate) participant: ParticipantId,
+}
+
+/// The client participants this thread has allocated, by registry; each is
+/// forgotten (label released) when the thread exits, so a long-lived
+/// runtime serving many short-lived client threads does not accumulate
+/// labels forever.  Holds the registries weakly — an exiting thread must
+/// not keep a dropped runtime's registry alive, nor fail when it is gone.
+struct ClientRegistrations(Vec<(usize, ParticipantId, std::sync::Weak<WaitRegistry>)>);
+
+impl Drop for ClientRegistrations {
+    fn drop(&mut self) {
+        for (_, participant, registry) in self.0.drain(..) {
+            if let Some(registry) = registry.upgrade() {
+                registry.forget_participant(participant);
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Stack of (registry key, handler participant) scopes: the innermost
+    /// entry is the handler whose request this thread is currently applying.
+    static HANDLER_SCOPES: RefCell<Vec<(usize, ParticipantId)>> = const { RefCell::new(Vec::new()) };
+    /// Lazily allocated per-(thread, registry) client participants for
+    /// threads that block outside any handler scope.
+    static CLIENT_IDS: RefCell<ClientRegistrations> =
+        const { RefCell::new(ClientRegistrations(Vec::new())) };
+}
+
+fn registry_key(registry: &Arc<WaitRegistry>) -> usize {
+    Arc::as_ptr(registry) as usize
+}
+
+/// The participant on whose behalf the current thread is about to block:
+/// the innermost handler scope registered against `registry`, or this
+/// thread's client participant (allocated on first use).
+pub(crate) fn current_waiter(registry: &Arc<WaitRegistry>) -> ParticipantId {
+    let key = registry_key(registry);
+    let from_scope = HANDLER_SCOPES.with(|scopes| {
+        scopes
+            .borrow()
+            .iter()
+            .rev()
+            .find(|(scope_key, _)| *scope_key == key)
+            .map(|&(_, participant)| participant)
+    });
+    if let Some(participant) = from_scope {
+        return participant;
+    }
+    CLIENT_IDS.with(|ids| {
+        let mut ids = ids.borrow_mut();
+        if let Some(index) = ids.0.iter().position(|(id_key, _, _)| *id_key == key) {
+            // Validate identity, not just address: a dropped registry's
+            // allocation can be reused by a new one, and a stale id would
+            // alias an unrelated participant there.
+            let same_registry = ids.0[index]
+                .2
+                .upgrade()
+                .is_some_and(|live| Arc::ptr_eq(&live, registry));
+            if same_registry {
+                return ids.0[index].1;
+            }
+            ids.0.remove(index);
+        }
+        let participant = registry.participant(format!("client-{:?}", std::thread::current().id()));
+        ids.0.push((key, participant, Arc::downgrade(registry)));
+        participant
+    })
+}
+
+/// RAII scope marking the current thread as executing a request of one
+/// handler; blocking inside the scope is attributed to that handler.
+pub(crate) struct HandlerScope {
+    key: usize,
+}
+
+impl HandlerScope {
+    pub(crate) fn enter(tracking: &Tracking) -> HandlerScope {
+        let key = registry_key(&tracking.registry);
+        HANDLER_SCOPES.with(|scopes| scopes.borrow_mut().push((key, tracking.participant)));
+        HandlerScope { key }
+    }
+}
+
+impl Drop for HandlerScope {
+    fn drop(&mut self) {
+        HANDLER_SCOPES.with(|scopes| {
+            let mut scopes = scopes.borrow_mut();
+            if let Some(position) = scopes.iter().rposition(|(key, _)| *key == self.key) {
+                scopes.remove(position);
+            }
+        });
+    }
+}
+
+/// Per-reservation tracking context carried by a [`crate::Separate`] guard:
+/// who blocks (the reserving client/handler), on whom (the reserved
+/// handler), and how a blocked push into this reservation's mailbox can be
+/// woken and re-validated.
+pub(crate) struct BlockTracking {
+    pub(crate) registry: Arc<WaitRegistry>,
+    /// The reserved handler (the owner of every edge this block registers).
+    pub(crate) owner: ParticipantId,
+    /// The reserving party (resolved when the block was opened; a `Separate`
+    /// guard is `!Send`, so the thread — and with it the innermost handler
+    /// scope — cannot change mid-block).
+    pub(crate) waiter: ParticipantId,
+    /// Wakes a push blocked on this block's mailbox (bounded mailboxes
+    /// only).
+    pub(crate) push_waker: Option<WakerFn>,
+    /// Re-validates a blocked-push edge: is the mailbox still full?
+    pub(crate) push_probe: Option<ProbeFn>,
+}
+
+impl BlockTracking {
+    /// The watcher instrumenting one (potentially blocking) push.
+    pub(crate) fn push_watcher(&self) -> PushWatcher<'_> {
+        PushWatcher {
+            tracking: self,
+            guard: SpinLock::new(None),
+        }
+    }
+
+    /// Registers a query edge for a wait on `probe`-observable completion.
+    pub(crate) fn query_edge(&self, probe: Option<ProbeFn>) -> EdgeGuard {
+        self.registry
+            .register(self.waiter, self.owner, EdgeKind::Query, None, probe)
+    }
+}
+
+/// [`BlockWatcher`] adapter: registers a mailbox-push wait-for edge while
+/// the push is blocked and surfaces the monitor's break request to the
+/// queue's wait loop.
+pub(crate) struct PushWatcher<'a> {
+    tracking: &'a BlockTracking,
+    guard: SpinLock<Option<EdgeGuard>>,
+}
+
+impl BlockWatcher for PushWatcher<'_> {
+    fn block_begin(&self) {
+        let tracking = self.tracking;
+        let guard = tracking.registry.register(
+            tracking.waiter,
+            tracking.owner,
+            EdgeKind::MailboxPush,
+            tracking.push_waker.clone(),
+            tracking.push_probe.clone(),
+        );
+        *self.guard.lock() = Some(guard);
+    }
+
+    fn should_abort(&self) -> bool {
+        self.guard.lock().as_ref().is_some_and(EdgeGuard::is_broken)
+    }
+
+    fn block_end(&self) {
+        self.guard.lock().take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiter_identity_prefers_the_innermost_handler_scope() {
+        let registry = WaitRegistry::new();
+        let handler = registry.participant("handler-7");
+        let tracking = Tracking {
+            registry: Arc::clone(&registry),
+            participant: handler,
+        };
+        // Outside any scope: a per-thread client participant, stable across
+        // calls.
+        let client = current_waiter(&registry);
+        assert_eq!(current_waiter(&registry), client);
+        assert_ne!(client, handler);
+        {
+            let _scope = HandlerScope::enter(&tracking);
+            assert_eq!(current_waiter(&registry), handler);
+            // A different registry is unaffected by this registry's scope:
+            // it resolves to its own (stable) per-thread client id.
+            let other = WaitRegistry::new();
+            let other_waiter = current_waiter(&other);
+            assert_eq!(current_waiter(&other), other_waiter);
+        }
+        assert_eq!(current_waiter(&registry), client, "scope popped on drop");
+    }
+
+    #[test]
+    fn push_watcher_registers_and_clears_its_edge() {
+        let registry = WaitRegistry::new();
+        let owner = registry.participant("handler-1");
+        let waiter = registry.participant("client");
+        let tracking = BlockTracking {
+            registry: Arc::clone(&registry),
+            owner,
+            waiter,
+            push_waker: None,
+            push_probe: None,
+        };
+        let watcher = tracking.push_watcher();
+        assert_eq!(registry.edge_count(), 0);
+        watcher.block_begin();
+        assert_eq!(registry.edge_count(), 1);
+        assert!(!watcher.should_abort());
+        watcher.block_end();
+        assert_eq!(registry.edge_count(), 0);
+        assert!(!watcher.should_abort(), "no edge, nothing broken");
+    }
+}

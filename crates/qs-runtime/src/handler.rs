@@ -36,17 +36,37 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use qs_deadlock::{EdgeGuard, EdgeKind, ParticipantId};
 use qs_exec::{PooledTask, StepOutcome};
-use qs_queues::{Dequeue, MailboxConsumer, MutexQueue, QueueOfQueues, WakeHook};
+use qs_queues::{Closed, Dequeue, MailboxConsumer, MutexQueue, QueueOfQueues, WakeHook};
 use qs_sync::{Backoff, Event, OnceValue, SpinLock};
 
 use crate::config::RuntimeConfig;
+use crate::deadlock::{HandlerScope, Tracking};
 use crate::request::Request;
 use crate::separate::Separate;
 use crate::stats::RuntimeStats;
 
 /// Unique identifier of a handler within one process.
 pub type HandlerId = u64;
+
+/// The consumer end of one client's private queue, tagged with the client's
+/// deadlock-tracking identity (when the runtime's `DeadlockPolicy` is on).
+///
+/// The tag is what turns "this handler is parked on an open private queue"
+/// into a *named* wait-for edge — handler → client — for the detector's
+/// cycle search; without it a three-party Fig. 6-style deadlock (clients
+/// blocked pushing, handlers committed to other clients' open blocks) has
+/// no path through the handlers.
+pub(crate) struct ClientMailbox<T> {
+    pub(crate) consumer: MailboxConsumer<Request<T>>,
+    pub(crate) client: Option<ParticipantId>,
+    /// Liveness probe for the Serving edge: "still open and empty".  A
+    /// Serving edge whose queue has since received work (or closed) is
+    /// stale — the handler is about to run, not blocked — and must not
+    /// complete a cycle at scan time.
+    pub(crate) serving_probe: Option<qs_deadlock::ProbeFn>,
+}
 
 /// Caps the batch buffer's *pre*-allocation: a huge `max_batch` (e.g.
 /// `usize::MAX` as "drain everything") must not panic `Vec::with_capacity`
@@ -85,7 +105,7 @@ pub(crate) struct HandlerCore<T> {
     /// Queue-of-queues (QoQ configuration): each element is the consumer end
     /// of one client's mailbox (bounded or unbounded private queue,
     /// per [`RuntimeConfig::mailbox_capacity`]).
-    pub(crate) qoq: QueueOfQueues<MailboxConsumer<Request<T>>>,
+    pub(crate) qoq: QueueOfQueues<ClientMailbox<T>>,
     /// Spinlock serialising *multi-handler* reservations (§3.3).  Single
     /// reservations enqueue lock-free and never touch it.
     pub(crate) reservation_lock: SpinLock<()>,
@@ -105,6 +125,11 @@ pub(crate) struct HandlerCore<T> {
     /// queue, so any producer making work visible re-arms the handler's
     /// scheduler task.  Unset in dedicated mode.
     wake_hook: OnceValue<WakeHook>,
+
+    /// Deadlock-detection hook (registry + this handler's participant
+    /// identity); `None` when the runtime's `DeadlockPolicy` is `Off`, which
+    /// keeps every blocking path un-instrumented.
+    pub(crate) deadlock: Option<Tracking>,
 }
 
 // SAFETY: access to `object` is serialised by the execution model (handler
@@ -120,6 +145,7 @@ impl<T: Send + 'static> HandlerCore<T> {
         config: RuntimeConfig,
         stats: Arc<RuntimeStats>,
         object: T,
+        deadlock: Option<Tracking>,
     ) -> Arc<Self> {
         Arc::new(HandlerCore {
             id,
@@ -135,6 +161,7 @@ impl<T: Send + 'static> HandlerCore<T> {
             finished: Event::new(),
             final_value: SpinLock::new(None),
             wake_hook: OnceValue::new(),
+            deadlock,
         })
     }
 
@@ -177,6 +204,11 @@ impl<T: Send + 'static> HandlerCore<T> {
         match request {
             Request::Call(f) | Request::Query(f) => {
                 RuntimeStats::bump(&self.stats.requests_executed);
+                // Deadlock tracking: any wait the closure performs (a nested
+                // separate block's query or blocked bounded push) is
+                // attributed to *this handler*, not to the anonymous worker
+                // thread executing it.
+                let _scope = self.deadlock.as_ref().map(HandlerScope::enter);
                 // SAFETY: only the handler thread calls `apply`, and clients
                 // only access the object while the handler is parked.
                 let object = unsafe { self.object_mut() };
@@ -185,8 +217,8 @@ impl<T: Send + 'static> HandlerCore<T> {
                 }
                 true
             }
-            Request::Sync(handoff) => {
-                handoff.complete(());
+            Request::Sync(token) => {
+                token.complete(());
                 true
             }
             Request::End => false,
@@ -231,6 +263,24 @@ impl<T: Send + 'static> HandlerCore<T> {
         self.finished.set();
     }
 
+    /// The wait-for edge "this handler is parked on `client`'s open private
+    /// queue": it cannot serve anyone else until that client logs more
+    /// requests or ends its block.  `None` when tracking is off (or the
+    /// queue predates it).  Registered only around the *parked-on-empty*
+    /// states — a full or draining queue is progress, not a wait, and
+    /// registering it would manufacture phantom cycles out of ordinary
+    /// backpressure.
+    fn serving_edge(&self, queue: &ClientMailbox<T>) -> Option<EdgeGuard> {
+        let tracking = self.deadlock.as_ref()?;
+        Some(tracking.registry.register(
+            tracking.participant,
+            queue.client?,
+            EdgeKind::Serving,
+            None,
+            queue.serving_probe.clone(),
+        ))
+    }
+
     /// Fig. 7: the queue-of-queues main loop, batch-drained.
     ///
     /// Instead of paying one queue crossing per request, the handler pulls up
@@ -251,7 +301,24 @@ impl<T: Send + 'static> HandlerCore<T> {
             // separate block (END rule: on this path the end of a block is
             // the mailbox close — `Request::End` never enters a private
             // queue, so every drained request is applied).
-            while let Dequeue::Item(drained) = private_queue.drain_batch(&mut batch, max_batch) {
+            loop {
+                let drained = match private_queue
+                    .consumer
+                    .try_drain_batch(&mut batch, max_batch)
+                {
+                    Err(Closed) => break,
+                    Ok(0) => {
+                        // Momentarily empty but open: from here until work
+                        // arrives the handler is parked on the client's
+                        // queue — the Serving wait-for edge.
+                        let _serving = self.serving_edge(&private_queue);
+                        match private_queue.consumer.drain_batch(&mut batch, max_batch) {
+                            Dequeue::Closed => break,
+                            Dequeue::Item(drained) => drained,
+                        }
+                    }
+                    Ok(drained) => drained,
+                };
                 self.stats.record_batch(drained);
                 for request in batch.drain(..) {
                     self.apply(request);
@@ -299,15 +366,21 @@ impl<T: Send + 'static> HandlerCore<T> {
                         continue;
                     }
                     Ok(None) => return StepOutcome::Idle,
-                    Err(qs_queues::Closed) => return StepOutcome::Done,
+                    Err(Closed) => return StepOutcome::Done,
                 }
             };
             // Sampled before the drain: a ring at its watermark right now is
             // about to be emptied by it.
-            let pressured = current.is_pressured();
-            match current.try_drain_batch(&mut state.batch, max_batch) {
+            let pressured = current.consumer.is_pressured();
+            match current
+                .consumer
+                .try_drain_batch(&mut state.batch, max_batch)
+            {
                 // END rule: the client closed its mailbox; move on.
-                Err(qs_queues::Closed) => state.current = None,
+                Err(Closed) => {
+                    state.serving = None;
+                    state.current = None;
+                }
                 // Mid-block and momentarily empty: the handler is "parked on
                 // the client's queue" from the client's point of view.
                 // When this mailbox's producer has blocked for space since
@@ -320,15 +393,24 @@ impl<T: Send + 'static> HandlerCore<T> {
                 // untouched; the stalls-recency gate keeps long-quiet queues
                 // from paying the backoff ladder on every idle transition.
                 Ok(0) => {
-                    let stalls = current.total_stalls();
+                    let stalls = current.consumer.total_stalls();
                     if stalls > state.stalls_seen && !spin.is_completed() {
                         spin.snooze();
                         continue;
                     }
                     state.stalls_seen = stalls;
+                    // Going idle on an open private queue: the pooled
+                    // analogue of the dedicated loop's parked blocking
+                    // drain.  Register the Serving wait-for edge (once; it
+                    // persists across re-polls of the same empty queue) so
+                    // the deadlock detector can walk through this handler.
+                    if state.serving.is_none() {
+                        state.serving = self.serving_edge(current);
+                    }
                     return StepOutcome::Idle;
                 }
                 Ok(drained) => {
+                    state.serving = None;
                     spin.reset();
                     if self.apply_batch(state, drained, pressured) {
                         return StepOutcome::Yielded;
@@ -422,6 +504,11 @@ impl<T> Drop for HandlerCore<T> {
             // SAFETY: exclusive access during drop; the value was never taken.
             unsafe { ManuallyDrop::drop(self.object.get_mut()) };
         }
+        // Release the handler's label from the wait-for registry: the core
+        // is gone, so no new edge can ever name it.
+        if let Some(tracking) = &self.deadlock {
+            tracking.registry.forget_participant(tracking.participant);
+        }
     }
 }
 
@@ -430,7 +517,11 @@ pub(crate) struct PooledLoopState<T> {
     /// The private queue currently being drained (queue-of-queues mode).
     /// While set, the handler must not advance to another client — the
     /// §3.2 "parked on the client's queue" guarantee.
-    current: Option<MailboxConsumer<Request<T>>>,
+    current: Option<ClientMailbox<T>>,
+    /// Deadlock tracking: the registered "parked on `current`'s open
+    /// queue" Serving edge, alive from the idle transition until the queue
+    /// yields work or closes.
+    serving: Option<EdgeGuard>,
     /// Reusable drain buffer.
     batch: Vec<Request<T>>,
     /// Remaining yield budget, carried across steps (see [`YIELD_BUDGET`]).
@@ -475,10 +566,36 @@ impl<T: Send + 'static> PooledHandler<T> {
             core,
             state: SpinLock::new(PooledLoopState {
                 current: None,
+                serving: None,
                 batch: Vec::with_capacity(batch_prealloc(max_batch)),
                 budget: YIELD_BUDGET,
                 stalls_seen: 0,
             }),
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for PooledHandler<T> {
+    fn drop(&mut self) {
+        // A pooled task can be retired without stepping to Done (a panic
+        // escaping a step, scheduler teardown).  The core outlives it
+        // (clients hold handles), so any requests still queued would sit
+        // there forever — including sync/query completion guards whose
+        // clients are parked on them.  Drain everything: dropping the
+        // requests fires those guards' abandon-on-drop, waking the clients
+        // into a panic instead of a permanent hang.  No step can be running
+        // concurrently (the scheduler runs at most one step at a time, and
+        // the task is unreachable now), so this is the sole consumer.
+        {
+            let mut state = self.state.lock();
+            state.serving = None;
+            state.current = None; // consumer drop drains the open queue
+        }
+        while let Ok(Some(request)) = self.core.request_queue.try_dequeue() {
+            drop(request);
+        }
+        while let Ok(Some(queue)) = self.core.qoq.try_dequeue() {
+            drop(queue);
         }
     }
 }
@@ -635,7 +752,7 @@ mod tests {
         // runtime uses the cached-thread layer; these tests exercise the core
         // directly).
         let stats = RuntimeStats::new();
-        let core = HandlerCore::new(1, config, stats, object);
+        let core = HandlerCore::new(1, config, stats, object, None);
         let thread_core = Arc::clone(&core);
         std::thread::spawn(move || thread_core.run());
         Handler::from_core(core)

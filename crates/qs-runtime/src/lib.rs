@@ -71,6 +71,7 @@
 
 pub mod config;
 pub mod contracts;
+mod deadlock;
 pub mod handler;
 pub mod request;
 pub mod reserve;
@@ -79,11 +80,13 @@ pub mod separate;
 pub mod stats;
 
 pub use config::{
-    OptimizationLevel, RuntimeConfig, SchedulerMode, DEFAULT_MAILBOX_CAPACITY, DEFAULT_MAX_BATCH,
+    DeadlockPolicy, OptimizationLevel, RuntimeConfig, SchedulerMode, DEFAULT_MAILBOX_CAPACITY,
+    DEFAULT_MAX_BATCH,
 };
 pub use contracts::{assert_postcondition, check_postcondition, WaitConfig, WaitTimeout};
 pub use handler::{Handler, HandlerId};
+pub use qs_deadlock::{DeadlockReport, EdgeKind as DeadlockEdgeKind, ReportedEdge};
 pub use reserve::{reserve, GuardedReservation, Reservation, ReservationSet, WaitCondition};
 pub use runtime::Runtime;
-pub use separate::{MailboxFull, QueryToken, Separate};
+pub use separate::{MailboxError, MailboxFull, QueryToken, Separate};
 pub use stats::{batch_bucket_range, RuntimeStats, StatsSnapshot, BATCH_SIZE_BUCKETS};

@@ -45,12 +45,29 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 use std::time::Instant;
 
+use qs_deadlock::{EdgeGuard, EdgeKind, ParticipantId, WaitRegistry};
 use qs_sync::{Backoff, SpinLock, SpinLockGuard};
 
 use crate::contracts::{WaitConfig, WaitTimeout};
+use crate::deadlock::current_waiter;
 use crate::handler::{Handler, HandlerCore, HandlerId};
 use crate::separate::Separate;
 use crate::stats::RuntimeStats;
+
+/// The deadlock-tracking identities of a reservation set's handlers, used
+/// to register `ReserveWait` wait-for edges while a wait condition retries.
+type DeadlockTargets = Vec<(Arc<WaitRegistry>, ParticipantId)>;
+
+/// After this many failed wait-condition attempts the retry loop sleeps
+/// [`RETRY_SLEEP`] between evaluations instead of spinning/yielding: a
+/// condition that failed hundreds of times is not latency-critical, a hot
+/// loop burning a core forever is a bug of its own, and the wide sleep
+/// windows are what lets the deadlock detector sample a genuinely stuck
+/// reservation (its `waiting` probe is true throughout the sleep).
+const RETRY_SLEEP_AFTER: usize = 256;
+
+/// Inter-attempt sleep on the deep-retry path.
+const RETRY_SLEEP: std::time::Duration = std::time::Duration::from_millis(1);
 
 // ---------------------------------------------------------------------------
 // Type-erased view of a handler used by the atomic registration protocol
@@ -210,6 +227,21 @@ pub trait ReservationSet<'h>: Copy {
     /// The statistics block reservation retries are accounted to.
     #[doc(hidden)]
     fn shared_stats(self) -> Option<Arc<RuntimeStats>>;
+
+    /// The deadlock-tracking identities of the set's handlers (empty while
+    /// the runtime's `DeadlockPolicy` is `Off`).
+    #[doc(hidden)]
+    fn deadlock_targets(self) -> DeadlockTargets;
+}
+
+fn deadlock_target<T: Send + 'static>(
+    handler: &Handler<T>,
+) -> Option<(Arc<WaitRegistry>, ParticipantId)> {
+    handler
+        .core()
+        .deadlock
+        .as_ref()
+        .map(|tracking| (Arc::clone(&tracking.registry), tracking.participant))
 }
 
 impl<'h, T: Send + 'static> ReservationSet<'h> for &'h Handler<T> {
@@ -222,6 +254,10 @@ impl<'h, T: Send + 'static> ReservationSet<'h> for &'h Handler<T> {
 
     fn shared_stats(self) -> Option<Arc<RuntimeStats>> {
         Some(Arc::clone(self.stats()))
+    }
+
+    fn deadlock_targets(self) -> DeadlockTargets {
+        deadlock_target(self).into_iter().collect()
     }
 }
 
@@ -250,6 +286,13 @@ macro_rules! impl_reservation_set_for_tuple {
                 let mut stats = None;
                 $(if stats.is_none() { stats = Some(Arc::clone($name.stats())); })+
                 stats
+            }
+
+            fn deadlock_targets(self) -> DeadlockTargets {
+                let ($($name,)+) = self;
+                let mut targets = DeadlockTargets::new();
+                $(targets.extend(deadlock_target($name));)+
+                targets
             }
         }
     )+};
@@ -288,6 +331,10 @@ impl<'h, T: Send + 'static> ReservationSet<'h> for &'h [Handler<T>] {
     fn shared_stats(self) -> Option<Arc<RuntimeStats>> {
         self.first().map(|h| Arc::clone(h.stats()))
     }
+
+    fn deadlock_targets(self) -> DeadlockTargets {
+        self.iter().filter_map(deadlock_target).collect()
+    }
 }
 
 impl<'h, T: Send + 'static> ReservationSet<'h> for &'h Vec<Handler<T>> {
@@ -299,6 +346,10 @@ impl<'h, T: Send + 'static> ReservationSet<'h> for &'h Vec<Handler<T>> {
 
     fn shared_stats(self) -> Option<Arc<RuntimeStats>> {
         self.as_slice().shared_stats()
+    }
+
+    fn deadlock_targets(self) -> DeadlockTargets {
+        self.as_slice().deadlock_targets()
     }
 }
 
@@ -495,11 +546,26 @@ impl<'h, S: ReservationSet<'h>, C: WaitCondition<'h, S>> GuardedReservation<'h, 
         let mut attempts = 0usize;
         let started = Instant::now();
         let backoff = Backoff::new();
+        // Deadlock tracking: while the wait condition keeps retrying, this
+        // client is (conditionally) blocked on every handler of the set —
+        // registered as ReserveWait edges from the first failed attempt
+        // until the condition holds or the policy times out.  The edges
+        // carry a probe gated on `waiting`: it is false only while the
+        // client is actively re-reserving and evaluating the condition
+        // (making progress — such an instant must not complete a cycle at
+        // scan time, e.g. against the Serving edge of the very block the
+        // evaluation holds open) and true everywhere else in the retry
+        // loop.  Note the blocking parts of an evaluation are covered
+        // regardless: the sync round-trips inside `holds` register their
+        // own Query edges.
+        let mut reserve_edges: Vec<EdgeGuard> = Vec::new();
+        let waiting = Arc::new(std::sync::atomic::AtomicBool::new(false));
         loop {
             attempts += 1;
             if let Some(stats) = &stats {
                 RuntimeStats::bump(&stats.wait_condition_checks);
             }
+            waiting.store(false, std::sync::atomic::Ordering::Release);
             {
                 let mut guards = self.set.begin();
                 if self.condition.holds(&mut guards) {
@@ -512,8 +578,24 @@ impl<'h, S: ReservationSet<'h>, C: WaitCondition<'h, S>> GuardedReservation<'h, 
                 // Release the reservation (guards drop here) so other
                 // clients can make the condition true.
             }
+            waiting.store(true, std::sync::atomic::Ordering::Release);
             if let Some(stats) = &stats {
                 RuntimeStats::bump(&stats.wait_condition_retries);
+            }
+            if attempts == 1 {
+                for (registry, owner) in self.set.deadlock_targets() {
+                    let waiter = current_waiter(&registry);
+                    let probe = Arc::clone(&waiting);
+                    reserve_edges.push(registry.register(
+                        waiter,
+                        owner,
+                        EdgeKind::ReserveWait,
+                        None,
+                        Some(Arc::new(move || {
+                            probe.load(std::sync::atomic::Ordering::Acquire)
+                        })),
+                    ));
+                }
             }
             if let Some(limit) = self.config.max_retries {
                 if attempts >= limit {
@@ -527,9 +609,15 @@ impl<'h, S: ReservationSet<'h>, C: WaitCondition<'h, S>> GuardedReservation<'h, 
             }
             if attempts <= self.config.spin_retries {
                 backoff.spin();
-            } else {
+            } else if attempts <= RETRY_SLEEP_AFTER {
                 std::thread::yield_now();
                 backoff.snooze();
+            } else {
+                // Deep retries: the condition has failed hundreds of times,
+                // so trade sub-millisecond reaction for not burning a core —
+                // which also gives the deadlock detector wide `waiting`
+                // windows to sample a genuinely stuck reservation in.
+                std::thread::sleep(RETRY_SLEEP);
             }
         }
     }

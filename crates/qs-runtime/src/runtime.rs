@@ -2,13 +2,54 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use qs_deadlock::{DeadlockMonitor, DeadlockReport, WaitRegistry};
 use qs_exec::{HandlerScheduler, ThreadCache};
 use qs_queues::{WakeHook, WakeReason};
 
-use crate::config::{OptimizationLevel, RuntimeConfig, SchedulerMode};
+use crate::config::{DeadlockPolicy, OptimizationLevel, RuntimeConfig, SchedulerMode};
+use crate::deadlock::Tracking;
 use crate::handler::{Handler, HandlerCore, HandlerId, PooledHandler};
 use crate::stats::{RuntimeStats, StatsSnapshot};
+
+/// Scan interval of the deadlock detector (when `DeadlockPolicy` is on).
+/// With the monitor's two-consecutive-scans confirmation pass, a genuine
+/// cycle is detected and reported within roughly two ticks of forming.
+const DEADLOCK_TICK: Duration = Duration::from_millis(10);
+
+/// The per-runtime deadlock-detection context: the wait-for registry every
+/// blocking edge reports into, the monitor thread scanning it, and the
+/// reports it has confirmed.
+struct DeadlockRuntime {
+    registry: Arc<WaitRegistry>,
+    reports: Arc<parking_lot::Mutex<Vec<DeadlockReport>>>,
+    /// Stops and joins the monitor thread when the runtime drops.
+    _monitor: DeadlockMonitor,
+}
+
+impl DeadlockRuntime {
+    fn start(policy: DeadlockPolicy, stats: Arc<RuntimeStats>) -> Self {
+        let registry = WaitRegistry::new();
+        let reports: Arc<parking_lot::Mutex<Vec<DeadlockReport>>> = Arc::default();
+        let sink = Arc::clone(&reports);
+        let monitor = DeadlockMonitor::spawn(
+            Arc::clone(&registry),
+            DEADLOCK_TICK,
+            policy.breaks_cycles(),
+            move |report| {
+                RuntimeStats::bump(&stats.deadlocks_detected);
+                eprintln!("[qs-runtime] deadlock detected: {report}");
+                sink.lock().push(report.clone());
+            },
+        );
+        DeadlockRuntime {
+            registry,
+            reports,
+            _monitor: monitor,
+        }
+    }
+}
 
 struct RuntimeInner {
     config: RuntimeConfig,
@@ -18,6 +59,8 @@ struct RuntimeInner {
     /// `spawn_handler` so runtimes that never spawn (or run dedicated) pay
     /// no worker threads.
     scheduler: parking_lot::Mutex<Option<Arc<HandlerScheduler>>>,
+    /// Deadlock detection; `None` while the policy is `Off`.
+    deadlock: Option<DeadlockRuntime>,
     next_handler_id: AtomicU64,
 }
 
@@ -68,15 +111,32 @@ pub struct Runtime {
 impl Runtime {
     /// Creates a runtime with an explicit configuration.
     pub fn new(config: RuntimeConfig) -> Self {
+        let stats = RuntimeStats::new();
+        let deadlock = config
+            .deadlock_policy
+            .is_enabled()
+            .then(|| DeadlockRuntime::start(config.deadlock_policy, Arc::clone(&stats)));
         Runtime {
             inner: Arc::new(RuntimeInner {
                 config,
-                stats: RuntimeStats::new(),
+                stats,
                 thread_cache: ThreadCache::new(config.handler_thread_cache),
                 scheduler: parking_lot::Mutex::new(None),
+                deadlock,
                 next_handler_id: AtomicU64::new(1),
             }),
         }
+    }
+
+    /// The wait-for cycles the deadlock detector has confirmed so far
+    /// (empty while the policy is [`DeadlockPolicy::Off`], or while nothing
+    /// deadlocked).  Also counted in the `deadlocks_detected` statistic.
+    pub fn deadlock_reports(&self) -> Vec<DeadlockReport> {
+        self.inner
+            .deadlock
+            .as_ref()
+            .map(|deadlock| deadlock.reports.lock().clone())
+            .unwrap_or_default()
     }
 
     /// The M:N scheduler, created on first use (pooled mode only).
@@ -163,7 +223,13 @@ impl Runtime {
     fn spawn_with_config<T: Send + 'static>(&self, config: RuntimeConfig, object: T) -> Handler<T> {
         let id: HandlerId = self.inner.next_handler_id.fetch_add(1, Ordering::Relaxed);
         RuntimeStats::bump(&self.inner.stats.handlers_spawned);
-        let core = HandlerCore::new(id, config, Arc::clone(&self.inner.stats), object);
+        // Deadlock tracking: give the handler its participant identity in
+        // the runtime's wait-for registry before any client can reach it.
+        let tracking = self.inner.deadlock.as_ref().map(|deadlock| Tracking {
+            registry: Arc::clone(&deadlock.registry),
+            participant: deadlock.registry.participant(format!("handler-{id}")),
+        });
+        let core = HandlerCore::new(id, config, Arc::clone(&self.inner.stats), object, tracking);
         match config.scheduler {
             SchedulerMode::Dedicated => {
                 // One cached OS thread per live handler; creating/retiring

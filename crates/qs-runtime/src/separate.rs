@@ -11,10 +11,12 @@
 
 use std::sync::Arc;
 
+use qs_deadlock::{EdgeKind, ParticipantId, ProbeFn, WaitRegistry, WakerFn};
 use qs_queues::{mailbox, MailboxProducer};
 use qs_sync::Handoff;
 
-use crate::handler::HandlerCore;
+use crate::deadlock::{current_waiter, BlockTracking};
+use crate::handler::{ClientMailbox, HandlerCore};
 use crate::request::Request;
 use crate::stats::RuntimeStats;
 
@@ -32,6 +34,10 @@ pub struct Separate<'a, T: Send + 'static> {
     lock_guard: Option<parking_lot::MutexGuard<'a, ()>>,
     /// Reusable sync handoff for this reservation.
     sync_handoff: Arc<Handoff<()>>,
+    /// Deadlock-detection context (`DeadlockPolicy` on): who this block's
+    /// waits belong to, whom they wait on, and how a blocked push into this
+    /// block's mailbox is woken/re-validated.
+    tracking: Option<BlockTracking>,
     /// Whether the handler is known to have drained everything we logged.
     synced: bool,
     ended: bool,
@@ -72,7 +78,20 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
                 Some(hook) => producer.with_wake_hook(Arc::clone(hook)),
                 None => producer,
             };
-            core.qoq.enqueue(consumer);
+            // Deadlock tracking: tag the queue with the reserving party so
+            // the handler's "parked on this open queue" state becomes a
+            // named Serving edge, validated at scan time by the
+            // still-open-and-empty probe.
+            let (client, serving_probe) = core
+                .deadlock
+                .as_ref()
+                .map(|tracking| (current_waiter(&tracking.registry), consumer.serving_probe()))
+                .unzip();
+            core.qoq.enqueue(ClientMailbox {
+                consumer,
+                client,
+                serving_probe,
+            });
             RuntimeStats::bump(&core.stats.private_queues_enqueued);
             Self::from_parts(core, Some(producer), None)
         } else {
@@ -87,11 +106,39 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
         producer: Option<MailboxProducer<Request<T>>>,
         lock_guard: Option<parking_lot::MutexGuard<'a, ()>>,
     ) -> Self {
+        let tracking =
+            core.deadlock.as_ref().map(|tracking| {
+                let waiter = current_waiter(&tracking.registry);
+                let (push_waker, push_probe) = match &producer {
+                    // QoQ path: this block's private mailbox.
+                    Some(producer) => (producer.unblocker(), producer.full_probe()),
+                    // Lock-based path: pushes go to the handler's shared bounded
+                    // request queue.
+                    None => {
+                        let waker_core = Arc::clone(core);
+                        let probe_core = Arc::clone(core);
+                        (
+                            Some(Arc::new(move || waker_core.request_queue.wake_producers())
+                                as WakerFn),
+                            Some(Arc::new(move || probe_core.request_queue.is_at_capacity())
+                                as ProbeFn),
+                        )
+                    }
+                };
+                BlockTracking {
+                    registry: Arc::clone(&tracking.registry),
+                    owner: tracking.participant,
+                    waiter,
+                    push_waker,
+                    push_probe,
+                }
+            });
         Separate {
             core,
             producer,
             lock_guard,
             sync_handoff: Arc::new(Handoff::new()),
+            tracking,
             synced: false,
             ended: false,
             _not_send: std::marker::PhantomData,
@@ -103,12 +150,55 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
         // space: that wait *is* the backpressure the bounded configuration
         // promises (the client is throttled to the handler's pace), and it
         // is surfaced in the runtime statistics.
-        let stalled = match &self.producer {
-            Some(producer) => producer.enqueue(request),
-            None => self.core.request_queue.enqueue(request),
+        let stalled = match &self.tracking {
+            None => match &self.producer {
+                Some(producer) => producer.enqueue(request),
+                None => self.core.request_queue.enqueue(request),
+            },
+            // Deadlock tracking: the blocking interval registers a
+            // MailboxPush wait-for edge, and the detector's Break policy may
+            // abort the wait.
+            Some(tracking) => {
+                let watcher = tracking.push_watcher();
+                let result = match &self.producer {
+                    Some(producer) => producer.enqueue_watched(request, &watcher),
+                    None => self.core.request_queue.enqueue_watched(request, &watcher),
+                };
+                match result {
+                    Ok(stalled) => stalled,
+                    Err(_request) => {
+                        // This push sat on a confirmed wait-for cycle and
+                        // was chosen as the break point: surface it instead
+                        // of deadlocking.  Inside a handler-executed call
+                        // the panic is caught by the handler loop (counted
+                        // in `call_panics`), which then resumes draining and
+                        // unwinds the rest of the cycle.
+                        RuntimeStats::bump(&self.core.stats.deadlocks_broken);
+                        std::panic::panic_any(MailboxError::DeadlockBroken {
+                            handler: self.core.id,
+                        });
+                    }
+                }
+            }
         };
         if stalled {
             RuntimeStats::bump(&self.core.stats.backpressure_stalls);
+        }
+    }
+
+    /// Waits on a sync/query handoff, registering the wait as a Query
+    /// wait-for edge while deadlock tracking is on.  The edge carries an
+    /// `is_ready` probe so a completed-but-not-yet-collected handoff cannot
+    /// sustain a phantom cycle.
+    fn wait_on_handoff<R: Send + 'static>(&self, handoff: &Arc<Handoff<R>>) -> R {
+        match &self.tracking {
+            Some(tracking) => {
+                let pending = Arc::clone(handoff);
+                handoff.wait_instrumented(|| {
+                    tracking.query_edge(Some(Arc::new(move || !pending.is_ready()) as ProbeFn))
+                })
+            }
+            None => handoff.wait(),
         }
     }
 
@@ -211,8 +301,11 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
     /// Performs the sync round-trip unconditionally.
     fn force_sync(&mut self) {
         RuntimeStats::bump(&self.core.stats.syncs_performed);
-        self.enqueue(Request::Sync(Arc::clone(&self.sync_handoff)));
-        self.sync_handoff.wait();
+        self.enqueue(Request::Sync(crate::request::CompletionGuard::new(
+            Arc::clone(&self.sync_handoff),
+        )));
+        let handoff = Arc::clone(&self.sync_handoff);
+        self.wait_on_handoff(&handoff);
         self.synced = true;
     }
 
@@ -250,11 +343,11 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
         } else {
             RuntimeStats::bump(&self.core.stats.queries_handler_executed);
             let result_handoff: Arc<Handoff<R>> = Arc::new(Handoff::new());
-            let completion = Arc::clone(&result_handoff);
+            let completion = crate::request::CompletionGuard::new(Arc::clone(&result_handoff));
             self.enqueue(Request::Query(Box::new(move |object: &mut T| {
                 completion.complete(f(object));
             })));
-            let result = result_handoff.wait();
+            let result = self.wait_on_handoff(&result_handoff);
             // A completed query implies the handler processed everything
             // before it, so the block is synced now.
             self.synced = true;
@@ -338,7 +431,7 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
         assert!(!self.ended, "query after the separate block ended");
         RuntimeStats::bump(&self.core.stats.queries_pipelined);
         let handoff: Arc<Handoff<R>> = Arc::new(Handoff::new());
-        let completion = Arc::clone(&handoff);
+        let completion = crate::request::CompletionGuard::new(Arc::clone(&handoff));
         self.enqueue(Request::Query(Box::new(move |object: &mut T| {
             completion.complete(f(object));
         })));
@@ -347,6 +440,10 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
         QueryToken {
             handoff,
             taken: false,
+            tracking: self
+                .tracking
+                .as_ref()
+                .map(|tracking| (Arc::clone(&tracking.registry), tracking.owner)),
         }
     }
 
@@ -410,6 +507,42 @@ impl<T> std::fmt::Display for MailboxFull<T> {
 
 impl<T> std::error::Error for MailboxFull<T> {}
 
+/// A mailbox interaction failed outright (as opposed to [`MailboxFull`],
+/// which hands the rejected closure back for retry).
+///
+/// [`DeadlockBroken`](MailboxError::DeadlockBroken) is how
+/// [`crate::DeadlockPolicy::Break`] surfaces its intervention: the blocked
+/// `call` panics with this value as the payload (recover it with
+/// `payload.downcast_ref::<MailboxError>()` in a `catch_unwind`).  On a
+/// handler-executed call the handler loop catches the panic, counts it in
+/// `call_panics`, and resumes draining — which is exactly what unwinds the
+/// rest of the cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MailboxError {
+    /// A blocking push into this handler's bounded mailbox sat on a
+    /// confirmed wait-for cycle and was failed by the deadlock detector's
+    /// `Break` policy; the logged call was dropped unexecuted.
+    DeadlockBroken {
+        /// The handler whose mailbox the broken push targeted.
+        handler: crate::HandlerId,
+    },
+}
+
+impl std::fmt::Display for MailboxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MailboxError::DeadlockBroken { handler } => write!(
+                f,
+                "push into the mailbox of handler {handler} was broken by the deadlock \
+                 detector: the blocked producers formed a confirmed wait-for cycle"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MailboxError {}
+
 /// Handle to the pending result of a [`Separate::query_async`] call.
 ///
 /// The token is independent of the separate block that created it: the
@@ -421,6 +554,11 @@ impl<T> std::error::Error for MailboxFull<T> {}
 pub struct QueryToken<R: Send + 'static> {
     handoff: Arc<Handoff<R>>,
     taken: bool,
+    /// Deadlock tracking: the registry and the queried handler's identity,
+    /// so a blocking [`wait`](QueryToken::wait) registers a Query wait-for
+    /// edge.  The *waiter* is resolved at wait time — tokens are `Send`, so
+    /// the collecting thread may differ from the logging one.
+    tracking: Option<(Arc<WaitRegistry>, ParticipantId)>,
 }
 
 impl<R: Send + 'static> QueryToken<R> {
@@ -430,16 +568,44 @@ impl<R: Send + 'static> QueryToken<R> {
     /// # Panics
     ///
     /// Panics if the result was already collected with
-    /// [`try_take`](QueryToken::try_take).
+    /// [`try_take`](QueryToken::try_take), or if the query was abandoned —
+    /// its request dropped unexecuted or unwound mid-execution (a panicking
+    /// closure, or a nested push failed by `DeadlockPolicy::Break`) — since
+    /// the result will never arrive.
     pub fn wait(self) -> R {
         assert!(!self.taken, "query result already taken");
-        self.handoff.wait()
+        match &self.tracking {
+            Some((registry, owner)) => {
+                let waiter = current_waiter(registry);
+                let owner = *owner;
+                let pending = Arc::clone(&self.handoff);
+                self.handoff.wait_instrumented(|| {
+                    registry.register(
+                        waiter,
+                        owner,
+                        EdgeKind::Query,
+                        None,
+                        Some(Arc::new(move || !pending.is_ready()) as ProbeFn),
+                    )
+                })
+            }
+            None => self.handoff.wait(),
+        }
     }
 
     /// Returns the result if the handler has already deposited it, without
     /// blocking.  Returns `None` while the query is still in flight and
     /// after the result has been taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query was abandoned (its request dropped unexecuted or
+    /// unwound mid-execution) — polling would otherwise spin forever on a
+    /// result that will never arrive.
     pub fn try_take(&mut self) -> Option<R> {
+        if !self.taken && self.handoff.is_abandoned() {
+            panic!("pipelined query abandoned: the handler dropped or failed the request");
+        }
         if !self.taken && self.handoff.is_ready() {
             self.taken = true;
             Some(self.handoff.wait())
@@ -470,7 +636,7 @@ mod tests {
 
     fn spawn<T: Send + 'static>(config: RuntimeConfig, object: T) -> Handler<T> {
         let stats = RuntimeStats::new();
-        let core = HandlerCore::new(7, config, stats, object);
+        let core = HandlerCore::new(7, config, stats, object, None);
         let thread_core = Arc::clone(&core);
         std::thread::spawn(move || thread_core.run());
         Handler::from_core(core)
@@ -707,6 +873,42 @@ mod tests {
             assert_eq!(s.query(|n| *n), 1_000);
         });
         assert_eq!(handler.stats().snapshot().backpressure_rejections, 0);
+        handler.stop();
+    }
+
+    #[test]
+    fn panicking_query_closure_abandons_instead_of_hanging_the_client() {
+        // Regression: a handler-executed query whose closure unwinds (a
+        // panic, or a nested push failed by DeadlockPolicy::Break) used to
+        // leave the client parked forever on a handoff nobody would ever
+        // complete.  The CompletionGuard now abandons it, surfacing a
+        // panic to the waiting client instead.
+        let handler = spawn(OptimizationLevel::None.config(), 5u32);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handler.separate(|s| s.query(|_: &mut u32| -> u32 { panic!("query bomb") }))
+        }));
+        assert!(result.is_err(), "the client must panic, not hang");
+        // The handler survives (the closure panic was caught and counted)
+        // and keeps serving.
+        assert_eq!(handler.query_detached(|n| *n), 5);
+        assert_eq!(handler.stats().snapshot().call_panics, 1);
+
+        // Same protection for pipelined queries: polling surfaces the
+        // abandonment as a panic instead of spinning forever.
+        let mut token = handler.separate(|s| s.query_async(|_| -> u32 { panic!("async bomb") }));
+        let mut surfaced = false;
+        for _ in 0..2_000 {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| token.try_take())) {
+                Ok(None) => std::thread::sleep(std::time::Duration::from_millis(1)),
+                Ok(Some(_)) => panic!("abandoned query must not yield a value"),
+                Err(_) => {
+                    surfaced = true;
+                    break;
+                }
+            }
+        }
+        assert!(surfaced, "try_take must surface the abandonment");
+        assert_eq!(handler.query_detached(|n| *n), 5);
         handler.stop();
     }
 

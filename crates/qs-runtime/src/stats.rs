@@ -99,6 +99,12 @@ pub struct RuntimeStats {
     /// Pooled scheduling: yield budgets shrunk to one batch because the
     /// handler's mailbox reported backpressure.
     pub budget_shrinks: AtomicU64,
+    /// Wait-for cycles confirmed by the deadlock detector (one per distinct
+    /// cycle; requires `DeadlockPolicy::Report` or `Break`).
+    pub deadlocks_detected: AtomicU64,
+    /// Blocked bounded pushes failed by `DeadlockPolicy::Break` to unwind a
+    /// confirmed cycle.
+    pub deadlocks_broken: AtomicU64,
     /// Histogram of drained batch sizes; see [`batch_bucket_range`].
     pub batch_size_buckets: [AtomicU64; BATCH_SIZE_BUCKETS],
 }
@@ -151,6 +157,8 @@ impl RuntimeStats {
             handler_yields: self.handler_yields.load(Ordering::Relaxed),
             pressure_wakes: self.pressure_wakes.load(Ordering::Relaxed),
             budget_shrinks: self.budget_shrinks.load(Ordering::Relaxed),
+            deadlocks_detected: self.deadlocks_detected.load(Ordering::Relaxed),
+            deadlocks_broken: self.deadlocks_broken.load(Ordering::Relaxed),
             scheduler_steals: 0,
             batch_size_buckets: std::array::from_fn(|i| {
                 self.batch_size_buckets[i].load(Ordering::Relaxed)
@@ -212,6 +220,10 @@ pub struct StatsSnapshot {
     pub pressure_wakes: u64,
     /// Pooled scheduling: yield budgets shrunk under mailbox backpressure.
     pub budget_shrinks: u64,
+    /// Wait-for cycles confirmed by the deadlock detector.
+    pub deadlocks_detected: u64,
+    /// Blocked bounded pushes failed by `DeadlockPolicy::Break`.
+    pub deadlocks_broken: u64,
     /// Pooled scheduling: tasks stolen across scheduler workers.  Tracked by
     /// the scheduler, merged in by [`crate::Runtime::stats_snapshot`]; zero
     /// in a snapshot taken directly from [`RuntimeStats`].
@@ -300,6 +312,12 @@ impl StatsSnapshot {
             handler_yields: self.handler_yields.saturating_sub(earlier.handler_yields),
             pressure_wakes: self.pressure_wakes.saturating_sub(earlier.pressure_wakes),
             budget_shrinks: self.budget_shrinks.saturating_sub(earlier.budget_shrinks),
+            deadlocks_detected: self
+                .deadlocks_detected
+                .saturating_sub(earlier.deadlocks_detected),
+            deadlocks_broken: self
+                .deadlocks_broken
+                .saturating_sub(earlier.deadlocks_broken),
             scheduler_steals: self
                 .scheduler_steals
                 .saturating_sub(earlier.scheduler_steals),

@@ -19,6 +19,17 @@
 //!   graph induced by nested separate blocks, whether it has a cycle, and
 //!   whether blocking queries are present inside the nesting — together
 //!   giving the §2.5 verdict for lock-based SCOOP and for SCOOP/Qs.
+//!
+//! The production runtime additionally *bounds* its mailboxes, which breaks
+//! the premise of the §2.5 argument: with a capacity, an asynchronous `call`
+//! can block too (backpressure), so topologies that are deadlock-free
+//! unbounded can deadlock once a bound is set.
+//! [`assess_with_mailbox_capacity`] extends the static analysis with those
+//! capacity-induced edges ([`WaitEdgeKind::BoundedMailbox`]) and the
+//! handler-side commitment to an open separate block
+//! ([`WaitEdgeKind::OpenBlock`]), mirroring the runtime detector in
+//! `qs-deadlock`/`qs-runtime` (whose `MailboxPush` and `Serving` edges are
+//! the dynamic counterparts).
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -226,6 +237,361 @@ fn walk(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Capacity-aware analysis: bounded-mailbox blocking edges
+// ---------------------------------------------------------------------------
+
+/// The kind of a blocking edge in the capacity-aware wait-for analysis.
+///
+/// Ordered by "strength": when two statements induce the same `a → b` edge
+/// with different kinds, the smaller (stronger) kind wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WaitEdgeKind {
+    /// A blocking query: the client waits for the handler to serve it (the
+    /// only blocking edge of the unbounded §2.5 model).
+    Query,
+    /// A bounded-mailbox push that can block: within one separate block the
+    /// client logs at least `capacity` calls onto the target without an
+    /// intervening (mailbox-draining) query, so the block can hit
+    /// backpressure.  Never present in the unbounded analysis.
+    BoundedMailbox,
+    /// The handler side: while a client's single-handler separate block is
+    /// open, the reserved handler is committed to it and cannot serve anyone
+    /// else (the runtime detector's `Serving` edge).  Atomic multi-handler
+    /// blocks (§2.4) are excluded — their registration orders every handler
+    /// of the set consistently, which is exactly what rules the circular
+    /// commitment out.
+    OpenBlock,
+}
+
+impl WaitEdgeKind {
+    /// Short label used in reports and tests.
+    pub fn label(self) -> &'static str {
+        match self {
+            WaitEdgeKind::Query => "query",
+            WaitEdgeKind::BoundedMailbox => "bounded-mailbox",
+            WaitEdgeKind::OpenBlock => "open-block",
+        }
+    }
+}
+
+/// A directed graph over handler names whose edges carry a [`WaitEdgeKind`].
+pub type LabeledHandlerGraph = BTreeMap<HandlerName, BTreeMap<HandlerName, WaitEdgeKind>>;
+
+/// Verdict of the capacity-aware analysis; see
+/// [`assess_with_mailbox_capacity`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundedAssessment {
+    /// The mailbox bound the programs were assessed under (`None` =
+    /// unbounded, the paper's semantics).
+    pub capacity: Option<usize>,
+    /// The potential wait-for graph: client-blocking edges (queries, and —
+    /// under a bound — calls that can hit backpressure) plus handler-side
+    /// open-block commitments.
+    pub wait_graph: LabeledHandlerGraph,
+    /// A cycle in that graph, if any: each element is a node together with
+    /// the kind of the edge it follows to the next node (cyclically).
+    pub cycle: Option<Vec<(HandlerName, WaitEdgeKind)>>,
+}
+
+impl BoundedAssessment {
+    /// Whether these programs can deadlock under SCOOP/Qs with this mailbox
+    /// bound.  Like the unbounded analysis, this is a *necessary-condition*
+    /// check: "not possible" is definitive, "possible" is a conservative
+    /// flag (the analysis cannot count runtime bursts, so any block that
+    /// reaches the capacity is treated as able to exceed it).
+    pub fn deadlock_possible(&self) -> bool {
+        self.cycle.is_some()
+    }
+
+    /// Whether the flagged cycle depends on a bounded-mailbox edge — i.e.
+    /// the topology is *only safe unbounded* and the bound is what makes it
+    /// deadlock-prone.
+    pub fn bounded_edges_on_cycle(&self) -> bool {
+        self.cycle.as_ref().is_some_and(|cycle| {
+            cycle
+                .iter()
+                .any(|(_, kind)| *kind == WaitEdgeKind::BoundedMailbox)
+        })
+    }
+}
+
+/// Inserts `from → to` with `kind`, keeping the stronger kind on duplicate
+/// edges.
+fn insert_edge(
+    graph: &mut LabeledHandlerGraph,
+    from: &HandlerName,
+    to: &HandlerName,
+    kind: WaitEdgeKind,
+) {
+    let slot = graph
+        .entry(from.clone())
+        .or_default()
+        .entry(to.clone())
+        .or_insert(kind);
+    if kind < *slot {
+        *slot = kind;
+    }
+}
+
+/// Runs the capacity-aware deadlock analysis: like
+/// [`assess_reservation_order`], but modelling the blocking edges a bounded
+/// mailbox introduces.
+///
+/// With `capacity = None` the graph contains only query edges and open-block
+/// commitments, and a cycle reproduces the §2.5 verdict (queries inside
+/// inconsistently-served blocks).  With a bound, every separate block that
+/// logs `capacity` or more calls onto one target (without an intervening
+/// query on that target, which drains the mailbox) additionally contributes
+/// a [`WaitEdgeKind::BoundedMailbox`] edge — flagging topologies, like
+/// Fig. 6 without queries at capacity 1, that are only safe unbounded.
+///
+/// One refinement keeps the obvious safe pattern out: a client blocking on
+/// the handler of its *only* open block on that handler resolves by
+/// construction (the handler is committed to precisely the queue the wait
+/// goes through), so the immediate bounce `c → t → c` is not counted as a
+/// cycle for such pairs.  A client with *two* open blocks on the same
+/// handler (nested re-reservation) genuinely self-deadlocks under
+/// queue-of-queues — the inner queue waits behind the outer forever — and
+/// stays flagged.
+pub fn assess_with_mailbox_capacity(
+    programs: &[Program],
+    capacity: Option<usize>,
+) -> BoundedAssessment {
+    let mut graph = LabeledHandlerGraph::new();
+    // Client-blocking (client, target) pairs; the flag records whether any
+    // blocking site had two or more open blocks on the target (a genuine
+    // self-deadlock rather than the benign single-block bounce).
+    let mut pairs: BTreeMap<(HandlerName, HandlerName), bool> = BTreeMap::new();
+    for program in programs {
+        let mut open_blocks: Vec<OpenBlock> = Vec::new();
+        walk_bounded(
+            &program.body,
+            &program.handler,
+            capacity,
+            &mut open_blocks,
+            &mut graph,
+            &mut pairs,
+        );
+    }
+    let benign: BTreeSet<(HandlerName, HandlerName)> = pairs
+        .into_iter()
+        .filter_map(|(pair, genuine)| (!genuine).then_some(pair))
+        .collect();
+    let cycle = find_nonbenign_cycle(&graph, &benign);
+    BoundedAssessment {
+        capacity,
+        wait_graph: graph,
+        cycle,
+    }
+}
+
+/// One open separate block during the bounded walk: its reserved targets,
+/// per-target call counts since the last mailbox-draining query, and the
+/// targets of client-blocking sites anywhere inside its body.
+struct OpenBlock {
+    targets: Vec<HandlerName>,
+    calls_since_drain: BTreeMap<HandlerName, usize>,
+    blocking_inside: BTreeSet<HandlerName>,
+}
+
+/// Records a client-blocking site `client → target` and whether it is a
+/// nested re-reservation (two or more open blocks on `target`).
+fn note_blocking_pair(
+    pairs: &mut BTreeMap<(HandlerName, HandlerName), bool>,
+    open_blocks: &[OpenBlock],
+    client: &HandlerName,
+    target: &HandlerName,
+) {
+    let open_on_target = open_blocks
+        .iter()
+        .filter(|block| block.targets.contains(target))
+        .count();
+    let genuine = pairs
+        .entry((client.clone(), target.clone()))
+        .or_insert(false);
+    *genuine |= open_on_target >= 2;
+}
+
+fn walk_bounded(
+    stmts: &[Stmt],
+    client: &HandlerName,
+    capacity: Option<usize>,
+    open_blocks: &mut Vec<OpenBlock>,
+    graph: &mut LabeledHandlerGraph,
+    pairs: &mut BTreeMap<(HandlerName, HandlerName), bool>,
+) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Separate { targets, body } => {
+                open_blocks.push(OpenBlock {
+                    targets: targets.clone(),
+                    calls_since_drain: BTreeMap::new(),
+                    blocking_inside: BTreeSet::new(),
+                });
+                walk_bounded(body, client, capacity, open_blocks, graph, pairs);
+                let block = open_blocks.pop().expect("pushed above");
+                // Handler-side commitment: a single-handler block pins the
+                // reserved handler to this client until END — but that only
+                // matters if the client can *block* while the block is open
+                // on some other handler (delaying the END indefinitely);
+                // blocking on the reserved handler itself is the bounce the
+                // benign-pair filter already resolves.  Atomic multi-handler
+                // registrations (§2.4) are excluded outright: their
+                // registration orders every handler of the set consistently,
+                // which rules the circular commitment out.
+                if let [target] = block.targets.as_slice() {
+                    // Blocking on the reserved handler itself only stalls the
+                    // END when the client re-reserved it in a nested block
+                    // (the genuine pair case); otherwise the commitment
+                    // resolves the wait.
+                    let self_block_genuine = pairs
+                        .get(&(client.clone(), target.clone()))
+                        .copied()
+                        .unwrap_or(false);
+                    let can_stall_end = self_block_genuine
+                        || block
+                            .blocking_inside
+                            .iter()
+                            .any(|blocked_on| blocked_on != target);
+                    if target != client && can_stall_end {
+                        insert_edge(graph, target, client, WaitEdgeKind::OpenBlock);
+                    }
+                }
+            }
+            Stmt::Call { target, .. } => {
+                // The call logs into the private queue of the innermost
+                // block reserving `target`; that queue is fresh per block,
+                // so only the in-block call count matters.
+                let saturates = if let Some(block) = open_blocks
+                    .iter_mut()
+                    .rev()
+                    .find(|block| block.targets.contains(target))
+                {
+                    let count = block.calls_since_drain.entry(target.clone()).or_insert(0);
+                    *count += 1;
+                    capacity.is_some_and(|capacity| *count >= capacity)
+                } else {
+                    false
+                };
+                if saturates && target != client {
+                    insert_edge(graph, client, target, WaitEdgeKind::BoundedMailbox);
+                    note_blocking_pair(pairs, open_blocks, client, target);
+                    for block in open_blocks.iter_mut() {
+                        block.blocking_inside.insert(target.clone());
+                    }
+                }
+            }
+            Stmt::Query { target, .. } | Stmt::Wait(target) => {
+                if target != client {
+                    insert_edge(graph, client, target, WaitEdgeKind::Query);
+                    note_blocking_pair(pairs, open_blocks, client, target);
+                    for block in open_blocks.iter_mut() {
+                        block.blocking_inside.insert(target.clone());
+                    }
+                }
+                // A completed query implies the handler drained this
+                // client's mailbox: the backpressure counter restarts.
+                if let Some(block) = open_blocks
+                    .iter_mut()
+                    .rev()
+                    .find(|block| block.targets.contains(target))
+                {
+                    block.calls_since_drain.insert(target.clone(), 0);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Finds a simple cycle in the labeled graph, skipping the benign immediate
+/// bounce `c --[query/push]--> t --[open-block]--> c` for pairs in
+/// `benign` (see [`assess_with_mailbox_capacity`]).  Returns each node with
+/// the kind of the edge it follows, rotated so the smallest node is first.
+fn find_nonbenign_cycle(
+    graph: &LabeledHandlerGraph,
+    benign: &BTreeSet<(HandlerName, HandlerName)>,
+) -> Option<Vec<(HandlerName, WaitEdgeKind)>> {
+    /// The benign bounce, checked on a *closed* cycle so it is independent
+    /// of which node the DFS happened to start from: a 2-cycle pairing a
+    /// client-blocking edge `c → t` with the open-block commitment `t → c`
+    /// for a single-block (benign) pair resolves by construction and is not
+    /// a deadlock.
+    fn is_benign_bounce(
+        cycle: &[(HandlerName, WaitEdgeKind)],
+        benign: &BTreeSet<(HandlerName, HandlerName)>,
+    ) -> bool {
+        let [(a, a_kind), (b, b_kind)] = cycle else {
+            return false;
+        };
+        let client_then_commit = |client: &HandlerName,
+                                  client_kind: WaitEdgeKind,
+                                  target: &HandlerName,
+                                  target_kind: WaitEdgeKind| {
+            client_kind != WaitEdgeKind::OpenBlock
+                && target_kind == WaitEdgeKind::OpenBlock
+                && benign.contains(&(client.clone(), target.clone()))
+        };
+        client_then_commit(a, *a_kind, b, *b_kind) || client_then_commit(b, *b_kind, a, *a_kind)
+    }
+
+    fn search(
+        graph: &LabeledHandlerGraph,
+        benign: &BTreeSet<(HandlerName, HandlerName)>,
+        start: &HandlerName,
+        current: &HandlerName,
+        path: &mut Vec<(HandlerName, WaitEdgeKind)>,
+        budget: &mut usize,
+    ) -> Option<Vec<(HandlerName, WaitEdgeKind)>> {
+        let successors = graph.get(current)?;
+        for (next, &kind) in successors {
+            if *budget == 0 {
+                return None;
+            }
+            *budget -= 1;
+            if next == start {
+                let mut cycle = path.clone();
+                cycle.push((current.clone(), kind));
+                if is_benign_bounce(&cycle, benign) {
+                    continue;
+                }
+                return Some(cycle);
+            }
+            if path.iter().any(|(node, _)| node == next) {
+                continue;
+            }
+            path.push((current.clone(), kind));
+            let found = search(graph, benign, start, next, path, budget);
+            path.pop();
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+
+    // The analysed graphs are program-sized (a handful of nodes), so a
+    // simple-path DFS per start node is plenty; the budget is a safety rail
+    // against pathological inputs, not a tuning knob.
+    let mut budget = 200_000usize;
+    for start in graph.keys() {
+        let mut path = Vec::new();
+        if let Some(mut cycle) = search(graph, benign, start, start, &mut path, &mut budget) {
+            if let Some(min_index) = cycle
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .0.cmp(&b.1 .0))
+                .map(|(index, _)| index)
+            {
+                cycle.rotate_left(min_index);
+            }
+            return Some(cycle);
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +750,190 @@ mod tests {
         assert!(assessment.nested_blocking_clients.is_empty());
         let report = explore_all(programs, 500_000, 300, 16);
         assert!(report.deadlock_free(), "deadlocks: {:?}", report.deadlocks);
+    }
+
+    #[test]
+    fn fig6_without_queries_is_flagged_only_under_a_tight_bound() {
+        let programs = fig6_program(false);
+        // The paper's semantics: unbounded mailboxes, calls never block, and
+        // without queries there is nothing that can cycle.
+        let unbounded = assess_with_mailbox_capacity(&programs, None);
+        assert!(!unbounded.deadlock_possible(), "{:?}", unbounded.cycle);
+        assert!(!unbounded.bounded_edges_on_cycle());
+
+        // Capacity 1: each client's single call per target can already hit
+        // backpressure while both handlers are committed to the *other*
+        // client's open block — the cyclic topology is only safe unbounded.
+        let tight = assess_with_mailbox_capacity(&programs, Some(1));
+        assert!(tight.deadlock_possible());
+        let cycle = tight.cycle.clone().expect("cycle");
+        assert!(
+            cycle
+                .iter()
+                .any(|(_, kind)| *kind == WaitEdgeKind::BoundedMailbox),
+            "the cycle must report the mailbox edge kind: {cycle:?}"
+        );
+        assert!(
+            cycle
+                .iter()
+                .any(|(_, kind)| *kind == WaitEdgeKind::OpenBlock),
+            "… alternating with handler open-block commitments: {cycle:?}"
+        );
+        assert!(tight.bounded_edges_on_cycle());
+        assert_eq!(tight.capacity, Some(1));
+
+        // Capacity 2 clears it: no block logs two calls onto one target, so
+        // no push can ever wait for space.
+        let roomy = assess_with_mailbox_capacity(&programs, Some(2));
+        assert!(!roomy.deadlock_possible(), "{:?}", roomy.cycle);
+    }
+
+    #[test]
+    fn fig6_with_queries_is_flagged_even_unbounded() {
+        let assessment = assess_with_mailbox_capacity(&fig6_program(true), None);
+        assert!(assessment.deadlock_possible());
+        let cycle = assessment.cycle.expect("cycle");
+        assert!(cycle.iter().any(|(_, kind)| *kind == WaitEdgeKind::Query));
+        assert!(
+            !cycle
+                .iter()
+                .any(|(_, kind)| *kind == WaitEdgeKind::BoundedMailbox),
+            "unbounded: no mailbox edges exist: {cycle:?}"
+        );
+        assert_eq!(WaitEdgeKind::BoundedMailbox.label(), "bounded-mailbox");
+    }
+
+    #[test]
+    fn cyclic_logging_ring_is_only_safe_unbounded() {
+        // Three handlers logging bursts of two onto the next around a ring —
+        // the topology of the runtime's `cyclic_logging` example.
+        let node = |name: &str, next: &str| {
+            Program::new(
+                name,
+                vec![Stmt::separate(
+                    next,
+                    vec![Stmt::call(next, "log"), Stmt::call(next, "log")],
+                )],
+            )
+        };
+        let programs = vec![node("a", "b"), node("b", "c"), node("c", "a")];
+        assert!(!assess_with_mailbox_capacity(&programs, None).deadlock_possible());
+        assert!(!assess_with_mailbox_capacity(&programs, Some(16)).deadlock_possible());
+        let tight = assess_with_mailbox_capacity(&programs, Some(2));
+        assert!(tight.deadlock_possible());
+        let cycle = tight.cycle.expect("cycle");
+        assert_eq!(cycle.len(), 3, "pure push ring: {cycle:?}");
+        assert!(
+            cycle
+                .iter()
+                .all(|(_, kind)| *kind == WaitEdgeKind::BoundedMailbox),
+            "{cycle:?}"
+        );
+    }
+
+    #[test]
+    fn benign_bounce_is_skipped_from_either_rotation() {
+        // Regression: the open-block edge `x → c` makes the DFS that starts
+        // at `x` close the benign 2-cycle from the other side; the bounce
+        // filter must be rotation-independent.  Here `c`'s block on x also
+        // queries y (so the x → c commitment edge is emitted), but the only
+        // cycle in the graph is the benign single-block bounce c ⇄ x.
+        let programs = vec![
+            Program::passive("x"),
+            Program::passive("y"),
+            Program::new(
+                "c",
+                vec![Stmt::separate(
+                    "x",
+                    vec![Stmt::query("x", "qx"), Stmt::query("y", "qy")],
+                )],
+            ),
+        ];
+        let assessment = assess_with_mailbox_capacity(&programs, None);
+        assert!(
+            !assessment.deadlock_possible(),
+            "benign bounce reported as a cycle: {:?}",
+            assessment.cycle
+        );
+        // The commitment edge itself is present — only the bounce is
+        // filtered.
+        assert_eq!(
+            assessment.wait_graph["x"]["c"],
+            WaitEdgeKind::OpenBlock,
+            "{:?}",
+            assessment.wait_graph
+        );
+    }
+
+    #[test]
+    fn single_block_bounce_is_benign_but_nested_rereservation_is_not() {
+        // A client saturating / querying the handler of its only open block
+        // resolves by construction.
+        let safe = vec![
+            Program::passive("x"),
+            Program::new(
+                "c",
+                vec![Stmt::separate(
+                    "x",
+                    vec![
+                        Stmt::call("x", "f"),
+                        Stmt::call("x", "f"),
+                        Stmt::query("x", "g"),
+                    ],
+                )],
+            ),
+        ];
+        assert!(!assess_with_mailbox_capacity(&safe, Some(1)).deadlock_possible());
+
+        // Nested re-reservation of the same handler self-deadlocks under
+        // queue-of-queues: the inner private queue waits behind the outer
+        // forever.
+        let nested = vec![
+            Program::passive("x"),
+            Program::new(
+                "c",
+                vec![Stmt::separate(
+                    "x",
+                    vec![
+                        Stmt::query("x", "g"),
+                        Stmt::separate("x", vec![Stmt::query("x", "g")]),
+                    ],
+                )],
+            ),
+        ];
+        let assessment = assess_with_mailbox_capacity(&nested, None);
+        assert!(
+            assessment.deadlock_possible(),
+            "{:?}",
+            assessment.wait_graph
+        );
+    }
+
+    #[test]
+    fn atomic_multi_reservation_stays_safe_even_bounded() {
+        let client = |name: &str| {
+            Program::new(
+                name,
+                vec![Stmt::separate_many(
+                    &["x", "y"],
+                    vec![
+                        Stmt::call("x", "f"),
+                        Stmt::call("x", "f"),
+                        Stmt::call("y", "g"),
+                        Stmt::call("y", "g"),
+                        Stmt::query("x", "q"),
+                    ],
+                )],
+            )
+        };
+        let programs = vec![
+            Program::passive("x"),
+            Program::passive("y"),
+            client("c1"),
+            client("c2"),
+        ];
+        let assessment = assess_with_mailbox_capacity(&programs, Some(1));
+        assert!(!assessment.deadlock_possible(), "{:?}", assessment.cycle);
     }
 
     #[test]

@@ -21,6 +21,10 @@ use crate::Backoff;
 const IDLE: u8 = 0;
 const WAITING: u8 = 1;
 const READY: u8 = 2;
+/// Terminal: the producer will never deposit a value (it dropped the
+/// request or unwound before completing).  A waiter must not park forever
+/// on it — [`Handoff::wait`] surfaces it as a panic.
+const ABANDONED: u8 = 3;
 
 /// A reusable one-slot rendezvous channel.
 ///
@@ -92,16 +96,67 @@ impl<T> Handoff<T> {
         self.state.load(Ordering::Acquire) == READY
     }
 
+    /// Returns `true` once the producer [`abandon`](Handoff::abandon)ed the
+    /// handoff: no value will ever arrive and [`wait`](Handoff::wait) would
+    /// panic.
+    pub fn is_abandoned(&self) -> bool {
+        self.state.load(Ordering::Acquire) == ABANDONED
+    }
+
+    /// Marks the handoff as never-completing and wakes the waiting
+    /// consumer, whose [`wait`](Handoff::wait) then panics instead of
+    /// parking forever.
+    ///
+    /// Called by producer-side guards when the request that was supposed to
+    /// [`complete`](Handoff::complete) is dropped unexecuted or unwinds
+    /// mid-execution (e.g. a deadlock-broken nested push).  A value already
+    /// deposited is never overwritten; abandoning twice is harmless.
+    pub fn abandon(&self) {
+        let mut current = self.state.load(Ordering::Acquire);
+        loop {
+            if current == READY || current == ABANDONED {
+                return;
+            }
+            match self.state.compare_exchange(
+                current,
+                ABANDONED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(previous) => {
+                    if previous == WAITING {
+                        if let Some(thread) = self.waiter.lock().unwrap().take() {
+                            thread.unpark();
+                        }
+                    }
+                    return;
+                }
+                Err(now) => current = now,
+            }
+        }
+    }
+
     /// Waits for the producer and takes the deposited value, resetting the
     /// handoff for the next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the producer [`abandon`](Handoff::abandon)ed the handoff:
+    /// the value will never arrive, and surfacing that beats parking the
+    /// consumer forever.
     pub fn wait(&self) -> T {
         let backoff = Backoff::new();
         loop {
-            if self.state.load(Ordering::Acquire) == READY {
-                break;
+            match self.state.load(Ordering::Acquire) {
+                READY => break,
+                ABANDONED => Self::panic_abandoned(),
+                _ => {}
             }
             if backoff.is_completed() {
                 self.park_until_ready();
+                if self.state.load(Ordering::Acquire) == ABANDONED {
+                    Self::panic_abandoned();
+                }
                 break;
             }
             backoff.snooze();
@@ -115,12 +170,35 @@ impl<T> Handoff<T> {
         value
     }
 
+    fn panic_abandoned() -> ! {
+        panic!(
+            "handoff abandoned: the producer dropped or failed the request before \
+             completing it; the awaited value will never arrive"
+        );
+    }
+
+    /// [`wait`](Handoff::wait) with a park-site instrumentation hook:
+    /// `on_block` runs once, just before the consumer commits to blocking,
+    /// and whatever it returns is held for the duration of the wait.
+    ///
+    /// The runtime uses this to register the wait in its deadlock wait-for
+    /// registry (the guard removes the edge when dropped); a handoff whose
+    /// value is already deposited takes the ready fast path and never calls
+    /// the hook, so un-contended query round-trips stay unregistered.
+    pub fn wait_instrumented<G>(&self, on_block: impl FnOnce() -> G) -> T {
+        if self.is_ready() {
+            return self.wait();
+        }
+        let _blocked = on_block();
+        self.wait()
+    }
+
     fn park_until_ready(&self) {
         loop {
             {
                 let mut waiter = self.waiter.lock().unwrap();
-                // CAS so a racing `complete` (which swaps to READY without
-                // taking the lock) is never overwritten.
+                // CAS so a racing `complete`/`abandon` (which transition
+                // without taking the lock) is never overwritten.
                 match self.state.compare_exchange(
                     IDLE,
                     WAITING,
@@ -128,14 +206,14 @@ impl<T> Handoff<T> {
                     Ordering::Acquire,
                 ) {
                     Ok(_) => *waiter = Some(std::thread::current()),
-                    Err(READY) => return,
+                    Err(READY) | Err(ABANDONED) => return,
                     Err(_) => *waiter = Some(std::thread::current()),
                 }
             }
             loop {
                 std::thread::park();
                 match self.state.load(Ordering::Acquire) {
-                    READY => return,
+                    READY | ABANDONED => return,
                     WAITING => continue, // spurious wake-up
                     _ => break,          // retry registration
                 }
@@ -208,6 +286,66 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(h.rounds(), rounds);
+    }
+
+    #[test]
+    fn abandonment_wakes_and_panics_the_waiter_instead_of_hanging() {
+        // A parked waiter is released by `abandon` and panics.
+        let h = Arc::new(Handoff::<u32>::new());
+        let h2 = Arc::clone(&h);
+        let waiter = thread::spawn(move || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h2.wait()))
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert!(!h.is_abandoned());
+        h.abandon();
+        let result = waiter.join().unwrap();
+        assert!(result.is_err(), "abandoned wait must panic, not hang");
+        assert!(h.is_abandoned());
+        assert!(!h.is_ready());
+        // Abandoning twice is harmless; a fresh wait panics immediately.
+        h.abandon();
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.wait())).is_err());
+
+        // A deposited value is never overwritten by a late abandon.
+        let h = Handoff::new();
+        h.complete(9u32);
+        h.abandon();
+        assert!(h.is_ready());
+        assert_eq!(h.wait(), 9);
+    }
+
+    #[test]
+    fn wait_instrumented_skips_the_hook_when_ready() {
+        use std::sync::atomic::AtomicUsize;
+        let h = Handoff::new();
+        h.complete(5u32);
+        let calls = AtomicUsize::new(0);
+        let value = h.wait_instrumented(|| {
+            calls.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(value, 5);
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "ready fast path");
+
+        // A genuinely blocking wait runs the hook exactly once, before
+        // blocking, and drops its guard after the value arrives.
+        let h = Arc::new(Handoff::<u32>::new());
+        let h2 = Arc::clone(&h);
+        let producer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            h2.complete(7);
+        });
+        struct Guard(Arc<AtomicUsize>);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let value = h.wait_instrumented(|| Guard(Arc::clone(&drops)));
+        assert_eq!(value, 7);
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "guard released after wait");
+        producer.join().unwrap();
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Cyclic logging: the topology that is perfectly safe with the paper's
+//! unbounded mailboxes and deadlocks the moment they are bounded.
+//!
+//! Two handlers log onto *each other* through capacity-1 mailboxes.  Each
+//! one, while executing a request, opens a separate block on its peer and
+//! logs two calls: the second push needs the peer to start serving the
+//! fresh private queue, and the peer — stuck in the mirror-image push —
+//! never will.  §2.5 of the paper proves reservations and asynchronous
+//! calls never block, so this cannot deadlock in SCOOP/Qs; bounded
+//! mailboxes (backpressure) break exactly that premise.
+//!
+//! Phase 1 runs the topology under `DeadlockPolicy::Report`: the runtime's
+//! wait-for registry sees both blocked pushes, the detector confirms the
+//! 2-cycle within a couple of 10ms scan ticks, and the `DeadlockReport`
+//! names the handlers and the `mailbox-push` edge kinds.  The deadlock
+//! itself stays (Report only observes), so the runtime is abandoned.
+//!
+//! Phase 2 runs it under `DeadlockPolicy::Break`: the detector fails one of
+//! the blocked pushes (`MailboxError::DeadlockBroken` — on a handler-side
+//! call the panic is caught and counted like any call panic), the freed
+//! handler drains its mailbox, the peer's push unblocks, and both handlers
+//! answer queries again.
+//!
+//! Run with a hard timeout in CI: a detection regression turns this example
+//! back into the silent hang it exists to prevent.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use scoop_qs::prelude::*;
+use scoop_qs::sync::Event;
+
+/// A handler object that logs onto its peer.
+struct Logger {
+    name: &'static str,
+    peer: Option<Handler<Logger>>,
+    received: u64,
+    /// Set once this logger's entangling request is executing.
+    started: Arc<Event>,
+    /// The peer's `started` event: both sides rendezvous before pushing, so
+    /// the deadlock is deterministic, not a lucky interleaving.
+    peer_started: Arc<Event>,
+}
+
+/// The request both handlers execute simultaneously: rendezvous, then burst
+/// two calls into the peer's capacity-1 mailbox.  Push #1 fills the fresh
+/// private queue; push #2 blocks until the peer *serves* that queue — and
+/// the peer is pinned inside its own mirror-image push.
+fn entangle(logger: &mut Logger) {
+    logger.started.set();
+    logger.peer_started.wait();
+    let peer = logger.peer.clone().expect("peer wired before entangling");
+    peer.separate(|s| {
+        s.call(|other| other.received += 1);
+        s.call(|other| other.received += 1); // <- blocks: capacity 1
+    });
+}
+
+fn spawn_entangled_pair(rt: &Runtime) -> (Handler<Logger>, Handler<Logger>) {
+    let started_a = Arc::new(Event::new());
+    let started_b = Arc::new(Event::new());
+    let a = rt.spawn_handler(Logger {
+        name: "a",
+        peer: None,
+        received: 0,
+        started: Arc::clone(&started_a),
+        peer_started: Arc::clone(&started_b),
+    });
+    let b = rt.spawn_handler(Logger {
+        name: "b",
+        peer: None,
+        received: 0,
+        started: started_b,
+        peer_started: started_a,
+    });
+    // Wire the ring, then fire both entangling requests.
+    let peer_of_a = b.clone();
+    a.call_detached(move |logger| logger.peer = Some(peer_of_a));
+    let peer_of_b = a.clone();
+    b.call_detached(move |logger| logger.peer = Some(peer_of_b));
+    a.call_detached(entangle);
+    b.call_detached(entangle);
+    (a, b)
+}
+
+fn config(policy: DeadlockPolicy) -> RuntimeConfig {
+    RuntimeConfig::all_optimizations()
+        .with_mailbox_capacity(Some(1))
+        .with_deadlock_policy(policy)
+}
+
+fn main() {
+    // ----- Phase 1: Report ------------------------------------------------
+    println!("== phase 1: DeadlockPolicy::Report (detect the hang) ==");
+    let rt = Runtime::new(config(DeadlockPolicy::Report));
+    let (_a, _b) = spawn_entangled_pair(&rt);
+
+    let started = Instant::now();
+    while rt.stats_snapshot().deadlocks_detected == 0 {
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "deadlock detection regressed: no report within 30s"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!("detected after {:?}", started.elapsed());
+    for report in rt.deadlock_reports() {
+        println!("  {report}");
+    }
+    // Report only observes: the cycle is still in place, so walk away from
+    // this runtime (dropping it never waits on blocked handlers; the two
+    // pinned threads die with the process).
+    drop(rt);
+
+    // ----- Phase 2: Break -------------------------------------------------
+    println!("== phase 2: DeadlockPolicy::Break (detect and recover) ==");
+    let rt = Runtime::new(config(DeadlockPolicy::Break));
+    let (a, b) = spawn_entangled_pair(&rt);
+
+    // Liveness probe: queries can only complete once the detector has
+    // broken the cycle; the peers' surviving pushes then land as the
+    // handlers drain.  Exactly one of the four pushes is dropped by the
+    // break, so the counts settle at 3.
+    let started = Instant::now();
+    let (received_a, received_b) = loop {
+        let received_a = a.query_detached(|logger| (logger.name, logger.received));
+        let received_b = b.query_detached(|logger| (logger.name, logger.received));
+        if received_a.1 + received_b.1 >= 3 {
+            break (received_a, received_b);
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "cycle break regressed: counts stuck at {received_a:?}/{received_b:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    println!(
+        "recovered after {:?}: {:?} / {:?}",
+        started.elapsed(),
+        received_a,
+        received_b
+    );
+    for report in rt.deadlock_reports() {
+        println!("  {report}");
+    }
+    let snapshot = rt.stats_snapshot();
+    println!(
+        "deadlocks_detected={} deadlocks_broken={} call_panics={}",
+        snapshot.deadlocks_detected, snapshot.deadlocks_broken, snapshot.call_panics
+    );
+    assert!(snapshot.deadlocks_detected >= 1);
+    assert!(snapshot.deadlocks_broken >= 1);
+    assert!(
+        snapshot.call_panics >= 1,
+        "the broken push surfaces as a caught MailboxError::DeadlockBroken panic"
+    );
+    assert_eq!(
+        received_a.1 + received_b.1,
+        3,
+        "one push of the four is dropped by the break; the rest land"
+    );
+
+    // Clean shutdown: unwire the peer references (they form an Arc cycle)
+    // and retire both handlers.
+    a.call_detached(|logger| logger.peer = None);
+    b.call_detached(|logger| logger.peer = None);
+    let final_a = a.shutdown_and_take().expect("a retires cleanly");
+    let final_b = b.shutdown_and_take().expect("b retires cleanly");
+    println!(
+        "final counts: a={} b={} — recovered and live",
+        final_a.received, final_b.received
+    );
+}

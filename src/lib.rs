@@ -14,6 +14,9 @@
 //!   sync-coalescing pass of §3.4.2.
 //! * [`lang`] — a miniature SCOOP surface language (lexer, parser, checker,
 //!   lowering through the static pass, interpreter on the runtime).
+//! * [`deadlock`] — the live wait-for registry and detector behind the
+//!   runtime's `DeadlockPolicy` knob (queries, blocked bounded pushes,
+//!   serving commitments, reservation retries).
 //! * [`remote`] — serialized private queues over byte channels: the §7
 //!   "sockets as the underlying implementation" direction.
 //! * [`queues`], [`sync`], [`exec`] — the substrates the runtime is built on.
@@ -50,6 +53,7 @@
 
 pub use qs_baselines as baselines;
 pub use qs_compiler as compiler;
+pub use qs_deadlock as deadlock;
 pub use qs_exec as exec;
 pub use qs_lang as lang;
 pub use qs_queues as queues;
@@ -62,8 +66,9 @@ pub use qs_workloads as workloads;
 /// Convenience prelude exposing the most common runtime API items.
 pub mod prelude {
     pub use qs_runtime::{
-        reserve, GuardedReservation, Handler, MailboxFull, OptimizationLevel, QueryToken,
-        Reservation, ReservationSet, Runtime, RuntimeConfig, RuntimeStats, SchedulerMode, Separate,
-        WaitCondition, WaitConfig, WaitTimeout,
+        reserve, DeadlockEdgeKind, DeadlockPolicy, DeadlockReport, GuardedReservation, Handler,
+        MailboxError, MailboxFull, OptimizationLevel, QueryToken, Reservation, ReservationSet,
+        Runtime, RuntimeConfig, RuntimeStats, SchedulerMode, Separate, WaitCondition, WaitConfig,
+        WaitTimeout,
     };
 }

@@ -3,11 +3,18 @@
 //! ```text
 //! run_experiments [table1|table2|table4|table5|fig19|summary|all] [quick|standard|paper]
 //! run_experiments scheduler [smoke|quick|full]   # writes BENCH_scheduler.json
+//! run_experiments remote [smoke|quick|full]      # multi-process cluster sweep,
+//!                                                # writes BENCH_remote.json
+//! run_experiments remote-node <addr>             # internal: one cluster node process
 //! ```
 //!
 //! Results (who wins, by what factor) are machine-relative; EXPERIMENTS.md
 //! records a measured run next to the paper's reported numbers, and
 //! `BENCH_scheduler.json` a handler-count sweep of the M:N scheduler.
+
+use qs_bench::remote_sweep::{
+    remote_point, RemotePoint, REMOTE_CALLS_PER_USER, REMOTE_QUERIES_PER_USER,
+};
 
 use qs_bench::experiments::{
     backpressure_sweep, fig19_scalability, scheduler_sweep, table1_opt_parallel,
@@ -313,11 +320,130 @@ fn run_scheduler_sweep(scale: &str) {
     );
 }
 
+/// JSON for the distributed sweep (hand-rolled — the workspace is offline,
+/// no serde).
+fn remote_points_to_json(points: &[RemotePoint]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"remote_cluster_sweep\",\n");
+    out.push_str("  \"unit\": \"requests_per_sec\",\n");
+    out.push_str(
+        "  \"workload\": \"bank: one handler per user, per-user separate block of \
+         deposits + a verified balance query, sharded by consistent hashing\",\n",
+    );
+    out.push_str(&format!(
+        "  \"calls_per_user\": {REMOTE_CALLS_PER_USER},\n  \
+         \"queries_per_user\": {REMOTE_QUERIES_PER_USER},\n  \"points\": [\n"
+    ));
+    for (i, p) in points.iter().enumerate() {
+        let handlers: Vec<String> = p.per_node_handlers.iter().map(i64::to_string).collect();
+        out.push_str(&format!(
+            "    {{\"transport\": \"{}\", \"nodes\": {}, \"users\": {}, \
+             \"client_threads\": {}, \"blocks\": {}, \"calls\": {}, \"queries\": {}, \
+             \"elapsed_secs\": {:.6}, \"requests_per_sec\": {:.1}, \
+             \"per_node_handlers\": [{}]}}{}\n",
+            p.transport,
+            p.nodes,
+            p.users,
+            p.client_threads,
+            p.blocks,
+            p.calls,
+            p.queries,
+            p.elapsed.as_secs_f64(),
+            p.requests_per_sec,
+            handlers.join(", "),
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The `remote` mode: spawn real node processes, sweep users × nodes, write
+/// `BENCH_remote.json`.
+fn run_remote_sweep(scale: &str) {
+    // (transport, nodes, users) cells per tier.  TCP carries the scaling
+    // series; one Unix-socket cell per tier proves the second transport
+    // end-to-end.
+    let cells: &[(&'static str, usize, u64)] = match scale {
+        "smoke" => &[("tcp", 2, 2_000), ("unix", 2, 500)],
+        "quick" => &[("tcp", 1, 10_000), ("tcp", 2, 10_000), ("unix", 2, 2_000)],
+        _ => &[
+            ("tcp", 1, 20_000),
+            ("tcp", 2, 100_000),
+            ("tcp", 4, 100_000),
+            ("unix", 2, 10_000),
+        ],
+    };
+    let client_threads = qs_exec::default_parallelism().min(8);
+    let mut points = Vec::with_capacity(cells.len());
+    for &(transport, nodes, users) in cells {
+        let point = remote_point("remote-node", nodes, users, client_threads, transport)
+            .expect("remote sweep cell failed");
+        println!(
+            "remote: {transport} nodes={nodes} users={users} -> {:.0} req/s \
+             ({} blocks in {:.2}s, handlers per node {:?})",
+            point.requests_per_sec,
+            point.blocks,
+            point.elapsed.as_secs_f64(),
+            point.per_node_handlers,
+        );
+        points.push(point);
+    }
+    let rows: Vec<(String, Vec<String>)> = points
+        .iter()
+        .map(|p| {
+            (
+                format!("{} x{} nodes, {} users", p.transport, p.nodes, p.users),
+                vec![
+                    format!("{:.0}", p.requests_per_sec),
+                    format!("{:.2}", p.elapsed.as_secs_f64()),
+                    format!("{:?}", p.per_node_handlers),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Distributed SCOOP — users × nodes over real sockets (bank workload)",
+        &[
+            "cell".to_string(),
+            "req/s".to_string(),
+            "elapsed s".to_string(),
+            "handlers/node".to_string(),
+        ],
+        &rows,
+    );
+    let json = remote_points_to_json(&points);
+    let path = "BENCH_remote.json";
+    std::fs::write(path, json).expect("write BENCH_remote.json");
+    println!("wrote {path}");
+}
+
+/// The hidden `remote-node` mode: one cluster node process.  Prints
+/// `READY <addr>` once the listener is bound, then serves until the driver
+/// sends the `shutdown` control op.
+fn run_remote_node(listen: &str) {
+    use std::io::Write;
+    let addr = qs_remote::NodeAddr::parse(listen).expect("node listen address");
+    let server =
+        qs_cluster::NodeServer::start(qs_cluster::bank_service(), qs_cluster::NodeConfig::at(addr))
+            .expect("start cluster node");
+    println!("READY {}", server.addr());
+    std::io::stdout().flush().expect("flush READY line");
+    server.wait();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let what = args.get(1).map(String::as_str).unwrap_or("all");
     if what == "scheduler" {
         run_scheduler_sweep(args.get(2).map(String::as_str).unwrap_or("full"));
+        return;
+    }
+    if what == "remote" {
+        run_remote_sweep(args.get(2).map(String::as_str).unwrap_or("full"));
+        return;
+    }
+    if what == "remote-node" {
+        run_remote_node(args.get(2).expect("remote-node needs a listen address"));
         return;
     }
     let scale = Scale::parse(args.get(2).map(String::as_str).unwrap_or("quick"));

@@ -20,7 +20,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod remote_sweep;
 pub mod report;
 
 pub use experiments::{Scale, Series};
+pub use remote_sweep::{RemotePoint, REMOTE_CALLS_PER_USER, REMOTE_QUERIES_PER_USER};
 pub use report::{geometric_mean, print_table};

@@ -1,0 +1,240 @@
+//! The distributed sweep: users × nodes × req/s over real sockets.
+//!
+//! Spawns N genuine OS node processes (re-executing the current binary with
+//! a node subcommand), shards one bank account handler per simulated user
+//! across them by consistent hashing, and drives blocks from several client
+//! threads.  `run_experiments remote [smoke|quick|full]` renders the points
+//! and writes `BENCH_remote.json`; the example `bank_cluster` walks the
+//! same flow narratively.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qs_cluster::ClusterClient;
+use qs_remote::{NodeAddr, WireValue};
+
+/// Calls logged per user block in the sweep workload.
+pub const REMOTE_CALLS_PER_USER: u64 = 3;
+/// Queries per user block (the closing balance check).
+pub const REMOTE_QUERIES_PER_USER: u64 = 1;
+
+/// One measured cell of the users × nodes sweep.
+#[derive(Debug, Clone)]
+pub struct RemotePoint {
+    /// `"tcp"` (loopback) or `"unix"`.
+    pub transport: &'static str,
+    /// Number of node processes.
+    pub nodes: usize,
+    /// Number of simulated users (one handler each).
+    pub users: u64,
+    /// Concurrent driver threads.
+    pub client_threads: usize,
+    /// Asynchronous calls sent.
+    pub calls: u64,
+    /// Queries sent (each also a full round trip).
+    pub queries: u64,
+    /// Separate blocks opened.
+    pub blocks: u64,
+    /// Wall-clock time for the measured loop.
+    pub elapsed: Duration,
+    /// `(calls + queries) / elapsed`.
+    pub requests_per_sec: f64,
+    /// Handlers hosted per node at the end (placement balance evidence).
+    pub per_node_handlers: Vec<i64>,
+}
+
+/// A spawned node process; killed (then reaped) on drop so a panicking
+/// driver never leaks children.
+pub struct NodeProcess {
+    child: Child,
+    addr: NodeAddr,
+}
+
+impl NodeProcess {
+    /// The address the node reported with its `READY` line.
+    pub fn addr(&self) -> &NodeAddr {
+        &self.addr
+    }
+
+    /// Waits up to `timeout` for the process to exit, then kills it.
+    /// Returns whether it exited by itself.
+    pub fn wait_or_kill(mut self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return true,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20))
+                }
+                _ => {
+                    let _ = self.child.kill();
+                    let _ = self.child.wait();
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for NodeProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns one node process: re-executes the current binary as
+/// `<exe> <subcommand> <listen>` and waits for its `READY <addr>` line.
+/// The node protocol (for binaries providing such a subcommand): start a
+/// `NodeServer`, print `READY <bound addr>` on stdout, serve until told to
+/// shut down.
+pub fn spawn_node(subcommand: &str, listen: &str) -> std::io::Result<NodeProcess> {
+    let exe = std::env::current_exe()?;
+    let mut child = Command::new(exe)
+        .arg(subcommand)
+        .arg(listen)
+        .stdout(Stdio::piped())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("piped child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    match lines.next() {
+        Some(Ok(line)) if line.starts_with("READY ") => {
+            let addr = NodeAddr::parse(line.trim_start_matches("READY ").trim())
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            Ok(NodeProcess { child, addr })
+        }
+        other => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("node process did not report READY (got {other:?})"),
+            ))
+        }
+    }
+}
+
+/// Spawns `nodes` processes on the requested transport and configures every
+/// ring.  TCP nodes listen on ephemeral loopback ports; Unix nodes get
+/// per-process socket paths under the temp dir.
+pub fn spawn_cluster(
+    subcommand: &str,
+    nodes: usize,
+    transport: &str,
+) -> std::io::Result<(Vec<NodeProcess>, Vec<NodeAddr>)> {
+    let mut processes = Vec::with_capacity(nodes);
+    for i in 0..nodes {
+        let listen = match transport {
+            "unix" => format!(
+                "unix:{}",
+                std::env::temp_dir()
+                    .join(format!("qs-remote-sweep-{}-{i}.sock", std::process::id()))
+                    .display()
+            ),
+            _ => "tcp:127.0.0.1:0".to_string(),
+        };
+        processes.push(spawn_node(subcommand, &listen)?);
+    }
+    let addrs: Vec<NodeAddr> = processes.iter().map(|p| p.addr().clone()).collect();
+    let bootstrap =
+        ClusterClient::new("sweep-bootstrap", &[]).with_response_timeout(Duration::from_secs(30));
+    bootstrap
+        .set_ring(&addrs)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::ConnectionReset, e.to_string()))?;
+    Ok((processes, addrs))
+}
+
+/// Drives `users` bank users against an already-configured cluster and
+/// measures throughput.  Every user gets one separate block with
+/// [`REMOTE_CALLS_PER_USER`] deposits and a closing balance query whose
+/// value is asserted — correctness is checked on every block, not sampled.
+pub fn drive_users(
+    addrs: &[NodeAddr],
+    users: u64,
+    client_threads: usize,
+    transport: &'static str,
+) -> RemotePoint {
+    let threads = client_threads.max(1);
+    let addrs: Arc<Vec<NodeAddr>> = Arc::new(addrs.to_vec());
+    let started = Instant::now();
+    let mut joins = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let addrs = Arc::clone(&addrs);
+        joins.push(std::thread::spawn(move || {
+            let client = ClusterClient::new(&format!("sweep-driver-{t}"), &addrs)
+                .with_response_timeout(Duration::from_secs(60));
+            let mut user = t as u64;
+            let mut served = 0u64;
+            while user < users {
+                let balance = client
+                    .separate(user, |s| {
+                        for _ in 0..REMOTE_CALLS_PER_USER {
+                            s.call("deposit", vec![WireValue::Int(1)]).unwrap();
+                        }
+                        s.query("balance", vec![]).unwrap()
+                    })
+                    .unwrap_or_else(|e| panic!("user {user}: {e}"));
+                assert_eq!(
+                    balance,
+                    WireValue::Int(REMOTE_CALLS_PER_USER as i64),
+                    "user {user} balance corrupted"
+                );
+                served += 1;
+                user += threads as u64;
+            }
+            served
+        }));
+    }
+    let blocks: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+    let elapsed = started.elapsed();
+    assert_eq!(blocks, users, "every user must be served exactly once");
+
+    let calls = blocks * REMOTE_CALLS_PER_USER;
+    let queries = blocks * REMOTE_QUERIES_PER_USER;
+    let control =
+        ClusterClient::new("sweep-control", &addrs).with_response_timeout(Duration::from_secs(30));
+    let per_node_handlers: Vec<i64> = addrs
+        .iter()
+        .map(|a| {
+            control
+                .control(&a.to_string(), "handlers", vec![])
+                .ok()
+                .and_then(|v| v.as_int().ok())
+                .unwrap_or(-1)
+        })
+        .collect();
+
+    RemotePoint {
+        transport,
+        nodes: addrs.len(),
+        users,
+        client_threads: threads,
+        calls,
+        queries,
+        blocks,
+        elapsed,
+        requests_per_sec: (calls + queries) as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+        per_node_handlers,
+    }
+}
+
+/// Runs one full sweep cell: spawn, drive, shut down, reap.
+pub fn remote_point(
+    subcommand: &str,
+    nodes: usize,
+    users: u64,
+    client_threads: usize,
+    transport: &'static str,
+) -> std::io::Result<RemotePoint> {
+    let (processes, addrs) = spawn_cluster(subcommand, nodes, transport)?;
+    let point = drive_users(&addrs, users, client_threads, transport);
+    let shutdown =
+        ClusterClient::new("sweep-shutdown", &addrs).with_response_timeout(Duration::from_secs(10));
+    shutdown.shutdown_cluster();
+    for process in processes {
+        process.wait_or_kill(Duration::from_secs(10));
+    }
+    Ok(point)
+}

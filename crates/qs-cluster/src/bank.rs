@@ -1,0 +1,96 @@
+//! The demo/benchmark service: a bank where every user is a handler.
+//!
+//! One account per user, sharded across nodes by user id.  Used by
+//! `examples/bank_cluster.rs` and the `run_experiments remote` sweep, and
+//! deliberately tiny: the point is the routing/transport stack around it,
+//! not the service.  Per-user handlers are exactly the pooled scheduler's
+//! home turf — tens of thousands of mostly idle accounts per node cost a
+//! couple of worker threads (PR 3).
+
+use qs_remote::{MethodRegistry, WireValue};
+
+use crate::server::ClusterService;
+
+/// One user's account state.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Account {
+    /// Current balance (starts at zero).
+    pub balance: i64,
+    /// Number of operations applied (deposits, withdrawals and balance
+    /// queries).
+    pub ops: u64,
+}
+
+/// The account methods.
+pub fn bank_registry() -> MethodRegistry<Account> {
+    MethodRegistry::new()
+        .with("deposit", |account: &mut Account, args| {
+            let amount = args.first().ok_or("deposit needs an amount")?.as_int()?;
+            if amount < 0 {
+                return Err("deposit amount must be non-negative".to_string());
+            }
+            account.balance += amount;
+            account.ops += 1;
+            Ok(WireValue::Unit)
+        })
+        .with("withdraw", |account: &mut Account, args| {
+            let amount = args.first().ok_or("withdraw needs an amount")?.as_int()?;
+            if amount < 0 {
+                return Err("withdraw amount must be non-negative".to_string());
+            }
+            if amount > account.balance {
+                return Err(format!(
+                    "insufficient funds: balance {}, requested {amount}",
+                    account.balance
+                ));
+            }
+            account.balance -= amount;
+            account.ops += 1;
+            Ok(WireValue::Unit)
+        })
+        .with("balance", |account: &mut Account, _| {
+            account.ops += 1;
+            Ok(WireValue::Int(account.balance))
+        })
+        .with("ops", |account: &mut Account, _| {
+            Ok(WireValue::Int(account.ops as i64))
+        })
+}
+
+/// The bank as a cluster service (fresh zero-balance account per user).
+pub fn bank_service() -> ClusterService<Account> {
+    ClusterService::new("bank", bank_registry(), |_user| Account::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposits_withdrawals_and_guards() {
+        let registry = bank_registry();
+        let mut account = Account::default();
+        registry
+            .dispatch(&mut account, "deposit", &[WireValue::Int(100)])
+            .unwrap();
+        registry
+            .dispatch(&mut account, "withdraw", &[WireValue::Int(30)])
+            .unwrap();
+        assert_eq!(
+            registry.dispatch(&mut account, "balance", &[]).unwrap(),
+            WireValue::Int(70)
+        );
+        let overdraft = registry
+            .dispatch(&mut account, "withdraw", &[WireValue::Int(1000)])
+            .unwrap_err();
+        assert!(overdraft.contains("insufficient funds"));
+        assert!(registry
+            .dispatch(&mut account, "deposit", &[WireValue::Int(-5)])
+            .is_err());
+        assert_eq!(
+            registry.dispatch(&mut account, "ops", &[]).unwrap(),
+            WireValue::Int(3),
+            "failed operations do not count"
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! The client side: consistent-hash routing plus pooled connections.
+//!
+//! A [`ClusterClient`] holds the same [`HashRing`] as the nodes and routes
+//! every separate block to the node owning the target handler.  Connections
+//! are dialled lazily, kept in a small per-node pool, and multiplexed: one
+//! connection carries many blocks in sequence (`Open … End`, then the next
+//! `Open`).  A connection whose block failed — timeout, disconnect,
+//! malformed or refused response — is dropped instead of returned to the
+//! pool, because a timed-out socket stream may be desynchronised
+//! ([`RemoteSeparate::is_failed`]).
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use qs_remote::transport::NodeAddr;
+use qs_remote::wire::{Frame, WireValue, WIRE_VERSION};
+use qs_remote::{ByteReceiver, ByteSender, RecvError, RemoteError, RemoteSeparate};
+
+use crate::ring::HashRing;
+
+/// How many idle connections the client keeps per node.
+const POOLED_PER_NODE: usize = 4;
+
+struct Conn {
+    requests: ByteSender,
+    responses: ByteReceiver,
+}
+
+/// A routing client for a cluster service.
+pub struct ClusterClient {
+    client: String,
+    ring: Mutex<HashRing>,
+    pool: Mutex<HashMap<String, Vec<Conn>>>,
+    response_timeout: Option<Duration>,
+}
+
+impl ClusterClient {
+    /// Creates a client routing across `nodes` (dialled lazily).
+    pub fn new(client: &str, nodes: &[NodeAddr]) -> ClusterClient {
+        ClusterClient {
+            client: client.to_string(),
+            ring: Mutex::new(HashRing::with_nodes(nodes.iter().map(|n| n.to_string()))),
+            pool: Mutex::new(HashMap::new()),
+            response_timeout: None,
+        }
+    }
+
+    /// Bounds every response wait (query/sync/control), so a dead node
+    /// surfaces [`RemoteError::Timeout`] instead of hanging the client.
+    pub fn with_response_timeout(mut self, timeout: Duration) -> ClusterClient {
+        self.response_timeout = Some(timeout);
+        self
+    }
+
+    /// The node currently owning `handler`.
+    pub fn route(&self, handler: u64) -> Option<String> {
+        self.ring.lock().route(handler).map(str::to_string)
+    }
+
+    /// The member nodes, sorted.
+    pub fn nodes(&self) -> Vec<String> {
+        self.ring
+            .lock()
+            .nodes()
+            .iter()
+            .map(|n| n.to_string())
+            .collect()
+    }
+
+    fn checkout(&self, node: &str) -> Option<Conn> {
+        self.pool.lock().get_mut(node)?.pop()
+    }
+
+    fn give_back(&self, node: &str, conn: Conn) {
+        let mut pool = self.pool.lock();
+        let conns = pool.entry(node.to_string()).or_default();
+        if conns.len() < POOLED_PER_NODE {
+            conns.push(conn);
+        }
+    }
+
+    fn dial(&self, node: &str) -> Result<Conn, RemoteError> {
+        let addr = NodeAddr::parse(node).map_err(RemoteError::Protocol)?;
+        let (requests, responses) = addr.connect().map_err(|_| RemoteError::Disconnected)?;
+        requests
+            .send_frame(&Frame::Hello {
+                version: WIRE_VERSION,
+                client: self.client.clone(),
+            })
+            .map_err(|_| RemoteError::Disconnected)?;
+        Ok(Conn {
+            requests,
+            responses,
+        })
+    }
+
+    /// A connection to `node` with the `Open{handler}` (or none for
+    /// controls) already sent: a pooled connection whose first send
+    /// succeeds, else one fresh dial.  The single retry absorbs pooled
+    /// connections that died while idle.
+    fn conn_with_prologue(
+        &self,
+        node: &str,
+        prologue: Option<&Frame>,
+    ) -> Result<Conn, RemoteError> {
+        if let Some(conn) = self.checkout(node) {
+            match prologue {
+                Some(frame) if conn.requests.send_frame(frame).is_err() => {}
+                _ => return Ok(conn),
+            }
+        }
+        let conn = self.dial(node)?;
+        if let Some(frame) = prologue {
+            conn.requests
+                .send_frame(frame)
+                .map_err(|_| RemoteError::Disconnected)?;
+        }
+        Ok(conn)
+    }
+
+    /// Opens a separate block against `handler`, routed to its owning node.
+    pub fn separate<R>(
+        &self,
+        handler: u64,
+        body: impl FnOnce(&mut RemoteSeparate) -> R,
+    ) -> Result<R, RemoteError> {
+        let node = self
+            .route(handler)
+            .ok_or_else(|| RemoteError::Protocol("cluster has no nodes".to_string()))?;
+        let conn = self.conn_with_prologue(&node, Some(&Frame::Open { handler }))?;
+        let mut guard = RemoteSeparate::over(
+            conn.requests.clone(),
+            conn.responses.clone(),
+            self.response_timeout,
+        );
+        let result = body(&mut guard);
+        guard.end();
+        if !guard.is_failed() {
+            self.give_back(&node, conn);
+        }
+        Ok(result)
+    }
+
+    /// Fire-and-forget convenience: one asynchronous call in its own block.
+    pub fn call(
+        &self,
+        handler: u64,
+        method: &str,
+        args: Vec<WireValue>,
+    ) -> Result<(), RemoteError> {
+        self.separate(handler, |s| s.call(method, args))?
+    }
+
+    /// Convenience: one query in its own block.
+    pub fn query(
+        &self,
+        handler: u64,
+        method: &str,
+        args: Vec<WireValue>,
+    ) -> Result<WireValue, RemoteError> {
+        self.separate(handler, |s| s.query(method, args))?
+    }
+
+    /// Sends one management operation to `node` and awaits its result.
+    pub fn control(
+        &self,
+        node: &str,
+        op: &str,
+        args: Vec<WireValue>,
+    ) -> Result<WireValue, RemoteError> {
+        let conn = self.conn_with_prologue(
+            node,
+            Some(&Frame::Control {
+                op: op.to_string(),
+                args,
+            }),
+        )?;
+        match conn.responses.recv_frame_timeout(self.response_timeout) {
+            Ok(Frame::ControlResult { result }) => {
+                // A node answering `shutdown` closes the connection next;
+                // pooling it would hand a dead connection to the next block.
+                if op != "shutdown" {
+                    self.give_back(node, conn);
+                }
+                result.map_err(RemoteError::Application)
+            }
+            Ok(Frame::Nack { message }) => Err(RemoteError::Protocol(message)),
+            Ok(other) => Err(RemoteError::Protocol(format!(
+                "expected ControlResult, received {other:?}"
+            ))),
+            Err(RecvError::TimedOut) => Err(RemoteError::Timeout),
+            Err(_) => Err(RemoteError::Disconnected),
+        }
+    }
+
+    /// Distributes the full ring membership: updates the local ring and
+    /// sends the `ring` control op to every member, so client and nodes
+    /// agree on placement.  This is the bootstrap step after every node
+    /// process has reported its bound address.
+    pub fn set_ring(&self, nodes: &[NodeAddr]) -> Result<(), RemoteError> {
+        let members: Vec<String> = nodes.iter().map(|n| n.to_string()).collect();
+        *self.ring.lock() = HashRing::with_nodes(&members);
+        let args: Vec<WireValue> = members.iter().map(|m| WireValue::Str(m.clone())).collect();
+        for member in &members {
+            self.control(member, "ring", args.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Adds a node: tells every current member (and the newcomer) about the
+    /// join, then updates the local ring.
+    pub fn add_node(&self, node: &NodeAddr) -> Result<(), RemoteError> {
+        let name = node.to_string();
+        let mut members = self.nodes();
+        if !members.contains(&name) {
+            members.push(name.clone());
+        }
+        for member in &members {
+            if member == &name {
+                // The newcomer gets the whole membership, not just itself.
+                let args = members.iter().map(|m| WireValue::Str(m.clone())).collect();
+                self.control(member, "ring", args)?;
+            } else {
+                self.control(member, "join", vec![WireValue::Str(name.clone())])?;
+            }
+        }
+        self.ring.lock().add(&name);
+        Ok(())
+    }
+
+    /// Removes a node from the ring (remaining members are told; the node
+    /// itself may already be dead, which is fine).
+    pub fn remove_node(&self, node: &NodeAddr) -> Result<(), RemoteError> {
+        let name = node.to_string();
+        self.ring.lock().remove(&name);
+        self.pool.lock().remove(&name);
+        for member in self.nodes() {
+            self.control(&member, "leave", vec![WireValue::Str(name.clone())])?;
+        }
+        Ok(())
+    }
+
+    /// Sends `shutdown` to every member node (best-effort: nodes that are
+    /// already gone are skipped).
+    pub fn shutdown_cluster(&self) {
+        for member in self.nodes() {
+            let _ = self.control(&member, "shutdown", vec![]);
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterClient")
+            .field("client", &self.client)
+            .field("nodes", &self.nodes())
+            .finish()
+    }
+}

@@ -1,0 +1,54 @@
+//! # qs-cluster — multi-node SCOOP/Qs over real sockets
+//!
+//! The distributed layer the paper's §7 points at: private queues carried by
+//! sockets, handlers sharded across node *processes*.  `qs-remote` provides
+//! the substrate (frames, socket transport, block guards); this crate adds
+//! what a multi-node service needs on top:
+//!
+//! * [`ring`] — consistent-hash placement: `handler id → node`, with
+//!   virtual nodes for balance and minimal movement on join/leave;
+//! * [`server`] — the node process: a socket front-end over a pooled
+//!   [`qs_runtime::Runtime`], hosting one runtime handler per service
+//!   handler id (spawned lazily), multiplexing any number of separate
+//!   blocks per connection and Nack-ing blocks for handlers it does not
+//!   own;
+//! * [`client`] — the routing client: same ring, pooled connections,
+//!   bounded response waits so dead nodes surface
+//!   [`qs_remote::RemoteError::Timeout`] instead of hanging;
+//! * [`bank`] — the demo service (one account handler per user) used by
+//!   `examples/bank_cluster.rs` and the `run_experiments remote` sweep.
+//!
+//! ## Example (in-process, two nodes)
+//!
+//! ```
+//! use qs_cluster::{bank_service, ClusterClient, NodeConfig, NodeServer};
+//! use qs_remote::{NodeAddr, WireValue};
+//!
+//! let a = NodeServer::start(bank_service(), NodeConfig::at(NodeAddr::parse("tcp:127.0.0.1:0").unwrap())).unwrap();
+//! let b = NodeServer::start(bank_service(), NodeConfig::at(NodeAddr::parse("tcp:127.0.0.1:0").unwrap())).unwrap();
+//! let client = ClusterClient::new("quickstart", &[]);
+//! client.set_ring(&[a.addr().clone(), b.addr().clone()]).unwrap();
+//! for user in 0..100u64 {
+//!     client.separate(user, |s| {
+//!         s.call("deposit", vec![WireValue::Int(user as i64)]).unwrap();
+//!         assert_eq!(s.query("balance", vec![]).unwrap(), WireValue::Int(user as i64));
+//!     }).unwrap();
+//! }
+//! client.shutdown_cluster();
+//! ```
+//!
+//! The same protocol runs across OS processes — see
+//! `examples/bank_cluster.rs`, which spawns N node processes and drives
+//! them over loopback TCP and Unix sockets.
+
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod client;
+pub mod ring;
+pub mod server;
+
+pub use bank::{bank_registry, bank_service, Account};
+pub use client::ClusterClient;
+pub use ring::HashRing;
+pub use server::{ClusterService, NodeConfig, NodeServer};

@@ -1,0 +1,210 @@
+//! End-to-end cluster tests: several in-process node servers over real
+//! loopback sockets, one routing client.  (The multi-OS-process variant of
+//! the same flow lives in `examples/bank_cluster.rs` and CI's cluster smoke
+//! job; here the nodes share the test process so failures carry stack
+//! traces.)
+
+use std::time::Duration;
+
+use qs_cluster::{bank_service, ClusterClient, NodeConfig, NodeServer};
+use qs_remote::{NodeAddr, RemoteError, WireValue};
+
+fn tcp_node() -> NodeServer<qs_cluster::Account> {
+    NodeServer::start(
+        bank_service(),
+        NodeConfig::at(NodeAddr::parse("tcp:127.0.0.1:0").unwrap()),
+    )
+    .unwrap()
+}
+
+fn unix_node(tag: &str) -> NodeServer<qs_cluster::Account> {
+    let path = std::env::temp_dir().join(format!("qs-cluster-{tag}-{}.sock", std::process::id()));
+    NodeServer::start(bank_service(), NodeConfig::at(NodeAddr::Unix(path))).unwrap()
+}
+
+#[test]
+fn users_shard_across_nodes_and_balances_are_exact() {
+    let nodes = [tcp_node(), tcp_node(), tcp_node()];
+    let addrs: Vec<NodeAddr> = nodes.iter().map(|n| n.addr().clone()).collect();
+    let client =
+        ClusterClient::new("sharding-test", &[]).with_response_timeout(Duration::from_secs(10));
+    client.set_ring(&addrs).unwrap();
+
+    let users = 300u64;
+    for user in 0..users {
+        client
+            .separate(user, |s| {
+                s.call("deposit", vec![WireValue::Int(10)]).unwrap();
+                s.call("deposit", vec![WireValue::Int(user as i64)])
+                    .unwrap();
+                s.call("withdraw", vec![WireValue::Int(5)]).unwrap();
+            })
+            .unwrap();
+    }
+    for user in 0..users {
+        let balance = client.query(user, "balance", vec![]).unwrap();
+        assert_eq!(balance, WireValue::Int(5 + user as i64), "user {user}");
+    }
+
+    // Every node must actually host a share of the users.
+    for node in &nodes {
+        let hosted = node.handlers_live();
+        assert!(
+            hosted > users as usize / 10,
+            "node {} hosts only {hosted} of {users} users",
+            node.name()
+        );
+    }
+    client.shutdown_cluster();
+}
+
+#[test]
+fn unix_and_tcp_nodes_mix_in_one_ring() {
+    let a = tcp_node();
+    let b = unix_node("mixed");
+    let client =
+        ClusterClient::new("mixed-transport", &[]).with_response_timeout(Duration::from_secs(10));
+    client
+        .set_ring(&[a.addr().clone(), b.addr().clone()])
+        .unwrap();
+
+    let mut unix_routed = 0;
+    for user in 0..100u64 {
+        client
+            .separate(user, |s| {
+                s.call("deposit", vec![WireValue::Int(7)]).unwrap();
+                assert_eq!(s.query("balance", vec![]).unwrap(), WireValue::Int(7));
+            })
+            .unwrap();
+        if client.route(user).unwrap().starts_with("unix:") {
+            unix_routed += 1;
+        }
+    }
+    assert!(unix_routed > 0, "no user routed over the Unix socket");
+    assert!(unix_routed < 100, "no user routed over TCP");
+    client.shutdown_cluster();
+}
+
+#[test]
+fn pings_and_stats_report_per_node_activity() {
+    let node = tcp_node();
+    let name = node.name().to_string();
+    let client = ClusterClient::new("控制", &[node.addr().clone()]);
+    let pong = client.control(&name, "ping", vec![]).unwrap();
+    assert_eq!(pong, WireValue::Str(format!("bank@{name}")));
+
+    client.query(1, "balance", vec![]).unwrap();
+    client.query(2, "balance", vec![]).unwrap();
+    let stats = client.control(&name, "stats", vec![]).unwrap();
+    let rendered = format!("{stats:?}");
+    assert!(rendered.contains("blocks"), "{rendered}");
+    assert_eq!(
+        client.control(&name, "handlers", vec![]).unwrap(),
+        WireValue::Int(2)
+    );
+    let err = client.control(&name, "no-such-op", vec![]).unwrap_err();
+    assert!(matches!(err, RemoteError::Application(_)));
+    client.shutdown_cluster();
+}
+
+#[test]
+fn misrouted_blocks_are_refused_loudly() {
+    let a = tcp_node();
+    let b = tcp_node();
+    let addrs = [a.addr().clone(), b.addr().clone()];
+    let cluster = ClusterClient::new("router", &[]).with_response_timeout(Duration::from_secs(10));
+    cluster.set_ring(&addrs).unwrap();
+
+    // A client whose ring only knows node `a` sends every block there; the
+    // users owned by `b` must be refused, not silently absorbed into the
+    // wrong shard.
+    let confused =
+        ClusterClient::new("confused", &addrs[..1]).with_response_timeout(Duration::from_secs(10));
+    let stray = (0..u64::MAX)
+        .find(|u| cluster.route(*u).unwrap() != a.addr().to_string())
+        .unwrap();
+    let err = confused.query(stray, "balance", vec![]).unwrap_err();
+    match err {
+        RemoteError::Protocol(message) => {
+            assert!(message.contains("block refused"), "{message}")
+        }
+        other => panic!("expected a refusal, got {other:?}"),
+    }
+    // The correctly routed client is untouched by the stray attempt.
+    assert_eq!(
+        cluster.query(stray, "balance", vec![]).unwrap(),
+        WireValue::Int(0)
+    );
+    cluster.shutdown_cluster();
+}
+
+#[test]
+fn a_dead_node_surfaces_an_error_not_a_hang() {
+    let a = tcp_node();
+    let b = tcp_node();
+    let client =
+        ClusterClient::new("mourner", &[]).with_response_timeout(Duration::from_millis(500));
+    client
+        .set_ring(&[a.addr().clone(), b.addr().clone()])
+        .unwrap();
+
+    let on_b = (0..u64::MAX)
+        .find(|u| client.route(*u).unwrap() == b.addr().to_string())
+        .unwrap();
+    client.query(on_b, "balance", vec![]).unwrap();
+
+    b.shutdown();
+    // The pooled connection died with the node and fresh dials are refused:
+    // the client must fail fast, with one of the peer-death errors.
+    let err = client.query(on_b, "balance", vec![]).unwrap_err();
+    assert!(
+        matches!(err, RemoteError::Disconnected | RemoteError::Timeout),
+        "unexpected error for a dead node: {err:?}"
+    );
+    // Other shards keep working.
+    let on_a = (0..u64::MAX)
+        .find(|u| client.route(*u).unwrap() == a.addr().to_string())
+        .unwrap();
+    client.query(on_a, "balance", vec![]).unwrap();
+    client.shutdown_cluster();
+}
+
+#[test]
+fn nodes_join_and_leave_the_ring() {
+    let a = tcp_node();
+    let b = tcp_node();
+    let client =
+        ClusterClient::new("membership", &[]).with_response_timeout(Duration::from_secs(10));
+    client
+        .set_ring(&[a.addr().clone(), b.addr().clone()])
+        .unwrap();
+
+    // A third node joins; every member learns the new membership, so all
+    // traffic keeps flowing without refusals.
+    let c = tcp_node();
+    client.add_node(c.addr()).unwrap();
+    assert_eq!(client.nodes().len(), 3);
+    for user in 1000..1200u64 {
+        client
+            .separate(user, |s| {
+                s.call("deposit", vec![WireValue::Int(1)]).unwrap();
+                assert_eq!(s.query("balance", vec![]).unwrap(), WireValue::Int(1));
+            })
+            .unwrap();
+    }
+    assert!(
+        c.handlers_live() > 0,
+        "the joined node received no handlers"
+    );
+
+    // It leaves again; its handlers are re-routed to survivors (state is
+    // not migrated — accounts restart fresh, which is the documented
+    // non-goal) and traffic still flows.
+    client.remove_node(c.addr()).unwrap();
+    c.shutdown();
+    assert_eq!(client.nodes().len(), 2);
+    for user in 1000..1200u64 {
+        client.query(user, "balance", vec![]).unwrap();
+    }
+    client.shutdown_cluster();
+}

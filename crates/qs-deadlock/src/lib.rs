@@ -11,11 +11,10 @@
 //! * the runtime's blocking edges — a client parked in a query handoff, a
 //!   producer blocked pushing into a full bounded mailbox, a handler parked
 //!   on a client's open private queue, a reservation retrying a wait
-//!   condition — register themselves in a [`WaitRegistry`] for exactly the
-//!   duration of the wait (RAII: dropping the [`EdgeGuard`] removes the
-//!   edge; one site is not yet instrumented: acquiring the pre-Qs
-//!   lock-based configuration's handler lock itself, a ROADMAP follow-up —
-//!   its bounded request-queue pushes *are* tracked);
+//!   condition, a client blocked acquiring the pre-Qs lock-based
+//!   configuration's handler lock — register themselves in a
+//!   [`WaitRegistry`] for exactly the duration of the wait (RAII: dropping
+//!   the [`EdgeGuard`] removes the edge);
 //! * a [`DeadlockMonitor`] thread periodically runs cycle detection over the
 //!   registry (incrementally: scans are skipped while the edge set is
 //!   unchanged and nothing is pending confirmation) and emits a
@@ -105,6 +104,10 @@ pub enum EdgeKind {
     /// private queue: it cannot serve any other client until the owner logs
     /// more requests or ends its separate block.
     Serving,
+    /// The waiter is blocked acquiring the owner's handler lock (the pre-Qs
+    /// lock-based configuration holds it for a whole separate block, so
+    /// nested blocks taken in opposite orders form a classic lock cycle).
+    HandlerLock,
 }
 
 impl EdgeKind {
@@ -115,12 +118,14 @@ impl EdgeKind {
             EdgeKind::MailboxPush => "mailbox-push",
             EdgeKind::ReserveWait => "reserve-wait",
             EdgeKind::Serving => "serving",
+            EdgeKind::HandlerLock => "handler-lock",
         }
     }
 
     /// Whether the `Break` policy can fail this edge's wait.  Only blocked
-    /// bounded pushes poll their break token; query handoffs and reservation
-    /// retries cannot be failed without corrupting their protocol.
+    /// bounded pushes poll their break token; query handoffs, reservation
+    /// retries and mutex acquisitions cannot be failed without corrupting
+    /// their protocol.
     pub fn breakable(self) -> bool {
         matches!(self, EdgeKind::MailboxPush)
     }

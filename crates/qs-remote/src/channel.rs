@@ -1,25 +1,36 @@
-//! The byte-channel substrate standing in for a socket pair.
+//! The byte-stream substrate private queues are serialized over.
 //!
-//! The paper's §7 proposes sockets as the carrier for private queues; this
-//! repository has no network, so the carrier is an in-process byte stream
-//! with the same interface a socket would give the runtime: ordered bytes,
-//! blocking reads, half-close, and (optionally) injected per-flush latency so
-//! wide-area behaviour can be studied on one machine.
+//! The paper's §7 proposes sockets as the carrier for private queues.  Two
+//! substrates implement the same [`ByteSender`]/[`ByteReceiver`] surface, so
+//! the node/proxy machinery in [`crate::node`] works unchanged over either:
+//!
+//! * **in-process byte channels** ([`byte_channel`]) — ordered bytes,
+//!   blocking reads, half-close, and (optionally) injected per-flush latency
+//!   and bounded send buffers so wide-area behaviour can be studied on one
+//!   machine without a network;
+//! * **real sockets** ([`crate::transport`]) — TCP and Unix-domain streams,
+//!   for genuinely multi-process deployments (`qs-cluster`).
 //!
 //! On top of the raw byte stream, [`ByteSender::send_frame`] /
 //! [`ByteReceiver::recv_frame`] speak the length-prefixed format of
 //! [`crate::wire`].
+//!
+//! Both halves are cheaply cloneable handles: the underlying stream closes
+//! when the *last* clone of a half is dropped (or eagerly via
+//! [`ByteSender::close`]).  This is what lets a persistent cluster
+//! connection lend its halves to one separate block after another.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 
+use crate::transport::{StreamRx, StreamTx};
 use crate::wire::{decode_frame, encode_frame, DecodeError, Frame};
 
-/// Configuration of a byte channel.
+/// Configuration of an in-process byte channel.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ChannelConfig {
     /// Latency added to every frame flush (simulated network delay).
@@ -27,6 +38,12 @@ pub struct ChannelConfig {
     /// Maximum number of buffered bytes before senders block (simulated
     /// socket send-buffer); `None` means unbounded.
     pub capacity: Option<usize>,
+    /// How long a client waits for a query/sync/control response before
+    /// surfacing a timeout instead of blocking forever (`None` = wait
+    /// forever, the historical behaviour).  Applies to both substrates; on
+    /// sockets this is what turns a silently dead peer into a
+    /// [`crate::RemoteError::Timeout`].
+    pub response_timeout: Option<Duration>,
 }
 
 impl ChannelConfig {
@@ -41,6 +58,12 @@ impl ChannelConfig {
             latency: Some(latency),
             ..Default::default()
         }
+    }
+
+    /// Sets the response timeout (builder form).
+    pub fn with_response_timeout(mut self, timeout: Duration) -> Self {
+        self.response_timeout = Some(timeout);
+        self
     }
 }
 
@@ -57,17 +80,42 @@ struct Shared {
     config: ChannelConfig,
 }
 
-/// The sending half of a byte channel.
+/// The channel-backed sending half; closes the stream when dropped.
+struct ChannelTx {
+    shared: Arc<Shared>,
+}
+
+/// The channel-backed receiving half; closes the stream when dropped (which
+/// unblocks a sender waiting on capacity, mirroring a socket reset).
+struct ChannelRx {
+    shared: Arc<Shared>,
+}
+
+#[derive(Clone)]
+enum SenderInner {
+    Channel(Arc<ChannelTx>),
+    Stream(Arc<StreamTx>),
+}
+
+#[derive(Clone)]
+enum ReceiverInner {
+    Channel(Arc<ChannelRx>),
+    Stream(Arc<StreamRx>),
+}
+
+/// The sending half of a byte stream (in-process channel or socket).
+#[derive(Clone)]
 pub struct ByteSender {
-    shared: Arc<Shared>,
+    inner: SenderInner,
 }
 
-/// The receiving half of a byte channel.
+/// The receiving half of a byte stream (in-process channel or socket).
+#[derive(Clone)]
 pub struct ByteReceiver {
-    shared: Arc<Shared>,
+    inner: ReceiverInner,
 }
 
-/// Creates a connected sender/receiver pair.
+/// Creates a connected in-process sender/receiver pair.
 pub fn byte_channel(config: ChannelConfig) -> (ByteSender, ByteReceiver) {
     let shared = Arc::new(Shared {
         stream: Mutex::new(Stream::default()),
@@ -77,9 +125,26 @@ pub fn byte_channel(config: ChannelConfig) -> (ByteSender, ByteReceiver) {
     });
     (
         ByteSender {
-            shared: Arc::clone(&shared),
+            inner: SenderInner::Channel(Arc::new(ChannelTx {
+                shared: Arc::clone(&shared),
+            })),
         },
-        ByteReceiver { shared },
+        ByteReceiver {
+            inner: ReceiverInner::Channel(Arc::new(ChannelRx { shared })),
+        },
+    )
+}
+
+/// Wraps the halves of an already-connected socket (used by
+/// [`crate::transport`]).
+pub(crate) fn stream_halves(tx: StreamTx, rx: StreamRx) -> (ByteSender, ByteReceiver) {
+    (
+        ByteSender {
+            inner: SenderInner::Stream(Arc::new(tx)),
+        },
+        ByteReceiver {
+            inner: ReceiverInner::Stream(Arc::new(rx)),
+        },
     )
 }
 
@@ -98,10 +163,16 @@ impl std::error::Error for ChannelClosed {}
 /// Errors surfaced by [`ByteReceiver::recv_frame`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RecvError {
-    /// The peer closed the channel (clean end of stream).
+    /// The peer closed the channel (clean end of stream), or the underlying
+    /// socket reported a connection error.
     Closed,
     /// The stream carried bytes that do not decode as a frame.
     Malformed(DecodeError),
+    /// No complete frame arrived within the caller's deadline
+    /// ([`ByteReceiver::recv_frame_timeout`]).  On a socket the stream may
+    /// have desynchronised (a partially read frame stays consumed), so the
+    /// connection should be abandoned after a timeout.
+    TimedOut,
 }
 
 impl std::fmt::Display for RecvError {
@@ -109,16 +180,15 @@ impl std::fmt::Display for RecvError {
         match self {
             RecvError::Closed => f.write_str("byte channel closed"),
             RecvError::Malformed(e) => write!(f, "{e}"),
+            RecvError::TimedOut => f.write_str("timed out waiting for a frame"),
         }
     }
 }
 
 impl std::error::Error for RecvError {}
 
-impl ByteSender {
-    /// Appends raw bytes to the stream, blocking while the peer's buffer is
-    /// full (when a capacity was configured).
-    pub fn send_bytes(&self, bytes: &[u8]) -> Result<(), ChannelClosed> {
+impl ChannelTx {
+    fn send_bytes(&self, bytes: &[u8]) -> Result<(), ChannelClosed> {
         if let Some(latency) = self.shared.config.latency {
             std::thread::sleep(latency);
         }
@@ -144,14 +214,7 @@ impl ByteSender {
         Ok(())
     }
 
-    /// Encodes and sends one frame.
-    pub fn send_frame(&self, frame: &Frame) -> Result<(), ChannelClosed> {
-        let encoded: Bytes = encode_frame(frame);
-        self.send_bytes(&encoded)
-    }
-
-    /// Closes the channel; the receiver sees end-of-stream after draining.
-    pub fn close(&self) {
+    fn close(&self) {
         let mut stream = self.shared.stream.lock();
         stream.closed = true;
         drop(stream);
@@ -160,16 +223,57 @@ impl ByteSender {
     }
 }
 
-impl Drop for ByteSender {
+impl Drop for ChannelTx {
     fn drop(&mut self) {
         self.close();
     }
 }
 
-impl ByteReceiver {
-    /// Blocks until exactly `n` bytes are available and returns them, or
-    /// reports closure if the stream ends first.
-    pub fn recv_exact(&self, n: usize) -> Result<Vec<u8>, ChannelClosed> {
+impl ByteSender {
+    /// Appends raw bytes to the stream, blocking while the peer's buffer is
+    /// full (in-process channels with a configured capacity) or while the
+    /// socket's send buffer is full (sockets — the kernel's backpressure).
+    pub fn send_bytes(&self, bytes: &[u8]) -> Result<(), ChannelClosed> {
+        match &self.inner {
+            SenderInner::Channel(tx) => tx.send_bytes(bytes),
+            SenderInner::Stream(tx) => tx.write_bytes(bytes),
+        }
+    }
+
+    /// Encodes and sends one frame.
+    pub fn send_frame(&self, frame: &Frame) -> Result<(), ChannelClosed> {
+        let encoded: Bytes = encode_frame(frame);
+        self.send_bytes(&encoded)
+    }
+
+    /// Closes the sending direction; the receiver sees end-of-stream after
+    /// draining.  Also happens automatically when the last clone of this
+    /// half is dropped.
+    pub fn close(&self) {
+        match &self.inner {
+            SenderInner::Channel(tx) => tx.close(),
+            SenderInner::Stream(tx) => tx.shutdown(),
+        }
+    }
+
+    /// Human-readable description of the peer (socket address, or
+    /// `"in-process"` for byte channels) — diagnostics only.
+    pub fn peer(&self) -> String {
+        match &self.inner {
+            SenderInner::Channel(_) => "in-process".to_string(),
+            SenderInner::Stream(tx) => tx.peer(),
+        }
+    }
+}
+
+impl ChannelRx {
+    /// Blocks until exactly `n` bytes are available and returns them;
+    /// reports closure if the stream ends first, `None` on deadline expiry.
+    fn recv_exact_deadline(
+        &self,
+        n: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<u8>, RecvError> {
         let mut stream = self.shared.stream.lock();
         loop {
             if stream.buffer.len() >= n {
@@ -179,42 +283,119 @@ impl ByteReceiver {
                 return Ok(bytes);
             }
             if stream.closed {
-                return Err(ChannelClosed);
+                return Err(RecvError::Closed);
             }
-            self.shared.readable.wait(&mut stream);
+            match deadline {
+                None => self.shared.readable.wait(&mut stream),
+                Some(deadline) => {
+                    let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                        return Err(RecvError::TimedOut);
+                    };
+                    if self
+                        .shared
+                        .readable
+                        .wait_for(&mut stream, remaining)
+                        .timed_out()
+                        && stream.buffer.len() < n
+                        && !stream.closed
+                    {
+                        return Err(RecvError::TimedOut);
+                    }
+                }
+            }
         }
     }
 
-    /// Receives one length-prefixed frame, blocking until it is complete.
-    pub fn recv_frame(&self) -> Result<Frame, RecvError> {
-        let header = self.recv_exact(4).map_err(|_| RecvError::Closed)?;
-        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
-        let body = self.recv_exact(len).map_err(|_| RecvError::Closed)?;
-        decode_frame(&body).map_err(RecvError::Malformed)
-    }
-
-    /// Returns `true` when the sender has closed the channel and no buffered
-    /// bytes remain.
-    pub fn is_drained(&self) -> bool {
-        let stream = self.shared.stream.lock();
-        stream.closed && stream.buffer.is_empty()
-    }
-
-    /// Number of bytes currently buffered (diagnostics).
-    pub fn buffered_bytes(&self) -> usize {
-        self.shared.stream.lock().buffer.len()
-    }
-}
-
-impl Drop for ByteReceiver {
-    fn drop(&mut self) {
-        // Closing from the receiving side unblocks a sender waiting on
-        // capacity, mirroring a socket reset.
+    fn close(&self) {
         let mut stream = self.shared.stream.lock();
         stream.closed = true;
         drop(stream);
         self.shared.writable.notify_all();
         self.shared.readable.notify_all();
+    }
+}
+
+impl Drop for ChannelRx {
+    fn drop(&mut self) {
+        // Closing from the receiving side unblocks a sender waiting on
+        // capacity, mirroring a socket reset.
+        self.close();
+    }
+}
+
+impl ByteReceiver {
+    /// Blocks until exactly `n` bytes are available and returns them, or
+    /// reports closure if the stream ends first.
+    pub fn recv_exact(&self, n: usize) -> Result<Vec<u8>, ChannelClosed> {
+        match &self.inner {
+            ReceiverInner::Channel(rx) => {
+                rx.recv_exact_deadline(n, None).map_err(|_| ChannelClosed)
+            }
+            ReceiverInner::Stream(rx) => {
+                let mut buffer = vec![0u8; n];
+                rx.read_exact(&mut buffer, None)
+                    .map_err(|_| ChannelClosed)?;
+                Ok(buffer)
+            }
+        }
+    }
+
+    /// Receives one length-prefixed frame, blocking until it is complete.
+    pub fn recv_frame(&self) -> Result<Frame, RecvError> {
+        self.recv_frame_timeout(None)
+    }
+
+    /// Receives one length-prefixed frame, giving up after `timeout`
+    /// (`None` = block forever).
+    ///
+    /// After [`RecvError::TimedOut`] on a *socket*, the stream may be
+    /// desynchronised (partial frames stay consumed by the kernel): abandon
+    /// the connection rather than reading further.
+    pub fn recv_frame_timeout(&self, timeout: Option<Duration>) -> Result<Frame, RecvError> {
+        match &self.inner {
+            ReceiverInner::Channel(rx) => {
+                let deadline = timeout.map(|t| Instant::now() + t);
+                let header = rx.recv_exact_deadline(4, deadline)?;
+                let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+                let body = rx.recv_exact_deadline(len, deadline)?;
+                decode_frame(&body).map_err(RecvError::Malformed)
+            }
+            ReceiverInner::Stream(rx) => {
+                let mut header = [0u8; 4];
+                rx.read_exact(&mut header, timeout)?;
+                let len = u32::from_le_bytes(header) as usize;
+                if len > crate::wire::MAX_FRAME_LEN {
+                    return Err(RecvError::Malformed(DecodeError {
+                        message: format!("frame length {len} exceeds the wire limit"),
+                    }));
+                }
+                let mut body = vec![0u8; len];
+                rx.read_exact(&mut body, timeout)?;
+                decode_frame(&body).map_err(RecvError::Malformed)
+            }
+        }
+    }
+
+    /// Returns `true` when the sender has closed the channel and no buffered
+    /// bytes remain.  Socket receivers cannot observe this without reading
+    /// and always return `false`.
+    pub fn is_drained(&self) -> bool {
+        match &self.inner {
+            ReceiverInner::Channel(rx) => {
+                let stream = rx.shared.stream.lock();
+                stream.closed && stream.buffer.is_empty()
+            }
+            ReceiverInner::Stream(_) => false,
+        }
+    }
+
+    /// Number of bytes currently buffered in-process (diagnostics; socket
+    /// receivers report 0 — their backlog lives in the kernel).
+    pub fn buffered_bytes(&self) -> usize {
+        match &self.inner {
+            ReceiverInner::Channel(rx) => rx.shared.stream.lock().buffer.len(),
+            ReceiverInner::Stream(_) => 0,
+        }
     }
 }
 
@@ -274,10 +455,40 @@ mod tests {
     }
 
     #[test]
+    fn cloned_halves_keep_the_stream_open_until_the_last_drop() {
+        let (sender, receiver) = byte_channel(ChannelConfig::fast());
+        let extra = sender.clone();
+        drop(sender);
+        // One clone still alive: the stream stays open.
+        extra.send_frame(&Frame::Sync).unwrap();
+        assert_eq!(receiver.recv_frame().unwrap(), Frame::Sync);
+        drop(extra);
+        assert_eq!(receiver.recv_frame(), Err(RecvError::Closed));
+    }
+
+    #[test]
+    fn recv_frame_timeout_expires_and_then_recovers() {
+        let (sender, receiver) = byte_channel(ChannelConfig::fast());
+        let start = Instant::now();
+        assert_eq!(
+            receiver.recv_frame_timeout(Some(Duration::from_millis(30))),
+            Err(RecvError::TimedOut)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        // In-process channels consume nothing on timeout: a later frame is
+        // still received intact.
+        sender.send_frame(&Frame::SyncAck).unwrap();
+        assert_eq!(
+            receiver.recv_frame_timeout(Some(Duration::from_secs(5))),
+            Ok(Frame::SyncAck)
+        );
+    }
+
+    #[test]
     fn bounded_channel_applies_backpressure() {
         let (sender, receiver) = byte_channel(ChannelConfig {
             capacity: Some(64),
-            latency: None,
+            ..ChannelConfig::default()
         });
         // Fill beyond the capacity from another thread; the sender must not
         // lose data and must finish once the receiver drains.
@@ -326,5 +537,6 @@ mod tests {
         assert!(receiver.buffered_bytes() > 0);
         receiver.recv_frame().unwrap();
         assert_eq!(receiver.buffered_bytes(), 0);
+        assert_eq!(sender.peer(), "in-process");
     }
 }

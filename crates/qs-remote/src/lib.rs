@@ -48,6 +48,7 @@
 pub mod channel;
 pub mod node;
 pub mod registry;
+pub mod transport;
 pub mod wire;
 
 pub use channel::{
@@ -55,4 +56,5 @@ pub use channel::{
 };
 pub use node::{NodeStats, RemoteError, RemoteNode, RemoteProxy, RemoteSeparate};
 pub use registry::{counter_registry, MethodRegistry, RemoteObject};
+pub use transport::{NodeAddr, NodeListener};
 pub use wire::{decode_frame, encode_frame, DecodeError, Frame, WireValue, WIRE_VERSION};

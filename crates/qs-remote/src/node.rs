@@ -21,12 +21,14 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use qs_queues::{Dequeue, QueueOfQueues};
 
 use crate::channel::{byte_channel, ByteReceiver, ByteSender, ChannelConfig, RecvError};
 use crate::registry::RemoteObject;
+use crate::transport::{NodeAddr, NodeListener};
 use crate::wire::{Frame, WireValue, WIRE_VERSION};
 
 /// Counters describing one node's activity (the remote analogue of
@@ -64,6 +66,9 @@ struct NodeShared {
     qoq: QueueOfQueues<(ByteReceiver, ByteSender)>,
     channel_config: ChannelConfig,
     counters: NodeCounters,
+    /// Addresses of socket listeners feeding this node's queue-of-queues;
+    /// [`RemoteNode::stop`] dials each once to unblock its accept loop.
+    listeners: Mutex<Vec<NodeAddr>>,
 }
 
 /// A handler node owning one remote object and serving clients over byte
@@ -86,6 +91,11 @@ pub struct RemoteProxy {
 pub enum RemoteError {
     /// The node shut down or the channel closed.
     Disconnected,
+    /// The node did not answer within the configured
+    /// [`ChannelConfig::response_timeout`] — a dead or wedged peer.  The
+    /// block's connection must be abandoned (socket streams may be
+    /// desynchronised after a timeout).
+    Timeout,
     /// The node answered with something unexpected (protocol violation).
     Protocol(String),
     /// The invoked method reported an error.
@@ -96,6 +106,7 @@ impl std::fmt::Display for RemoteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RemoteError::Disconnected => f.write_str("remote handler disconnected"),
+            RemoteError::Timeout => f.write_str("remote handler did not answer in time"),
             RemoteError::Protocol(m) => write!(f, "protocol error: {m}"),
             RemoteError::Application(m) => write!(f, "application error: {m}"),
         }
@@ -113,6 +124,7 @@ impl<T: Send + 'static> RemoteNode<T> {
             qoq: QueueOfQueues::new(),
             channel_config,
             counters: NodeCounters::default(),
+            listeners: Mutex::new(Vec::new()),
         });
         let final_state = Arc::new(Mutex::new(None));
         let thread_shared = Arc::clone(&shared);
@@ -158,10 +170,42 @@ impl<T: Send + 'static> RemoteNode<T> {
         }
     }
 
+    /// Serves socket connections on `listener`: each accepted connection is
+    /// one separate block — its frames form a private queue registered on
+    /// the node's queue-of-queues, so remote clients interleave with
+    /// in-process proxies under the same Fig. 7 loop.  Returns the bound
+    /// address (with any ephemeral TCP port resolved) for clients to dial
+    /// with [`SocketProxy::connect`].
+    pub fn listen(&self, listener: NodeListener) -> std::io::Result<NodeAddr> {
+        let addr = listener.local_addr()?;
+        self.shared.listeners.lock().push(addr.clone());
+        let shared = Arc::clone(&self.shared);
+        std::thread::Builder::new()
+            .name(format!("remote-accept-{}", self.shared.name))
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((responses, requests)) => {
+                        if shared.qoq.is_closed() {
+                            // Also covers the wake-up connection stop() makes.
+                            return;
+                        }
+                        shared.qoq.enqueue((requests, responses));
+                    }
+                    Err(_) => return,
+                }
+            })
+            .expect("spawn remote accept thread");
+        Ok(addr)
+    }
+
     /// Stops accepting new private queues; already-registered blocks are
     /// still drained.
     pub fn stop(&self) {
         self.shared.qoq.close();
+        // Unblock any socket accept loops so their threads exit.
+        for addr in self.shared.listeners.lock().drain(..) {
+            let _ = addr.connect();
+        }
     }
 
     /// Stops the node, waits for the serving thread and returns the final
@@ -178,6 +222,9 @@ impl<T: Send + 'static> RemoteNode<T> {
 impl<T> Drop for RemoteNode<T> {
     fn drop(&mut self) {
         self.shared.qoq.close();
+        for addr in self.shared.listeners.lock().drain(..) {
+            let _ = addr.connect();
+        }
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
@@ -270,6 +317,10 @@ fn serve_private_queue<T>(
                 return;
             }
             Err(RecvError::Closed) => return,
+            // The node reads without a deadline, but the arm keeps the match
+            // exhaustive (and correct if that ever changes): a timeout means
+            // the stream is unusable.
+            Err(RecvError::TimedOut) => return,
             Err(RecvError::Malformed(_)) => {
                 shared
                     .counters
@@ -301,12 +352,11 @@ impl RemoteProxy {
             version: WIRE_VERSION,
             client: self.client.clone(),
         });
-        let mut guard = RemoteSeparate {
-            requests: request_tx,
-            responses: response_rx,
-            synced: false,
-            ended: false,
-        };
+        let mut guard = RemoteSeparate::over(
+            request_tx,
+            response_rx,
+            self.shared.channel_config.response_timeout,
+        );
         let result = body(&mut guard);
         guard.end();
         result
@@ -342,15 +392,93 @@ impl std::fmt::Debug for RemoteProxy {
     }
 }
 
+/// A client-side handle opening separate blocks against a node that serves
+/// sockets ([`RemoteNode::listen`]); the out-of-process counterpart of
+/// [`RemoteProxy`].
+///
+/// Each block dials a fresh connection — connection = block, exactly
+/// mirroring the in-process design where each block registers a fresh byte
+/// channel.  (The `qs-cluster` crate layers pooled, multiplexed connections
+/// on top for high block rates.)
+#[derive(Debug, Clone)]
+pub struct SocketProxy {
+    addr: NodeAddr,
+    client: String,
+    response_timeout: Option<Duration>,
+}
+
+impl SocketProxy {
+    /// Creates a proxy dialling `addr` for every block.
+    pub fn new(addr: NodeAddr, client: &str) -> SocketProxy {
+        SocketProxy {
+            addr,
+            client: client.to_string(),
+            response_timeout: None,
+        }
+    }
+
+    /// Bounds every query/sync wait, so a node process that dies mid-block
+    /// surfaces [`RemoteError::Timeout`] instead of hanging.
+    pub fn with_response_timeout(mut self, timeout: Duration) -> SocketProxy {
+        self.response_timeout = Some(timeout);
+        self
+    }
+
+    /// Opens a separate block over a fresh connection.  Fails with
+    /// [`RemoteError::Disconnected`] if the node cannot be reached.
+    pub fn separate<R>(
+        &self,
+        body: impl FnOnce(&mut RemoteSeparate) -> R,
+    ) -> Result<R, RemoteError> {
+        let (requests, responses) = self.addr.connect().map_err(|_| RemoteError::Disconnected)?;
+        let _ = requests.send_frame(&Frame::Hello {
+            version: WIRE_VERSION,
+            client: self.client.clone(),
+        });
+        let mut guard = RemoteSeparate::over(requests, responses, self.response_timeout);
+        let result = body(&mut guard);
+        guard.end();
+        Ok(result)
+    }
+
+    /// The address this proxy dials.
+    pub fn addr(&self) -> &NodeAddr {
+        &self.addr
+    }
+}
+
 /// One client's reservation of a remote node for the duration of a block.
 pub struct RemoteSeparate {
     requests: ByteSender,
     responses: ByteReceiver,
+    response_timeout: Option<Duration>,
     synced: bool,
     ended: bool,
+    failed: bool,
 }
 
 impl RemoteSeparate {
+    /// Builds a block guard over an already-connected request/response
+    /// stream pair, sending no prologue — the caller is responsible for any
+    /// handshake ([`RemoteProxy::separate`] sends `Hello`, a cluster client
+    /// sends `Open`).  The halves are clones, so a pooled connection
+    /// survives the guard: the block ends with an explicit `End` frame, not
+    /// by closing the stream.
+    pub fn over(
+        requests: ByteSender,
+        responses: ByteReceiver,
+        response_timeout: Option<Duration>,
+    ) -> RemoteSeparate {
+        RemoteSeparate {
+            requests,
+            responses,
+            response_timeout,
+            synced: false,
+            ended: false,
+            failed: false,
+        }
+    }
+
     /// Logs an asynchronous command (the `call` rule).
     pub fn call(&mut self, method: &str, args: Vec<WireValue>) -> Result<(), RemoteError> {
         assert!(!self.ended, "call after the separate block ended");
@@ -360,7 +488,30 @@ impl RemoteSeparate {
                 method: method.to_string(),
                 args,
             })
-            .map_err(|_| RemoteError::Disconnected)
+            .map_err(|_| self.fail(RemoteError::Disconnected))
+    }
+
+    /// Waits for one response frame, converting transport failures and
+    /// recording whether the underlying connection is still trustworthy.
+    fn recv_response(&mut self) -> Result<Frame, RemoteError> {
+        match self.responses.recv_frame_timeout(self.response_timeout) {
+            Ok(Frame::Nack { message }) => {
+                // The serving side refused this block (e.g. the handler does
+                // not live on that cluster node).
+                Err(self.fail(RemoteError::Protocol(format!("block refused: {message}"))))
+            }
+            Ok(frame) => Ok(frame),
+            Err(RecvError::TimedOut) => Err(self.fail(RemoteError::Timeout)),
+            Err(RecvError::Closed) => Err(self.fail(RemoteError::Disconnected)),
+            Err(RecvError::Malformed(e)) => {
+                Err(self.fail(RemoteError::Protocol(format!("malformed response: {e}"))))
+            }
+        }
+    }
+
+    fn fail(&mut self, error: RemoteError) -> RemoteError {
+        self.failed = true;
+        error
     }
 
     /// Performs a synchronous query and returns its value (the `query` rule).
@@ -371,18 +522,17 @@ impl RemoteSeparate {
                 method: method.to_string(),
                 args,
             })
-            .map_err(|_| RemoteError::Disconnected)?;
-        match self.responses.recv_frame() {
-            Ok(Frame::QueryResult { result }) => {
+            .map_err(|_| self.fail(RemoteError::Disconnected))?;
+        match self.recv_response()? {
+            Frame::QueryResult { result } => {
                 // Receiving the result implies the node drained everything we
                 // logged before the query: the block is synchronised (§3.4).
                 self.synced = true;
                 result.map_err(RemoteError::Application)
             }
-            Ok(other) => Err(RemoteError::Protocol(format!(
+            other => Err(self.fail(RemoteError::Protocol(format!(
                 "expected QueryResult, received {other:?}"
-            ))),
-            Err(_) => Err(RemoteError::Disconnected),
+            )))),
         }
     }
 
@@ -395,22 +545,29 @@ impl RemoteSeparate {
         }
         self.requests
             .send_frame(&Frame::Sync)
-            .map_err(|_| RemoteError::Disconnected)?;
-        match self.responses.recv_frame() {
-            Ok(Frame::SyncAck) => {
+            .map_err(|_| self.fail(RemoteError::Disconnected))?;
+        match self.recv_response()? {
+            Frame::SyncAck => {
                 self.synced = true;
                 Ok(())
             }
-            Ok(other) => Err(RemoteError::Protocol(format!(
+            other => Err(self.fail(RemoteError::Protocol(format!(
                 "expected SyncAck, received {other:?}"
-            ))),
-            Err(_) => Err(RemoteError::Disconnected),
+            )))),
         }
     }
 
     /// Whether the node is known to have applied everything logged so far.
     pub fn is_synced(&self) -> bool {
         self.synced
+    }
+
+    /// Whether the block's connection suffered a transport or protocol
+    /// failure (timeout, disconnect, malformed or refused response).  A
+    /// pooling layer must discard such a connection instead of reusing it —
+    /// a timed-out socket stream may be desynchronised.
+    pub fn is_failed(&self) -> bool {
+        self.failed
     }
 
     /// Ends the block (logged automatically when the guard is dropped).
@@ -569,6 +726,101 @@ mod tests {
         // queries observe the disconnect rather than hanging.
         let result = proxy.separate(|s| s.query("value", vec![]));
         assert_eq!(result, Err(RemoteError::Disconnected));
+    }
+
+    #[test]
+    fn socket_proxy_round_trips_over_loopback_tcp() {
+        let node = counter_node("sock");
+        let addr = node
+            .listen(NodeListener::bind(&NodeAddr::Tcp("127.0.0.1:0".into())).unwrap())
+            .unwrap();
+        let proxy = SocketProxy::new(addr, "tcp-client");
+        let value = proxy
+            .separate(|s| {
+                s.call("add", vec![WireValue::Int(40)]).unwrap();
+                s.call("add", vec![WireValue::Int(2)]).unwrap();
+                s.query("value", vec![]).unwrap()
+            })
+            .unwrap();
+        assert_eq!(value, WireValue::Int(42));
+        assert_eq!(node.shutdown_and_take(), Some(42));
+    }
+
+    #[test]
+    fn socket_blocks_from_many_clients_keep_block_atomicity() {
+        let node = counter_node("sock-many");
+        let addr = node
+            .listen(NodeListener::bind(&NodeAddr::Tcp("127.0.0.1:0".into())).unwrap())
+            .unwrap();
+        let mut threads = Vec::new();
+        for c in 0..4 {
+            let proxy = SocketProxy::new(addr.clone(), &format!("client-{c}"));
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..5 {
+                    proxy
+                        .separate(|s| {
+                            s.call("add", vec![WireValue::Int(1)]).unwrap();
+                            s.sync().unwrap();
+                        })
+                        .unwrap();
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(node.shutdown_and_take(), Some(20));
+    }
+
+    #[test]
+    fn silent_peer_surfaces_timeout_not_a_hang() {
+        // A "node" that accepts the connection and then goes silent: the
+        // client's bounded query wait must report Timeout, and the guard
+        // must mark its connection unusable.
+        let listener = NodeListener::bind(&NodeAddr::Tcp("127.0.0.1:0".into())).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let silent = std::thread::spawn(move || {
+            let conn = listener.accept().unwrap();
+            let _ = done_rx.recv();
+            drop(conn);
+        });
+        let proxy =
+            SocketProxy::new(addr, "victim").with_response_timeout(Duration::from_millis(100));
+        let (err, failed) = proxy
+            .separate(|s| (s.query("value", vec![]).unwrap_err(), s.is_failed()))
+            .unwrap();
+        assert_eq!(err, RemoteError::Timeout);
+        assert!(failed, "a timed-out block must be marked failed");
+        done_tx.send(()).unwrap();
+        silent.join().unwrap();
+    }
+
+    #[test]
+    fn dead_peer_surfaces_disconnected() {
+        // A "node" that dies (closes the connection) mid-block.
+        let listener = NodeListener::bind(&NodeAddr::Tcp("127.0.0.1:0".into())).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let killer = std::thread::spawn(move || drop(listener.accept().unwrap()));
+        let proxy = SocketProxy::new(addr, "victim");
+        let err = proxy
+            .separate(|s| s.query("value", vec![]).unwrap_err())
+            .unwrap();
+        assert_eq!(err, RemoteError::Disconnected);
+        killer.join().unwrap();
+    }
+
+    #[test]
+    fn unreachable_node_fails_fast() {
+        // Nobody is listening on this address (bind then drop releases it).
+        let listener = NodeListener::bind(&NodeAddr::Tcp("127.0.0.1:0".into())).unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let proxy = SocketProxy::new(addr, "nobody-home");
+        assert_eq!(
+            proxy.separate(|_| ()).unwrap_err(),
+            RemoteError::Disconnected
+        );
     }
 
     #[test]

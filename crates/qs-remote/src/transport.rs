@@ -1,0 +1,432 @@
+//! Real-socket substrate: TCP and Unix-domain streams under the same
+//! [`ByteSender`]/[`ByteReceiver`] surface as the in-process byte channels.
+//!
+//! This is the "usage of sockets as the underlying implementation" the
+//! paper's §7 names as future work.  Everything above this module — frames,
+//! method registries, [`crate::RemoteNode`], [`crate::RemoteSeparate`] — is
+//! substrate-agnostic; this module only turns a connected socket into the
+//! two half-duplex byte-stream handles the rest of the crate speaks.
+//!
+//! Design notes:
+//!
+//! * **std-only, blocking I/O.**  No async runtime: each direction of a
+//!   socket is guarded by its own mutex, so one thread can block reading
+//!   while another writes (exactly how [`crate::RemoteSeparate`] uses a
+//!   channel pair).
+//! * **Half-close maps to `shutdown`.**  Dropping the last clone of a
+//!   [`ByteSender`] shuts down the write direction (the peer reads
+//!   end-of-stream after draining); dropping the last [`ByteReceiver`]
+//!   clone shuts down reads.
+//! * **Timeouts are connection-fatal.**  A read deadline is implemented
+//!   with `SO_RCVTIMEO`; if it fires mid-frame the stream position is
+//!   unknown, so callers must abandon the connection after
+//!   [`crate::RecvError::TimedOut`] — which is what the peer-death
+//!   hardening in [`crate::node`] and `qs-cluster` does.
+//! * **Untrusted peers.**  Socket readers enforce
+//!   [`crate::wire::MAX_FRAME_LEN`] so a corrupt length prefix cannot force
+//!   a huge allocation.  No authentication or encryption is provided; bind
+//!   to loopback/Unix sockets or trusted networks only (see the README's
+//!   "Distributed mode" caveats).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::channel::{stream_halves, ByteReceiver, ByteSender, ChannelClosed, RecvError};
+
+/// The address of a cluster node: a TCP endpoint or a Unix-domain socket
+/// path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeAddr {
+    /// A TCP endpoint, e.g. `127.0.0.1:7101`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl NodeAddr {
+    /// Parses the textual form used on command lines and in `READY` lines:
+    /// `tcp:HOST:PORT` or `unix:PATH` (a bare `HOST:PORT` is accepted as
+    /// TCP).
+    pub fn parse(spec: &str) -> Result<NodeAddr, String> {
+        if let Some(rest) = spec.strip_prefix("tcp:") {
+            Ok(NodeAddr::Tcp(rest.to_string()))
+        } else if let Some(rest) = spec.strip_prefix("unix:") {
+            Ok(NodeAddr::Unix(PathBuf::from(rest)))
+        } else if spec.contains(':') {
+            Ok(NodeAddr::Tcp(spec.to_string()))
+        } else {
+            Err(format!(
+                "node address `{spec}` is neither tcp:HOST:PORT nor unix:PATH"
+            ))
+        }
+    }
+
+    /// Connects to this address and returns the connected byte-stream pair.
+    pub fn connect(&self) -> io::Result<(ByteSender, ByteReceiver)> {
+        match self {
+            NodeAddr::Tcp(addr) => socket_pair(Socket::Tcp(TcpStream::connect(addr)?)),
+            NodeAddr::Unix(path) => socket_pair(Socket::Unix(UnixStream::connect(path)?)),
+        }
+    }
+}
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeAddr::Tcp(addr) => write!(f, "tcp:{addr}"),
+            NodeAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// A listening endpoint accepting node connections.
+pub enum NodeListener {
+    /// A TCP listener.
+    Tcp(TcpListener),
+    /// A Unix-domain listener; the socket file is removed on drop.
+    Unix(UnixListener, PathBuf),
+}
+
+impl NodeListener {
+    /// Binds a listener.  For TCP, port 0 requests an ephemeral port —
+    /// read the actual one back with [`NodeListener::local_addr`].  For
+    /// Unix sockets, a stale socket file from a previous run is removed
+    /// first.
+    pub fn bind(addr: &NodeAddr) -> io::Result<NodeListener> {
+        match addr {
+            NodeAddr::Tcp(spec) => Ok(NodeListener::Tcp(TcpListener::bind(spec)?)),
+            NodeAddr::Unix(path) => {
+                if path.exists() {
+                    let _ = std::fs::remove_file(path);
+                }
+                Ok(NodeListener::Unix(UnixListener::bind(path)?, path.clone()))
+            }
+        }
+    }
+
+    /// The bound address, with any ephemeral TCP port resolved.
+    pub fn local_addr(&self) -> io::Result<NodeAddr> {
+        match self {
+            NodeListener::Tcp(listener) => Ok(NodeAddr::Tcp(listener.local_addr()?.to_string())),
+            NodeListener::Unix(_, path) => Ok(NodeAddr::Unix(path.clone())),
+        }
+    }
+
+    /// Blocks until a peer connects and returns the connected pair.
+    pub fn accept(&self) -> io::Result<(ByteSender, ByteReceiver)> {
+        match self {
+            NodeListener::Tcp(listener) => {
+                let (stream, _) = listener.accept()?;
+                socket_pair(Socket::Tcp(stream))
+            }
+            NodeListener::Unix(listener, _) => {
+                let (stream, _) = listener.accept()?;
+                socket_pair(Socket::Unix(stream))
+            }
+        }
+    }
+}
+
+impl Drop for NodeListener {
+    fn drop(&mut self) {
+        if let NodeListener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+enum Socket {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Socket {
+    /// `&TcpStream`/`&UnixStream` implement `Read`/`Write`, so both
+    /// directions work through a shared reference; the per-direction
+    /// mutexes in [`StreamConn`] serialise concurrent users of one
+    /// direction.
+    fn read(&self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Socket::Tcp(s) => (&*s).read(buf),
+            Socket::Unix(s) => (&*s).read(buf),
+        }
+    }
+
+    fn write_all(&self, buf: &[u8]) -> io::Result<()> {
+        match self {
+            Socket::Tcp(s) => (&*s).write_all(buf),
+            Socket::Unix(s) => (&*s).write_all(buf),
+        }
+    }
+
+    fn shutdown(&self, how: Shutdown) {
+        let _ = match self {
+            Socket::Tcp(s) => s.shutdown(how),
+            Socket::Unix(s) => s.shutdown(how),
+        };
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Socket::Tcp(s) => s.set_read_timeout(timeout),
+            Socket::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    fn peer(&self) -> String {
+        match self {
+            Socket::Tcp(s) => s
+                .peer_addr()
+                .map(|a| format!("tcp:{a}"))
+                .unwrap_or_else(|_| "tcp:<disconnected>".to_string()),
+            Socket::Unix(_) => "unix".to_string(),
+        }
+    }
+}
+
+struct ReadState {
+    /// The `SO_RCVTIMEO` currently programmed on the socket; cached so
+    /// back-to-back reads with the same deadline skip the setsockopt call.
+    timeout: Option<Duration>,
+}
+
+/// One connected socket shared by its sender and receiver halves.
+struct StreamConn {
+    socket: Socket,
+    read: Mutex<ReadState>,
+    write: Mutex<()>,
+}
+
+impl StreamConn {
+    fn write_bytes(&self, bytes: &[u8]) -> Result<(), ChannelClosed> {
+        let _guard = self.write.lock();
+        self.socket.write_all(bytes).map_err(|_| ChannelClosed)
+    }
+
+    fn read_exact(&self, buf: &mut [u8], timeout: Option<Duration>) -> Result<(), RecvError> {
+        let mut state = self.read.lock();
+        if state.timeout != timeout {
+            self.socket
+                .set_read_timeout(timeout)
+                .map_err(|_| RecvError::Closed)?;
+            state.timeout = timeout;
+        }
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.socket.read(&mut buf[filled..]) {
+                Ok(0) => return Err(RecvError::Closed),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Err(RecvError::TimedOut);
+                }
+                Err(_) => return Err(RecvError::Closed),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The socket-backed sending half; shuts down the write direction when
+/// dropped.
+pub(crate) struct StreamTx {
+    conn: Arc<StreamConn>,
+}
+
+impl StreamTx {
+    pub(crate) fn write_bytes(&self, bytes: &[u8]) -> Result<(), ChannelClosed> {
+        self.conn.write_bytes(bytes)
+    }
+
+    pub(crate) fn shutdown(&self) {
+        self.conn.socket.shutdown(Shutdown::Write);
+    }
+
+    pub(crate) fn peer(&self) -> String {
+        self.conn.socket.peer()
+    }
+}
+
+impl Drop for StreamTx {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The socket-backed receiving half; shuts down the read direction when
+/// dropped.
+pub(crate) struct StreamRx {
+    conn: Arc<StreamConn>,
+}
+
+impl StreamRx {
+    pub(crate) fn read_exact(
+        &self,
+        buf: &mut [u8],
+        timeout: Option<Duration>,
+    ) -> Result<(), RecvError> {
+        self.conn.read_exact(buf, timeout)
+    }
+}
+
+impl Drop for StreamRx {
+    fn drop(&mut self) {
+        self.conn.socket.shutdown(Shutdown::Read);
+    }
+}
+
+fn socket_pair(socket: Socket) -> io::Result<(ByteSender, ByteReceiver)> {
+    // Frames are small and written whole; disabling Nagle keeps query
+    // round-trips from stalling on delayed ACKs.
+    if let Socket::Tcp(stream) = &socket {
+        let _ = stream.set_nodelay(true);
+    }
+    let conn = Arc::new(StreamConn {
+        socket,
+        read: Mutex::new(ReadState { timeout: None }),
+        write: Mutex::new(()),
+    });
+    Ok(stream_halves(
+        StreamTx {
+            conn: Arc::clone(&conn),
+        },
+        StreamRx { conn },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{Frame, WireValue};
+
+    fn loopback_pair() -> ((ByteSender, ByteReceiver), (ByteSender, ByteReceiver)) {
+        let listener = NodeListener::bind(&NodeAddr::Tcp("127.0.0.1:0".into())).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepted = std::thread::spawn(move || listener.accept().unwrap());
+        let client = addr.connect().unwrap();
+        (client, accepted.join().unwrap())
+    }
+
+    #[test]
+    fn frames_cross_loopback_tcp_in_order() {
+        let ((client_tx, client_rx), (server_tx, server_rx)) = loopback_pair();
+        client_tx
+            .send_frame(&Frame::Call {
+                method: "deposit".into(),
+                args: vec![WireValue::Int(25)],
+            })
+            .unwrap();
+        match server_rx.recv_frame().unwrap() {
+            Frame::Call { method, args } => {
+                assert_eq!(method, "deposit");
+                assert_eq!(args, vec![WireValue::Int(25)]);
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+        server_tx
+            .send_frame(&Frame::QueryResult {
+                result: Ok(WireValue::Int(25)),
+            })
+            .unwrap();
+        assert!(matches!(
+            client_rx.recv_frame().unwrap(),
+            Frame::QueryResult { .. }
+        ));
+    }
+
+    #[test]
+    fn frames_cross_unix_sockets() {
+        let path =
+            std::env::temp_dir().join(format!("qs-transport-test-{}.sock", std::process::id()));
+        let listener = NodeListener::bind(&NodeAddr::Unix(path.clone())).unwrap();
+        let accepted = std::thread::spawn(move || listener.accept().unwrap());
+        let (client_tx, _client_rx) = NodeAddr::Unix(path.clone()).connect().unwrap();
+        let (_server_tx, server_rx) = accepted.join().unwrap();
+        client_tx.send_frame(&Frame::Sync).unwrap();
+        assert_eq!(server_rx.recv_frame().unwrap(), Frame::Sync);
+    }
+
+    #[test]
+    fn peer_drop_is_end_of_stream_not_a_hang() {
+        let ((client_tx, client_rx), (server_tx, server_rx)) = loopback_pair();
+        drop(server_tx);
+        drop(server_rx);
+        assert_eq!(client_rx.recv_frame(), Err(RecvError::Closed));
+        // Writing into a closed peer eventually errors too (the first write
+        // may be buffered by the kernel before the RST arrives).
+        let mut closed = false;
+        for _ in 0..100 {
+            if client_tx.send_frame(&Frame::Sync).is_err() {
+                closed = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(closed, "send kept succeeding against a closed peer");
+    }
+
+    #[test]
+    fn read_timeout_surfaces_timed_out() {
+        let ((_client_tx, client_rx), _server) = loopback_pair();
+        let start = std::time::Instant::now();
+        assert_eq!(
+            client_rx.recv_frame_timeout(Some(Duration::from_millis(40))),
+            Err(RecvError::TimedOut)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_not_allocated() {
+        let ((client_tx, _client_rx), (_server_tx, server_rx)) = loopback_pair();
+        client_tx.send_bytes(&u32::MAX.to_le_bytes()).unwrap();
+        match server_rx.recv_frame() {
+            Err(RecvError::Malformed(e)) => {
+                assert!(e.message.contains("wire limit"), "{}", e.message)
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_addr_parses_and_displays() {
+        assert_eq!(
+            NodeAddr::parse("tcp:127.0.0.1:7101").unwrap(),
+            NodeAddr::Tcp("127.0.0.1:7101".into())
+        );
+        assert_eq!(
+            NodeAddr::parse("127.0.0.1:7101").unwrap(),
+            NodeAddr::Tcp("127.0.0.1:7101".into())
+        );
+        assert_eq!(
+            NodeAddr::parse("unix:/tmp/qs.sock").unwrap(),
+            NodeAddr::Unix(PathBuf::from("/tmp/qs.sock"))
+        );
+        assert!(NodeAddr::parse("nonsense").is_err());
+        let spec = NodeAddr::Tcp("127.0.0.1:7101".into()).to_string();
+        assert_eq!(
+            NodeAddr::parse(&spec).unwrap(),
+            NodeAddr::parse("tcp:127.0.0.1:7101").unwrap()
+        );
+    }
+
+    #[test]
+    fn unix_listener_cleans_up_its_socket_file() {
+        let path =
+            std::env::temp_dir().join(format!("qs-transport-cleanup-{}.sock", std::process::id()));
+        let listener = NodeListener::bind(&NodeAddr::Unix(path.clone())).unwrap();
+        assert!(path.exists());
+        drop(listener);
+        assert!(!path.exists());
+    }
+}

@@ -21,7 +21,17 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Version byte embedded in every `Hello` frame.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// Version 2 added the cluster frames ([`Frame::Open`], [`Frame::Nack`],
+/// [`Frame::Control`], [`Frame::ControlResult`]) that multiplex many
+/// handler-addressed blocks over one persistent connection.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Upper bound on a frame body accepted from an *untrusted* byte stream
+/// (sockets).  A corrupt or hostile length prefix must not make the reader
+/// allocate gigabytes; in-process channels skip the check (both ends are the
+/// same trusted program).
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
 
 /// A self-describing value carried in call frames.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,6 +125,35 @@ pub enum Frame {
     },
     /// The END marker closing the client's private queue (the `end` rule).
     End,
+    /// Opens a separate block against one handler of a multi-handler node —
+    /// the cluster analogue of [`Frame::Hello`].  On a persistent connection
+    /// each block is `Open … (Call|Query|Sync)* … End`; the node registers a
+    /// fresh private queue for `handler` when it sees the `Open`.
+    Open {
+        /// The target handler's cluster-wide identifier (what the placement
+        /// ring hashes).
+        handler: u64,
+    },
+    /// Node → client: the preceding [`Frame::Open`] (or [`Frame::Hello`])
+    /// was rejected; the connection is about to close.
+    Nack {
+        /// Why the node refused (version mismatch, unknown shard, …).
+        message: String,
+    },
+    /// A node-level control operation outside any handler: `"ping"`,
+    /// `"stats"`, `"shutdown"`, … (the small management surface a real
+    /// service needs; see `qs-cluster` for the registered operations).
+    Control {
+        /// Operation name.
+        op: String,
+        /// Arguments.
+        args: Vec<WireValue>,
+    },
+    /// Node → client: the outcome of a [`Frame::Control`] operation.
+    ControlResult {
+        /// The value, or an error message.
+        result: Result<WireValue, String>,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -124,6 +163,10 @@ const TAG_SYNC: u8 = 4;
 const TAG_SYNC_ACK: u8 = 5;
 const TAG_QUERY_RESULT: u8 = 6;
 const TAG_END: u8 = 7;
+const TAG_OPEN: u8 = 8;
+const TAG_NACK: u8 = 9;
+const TAG_CONTROL: u8 = 10;
+const TAG_CONTROL_RESULT: u8 = 11;
 
 const VTAG_UNIT: u8 = 0;
 const VTAG_INT: u8 = 1;
@@ -190,6 +233,32 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
             }
         }
         Frame::End => body.put_u8(TAG_END),
+        Frame::Open { handler } => {
+            body.put_u8(TAG_OPEN);
+            body.put_u64_le(*handler);
+        }
+        Frame::Nack { message } => {
+            body.put_u8(TAG_NACK);
+            put_string(&mut body, message);
+        }
+        Frame::Control { op, args } => {
+            body.put_u8(TAG_CONTROL);
+            put_string(&mut body, op);
+            put_values(&mut body, args);
+        }
+        Frame::ControlResult { result } => {
+            body.put_u8(TAG_CONTROL_RESULT);
+            match result {
+                Ok(value) => {
+                    body.put_u8(1);
+                    put_value(&mut body, value);
+                }
+                Err(message) => {
+                    body.put_u8(0);
+                    put_string(&mut body, message);
+                }
+            }
+        }
     }
     let mut framed = BytesMut::with_capacity(4 + body.len());
     framed.put_u32_le(body.len() as u32);
@@ -239,6 +308,36 @@ pub fn decode_frame(mut body: &[u8]) -> Result<Frame, DecodeError> {
             }
         }
         TAG_END => Frame::End,
+        TAG_OPEN => {
+            if body.remaining() < 8 {
+                return decode_err("truncated Open handler id");
+            }
+            Frame::Open {
+                handler: body.get_u64_le(),
+            }
+        }
+        TAG_NACK => Frame::Nack {
+            message: get_string(&mut body)?,
+        },
+        TAG_CONTROL => Frame::Control {
+            op: get_string(&mut body)?,
+            args: get_values(&mut body)?,
+        },
+        TAG_CONTROL_RESULT => {
+            if body.remaining() < 1 {
+                return decode_err("control result frame missing status");
+            }
+            let ok = body.get_u8() == 1;
+            if ok {
+                Frame::ControlResult {
+                    result: Ok(get_value(&mut body)?),
+                }
+            } else {
+                Frame::ControlResult {
+                    result: Err(get_string(&mut body)?),
+                }
+            }
+        }
         other => return decode_err(format!("unknown frame tag {other}")),
     };
     if body.has_remaining() {
@@ -411,6 +510,22 @@ mod tests {
             result: Err("no such method".to_string()),
         });
         roundtrip(Frame::End);
+        roundtrip(Frame::Open {
+            handler: u64::MAX - 7,
+        });
+        roundtrip(Frame::Nack {
+            message: "wrong shard".to_string(),
+        });
+        roundtrip(Frame::Control {
+            op: "stats".to_string(),
+            args: vec![WireValue::Str("detail".to_string())],
+        });
+        roundtrip(Frame::ControlResult {
+            result: Ok(WireValue::Int(3)),
+        });
+        roundtrip(Frame::ControlResult {
+            result: Err("unknown op".to_string()),
+        });
     }
 
     #[test]

@@ -34,6 +34,12 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         "[a-z0-9-]{0,16}".prop_map(|client| Frame::Hello { version: 1, client }),
         arb_wire_value(2).prop_map(|v| Frame::QueryResult { result: Ok(v) }),
         "[ -~]{0,32}".prop_map(|e| Frame::QueryResult { result: Err(e) }),
+        // Wire v2: the cluster-protocol frames.
+        any::<u64>().prop_map(|handler| Frame::Open { handler }),
+        "[ -~]{0,48}".prop_map(|message| Frame::Nack { message }),
+        ("[a-z_]{1,16}", arb_args()).prop_map(|(op, args)| Frame::Control { op, args }),
+        arb_wire_value(2).prop_map(|v| Frame::ControlResult { result: Ok(v) }),
+        "[ -~]{0,32}".prop_map(|e| Frame::ControlResult { result: Err(e) }),
     ]
 }
 
@@ -64,5 +70,38 @@ proptest! {
         for frame in &frames {
             prop_assert_eq!(&receiver.recv_frame().unwrap(), frame);
         }
+    }
+
+    /// Truncation at every prefix length: a partially received frame (a peer
+    /// dying mid-send) must yield an error, never a panic — and never a
+    /// bogus success, since a strict prefix of a valid frame body cannot be
+    /// a complete frame of the self-delimiting format.
+    #[test]
+    fn truncated_frames_error_instead_of_panicking(frame in arb_frame()) {
+        let encoded = encode_frame(&frame);
+        let body = &encoded[4..]; // strip the length prefix
+        for cut in 0..body.len() {
+            prop_assert!(decode_frame(&body[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    /// Single-bit corruption anywhere in a valid frame body: decoding must
+    /// not panic, and whatever it returns must be a clean verdict (an error
+    /// or a different-but-valid frame), exactly what an untrusted socket
+    /// peer can feed the node.
+    #[test]
+    fn bit_flipped_frames_never_panic(
+        frame in arb_frame(),
+        index_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let encoded = encode_frame(&frame);
+        let mut body = encoded[4..].to_vec();
+        if body.is_empty() {
+            return Ok(());
+        }
+        let index = (index_seed % body.len() as u64) as usize;
+        body[index] ^= 1 << bit;
+        let _ = decode_frame(&body);
     }
 }

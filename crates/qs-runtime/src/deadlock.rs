@@ -2,9 +2,7 @@
 //! wait-for registry.
 //!
 //! With [`crate::DeadlockPolicy`] enabled, the runtime's blocking edges
-//! report into the [`WaitRegistry`] for exactly the duration of the wait
-//! (the one exception, a ROADMAP follow-up: acquiring the lock-based
-//! configuration's handler lock itself):
+//! report into the [`WaitRegistry`] for exactly the duration of the wait:
 //!
 //! * **query edges** — a client (or a handler executing a nested separate
 //!   block) parked in a sync/query handoff, including
@@ -16,7 +14,12 @@
 //!   private queue (it cannot serve anyone else until that client logs more
 //!   requests or ends its block);
 //! * **reserve edges** — a client retrying a `reserve().when(...)` wait
-//!   condition.
+//!   condition;
+//! * **handler-lock edges** — a client blocked acquiring the lock-based
+//!   configuration's handler lock itself (held for a whole separate block,
+//!   Fig. 2), instrumented through [`lock_handler`]: an uncontended
+//!   `try_lock` stays registry-free, a contended acquisition registers the
+//!   edge for exactly the blocking part.
 //!
 //! The *waiter* identity is resolved at block time: a thread executing a
 //! handler's request attributes its waits to that handler (tracked by a
@@ -106,6 +109,61 @@ pub(crate) fn current_waiter(registry: &Arc<WaitRegistry>) -> ParticipantId {
         ids.0.push((key, participant, Arc::downgrade(registry)));
         participant
     })
+}
+
+/// Acquires a handler lock (the pre-Qs lock-based configuration's
+/// block-scoped mutex), attributing a contended wait to the wait-for
+/// registry as a `HandlerLock` edge.
+///
+/// The fast path is a plain `try_lock` — an uncontended acquisition only
+/// stamps the `holder` word.  When the lock is already held, the edge is
+/// registered against the *current holder* read from `holder` — not
+/// against the handler — because the party that must make progress to
+/// release a mutex is whoever holds it: that is what closes an ABBA cycle
+/// (client 1 holds A and waits on B's holder, client 2 holds B and waits
+/// on A's holder) in the wait-for graph.  The edge guard drops the moment
+/// the lock is acquired, so the edge exists for exactly the blocking
+/// window.  `HandlerLock` edges are not breakable: the monitor can report
+/// a lock cycle, but failing a mutex acquisition mid-protocol would poison
+/// the block, so `Report` is the honest policy for lock-based deadlocks.
+pub(crate) fn lock_handler<'a>(
+    lock: &'a parking_lot::Mutex<()>,
+    holder: &std::sync::atomic::AtomicU64,
+    tracking: Option<&Tracking>,
+) -> parking_lot::MutexGuard<'a, ()> {
+    use std::sync::atomic::Ordering;
+    let Some(tracking) = tracking else {
+        // Tracking off: the holder word is never read, skip maintaining it.
+        return lock.lock();
+    };
+    let waiter = current_waiter(&tracking.registry);
+    let guard = match lock.try_lock() {
+        Some(guard) => guard,
+        None => {
+            // If the holder released between the failed try_lock and this
+            // read (word already cleared), fall back to the handler's own
+            // identity: a momentarily-stale owner cannot be *confirmed* as
+            // a cycle, because confirmation needs the same edge on two
+            // consecutive scans and this edge dies as soon as we acquire.
+            let owner = match holder.load(Ordering::Acquire) {
+                0 => tracking.participant,
+                raw => ParticipantId(raw),
+            };
+            let _edge =
+                tracking
+                    .registry
+                    .register(waiter, owner, EdgeKind::HandlerLock, None, None);
+            lock.lock()
+        }
+    };
+    holder.store(waiter.0, Ordering::Release);
+    guard
+}
+
+/// Clears the holder stamp of a handler lock immediately before its guard
+/// is released (no-op while tracking is off — the word is never read then).
+pub(crate) fn unlock_handler(holder: &std::sync::atomic::AtomicU64) {
+    holder.store(0, std::sync::atomic::Ordering::Release);
 }
 
 /// RAII scope marking the current thread as executing a request of one

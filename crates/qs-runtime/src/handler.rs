@@ -115,6 +115,12 @@ pub(crate) struct HandlerCore<T> {
     /// Handler lock held by the reserving client for the whole separate block
     /// (lock-based configuration; Fig. 2 of the paper).
     pub(crate) client_lock: parking_lot::Mutex<()>,
+    /// Raw participant id of the party currently holding `client_lock`
+    /// (0 = unheld; maintained only while deadlock tracking is on).  A
+    /// blocked acquisition registers its wait-for edge against this holder —
+    /// not against the handler — which is what lets an ABBA lock cycle
+    /// between two clients close in the wait-for graph.
+    pub(crate) lock_holder: std::sync::atomic::AtomicU64,
 
     stopped: AtomicBool,
     finished: Event,
@@ -157,6 +163,7 @@ impl<T: Send + 'static> HandlerCore<T> {
             reservation_lock: SpinLock::new(()),
             request_queue: MutexQueue::with_capacity(config.mailbox_capacity),
             client_lock: parking_lot::Mutex::new(()),
+            lock_holder: std::sync::atomic::AtomicU64::new(0),
             stopped: AtomicBool::new(false),
             finished: Event::new(),
             final_value: SpinLock::new(None),

@@ -49,7 +49,7 @@ use qs_deadlock::{EdgeGuard, EdgeKind, ParticipantId, WaitRegistry};
 use qs_sync::{Backoff, SpinLock, SpinLockGuard};
 
 use crate::contracts::{WaitConfig, WaitTimeout};
-use crate::deadlock::current_waiter;
+use crate::deadlock::{current_waiter, Tracking};
 use crate::handler::{Handler, HandlerCore, HandlerId};
 use crate::separate::Separate;
 use crate::stats::RuntimeStats;
@@ -80,7 +80,9 @@ pub(crate) trait RawReservable {
     fn raw_queue_of_queues(&self) -> bool;
     fn raw_reservation_lock(&self) -> &SpinLock<()>;
     fn raw_client_lock(&self) -> &parking_lot::Mutex<()>;
+    fn raw_lock_holder(&self) -> &std::sync::atomic::AtomicU64;
     fn raw_stats(&self) -> &RuntimeStats;
+    fn raw_deadlock(&self) -> Option<&Tracking>;
 }
 
 impl<T> RawReservable for HandlerCore<T> {
@@ -96,8 +98,14 @@ impl<T> RawReservable for HandlerCore<T> {
     fn raw_client_lock(&self) -> &parking_lot::Mutex<()> {
         &self.client_lock
     }
+    fn raw_lock_holder(&self) -> &std::sync::atomic::AtomicU64 {
+        &self.lock_holder
+    }
     fn raw_stats(&self) -> &RuntimeStats {
         &self.stats
+    }
+    fn raw_deadlock(&self) -> Option<&Tracking> {
+        self.deadlock.as_ref()
     }
 }
 
@@ -183,10 +191,15 @@ impl<'h> AtomicRegistration<'h> {
             }
         } else {
             // Pre-Qs path: take the handler locks themselves, in id order,
-            // and hold them for the whole block (Fig. 2 semantics).
+            // and hold them for the whole block (Fig. 2 semantics).  Each
+            // contended acquisition is a reportable HandlerLock edge.
             lock_guards.resize_with(cores.len(), || None);
             for &i in order.iter() {
-                lock_guards[i] = Some(cores[i].raw_client_lock().lock());
+                lock_guards[i] = Some(crate::deadlock::lock_handler(
+                    cores[i].raw_client_lock(),
+                    cores[i].raw_lock_holder(),
+                    cores[i].raw_deadlock(),
+                ));
             }
         }
         AtomicRegistration {

@@ -53,7 +53,13 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
             Self::attach(core, None)
         } else {
             // Pre-Qs semantics: take the handler lock for the whole block.
-            let guard = core.client_lock.lock();
+            // A contended acquisition registers a HandlerLock wait-for edge
+            // so lock-order deadlocks between nested blocks are reportable.
+            let guard = crate::deadlock::lock_handler(
+                &core.client_lock,
+                &core.lock_holder,
+                core.deadlock.as_ref(),
+            );
             Self::attach(core, Some(guard))
         }
     }
@@ -461,6 +467,11 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
             producer.close();
         }
         // Lock-based path: releasing the handler lock ends the reservation.
+        // Clear the deadlock-tracking holder stamp first — after the guard
+        // drops the lock belongs to whoever acquires it next.
+        if self.lock_guard.is_some() {
+            crate::deadlock::unlock_handler(&self.core.lock_holder);
+        }
         self.lock_guard = None;
     }
 

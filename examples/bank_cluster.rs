@@ -1,0 +1,155 @@
+//! Distributed SCOOP over real sockets: a bank where **every user is a
+//! handler**, sharded across separate OS node processes by consistent
+//! hashing — the §7 "sockets as the underlying implementation" direction of
+//! the paper, now with genuine processes instead of in-process channels.
+//!
+//! The example re-executes itself: the parent spawns `bank_cluster node
+//! <addr>` children (two listening on loopback TCP, one on a Unix-domain
+//! socket), waits for each to print `READY <addr>`, installs the ring on all
+//! of them, then drives hundreds of per-user separate blocks from several
+//! client threads.  Every block ends with a balance query whose value is
+//! asserted exactly, so correctness is checked per user, not sampled.
+//!
+//! Run with `cargo run --release --example bank_cluster` (pass `smoke` for
+//! the quick CI-sized run).
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qs_bench::remote_sweep::{spawn_node, NodeProcess};
+use scoop_qs::cluster::{bank_service, ClusterClient, NodeConfig, NodeServer};
+use scoop_qs::remote::{NodeAddr, WireValue};
+
+/// Deposits issued per user block; the closing balance must equal this.
+const DEPOSITS_PER_USER: i64 = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        // Child mode: host one bank node and serve until told to shut down.
+        Some("node") => run_node(args.get(2).expect("usage: bank_cluster node <addr>")),
+        Some("smoke") => run_demo(150, 2),
+        _ => run_demo(900, 4),
+    }
+}
+
+/// The node side: start a [`NodeServer`] hosting per-user `Account`
+/// handlers, report the bound address (the parent reads this line to learn
+/// the ephemeral TCP port), then serve until a `shutdown` control arrives.
+fn run_node(listen: &str) {
+    let addr = NodeAddr::parse(listen).expect("listen address");
+    let server = NodeServer::start(bank_service(), NodeConfig::at(addr)).expect("start bank node");
+    println!("READY {}", server.addr());
+    std::io::stdout().flush().expect("flush READY line");
+    server.wait();
+}
+
+/// The driver side: spawn the cluster, shard `users` accounts across it,
+/// verify every balance, and print the placement evidence.
+fn run_demo(users: u64, client_threads: usize) {
+    println!("== bank_cluster: {users} users across 3 node processes ==\n");
+
+    // -- Topology: two loopback-TCP nodes plus one Unix-domain-socket node,
+    //    each a separate OS process of this very binary.
+    let unix_path =
+        std::env::temp_dir().join(format!("qs-bank-cluster-{}.sock", std::process::id()));
+    let listens = [
+        "tcp:127.0.0.1:0".to_string(),
+        "tcp:127.0.0.1:0".to_string(),
+        format!("unix:{}", unix_path.display()),
+    ];
+    let nodes: Vec<NodeProcess> = listens
+        .iter()
+        .map(|listen| spawn_node("node", listen).expect("spawn node process"))
+        .collect();
+    let addrs: Vec<NodeAddr> = nodes.iter().map(|n| n.addr().clone()).collect();
+    for addr in &addrs {
+        println!("node process up at {addr}");
+    }
+
+    // -- Install the consistent-hash ring on every node so each can refuse
+    //    blocks for handlers it does not own.
+    let client =
+        ClusterClient::new("bank-demo", &[]).with_response_timeout(Duration::from_secs(30));
+    client.set_ring(&addrs).expect("install ring");
+    println!("ring installed over {} nodes\n", addrs.len());
+    for addr in &addrs {
+        let pong = client
+            .control(&addr.to_string(), "ping", vec![])
+            .expect("ping node");
+        println!("ping {addr} -> {pong:?}");
+    }
+
+    // -- Drive one separate block per user from several client threads.
+    //    The block's deposits are asynchronous; the closing balance query
+    //    synchronises and is asserted exactly.
+    println!("\ndriving {users} users from {client_threads} client threads…");
+    let addrs = Arc::new(addrs);
+    let started = Instant::now();
+    let joins: Vec<_> = (0..client_threads)
+        .map(|t| {
+            let addrs = Arc::clone(&addrs);
+            std::thread::spawn(move || {
+                let client = ClusterClient::new(&format!("bank-demo-{t}"), &addrs)
+                    .with_response_timeout(Duration::from_secs(60));
+                let mut user = t as u64;
+                while user < users {
+                    let balance = client
+                        .separate(user, |s| {
+                            for _ in 0..DEPOSITS_PER_USER {
+                                s.call("deposit", vec![WireValue::Int(1)])?;
+                            }
+                            s.query("balance", vec![])
+                        })
+                        .and_then(|balance| balance)
+                        .unwrap_or_else(|e| panic!("user {user}: {e}"));
+                    assert_eq!(
+                        balance,
+                        WireValue::Int(DEPOSITS_PER_USER),
+                        "user {user} balance corrupted"
+                    );
+                    user += client_threads as u64;
+                }
+            })
+        })
+        .collect();
+    for join in joins {
+        join.join().expect("client thread");
+    }
+    let elapsed = started.elapsed();
+    let requests = users * (DEPOSITS_PER_USER as u64 + 1);
+    println!(
+        "all {users} balances exact: {requests} requests in {:.2?} ({:.0} req/s)\n",
+        elapsed,
+        requests as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+    );
+
+    // -- Placement evidence: the per-node handler counts show the ring
+    //    sharding users across all three processes.
+    let mut hosted_total = 0i64;
+    for addr in addrs.iter() {
+        let hosted = client
+            .control(&addr.to_string(), "handlers", vec![])
+            .expect("handlers control")
+            .as_int()
+            .expect("handler count");
+        hosted_total += hosted;
+        println!("{addr} hosts {hosted} user handlers");
+        assert!(hosted > 0, "every node should own a share of the users");
+    }
+    assert_eq!(
+        hosted_total as u64, users,
+        "every user lives on exactly one node"
+    );
+
+    // -- Tear down: a `shutdown` control per node, then reap the processes.
+    client.shutdown_cluster();
+    for node in nodes {
+        assert!(
+            node.wait_or_kill(Duration::from_secs(10)),
+            "node should exit on shutdown control"
+        );
+    }
+    println!("\nall node processes shut down cleanly");
+}

@@ -17,8 +17,12 @@
 //! * [`deadlock`] — the live wait-for registry and detector behind the
 //!   runtime's `DeadlockPolicy` knob (queries, blocked bounded pushes,
 //!   serving commitments, reservation retries).
-//! * [`remote`] — serialized private queues over byte channels: the §7
-//!   "sockets as the underlying implementation" direction.
+//! * [`remote`] — serialized private queues over byte channels and real
+//!   sockets (TCP / Unix-domain): the §7 "sockets as the underlying
+//!   implementation" direction.
+//! * [`cluster`] — multi-node SCOOP/Qs: consistent-hash handler placement,
+//!   node servers hosting per-user handlers on the pooled runtime, and a
+//!   routing cluster client.
 //! * [`queues`], [`sync`], [`exec`] — the substrates the runtime is built on.
 //! * [`baselines`] — shared-memory, channel, actor and STM paradigm
 //!   baselines standing in for C++/TBB, Go, Erlang and Haskell.
@@ -52,6 +56,7 @@
 //! ```
 
 pub use qs_baselines as baselines;
+pub use qs_cluster as cluster;
 pub use qs_compiler as compiler;
 pub use qs_deadlock as deadlock;
 pub use qs_exec as exec;

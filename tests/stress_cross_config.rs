@@ -742,6 +742,91 @@ fn deadlock_report_mode_observes_without_breaking() {
     drop(rt);
 }
 
+/// The pre-Qs lock-based configuration's classic failure mode: two clients
+/// open nested separate blocks on two handlers in opposite orders (ABBA).
+/// Handler locks are held for whole blocks (Fig. 2), so once both outer
+/// blocks are open the inner acquisitions deadlock — and the detector must
+/// name the cycle with `HandlerLock` edges, attributing each wait to the
+/// client *holding* the other lock (not to the handlers, which are idle).
+#[test]
+fn deadlock_lock_based_abba_cycle_is_reported_as_handler_lock_edges() {
+    use std::sync::Arc;
+
+    let rt = Runtime::new(
+        OptimizationLevel::None
+            .config()
+            .with_deadlock_policy(DeadlockPolicy::Report),
+    );
+    let a = rt.spawn_handler(0u64);
+    let b = rt.spawn_handler(0u64);
+    // Rendezvous: each thread sets its event once it holds its outer lock,
+    // and waits for the other before reaching for the inner one — so the
+    // ABBA cycle forms deterministically, not on a lucky interleaving.
+    let a_held = Arc::new(scoop_qs::sync::Event::new());
+    let b_held = Arc::new(scoop_qs::sync::Event::new());
+    let forward = {
+        let (a, b) = (a.clone(), b.clone());
+        let (a_held, b_held) = (Arc::clone(&a_held), Arc::clone(&b_held));
+        std::thread::spawn(move || {
+            a.separate(|sa| {
+                sa.call(|v| *v += 1);
+                a_held.set();
+                b_held.wait();
+                b.separate(|sb| sb.call(|v| *v += 1)); // <- blocks forever
+            });
+        })
+    };
+    let backward = {
+        let (a, b) = (a.clone(), b.clone());
+        let (a_held, b_held) = (Arc::clone(&a_held), Arc::clone(&b_held));
+        std::thread::spawn(move || {
+            b.separate(|sb| {
+                sb.call(|v| *v += 1);
+                b_held.set();
+                a_held.wait();
+                a.separate(|sa| sa.call(|v| *v += 1)); // <- blocks forever
+            });
+        })
+    };
+
+    let context = "lock-based ABBA";
+    await_detection(&rt, context);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let snapshot = rt.stats_snapshot();
+    assert_eq!(snapshot.deadlocks_detected, 1, "{context}: {snapshot:?}");
+    assert_eq!(
+        snapshot.deadlocks_broken, 0,
+        "{context}: HandlerLock edges are not breakable: {snapshot:?}"
+    );
+    let reports = rt.deadlock_reports();
+    assert_eq!(reports.len(), 1, "{context}");
+    let report = &reports[0];
+    assert_eq!(report.edges.len(), 2, "{context}: {report}");
+    assert!(
+        report
+            .kinds()
+            .iter()
+            .all(|kind| *kind == DeadlockEdgeKind::HandlerLock),
+        "{context}: pure lock cycle, got {report}"
+    );
+    let mut participants: Vec<&str> = report.participants();
+    participants.sort_unstable();
+    participants.dedup();
+    assert_eq!(participants.len(), 2, "{context}: two distinct clients");
+    assert!(
+        participants.iter().all(|p| p.starts_with("client-")),
+        "{context}: waits belong to the lock-holding clients: {participants:?}"
+    );
+
+    // The deadlock is permanent by construction (nothing can break a mutex
+    // acquisition): leak the two pinned client threads and the runtime —
+    // the same abandonment as the Report-mode ring above.
+    drop(forward);
+    drop(backward);
+    drop((a, b));
+    std::mem::forget(rt);
+}
+
 /// The no-false-positive control: a heavily backpressured but *acyclic*
 /// pipeline under `DeadlockPolicy::Report` must finish with plenty of
 /// genuine blocking (stalls > 0) and zero deadlock reports, in both

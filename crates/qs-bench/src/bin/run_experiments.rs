@@ -3,6 +3,8 @@
 //! ```text
 //! run_experiments [table1|table2|table4|table5|fig19|summary|all] [quick|standard|paper]
 //! run_experiments scheduler [smoke|quick|full]   # writes BENCH_scheduler.json
+//! run_experiments waits [smoke|quick|full]       # guarded-wait parking vs polling,
+//!                                                # writes BENCH_waits.json
 //! run_experiments remote [smoke|quick|full]      # multi-process cluster sweep,
 //!                                                # writes BENCH_remote.json
 //! run_experiments remote-node <addr>             # internal: one cluster node process
@@ -18,10 +20,14 @@ use qs_bench::remote_sweep::{
 
 use qs_bench::experiments::{
     backpressure_sweep, fig19_scalability, scheduler_sweep, table1_opt_parallel,
-    table2_opt_concurrent, table4_lang_parallel, table5_lang_concurrent, BackpressurePoint, Scale,
-    SchedulerPoint, BACKPRESSURE_CALLS_PER_BLOCK, BACKPRESSURE_CAPACITY, BACKPRESSURE_PIPELINES,
+    table2_opt_concurrent, table4_lang_parallel, table5_lang_concurrent, wait_latency_point,
+    wait_scaling_point, BackpressurePoint, Scale, SchedulerPoint, WaitLatencyPoint,
+    WaitScalingPoint, WaitStrategy, BACKPRESSURE_CALLS_PER_BLOCK, BACKPRESSURE_CAPACITY,
+    BACKPRESSURE_PIPELINES, WAIT_LATENCY_GAP, WAIT_SCALING_STEPS, WAIT_SCALING_STEP_GAP,
+    WAIT_SCALING_WAITERS,
 };
 use qs_bench::report::{geometric_mean, print_table};
+use qs_runtime::SchedulerMode;
 use qs_workloads::types::ParallelTask;
 
 fn fmt(values: &[f64]) -> Vec<String> {
@@ -320,6 +326,205 @@ fn run_scheduler_sweep(scale: &str) {
     );
 }
 
+/// Ceiling on the parked waiter's median resume latency (state change
+/// applied on the handler → waiter's body observes it).  The CI smoke run
+/// fails above it: an event-driven waiter that resumes on 1ms-polling
+/// timescales has regressed back into the retry loop.
+const WAIT_RESUME_MEDIAN_MAX_MICROS: f64 = 100.0;
+
+/// Minimum polling/parked ratio of `wait_condition_checks` in the
+/// 100-waiter scaling experiment: parked evaluations are O(signals), the
+/// polling baseline's are O(waiters × elapsed / 1ms).
+const WAIT_CHECKS_MIN_RATIO: f64 = 10.0;
+
+/// JSON for the guarded-wait experiments (hand-rolled — the workspace is
+/// offline, no serde).
+fn wait_points_to_json(
+    latency: &[WaitLatencyPoint],
+    scaling: &[WaitScalingPoint],
+    checks_ratio: f64,
+) -> String {
+    let mut out = String::from("{\n  \"bench\": \"guarded_wait_sweep\",\n");
+    out.push_str(&format!(
+        "  \"resume_latency\": {{\n    \"producer_gap_micros\": {},\n    \"points\": [\n",
+        WAIT_LATENCY_GAP.as_micros()
+    ));
+    for (i, p) in latency.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"mode\": \"{}\", \"strategy\": \"{}\", \"rounds\": {}, \
+             \"median_resume_micros\": {:.2}, \"p95_resume_micros\": {:.2}, \
+             \"wait_condition_checks\": {}, \"guard_wakeups\": {}}}{}\n",
+            p.mode,
+            p.strategy,
+            p.rounds,
+            p.median_resume_micros,
+            p.p95_resume_micros,
+            p.wait_condition_checks,
+            p.guard_wakeups,
+            if i + 1 == latency.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("    ]\n  },\n");
+    out.push_str(&format!(
+        "  \"scaling\": {{\n    \"waiters\": {WAIT_SCALING_WAITERS}, \
+         \"steps\": {WAIT_SCALING_STEPS}, \"step_gap_ms\": {},\n    \"points\": [\n",
+        WAIT_SCALING_STEP_GAP.as_millis()
+    ));
+    for (i, p) in scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"mode\": \"{}\", \"strategy\": \"{}\", \"waiters\": {}, \
+             \"elapsed_secs\": {:.6}, \"wait_condition_checks\": {}, \
+             \"guard_signals\": {}, \"guard_wakeups\": {}}}{}\n",
+            p.mode,
+            p.strategy,
+            p.waiters,
+            p.elapsed.as_secs_f64(),
+            p.wait_condition_checks,
+            p.guard_signals,
+            p.guard_wakeups,
+            if i + 1 == scaling.len() { "" } else { "," },
+        ));
+    }
+    out.push_str(&format!(
+        "    ],\n    \"polling_over_parked_checks\": {checks_ratio:.2}\n  }},\n"
+    ));
+    out.push_str(&format!(
+        "  \"gates\": {{\"max_parked_median_resume_micros\": \
+         {WAIT_RESUME_MEDIAN_MAX_MICROS}, \"min_polling_over_parked_checks\": \
+         {WAIT_CHECKS_MIN_RATIO}}}\n}}\n"
+    ));
+    out
+}
+
+/// The `waits` mode: measure parked versus polling wait conditions and
+/// write `BENCH_waits.json`.
+fn run_waits_sweep(scale: &str) {
+    let latency_rounds = match scale {
+        "smoke" => 300,
+        "quick" => 1_000,
+        _ => 3_000,
+    };
+    let pooled = SchedulerMode::Pooled { workers: 4 };
+    let latency = vec![
+        wait_latency_point(
+            SchedulerMode::Dedicated,
+            WaitStrategy::Parked,
+            latency_rounds,
+        ),
+        wait_latency_point(pooled, WaitStrategy::Parked, latency_rounds),
+        wait_latency_point(
+            SchedulerMode::Dedicated,
+            WaitStrategy::Polling,
+            latency_rounds,
+        ),
+    ];
+    let scaling = vec![
+        wait_scaling_point(
+            SchedulerMode::Dedicated,
+            WaitStrategy::Parked,
+            WAIT_SCALING_WAITERS,
+        ),
+        wait_scaling_point(pooled, WaitStrategy::Parked, WAIT_SCALING_WAITERS),
+        wait_scaling_point(
+            SchedulerMode::Dedicated,
+            WaitStrategy::Polling,
+            WAIT_SCALING_WAITERS,
+        ),
+    ];
+
+    let rows: Vec<(String, Vec<String>)> = latency
+        .iter()
+        .map(|p| {
+            (
+                format!("{} / {}", p.mode, p.strategy),
+                vec![
+                    format!("{:.1}", p.median_resume_micros),
+                    format!("{:.1}", p.p95_resume_micros),
+                    p.wait_condition_checks.to_string(),
+                    p.guard_wakeups.to_string(),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Guarded waits — resume latency over {latency_rounds} rounds \
+             (producer gap {}µs)",
+            WAIT_LATENCY_GAP.as_micros()
+        ),
+        &[
+            "mode / strategy".to_string(),
+            "median µs".to_string(),
+            "p95 µs".to_string(),
+            "checks".to_string(),
+            "wakeups".to_string(),
+        ],
+        &rows,
+    );
+
+    let parked_checks = scaling
+        .iter()
+        .find(|p| p.strategy == "parked" && p.mode == "Dedicated")
+        .map(|p| p.wait_condition_checks)
+        .unwrap_or(0);
+    let polling_checks = scaling
+        .iter()
+        .find(|p| p.strategy == "polling")
+        .map(|p| p.wait_condition_checks)
+        .unwrap_or(0);
+    let checks_ratio = polling_checks as f64 / (parked_checks as f64).max(f64::MIN_POSITIVE);
+    let rows: Vec<(String, Vec<String>)> = scaling
+        .iter()
+        .map(|p| {
+            (
+                format!("{} / {}", p.mode, p.strategy),
+                vec![
+                    p.wait_condition_checks.to_string(),
+                    p.guard_signals.to_string(),
+                    p.guard_wakeups.to_string(),
+                    format!("{:.2}", p.elapsed.as_secs_f64()),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Guarded waits — {WAIT_SCALING_WAITERS} waiters, {WAIT_SCALING_STEPS} \
+             spaced signals (polling/parked checks = {checks_ratio:.1})"
+        ),
+        &[
+            "mode / strategy".to_string(),
+            "checks".to_string(),
+            "signals".to_string(),
+            "wakeups".to_string(),
+            "elapsed s".to_string(),
+        ],
+        &rows,
+    );
+
+    let json = wait_points_to_json(&latency, &scaling, checks_ratio);
+    let path = "BENCH_waits.json";
+    std::fs::write(path, json).expect("write BENCH_waits.json");
+    println!("wrote {path}");
+
+    // Regression gates, run in release by CI.
+    for p in latency.iter().filter(|p| p.strategy == "parked") {
+        assert!(
+            p.median_resume_micros < WAIT_RESUME_MEDIAN_MAX_MICROS,
+            "guarded-wait regression: {} parked median resume latency {:.1}µs \
+             (ceiling {WAIT_RESUME_MEDIAN_MAX_MICROS}µs); see BENCH_waits.json",
+            p.mode,
+            p.median_resume_micros,
+        );
+    }
+    assert!(
+        checks_ratio >= WAIT_CHECKS_MIN_RATIO,
+        "guarded-wait regression: polling made only {checks_ratio:.1}x the parked \
+         path's condition evaluations (minimum {WAIT_CHECKS_MIN_RATIO}) — the parked \
+         path is polling again; see BENCH_waits.json"
+    );
+}
+
 /// JSON for the distributed sweep (hand-rolled — the workspace is offline,
 /// no serde).
 fn remote_points_to_json(points: &[RemotePoint]) -> String {
@@ -436,6 +641,10 @@ fn main() {
     let what = args.get(1).map(String::as_str).unwrap_or("all");
     if what == "scheduler" {
         run_scheduler_sweep(args.get(2).map(String::as_str).unwrap_or("full"));
+        return;
+    }
+    if what == "waits" {
+        run_waits_sweep(args.get(2).map(String::as_str).unwrap_or("full"));
         return;
     }
     if what == "remote" {

@@ -4,7 +4,7 @@
 use std::time::{Duration, Instant};
 
 use qs_baselines::Paradigm;
-use qs_runtime::{OptimizationLevel, Runtime, RuntimeConfig, SchedulerMode};
+use qs_runtime::{reserve, OptimizationLevel, Runtime, RuntimeConfig, SchedulerMode, WaitConfig};
 use qs_workloads::concurrent::{
     run_concurrent, run_concurrent_scoop, ConcurrentParams, ConcurrentTask,
 };
@@ -424,6 +424,197 @@ pub fn backpressure_sweep(blocks: usize, rounds: usize) -> (BackpressurePoint, B
     let dedicated = best(SchedulerMode::Dedicated);
     let pooled = best(SchedulerMode::Pooled { workers: 1 });
     (dedicated, pooled)
+}
+
+// ---------------------------------------------------------------------------
+// Guarded waits: event-driven parking versus the retry-polling baseline
+// ---------------------------------------------------------------------------
+
+/// Which wait loop `reserve(...).when(...)` runs in a wait experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitStrategy {
+    /// The default event-driven loop: park on the handlers' guard-waiter
+    /// registries, resume on signals.
+    Parked,
+    /// The legacy retry-polling loop, forced through a bounded-attempt
+    /// policy (`max_retries: usize::MAX` never fires, but its presence
+    /// selects the polling path) — the differential baseline.
+    Polling,
+}
+
+impl WaitStrategy {
+    /// Display label for tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            WaitStrategy::Parked => "parked",
+            WaitStrategy::Polling => "polling",
+        }
+    }
+
+    /// The `WaitConfig` selecting this strategy.
+    pub fn config(self) -> WaitConfig {
+        match self {
+            WaitStrategy::Parked => WaitConfig::default(),
+            WaitStrategy::Polling => WaitConfig {
+                max_retries: Some(usize::MAX),
+                ..WaitConfig::default()
+            },
+        }
+    }
+}
+
+/// Gap between producer state changes in the resume-latency experiment —
+/// long enough that the waiter is parked (or deep in the polling loop's
+/// sleep phase) when the change lands.
+pub const WAIT_LATENCY_GAP: Duration = Duration::from_millis(1);
+
+/// One measured point of the wake-latency experiment: a single waiter
+/// chasing a producer that advances the condition every
+/// [`WAIT_LATENCY_GAP`], measuring state-change-to-body latency per round.
+#[derive(Debug, Clone)]
+pub struct WaitLatencyPoint {
+    /// Scheduling mode label ("Dedicated" / "Pooled").
+    pub mode: String,
+    /// Wait strategy label ("parked" / "polling").
+    pub strategy: String,
+    /// Measured rounds.
+    pub rounds: usize,
+    /// Median latency from the handler applying the state change to the
+    /// waiter's body observing it, in microseconds.
+    pub median_resume_micros: f64,
+    /// 95th-percentile resume latency in microseconds.
+    pub p95_resume_micros: f64,
+    /// Condition evaluations over the whole run.
+    pub wait_condition_checks: u64,
+    /// Wake-ups of parked waiters by guard signals (0 under polling).
+    pub guard_wakeups: u64,
+}
+
+/// Measures waiter resume latency: the producer stamps the instant the
+/// state change is applied on the handler, and the waiter's body reads the
+/// stamp's age — signal, unpark, re-reservation and sync included.
+pub fn wait_latency_point(
+    mode: SchedulerMode,
+    strategy: WaitStrategy,
+    rounds: usize,
+) -> WaitLatencyPoint {
+    struct LatencyCell {
+        value: u64,
+        stamp: Option<Instant>,
+    }
+    let rt = Runtime::new(RuntimeConfig::all_optimizations().with_scheduler(mode));
+    let cell = rt.spawn_handler(LatencyCell {
+        value: 0,
+        stamp: None,
+    });
+    let producer = {
+        let cell = cell.clone();
+        std::thread::spawn(move || {
+            for _ in 0..rounds {
+                std::thread::sleep(WAIT_LATENCY_GAP);
+                cell.call_detached(|c| {
+                    c.value += 1;
+                    c.stamp = Some(Instant::now());
+                });
+            }
+        })
+    };
+    let mut resumes_micros: Vec<f64> = Vec::with_capacity(rounds);
+    for round in 0..rounds as u64 {
+        let resumed = reserve(&cell)
+            .when(move |c: &LatencyCell| c.value > round)
+            .timeout(strategy.config())
+            .try_run(|guard| guard.query(|c| c.stamp.expect("producer stamped").elapsed()))
+            .expect("the latency wait never times out");
+        resumes_micros.push(resumed.as_secs_f64() * 1e6);
+    }
+    producer.join().unwrap();
+    resumes_micros.sort_by(f64::total_cmp);
+    let snap = rt.stats_snapshot();
+    WaitLatencyPoint {
+        mode: mode.label().to_string(),
+        strategy: strategy.label().to_string(),
+        rounds,
+        median_resume_micros: resumes_micros[rounds / 2],
+        p95_resume_micros: resumes_micros[(rounds * 95 / 100).min(rounds - 1)],
+        wait_condition_checks: snap.wait_condition_checks,
+        guard_wakeups: snap.guard_wakeups,
+    }
+}
+
+/// Concurrent waiters in the scaling experiment.
+pub const WAIT_SCALING_WAITERS: usize = 100;
+/// Producer steps driving the scaling experiment's condition true.
+pub const WAIT_SCALING_STEPS: u64 = 10;
+/// Gap between producer steps — the window in which parked waiters cost
+/// nothing and polling waiters burn evaluations.
+pub const WAIT_SCALING_STEP_GAP: Duration = Duration::from_millis(35);
+
+/// One measured point of the waiter-scaling experiment:
+/// [`WAIT_SCALING_WAITERS`] clients parked on one handler while a producer
+/// advances the condition in [`WAIT_SCALING_STEPS`] spaced steps.  The
+/// interesting figure is `wait_condition_checks`: O(waiters × signals) when
+/// parked, O(waiters × elapsed / 1ms) when polling.
+#[derive(Debug, Clone)]
+pub struct WaitScalingPoint {
+    /// Scheduling mode label ("Dedicated" / "Pooled").
+    pub mode: String,
+    /// Wait strategy label ("parked" / "polling").
+    pub strategy: String,
+    /// Concurrent waiters.
+    pub waiters: usize,
+    /// Wall-clock time until every waiter resolved.
+    pub elapsed: Duration,
+    /// Condition evaluations over the whole run.
+    pub wait_condition_checks: u64,
+    /// Conservative guard signals fired by the runtime.
+    pub guard_signals: u64,
+    /// Wake-ups of parked waiters (0 under polling).
+    pub guard_wakeups: u64,
+}
+
+/// Runs the waiter-scaling workload under one mode and strategy.
+pub fn wait_scaling_point(
+    mode: SchedulerMode,
+    strategy: WaitStrategy,
+    waiters: usize,
+) -> WaitScalingPoint {
+    let rt = Runtime::new(RuntimeConfig::all_optimizations().with_scheduler(mode));
+    let counter = rt.spawn_handler(0u64);
+    let start = Instant::now();
+    let threads: Vec<_> = (0..waiters)
+        .map(|_| {
+            let counter = counter.clone();
+            std::thread::spawn(move || {
+                reserve(&counter)
+                    .when(|c: &u64| *c >= WAIT_SCALING_STEPS)
+                    .timeout(strategy.config())
+                    .try_run(|_| ())
+                    .expect("the scaling wait never times out");
+            })
+        })
+        .collect();
+    // Let every waiter pass its spin window first, then advance the
+    // condition in spaced steps.
+    std::thread::sleep(Duration::from_millis(50));
+    for _ in 0..WAIT_SCALING_STEPS {
+        std::thread::sleep(WAIT_SCALING_STEP_GAP);
+        counter.call_detached(|c| *c += 1);
+    }
+    for thread in threads {
+        thread.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    let snap = rt.stats_snapshot();
+    WaitScalingPoint {
+        mode: mode.label().to_string(),
+        strategy: strategy.label().to_string(),
+        waiters,
+        elapsed,
+        wait_condition_checks: snap.wait_condition_checks,
+        guard_signals: snap.guard_signals,
+        guard_wakeups: snap.guard_wakeups,
+    }
 }
 
 #[cfg(test)]

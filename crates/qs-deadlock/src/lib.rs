@@ -122,12 +122,14 @@ impl EdgeKind {
         }
     }
 
-    /// Whether the `Break` policy can fail this edge's wait.  Only blocked
-    /// bounded pushes poll their break token; query handoffs, reservation
-    /// retries and mutex acquisitions cannot be failed without corrupting
-    /// their protocol.
+    /// Whether the `Break` policy can fail this edge's wait.  Blocked
+    /// bounded pushes poll their break token, and a parked `reserve().when`
+    /// waiter checks it on every wake (its edge carries a waker that unparks
+    /// the client), surfacing the break as a `WaitTimeout`; query handoffs
+    /// and mutex acquisitions cannot be failed without corrupting their
+    /// protocol.
     pub fn breakable(self) -> bool {
-        matches!(self, EdgeKind::MailboxPush)
+        matches!(self, EdgeKind::MailboxPush | EdgeKind::ReserveWait)
     }
 }
 

@@ -219,7 +219,10 @@ impl TaskHandle {
     /// is routed through the scheduler's priority lane — consulted before
     /// every worker's LIFO deque — so a consumer whose producer is blocked
     /// (or nearly blocked) on a bounded queue runs promptly instead of
-    /// queueing behind burst-mode peers.
+    /// queueing behind burst-mode peers.  The runtime also routes guard
+    /// wakes here: clients parked on a `reserve().when` condition resume
+    /// only after this task processes the block that may satisfy it, so
+    /// delaying the task delays them too.
     ///
     /// The pressure marking is sticky until the task's next enqueue: a
     /// pressure wake that finds the task `Running` or already `Scheduled`

@@ -118,6 +118,10 @@ pub trait BlockWatcher: Send + Sync {
 ///   producer/consumer interleaving dedicated threads would get.
 /// * All other enqueues fire [`Enqueue`](WakeReason::Enqueue), and a close
 ///   fires [`Close`](WakeReason::Close).
+/// * The queues themselves never fire [`Guard`](WakeReason::Guard); a
+///   runtime layer that knows clients are parked on a guard whose truth the
+///   consumer's progress may change fires it *in addition to* the ordinary
+///   close wake, asking for prompt scheduling like `Pressure` does.
 /// * Receivers may not drop a wake based on its reason: the reason modulates
 ///   scheduling priority only.  Producers may over-report pressure
 ///   (spuriously), never under-report it while actually blocking.
@@ -131,6 +135,11 @@ pub enum WakeReason {
     /// a full queue: the producer is being throttled, schedule the consumer
     /// promptly.
     Pressure,
+    /// Clients are parked on a wait condition over the consumer's state and
+    /// the work just made visible may change its truth: schedule the
+    /// consumer promptly so the pending guard signal (fired when the
+    /// consumer processes the work) is not delayed behind a long run queue.
+    Guard,
 }
 
 /// Outcome of a blocking dequeue operation.

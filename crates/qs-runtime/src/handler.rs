@@ -66,6 +66,12 @@ pub(crate) struct ClientMailbox<T> {
     /// stale — the handler is about to run, not blocked — and must not
     /// complete a cycle at scan time.
     pub(crate) serving_probe: Option<qs_deadlock::ProbeFn>,
+    /// Whether processing this block's close should conservatively signal
+    /// the handler's parked guard waiters (the block may have changed state
+    /// a `reserve().when` condition depends on).  False for the *probe*
+    /// blocks the wait-condition machinery itself opens — their closes are
+    /// silent, or every re-evaluation by one waiter would wake all others.
+    pub(crate) signal_on_close: bool,
 }
 
 /// Caps the batch buffer's *pre*-allocation: a huge `max_batch` (e.g.
@@ -136,6 +142,10 @@ pub(crate) struct HandlerCore<T> {
     /// identity); `None` when the runtime's `DeadlockPolicy` is `Off`, which
     /// keeps every blocking path un-instrumented.
     pub(crate) deadlock: Option<Tracking>,
+
+    /// Parked `reserve().when` waiters whose conditions depend on this
+    /// handler's state; signalled when a separate block completes on it.
+    pub(crate) guards: Arc<crate::guard::GuardRegistry>,
 }
 
 // SAFETY: access to `object` is serialised by the execution model (handler
@@ -153,6 +163,7 @@ impl<T: Send + 'static> HandlerCore<T> {
         object: T,
         deadlock: Option<Tracking>,
     ) -> Arc<Self> {
+        let guards = Arc::new(crate::guard::GuardRegistry::new(Arc::clone(&stats)));
         Arc::new(HandlerCore {
             id,
             config,
@@ -169,6 +180,7 @@ impl<T: Send + 'static> HandlerCore<T> {
             final_value: SpinLock::new(None),
             wake_hook: OnceValue::new(),
             deadlock,
+            guards,
         })
     }
 
@@ -237,6 +249,9 @@ impl<T: Send + 'static> HandlerCore<T> {
         if !self.stopped.swap(true, Ordering::AcqRel) {
             self.qoq.close();
             self.request_queue.close();
+            // Guard waiters parked on a dying handler must not strand: wake
+            // them so their next evaluation observes the shutdown.
+            self.guards.signal_all();
         }
     }
 
@@ -331,6 +346,12 @@ impl<T: Send + 'static> HandlerCore<T> {
                     self.apply(request);
                 }
             }
+            // END of this client's block: its calls may have changed state a
+            // parked `reserve().when` condition depends on, so conservatively
+            // signal the pending guards (probe blocks stay silent).
+            if private_queue.signal_on_close {
+                self.guards.signal_all();
+            }
         }
     }
 
@@ -383,10 +404,17 @@ impl<T: Send + 'static> HandlerCore<T> {
                 .consumer
                 .try_drain_batch(&mut state.batch, max_batch)
             {
-                // END rule: the client closed its mailbox; move on.
+                // END rule: the client closed its mailbox; move on.  The
+                // finished block may have changed state a parked
+                // `reserve().when` condition depends on — signal the pending
+                // guards (probe blocks stay silent).
                 Err(Closed) => {
                     state.serving = None;
-                    state.current = None;
+                    if let Some(closed) = state.current.take() {
+                        if closed.signal_on_close {
+                            self.guards.signal_all();
+                        }
+                    }
                 }
                 // Mid-block and momentarily empty: the handler is "parked on
                 // the client's queue" from the client's point of view.
@@ -604,6 +632,9 @@ impl<T: Send + 'static> Drop for PooledHandler<T> {
         while let Ok(Some(queue)) = self.core.qoq.try_dequeue() {
             drop(queue);
         }
+        // Any guard waiter parked on this handler will never receive another
+        // handler-side signal; wake them so they observe the teardown.
+        self.core.guards.signal_all();
     }
 }
 

@@ -72,6 +72,8 @@
 pub mod config;
 pub mod contracts;
 mod deadlock;
+#[doc(hidden)]
+pub mod guard;
 pub mod handler;
 pub mod request;
 pub mod reserve;

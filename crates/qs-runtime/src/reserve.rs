@@ -39,7 +39,12 @@
 //! Wait conditions follow the SCOOP contract semantics (§2.2): the condition
 //! is evaluated under the reservation, the body runs under that *same*
 //! reservation when it holds, and the reservation is released between
-//! retries so other clients can make the condition true.
+//! attempts so other clients can make the condition true.  Between attempts
+//! the client does not poll: it parks on a per-handler registry of guard
+//! waiters ([`crate::guard`]) and is signalled when a handler finishes a
+//! block that may have changed the condition's truth.  The legacy retry-poll
+//! loop survives only for bounded-attempt policies and behind the
+//! `wait-retry-poll` feature (differential testing).
 
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -50,6 +55,7 @@ use qs_sync::{Backoff, SpinLock, SpinLockGuard};
 
 use crate::contracts::{WaitConfig, WaitTimeout};
 use crate::deadlock::{current_waiter, Tracking};
+use crate::guard::{enter_probe_round, GuardRegistry, ParkedWaiter};
 use crate::handler::{Handler, HandlerCore, HandlerId};
 use crate::separate::Separate;
 use crate::stats::RuntimeStats;
@@ -58,7 +64,12 @@ use crate::stats::RuntimeStats;
 /// to register `ReserveWait` wait-for edges while a wait condition retries.
 type DeadlockTargets = Vec<(Arc<WaitRegistry>, ParticipantId)>;
 
-/// After this many failed wait-condition attempts the retry loop sleeps
+/// The guard-waiter registries of a reservation set's handlers, one per
+/// handler, used to park a client whose wait condition failed.
+type GuardRegistries = Vec<Arc<GuardRegistry>>;
+
+/// After this many failed wait-condition attempts the *polling* wait loop
+/// (bounded policies and the `wait-retry-poll` feature) sleeps
 /// [`RETRY_SLEEP`] between evaluations instead of spinning/yielding: a
 /// condition that failed hundreds of times is not latency-critical, a hot
 /// loop burning a core forever is a bug of its own, and the wide sleep
@@ -245,6 +256,11 @@ pub trait ReservationSet<'h>: Copy {
     /// the runtime's `DeadlockPolicy` is `Off`).
     #[doc(hidden)]
     fn deadlock_targets(self) -> DeadlockTargets;
+
+    /// The guard-waiter registries of the set's handlers, one per handler —
+    /// where a client parks while its wait condition is false.
+    #[doc(hidden)]
+    fn guard_registries(self) -> GuardRegistries;
 }
 
 fn deadlock_target<T: Send + 'static>(
@@ -271,6 +287,10 @@ impl<'h, T: Send + 'static> ReservationSet<'h> for &'h Handler<T> {
 
     fn deadlock_targets(self) -> DeadlockTargets {
         deadlock_target(self).into_iter().collect()
+    }
+
+    fn guard_registries(self) -> GuardRegistries {
+        vec![Arc::clone(&self.core().guards)]
     }
 }
 
@@ -306,6 +326,11 @@ macro_rules! impl_reservation_set_for_tuple {
                 let mut targets = DeadlockTargets::new();
                 $(targets.extend(deadlock_target($name));)+
                 targets
+            }
+
+            fn guard_registries(self) -> GuardRegistries {
+                let ($($name,)+) = self;
+                vec![$(Arc::clone(&$name.core().guards),)+]
             }
         }
     )+};
@@ -348,6 +373,10 @@ impl<'h, T: Send + 'static> ReservationSet<'h> for &'h [Handler<T>] {
     fn deadlock_targets(self) -> DeadlockTargets {
         self.iter().filter_map(deadlock_target).collect()
     }
+
+    fn guard_registries(self) -> GuardRegistries {
+        self.iter().map(|h| Arc::clone(&h.core().guards)).collect()
+    }
 }
 
 impl<'h, T: Send + 'static> ReservationSet<'h> for &'h Vec<Handler<T>> {
@@ -363,6 +392,10 @@ impl<'h, T: Send + 'static> ReservationSet<'h> for &'h Vec<Handler<T>> {
 
     fn deadlock_targets(self) -> DeadlockTargets {
         self.as_slice().deadlock_targets()
+    }
+
+    fn guard_registries(self) -> GuardRegistries {
+        self.as_slice().guard_registries()
     }
 }
 
@@ -553,11 +586,201 @@ impl<'h, S: ReservationSet<'h>, C: WaitCondition<'h, S>> GuardedReservation<'h, 
 
     /// Runs `body` once the wait condition holds, giving up according to the
     /// configured [`timeout`](Reservation::timeout) policy.
+    ///
+    /// Failed evaluations do not poll: after a brief spin window the client
+    /// registers itself with every handler of the set and parks until some
+    /// handler finishes a block — the only event that can change the
+    /// condition's truth — then re-reserves and re-evaluates.  A bounded
+    /// `max_retries` policy keeps the legacy polling loop instead (an
+    /// attempt budget is meaningless while parked: a parked client makes no
+    /// attempts), as does building with the `wait-retry-poll` feature.
     pub fn try_run<R>(self, body: impl FnOnce(&mut S::Guards) -> R) -> Result<R, WaitTimeout> {
+        if cfg!(feature = "wait-retry-poll") || self.config.max_retries.is_some() {
+            self.try_run_polling(body)
+        } else {
+            self.try_run_parking(body)
+        }
+    }
+
+    /// The event-driven wait loop: park on the set's guard registries
+    /// between failed evaluations instead of polling.
+    ///
+    /// Lost-signal freedom: the waiter registers with every handler's
+    /// registry — and clears its signal flag — *while the failed
+    /// reservation is still open*, i.e. while every handler of the set is
+    /// parked on this client's queues (or its locks are held).  Any
+    /// state-changing block therefore completes only after this round's
+    /// release, so its signal necessarily lands after the registration;
+    /// blocks that completed before the round was observed by the
+    /// evaluation itself.
+    fn try_run_parking<R>(self, body: impl FnOnce(&mut S::Guards) -> R) -> Result<R, WaitTimeout> {
+        let stats = self.set.shared_stats();
+        let registries = self.set.guard_registries();
+        let mut body = Some(body);
+        let mut attempts = 0usize;
+        let deadline = self
+            .config
+            .max_wait
+            .map(|max_wait| Instant::now() + max_wait);
+        let backoff = Backoff::new();
+        // Registered with every handler of the set on the first failed
+        // evaluation; dropping it (on return) deregisters everywhere.
+        let mut parking: Option<ParkedWaiter> = None;
+        // Deadlock tracking: from the first failed attempt this client is
+        // (conditionally) blocked on every handler of the set, registered
+        // as ReserveWait edges.  The probe is the `parked` flag — a parked
+        // client is genuinely waiting, while one that is busy re-reserving
+        // and evaluating is making progress and must not complete a cycle
+        // at scan time (e.g. against the Serving edge of the very block the
+        // evaluation holds open).  The edges carry a waker that unparks
+        // this client, and the park condition re-checks the break token on
+        // every wake, so `Break` can fail a confirmed cycle straight out of
+        // the park.
+        let mut reserve_edges: Vec<EdgeGuard> = Vec::new();
+        let parked = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        loop {
+            attempts += 1;
+            if let Some(stats) = &stats {
+                RuntimeStats::bump(&stats.wait_condition_checks);
+            }
+            {
+                // Evaluation rounds are probe rounds: their blocks are
+                // attached silent, so the closes they enqueue do not signal
+                // other guard waiters (a failed probe changes no state).
+                // Only `begin` runs under the flag — the body may open
+                // nested blocks of its own, and those must signal normally.
+                let mut guards = {
+                    let _probe = enter_probe_round();
+                    self.set.begin()
+                };
+                if self.condition.holds(&mut guards) {
+                    // The condition holds and the reservation stays open, so
+                    // no other client can invalidate it before the body has
+                    // run (§2.2 guarantee 2).
+                    let body = body.take().expect("body consumed once");
+                    let result = body(&mut guards);
+                    drop(guards);
+                    drop(parking);
+                    // This round's blocks were silent but the body *did*
+                    // change state: signal the set's registries explicitly.
+                    // Any waiter whose evaluation has not yet observed the
+                    // body's effects shares a handler with this set, so its
+                    // next sync serialises after this round's closes.
+                    for registry in &registries {
+                        registry.signal_all();
+                    }
+                    return Ok(result);
+                }
+                // Failed.  (Re-)arm the parking slot while the reservation
+                // is still open: no state-changing block on any handler of
+                // the set can complete — and signal — between this
+                // registration and the release below, so clearing the
+                // signal flag here discards only signals whose effects this
+                // very evaluation already observed.
+                let waiter = &parking
+                    .get_or_insert_with(|| ParkedWaiter::register(&registries))
+                    .waiter;
+                waiter
+                    .signaled
+                    .store(false, std::sync::atomic::Ordering::Release);
+                // Release the reservation (guards drop here) so other
+                // clients can make the condition true.
+            }
+            if let Some(stats) = &stats {
+                RuntimeStats::bump(&stats.wait_condition_retries);
+            }
+            if attempts == 1 {
+                let slot = parking.as_ref().expect("registered on first failure");
+                for (registry, owner) in self.set.deadlock_targets() {
+                    let waiter_id = current_waiter(&registry);
+                    let probe = Arc::clone(&parked);
+                    let wake = Arc::clone(&slot.waiter);
+                    reserve_edges.push(registry.register(
+                        waiter_id,
+                        owner,
+                        EdgeKind::ReserveWait,
+                        Some(Arc::new(move || wake.parker.wake())),
+                        Some(Arc::new(move || {
+                            probe.load(std::sync::atomic::Ordering::Acquire)
+                        })),
+                    ));
+                }
+            }
+            if reserve_edges.iter().any(EdgeGuard::is_broken) {
+                // The deadlock monitor confirmed a cycle through this wait
+                // and broke it here: surface it as a timeout.
+                if let Some(stats) = &stats {
+                    RuntimeStats::bump(&stats.deadlocks_broken);
+                }
+                return Err(WaitTimeout { attempts });
+            }
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    return Err(WaitTimeout { attempts });
+                }
+            }
+            if attempts <= self.config.spin_retries {
+                // Young conditions often come true within a round trip or
+                // two; a short spin window spares them the park/unpark.
+                backoff.spin();
+                continue;
+            }
+            let waiter = &parking
+                .as_ref()
+                .expect("registered on first failure")
+                .waiter;
+            let signaled_or_broken = || {
+                waiter.signaled.load(std::sync::atomic::Ordering::Acquire)
+                    || reserve_edges.iter().any(EdgeGuard::is_broken)
+            };
+            parked.store(true, std::sync::atomic::Ordering::Release);
+            match deadline {
+                Some(deadline) => {
+                    waiter
+                        .parker
+                        .park_until_deadline(signaled_or_broken, deadline);
+                }
+                None => waiter.parker.park_until(signaled_or_broken),
+            }
+            parked.store(false, std::sync::atomic::Ordering::Release);
+            let was_signaled = waiter.signaled.load(std::sync::atomic::Ordering::Acquire);
+            if was_signaled {
+                if let Some(stats) = &stats {
+                    RuntimeStats::bump(&stats.guard_wakeups);
+                }
+            }
+            // Resolve a break or an expired deadline *before* re-evaluating:
+            // in a genuine cycle the handlers this wait observes are
+            // themselves blocked, so another evaluation would hang in its
+            // sync instead of surfacing the error.  A signalled waiter past
+            // its deadline still gets the re-evaluation — the post-attempt
+            // deadline check above fails it if the condition is still false.
+            if reserve_edges.iter().any(EdgeGuard::is_broken) {
+                if let Some(stats) = &stats {
+                    RuntimeStats::bump(&stats.deadlocks_broken);
+                }
+                return Err(WaitTimeout { attempts });
+            }
+            if !was_signaled {
+                if let Some(deadline) = deadline {
+                    if Instant::now() >= deadline {
+                        return Err(WaitTimeout { attempts });
+                    }
+                }
+            }
+        }
+    }
+
+    /// The legacy retry-polling wait loop: spin, then yield, then sleep
+    /// [`RETRY_SLEEP`] between evaluations.  Kept for bounded-attempt
+    /// policies (`max_retries`) — where every attempt must actually run —
+    /// and as the `wait-retry-poll` differential-testing baseline.
+    fn try_run_polling<R>(self, body: impl FnOnce(&mut S::Guards) -> R) -> Result<R, WaitTimeout> {
         let stats = self.set.shared_stats();
         let mut body = Some(body);
         let mut attempts = 0usize;
         let started = Instant::now();
+        let deadline = self.config.max_wait.map(|max_wait| started + max_wait);
         let backoff = Backoff::new();
         // Deadlock tracking: while the wait condition keeps retrying, this
         // client is (conditionally) blocked on every handler of the set —
@@ -610,13 +833,19 @@ impl<'h, S: ReservationSet<'h>, C: WaitCondition<'h, S>> GuardedReservation<'h, 
                     ));
                 }
             }
+            if reserve_edges.iter().any(EdgeGuard::is_broken) {
+                if let Some(stats) = &stats {
+                    RuntimeStats::bump(&stats.deadlocks_broken);
+                }
+                return Err(WaitTimeout { attempts });
+            }
             if let Some(limit) = self.config.max_retries {
                 if attempts >= limit {
                     return Err(WaitTimeout { attempts });
                 }
             }
-            if let Some(max_wait) = self.config.max_wait {
-                if started.elapsed() >= max_wait {
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
                     return Err(WaitTimeout { attempts });
                 }
             }
@@ -629,8 +858,18 @@ impl<'h, S: ReservationSet<'h>, C: WaitCondition<'h, S>> GuardedReservation<'h, 
                 // Deep retries: the condition has failed hundreds of times,
                 // so trade sub-millisecond reaction for not burning a core —
                 // which also gives the deadlock detector wide `waiting`
-                // windows to sample a genuinely stuck reservation in.
-                std::thread::sleep(RETRY_SLEEP);
+                // windows to sample a genuinely stuck reservation in.  The
+                // sleep never overshoots a wall-clock deadline: it is
+                // clamped to the time remaining.
+                let nap = match deadline {
+                    Some(deadline) => deadline
+                        .saturating_duration_since(Instant::now())
+                        .min(RETRY_SLEEP),
+                    None => RETRY_SLEEP,
+                };
+                if !nap.is_zero() {
+                    std::thread::sleep(nap);
+                }
             }
         }
     }

@@ -249,9 +249,13 @@ impl Runtime {
                 let hook: WakeHook = Arc::new(move |reason| {
                     // A pressure wake (bounded mailbox at its watermark or a
                     // blocked producer) routes through the scheduler's
-                    // priority lane so this handler runs promptly.
+                    // priority lane so this handler runs promptly; so does a
+                    // guard wake (clients parked on a wait condition this
+                    // handler's pending work may decide).
                     let scheduled = if reason == WakeReason::Pressure {
                         RuntimeStats::bump(&stats.pressure_wakes);
+                        handle.notify_pressure()
+                    } else if reason == WakeReason::Guard {
                         handle.notify_pressure()
                     } else {
                         handle.notify()

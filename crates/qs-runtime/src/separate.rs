@@ -38,6 +38,15 @@ pub struct Separate<'a, T: Send + 'static> {
     /// waits belong to, whom they wait on, and how a blocked push into this
     /// block's mailbox is woken/re-validated.
     tracking: Option<BlockTracking>,
+    /// Whether this block's completion is relevant to parked `reserve().when`
+    /// waiters (false for the silent probe blocks the wait-condition
+    /// machinery opens).  On the queue-of-queues path the handler signals
+    /// when it *processes* the close — this flag additionally fires a
+    /// priority wake so a pooled handler gets there promptly; on the
+    /// lock-based path (no handler-visible close event exists) the client
+    /// signals directly after releasing the handler lock, which is safe
+    /// because blocks fully serialise on that lock.
+    signal_guards: bool,
     /// Whether the handler is known to have drained everything we logged.
     synced: bool,
     ended: bool,
@@ -97,6 +106,7 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
                 consumer,
                 client,
                 serving_probe,
+                signal_on_close: !crate::guard::in_probe_round(),
             });
             RuntimeStats::bump(&core.stats.private_queues_enqueued);
             Self::from_parts(core, Some(producer), None)
@@ -145,6 +155,7 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
             lock_guard,
             sync_handoff: Arc::new(Handoff::new()),
             tracking,
+            signal_guards: !crate::guard::in_probe_round(),
             synced: false,
             ended: false,
             _not_send: std::marker::PhantomData,
@@ -465,14 +476,36 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
         if let Some(producer) = self.producer.take() {
             // END marker: the handler moves on to the next private queue.
             producer.close();
+            // Guard waiters are signalled when the handler *processes* this
+            // close (which serialises the signal after every call of the
+            // block — signalling here instead could be consumed by a waiter
+            // that has not observed the block's effects yet).  But with
+            // waiters parked, ask the pooled scheduler to get the handler
+            // there promptly: a Guard wake rides the priority lane like
+            // Pressure, keeping wake-to-resume latency low under load.
+            if self.signal_guards && self.core.guards.has_waiters() {
+                if let Some(hook) = self.core.wake_hook() {
+                    hook(qs_queues::WakeReason::Guard);
+                }
+            }
         }
+        let lock_based = self.lock_guard.is_some();
         // Lock-based path: releasing the handler lock ends the reservation.
         // Clear the deadlock-tracking holder stamp first — after the guard
         // drops the lock belongs to whoever acquires it next.
-        if self.lock_guard.is_some() {
+        if lock_based {
             crate::deadlock::unlock_handler(&self.core.lock_holder);
         }
         self.lock_guard = None;
+        // Lock-based path: no handler-visible close event exists, so the
+        // client signals parked guard waiters itself, after releasing the
+        // lock.  Safe against lost signals: any block whose effects a waiter
+        // has not observed must still acquire the handler lock, i.e. after
+        // the waiter (which registered while holding it) released it — so
+        // its end-of-block signal fires after the waiter's registration.
+        if lock_based && self.signal_guards {
+            self.core.guards.signal_all();
+        }
     }
 
     /// The identifier of the reserved handler.

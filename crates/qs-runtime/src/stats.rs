@@ -69,6 +69,16 @@ pub struct RuntimeStats {
     pub wait_condition_checks: AtomicU64,
     /// Reservations retried because their wait condition did not (yet) hold.
     pub wait_condition_retries: AtomicU64,
+    /// Guard signals delivered to parked wait-condition waiters (one per
+    /// waiter per signalling event; conservative, so a signal does not imply
+    /// the condition now holds).
+    pub guard_signals: AtomicU64,
+    /// Parked wait-condition waiters woken by a guard signal into a
+    /// re-evaluation.  `guard_signals - guard_wakeups` is the portion of
+    /// conservative signalling that found the waiter already awake (spurious
+    /// from the parking perspective); wakeups not followed by a successful
+    /// round show up as `wait_condition_retries`.
+    pub guard_wakeups: AtomicU64,
     /// Postcondition checks evaluated.
     pub postcondition_checks: AtomicU64,
     /// Postcondition checks that failed.
@@ -146,6 +156,8 @@ impl RuntimeStats {
             call_panics: self.call_panics.load(Ordering::Relaxed),
             wait_condition_checks: self.wait_condition_checks.load(Ordering::Relaxed),
             wait_condition_retries: self.wait_condition_retries.load(Ordering::Relaxed),
+            guard_signals: self.guard_signals.load(Ordering::Relaxed),
+            guard_wakeups: self.guard_wakeups.load(Ordering::Relaxed),
             postcondition_checks: self.postcondition_checks.load(Ordering::Relaxed),
             postcondition_failures: self.postcondition_failures.load(Ordering::Relaxed),
             batches_drained: self.batches_drained.load(Ordering::Relaxed),
@@ -196,6 +208,12 @@ pub struct StatsSnapshot {
     pub wait_condition_checks: u64,
     /// Reservations retried because their wait condition did not hold.
     pub wait_condition_retries: u64,
+    /// Guard signals delivered to parked wait-condition waiters (per waiter
+    /// per signalling event; conservative).
+    pub guard_signals: u64,
+    /// Parked wait-condition waiters woken by a guard signal into a
+    /// re-evaluation.
+    pub guard_wakeups: u64,
     /// Postcondition checks evaluated.
     pub postcondition_checks: u64,
     /// Postcondition checks that failed.
@@ -289,6 +307,8 @@ impl StatsSnapshot {
             wait_condition_retries: self
                 .wait_condition_retries
                 .saturating_sub(earlier.wait_condition_retries),
+            guard_signals: self.guard_signals.saturating_sub(earlier.guard_signals),
+            guard_wakeups: self.guard_wakeups.saturating_sub(earlier.guard_wakeups),
             postcondition_checks: self
                 .postcondition_checks
                 .saturating_sub(earlier.postcondition_checks),

@@ -67,6 +67,41 @@ impl Parker {
         }
     }
 
+    /// [`park_until`](Parker::park_until) with a deadline: gives up once
+    /// `Instant::now() >= deadline` even if neither the condition nor a wake
+    /// arrived.  Returns the final observation of `condition` — `true` when
+    /// the awaited state was seen (possibly right at the deadline), `false`
+    /// on a pure timeout.  Like `park_until`, a wake may also return early
+    /// with the condition still false; callers re-check in their outer loop.
+    pub fn park_until_deadline(
+        &self,
+        mut condition: impl FnMut() -> bool,
+        deadline: std::time::Instant,
+    ) -> bool {
+        *self.thread.lock() = Some(std::thread::current());
+        self.parked.store(true, Ordering::Release);
+        // Same publish protocol as `park_until`; pairs with the SeqCst swap
+        // in `wake`.
+        fence(Ordering::SeqCst);
+        if condition() {
+            self.unregister();
+            return true;
+        }
+        while self.parked.load(Ordering::Acquire) {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                self.unregister();
+                return condition();
+            }
+            std::thread::park_timeout(deadline - now);
+            if condition() {
+                self.unregister();
+                return true;
+            }
+        }
+        condition()
+    }
+
     fn unregister(&self) {
         self.parked.store(false, Ordering::Release);
         self.thread.lock().take();
@@ -118,6 +153,43 @@ mod tests {
         let parker = Parker::new();
         parker.wake();
         parker.park_until(|| true);
+    }
+
+    #[test]
+    fn deadline_park_times_out_without_a_wake() {
+        let parker = Parker::new();
+        let deadline = std::time::Instant::now() + Duration::from_millis(40);
+        let started = std::time::Instant::now();
+        let observed = parker.park_until_deadline(|| false, deadline);
+        assert!(!observed, "nothing ever made the condition true");
+        assert!(started.elapsed() >= Duration::from_millis(40));
+        // The slot is fully unregistered: a later plain park still works.
+        parker.park_until(|| true);
+    }
+
+    #[test]
+    fn deadline_park_returns_promptly_on_wake() {
+        let parker = Arc::new(Parker::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let (parker, flag) = (Arc::clone(&parker), Arc::clone(&flag));
+            thread::spawn(move || {
+                let deadline = std::time::Instant::now() + Duration::from_secs(30);
+                parker.park_until_deadline(|| flag.load(Ordering::Acquire), deadline)
+            })
+        };
+        thread::sleep(Duration::from_millis(30));
+        flag.store(true, Ordering::Release);
+        parker.wake();
+        assert!(waiter.join().unwrap(), "wake must deliver the condition");
+    }
+
+    #[test]
+    fn deadline_park_with_condition_already_true_never_blocks() {
+        let parker = Parker::new();
+        // A deadline in the past still observes a true condition.
+        let deadline = std::time::Instant::now() - Duration::from_millis(1);
+        assert!(parker.park_until_deadline(|| true, deadline));
     }
 
     #[test]

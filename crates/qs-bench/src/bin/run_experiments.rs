@@ -5,6 +5,8 @@
 //! run_experiments scheduler [smoke|quick|full]   # writes BENCH_scheduler.json
 //! run_experiments waits [smoke|quick|full]       # guarded-wait parking vs polling,
 //!                                                # writes BENCH_waits.json
+//! run_experiments readers [smoke|quick|full]     # shared-read vs exclusive clients,
+//!                                                # writes BENCH_readers.json
 //! run_experiments remote [smoke|quick|full]      # multi-process cluster sweep,
 //!                                                # writes BENCH_remote.json
 //! run_experiments remote-node <addr>             # internal: one cluster node process
@@ -19,9 +21,9 @@ use qs_bench::remote_sweep::{
 };
 
 use qs_bench::experiments::{
-    backpressure_sweep, fig19_scalability, scheduler_sweep, table1_opt_parallel,
+    backpressure_sweep, fig19_scalability, readers_sweep, scheduler_sweep, table1_opt_parallel,
     table2_opt_concurrent, table4_lang_parallel, table5_lang_concurrent, wait_latency_point,
-    wait_scaling_point, BackpressurePoint, Scale, SchedulerPoint, WaitLatencyPoint,
+    wait_scaling_point, BackpressurePoint, ReadersPoint, Scale, SchedulerPoint, WaitLatencyPoint,
     WaitScalingPoint, WaitStrategy, BACKPRESSURE_CALLS_PER_BLOCK, BACKPRESSURE_CAPACITY,
     BACKPRESSURE_PIPELINES, WAIT_LATENCY_GAP, WAIT_SCALING_STEPS, WAIT_SCALING_STEP_GAP,
     WAIT_SCALING_WAITERS,
@@ -525,6 +527,163 @@ fn run_waits_sweep(scale: &str) {
     );
 }
 
+/// Minimum shared-read/exclusive throughput ratio at the gate cell
+/// (≥ [`READERS_GATE_MIN_READERS`] readers, ≤ 1% writes) for the CI smoke
+/// run; the full sweep must clear [`READERS_FULL_MIN_SPEEDUP`].  Reads under
+/// a shared-read reservation execute directly on the client threads, so on a
+/// read-mostly hot handler anything close to 1× means the gate has stopped
+/// admitting concurrent readers.
+const READERS_SMOKE_MIN_SPEEDUP: f64 = 1.5;
+/// The full sweep's floor at the same gate cells.
+const READERS_FULL_MIN_SPEEDUP: f64 = 2.0;
+/// Reader count from which the speed-up floor applies.
+const READERS_GATE_MIN_READERS: usize = 4;
+
+/// JSON for the read-reservation sweep (hand-rolled — the workspace is
+/// offline, no serde).
+fn readers_points_to_json(points: &[ReadersPoint], min_speedup: f64) -> String {
+    let mut out = String::from("{\n  \"bench\": \"read_reservation_sweep\",\n");
+    out.push_str("  \"unit\": \"ops_per_sec\",\n");
+    out.push_str(
+        "  \"workload\": \"one hot handler owning an invariant pair; N clients, \
+         write_percent of each client's ops are synced exclusive writes, the rest \
+         queries taken exclusively (baseline) or via shared-read reservations\",\n",
+    );
+    out.push_str(&format!(
+        "  \"gate\": {{\"min_readers\": {READERS_GATE_MIN_READERS}, \
+         \"max_write_percent\": 1, \"min_shared_over_exclusive\": {min_speedup}}},\n"
+    ));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"readers\": {}, \"write_percent\": {}, \"mode\": \"{}\", \
+             \"ops_per_client\": {}, \"total_ops\": {}, \"elapsed_secs\": {:.6}, \
+             \"ops_per_sec\": {:.1}, \"peak_concurrent_readers\": {}, \
+             \"writer_waits\": {}}}{}\n",
+            p.readers,
+            p.write_percent,
+            if p.shared { "shared-read" } else { "exclusive" },
+            p.ops_per_client,
+            p.total_ops,
+            p.elapsed.as_secs_f64(),
+            p.ops_per_sec,
+            p.peak_concurrent_readers,
+            p.writer_waits,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"speedups\": [\n");
+    let pairs = readers_pairs(points);
+    for (i, (exclusive, shared)) in pairs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"readers\": {}, \"write_percent\": {}, \
+             \"shared_over_exclusive\": {:.3}}}{}\n",
+            exclusive.readers,
+            exclusive.write_percent,
+            shared.ops_per_sec / exclusive.ops_per_sec.max(f64::MIN_POSITIVE),
+            if i + 1 == pairs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pairs each exclusive cell with its shared-read twin.
+fn readers_pairs(points: &[ReadersPoint]) -> Vec<(&ReadersPoint, &ReadersPoint)> {
+    points
+        .iter()
+        .filter(|p| !p.shared)
+        .filter_map(|exclusive| {
+            points
+                .iter()
+                .find(|p| {
+                    p.shared
+                        && p.readers == exclusive.readers
+                        && p.write_percent == exclusive.write_percent
+                })
+                .map(|shared| (exclusive, shared))
+        })
+        .collect()
+}
+
+/// The `readers` mode: sweep exclusive versus shared-read clients over a
+/// readers × write-ratio grid and write `BENCH_readers.json`.
+fn run_readers_sweep(scale: &str) {
+    let (reader_counts, ops, min_speedup): (&[usize], usize, f64) = match scale {
+        "smoke" => (&[1, 4], 10_000, READERS_SMOKE_MIN_SPEEDUP),
+        "quick" => (&[1, 2, 4], 20_000, READERS_SMOKE_MIN_SPEEDUP),
+        _ => (&[1, 2, 4, 8], 50_000, READERS_FULL_MIN_SPEEDUP),
+    };
+    let write_percents: &[u32] = &[0, 1, 10];
+    let points = readers_sweep(reader_counts, write_percents, ops);
+
+    let rows: Vec<(String, Vec<String>)> = readers_pairs(&points)
+        .iter()
+        .map(|(exclusive, shared)| {
+            (
+                format!(
+                    "{} readers, {}% writes",
+                    exclusive.readers, exclusive.write_percent
+                ),
+                vec![
+                    format!("{:.0}", exclusive.ops_per_sec),
+                    format!("{:.0}", shared.ops_per_sec),
+                    format!(
+                        "{:.2}x",
+                        shared.ops_per_sec / exclusive.ops_per_sec.max(f64::MIN_POSITIVE)
+                    ),
+                    shared.peak_concurrent_readers.to_string(),
+                    shared.writer_waits.to_string(),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Shared-read reservations — exclusive vs read-mode clients on one hot handler",
+        &[
+            "cell".to_string(),
+            "exclusive ops/s".to_string(),
+            "shared ops/s".to_string(),
+            "speed-up".to_string(),
+            "peak readers".to_string(),
+            "writer waits".to_string(),
+        ],
+        &rows,
+    );
+
+    let json = readers_points_to_json(&points, min_speedup);
+    let path = "BENCH_readers.json";
+    std::fs::write(path, json).expect("write BENCH_readers.json");
+    println!("wrote {path}");
+
+    // The regression gate CI runs in release mode: at read-mostly cells with
+    // enough readers, shared-read reservations must actually buy concurrency.
+    for (exclusive, shared) in readers_pairs(&points) {
+        if exclusive.readers < READERS_GATE_MIN_READERS || exclusive.write_percent > 1 {
+            continue;
+        }
+        let speedup = shared.ops_per_sec / exclusive.ops_per_sec.max(f64::MIN_POSITIVE);
+        assert!(
+            speedup >= min_speedup,
+            "read-reservation regression: shared-read reached only {speedup:.2}x exclusive \
+             throughput at {} readers / {}% writes (minimum {min_speedup}); see \
+             BENCH_readers.json",
+            exclusive.readers,
+            exclusive.write_percent,
+        );
+        // Deterministic: every shared cell opens with all its clients
+        // rendezvoused inside read blocks.
+        assert!(
+            shared.peak_concurrent_readers >= shared.readers as u64,
+            "read-reservation regression: gate cell recorded only {} concurrent readers \
+             of {} ({}% writes)",
+            shared.peak_concurrent_readers,
+            shared.readers,
+            exclusive.write_percent,
+        );
+    }
+}
+
 /// JSON for the distributed sweep (hand-rolled — the workspace is offline,
 /// no serde).
 fn remote_points_to_json(points: &[RemotePoint]) -> String {
@@ -645,6 +804,10 @@ fn main() {
     }
     if what == "waits" {
         run_waits_sweep(args.get(2).map(String::as_str).unwrap_or("full"));
+        return;
+    }
+    if what == "readers" {
+        run_readers_sweep(args.get(2).map(String::as_str).unwrap_or("full"));
         return;
     }
     if what == "remote" {

@@ -617,6 +617,142 @@ pub fn wait_scaling_point(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shared-read reservations: exclusive vs read-mode clients on one hot handler
+// ---------------------------------------------------------------------------
+
+/// One measured cell of the read-reservation experiment: `readers` clients
+/// hammering one hot handler, `write_percent` of each client's operations
+/// being synced exclusive writes, the rest queries — taken either through
+/// exclusive reservations (the baseline: every client serialises on the
+/// handler) or through shared-read reservations (`reserve(&h).read()`).
+#[derive(Debug, Clone)]
+pub struct ReadersPoint {
+    /// Client threads.
+    pub readers: usize,
+    /// Percentage of each client's operations that are exclusive writes.
+    pub write_percent: u32,
+    /// Whether reads used shared-read reservations (vs exclusive).
+    pub shared: bool,
+    /// Operations per client.
+    pub ops_per_client: usize,
+    /// Wall-clock time of the cell.
+    pub elapsed: Duration,
+    /// Total operations across all clients.
+    pub total_ops: u64,
+    /// Operations per second over the measured window.
+    pub ops_per_sec: f64,
+    /// High-water of concurrent gate-read holders (0 in exclusive mode).
+    pub peak_concurrent_readers: u64,
+    /// Writers that had to wait behind read holders.
+    pub writer_waits: u64,
+}
+
+/// Runs one cell of the read-reservation experiment.
+///
+/// The handler owns a `(u64, u64)` pair with the invariant `b == 2 * a`,
+/// restored by every write as a whole but broken inside it; every read
+/// re-checks the invariant, so the throughput numbers double as a torn-read
+/// stress.  Writes are synced exclusive blocks in *both* modes — the
+/// experiment varies only how the reads are taken.
+pub fn readers_point(
+    readers: usize,
+    write_percent: u32,
+    shared: bool,
+    ops_per_client: usize,
+) -> ReadersPoint {
+    assert!(write_percent <= 100);
+    let rt = Runtime::new(RuntimeConfig::all_optimizations());
+    let hot = rt.spawn_handler((0u64, 0u64));
+    let write_period = 100u32
+        .checked_div(write_percent)
+        .map_or(usize::MAX, |p| p as usize);
+    // In shared mode, start with every client parked on a barrier *inside*
+    // its read block: deterministic proof the readers overlap (and an exact
+    // `peak_concurrent_readers >= readers` record).  Sampling overlap from
+    // the timed loop alone is unreliable — sub-microsecond holds convoy on
+    // the contended cache lines and can serialise for thousands of
+    // operations at a stretch.
+    let rendezvous = std::sync::Barrier::new(readers);
+
+    let start = Instant::now();
+    let writes_total: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                let hot = &hot;
+                let rendezvous = &rendezvous;
+                scope.spawn(move || {
+                    let mut writes = 0u64;
+                    if shared {
+                        reserve(hot).read().run(|_| rendezvous.wait());
+                    }
+                    for op in 0..ops_per_client {
+                        if op % write_period == 0 && write_percent > 0 {
+                            // Synced exclusive write: applied (and contending
+                            // with the read crowd) before the block ends.
+                            hot.separate(|s| {
+                                s.call(|p| {
+                                    p.0 += 1;
+                                    p.1 = 2 * p.0;
+                                });
+                                s.query(|p| p.0)
+                            });
+                            writes += 1;
+                        } else if shared {
+                            let pair = reserve(hot).read().run(|r| r.query(|p| *p));
+                            assert_eq!(pair.1, 2 * pair.0, "torn read: {pair:?}");
+                        } else {
+                            let pair = hot.separate(|s| s.query(|p| *p));
+                            assert_eq!(pair.1, 2 * pair.0, "torn read: {pair:?}");
+                        }
+                    }
+                    writes
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let elapsed = start.elapsed();
+    let (final_a, final_b) = hot.query_detached(|p| *p);
+    assert_eq!(
+        (final_a, final_b),
+        (writes_total, 2 * writes_total),
+        "readers point lost writes ({readers} readers, {write_percent}% writes, shared={shared})"
+    );
+
+    let snap = rt.stats_snapshot();
+    let total_ops = (readers * ops_per_client) as u64;
+    ReadersPoint {
+        readers,
+        write_percent,
+        shared,
+        ops_per_client,
+        elapsed,
+        total_ops,
+        ops_per_sec: total_ops as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+        peak_concurrent_readers: snap.peak_concurrent_readers,
+        writer_waits: snap.writer_waits,
+    }
+}
+
+/// The readers × write-ratio grid behind `BENCH_readers.json`: every cell
+/// measured with exclusive reads first, then shared reads, so each
+/// (readers, write_percent) pair yields a directly comparable ratio.
+pub fn readers_sweep(
+    reader_counts: &[usize],
+    write_percents: &[u32],
+    ops: usize,
+) -> Vec<ReadersPoint> {
+    let mut points = Vec::new();
+    for &readers in reader_counts {
+        for &write_percent in write_percents {
+            points.push(readers_point(readers, write_percent, false, ops));
+            points.push(readers_point(readers, write_percent, true, ops));
+        }
+    }
+    points
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -635,6 +771,22 @@ mod tests {
             assert!(point.requests >= 320, "{point:?}");
             assert!(point.requests_per_sec > 0.0);
         }
+    }
+
+    #[test]
+    fn readers_point_accounts_every_operation() {
+        for shared in [false, true] {
+            let point = readers_point(2, 10, shared, 200);
+            assert_eq!(point.total_ops, 400);
+            assert_eq!(point.shared, shared);
+            assert!(point.ops_per_sec > 0.0);
+        }
+        // The opening rendezvous makes the overlap record deterministic.
+        let point = readers_point(4, 0, true, 500);
+        assert!(
+            point.peak_concurrent_readers >= 4,
+            "shared cell recorded no reader overlap: {point:?}"
+        );
     }
 
     #[test]

@@ -108,6 +108,15 @@ pub enum EdgeKind {
     /// lock-based configuration holds it for a whole separate block, so
     /// nested blocks taken in opposite orders form a classic lock cycle).
     HandlerLock,
+    /// The waiter is a client blocked acquiring a *shared-read* reservation
+    /// on the owner handler's reader–writer gate: a writer is active or
+    /// announced, and writer preference refuses new readers until it runs.
+    ReadWait,
+    /// The waiter is a handler (as writer) blocked behind active readers of
+    /// its own object's gate: it cannot apply commands until every current
+    /// read reservation ends.  One edge is registered per read holder, so a
+    /// cycle names the concrete reader it runs through.
+    WriterWait,
 }
 
 impl EdgeKind {
@@ -119,17 +128,24 @@ impl EdgeKind {
             EdgeKind::ReserveWait => "reserve-wait",
             EdgeKind::Serving => "serving",
             EdgeKind::HandlerLock => "handler-lock",
+            EdgeKind::ReadWait => "read-wait",
+            EdgeKind::WriterWait => "writer-wait",
         }
     }
 
     /// Whether the `Break` policy can fail this edge's wait.  Blocked
-    /// bounded pushes poll their break token, and a parked `reserve().when`
+    /// bounded pushes poll their break token, a parked `reserve().when`
     /// waiter checks it on every wake (its edge carries a waker that unparks
-    /// the client), surfacing the break as a `WaitTimeout`; query handoffs
-    /// and mutex acquisitions cannot be failed without corrupting their
-    /// protocol.
+    /// the client), surfacing the break as a `WaitTimeout`, and a client
+    /// blocked acquiring a shared-read reservation aborts the acquisition
+    /// with a `DeadlockBroken` panic.  Query handoffs, mutex acquisitions
+    /// and a handler's own writer wait cannot be failed without corrupting
+    /// their protocol.
     pub fn breakable(self) -> bool {
-        matches!(self, EdgeKind::MailboxPush | EdgeKind::ReserveWait)
+        matches!(
+            self,
+            EdgeKind::MailboxPush | EdgeKind::ReserveWait | EdgeKind::ReadWait
+        )
     }
 }
 
@@ -557,11 +573,17 @@ impl fmt::Display for DeadlockReport {
 /// Dropping the monitor stops and joins the thread.
 pub struct DeadlockMonitor {
     stop: Arc<AtomicBool>,
+    scans: Arc<AtomicU64>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl DeadlockMonitor {
-    /// Spawns the detector over `registry`, scanning every `tick`.
+    /// Spawns the detector over `registry`, scanning roughly every `tick`.
+    ///
+    /// The interval is *adaptive* around that base (see [`adaptive_tick`]):
+    /// it drops while probed edges keep the effective graph in motion, and
+    /// backs off exponentially toward `10 * tick` while the registry is
+    /// empty, so an idle runtime costs next to nothing.
     ///
     /// `on_report` runs on the monitor thread once per confirmed cycle; with
     /// `break_cycles` the monitor additionally fails the cycle's first
@@ -573,17 +595,33 @@ impl DeadlockMonitor {
         on_report: impl Fn(&DeadlockReport) + Send + 'static,
     ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
+        let scans = Arc::new(AtomicU64::new(0));
         let thread_stop = Arc::clone(&stop);
+        let thread_scans = Arc::clone(&scans);
         let handle = std::thread::Builder::new()
             .name("qs-deadlock-monitor".to_string())
             .spawn(move || {
-                monitor_loop(&registry, tick, break_cycles, &thread_stop, &on_report);
+                monitor_loop(
+                    &registry,
+                    tick,
+                    break_cycles,
+                    &thread_stop,
+                    &thread_scans,
+                    &on_report,
+                );
             })
             .expect("failed to spawn deadlock monitor");
         DeadlockMonitor {
             stop,
+            scans,
             handle: Some(handle),
         }
+    }
+
+    /// Number of full cycle-detection scans the monitor has run so far
+    /// (skipped ticks — unchanged version, nothing pending — not included).
+    pub fn scan_count(&self) -> u64 {
+        self.scans.load(Ordering::Relaxed)
     }
 
     /// Asks the monitor thread to exit at its next tick.
@@ -609,11 +647,44 @@ impl fmt::Debug for DeadlockMonitor {
     }
 }
 
+/// The monitor's next sleep interval, derived from `base` (the configured
+/// tick) and the registry's current shape:
+///
+/// * **probed edges exist** (or a candidate cycle awaits confirmation): the
+///   effective graph can flip without the version moving, so scan fast —
+///   `base / 5`, floored at 1ms.  A forming deadlock is confirmed (and, under
+///   `Break`, unwound) in a fraction of the base interval.
+/// * **registry empty, nothing pending**: back off exponentially — double
+///   `current` each idle round up to `10 * base` (100ms at the default 10ms
+///   tick).  An idle runtime's monitor wakes ten times a second instead of a
+///   hundred.
+/// * otherwise (unprobed edges live): hold the base interval; registrations
+///   bump the version, so ordinary scans stay cheap skips.
+///
+/// Pure so the schedule is unit-testable without a thread.
+pub fn adaptive_tick(
+    base: Duration,
+    probed_or_pending: bool,
+    idle: bool,
+    current: Duration,
+) -> Duration {
+    let fast_floor = Duration::from_millis(1);
+    let idle_cap = base.saturating_mul(10);
+    if probed_or_pending {
+        (base / 5).max(fast_floor)
+    } else if idle {
+        current.saturating_mul(2).clamp(base, idle_cap)
+    } else {
+        base
+    }
+}
+
 fn monitor_loop(
     registry: &Arc<WaitRegistry>,
     tick: Duration,
     break_cycles: bool,
     stop: &AtomicBool,
+    scans: &AtomicU64,
     on_report: &dyn Fn(&DeadlockReport),
 ) {
     // Cycles seen on the previous scan, awaiting confirmation.
@@ -622,8 +693,15 @@ fn monitor_loop(
     // one concrete deadlock instance is reported exactly once.
     let mut reported: HashSet<Vec<EdgeId>> = HashSet::new();
     let mut scanned_version = u64::MAX;
+    let mut interval = tick;
     while !stop.load(Ordering::Acquire) {
-        std::thread::sleep(tick);
+        interval = adaptive_tick(
+            tick,
+            registry.has_probed_edges() || !candidates.is_empty(),
+            registry.edge_count() == 0,
+            interval,
+        );
+        std::thread::sleep(interval);
         if stop.load(Ordering::Acquire) {
             return;
         }
@@ -638,6 +716,7 @@ fn monitor_loop(
             continue;
         }
         scanned_version = version;
+        scans.fetch_add(1, Ordering::Relaxed);
         // Prune reported-cycle memory whose edges are all gone: ids are
         // never reused, so a pruned key can never suppress a fresh cycle,
         // and the set stays bounded by the number of *live* deadlocks.
@@ -844,6 +923,101 @@ mod tests {
             "one push edge of the confirmed cycle carries the break token"
         );
         drop(monitor);
+    }
+
+    #[test]
+    fn adaptive_tick_schedule() {
+        let base = Duration::from_millis(10);
+        // Probed edges / pending candidates: fast scan, 1ms floor.
+        assert_eq!(
+            adaptive_tick(base, true, false, base),
+            Duration::from_millis(2)
+        );
+        assert_eq!(
+            adaptive_tick(Duration::from_millis(4), true, false, base),
+            Duration::from_millis(1),
+            "fast interval is floored at 1ms"
+        );
+        // Idle: exponential back-off toward 10x base, then capped there.
+        let mut current = base;
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            current = adaptive_tick(base, false, true, current);
+            seen.push(current.as_millis());
+        }
+        assert_eq!(seen, vec![20, 40, 80, 100, 100, 100]);
+        // Recovery: a fast tick followed by live unprobed edges returns to
+        // base (never below it, never stuck at the idle cap).
+        let fast = adaptive_tick(base, true, false, base);
+        assert_eq!(adaptive_tick(base, false, false, fast), base);
+        assert_eq!(adaptive_tick(base, false, false, base * 10), base);
+        // Idle growth restarts from base even when entered at the floor.
+        assert_eq!(adaptive_tick(base, false, true, fast), base);
+    }
+
+    #[test]
+    fn monitor_counts_scans_and_skips_when_idle() {
+        let registry = WaitRegistry::new();
+        let monitor = DeadlockMonitor::spawn(
+            Arc::clone(&registry),
+            Duration::from_millis(1),
+            false,
+            |_| {},
+        );
+        // Empty registry at an unchanged version: ticks are skipped, not
+        // scanned.  The first tick scans once (version 0 != u64::MAX).
+        std::thread::sleep(Duration::from_millis(40));
+        let idle_scans = monitor.scan_count();
+        assert!(idle_scans <= 1, "idle ticks must skip, saw {idle_scans}");
+        // A probed edge forces a scan per tick.
+        let a = registry.participant("a");
+        let b = registry.participant("b");
+        let probed = registry.register(
+            a,
+            b,
+            EdgeKind::ReadWait,
+            None,
+            Some(Arc::new(|| true) as ProbeFn),
+        );
+        std::thread::sleep(Duration::from_millis(40));
+        let busy_scans = monitor.scan_count();
+        assert!(
+            busy_scans > idle_scans,
+            "probed edges must keep the scanner ticking"
+        );
+        drop(probed);
+        drop(monitor);
+    }
+
+    #[test]
+    fn reader_writer_cycle_is_reported_and_read_wait_is_breakable() {
+        // Client X holds read(B) and blocks acquiring read(A); handler A is
+        // blocked on a query against B (a client-executed call chain); B's
+        // writer is blocked behind X's read hold.  Classic 3-party
+        // reader/writer cycle over the new edge kinds.
+        let registry = WaitRegistry::new();
+        let x = registry.participant("client-x");
+        let a = registry.participant("handler-a");
+        let b = registry.participant("handler-b");
+        let xa = registry.register(x, a, EdgeKind::ReadWait, None, None);
+        let _ab = registry.register(a, b, EdgeKind::Query, None, None);
+        let _bx = registry.register(b, x, EdgeKind::WriterWait, None, None);
+        let reports = registry.scan();
+        assert_eq!(reports.len(), 1);
+        let report = &reports[0];
+        assert_eq!(report.edges.len(), 3);
+        assert!(report.kinds().contains(&EdgeKind::ReadWait));
+        assert!(report.kinds().contains(&EdgeKind::WriterWait));
+        assert_eq!(
+            report.breakable_edge().map(|edge| edge.kind),
+            Some(EdgeKind::ReadWait),
+            "the read acquisition is the only breakable edge on the cycle"
+        );
+        assert!(!EdgeKind::WriterWait.breakable());
+        let text = report.to_string();
+        assert!(text.contains("read-wait"), "{text}");
+        assert!(text.contains("writer-wait"), "{text}");
+        drop(xa);
     }
 
     #[test]

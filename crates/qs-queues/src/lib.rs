@@ -140,6 +140,13 @@ pub enum WakeReason {
     /// consumer promptly so the pending guard signal (fired when the
     /// consumer processes the work) is not delayed behind a long run queue.
     Guard,
+    /// The consumer previously failed to take its object's reader–writer
+    /// gate in write mode (shared-read reservations were active) and the
+    /// gate may now be writable: schedule the consumer promptly so stashed
+    /// work is applied as soon as the last reader leaves.  Like
+    /// [`Guard`](WakeReason::Guard), fired by a runtime layer — never by the
+    /// queues themselves.
+    Writable,
 }
 
 /// Outcome of a blocking dequeue operation.

@@ -38,8 +38,10 @@ use std::sync::Arc;
 
 use qs_deadlock::{EdgeGuard, EdgeKind, ParticipantId};
 use qs_exec::{PooledTask, StepOutcome};
-use qs_queues::{Closed, Dequeue, MailboxConsumer, MutexQueue, QueueOfQueues, WakeHook};
-use qs_sync::{Backoff, Event, OnceValue, SpinLock};
+use qs_queues::{
+    Closed, Dequeue, MailboxConsumer, MutexQueue, QueueOfQueues, WakeHook, WakeReason,
+};
+use qs_sync::{Backoff, Event, GateWake, OnceValue, Parker, ReadGate, SpinLock};
 
 use crate::config::RuntimeConfig;
 use crate::deadlock::{HandlerScope, Tracking};
@@ -146,6 +148,20 @@ pub(crate) struct HandlerCore<T> {
     /// Parked `reserve().when` waiters whose conditions depend on this
     /// handler's state; signalled when a separate block completes on it.
     pub(crate) guards: Arc<crate::guard::GuardRegistry>,
+
+    /// Reader–writer gate over `object`.  Shared-read reservations hold it
+    /// in read mode (and query the object directly, client-side); every
+    /// `&mut` access — the main loop applying a batch, a client-executed
+    /// query under an exclusive reservation — holds it in write mode.  With
+    /// no read reservation ever taken, the gate costs the write paths one
+    /// uncontended CAS per batch.  `Arc` so scan-time deadlock probes can
+    /// outlive a borrow of the core.
+    pub(crate) gate: Arc<ReadGate>,
+    /// Deadlock-tracking identities of the clients currently holding read
+    /// reservations on this handler, so a writer blocked behind readers can
+    /// register one `WriterWait` edge per concrete reader.  Maintained only
+    /// while tracking is on.
+    pub(crate) read_holders: Arc<SpinLock<Vec<ParticipantId>>>,
 }
 
 // SAFETY: access to `object` is serialised by the execution model (handler
@@ -181,6 +197,8 @@ impl<T: Send + 'static> HandlerCore<T> {
             wake_hook: OnceValue::new(),
             deadlock,
             guards,
+            gate: Arc::new(ReadGate::new()),
+            read_holders: Arc::new(SpinLock::new(Vec::new())),
         })
     }
 
@@ -215,6 +233,85 @@ impl<T: Send + 'static> HandlerCore<T> {
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn object_mut(&self) -> &mut T {
         &mut (*self.object.get())
+    }
+
+    /// Shared reference to the handler-owned object.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee no `&mut` access runs for the duration of
+    /// the borrow.  The runtime establishes this for shared-read
+    /// reservations by holding the [`gate`](Self::gate) in read mode: every
+    /// `&mut` site takes the gate in write mode first.
+    pub(crate) unsafe fn object_ref(&self) -> &T {
+        &(*self.object.get())
+    }
+
+    /// Registers `client` as a live read holder (deadlock tracking only).
+    pub(crate) fn register_read_holder(&self, client: ParticipantId) {
+        self.read_holders.lock().push(client);
+    }
+
+    /// Removes one registration of `client` from the read-holder set.
+    pub(crate) fn deregister_read_holder(&self, client: ParticipantId) {
+        let mut holders = self.read_holders.lock();
+        if let Some(index) = holders.iter().position(|&holder| holder == client) {
+            holders.swap_remove(index);
+        }
+    }
+
+    /// One `WriterWait` edge per current read holder: "`waiter` (this
+    /// handler applying a batch, or a client about to execute a query under
+    /// its exclusive reservation) is blocked behind that concrete reader".
+    /// Sound as a one-time snapshot: the writer has announced itself, so
+    /// writer preference refuses new readers and the blocking set can only
+    /// shrink — an edge whose reader has since left is vetoed by its probe.
+    pub(crate) fn writer_wait_edges(&self, waiter: Option<ParticipantId>) -> Vec<EdgeGuard> {
+        let Some(tracking) = self.deadlock.as_ref() else {
+            return Vec::new();
+        };
+        let waiter = waiter.unwrap_or(tracking.participant);
+        let holders = self.read_holders.lock().clone();
+        holders
+            .into_iter()
+            .map(|holder| {
+                let gate = Arc::clone(&self.gate);
+                let read_holders = Arc::clone(&self.read_holders);
+                let probe: qs_deadlock::ProbeFn =
+                    Arc::new(move || gate.readers() > 0 && read_holders.lock().contains(&holder));
+                tracking
+                    .registry
+                    .register(waiter, holder, EdgeKind::WriterWait, None, Some(probe))
+            })
+            .collect()
+    }
+
+    /// Takes the object's gate in write mode, blocking the calling thread
+    /// behind any active readers.  Used by the dedicated main loops (the
+    /// thread owns nothing else while parked) and by client-executed queries
+    /// (`waiter` names the client); the pooled step never blocks — it
+    /// stashes its batch and yields instead (see
+    /// [`apply_batch`](Self::apply_batch)).
+    pub(crate) fn write_gate_blocking(&self, waiter: Option<ParticipantId>) {
+        if self.gate.try_write() {
+            return;
+        }
+        RuntimeStats::bump(&self.stats.writer_waits);
+        self.gate.announce_writer();
+        let _edges = self.writer_wait_edges(waiter);
+        let parker = Arc::new(Parker::new());
+        loop {
+            if self.gate.try_write() {
+                break;
+            }
+            self.gate
+                .enlist(true, GateWake::Parker(Arc::clone(&parker)));
+            if self.gate.try_write() {
+                break;
+            }
+            parker.park_until(|| self.gate.writable());
+        }
+        self.gate.retract_writer();
     }
 
     /// Applies one request to the object.  Returns `false` when the request
@@ -341,10 +438,7 @@ impl<T: Send + 'static> HandlerCore<T> {
                     }
                     Ok(drained) => drained,
                 };
-                self.stats.record_batch(drained);
-                for request in batch.drain(..) {
-                    self.apply(request);
-                }
+                self.apply_batch_blocking(&mut batch, drained);
             }
             // END of this client's block: its calls may have changed state a
             // parked `reserve().when` condition depends on, so conservatively
@@ -361,11 +455,20 @@ impl<T: Send + 'static> HandlerCore<T> {
         let max_batch = self.config.max_batch.max(1);
         let mut batch: Vec<Request<T>> = Vec::with_capacity(batch_prealloc(max_batch));
         while let Dequeue::Item(drained) = self.request_queue.drain_batch(&mut batch, max_batch) {
-            self.stats.record_batch(drained);
-            for request in batch.drain(..) {
-                self.apply(request);
-            }
+            self.apply_batch_blocking(&mut batch, drained);
         }
+    }
+
+    /// Dedicated-mode batch application: record, take the object's gate in
+    /// write mode (blocking this thread behind readers), apply, release.
+    /// With no read reservation active the gate costs one uncontended CAS.
+    fn apply_batch_blocking(&self, batch: &mut Vec<Request<T>>, drained: usize) {
+        self.stats.record_batch(drained);
+        self.write_gate_blocking(None);
+        for request in batch.drain(..) {
+            self.apply(request);
+        }
+        self.gate.end_write();
     }
 
     /// One pooled scheduler step of the Fig. 7 queue-of-queues loop.
@@ -382,6 +485,9 @@ impl<T: Send + 'static> HandlerCore<T> {
     fn step_queue_of_queues(&self, state: &mut PooledLoopState<T>) -> StepOutcome {
         let max_batch = self.config.max_batch.max(1);
         state.refill_budget_if_spent();
+        if let Some(outcome) = self.resume_pending_batch(state) {
+            return outcome;
+        }
         let spin = Backoff::new();
         loop {
             let Some(current) = state.current.as_ref() else {
@@ -447,8 +553,10 @@ impl<T: Send + 'static> HandlerCore<T> {
                 Ok(drained) => {
                     state.serving = None;
                     spin.reset();
-                    if self.apply_batch(state, drained, pressured) {
-                        return StepOutcome::Yielded;
+                    match self.apply_batch(state, drained, pressured) {
+                        None => return StepOutcome::Idle,
+                        Some(true) => return StepOutcome::Yielded,
+                        Some(false) => {}
                     }
                 }
             }
@@ -463,6 +571,9 @@ impl<T: Send + 'static> HandlerCore<T> {
     fn step_lock_based(&self, state: &mut PooledLoopState<T>) -> StepOutcome {
         let max_batch = self.config.max_batch.max(1);
         state.refill_budget_if_spent();
+        if let Some(outcome) = self.resume_pending_batch(state) {
+            return outcome;
+        }
         let spin = Backoff::new();
         loop {
             let pressured = self.request_queue.is_pressured();
@@ -488,10 +599,31 @@ impl<T: Send + 'static> HandlerCore<T> {
                 }
                 Ok(drained) => {
                     spin.reset();
-                    if self.apply_batch(state, drained, pressured) {
-                        return StepOutcome::Yielded;
+                    match self.apply_batch(state, drained, pressured) {
+                        None => return StepOutcome::Idle,
+                        Some(true) => return StepOutcome::Yielded,
+                        Some(false) => {}
                     }
                 }
+            }
+        }
+    }
+
+    /// Re-attempts a batch that an earlier step drained but could not apply
+    /// because readers held the object's gate.  `None` means there is no
+    /// pending batch (or it was applied and the step may continue); `Some`
+    /// is the outcome the step must return.
+    fn resume_pending_batch(&self, state: &mut PooledLoopState<T>) -> Option<StepOutcome> {
+        let (drained, pressured) = state.pending?;
+        match self.apply_batch(state, drained, pressured) {
+            None => Some(StepOutcome::Idle),
+            Some(true) => {
+                state.pending = None;
+                Some(StepOutcome::Yielded)
+            }
+            Some(false) => {
+                state.pending = None;
+                None
             }
         }
     }
@@ -508,11 +640,52 @@ impl<T: Send + 'static> HandlerCore<T> {
     /// batch, so the handler yields after every batch and backpressured
     /// pipelines interleave finely (the blocked producer's pressure wake
     /// re-schedules the handler through the priority lane).
-    fn apply_batch(&self, state: &mut PooledLoopState<T>, drained: usize, pressured: bool) -> bool {
+    ///
+    /// The batch runs under the object's gate in write mode.  A pooled step
+    /// must never block the worker, so when readers hold the gate the batch
+    /// is *stashed* (`state.pending`; the requests stay in `state.batch`)
+    /// and `None` is returned — the step goes idle with a writer announced
+    /// (refusing new readers) and a [`WakeReason::Writable`] hook enlisted,
+    /// so the last reader out re-arms the handler through the scheduler's
+    /// priority lane.  Otherwise returns `Some(budget_spent)`.
+    fn apply_batch(
+        &self,
+        state: &mut PooledLoopState<T>,
+        drained: usize,
+        pressured: bool,
+    ) -> Option<bool> {
+        if !self.gate.try_write() {
+            if !state.write_requested {
+                RuntimeStats::bump(&self.stats.writer_waits);
+                self.gate.announce_writer();
+                state.write_requested = true;
+                state.writer_edges = self.writer_wait_edges(None);
+            }
+            // Lost-wake protocol: enlist the wake hook, then re-try — either
+            // the retry sees the gate free, or the releasing reader sees the
+            // hook.
+            if let Some(hook) = self.wake_hook() {
+                let hook = Arc::clone(hook);
+                self.gate.enlist(
+                    true,
+                    GateWake::Hook(Arc::new(move || hook(WakeReason::Writable))),
+                );
+            }
+            if !self.gate.try_write() {
+                state.pending = Some((drained, pressured));
+                return None;
+            }
+        }
+        if state.write_requested {
+            self.gate.retract_writer();
+            state.write_requested = false;
+            state.writer_edges.clear();
+        }
         self.stats.record_batch(drained);
         for request in state.batch.drain(..) {
             self.apply(request);
         }
+        self.gate.end_write();
         if pressured {
             let batch_budget = self.config.max_batch.max(1);
             if state.budget > batch_budget {
@@ -521,7 +694,7 @@ impl<T: Send + 'static> HandlerCore<T> {
             }
         }
         state.budget = state.budget.saturating_sub(drained);
-        state.budget == 0
+        Some(state.budget == 0)
     }
 
     fn wait_finished(&self) {
@@ -568,6 +741,17 @@ pub(crate) struct PooledLoopState<T> {
     /// when the QoQ loop advances to a fresh private queue (whose counter
     /// restarts at zero).
     stalls_seen: usize,
+    /// A drained-but-unapplied batch (its `(drained, pressured)` accounting;
+    /// the requests themselves sit in `batch`): readers held the object's
+    /// gate when the step tried to apply it.  Re-attempted first at every
+    /// step until the gate is won.
+    pending: Option<(usize, bool)>,
+    /// Whether this handler currently has a writer announced on its gate
+    /// (set with `pending`; must be retracted exactly once).
+    write_requested: bool,
+    /// Deadlock tracking: live `WriterWait` edges, one per reader the
+    /// stashed batch is blocked behind.
+    writer_edges: Vec<EdgeGuard>,
 }
 
 impl<T> PooledLoopState<T> {
@@ -605,6 +789,9 @@ impl<T: Send + 'static> PooledHandler<T> {
                 batch: Vec::with_capacity(batch_prealloc(max_batch)),
                 budget: YIELD_BUDGET,
                 stalls_seen: 0,
+                pending: None,
+                write_requested: false,
+                writer_edges: Vec::new(),
             }),
         }
     }
@@ -625,6 +812,15 @@ impl<T: Send + 'static> Drop for PooledHandler<T> {
             let mut state = self.state.lock();
             state.serving = None;
             state.current = None; // consumer drop drains the open queue
+                                  // A writer announced for a stashed batch must be withdrawn, or
+                                  // the dead handler's gate would refuse readers forever.
+            if state.write_requested {
+                self.core.gate.retract_writer();
+                state.write_requested = false;
+            }
+            state.writer_edges.clear();
+            state.pending = None;
+            state.batch.clear();
         }
         while let Ok(Some(request)) = self.core.request_queue.try_dequeue() {
             drop(request);

@@ -75,6 +75,7 @@ mod deadlock;
 #[doc(hidden)]
 pub mod guard;
 pub mod handler;
+pub mod read;
 pub mod request;
 pub mod reserve;
 pub mod runtime;
@@ -88,7 +89,11 @@ pub use config::{
 pub use contracts::{assert_postcondition, check_postcondition, WaitConfig, WaitTimeout};
 pub use handler::{Handler, HandlerId};
 pub use qs_deadlock::{DeadlockReport, EdgeKind as DeadlockEdgeKind, ReportedEdge};
-pub use reserve::{reserve, GuardedReservation, Reservation, ReservationSet, WaitCondition};
+pub use read::{read, Read, ReadSeparate};
+pub use reserve::{
+    reserve, GuardedReservation, MemberGuard, Reservation, ReservationSet, ReserveMember,
+    WaitCondition,
+};
 pub use runtime::Runtime;
 pub use separate::{MailboxError, MailboxFull, QueryToken, Separate};
 pub use stats::{batch_bucket_range, RuntimeStats, StatsSnapshot, BATCH_SIZE_BUCKETS};

@@ -45,6 +45,30 @@
 //! block that may have changed the condition's truth.  The legacy retry-poll
 //! loop survives only for bounded-attempt policies and behind the
 //! `wait-retry-poll` feature (differential testing).
+//!
+//! # Read members
+//!
+//! Every member of a set defaults to **exclusive**, but queries commute, so
+//! a member that is only read can be marked shared-read:
+//! [`reserve`]`(&h).read()` for the single-handler form, a
+//! [`crate::read`]`(&h)` marker inside a tuple, or `.read()` on a slice
+//! reservation.  Read members skip the queues entirely — they take the
+//! handler object's reader–writer gate in read mode and query in place on
+//! the client thread (see [`crate::read`] for the full semantics, including
+//! the deadlock-detection story and why commands are rejected).
+//!
+//! Two protocol notes.  First, ordering: gate-reads are acquired only
+//! *after* the set's registration locks are released (attach, then
+//! activate) — blocking behind a writer while holding reservation spinlocks
+//! would stall every other multi-reservation on those handlers in a way the
+//! deadlock detector cannot observe.  Second, atomicity: exclusive members
+//! of one set still observe the full Fig. 5 consistency guarantee among
+//! themselves, but read members only get per-object isolation — their gates
+//! are acquired one at a time, so a writer may slip between two
+//! acquisitions and a *cross-member* read snapshot is not a single instant.
+//! Use exclusive members where joint consistency across handlers matters.
+//! Duplicate-handler rejection is mode-blind: the same handler may not
+//! appear twice in a set, whatever the modes.
 
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -57,6 +81,7 @@ use crate::contracts::{WaitConfig, WaitTimeout};
 use crate::deadlock::{current_waiter, Tracking};
 use crate::guard::{enter_probe_round, GuardRegistry, ParkedWaiter};
 use crate::handler::{Handler, HandlerCore, HandlerId};
+use crate::read::{Read, ReadSeparate};
 use crate::separate::Separate;
 use crate::stats::RuntimeStats;
 
@@ -120,6 +145,29 @@ impl<T> RawReservable for HandlerCore<T> {
     }
 }
 
+/// How one member of a reservation set is reserved.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReserveMode {
+    /// The default: the member is registered exclusively (private queue or
+    /// handler lock) and the guard exposes the full command/query surface.
+    Exclusive,
+    /// Shared-read: the member takes the object's reader–writer gate in
+    /// read mode after registration; no queue, no handler lock, queries
+    /// only.
+    Read,
+}
+
+/// The type-erased view of one reservation-set member handed to the atomic
+/// registration protocol: which handler, reserved how.
+///
+/// Appears in the [`ReserveMember`] trait's (hidden) surface so the tuple
+/// implementations can be generic over member modes; user code never
+/// constructs one.
+pub struct MemberDescriptor<'h> {
+    pub(crate) core: &'h dyn RawReservable,
+    pub(crate) mode: ReserveMode,
+}
+
 /// The one place where multi-handler reservations acquire their locks.
 ///
 /// §3.3: "a spinlock per handler" serialises multi-reservations on the
@@ -127,7 +175,10 @@ impl<T> RawReservable for HandlerCore<T> {
 /// Either way the locks are taken in increasing handler-id order, which makes
 /// overlapping reservations deadlock-free regardless of the order the caller
 /// listed the handlers in.
-pub(crate) struct AtomicRegistration<'h> {
+///
+/// Public only because it appears in [`ReserveMember`]'s (hidden) plumbing
+/// signatures; user code cannot construct or use one.
+pub struct AtomicRegistration<'h> {
     /// Reservation spinlock guards (queue-of-queues path); held until drop,
     /// i.e. until every private queue of the set has been enqueued.
     _spin_guards: Vec<SpinLockGuard<'h, ()>>,
@@ -150,18 +201,27 @@ fn lock_key(core: &dyn RawReservable) -> (HandlerId, *const ()) {
 }
 
 impl<'h> AtomicRegistration<'h> {
-    /// Acquires the reservation locks for `cores` in handler-id order and
+    /// Acquires the reservation locks for `members` in handler-id order and
     /// records the set-level statistics.
+    ///
+    /// Read members are lock-free here on both paths: they neither enqueue
+    /// a private queue (nothing to keep atomic) nor take the lock-based
+    /// handler lock (the gate, acquired after this registration is
+    /// released, is their entire protocol) — which is precisely why a set
+    /// of one exclusive member plus any number of read members costs the
+    /// same as a singleton reservation.
     ///
     /// # Panics
     ///
-    /// Panics if the same handler appears twice in the set — reserving a
-    /// handler against itself would self-deadlock, so it is rejected eagerly.
-    pub(crate) fn acquire(cores: &[&'h dyn RawReservable]) -> Self {
-        let first = cores.first().expect("reservation sets are non-empty");
-        let stats = first.raw_stats();
+    /// Panics if the same handler appears twice in the set, whatever the
+    /// modes — reserving a handler against itself would self-deadlock
+    /// (exclusive/exclusive), or upgrade/downgrade ambiguously
+    /// (exclusive/read), so it is rejected eagerly.
+    pub(crate) fn acquire(members: &[MemberDescriptor<'h>]) -> Self {
+        let first = members.first().expect("reservation sets are non-empty");
+        let stats = first.core.raw_stats();
         RuntimeStats::bump(&stats.separate_blocks);
-        if cores.len() > 1 {
+        if members.len() > 1 {
             RuntimeStats::bump(&stats.multi_reservations);
         }
 
@@ -169,48 +229,56 @@ impl<'h> AtomicRegistration<'h> {
         // arity) sort in a stack buffer.
         let mut inline_buffer = [0usize; INLINE_SET];
         let mut spill_buffer;
-        let order: &mut [usize] = if cores.len() <= INLINE_SET {
-            let order = &mut inline_buffer[..cores.len()];
+        let order: &mut [usize] = if members.len() <= INLINE_SET {
+            let order = &mut inline_buffer[..members.len()];
             for (slot, index) in order.iter_mut().zip(0..) {
                 *slot = index;
             }
             order
         } else {
-            spill_buffer = (0..cores.len()).collect::<Vec<usize>>();
+            spill_buffer = (0..members.len()).collect::<Vec<usize>>();
             &mut spill_buffer
         };
-        order.sort_by_key(|&i| lock_key(cores[i]));
+        order.sort_by_key(|&i| lock_key(members[i].core));
         for pair in order.windows(2) {
             assert!(
-                lock_key(cores[pair[0]]).1 != lock_key(cores[pair[1]]).1,
+                lock_key(members[pair[0]].core).1 != lock_key(members[pair[1]].core).1,
                 "a reservation set must not contain the same handler twice"
             );
         }
 
+        let exclusive = members
+            .iter()
+            .filter(|member| member.mode == ReserveMode::Exclusive)
+            .count();
         let mut spin_guards = Vec::new();
         let mut lock_guards = Vec::new();
-        if first.raw_queue_of_queues() {
+        if first.core.raw_queue_of_queues() {
             // Phase 1 of §3.3: take the reservation spinlocks in id order.
-            // A single reservation enqueues lock-free and skips them.
-            if cores.len() > 1 {
-                spin_guards.reserve_exact(cores.len());
+            // A single exclusive registration enqueues lock-free and skips
+            // them (read members never count: they enqueue nothing).
+            if exclusive > 1 {
+                spin_guards.reserve_exact(exclusive);
                 spin_guards.extend(
                     order
                         .iter()
-                        .map(|&i| cores[i].raw_reservation_lock().lock()),
+                        .filter(|&&i| members[i].mode == ReserveMode::Exclusive)
+                        .map(|&i| members[i].core.raw_reservation_lock().lock()),
                 );
             }
         } else {
             // Pre-Qs path: take the handler locks themselves, in id order,
             // and hold them for the whole block (Fig. 2 semantics).  Each
             // contended acquisition is a reportable HandlerLock edge.
-            lock_guards.resize_with(cores.len(), || None);
+            lock_guards.resize_with(members.len(), || None);
             for &i in order.iter() {
-                lock_guards[i] = Some(crate::deadlock::lock_handler(
-                    cores[i].raw_client_lock(),
-                    cores[i].raw_lock_holder(),
-                    cores[i].raw_deadlock(),
-                ));
+                if members[i].mode == ReserveMode::Exclusive {
+                    lock_guards[i] = Some(crate::deadlock::lock_handler(
+                        members[i].core.raw_client_lock(),
+                        members[i].core.raw_lock_holder(),
+                        members[i].core.raw_deadlock(),
+                    ));
+                }
             }
         }
         AtomicRegistration {
@@ -294,43 +362,195 @@ impl<'h, T: Send + 'static> ReservationSet<'h> for &'h Handler<T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// ReserveMember: the shapes one *member* of a tuple set can take
+// ---------------------------------------------------------------------------
+
+/// One member of a reservation-set tuple: a plain `&Handler<T>` (exclusive,
+/// the default) or a [`crate::read`]`(&handler)` marker (shared-read).
+///
+/// The tuple [`ReservationSet`] implementations are generic over this
+/// trait, which is what lets exclusive and read members mix freely in one
+/// atomic set.  All methods are protocol plumbing; user code only ever
+/// names the trait in bounds.
+pub trait ReserveMember<'h>: Copy {
+    /// The reservation guard this member contributes to the set's `Guards`
+    /// tuple: [`Separate`] for exclusive members, [`ReadSeparate`] for read
+    /// members.
+    type Guard: MemberGuard;
+
+    /// The member's handler and mode, for the atomic registration.
+    #[doc(hidden)]
+    fn descriptor(self) -> MemberDescriptor<'h>;
+
+    /// Builds the guard while the registration is held.  Exclusive members
+    /// enqueue their private queue (or take over their handler lock) here;
+    /// read members construct an inactive guard — their gate must not be
+    /// acquired under the registration's spinlocks.
+    #[doc(hidden)]
+    fn attach(self, registration: &mut AtomicRegistration<'h>, set_index: usize) -> Self::Guard;
+
+    /// Completes the guard after the registration is released: a no-op for
+    /// exclusive members, the (potentially blocking) gate-read acquisition
+    /// for read members.
+    #[doc(hidden)]
+    fn activate(guard: &mut Self::Guard);
+
+    #[doc(hidden)]
+    fn member_stats(self) -> Arc<RuntimeStats>;
+
+    #[doc(hidden)]
+    fn member_deadlock_target(self) -> Option<(Arc<WaitRegistry>, ParticipantId)>;
+
+    #[doc(hidden)]
+    fn member_guard_registry(self) -> Arc<GuardRegistry>;
+}
+
+/// The wait-condition surface shared by both guard flavours, so
+/// [`WaitCondition`] closures work over mixed tuples.
+pub trait MemberGuard {
+    /// The handler-owned object type the condition observes.
+    type Object;
+
+    /// Brings the guard to a state where [`wait_peek`](Self::wait_peek) is
+    /// race-free: a sync round-trip for exclusive guards (parking the
+    /// handler on this client's queue), nothing for read guards (the
+    /// gate-read hold already excludes writers).
+    #[doc(hidden)]
+    fn wait_sync(&mut self);
+
+    /// Reads the object for a condition evaluation.
+    #[doc(hidden)]
+    fn wait_peek(&self) -> &Self::Object;
+}
+
+impl<T: Send + 'static> MemberGuard for Separate<'_, T> {
+    type Object = T;
+
+    fn wait_sync(&mut self) {
+        self.sync();
+    }
+
+    fn wait_peek(&self) -> &T {
+        self.peek_synced()
+    }
+}
+
+impl<T: Send + 'static> MemberGuard for ReadSeparate<'_, T> {
+    type Object = T;
+
+    fn wait_sync(&mut self) {}
+
+    fn wait_peek(&self) -> &T {
+        self.peek()
+    }
+}
+
+impl<'h, T: Send + 'static> ReserveMember<'h> for &'h Handler<T> {
+    type Guard = Separate<'h, T>;
+
+    fn descriptor(self) -> MemberDescriptor<'h> {
+        MemberDescriptor {
+            core: &**self.core(),
+            mode: ReserveMode::Exclusive,
+        }
+    }
+
+    fn attach(self, registration: &mut AtomicRegistration<'h>, set_index: usize) -> Self::Guard {
+        // Register one private queue (queue-of-queues) or carry the
+        // already-acquired handler lock (lock-based) while the registration
+        // keeps the set atomic.
+        Separate::attach(self.core(), registration.take_lock(set_index))
+    }
+
+    fn activate(_guard: &mut Self::Guard) {}
+
+    fn member_stats(self) -> Arc<RuntimeStats> {
+        Arc::clone(self.stats())
+    }
+
+    fn member_deadlock_target(self) -> Option<(Arc<WaitRegistry>, ParticipantId)> {
+        deadlock_target(self)
+    }
+
+    fn member_guard_registry(self) -> Arc<GuardRegistry> {
+        Arc::clone(&self.core().guards)
+    }
+}
+
+impl<'h, T: Send + 'static> ReserveMember<'h> for Read<'h, T> {
+    type Guard = ReadSeparate<'h, T>;
+
+    fn descriptor(self) -> MemberDescriptor<'h> {
+        MemberDescriptor {
+            core: &**self.handler.core(),
+            mode: ReserveMode::Read,
+        }
+    }
+
+    fn attach(self, _registration: &mut AtomicRegistration<'h>, _set_index: usize) -> Self::Guard {
+        ReadSeparate::attach(self.handler.core())
+    }
+
+    fn activate(guard: &mut Self::Guard) {
+        guard.activate();
+    }
+
+    fn member_stats(self) -> Arc<RuntimeStats> {
+        Arc::clone(self.handler.stats())
+    }
+
+    fn member_deadlock_target(self) -> Option<(Arc<WaitRegistry>, ParticipantId)> {
+        deadlock_target(self.handler)
+    }
+
+    fn member_guard_registry(self) -> Arc<GuardRegistry> {
+        Arc::clone(&self.handler.core().guards)
+    }
+}
+
 macro_rules! impl_reservation_set_for_tuple {
     ($(($($name:ident : $ty:ident @ $index:tt),+)),+ $(,)?) => {$(
-        impl<'h, $($ty: Send + 'static),+> ReservationSet<'h> for ($(&'h Handler<$ty>,)+) {
-            type Guards = ($(Separate<'h, $ty>,)+);
+        impl<'h, $($ty: ReserveMember<'h>),+> ReservationSet<'h> for ($($ty,)+) {
+            type Guards = ($($ty::Guard,)+);
 
             fn begin(self) -> Self::Guards {
                 let ($($name,)+) = self;
                 let mut registration = AtomicRegistration::acquire(&[
-                    $(&**$name.core() as &dyn RawReservable,)+
+                    $($name.descriptor(),)+
                 ]);
-                // Register one private queue per handler (queue-of-queues)
-                // or carry the already-acquired handler locks (lock-based)
-                // while the registration keeps the set atomic.
-                let guards = ($(
-                    Separate::attach($name.core(), registration.take_lock($index)),
+                let mut guards = ($(
+                    $name.attach(&mut registration, $index),
                 )+);
                 drop(registration);
+                // Two-phase begin: read members acquire their gates only
+                // *after* the registration's locks are released — blocking
+                // behind a writer while holding reservation spinlocks would
+                // stall unrelated multi-reservations undetectably.
+                {
+                    let ($($name,)+) = &mut guards;
+                    $(<$ty as ReserveMember>::activate($name);)+
+                }
                 guards
             }
 
             fn shared_stats(self) -> Option<Arc<RuntimeStats>> {
                 let ($($name,)+) = self;
                 let mut stats = None;
-                $(if stats.is_none() { stats = Some(Arc::clone($name.stats())); })+
+                $(if stats.is_none() { stats = Some($name.member_stats()); })+
                 stats
             }
 
             fn deadlock_targets(self) -> DeadlockTargets {
                 let ($($name,)+) = self;
                 let mut targets = DeadlockTargets::new();
-                $(targets.extend(deadlock_target($name));)+
+                $(targets.extend($name.member_deadlock_target());)+
                 targets
             }
 
             fn guard_registries(self) -> GuardRegistries {
                 let ($($name,)+) = self;
-                vec![$(Arc::clone(&$name.core().guards),)+]
+                vec![$($name.member_guard_registry(),)+]
             }
         }
     )+};
@@ -350,11 +570,14 @@ impl<'h, T: Send + 'static> ReservationSet<'h> for &'h [Handler<T>] {
             [] => Vec::new(),
             [single] => vec![Separate::begin_single(single.core())],
             handlers => {
-                let raws: Vec<&dyn RawReservable> = handlers
+                let members: Vec<MemberDescriptor> = handlers
                     .iter()
-                    .map(|h| &**h.core() as &dyn RawReservable)
+                    .map(|h| MemberDescriptor {
+                        core: &**h.core(),
+                        mode: ReserveMode::Exclusive,
+                    })
                     .collect();
-                let mut registration = AtomicRegistration::acquire(&raws);
+                let mut registration = AtomicRegistration::acquire(&members);
                 let guards = handlers
                     .iter()
                     .enumerate()
@@ -399,6 +622,94 @@ impl<'h, T: Send + 'static> ReservationSet<'h> for &'h Vec<Handler<T>> {
     }
 }
 
+// The single-handler read form, reached through `reserve(&h).read()`: like
+// the exclusive arity-1 fast path it touches no registration machinery at
+// all — the gate acquisition *is* the reservation.
+impl<'h, T: Send + 'static> ReservationSet<'h> for Read<'h, T> {
+    type Guards = ReadSeparate<'h, T>;
+
+    fn begin(self) -> Self::Guards {
+        ReadSeparate::begin_single(self.handler.core())
+    }
+
+    fn shared_stats(self) -> Option<Arc<RuntimeStats>> {
+        Some(Arc::clone(self.handler.stats()))
+    }
+
+    fn deadlock_targets(self) -> DeadlockTargets {
+        deadlock_target(self.handler).into_iter().collect()
+    }
+
+    fn guard_registries(self) -> GuardRegistries {
+        vec![Arc::clone(&self.handler.core().guards)]
+    }
+}
+
+/// A homogeneous reservation set whose members are all shared-read,
+/// obtained by calling `.read()` on a slice or `Vec` reservation.
+///
+/// Reserving it acquires every handler's gate in read mode; the guards are
+/// a `Vec` of [`ReadSeparate`].  Registration is lock-free (read members
+/// take no reservation locks) but still rejects duplicate handlers.
+pub struct ReadSlice<'h, T: Send + 'static> {
+    handlers: &'h [Handler<T>],
+}
+
+impl<T: Send + 'static> Clone for ReadSlice<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T: Send + 'static> Copy for ReadSlice<'_, T> {}
+
+impl<'h, T: Send + 'static> ReservationSet<'h> for ReadSlice<'h, T> {
+    type Guards = Vec<ReadSeparate<'h, T>>;
+
+    fn begin(self) -> Self::Guards {
+        match self.handlers {
+            [] => Vec::new(),
+            [single] => vec![ReadSeparate::begin_single(single.core())],
+            handlers => {
+                let members: Vec<MemberDescriptor> = handlers
+                    .iter()
+                    .map(|h| MemberDescriptor {
+                        core: &**h.core(),
+                        mode: ReserveMode::Read,
+                    })
+                    .collect();
+                // Takes no locks (every member is read) but keeps the
+                // duplicate-handler rejection and set-level statistics.
+                let registration = AtomicRegistration::acquire(&members);
+                let mut guards: Vec<ReadSeparate<'h, T>> = handlers
+                    .iter()
+                    .map(|h| ReadSeparate::attach(h.core()))
+                    .collect();
+                drop(registration);
+                for guard in &mut guards {
+                    guard.activate();
+                }
+                guards
+            }
+        }
+    }
+
+    fn shared_stats(self) -> Option<Arc<RuntimeStats>> {
+        self.handlers.first().map(|h| Arc::clone(h.stats()))
+    }
+
+    fn deadlock_targets(self) -> DeadlockTargets {
+        self.handlers.iter().filter_map(deadlock_target).collect()
+    }
+
+    fn guard_registries(self) -> GuardRegistries {
+        self.handlers
+            .iter()
+            .map(|h| Arc::clone(&h.core().guards))
+            .collect()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Wait conditions
 // ---------------------------------------------------------------------------
@@ -431,18 +742,21 @@ where
 
 macro_rules! impl_wait_condition_for_tuple {
     ($(($($name:ident : $ty:ident),+)),+ $(,)?) => {$(
-        impl<'h, $($ty,)+ F> WaitCondition<'h, ($(&'h Handler<$ty>,)+)> for F
+        impl<'h, $($ty,)+ F> WaitCondition<'h, ($($ty,)+)> for F
         where
-            $($ty: Send + 'static,)+
-            F: Fn($(&$ty),+) -> bool,
+            $($ty: ReserveMember<'h>,)+
+            F: Fn($(&<$ty::Guard as MemberGuard>::Object),+) -> bool,
         {
-            fn holds(&self, guards: &mut ($(Separate<'h, $ty>,)+)) -> bool {
+            fn holds(&self, guards: &mut ($($ty::Guard,)+)) -> bool {
                 let ($($name,)+) = guards;
-                // Sync every handler first: afterwards all of them are parked
-                // on this client's queues, so the joint read is race-free and
-                // the tuple of observations is mutually consistent.
-                $($name.sync();)+
-                self($($name.peek_synced()),+)
+                // Sync every exclusive member first: afterwards all of them
+                // are parked on this client's queues, so the joint read is
+                // race-free and their observations mutually consistent.
+                // Read members need no sync — their gate-read hold already
+                // excludes writers (per-object; see the module docs for the
+                // cross-member caveat).
+                $($name.wait_sync();)+
+                self($($name.wait_peek()),+)
             }
         }
     )+};
@@ -485,6 +799,30 @@ where
 {
     fn holds(&self, guards: &mut Vec<Separate<'h, T>>) -> bool {
         holds_for_slice(guards, self)
+    }
+}
+
+impl<'h, T, F> WaitCondition<'h, Read<'h, T>> for F
+where
+    T: Send + 'static,
+    F: Fn(&T) -> bool,
+{
+    fn holds(&self, guard: &mut ReadSeparate<'h, T>) -> bool {
+        // No sync: the gate-read hold keeps the object stable, and the body
+        // runs under the same hold, so an observed-true condition stays
+        // true until the block ends (writers are excluded throughout).
+        self(guard.peek())
+    }
+}
+
+impl<'h, T, F> WaitCondition<'h, ReadSlice<'h, T>> for F
+where
+    T: Send + 'static,
+    F: Fn(&[&T]) -> bool,
+{
+    fn holds(&self, guards: &mut Vec<ReadSeparate<'h, T>>) -> bool {
+        let objects: Vec<&T> = guards.iter().map(ReadSeparate::peek).collect();
+        self(&objects)
     }
 }
 
@@ -557,6 +895,42 @@ impl<'h, S: ReservationSet<'h>> Reservation<'h, S> {
         let mut guards = self.set.begin();
         body(&mut guards)
         // Dropping the guards ends the block (END rule) for every handler.
+    }
+}
+
+impl<'h, T: Send + 'static> Reservation<'h, &'h Handler<T>> {
+    /// Downgrades the reservation to shared-read: any number of clients
+    /// hold it concurrently, queries run in place on the client thread, and
+    /// commands are rejected (see [`crate::read`]).
+    ///
+    /// ```
+    /// use qs_runtime::{reserve, Runtime, RuntimeConfig};
+    ///
+    /// let rt = Runtime::new(RuntimeConfig::all_optimizations());
+    /// let scores = rt.spawn_handler(vec![3u32, 1, 4]);
+    /// let top = reserve(&scores)
+    ///     .read()
+    ///     .run(|r| r.query(|s| s.iter().copied().max().unwrap_or(0)));
+    /// assert_eq!(top, 4);
+    /// ```
+    pub fn read(self) -> Reservation<'h, Read<'h, T>> {
+        reserve(crate::read::read(self.set))
+    }
+}
+
+impl<'h, T: Send + 'static> Reservation<'h, &'h [Handler<T>]> {
+    /// Downgrades every member of the slice reservation to shared-read.
+    pub fn read(self) -> Reservation<'h, ReadSlice<'h, T>> {
+        reserve(ReadSlice { handlers: self.set })
+    }
+}
+
+impl<'h, T: Send + 'static> Reservation<'h, &'h Vec<Handler<T>>> {
+    /// Downgrades every member of the slice reservation to shared-read.
+    pub fn read(self) -> Reservation<'h, ReadSlice<'h, T>> {
+        reserve(ReadSlice {
+            handlers: self.set.as_slice(),
+        })
     }
 }
 

@@ -24,8 +24,9 @@ const DEADLOCK_TICK: Duration = Duration::from_millis(10);
 struct DeadlockRuntime {
     registry: Arc<WaitRegistry>,
     reports: Arc<parking_lot::Mutex<Vec<DeadlockReport>>>,
-    /// Stops and joins the monitor thread when the runtime drops.
-    _monitor: DeadlockMonitor,
+    /// Stops and joins the monitor thread when the runtime drops; also the
+    /// source of the `monitor_scans` statistic.
+    monitor: DeadlockMonitor,
 }
 
 impl DeadlockRuntime {
@@ -46,7 +47,7 @@ impl DeadlockRuntime {
         DeadlockRuntime {
             registry,
             reports,
-            _monitor: monitor,
+            monitor,
         }
     }
 }
@@ -177,11 +178,15 @@ impl Runtime {
     }
 
     /// Convenience: a point-in-time snapshot of the statistics, including
-    /// the pooled scheduler's steal count when one is running.
+    /// the pooled scheduler's steal count and the deadlock monitor's scan
+    /// count when either is running.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         let mut snapshot = self.inner.stats.snapshot();
         if let Some(scheduler) = self.inner.scheduler.lock().as_ref() {
             snapshot.scheduler_steals = scheduler.steals();
+        }
+        if let Some(deadlock) = self.inner.deadlock.as_ref() {
+            snapshot.monitor_scans = deadlock.monitor.scan_count();
         }
         snapshot
     }
@@ -251,11 +256,13 @@ impl Runtime {
                     // blocked producer) routes through the scheduler's
                     // priority lane so this handler runs promptly; so does a
                     // guard wake (clients parked on a wait condition this
-                    // handler's pending work may decide).
+                    // handler's pending work may decide) and a writable wake
+                    // (the handler has a stashed batch waiting for readers
+                    // to leave its object's gate).
                     let scheduled = if reason == WakeReason::Pressure {
                         RuntimeStats::bump(&stats.pressure_wakes);
                         handle.notify_pressure()
-                    } else if reason == WakeReason::Guard {
+                    } else if reason == WakeReason::Guard || reason == WakeReason::Writable {
                         handle.notify_pressure()
                     } else {
                         handle.notify()

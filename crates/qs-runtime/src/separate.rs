@@ -203,6 +203,23 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
         }
     }
 
+    /// Takes the handler object's reader–writer gate in write mode for the
+    /// duration of a client-executed mutation, blocking behind any active
+    /// shared-read reservations (see [`crate::read`]).  The sync that
+    /// precedes every client-executed access parks the *handler*, but
+    /// readers bypass the queues entirely, so the gate is the only thing
+    /// serialising this client's `&mut` against their concurrent `&`.
+    /// Returns a guard that releases the gate on drop — also on unwind, so
+    /// a panicking query closure cannot wedge readers out forever.  With no
+    /// read reservation active this is one uncontended CAS.
+    fn write_gate(&self) -> WriteGateGuard<'_> {
+        self.core
+            .write_gate_blocking(self.tracking.as_ref().map(|tracking| tracking.waiter));
+        WriteGateGuard {
+            gate: &self.core.gate,
+        }
+    }
+
     /// Waits on a sync/query handoff, registering the wait as a Query
     /// wait-for edge while deadlock tracking is on.  The edge carries an
     /// `is_ready` probe so a completed-but-not-yet-collected handoff cannot
@@ -350,11 +367,13 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
         if self.core.config.client_executed_queries {
             self.ensure_synced();
             RuntimeStats::bump(&self.core.stats.queries_client_executed);
+            let _write = self.write_gate();
             // SAFETY: the sync above guarantees the handler has drained this
             // client's requests and is now parked waiting on this client's
             // (empty) private queue — or, lock-based, on the empty shared
             // request queue while we hold the handler lock.  No other client
-            // can schedule work in between, so we have exclusive access.
+            // can schedule work in between, and the write gate excludes
+            // shared-read reservations, so we have exclusive access.
             let object = unsafe { self.core.object_mut() };
             f(object)
         } else {
@@ -388,9 +407,11 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
         );
         RuntimeStats::bump(&self.core.stats.queries_client_executed);
         RuntimeStats::bump(&self.core.stats.syncs_elided);
+        let _write = self.write_gate();
         // SAFETY: as in `query` — the caller (the static pass) guarantees a
         // dominating sync with no intervening asynchronous call, so the
-        // handler is parked and cannot touch the object.
+        // handler is parked and cannot touch the object; the write gate
+        // excludes shared-read reservations.
         let object = unsafe { self.core.object_mut() };
         f(object)
     }
@@ -411,7 +432,11 @@ impl<'a, T: Send + 'static> Separate<'a, T> {
         );
         // SAFETY: as in `query` — after the sync the handler is parked and
         // cannot touch the object, and the returned borrow keeps `self`
-        // borrowed so no new request can be logged while it is alive.
+        // borrowed so no new request can be logged while it is alive.  No
+        // write gate is needed: the borrow is shared, so concurrent
+        // shared-read reservations are harmless, and every `&mut` site
+        // (handler batches, client-executed queries) blocks on this
+        // client's reservation, not on the gate alone.
         unsafe { self.core.object_mut() }
     }
 
@@ -525,6 +550,18 @@ impl<T: Send + 'static> Drop for Separate<'_, T> {
     }
 }
 
+/// RAII guard for a client-executed mutation's hold on the handler object's
+/// reader–writer gate: releases the write mode on drop, including unwinds.
+struct WriteGateGuard<'g> {
+    gate: &'g qs_sync::ReadGate,
+}
+
+impl Drop for WriteGateGuard<'_> {
+    fn drop(&mut self) {
+        self.gate.end_write();
+    }
+}
+
 /// Error returned by [`Separate::try_call`] when the bounded mailbox is at
 /// capacity: the handler has not kept up and the runtime refuses to block
 /// the client.
@@ -571,6 +608,15 @@ pub enum MailboxError {
         /// The handler whose mailbox the broken push targeted.
         handler: crate::HandlerId,
     },
+    /// A mutating operation (`call`, `try_call`) was attempted through a
+    /// shared-read reservation (see [`crate::read`]).  Read reservations
+    /// admit only commuting operations — `query`, `query_async`, `peek` —
+    /// so the runtime fails the command fast instead of silently upgrading
+    /// to exclusive access.
+    ReadOnlyReservation {
+        /// The handler the read-only reservation targets.
+        handler: crate::HandlerId,
+    },
 }
 
 impl std::fmt::Display for MailboxError {
@@ -580,6 +626,11 @@ impl std::fmt::Display for MailboxError {
                 f,
                 "push into the mailbox of handler {handler} was broken by the deadlock \
                  detector: the blocked producers formed a confirmed wait-for cycle"
+            ),
+            MailboxError::ReadOnlyReservation { handler } => write!(
+                f,
+                "handler {handler} is reserved in read mode: commands are rejected; \
+                 use an exclusive reservation (or `query`) instead"
             ),
         }
     }
@@ -606,6 +657,20 @@ pub struct QueryToken<R: Send + 'static> {
 }
 
 impl<R: Send + 'static> QueryToken<R> {
+    /// A token born completed, used by read reservations: the query ran
+    /// eagerly on the client (readers hold the object directly), so the
+    /// result is deposited before the token is handed out and
+    /// [`wait`](QueryToken::wait) never blocks.
+    pub(crate) fn ready(value: R) -> Self {
+        let handoff = Arc::new(Handoff::new());
+        handoff.complete(value);
+        QueryToken {
+            handoff,
+            taken: false,
+            tracking: None,
+        }
+    }
+
     /// Blocks until the handler has executed the query and returns its
     /// result (the deferred half of the §3.2 direct handoff).
     ///

@@ -115,6 +115,17 @@ pub struct RuntimeStats {
     /// Blocked bounded pushes failed by `DeadlockPolicy::Break` to unwind a
     /// confirmed cycle.
     pub deadlocks_broken: AtomicU64,
+    /// Shared-read reservations acquired (`reserve(&h).read()` and
+    /// read-marked members of tuple/slice sets).
+    pub read_reservations: AtomicU64,
+    /// High-water mark of concurrent read holds observed on any single
+    /// handler's gate (a level, not a count — `since()` keeps the later
+    /// snapshot's value).
+    pub peak_concurrent_readers: AtomicU64,
+    /// Handler main-loop steps that found their object's gate held by
+    /// readers and had to wait (announcing writer preference) before
+    /// applying a drained batch.
+    pub writer_waits: AtomicU64,
     /// Histogram of drained batch sizes; see [`batch_bucket_range`].
     pub batch_size_buckets: [AtomicU64; BATCH_SIZE_BUCKETS],
 }
@@ -129,6 +140,12 @@ impl RuntimeStats {
     #[inline]
     pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises a high-water-mark counter to `value` if it is below it.
+    #[inline]
+    pub(crate) fn bump_max(counter: &AtomicU64, value: u64) {
+        counter.fetch_max(value, Ordering::Relaxed);
     }
 
     /// Records one drained batch of `size` requests.
@@ -171,7 +188,11 @@ impl RuntimeStats {
             budget_shrinks: self.budget_shrinks.load(Ordering::Relaxed),
             deadlocks_detected: self.deadlocks_detected.load(Ordering::Relaxed),
             deadlocks_broken: self.deadlocks_broken.load(Ordering::Relaxed),
+            read_reservations: self.read_reservations.load(Ordering::Relaxed),
+            peak_concurrent_readers: self.peak_concurrent_readers.load(Ordering::Relaxed),
+            writer_waits: self.writer_waits.load(Ordering::Relaxed),
             scheduler_steals: 0,
+            monitor_scans: 0,
             batch_size_buckets: std::array::from_fn(|i| {
                 self.batch_size_buckets[i].load(Ordering::Relaxed)
             }),
@@ -242,10 +263,23 @@ pub struct StatsSnapshot {
     pub deadlocks_detected: u64,
     /// Blocked bounded pushes failed by `DeadlockPolicy::Break`.
     pub deadlocks_broken: u64,
+    /// Shared-read reservations acquired.
+    pub read_reservations: u64,
+    /// High-water mark of concurrent read holds on any one handler's gate.
+    /// A level, not a count: [`since`](StatsSnapshot::since) keeps the later
+    /// snapshot's value instead of subtracting.
+    pub peak_concurrent_readers: u64,
+    /// Handler steps that had to wait for readers before applying a batch.
+    pub writer_waits: u64,
     /// Pooled scheduling: tasks stolen across scheduler workers.  Tracked by
     /// the scheduler, merged in by [`crate::Runtime::stats_snapshot`]; zero
     /// in a snapshot taken directly from [`RuntimeStats`].
     pub scheduler_steals: u64,
+    /// Full cycle-detection scans the deadlock monitor has run (adaptive
+    /// tick; skipped idle ticks not included).  Tracked by the monitor,
+    /// merged in by [`crate::Runtime::stats_snapshot`]; zero in a snapshot
+    /// taken directly from [`RuntimeStats`].
+    pub monitor_scans: u64,
     /// Histogram of drained batch sizes; see [`batch_bucket_range`].
     pub batch_size_buckets: [u64; BATCH_SIZE_BUCKETS],
 }
@@ -338,9 +372,17 @@ impl StatsSnapshot {
             deadlocks_broken: self
                 .deadlocks_broken
                 .saturating_sub(earlier.deadlocks_broken),
+            read_reservations: self
+                .read_reservations
+                .saturating_sub(earlier.read_reservations),
+            // A high-water mark, not a monotone count: the difference of two
+            // peaks is meaningless, so the interval keeps the later level.
+            peak_concurrent_readers: self.peak_concurrent_readers,
+            writer_waits: self.writer_waits.saturating_sub(earlier.writer_waits),
             scheduler_steals: self
                 .scheduler_steals
                 .saturating_sub(earlier.scheduler_steals),
+            monitor_scans: self.monitor_scans.saturating_sub(earlier.monitor_scans),
             batch_size_buckets: std::array::from_fn(|i| {
                 self.batch_size_buckets[i].saturating_sub(earlier.batch_size_buckets[i])
             }),
@@ -401,6 +443,32 @@ mod tests {
     #[test]
     fn mean_batch_size_handles_zero() {
         assert_eq!(StatsSnapshot::default().mean_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn read_reservation_counters_snapshot_and_diff() {
+        let stats = RuntimeStats::new();
+        RuntimeStats::bump(&stats.read_reservations);
+        RuntimeStats::bump(&stats.read_reservations);
+        RuntimeStats::bump(&stats.writer_waits);
+        RuntimeStats::bump_max(&stats.peak_concurrent_readers, 3);
+        RuntimeStats::bump_max(&stats.peak_concurrent_readers, 7);
+        RuntimeStats::bump_max(&stats.peak_concurrent_readers, 5);
+        let snap = stats.snapshot();
+        assert_eq!(snap.read_reservations, 2);
+        assert_eq!(snap.writer_waits, 1);
+        assert_eq!(snap.peak_concurrent_readers, 7, "fetch_max keeps the peak");
+        // since(): counts subtract, the peak is carried as a level.
+        let earlier = StatsSnapshot {
+            read_reservations: 1,
+            writer_waits: 1,
+            peak_concurrent_readers: 6,
+            ..Default::default()
+        };
+        let diff = snap.since(&earlier);
+        assert_eq!(diff.read_reservations, 1);
+        assert_eq!(diff.writer_waits, 0);
+        assert_eq!(diff.peak_concurrent_readers, 7);
     }
 
     #[test]

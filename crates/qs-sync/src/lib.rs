@@ -22,6 +22,7 @@ pub mod event;
 pub mod handoff;
 pub mod once_cell;
 pub mod parker;
+pub mod rwgate;
 pub mod spinlock;
 pub mod wait_group;
 
@@ -31,5 +32,6 @@ pub use event::Event;
 pub use handoff::Handoff;
 pub use once_cell::OnceValue;
 pub use parker::Parker;
+pub use rwgate::{GateWake, ReadGate};
 pub use spinlock::{SpinLock, SpinLockGuard};
 pub use wait_group::WaitGroup;

@@ -71,9 +71,9 @@ pub use qs_workloads as workloads;
 /// Convenience prelude exposing the most common runtime API items.
 pub mod prelude {
     pub use qs_runtime::{
-        reserve, DeadlockEdgeKind, DeadlockPolicy, DeadlockReport, GuardedReservation, Handler,
-        MailboxError, MailboxFull, OptimizationLevel, QueryToken, Reservation, ReservationSet,
-        Runtime, RuntimeConfig, RuntimeStats, SchedulerMode, Separate, WaitCondition, WaitConfig,
-        WaitTimeout,
+        read, reserve, DeadlockEdgeKind, DeadlockPolicy, DeadlockReport, GuardedReservation,
+        Handler, MailboxError, MailboxFull, OptimizationLevel, QueryToken, Read, ReadSeparate,
+        Reservation, ReservationSet, Runtime, RuntimeConfig, RuntimeStats, SchedulerMode, Separate,
+        WaitCondition, WaitConfig, WaitTimeout,
     };
 }

@@ -21,12 +21,12 @@ use qs_bench::remote_sweep::{
 };
 
 use qs_bench::experiments::{
-    backpressure_sweep, fig19_scalability, readers_sweep, scheduler_sweep, table1_opt_parallel,
-    table2_opt_concurrent, table4_lang_parallel, table5_lang_concurrent, wait_latency_point,
-    wait_scaling_point, BackpressurePoint, ReadersPoint, Scale, SchedulerPoint, WaitLatencyPoint,
-    WaitScalingPoint, WaitStrategy, BACKPRESSURE_CALLS_PER_BLOCK, BACKPRESSURE_CAPACITY,
-    BACKPRESSURE_PIPELINES, WAIT_LATENCY_GAP, WAIT_SCALING_STEPS, WAIT_SCALING_STEP_GAP,
-    WAIT_SCALING_WAITERS,
+    auto_read_sweep, backpressure_sweep, fig19_scalability, readers_sweep, scheduler_sweep,
+    table1_opt_parallel, table2_opt_concurrent, table4_lang_parallel, table5_lang_concurrent,
+    wait_latency_point, wait_scaling_point, AutoReadPoint, BackpressurePoint, ReadersPoint, Scale,
+    SchedulerPoint, WaitLatencyPoint, WaitScalingPoint, WaitStrategy, BACKPRESSURE_CALLS_PER_BLOCK,
+    BACKPRESSURE_CAPACITY, BACKPRESSURE_PIPELINES, WAIT_LATENCY_GAP, WAIT_SCALING_STEPS,
+    WAIT_SCALING_STEP_GAP, WAIT_SCALING_WAITERS,
 };
 use qs_bench::report::{geometric_mean, print_table};
 use qs_runtime::SchedulerMode;
@@ -541,7 +541,11 @@ const READERS_GATE_MIN_READERS: usize = 4;
 
 /// JSON for the read-reservation sweep (hand-rolled — the workspace is
 /// offline, no serde).
-fn readers_points_to_json(points: &[ReadersPoint], min_speedup: f64) -> String {
+fn readers_points_to_json(
+    points: &[ReadersPoint],
+    auto: &[AutoReadPoint],
+    min_speedup: f64,
+) -> String {
     let mut out = String::from("{\n  \"bench\": \"read_reservation_sweep\",\n");
     out.push_str("  \"unit\": \"ops_per_sec\",\n");
     out.push_str(
@@ -584,6 +588,24 @@ fn readers_points_to_json(points: &[ReadersPoint], min_speedup: f64) -> String {
             if i + 1 == pairs.len() { "" } else { "," },
         ));
     }
+    // The `auto` column: the same read-mostly surface program with reads
+    // taken exclusively, through a hand-written `separate read`, or through
+    // a plain block the effect-inference pass downgraded automatically.
+    out.push_str("  ],\n  \"auto\": [\n");
+    for (i, p) in auto.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"readings\": {}, \"iterations\": {}, \
+             \"elapsed_secs\": {:.6}, \"queries_per_sec\": {:.1}, \
+             \"read_reservations\": {}}}{}\n",
+            p.mode,
+            p.readings,
+            p.iterations,
+            p.elapsed.as_secs_f64(),
+            p.queries_per_sec,
+            p.read_reservations,
+            if i + 1 == auto.len() { "" } else { "," },
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -616,6 +638,12 @@ fn run_readers_sweep(scale: &str) {
     };
     let write_percents: &[u32] = &[0, 1, 10];
     let points = readers_sweep(reader_counts, write_percents, ops);
+    let (auto_readings, auto_iterations) = match scale {
+        "smoke" => (64, 50),
+        "quick" => (128, 100),
+        _ => (256, 200),
+    };
+    let auto = auto_read_sweep(auto_readings, auto_iterations);
 
     let rows: Vec<(String, Vec<String>)> = readers_pairs(&points)
         .iter()
@@ -651,7 +679,32 @@ fn run_readers_sweep(scale: &str) {
         &rows,
     );
 
-    let json = readers_points_to_json(&points, min_speedup);
+    let auto_rows: Vec<(String, Vec<String>)> = auto
+        .iter()
+        .map(|p| {
+            (
+                p.mode.to_string(),
+                vec![
+                    format!("{:.0}", p.queries_per_sec),
+                    p.read_reservations.to_string(),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Auto-read downgrade — {auto_readings}-reading sensor, \
+             {auto_iterations} iterations per mode"
+        ),
+        &[
+            "mode".to_string(),
+            "queries/s".to_string(),
+            "read reservations".to_string(),
+        ],
+        &auto_rows,
+    );
+
+    let json = readers_points_to_json(&points, &auto, min_speedup);
     let path = "BENCH_readers.json";
     std::fs::write(path, json).expect("write BENCH_readers.json");
     println!("wrote {path}");
@@ -682,6 +735,25 @@ fn run_readers_sweep(scale: &str) {
             exclusive.write_percent,
         );
     }
+
+    // The auto-read gate: the effect-inference downgrade must actually fire
+    // (the inferred cell takes read reservations, the exclusive baseline
+    // none), and an inferred `.read()` must not cost materially more than a
+    // hand-written one.
+    let auto_cell = |mode: &str| auto.iter().find(|p| p.mode == mode).expect("auto cell");
+    assert_eq!(auto_cell("exclusive").read_reservations, 0);
+    assert!(
+        auto_cell("inferred").read_reservations > 0,
+        "auto-read regression: the inferred cell took no read reservations; \
+         the effect pass stopped emitting the downgrade"
+    );
+    let inferred_over_declared = auto_cell("inferred").queries_per_sec
+        / auto_cell("declared").queries_per_sec.max(f64::MIN_POSITIVE);
+    assert!(
+        inferred_over_declared >= 0.5,
+        "auto-read regression: inferred .read() reached only {inferred_over_declared:.2}x \
+         the hand-written read block's throughput; see BENCH_readers.json"
+    );
 }
 
 /// JSON for the distributed sweep (hand-rolled — the workspace is offline,

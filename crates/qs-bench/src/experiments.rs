@@ -753,6 +753,133 @@ pub fn readers_sweep(
     points
 }
 
+// ---------------------------------------------------------------------------
+// Auto-read downgrade: inferred `.read()` lang programs vs hand-written
+// ---------------------------------------------------------------------------
+
+/// One cell of the auto-read experiment: the same read-mostly surface
+/// program executed three ways — reads through plain exclusive blocks
+/// (auto-read off), through a hand-written `separate read` block, or through
+/// a plain block the effect-inference pass proved read-only (auto-read on).
+/// The inferred column earning the declared column's throughput *and* its
+/// `read_reservations` count is the end-to-end proof that the static pass
+/// emits the downgrade automatically.
+#[derive(Debug, Clone)]
+pub struct AutoReadPoint {
+    /// `"exclusive"`, `"declared"` or `"inferred"`.
+    pub mode: &'static str,
+    /// Readings the sensor holds (queries per program iteration ≈ readings + 2).
+    pub readings: usize,
+    /// Program iterations measured.
+    pub iterations: usize,
+    /// Wall-clock time of the cell.
+    pub elapsed: Duration,
+    /// Sensor queries per second across the run.
+    pub queries_per_sec: f64,
+    /// Shared-read reservations taken across the run (0 in exclusive mode).
+    pub read_reservations: u64,
+}
+
+/// The read-mostly sensor program of the auto-read experiment; `declared`
+/// picks between a hand-written `separate read` block and a plain block left
+/// for the effect-inference pass to downgrade.
+fn auto_read_source(readings: usize, declared: bool) -> String {
+    let keyword = if declared {
+        "separate read"
+    } else {
+        "separate"
+    };
+    format!(
+        "\
+class SENSOR
+  attribute readings : ARRAY
+  attribute samples : INTEGER
+  command calibrate(n: INTEGER) local i : INTEGER do
+    readings := array(n)
+    i := 0
+    while i < n loop readings[i] := i * 7 i := i + 1 end
+    samples := n
+  end
+  query at(i: INTEGER) : INTEGER do Result := readings[i] end
+  query count : INTEGER do Result := samples end
+end
+
+main
+  local s : separate SENSOR
+  local i : INTEGER
+  local n : INTEGER
+  local checksum : INTEGER
+do
+  create s
+  separate s do s.calibrate({readings}) end
+  {keyword} s do
+    n := s.count()
+    i := 0
+    while i < n loop
+      checksum := checksum + s.at(i)
+      i := i + 1
+    end
+  end
+  print(checksum)
+end
+"
+    )
+}
+
+/// Runs one cell of the auto-read experiment.
+pub fn auto_read_point(mode: &'static str, readings: usize, iterations: usize) -> AutoReadPoint {
+    use qs_lang::{compile, run_compiled, QueryStrategy};
+
+    let (declared, auto_read) = match mode {
+        "exclusive" => (false, false),
+        "declared" => (true, false),
+        "inferred" => (false, true),
+        other => panic!("unknown auto-read mode {other}"),
+    };
+    let compiled = compile(&auto_read_source(readings, declared)).expect("program compiles");
+    if mode == "inferred" {
+        assert_eq!(
+            compiled.checked.inferred_read_blocks.len(),
+            1,
+            "the effect pass must prove the query block read-only"
+        );
+    }
+    let expected: i64 = (0..readings as i64).map(|i| i * 7).sum();
+    let runtime = Runtime::new(RuntimeConfig::all_optimizations().with_auto_read(auto_read));
+
+    let start = Instant::now();
+    let mut read_reservations = 0u64;
+    for _ in 0..iterations {
+        let output = run_compiled(&compiled, &runtime, QueryStrategy::RuntimeManaged)
+            .expect("auto-read cell runs");
+        assert_eq!(
+            output.printed,
+            vec![expected.to_string()],
+            "auto-read cell diverged in mode {mode}"
+        );
+        read_reservations = output.stats.read_reservations;
+    }
+    let elapsed = start.elapsed();
+    let queries = (iterations * (readings + 2)) as u64;
+    AutoReadPoint {
+        mode,
+        readings,
+        iterations,
+        elapsed,
+        queries_per_sec: queries as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+        read_reservations,
+    }
+}
+
+/// The three-mode auto-read comparison behind the `auto` section of
+/// `BENCH_readers.json`.
+pub fn auto_read_sweep(readings: usize, iterations: usize) -> Vec<AutoReadPoint> {
+    ["exclusive", "declared", "inferred"]
+        .into_iter()
+        .map(|mode| auto_read_point(mode, readings, iterations))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -787,6 +914,22 @@ mod tests {
             point.peak_concurrent_readers >= 4,
             "shared cell recorded no reader overlap: {point:?}"
         );
+    }
+
+    #[test]
+    fn auto_read_cells_agree_and_only_read_modes_reserve_shared() {
+        let points = auto_read_sweep(32, 3);
+        assert_eq!(points.len(), 3);
+        let by_mode = |mode: &str| points.iter().find(|p| p.mode == mode).unwrap();
+        assert_eq!(by_mode("exclusive").read_reservations, 0);
+        assert!(by_mode("declared").read_reservations > 0);
+        assert!(
+            by_mode("inferred").read_reservations > 0,
+            "the effect pass must emit the .read() downgrade"
+        );
+        for point in &points {
+            assert!(point.queries_per_sec > 0.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Structured diagnostics for the static passes.
+//!
+//! Every lint the toolchain produces — effect-inference verdicts from this
+//! crate, reservation lints from `qs-lang`'s checker, capacity-cycle verdicts
+//! from `qs-semantics`' static deadlock model — is reported through one
+//! shape, [`Diagnostic`], so front ends and CI can consume them uniformly.
+//! [`diagnostics_to_json`] renders a machine-readable dump (hand-rolled JSON,
+//! like every other emitter in the workspace) that the golden lint-snapshot
+//! test pins in CI.
+//!
+//! Diagnostic codes in use across the workspace:
+//!
+//! | code      | severity | meaning                                                  |
+//! |-----------|----------|----------------------------------------------------------|
+//! | `QS-E001` | error    | write through a `separate read` (read-only) reservation  |
+//! | `QS-W001` | warning  | query-only block not downgraded: an impure query writes  |
+//! | `QS-W002` | warning  | static deadlock: a reservation/capacity wait cycle       |
+//! | `QS-N001` | note     | block proven read-only; `.read()` reservation emitted    |
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The program is rejected.
+    Error,
+    /// The program runs, but a hazard was detected.
+    Warning,
+    /// Informational: an optimisation or verdict worth surfacing.
+    Note,
+}
+
+impl Severity {
+    /// Lower-case label used in renderings.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A source location (1-based line and column), when one is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One structured diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error / warning / note.
+    pub severity: Severity,
+    /// Source location, when the producer has one (`qs-semantics`' model
+    /// programs have no source text, so its diagnostics carry `None`).
+    pub span: Option<Span>,
+    /// Stable machine-readable code (`QS-E001`, …).
+    pub code: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(code: &str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            span: None,
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(code: &str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            span: None,
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a note diagnostic.
+    pub fn note(code: &str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Note,
+            span: None,
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, line: u32, col: u32) -> Self {
+        self.span = Some(Span::new(line, col));
+        self
+    }
+
+    /// Renders this diagnostic as one JSON object.
+    pub fn to_json(&self) -> String {
+        let span = match self.span {
+            Some(span) => format!("{{\"line\": {}, \"col\": {}}}", span.line, span.col),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"severity\": \"{}\", \"code\": \"{}\", \"span\": {}, \"message\": \"{}\"}}",
+            self.severity,
+            json_escape(&self.code),
+            span,
+            json_escape(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(
+                f,
+                "{}[{}] at {}: {}",
+                self.severity, self.code, span, self.message
+            ),
+            None => write!(f, "{}[{}]: {}", self.severity, self.code, self.message),
+        }
+    }
+}
+
+/// Renders a slice of diagnostics as a JSON array (one object per line, so
+/// golden files diff readably).
+pub fn diagnostics_to_json(diagnostics: &[Diagnostic]) -> String {
+    if diagnostics.is_empty() {
+        return "[]".to_string();
+    }
+    let mut out = String::from("[\n");
+    for (index, diagnostic) in diagnostics.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&diagnostic.to_json());
+        if index + 1 < diagnostics.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_and_labels() {
+        assert!(Severity::Error < Severity::Warning);
+        assert!(Severity::Warning < Severity::Note);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn renders_with_and_without_span() {
+        let d =
+            Diagnostic::error("QS-E001", "write through read-only reservation").with_span(3, 14);
+        assert_eq!(
+            d.to_string(),
+            "error[QS-E001] at 3:14: write through read-only reservation"
+        );
+        assert!(d.to_json().contains("\"line\": 3"));
+
+        let n = Diagnostic::note("QS-N001", "block downgraded");
+        assert_eq!(n.to_string(), "note[QS-N001]: block downgraded");
+        assert!(n.to_json().contains("\"span\": null"));
+    }
+
+    #[test]
+    fn json_array_is_stable_and_escaped() {
+        let list = vec![
+            Diagnostic::warning("QS-W001", "impure query `push\"x\"` blocks downgrade"),
+            Diagnostic::note("QS-N001", "line\nbreak"),
+        ];
+        let json = diagnostics_to_json(&list);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\\\"x\\\""));
+        assert!(json.contains("line\\nbreak"));
+        assert_eq!(diagnostics_to_json(&[]), "[]");
+    }
+}

@@ -1,0 +1,345 @@
+//! The per-handler effect-inference analysis.
+//!
+//! Dual of the sync-set analysis in [`crate::analysis`]: where sync-sets are
+//! a forward *must* analysis (intersection join, facts can only be lost), the
+//! effect analysis is a forward *may* analysis over the lattice
+//!
+//! ```text
+//! Pure < Read < Write
+//! ```
+//!
+//! computing, for every basic block and every handler variable, the strongest
+//! effect the program may have exercised on that handler's object by the end
+//! of the block.  The join is the per-handler maximum over predecessor exits
+//! and the transfer function only ever widens, so the worklist fixpoint
+//! terminates on the finite lattice.
+//!
+//! Transfer rules (conservative throughout):
+//!
+//! * [`Instr::QueryRead`] widens the handler — and everything it may alias —
+//!   to [`Effect::Read`];
+//! * [`Instr::Sync`] and [`Instr::AsyncCall`] widen the handler and its
+//!   aliases to [`Effect::Write`] (a sync only exists to flush logged
+//!   commands, so both are treated as evidence of mutation);
+//! * [`Instr::OpaqueCall`] widens the *whole universe*: to [`Effect::Read`]
+//!   when the callee carries the `readonly` attribute, to [`Effect::Write`]
+//!   otherwise;
+//! * [`Instr::Local`] touches no handler.
+//!
+//! A handler whose whole-function effect stays at or below [`Effect::Read`]
+//! is provably never mutated through this function — the verdict the
+//! [`crate::transform::read_downgrade`] transform and the `qs-lang` front end
+//! use to reserve it in shared-read mode.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::ir::{BlockId, Function, HandlerVar, Instr};
+
+/// The effect lattice: `Pure < Read < Write`.
+///
+/// The derived `Ord` *is* the lattice order (declaration order), so
+/// [`Effect::join`] is simply `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Effect {
+    /// The handler's object is never touched.
+    #[default]
+    Pure,
+    /// The object may be read but is never mutated.
+    Read,
+    /// The object may be mutated (or we cannot prove it is not).
+    Write,
+}
+
+impl Effect {
+    /// Least upper bound of two effects.
+    pub fn join(self, other: Effect) -> Effect {
+        self.max(other)
+    }
+
+    /// Short label used in reports and diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Effect::Pure => "pure",
+            Effect::Read => "read",
+            Effect::Write => "write",
+        }
+    }
+}
+
+impl std::fmt::Display for Effect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-handler effect state at a program point.  Absent handlers are
+/// [`Effect::Pure`] (the lattice bottom), so the empty map is ⊥.
+pub type EffectState = BTreeMap<HandlerVar, Effect>;
+
+/// Widens `state[handler]` to at least `effect`.
+fn widen(state: &mut EffectState, handler: HandlerVar, effect: Effect) {
+    let entry = state.entry(handler).or_default();
+    *entry = entry.join(effect);
+}
+
+/// Result of the analysis: effect state at entry and exit of every block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectSets {
+    /// Effects accumulated on entry to each block (join over predecessors).
+    pub entry: Vec<EffectState>,
+    /// Effects accumulated by the end of each block.
+    pub exit: Vec<EffectState>,
+    /// Number of worklist iterations until the fixpoint was reached.
+    pub iterations: usize,
+}
+
+impl EffectSets {
+    /// The effect state flowing into `block`.
+    pub fn entry_of(&self, block: BlockId) -> &EffectState {
+        &self.entry[block]
+    }
+
+    /// The effect state at the end of `block`.
+    pub fn exit_of(&self, block: BlockId) -> &EffectState {
+        &self.exit[block]
+    }
+
+    /// The whole-function effect per handler: the join over every block's
+    /// exit state (any path through the function may exercise it).
+    pub fn summary(&self) -> EffectState {
+        let mut summary = EffectState::new();
+        for state in &self.exit {
+            for (&handler, &effect) in state {
+                widen(&mut summary, handler, effect);
+            }
+        }
+        summary
+    }
+}
+
+/// The transfer function: applies one block's instructions to an incoming
+/// effect state.  Only ever widens.
+pub fn update_effects(function: &Function, block: BlockId, incoming: &EffectState) -> EffectState {
+    let universe = function.handler_universe();
+    let mut state = incoming.clone();
+    for instr in &function.blocks[block].instrs {
+        match instr {
+            Instr::QueryRead { handler, .. } => {
+                for aliased in function.aliasing.may_alias(*handler, &universe) {
+                    widen(&mut state, aliased, Effect::Read);
+                }
+            }
+            Instr::Sync(h) => {
+                for aliased in function.aliasing.may_alias(*h, &universe) {
+                    widen(&mut state, aliased, Effect::Write);
+                }
+            }
+            Instr::AsyncCall { handler, .. } => {
+                for aliased in function.aliasing.may_alias(*handler, &universe) {
+                    widen(&mut state, aliased, Effect::Write);
+                }
+            }
+            Instr::OpaqueCall { readonly, .. } => {
+                let effect = if *readonly {
+                    Effect::Read
+                } else {
+                    Effect::Write
+                };
+                for &handler in &universe {
+                    widen(&mut state, handler, effect);
+                }
+            }
+            Instr::Local(_) => {}
+        }
+    }
+    state
+}
+
+/// Joins `incoming` into `acc`, per handler.
+fn join_into(acc: &mut EffectState, incoming: &EffectState) {
+    for (&handler, &effect) in incoming {
+        widen(acc, handler, effect);
+    }
+}
+
+/// Runs the worklist fixpoint and returns the per-block effect states.
+pub fn analyze_effects(function: &Function) -> EffectSets {
+    let n = function.blocks.len();
+    let preds = function.predecessors();
+    // A may-analysis starts every state at ⊥ (the empty map: everything
+    // Pure) and widens towards the fixpoint.
+    let mut entry = vec![EffectState::new(); n];
+    let mut exit = vec![EffectState::new(); n];
+    let mut iterations = 0usize;
+
+    let mut worklist: VecDeque<BlockId> = (0..n).collect();
+    let mut queued = vec![true; n];
+    while let Some(block) = worklist.pop_front() {
+        queued[block] = false;
+        iterations += 1;
+        let mut incoming = EffectState::new();
+        for &p in &preds[block] {
+            join_into(&mut incoming, &exit[p]);
+        }
+        let new_exit = update_effects(function, block, &incoming);
+        entry[block] = incoming;
+        if new_exit != exit[block] {
+            exit[block] = new_exit;
+            for &succ in &function.blocks[block].successors {
+                if !queued[succ] {
+                    queued[succ] = true;
+                    worklist.push_back(succ);
+                }
+            }
+        }
+    }
+
+    EffectSets {
+        entry,
+        exit,
+        iterations,
+    }
+}
+
+/// Convenience: the whole-function effect of every handler variable, with
+/// handlers the function never touches reported as [`Effect::Pure`].
+pub fn function_effects(function: &Function) -> BTreeMap<HandlerVar, Effect> {
+    let mut effects = analyze_effects(function).summary();
+    for handler in function.handler_universe() {
+        effects.entry(handler).or_insert(Effect::Pure);
+    }
+    effects
+}
+
+/// Handlers whose whole-function effect is at most [`Effect::Read`]: they
+/// are provably never mutated through this function and can be reserved in
+/// shared-read mode.
+pub fn read_only_handlers(function: &Function) -> BTreeSet<HandlerVar> {
+    function_effects(function)
+        .into_iter()
+        .filter(|&(_, effect)| effect <= Effect::Read)
+        .map(|(handler, _)| handler)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::AliasModel;
+
+    #[test]
+    fn lattice_order_and_join() {
+        assert!(Effect::Pure < Effect::Read);
+        assert!(Effect::Read < Effect::Write);
+        assert_eq!(Effect::Pure.join(Effect::Read), Effect::Read);
+        assert_eq!(Effect::Write.join(Effect::Read), Effect::Write);
+        assert_eq!(Effect::default(), Effect::Pure);
+        assert_eq!(Effect::Write.to_string(), "write");
+    }
+
+    #[test]
+    fn sync_free_copy_loop_is_read_only() {
+        // Fig. 14's loop without the naive per-read syncs: pure queries.
+        let f = Function::fig14_loop(2, false);
+        let effects = function_effects(&f);
+        assert_eq!(effects[&0], Effect::Read);
+        assert_eq!(read_only_handlers(&f), [0].into_iter().collect());
+    }
+
+    #[test]
+    fn syncs_and_commands_force_write() {
+        let naive = Function::fig14_loop(2, true);
+        assert_eq!(function_effects(&naive)[&0], Effect::Write);
+
+        let mut g = Function::new("cmd", AliasModel::NoAlias);
+        g.add_block(vec![Instr::async_call(0, "a"), Instr::read(1, "r")], vec![]);
+        let effects = function_effects(&g);
+        assert_eq!(effects[&0], Effect::Write);
+        assert_eq!(effects[&1], Effect::Read);
+        assert_eq!(read_only_handlers(&g), [1].into_iter().collect());
+    }
+
+    #[test]
+    fn aliasing_merges_effects_conservatively() {
+        // A write through handler 1 that may alias handler 0 poisons both.
+        let mut f = Function::new("alias", AliasModel::MayAliasAll);
+        f.add_block(vec![Instr::read(0, "r"), Instr::async_call(1, "a")], vec![]);
+        let effects = function_effects(&f);
+        assert_eq!(effects[&0], Effect::Write, "may-alias merges the write");
+        assert_eq!(effects[&1], Effect::Write);
+        assert!(read_only_handlers(&f).is_empty());
+
+        let mut g = Function::new("no_alias", AliasModel::NoAlias);
+        g.add_block(vec![Instr::read(0, "r"), Instr::async_call(1, "a")], vec![]);
+        assert_eq!(function_effects(&g)[&0], Effect::Read);
+    }
+
+    #[test]
+    fn opaque_calls_poison_the_universe_unless_readonly() {
+        let mut f = Function::new("opaque", AliasModel::NoAlias);
+        f.add_block(
+            vec![
+                Instr::read(0, "r"),
+                Instr::OpaqueCall {
+                    readonly: false,
+                    label: "unknown()".into(),
+                },
+            ],
+            vec![],
+        );
+        assert_eq!(function_effects(&f)[&0], Effect::Write);
+
+        let mut g = Function::new("opaque_ro", AliasModel::NoAlias);
+        g.add_block(
+            vec![
+                Instr::read(0, "r"),
+                Instr::OpaqueCall {
+                    readonly: true,
+                    label: "pure()".into(),
+                },
+            ],
+            vec![],
+        );
+        assert_eq!(function_effects(&g)[&0], Effect::Read);
+    }
+
+    #[test]
+    fn branches_join_with_max() {
+        // entry -> {left: read, right: write} -> join.
+        let mut f = Function::new("diamond", AliasModel::NoAlias);
+        let entry = f.add_block(vec![], vec![1, 2]);
+        let _left = f.add_block(vec![Instr::read(0, "r")], vec![3]);
+        let _right = f.add_block(vec![Instr::async_call(0, "w")], vec![3]);
+        let join = f.add_block(vec![], vec![]);
+        f.entry = entry;
+        let sets = analyze_effects(&f);
+        assert_eq!(sets.entry_of(join).get(&0), Some(&Effect::Write));
+        assert_eq!(sets.summary()[&0], Effect::Write);
+    }
+
+    #[test]
+    fn fixpoint_terminates_on_cycles() {
+        let mut f = Function::new("cycle", AliasModel::NoAlias);
+        f.add_block(vec![Instr::read(0, "r")], vec![1]);
+        f.add_block(vec![Instr::read(0, "r")], vec![0, 1]);
+        let sets = analyze_effects(&f);
+        assert!(sets.iterations < 50, "fixpoint did not converge quickly");
+        assert_eq!(sets.summary()[&0], Effect::Read);
+    }
+
+    #[test]
+    fn transfer_only_widens() {
+        let f = Function::fig14_loop(1, true);
+        let sets = analyze_effects(&f);
+        for block in 0..f.blocks.len() {
+            for (handler, effect) in sets.entry_of(block) {
+                let exit_effect = sets
+                    .exit_of(block)
+                    .get(handler)
+                    .copied()
+                    .unwrap_or(Effect::Pure);
+                assert!(exit_effect >= *effect, "transfer must never narrow");
+            }
+        }
+    }
+}

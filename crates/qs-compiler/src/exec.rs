@@ -9,10 +9,10 @@
 
 use std::time::{Duration, Instant};
 
-use qs_runtime::{Runtime, RuntimeConfig};
+use qs_runtime::{reserve, Runtime, RuntimeConfig};
 
 use crate::ir::{Function, Instr};
-use crate::transform::coalesce_syncs;
+use crate::transform::{coalesce_syncs, read_downgrade};
 
 /// Result of executing a copy loop.
 #[derive(Debug, Clone)]
@@ -25,6 +25,9 @@ pub struct CopyLoopReport {
     pub syncs_elided: u64,
     /// `sync` instructions present in the executed IR.
     pub static_syncs_in_ir: usize,
+    /// Shared-read reservations taken (non-zero only on the read-downgraded
+    /// execution path).
+    pub read_reservations: u64,
     /// Wall-clock time of the copy loop.
     pub elapsed: Duration,
 }
@@ -109,6 +112,79 @@ pub fn execute_copy_loop_ir(
         syncs_performed: delta.syncs_performed,
         syncs_elided: delta.syncs_elided,
         static_syncs_in_ir: function.count_syncs(),
+        read_reservations: delta.read_reservations,
+        elapsed,
+    }
+}
+
+/// Executes a Fig. 14-shaped function under a **shared-read reservation**
+/// when the [`read_downgrade`] transform proves handler 0 read-only.
+///
+/// The sync-free loop shape (`Function::fig14_loop(n, false)` — i.e. what
+/// static sync-coalescing plus the effect pass leave behind) has whole-
+/// function effect `Read` on its only handler, so instead of an exclusive
+/// `separate` block the reservation is taken via `reserve(&h).read()` and
+/// each `QueryRead` executes directly on the client under the gate — zero
+/// queue crossings and zero syncs.
+///
+/// # Panics
+///
+/// Panics if the effect pass cannot prove the function's handler 0
+/// read-only (callers should pass a read-only shape).
+pub fn execute_read_loop(config: RuntimeConfig, len: usize, function: &Function) -> CopyLoopReport {
+    assert!(
+        function.blocks.len() >= 3,
+        "expected the Fig. 14 shape: pre-header, body, exit"
+    );
+    let report = read_downgrade(function);
+    assert!(
+        report.is_downgraded(0),
+        "handler 0 of `{}` is not provably read-only ({:?})",
+        function.name,
+        report.effects
+    );
+    let function = &report.function;
+
+    let runtime = Runtime::new(config);
+    let source: Vec<u64> = (0..len as u64).collect();
+    let handler = runtime.spawn_handler(source);
+
+    let before = runtime.stats_snapshot();
+    let start = Instant::now();
+    let mut copied = Vec::with_capacity(len);
+    reserve(&handler).read().run(|r| {
+        let interpret = |instrs: &[Instr], index: usize, out: &mut Vec<u64>| {
+            for instr in instrs {
+                // A downgraded handler has no syncs or async calls by
+                // construction; locals and readonly opaque calls are
+                // no-ops here.
+                if let Instr::QueryRead { .. } = instr {
+                    out.push(r.query(|v: &Vec<u64>| v[index]));
+                }
+            }
+        };
+        let mut header_out = Vec::new();
+        interpret(&function.blocks[0].instrs, 0, &mut header_out);
+        for i in 0..len {
+            interpret(&function.blocks[1].instrs, i, &mut copied);
+        }
+        let mut exit_out = Vec::new();
+        interpret(
+            &function.blocks[2].instrs,
+            len.saturating_sub(1),
+            &mut exit_out,
+        );
+    });
+    let elapsed = start.elapsed();
+    let after = runtime.stats_snapshot();
+    let delta = after.since(&before);
+
+    CopyLoopReport {
+        copied,
+        syncs_performed: delta.syncs_performed,
+        syncs_elided: delta.syncs_elided,
+        static_syncs_in_ir: function.count_syncs(),
+        read_reservations: delta.read_reservations,
         elapsed,
     }
 }
@@ -163,5 +239,27 @@ mod tests {
         assert_eq!(report_naive.static_syncs_in_ir, 3);
         assert_eq!(report_opt.static_syncs_in_ir, 1);
         assert_eq!(report_naive.copied, report_opt.copied);
+    }
+
+    #[test]
+    fn read_loop_copies_correctly_under_the_gate() {
+        let function = Function::fig14_loop(1, false);
+        for level in OptimizationLevel::ALL {
+            let report = execute_read_loop(level.config(), LEN, &function);
+            assert_eq!(
+                report.copied,
+                (0..LEN as u64).collect::<Vec<_>>(),
+                "wrong copy under {level}"
+            );
+            assert_eq!(report.syncs_performed, 0, "read path never syncs");
+            assert_eq!(report.read_reservations, 1, "one shared-read block");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not provably read-only")]
+    fn read_loop_rejects_writer_shapes() {
+        let naive = Function::fig14_loop(1, true);
+        let _ = execute_read_loop(OptimizationLevel::All.config(), LEN, &naive);
     }
 }

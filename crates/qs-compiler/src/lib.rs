@@ -15,7 +15,14 @@
 //!   query) that the pass is meant to clean up;
 //! * [`analysis`] — the sync-set dataflow analysis (the fixpoint of Fig. 12
 //!   with the transfer function of Fig. 13);
-//! * [`transform`] — the sync-coalescing rewrite driven by the analysis;
+//! * [`effects`] — the per-handler effect-inference analysis on the lattice
+//!   `Pure < Read < Write` (the may-analysis dual of the sync-set pass),
+//!   which proves reservations read-only;
+//! * [`transform`] — the sync-coalescing rewrite driven by the analysis, and
+//!   the read-downgrade transform driven by the effect analysis;
+//! * [`diagnostics`] — structured lints (`Diagnostic`) with a
+//!   machine-readable JSON dump, shared by every static pass in the
+//!   workspace;
 //! * [`exec`] — a small interpreter that runs IR loops against the real
 //!   `qs-runtime`, so the effect of the pass on actual executions (and on the
 //!   runtime's sync counters) can be observed and benchmarked.
@@ -23,11 +30,15 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod diagnostics;
+pub mod effects;
 pub mod exec;
 pub mod ir;
 pub mod transform;
 
 pub use analysis::{analyze_sync_sets, SyncSets};
-pub use exec::{execute_copy_loop, execute_copy_loop_ir, CopyLoopReport};
+pub use diagnostics::{diagnostics_to_json, Diagnostic, Severity, Span};
+pub use effects::{analyze_effects, function_effects, read_only_handlers, Effect, EffectSets};
+pub use exec::{execute_copy_loop, execute_copy_loop_ir, execute_read_loop, CopyLoopReport};
 pub use ir::{AliasModel, BlockId, Function, HandlerVar, Instr};
-pub use transform::{coalesce_syncs, CoalesceReport};
+pub use transform::{coalesce_syncs, read_downgrade, CoalesceReport, ReadDowngradeReport};

@@ -1,14 +1,24 @@
-//! The sync-coalescing rewrite (§3.4.2, Fig. 14).
+//! The sync-coalescing rewrite (§3.4.2, Fig. 14) and the read-downgrade
+//! transform built on the effect analysis.
 //!
-//! Driven by the [`crate::analysis`] results, the pass walks every block with
-//! the sync-set flowing into it and deletes `sync` instructions whose handler
-//! is already synchronised, updating the running set with the Fig. 13
-//! transfer function as it goes.
+//! Sync-coalescing is driven by the [`crate::analysis`] results: the pass
+//! walks every block with the sync-set flowing into it and deletes `sync`
+//! instructions whose handler is already synchronised, updating the running
+//! set with the Fig. 13 transfer function as it goes.
+//!
+//! [`read_downgrade`] is its sibling on the [`crate::effects`] lattice: a
+//! handler whose whole-function effect is at most [`Effect::Read`] is never
+//! mutated through the function, so its reservation can be taken in shared
+//! read mode ([`qs_runtime::Reservation::read`]) instead of exclusively —
+//! the verdict [`crate::exec::execute_read_loop`] and the `qs-lang` front
+//! end act on.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::analysis::analyze_sync_sets;
-use crate::ir::{Function, Instr};
+use crate::diagnostics::Diagnostic;
+use crate::effects::{function_effects, Effect};
+use crate::ir::{Function, HandlerVar, Instr};
 
 /// Outcome of running the pass on one function.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +86,75 @@ pub fn coalesce_syncs(function: &Function) -> CoalesceReport {
         syncs_before,
         syncs_after,
         analysis_iterations: sets.iterations,
+    }
+}
+
+/// Outcome of the read-downgrade transform on one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadDowngradeReport {
+    /// The rewritten function (any sync on a downgraded handler removed; by
+    /// construction downgraded handlers have none, so this is a defensive
+    /// canonicalisation).
+    pub function: Function,
+    /// The inferred whole-function effect of every handler variable.
+    pub effects: BTreeMap<HandlerVar, Effect>,
+    /// Handlers proven read-only: their reservations may be taken in shared
+    /// read mode.
+    pub downgraded: BTreeSet<HandlerVar>,
+}
+
+impl ReadDowngradeReport {
+    /// Whether the given handler's reservation was downgraded to read mode.
+    pub fn is_downgraded(&self, handler: HandlerVar) -> bool {
+        self.downgraded.contains(&handler)
+    }
+
+    /// One `QS-N001` note per downgraded handler, for the lint dump.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        self.downgraded
+            .iter()
+            .map(|handler| {
+                Diagnostic::note(
+                    "QS-N001",
+                    format!(
+                        "handler {handler} proven {} in `{}`: reservation downgraded to read mode",
+                        self.effects.get(handler).copied().unwrap_or(Effect::Pure),
+                        self.function.name
+                    ),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Runs the effect analysis and downgrades every provably read-only handler
+/// reservation to shared-read mode.
+///
+/// Soundness: the analysis is alias-conservative (a write through any
+/// possibly-aliasing variable poisons the handler) and treats opaque
+/// non-`readonly` calls as writes to the whole universe, so a handler is
+/// only downgraded when *no* path through the function can mutate its
+/// object.  Queries on such a handler commute, which is exactly the
+/// condition the runtime's shared-read gate requires.
+pub fn read_downgrade(function: &Function) -> ReadDowngradeReport {
+    let effects = function_effects(function);
+    let downgraded: BTreeSet<HandlerVar> = effects
+        .iter()
+        .filter(|&(_, &effect)| effect <= Effect::Read)
+        .map(|(&handler, _)| handler)
+        .collect();
+
+    let mut rewritten = function.clone();
+    for block in &mut rewritten.blocks {
+        block
+            .instrs
+            .retain(|instr| !matches!(instr, Instr::Sync(h) if downgraded.contains(h)));
+    }
+
+    ReadDowngradeReport {
+        function: rewritten,
+        effects,
+        downgraded,
     }
 }
 
@@ -197,5 +276,56 @@ mod tests {
         let twice = coalesce_syncs(&once.function);
         assert_eq!(once.function, twice.function);
         assert_eq!(twice.syncs_removed(), 0);
+    }
+
+    #[test]
+    fn read_downgrade_proves_the_sync_free_loop() {
+        let f = Function::fig14_loop(2, false);
+        let report = read_downgrade(&f);
+        assert!(report.is_downgraded(0));
+        assert_eq!(report.effects[&0], Effect::Read);
+        assert_eq!(report.function, f, "nothing to rewrite");
+        let notes = report.diagnostics();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].code, "QS-N001");
+        assert!(notes[0].message.contains("read mode"));
+    }
+
+    #[test]
+    fn read_downgrade_refuses_writers_and_aliases() {
+        // Naive codegen syncs make the handler a writer: no downgrade.
+        let naive = Function::fig14_loop(1, true);
+        assert!(read_downgrade(&naive).downgraded.is_empty());
+
+        // A pure reader next to a writer downgrades only without aliasing.
+        let mut f = Function::new("mixed", AliasModel::NoAlias);
+        f.add_block(vec![Instr::read(0, "r"), Instr::async_call(1, "w")], vec![]);
+        let report = read_downgrade(&f);
+        assert!(report.is_downgraded(0));
+        assert!(!report.is_downgraded(1));
+
+        let mut g = Function::new("mixed_alias", AliasModel::MayAliasAll);
+        g.add_block(vec![Instr::read(0, "r"), Instr::async_call(1, "w")], vec![]);
+        assert!(read_downgrade(&g).downgraded.is_empty());
+    }
+
+    #[test]
+    fn downgraded_handlers_never_carry_syncs() {
+        // A sync forces the Write verdict, so downgraded handlers cannot
+        // have syncs left in the rewritten function.
+        for f in [
+            Function::fig14_loop(3, true),
+            Function::fig14_loop(3, false),
+            Function::fig15_loop(AliasModel::NoAlias),
+        ] {
+            let report = read_downgrade(&f);
+            for block in &report.function.blocks {
+                for instr in &block.instrs {
+                    if let Instr::Sync(h) = instr {
+                        assert!(!report.is_downgraded(*h));
+                    }
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,175 @@
+//! Seed-pinned property tests for the effect-inference analysis.
+//!
+//! The vendored proptest shim is deterministic (seeded from the test name,
+//! overridable with `PROPTEST_RNG_SEED`), so these run the same inputs in CI
+//! every time.  Three properties pin the analysis down:
+//!
+//! 1. on straight-line code the fixpoint agrees exactly with a naive
+//!    one-pass oracle over the instruction list;
+//! 2. the transfer function only ever widens (entry ≤ exit per handler per
+//!    block) and the worklist fixpoint terminates in a bounded number of
+//!    iterations even on dense random CFGs;
+//! 3. whenever *any* block may write a handler, the whole-function verdict
+//!    for that handler is `Write` — the soundness direction the read
+//!    downgrade relies on.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use qs_compiler::{analyze_effects, function_effects, AliasModel, Effect, Function, Instr};
+
+/// One randomly generated instruction, encoded as (kind, handler).
+/// Kinds: 0 local, 1 query-read, 2 async call, 3 sync, 4 opaque readonly,
+/// 5 opaque (may write anything).
+fn decode(kind: u8, handler: usize) -> Instr {
+    match kind {
+        0 => Instr::Local("local".to_string()),
+        1 => Instr::read(handler, "r"),
+        2 => Instr::async_call(handler, "w"),
+        3 => Instr::Sync(handler),
+        4 => Instr::OpaqueCall {
+            readonly: true,
+            label: "pure()".to_string(),
+        },
+        _ => Instr::OpaqueCall {
+            readonly: false,
+            label: "unknown()".to_string(),
+        },
+    }
+}
+
+/// The straight-line oracle: a single forward scan, no CFG, no fixpoint.
+/// Mirrors the documented transfer rules for the `NoAlias` model.
+fn straight_line_oracle(function: &Function, instrs: &[Instr]) -> BTreeMap<usize, Effect> {
+    let universe = function.handler_universe();
+    let mut effects: BTreeMap<usize, Effect> =
+        universe.iter().map(|&h| (h, Effect::Pure)).collect();
+    let widen = |effects: &mut BTreeMap<usize, Effect>, handler: usize, effect: Effect| {
+        let entry = effects.entry(handler).or_insert(Effect::Pure);
+        *entry = entry.join(effect);
+    };
+    for instr in instrs {
+        match instr {
+            Instr::Local(_) => {}
+            Instr::QueryRead { handler, .. } => widen(&mut effects, *handler, Effect::Read),
+            Instr::AsyncCall { handler, .. } | Instr::Sync(handler) => {
+                widen(&mut effects, *handler, Effect::Write)
+            }
+            Instr::OpaqueCall { readonly, .. } => {
+                let effect = if *readonly {
+                    Effect::Read
+                } else {
+                    Effect::Write
+                };
+                for &handler in &universe {
+                    widen(&mut effects, handler, effect);
+                }
+            }
+        }
+    }
+    effects
+}
+
+/// Whether `instr` may mutate `handler` under `NoAlias`.
+fn may_write(instr: &Instr, handler: usize) -> bool {
+    match instr {
+        Instr::AsyncCall { handler: h, .. } | Instr::Sync(h) => *h == handler,
+        Instr::OpaqueCall { readonly, .. } => !readonly,
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn straight_line_effects_match_the_naive_oracle(
+        ops in proptest::collection::vec((0u8..6, 0usize..3), 0..24)
+    ) {
+        let instrs: Vec<Instr> = ops.iter().map(|&(kind, handler)| decode(kind, handler)).collect();
+        let mut function = Function::new("straight", AliasModel::NoAlias);
+        function.add_block(instrs.clone(), vec![]);
+        let oracle = straight_line_oracle(&function, &instrs);
+        prop_assert_eq!(function_effects(&function), oracle);
+    }
+
+    #[test]
+    fn transfer_only_widens_and_the_fixpoint_terminates(
+        blocks in proptest::collection::vec(
+            (
+                proptest::collection::vec((0u8..6, 0usize..3), 0..8),
+                proptest::collection::vec(0usize..6, 0..3),
+            ),
+            1..6,
+        )
+    ) {
+        let n = blocks.len();
+        let mut function = Function::new("random_cfg", AliasModel::NoAlias);
+        for (ops, successors) in &blocks {
+            let instrs = ops.iter().map(|&(kind, handler)| decode(kind, handler)).collect();
+            let successors = successors.iter().map(|s| s % n).collect();
+            function.add_block(instrs, successors);
+        }
+        let sets = analyze_effects(&function);
+        // Termination: each block can be re-queued at most once per lattice
+        // step of each of the (≤ 3) handlers it carries; 64 per block is a
+        // generous ceiling for these sizes.
+        prop_assert!(sets.iterations <= n * 64, "{} iterations for {} blocks", sets.iterations, n);
+        for block in 0..n {
+            for (handler, entry_effect) in sets.entry_of(block) {
+                let exit_effect = sets
+                    .exit_of(block)
+                    .get(handler)
+                    .copied()
+                    .unwrap_or(Effect::Pure);
+                prop_assert!(exit_effect >= *entry_effect, "transfer narrowed {handler} in block {block}");
+            }
+        }
+    }
+
+    #[test]
+    fn any_possible_write_forces_the_write_verdict(
+        blocks in proptest::collection::vec(
+            (
+                proptest::collection::vec((0u8..6, 0usize..3), 0..8),
+                proptest::collection::vec(0usize..6, 0..3),
+            ),
+            1..6,
+        )
+    ) {
+        let n = blocks.len();
+        let mut function = Function::new("soundness", AliasModel::NoAlias);
+        for (ops, successors) in &blocks {
+            let instrs = ops.iter().map(|&(kind, handler)| decode(kind, handler)).collect();
+            let successors = successors.iter().map(|s| s % n).collect();
+            function.add_block(instrs, successors);
+        }
+        let effects = function_effects(&function);
+        for handler in function.handler_universe() {
+            let written = function
+                .blocks
+                .iter()
+                .flat_map(|block| block.instrs.iter())
+                .any(|instr| may_write(instr, handler));
+            if written {
+                prop_assert_eq!(
+                    effects.get(&handler),
+                    Some(&Effect::Write),
+                    "handler {} is written somewhere but not reported Write",
+                    handler
+                );
+            } else {
+                prop_assert!(
+                    effects.get(&handler) <= Some(&Effect::Read),
+                    "handler {} is never written yet reported {:?}",
+                    handler,
+                    effects.get(&handler)
+                );
+            }
+        }
+    }
+}

@@ -233,9 +233,16 @@ pub enum Stmt {
         pos: Pos,
     },
     /// `separate x, y do … end` — reserves the listed handlers for the block.
+    /// With the `read` modifier (`separate read x, y do … end`) the handlers
+    /// are reserved in **shared read mode**: any number of clients hold them
+    /// concurrently, only queries are allowed, and the checker rejects
+    /// commands on the targets at compile time.
     SeparateBlock {
         /// The separate variables reserved by the block.
         targets: Vec<String>,
+        /// Whether the block was declared `separate read` (shared-read
+        /// reservation; commands on the targets are a compile-time error).
+        read: bool,
         /// The block body.
         body: Vec<Stmt>,
         /// Source position of the `separate` keyword.

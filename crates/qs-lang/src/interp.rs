@@ -14,11 +14,20 @@
 //! Routine bodies execute against the handler-owned object only (they cannot
 //! reserve further handlers), which mirrors the paper's model where a
 //! handler processes one logged call at a time.
+//!
+//! Separate blocks come in two reservation flavours: the exclusive
+//! [`qs_runtime::reserve`]`.run(…)` path, and the **shared-read** path
+//! (`reserve(…).read().run(…)`) used when the block was declared
+//! `separate read` or when the effect pass proved it read-only and
+//! [`qs_runtime::RuntimeConfig::auto_read`] is enabled.  Under a read
+//! reservation queries execute on the client against `&ObjectState`
+//! ([`ObjRef::Shared`]) — a write attempt is a hard error, though the
+//! checker already rejects it statically (`QS-E001`).
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use qs_runtime::{reserve, Handler, Runtime, Separate, StatsSnapshot};
+use qs_runtime::{reserve, Handler, ReadSeparate, Runtime, Separate, StatsSnapshot};
 
 use crate::ast::*;
 use crate::error::{LangError, LangResult, Phase, Pos};
@@ -77,7 +86,45 @@ pub fn run_program(
 }
 
 type CommandJob = Box<dyn FnOnce(&mut ObjectState) -> Result<(), String> + Send>;
-type QueryJob = Box<dyn FnOnce(&mut ObjectState) -> Result<Value, String> + Send>;
+type QueryJob = Box<dyn for<'a> FnOnce(ObjRef<'a>) -> Result<Value, String> + Send>;
+
+/// A reference to the reserved object a routine body executes against:
+/// mutable under an exclusive reservation, shared under a read reservation.
+///
+/// The `Shared` variant is the runtime backstop behind the static `QS-E001`
+/// check: a field write through it is an error, never undefined behaviour.
+enum ObjRef<'a> {
+    /// Exclusive reservation: reads and writes allowed.
+    Mut(&'a mut ObjectState),
+    /// Shared-read reservation: reads only.
+    Shared(&'a ObjectState),
+}
+
+impl ObjRef<'_> {
+    fn fields(&self) -> &[Value] {
+        match self {
+            ObjRef::Mut(obj) => &obj.fields,
+            ObjRef::Shared(obj) => &obj.fields,
+        }
+    }
+
+    fn field_mut(&mut self, slot: usize) -> Result<&mut Value, String> {
+        match self {
+            ObjRef::Mut(obj) => Ok(&mut obj.fields[slot]),
+            ObjRef::Shared(_) => {
+                Err("write to attribute state through a read-only reservation".into())
+            }
+        }
+    }
+
+    /// Reborrows for a nested unqualified call, keeping the mutability mode.
+    fn reborrow(&mut self) -> ObjRef<'_> {
+        match self {
+            ObjRef::Mut(obj) => ObjRef::Mut(obj),
+            ObjRef::Shared(obj) => ObjRef::Shared(obj),
+        }
+    }
+}
 
 /// Access to the separate objects currently reserved by enclosing blocks.
 trait Guards {
@@ -136,10 +183,10 @@ impl Guards for ReservationFrame<'_, '_> {
         };
         let guard = &mut self.guards[index];
         match self.strategy {
-            QueryStrategy::RuntimeManaged => guard.query(job),
+            QueryStrategy::RuntimeManaged => guard.query(|obj| job(ObjRef::Mut(obj))),
             QueryStrategy::NaiveSync => {
                 guard.sync();
-                guard.query_unsynced(job)
+                guard.query_unsynced(|obj| job(ObjRef::Mut(obj)))
             }
             QueryStrategy::StaticPlan(plan) => {
                 if plan.needs_sync(site) {
@@ -150,8 +197,38 @@ impl Guards for ReservationFrame<'_, '_> {
                     // to a sync rather than touching unsynchronised state.
                     guard.sync();
                 }
-                guard.query_unsynced(job)
+                guard.query_unsynced(|obj| job(ObjRef::Mut(obj)))
             }
+        }
+    }
+}
+
+/// One **shared-read** block's reservations, chained like
+/// [`ReservationFrame`].  Queries on the frame's own targets execute on the
+/// client thread against the shared object reference; the gate guarantees
+/// the handler is quiescent, so no sync is needed regardless of the query
+/// strategy.  Commands on the frame's own targets are an error (rejected
+/// statically as `QS-E001`; this is the runtime backstop).
+struct ReadFrame<'a, 'g> {
+    names: &'a [String],
+    guards: &'a [ReadSeparate<'g, ObjectState>],
+    parent: &'a mut dyn Guards,
+}
+
+impl Guards for ReadFrame<'_, '_> {
+    fn command(&mut self, target: &str, job: CommandJob) -> Result<(), String> {
+        if self.names.iter().any(|n| n == target) {
+            return Err(format!(
+                "command on `{target}` through a read-only reservation"
+            ));
+        }
+        self.parent.command(target, job)
+    }
+
+    fn query(&mut self, target: &str, site: usize, job: QueryJob) -> Result<Value, String> {
+        match self.names.iter().position(|n| n == target) {
+            Some(index) => self.guards[index].query(|obj| job(ObjRef::Shared(obj))),
+            None => self.parent.query(target, site, job),
         }
     }
 }
@@ -303,7 +380,12 @@ impl Interpreter {
                 }
                 Ok(())
             }
-            Stmt::SeparateBlock { targets, body, pos } => {
+            Stmt::SeparateBlock {
+                targets,
+                read,
+                body,
+                pos,
+            } => {
                 let handlers: Vec<Handler<ObjectState>> = targets
                     .iter()
                     .map(|t| {
@@ -316,15 +398,43 @@ impl Interpreter {
                         })
                     })
                     .collect::<LangResult<_>>()?;
-                reserve(&handlers).run(|reservations| {
-                    let mut frame = ReservationFrame {
-                        names: targets,
-                        guards: reservations,
-                        strategy: &self.strategy,
-                        parent: guards,
-                    };
-                    self.exec_stmts(body, env, &mut frame)
-                })
+                let read_mode = *read
+                    || (self.runtime.config().auto_read
+                        && self
+                            .checked
+                            .inferred_read_blocks
+                            .contains(&(pos.line, pos.col)));
+                if read_mode {
+                    // A shared-read reservation only takes the gate; it does
+                    // not drain the mailbox.  SCOOP orders this block after
+                    // the commands `main` already logged on these handlers,
+                    // so flush them under a transient exclusive reservation
+                    // first (`main` is the only client, nothing can
+                    // interleave before the read acquisition below).
+                    reserve(&handlers).run(|reservations| {
+                        for reservation in reservations.iter_mut() {
+                            reservation.sync();
+                        }
+                    });
+                    reserve(&handlers).read().run(|reservations| {
+                        let mut frame = ReadFrame {
+                            names: targets,
+                            guards: reservations,
+                            parent: guards,
+                        };
+                        self.exec_stmts(body, env, &mut frame)
+                    })
+                } else {
+                    reserve(&handlers).run(|reservations| {
+                        let mut frame = ReservationFrame {
+                            names: targets,
+                            guards: reservations,
+                            strategy: &self.strategy,
+                            parent: guards,
+                        };
+                        self.exec_stmts(body, env, &mut frame)
+                    })
+                }
             }
             Stmt::CommandCall {
                 target,
@@ -567,7 +677,16 @@ impl Interpreter {
         let errors = Arc::clone(&self.ctx.async_errors);
         let routine = routine.to_string();
         Ok(Box::new(move |obj: &mut ObjectState| {
-            let outcome = exec_routine(&checked, &printed, &rng, &class, &routine, args, obj, 0);
+            let outcome = exec_routine(
+                &checked,
+                &printed,
+                &rng,
+                &class,
+                &routine,
+                args,
+                ObjRef::Mut(obj),
+                0,
+            );
             if let Err(message) = outcome {
                 errors
                     .lock()
@@ -590,7 +709,7 @@ impl Interpreter {
         let class = self.target_class(target, env, pos)?;
         let (checked, printed, rng) = self.ctx.clone_refs();
         let routine = routine.to_string();
-        Ok(Box::new(move |obj: &mut ObjectState| {
+        Ok(Box::new(move |obj: ObjRef<'_>| {
             exec_routine(&checked, &printed, &rng, &class, &routine, args, obj, 0)
                 .map_err(|message| format!("in {class}.{routine}: {message}"))
         }))
@@ -600,7 +719,9 @@ impl Interpreter {
 // ---- routine bodies (execute on whichever thread owns the object) ----------
 
 /// Executes one routine of `class` against `obj` and returns its result
-/// (`Value::Void` for commands).
+/// (`Value::Void` for commands).  A [`ObjRef::Shared`] object reference
+/// makes every attribute write fail, which is what running a (proven pure)
+/// query under a shared-read reservation requires.
 #[allow(clippy::too_many_arguments)]
 fn exec_routine(
     checked: &Arc<CheckedProgram>,
@@ -609,7 +730,7 @@ fn exec_routine(
     class: &str,
     routine_name: &str,
     args: Vec<Value>,
-    obj: &mut ObjectState,
+    obj: ObjRef<'_>,
     depth: usize,
 ) -> Result<Value, String> {
     if depth > MAX_CALL_DEPTH {
@@ -689,7 +810,7 @@ struct RoutineEnv<'a> {
     class_info: &'a crate::sema::ClassInfo,
     vars: HashMap<String, Value>,
     result: Value,
-    obj: &'a mut ObjectState,
+    obj: ObjRef<'a>,
     depth: usize,
 }
 
@@ -699,7 +820,7 @@ impl RoutineEnv<'_> {
             return Ok(v.clone());
         }
         if let Some(&slot) = self.class_info.field_index.get(name) {
-            return Ok(self.obj.fields[slot].clone());
+            return Ok(self.obj.fields()[slot].clone());
         }
         Err(format!("unknown variable `{name}`"))
     }
@@ -710,7 +831,7 @@ impl RoutineEnv<'_> {
             return Ok(());
         }
         if let Some(&slot) = self.class_info.field_index.get(name) {
-            self.obj.fields[slot] = value;
+            *self.obj.field_mut(slot)? = value;
             return Ok(());
         }
         Err(format!("unknown variable `{name}`"))
@@ -790,7 +911,7 @@ impl RoutineEnv<'_> {
                     &self.class_info.name,
                     routine,
                     args,
-                    self.obj,
+                    self.obj.reborrow(),
                     self.depth + 1,
                 )?;
                 Ok(())
@@ -849,7 +970,7 @@ impl RoutineEnv<'_> {
                     &self.class_info.name,
                     routine,
                     args,
-                    self.obj,
+                    self.obj.reborrow(),
                     self.depth + 1,
                 )
             }
@@ -1181,6 +1302,73 @@ mod tests {
             let output = run_program(&program, &runtime, strategy).unwrap();
             assert_eq!(output.printed, vec![expected.clone()], "level {level}");
         }
+    }
+
+    #[test]
+    fn declared_read_blocks_execute_queries_client_side() {
+        let source = format!(
+            "{COUNTER}\
+             main local c : separate COUNTER local v : INTEGER local i : INTEGER do \
+               create c \
+               separate c do c.bump(5) end \
+               separate read c do \
+                 i := 0 \
+                 while i < 20 loop v := v + c.value() i := i + 1 end \
+               end \
+               print(v) \
+             end"
+        );
+        let output = run(&source, QueryStrategy::RuntimeManaged);
+        assert_eq!(output.printed, vec!["100"]);
+        assert!(
+            output.stats.read_reservations >= 1,
+            "declared read block must take a shared-read reservation"
+        );
+    }
+
+    #[test]
+    fn auto_read_downgrades_inferred_blocks() {
+        let source = format!(
+            "{COUNTER}\
+             main local c : separate COUNTER local v : INTEGER do \
+               create c \
+               separate c do c.bump(3) end \
+               separate c do v := c.value() + c.value() end \
+               print(v) \
+             end"
+        );
+        let program = checked(&source);
+        assert_eq!(program.inferred_read_blocks.len(), 1);
+
+        let on = Runtime::new(RuntimeConfig::all_optimizations());
+        let with_auto = run_program(&program, &on, QueryStrategy::RuntimeManaged).unwrap();
+        assert_eq!(with_auto.printed, vec!["6"]);
+        assert!(with_auto.stats.read_reservations >= 1);
+
+        let off = Runtime::new(RuntimeConfig::all_optimizations().with_auto_read(false));
+        let without = run_program(&program, &off, QueryStrategy::RuntimeManaged).unwrap();
+        assert_eq!(without.printed, vec!["6"]);
+        assert_eq!(
+            without.stats.read_reservations, 0,
+            "auto_read off must keep the exclusive reservation"
+        );
+    }
+
+    #[test]
+    fn read_frame_reaches_outer_exclusive_reservations() {
+        let source = format!(
+            "{COUNTER}\
+             main local a : separate COUNTER local b : separate COUNTER local v : INTEGER do \
+               create a create b \
+               separate a do \
+                 a.bump(2) \
+                 separate read b do v := a.value() + b.value() end \
+               end \
+               print(v) \
+             end"
+        );
+        let output = run(&source, QueryStrategy::RuntimeManaged);
+        assert_eq!(output.printed, vec!["2"]);
     }
 
     #[test]

@@ -68,6 +68,17 @@ impl Compiled {
     pub fn static_strategy(&self) -> QueryStrategy {
         QueryStrategy::StaticPlan(self.lowered.plan.clone())
     }
+
+    /// Diagnostics emitted by the effect-inference pass (notes for inferred
+    /// read-only blocks, warnings for near-misses).
+    pub fn diagnostics(&self) -> &[qs_compiler::Diagnostic] {
+        &self.checked.diagnostics
+    }
+
+    /// The machine-readable JSON dump of [`Self::diagnostics`].
+    pub fn diagnostics_json(&self) -> String {
+        qs_compiler::diagnostics_to_json(&self.checked.diagnostics)
+    }
 }
 
 /// Runs the whole front end on `source`: lex, parse, check, lower, optimise.

@@ -294,6 +294,18 @@ impl Parser {
             }
             TokenKind::Separate => {
                 self.bump();
+                // Contextual `read` modifier: `separate read x, y do … end`
+                // reserves the targets in shared read mode.  `read` only
+                // acts as the modifier when another identifier follows, so a
+                // variable named `read` can still be reserved with
+                // `separate read do … end`.
+                let read = matches!(
+                    (&self.peek().kind, &self.peek2().kind),
+                    (TokenKind::Ident(name), TokenKind::Ident(_)) if name == "read"
+                );
+                if read {
+                    self.bump();
+                }
                 let mut targets = Vec::new();
                 let (first, _) = self.expect_ident("a separate variable name")?;
                 targets.push(first);
@@ -304,7 +316,12 @@ impl Parser {
                 self.expect(TokenKind::Do)?;
                 let body = self.stmts(&[TokenKind::End])?;
                 self.expect(TokenKind::End)?;
-                Ok(Stmt::SeparateBlock { targets, body, pos })
+                Ok(Stmt::SeparateBlock {
+                    targets,
+                    read,
+                    body,
+                    pos,
+                })
             }
             TokenKind::If => {
                 self.bump();
@@ -863,9 +880,47 @@ mod tests {
                create x create y separate x, y do x.f(1) y.f(2) end end",
         )
         .unwrap();
-        let Stmt::SeparateBlock { targets, .. } = &program.main.body[2] else {
+        let Stmt::SeparateBlock { targets, read, .. } = &program.main.body[2] else {
             panic!("expected separate block");
         };
         assert_eq!(targets.len(), 2);
+        assert!(!read);
+    }
+
+    #[test]
+    fn separate_read_modifier_is_contextual() {
+        let program = parse_program(
+            "main local x : separate C local y : separate C local a : INTEGER do \
+               create x create y separate read x, y do a := x.f() end end",
+        )
+        .unwrap();
+        let Stmt::SeparateBlock { targets, read, .. } = &program.main.body[2] else {
+            panic!("expected separate block");
+        };
+        assert!(read);
+        assert_eq!(targets, &vec!["x".to_string(), "y".to_string()]);
+
+        // A variable actually named `read` still parses as a target.
+        let program = parse_program(
+            "main local read : separate C do create read separate read do read.f(1) end end",
+        )
+        .unwrap();
+        let Stmt::SeparateBlock { targets, read, .. } = &program.main.body[1] else {
+            panic!("expected separate block");
+        };
+        assert!(!read);
+        assert_eq!(targets, &vec!["read".to_string()]);
+
+        // ... including in a `read`-modified multi-target list.
+        let program = parse_program(
+            "main local read : separate C local y : separate C local a : INTEGER do \
+               create read create y separate read read, y do a := read.f() end end",
+        )
+        .unwrap();
+        let Stmt::SeparateBlock { targets, read, .. } = &program.main.body[2] else {
+            panic!("expected separate block");
+        };
+        assert!(read);
+        assert_eq!(targets, &vec!["read".to_string(), "y".to_string()]);
     }
 }

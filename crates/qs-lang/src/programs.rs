@@ -181,6 +181,57 @@ pub fn two_stage_pipeline_expected() -> Vec<String> {
     vec![(1..=64i64).sum::<i64>().to_string()]
 }
 
+/// A read-mostly program: one calibration block writes the sensor, then a
+/// query-only block walks every reading.  The second block is a plain
+/// `separate` — the effect-inference pass proves it read-only, so under
+/// `auto_read` the interpreter reserves it in shared read mode and every
+/// query executes on the client without a queue crossing.
+pub const HOT_READS: &str = "\
+class SENSOR
+  attribute readings : ARRAY
+  attribute samples : INTEGER
+  command calibrate(n: INTEGER) local i : INTEGER do
+    readings := array(n)
+    i := 0
+    while i < n loop readings[i] := i * 7 i := i + 1 end
+    samples := n
+  end
+  query at(i: INTEGER) : INTEGER do Result := readings[i] end
+  query count : INTEGER do Result := samples end
+  query mean : INTEGER local i : INTEGER local total : INTEGER do
+    i := 0
+    while i < samples loop total := total + readings[i] i := i + 1 end
+    Result := total / samples
+  end
+end
+
+main
+  local s : separate SENSOR
+  local i : INTEGER
+  local n : INTEGER
+  local checksum : INTEGER
+do
+  create s
+  separate s do s.calibrate(48) end
+  separate s do
+    n := s.count()
+    i := 0
+    while i < n loop
+      checksum := checksum + s.at(i)
+      i := i + 1
+    end
+    checksum := checksum + s.mean()
+  end
+  print(checksum)
+end
+";
+
+/// Expected `print` output of [`HOT_READS`].
+pub fn hot_reads_expected() -> Vec<String> {
+    let total: i64 = (0..48).map(|i| i * 7).sum();
+    vec![(total + total / 48).to_string()]
+}
+
 /// A gauge whose commands carry contracts; raising by a non-positive amount
 /// violates the precondition and the run reports it.
 pub const CONTRACT_VIOLATION: &str = "\
@@ -240,6 +291,22 @@ mod tests {
     #[test]
     fn pipeline_matches_reference() {
         run_all_strategies(TWO_STAGE_PIPELINE, &two_stage_pipeline_expected());
+    }
+
+    #[test]
+    fn hot_reads_matches_reference() {
+        run_all_strategies(HOT_READS, &hot_reads_expected());
+    }
+
+    #[test]
+    fn hot_reads_is_inferred_read_only() {
+        let compiled = compile(HOT_READS).unwrap();
+        assert_eq!(compiled.checked.inferred_read_blocks.len(), 1);
+        assert!(compiled
+            .checked
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "QS-N001"));
     }
 
     #[test]

@@ -9,8 +9,24 @@
 //! names, unknown routines, arity and type mismatches — and resolves class
 //! attributes to field slots so the interpreter does not need name lookups on
 //! the hot path.
+//!
+//! On top of the classic checks, the checker runs the **effect-inference
+//! pass** per separate block (the surface-level counterpart of
+//! `qs_compiler::effects`): for each block and each reserved target it
+//! computes an effect on the lattice `Pure < Read < Write` — commands write,
+//! queries read iff their routine is *pure* (transitively assigns no
+//! attribute and calls no command), and a nested re-reservation is
+//! conservatively a write.  Blocks whose every target stays at or below
+//! `Read` are recorded in [`CheckedProgram::inferred_read_blocks`]; the
+//! interpreter reserves them in shared read mode when the runtime's
+//! `auto_read` knob is on.  Declared `separate read` blocks must pass the
+//! same test — a write through a read-only reservation is a compile-time
+//! error (`QS-E001`), not a runtime `ReadOnlyReservation` failure.
 
 use std::collections::{BTreeMap, BTreeSet};
+
+use qs_compiler::diagnostics::Diagnostic;
+use qs_compiler::effects::Effect;
 
 use crate::ast::*;
 use crate::error::{LangError, LangResult, Phase, Pos};
@@ -76,6 +92,13 @@ pub struct CheckedProgram {
     /// Number of query call sites in `main` (sites are numbered densely by
     /// the parser).
     pub query_sites: usize,
+    /// Positions (`(line, col)` of the `separate` keyword) of plain separate
+    /// blocks the effect pass proved read-only.  The interpreter reserves
+    /// these in shared read mode when `RuntimeConfig::auto_read` is set.
+    pub inferred_read_blocks: BTreeSet<(u32, u32)>,
+    /// Non-fatal diagnostics emitted by the effect pass (`QS-N001` notes for
+    /// inferred read blocks, `QS-W001` warnings for near-misses).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// Runs all semantic checks on a parsed program.
@@ -86,12 +109,16 @@ pub fn check_program(program: Program) -> LangResult<CheckedProgram> {
     }
     let (handler_vars, handler_classes) = collect_separate_locals(&program.main, &classes)?;
     let query_sites = check_main(&program.main, &classes, &handler_vars)?;
+    let purity = compute_purity(&program);
+    let lint = classify_separate_blocks(&program.main, &handler_classes, &purity)?;
     Ok(CheckedProgram {
         program,
         classes,
         handler_vars,
         handler_classes,
         query_sites,
+        inferred_read_blocks: lint.inferred,
+        diagnostics: lint.diagnostics,
     })
 }
 
@@ -458,7 +485,12 @@ fn check_stmt(
             }
             Ok(())
         }
-        Stmt::SeparateBlock { targets, body, pos } => {
+        Stmt::SeparateBlock {
+            targets,
+            read: _,
+            body,
+            pos,
+        } => {
             if !ctx.in_main {
                 return Err(LangError::at(
                     Phase::Check,
@@ -766,6 +798,479 @@ fn check_expr(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Effect inference over separate blocks
+// ---------------------------------------------------------------------------
+
+/// Per-class routine purity: `purity[class][routine]` is `true` iff the
+/// routine (transitively) assigns no attribute and calls no command.  Pure
+/// queries contribute `Read` to the effect of a block; impure ones `Write`.
+type PurityTable = BTreeMap<String, BTreeMap<String, bool>>;
+
+/// Computes the purity table for every class in the program.
+///
+/// Purity is coinductive: a cycle of mutually recursive queries with no
+/// direct attribute write anywhere is pure (routines on the in-progress
+/// stack are optimistically assumed pure; any write in the cycle is still
+/// discovered when its own body is walked).
+fn compute_purity(program: &Program) -> PurityTable {
+    let mut table = PurityTable::new();
+    for class in &program.classes {
+        let by_name: BTreeMap<&str, &Routine> = class
+            .routines
+            .iter()
+            .map(|r| (r.name.as_str(), r))
+            .collect();
+        let attributes: BTreeSet<&str> = class.attributes.iter().map(|a| a.name.as_str()).collect();
+        let mut memo: BTreeMap<String, bool> = BTreeMap::new();
+        let mut stack: BTreeSet<String> = BTreeSet::new();
+        let names: Vec<String> = class.routines.iter().map(|r| r.name.clone()).collect();
+        for name in names {
+            routine_purity(&name, &by_name, &attributes, &mut memo, &mut stack);
+        }
+        table.insert(class.name.clone(), memo);
+    }
+    table
+}
+
+fn routine_purity(
+    name: &str,
+    by_name: &BTreeMap<&str, &Routine>,
+    attributes: &BTreeSet<&str>,
+    memo: &mut BTreeMap<String, bool>,
+    stack: &mut BTreeSet<String>,
+) -> bool {
+    if let Some(&known) = memo.get(name) {
+        return known;
+    }
+    if stack.contains(name) {
+        return true; // coinductive: no write seen on this path so far
+    }
+    let Some(routine) = by_name.get(name) else {
+        return false; // unknown callee: conservatively impure
+    };
+    stack.insert(name.to_string());
+    // Locals and parameters shadow attributes; assignments to them are pure.
+    let shadowed: BTreeSet<&str> = routine
+        .params
+        .iter()
+        .map(|p| p.name.as_str())
+        .chain(routine.locals.iter().map(|l| l.name.as_str()))
+        .collect();
+    let mut summary = RoutineSummary::default();
+    summarize_stmts(&routine.body, attributes, &shadowed, &mut summary);
+    if let Some(require) = &routine.require {
+        summarize_expr(require, &mut summary);
+    }
+    if let Some(ensure) = &routine.ensure {
+        summarize_expr(ensure, &mut summary);
+    }
+    let mut pure = routine.kind == RoutineKind::Query && !summary.writes_attribute;
+    if pure {
+        for callee in &summary.callees {
+            if !routine_purity(callee, by_name, attributes, memo, stack) {
+                pure = false;
+                break;
+            }
+        }
+    }
+    stack.remove(name);
+    memo.insert(name.to_string(), pure);
+    pure
+}
+
+/// Syntactic facts about one routine body needed by the purity analysis.
+#[derive(Default)]
+struct RoutineSummary {
+    /// Assigns an attribute (directly) or calls a command.
+    writes_attribute: bool,
+    /// Names of unqualified queries called (purity checked transitively).
+    callees: BTreeSet<String>,
+}
+
+fn summarize_stmts(
+    stmts: &[Stmt],
+    attributes: &BTreeSet<&str>,
+    shadowed: &BTreeSet<&str>,
+    summary: &mut RoutineSummary,
+) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { target, value } => {
+                match target {
+                    LValue::Var(name, _) => {
+                        if !shadowed.contains(name.as_str()) && attributes.contains(name.as_str()) {
+                            summary.writes_attribute = true;
+                        }
+                    }
+                    LValue::Index { array, index, .. } => {
+                        if !shadowed.contains(array.as_str()) && attributes.contains(array.as_str())
+                        {
+                            summary.writes_attribute = true;
+                        }
+                        summarize_expr(index, summary);
+                    }
+                    LValue::Result(_) => {}
+                }
+                summarize_expr(value, summary);
+            }
+            // Commands are conservatively impure regardless of their body.
+            Stmt::LocalCommand { .. } => summary.writes_attribute = true,
+            Stmt::If {
+                arms, otherwise, ..
+            } => {
+                for (cond, branch) in arms {
+                    summarize_expr(cond, summary);
+                    summarize_stmts(branch, attributes, shadowed, summary);
+                }
+                summarize_stmts(otherwise, attributes, shadowed, summary);
+            }
+            Stmt::While { cond, body, .. } => {
+                summarize_expr(cond, summary);
+                summarize_stmts(body, attributes, shadowed, summary);
+            }
+            Stmt::Print { value, .. } => {
+                if let PrintArg::Value(expr) = value {
+                    summarize_expr(expr, summary);
+                }
+            }
+            // Not reachable inside routine bodies (rejected by check_stmt),
+            // but be conservative if that ever changes.
+            Stmt::Create { .. } | Stmt::SeparateBlock { .. } | Stmt::CommandCall { .. } => {
+                summary.writes_attribute = true;
+            }
+        }
+    }
+}
+
+fn summarize_expr(expr: &Expr, summary: &mut RoutineSummary) {
+    match expr {
+        Expr::Int(..) | Expr::Bool(..) | Expr::Var(..) | Expr::Result(..) => {}
+        Expr::Index { array, index, .. } => {
+            summarize_expr(array, summary);
+            summarize_expr(index, summary);
+        }
+        Expr::NewArray { len, .. } => summarize_expr(len, summary),
+        Expr::Length { array, .. } => summarize_expr(array, summary),
+        Expr::Random { bound, .. } => summarize_expr(bound, summary),
+        Expr::LocalCall { routine, args, .. } => {
+            summary.callees.insert(routine.clone());
+            for arg in args {
+                summarize_expr(arg, summary);
+            }
+        }
+        // Separate queries cannot occur inside routine bodies; conservative.
+        Expr::QueryCall { args, .. } => {
+            summary.writes_attribute = true;
+            for arg in args {
+                summarize_expr(arg, summary);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            summarize_expr(lhs, summary);
+            summarize_expr(rhs, summary);
+        }
+        Expr::Unary { expr, .. } => summarize_expr(expr, summary),
+    }
+}
+
+/// The outcome of the per-block effect classification.
+struct BlockLint {
+    inferred: BTreeSet<(u32, u32)>,
+    diagnostics: Vec<Diagnostic>,
+}
+
+/// The effect one separate block has on one of its reserved targets, plus
+/// witnesses for diagnostics.
+#[derive(Default)]
+struct TargetEffect {
+    effect: Effect,
+    /// First command call or nested re-reservation (a definite write).
+    command_write: Option<(String, Pos)>,
+    /// First impure query (writes attribute state from inside a query).
+    impure_query: Option<(String, Pos)>,
+}
+
+impl TargetEffect {
+    fn widen(&mut self, effect: Effect) {
+        self.effect = self.effect.join(effect);
+    }
+}
+
+/// Walks `main`, classifying every `separate` block on the effect lattice.
+///
+/// * Declared `separate read` blocks with a `Write` effect on any target are
+///   a hard error (`QS-E001`) — the static counterpart of the runtime
+///   `MailboxError::ReadOnlyReservation`.
+/// * Plain blocks whose every target stays at or below `Read` (with at least
+///   one actual read) are recorded as inferred read blocks and noted
+///   (`QS-N001`).
+/// * Plain blocks that only *query* their targets but still write (an impure
+///   query) get a `QS-W001` warning naming the query that blocks the
+///   downgrade.
+fn classify_separate_blocks(
+    main: &MainDecl,
+    handler_classes: &BTreeMap<String, String>,
+    purity: &PurityTable,
+) -> LangResult<BlockLint> {
+    let mut lint = BlockLint {
+        inferred: BTreeSet::new(),
+        diagnostics: Vec::new(),
+    };
+    classify_in_stmts(&main.body, handler_classes, purity, &mut lint)?;
+    Ok(lint)
+}
+
+fn classify_in_stmts(
+    stmts: &[Stmt],
+    handler_classes: &BTreeMap<String, String>,
+    purity: &PurityTable,
+    lint: &mut BlockLint,
+) -> LangResult<()> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::SeparateBlock {
+                targets,
+                read,
+                body,
+                pos,
+            } => {
+                // Nested blocks are classified on their own merits first.
+                classify_in_stmts(body, handler_classes, purity, lint)?;
+                classify_block(targets, *read, body, *pos, handler_classes, purity, lint)?;
+            }
+            Stmt::If {
+                arms, otherwise, ..
+            } => {
+                for (_, branch) in arms {
+                    classify_in_stmts(branch, handler_classes, purity, lint)?;
+                }
+                classify_in_stmts(otherwise, handler_classes, purity, lint)?;
+            }
+            Stmt::While { body, .. } => {
+                classify_in_stmts(body, handler_classes, purity, lint)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn classify_block(
+    targets: &[String],
+    declared_read: bool,
+    body: &[Stmt],
+    pos: Pos,
+    handler_classes: &BTreeMap<String, String>,
+    purity: &PurityTable,
+    lint: &mut BlockLint,
+) -> LangResult<()> {
+    let mut effects: BTreeMap<&str, TargetEffect> = BTreeMap::new();
+    for target in targets {
+        let mut effect = TargetEffect::default();
+        target_effect_in_stmts(target, body, handler_classes, purity, &mut effect);
+        effects.insert(target.as_str(), effect);
+    }
+    let worst = effects
+        .values()
+        .map(|e| e.effect)
+        .fold(Effect::Pure, Effect::join);
+
+    if declared_read {
+        if worst == Effect::Write {
+            let (witness, witness_pos, what) = effects
+                .iter()
+                .find_map(|(t, e)| {
+                    e.command_write
+                        .as_ref()
+                        .map(|(name, p)| (format!("command `{t}.{name}`"), *p, "command"))
+                        .or_else(|| {
+                            e.impure_query.as_ref().map(|(name, p)| {
+                                (format!("impure query `{t}.{name}`"), *p, "impure query")
+                            })
+                        })
+                })
+                .expect("a Write effect has a witness");
+            return Err(LangError::at(
+                Phase::Check,
+                witness_pos,
+                format!(
+                    "QS-E001: {witness} writes through the `separate read` \
+                     reservation declared at {}:{} ({what}s need an exclusive \
+                     reservation)",
+                    pos.line, pos.col
+                ),
+            ));
+        }
+        return Ok(());
+    }
+
+    let any_read = effects.values().any(|e| e.effect == Effect::Read);
+    if worst <= Effect::Read && any_read {
+        lint.inferred.insert((pos.line, pos.col));
+        lint.diagnostics.push(
+            Diagnostic::note(
+                "QS-N001",
+                format!(
+                    "separate block on [{}] proven read-only; shared-read \
+                     reservation emitted under auto-read",
+                    targets.join(", ")
+                ),
+            )
+            .with_span(pos.line, pos.col),
+        );
+    } else if worst == Effect::Write && effects.values().all(|e| e.command_write.is_none()) {
+        let (target, (query, query_pos)) = effects
+            .iter()
+            .find_map(|(t, e)| e.impure_query.as_ref().map(|w| (*t, w.clone())))
+            .expect("a command-free Write effect stems from an impure query");
+        lint.diagnostics.push(
+            Diagnostic::warning(
+                "QS-W001",
+                format!(
+                    "separate block on [{}] only queries its targets but is \
+                     not downgraded: query `{target}.{query}` at {}:{} writes \
+                     attribute state",
+                    targets.join(", "),
+                    query_pos.line,
+                    query_pos.col
+                ),
+            )
+            .with_span(pos.line, pos.col),
+        );
+    }
+    Ok(())
+}
+
+fn target_effect_in_stmts(
+    target: &str,
+    stmts: &[Stmt],
+    handler_classes: &BTreeMap<String, String>,
+    purity: &PurityTable,
+    out: &mut TargetEffect,
+) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::CommandCall {
+                target: t,
+                routine,
+                args,
+                pos,
+            } => {
+                if t == target {
+                    out.widen(Effect::Write);
+                    if out.command_write.is_none() {
+                        out.command_write = Some((routine.clone(), *pos));
+                    }
+                }
+                for arg in args {
+                    target_effect_in_expr(target, arg, handler_classes, purity, out);
+                }
+            }
+            Stmt::Assign { target: _, value } => {
+                target_effect_in_expr(target, value, handler_classes, purity, out);
+            }
+            Stmt::SeparateBlock {
+                targets, body, pos, ..
+            } => {
+                if targets.iter().any(|t| t == target) {
+                    // Re-reserving an already reserved handler: conservative.
+                    out.widen(Effect::Write);
+                    if out.command_write.is_none() {
+                        out.command_write = Some(("<re-reservation>".to_string(), *pos));
+                    }
+                } else {
+                    target_effect_in_stmts(target, body, handler_classes, purity, out);
+                }
+            }
+            Stmt::If {
+                arms, otherwise, ..
+            } => {
+                for (cond, branch) in arms {
+                    target_effect_in_expr(target, cond, handler_classes, purity, out);
+                    target_effect_in_stmts(target, branch, handler_classes, purity, out);
+                }
+                target_effect_in_stmts(target, otherwise, handler_classes, purity, out);
+            }
+            Stmt::While { cond, body, .. } => {
+                target_effect_in_expr(target, cond, handler_classes, purity, out);
+                target_effect_in_stmts(target, body, handler_classes, purity, out);
+            }
+            Stmt::Print { value, .. } => {
+                if let PrintArg::Value(expr) = value {
+                    target_effect_in_expr(target, expr, handler_classes, purity, out);
+                }
+            }
+            Stmt::Create { .. } | Stmt::LocalCommand { .. } => {}
+        }
+    }
+}
+
+fn target_effect_in_expr(
+    target: &str,
+    expr: &Expr,
+    handler_classes: &BTreeMap<String, String>,
+    purity: &PurityTable,
+    out: &mut TargetEffect,
+) {
+    match expr {
+        Expr::QueryCall {
+            target: t,
+            routine,
+            args,
+            pos,
+            ..
+        } => {
+            if t == target {
+                let pure = handler_classes
+                    .get(target)
+                    .and_then(|class| purity.get(class))
+                    .and_then(|routines| routines.get(routine))
+                    .copied()
+                    .unwrap_or(false);
+                if pure {
+                    out.widen(Effect::Read);
+                } else {
+                    out.widen(Effect::Write);
+                    if out.impure_query.is_none() {
+                        out.impure_query = Some((routine.clone(), *pos));
+                    }
+                }
+            }
+            for arg in args {
+                target_effect_in_expr(target, arg, handler_classes, purity, out);
+            }
+        }
+        Expr::Int(..) | Expr::Bool(..) | Expr::Var(..) | Expr::Result(..) => {}
+        Expr::Index { array, index, .. } => {
+            target_effect_in_expr(target, array, handler_classes, purity, out);
+            target_effect_in_expr(target, index, handler_classes, purity, out);
+        }
+        Expr::NewArray { len, .. } => {
+            target_effect_in_expr(target, len, handler_classes, purity, out)
+        }
+        Expr::Length { array, .. } => {
+            target_effect_in_expr(target, array, handler_classes, purity, out)
+        }
+        Expr::Random { bound, .. } => {
+            target_effect_in_expr(target, bound, handler_classes, purity, out)
+        }
+        Expr::LocalCall { args, .. } => {
+            for arg in args {
+                target_effect_in_expr(target, arg, handler_classes, purity, out);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            target_effect_in_expr(target, lhs, handler_classes, purity, out);
+            target_effect_in_expr(target, rhs, handler_classes, purity, out);
+        }
+        Expr::Unary { expr, .. } => {
+            target_effect_in_expr(target, expr, handler_classes, purity, out)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -902,6 +1407,146 @@ mod tests {
         .unwrap();
         assert_eq!(checked.handler_vars.len(), 2);
         assert_ne!(checked.handler_vars["a"], checked.handler_vars["b"]);
+    }
+
+    #[test]
+    fn query_only_blocks_are_inferred_read_only() {
+        let checked = check(&format!(
+            "{COUNTER}\
+             main local c : separate COUNTER local v : INTEGER do \
+               create c \
+               separate c do c.bump(1) end \
+               separate c do v := c.value() + c.value() end \
+               print(v) end"
+        ))
+        .unwrap();
+        assert_eq!(checked.inferred_read_blocks.len(), 1);
+        assert_eq!(checked.diagnostics.len(), 1);
+        let note = &checked.diagnostics[0];
+        assert_eq!(note.code, "QS-N001");
+        assert!(note.message.contains("proven read-only"));
+        assert!(note.span.is_some());
+    }
+
+    #[test]
+    fn blocks_with_commands_are_not_inferred_and_not_warned() {
+        let checked = check(&format!(
+            "{COUNTER}\
+             main local c : separate COUNTER local v : INTEGER do \
+               create c \
+               separate c do c.bump(1) v := c.value() end \
+               print(v) end"
+        ))
+        .unwrap();
+        assert!(checked.inferred_read_blocks.is_empty());
+        assert!(checked.diagnostics.is_empty());
+    }
+
+    const TICKET: &str = "class TICKET\n\
+         attribute next : INTEGER\n\
+         query take : INTEGER do Result := next next := next + 1 end\n\
+         query peek : INTEGER do Result := next end\n\
+       end\n";
+
+    #[test]
+    fn impure_queries_block_the_downgrade_with_a_warning() {
+        let checked = check(&format!(
+            "{TICKET}\
+             main local t : separate TICKET local v : INTEGER do \
+               create t separate t do v := t.take() end print(v) end"
+        ))
+        .unwrap();
+        assert!(checked.inferred_read_blocks.is_empty());
+        assert_eq!(checked.diagnostics.len(), 1);
+        let warning = &checked.diagnostics[0];
+        assert_eq!(warning.code, "QS-W001");
+        assert!(warning.message.contains("t.take"));
+    }
+
+    #[test]
+    fn declared_read_blocks_reject_commands_statically() {
+        let err = check(&format!(
+            "{COUNTER}\
+             main local c : separate COUNTER do \
+               create c separate read c do c.bump(1) end end"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("QS-E001"), "got: {}", err.message);
+        assert!(err.message.contains("c.bump"));
+    }
+
+    #[test]
+    fn declared_read_blocks_reject_impure_queries_statically() {
+        let err = check(&format!(
+            "{TICKET}\
+             main local t : separate TICKET local v : INTEGER do \
+               create t separate read t do v := t.take() end print(v) end"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("QS-E001"), "got: {}", err.message);
+        assert!(err.message.contains("impure query"));
+    }
+
+    #[test]
+    fn declared_read_blocks_accept_pure_queries() {
+        let checked = check(&format!(
+            "{TICKET}\
+             main local t : separate TICKET local v : INTEGER do \
+               create t separate read t do v := t.peek() end print(v) end"
+        ))
+        .unwrap();
+        // Declared blocks are honoured via their `read` flag, not inference.
+        assert!(checked.inferred_read_blocks.is_empty());
+    }
+
+    #[test]
+    fn multi_target_blocks_need_every_target_read_only() {
+        let source = format!(
+            "{COUNTER}\
+             main local a : separate COUNTER local b : separate COUNTER local v : INTEGER do \
+               create a create b \
+               separate a, b do v := a.value() + b.value() end \
+               separate a, b do v := a.value() b.bump(1) end \
+               print(v) end"
+        );
+        let checked = check(&source).unwrap();
+        assert_eq!(checked.inferred_read_blocks.len(), 1);
+    }
+
+    #[test]
+    fn purity_sees_through_local_shadowing_and_recursion() {
+        // `steps` is a parameter shadowing nothing, `count` is written only
+        // through a local named `count` — the attribute stays untouched, and
+        // the two queries recurse into each other.
+        let source = "class MATH\n\
+             attribute count : INTEGER\n\
+             query even(n: INTEGER) : BOOLEAN local count : INTEGER do \
+               count := 0 \
+               if n = 0 then Result := true else Result := odd(n - 1) end end\n\
+             query odd(n: INTEGER) : BOOLEAN do \
+               if n = 0 then Result := false else Result := even(n - 1) end end\n\
+           end\n\
+           main local m : separate MATH local b : BOOLEAN do \
+             create m separate m do b := m.even(4) end print(b) end";
+        let checked = check(source).unwrap();
+        assert_eq!(checked.inferred_read_blocks.len(), 1);
+    }
+
+    #[test]
+    fn nested_re_reservation_blocks_the_downgrade() {
+        let source = format!(
+            "{COUNTER}\
+             main local c : separate COUNTER local v : INTEGER do \
+               create c \
+               separate c do \
+                 v := c.value() \
+                 separate c do v := c.value() end \
+               end \
+               print(v) end"
+        );
+        let checked = check(&source).unwrap();
+        // The inner block is inferred; the outer one re-reserves `c`.
+        assert_eq!(checked.inferred_read_blocks.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Golden snapshot of the effect-inference lints.
+//!
+//! The static pass's structured diagnostics are part of the toolchain's
+//! contract: CI consumes the JSON dump, so its exact shape is pinned here
+//! against a committed golden file.  If a change to the pass alters the
+//! diagnostics on purpose, regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p qs-lang --test lint_snapshot` and commit
+//! the new `tests/golden/static_pass_lints.json`.
+
+use qs_lang::compile;
+use qs_lang::programs::HOT_READS;
+
+/// A near-miss program: the block only calls queries, but `take` mutates the
+/// attribute state, so the downgrade is declined with a QS-W001 warning.
+const IMPURE_TICKET: &str = "\
+class TICKET
+  attribute serial : INTEGER
+  query take : INTEGER do serial := serial + 1 Result := serial end
+end
+
+main
+  local t : separate TICKET
+  local v : INTEGER
+do
+  create t
+  separate t do v := t.take() end
+  print(v)
+end
+";
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/static_pass_lints.json"
+);
+
+fn current_lints() -> String {
+    let mut diagnostics = compile(HOT_READS).unwrap().checked.diagnostics;
+    diagnostics.extend(compile(IMPURE_TICKET).unwrap().checked.diagnostics);
+    qs_compiler::diagnostics_to_json(&diagnostics)
+}
+
+#[test]
+fn lints_match_the_committed_golden_file() {
+    let current = current_lints();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, format!("{current}\n")).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file exists; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        current.trim(),
+        golden.trim(),
+        "static-pass lints drifted from the committed snapshot; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn the_snapshot_covers_both_lint_codes() {
+    let current = current_lints();
+    assert!(current.contains("QS-N001"), "{current}");
+    assert!(current.contains("QS-W001"), "{current}");
+}

@@ -47,6 +47,7 @@ impl OptimizationLevel {
             OptimizationLevel::Static => RuntimeConfig {
                 client_executed_queries: true,
                 assume_static_sync: true,
+                auto_read: true,
                 ..RuntimeConfig::unoptimized()
             },
             OptimizationLevel::QoQ => RuntimeConfig {
@@ -257,6 +258,13 @@ pub struct RuntimeConfig {
     /// `Off` (the default) keeps every blocking path un-instrumented.
     /// Applies to every [`OptimizationLevel`].
     pub deadlock_policy: DeadlockPolicy,
+    /// Honour the effect-inference pass's read-only verdicts: separate
+    /// blocks the static analysis proves query-only are reserved in shared
+    /// read mode (`reserve(..).read()`) instead of exclusively.  Off, every
+    /// block reserves exclusively regardless of the verdict — the
+    /// differential baseline for the auto-`.read()` path.  Enabled on the
+    /// `Static` and `All` levels (the ones that trust static transforms).
+    pub auto_read: bool,
 }
 
 impl RuntimeConfig {
@@ -273,6 +281,7 @@ impl RuntimeConfig {
             mailbox_capacity: Some(DEFAULT_MAILBOX_CAPACITY),
             max_batch: DEFAULT_MAX_BATCH,
             deadlock_policy: DeadlockPolicy::Off,
+            auto_read: false,
         }
     }
 
@@ -288,6 +297,7 @@ impl RuntimeConfig {
             mailbox_capacity: Some(DEFAULT_MAILBOX_CAPACITY),
             max_batch: DEFAULT_MAX_BATCH,
             deadlock_policy: DeadlockPolicy::Off,
+            auto_read: true,
         }
     }
 
@@ -328,6 +338,14 @@ impl RuntimeConfig {
     /// replaced; see [`DeadlockPolicy`].
     pub fn with_deadlock_policy(mut self, policy: DeadlockPolicy) -> Self {
         self.deadlock_policy = policy;
+        self
+    }
+
+    /// Returns this configuration with the auto-`.read()` downgrade knob
+    /// replaced: whether separate blocks the effect-inference pass proves
+    /// read-only are reserved in shared read mode.
+    pub fn with_auto_read(mut self, auto_read: bool) -> Self {
+        self.auto_read = auto_read;
         self
     }
 }
@@ -382,6 +400,19 @@ mod tests {
         assert!(c.assume_static_sync);
         assert!(c.client_executed_queries);
         assert!(!c.dynamic_sync_coalescing);
+        assert!(c.auto_read, "Static trusts the effect pass");
+    }
+
+    #[test]
+    fn auto_read_follows_the_static_transform_levels() {
+        assert!(!OptimizationLevel::None.config().auto_read);
+        assert!(!OptimizationLevel::Dynamic.config().auto_read);
+        assert!(!OptimizationLevel::QoQ.config().auto_read);
+        assert!(OptimizationLevel::Static.config().auto_read);
+        assert!(OptimizationLevel::All.config().auto_read);
+        let c = RuntimeConfig::default().with_auto_read(false);
+        assert!(!c.auto_read);
+        assert!(c.with_auto_read(true).auto_read);
     }
 
     #[test]

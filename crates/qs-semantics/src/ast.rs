@@ -1,11 +1,16 @@
 //! Statement syntax of the SCOOP/Qs execution model (§2.3).
 //!
 //! ```text
-//! s ::= separate X s | call(x, f) | query(x, f) | wait h | release h | end | skip
+//! s ::= separate X s | separate read X s | call(x, f) | query(x, f)
+//!     | wait h | release h | end | skip
 //! ```
 //!
-//! `separate`, `call` and `query` model program instructions; `wait`,
-//! `release`, `end` and `skip` only arise at runtime.
+//! `separate`, `separate read`, `call` and `query` model program
+//! instructions; `wait`, `release`, `end` and `skip` only arise at runtime.
+//! `separate read` is the shared-read extension of the runtime (and the
+//! target of the effect-inference pass in `qs-lang`): the block promises to
+//! only *query* the reserved handlers, so multiple readers may hold the
+//! reservation simultaneously while writers wait.
 
 use std::fmt;
 
@@ -26,6 +31,18 @@ pub enum Stmt {
         /// Handlers reserved by this block.
         targets: Vec<HandlerName>,
         /// Body of the block.
+        body: Vec<Stmt>,
+    },
+    /// `separate read X s`: reserve every handler in `X` in *shared read*
+    /// mode, run the body (which must only query the reserved handlers),
+    /// then release them.  Readers coexist; a reader waits for active
+    /// writers ([`crate::deadlock::WaitEdgeKind::ReadWait`]) and stalls
+    /// later writers while it holds the gate
+    /// ([`crate::deadlock::WaitEdgeKind::WriterWait`]).
+    SeparateRead {
+        /// Handlers reserved in read mode by this block.
+        targets: Vec<HandlerName>,
+        /// Body of the block (queries only).
         body: Vec<Stmt>,
     },
     /// `call(x, f)`: asynchronously log method `f` on handler `x`.
@@ -75,6 +92,22 @@ impl Stmt {
         }
     }
 
+    /// Convenience constructor for a single-handler shared-read block.
+    pub fn separate_read(target: &str, body: Vec<Stmt>) -> Stmt {
+        Stmt::SeparateRead {
+            targets: vec![target.to_string()],
+            body,
+        }
+    }
+
+    /// Convenience constructor for a multi-handler shared-read block.
+    pub fn separate_read_many(targets: &[&str], body: Vec<Stmt>) -> Stmt {
+        Stmt::SeparateRead {
+            targets: targets.iter().map(|t| t.to_string()).collect(),
+            body,
+        }
+    }
+
     /// Convenience constructor for `call(x, f)`.
     pub fn call(target: &str, method: &str) -> Stmt {
         Stmt::Call {
@@ -106,6 +139,14 @@ impl fmt::Display for Stmt {
                 write!(
                     f,
                     "separate {} do {} stmt(s) end",
+                    targets.join(" "),
+                    body.len()
+                )
+            }
+            Stmt::SeparateRead { targets, body } => {
+                write!(
+                    f,
+                    "separate read {} do {} stmt(s) end",
                     targets.join(" "),
                     body.len()
                 )
@@ -246,6 +287,21 @@ mod tests {
         assert_eq!(Stmt::call("x", "f").to_string(), "call(x, f)");
         assert_eq!(Stmt::query("y", "g").to_string(), "query(y, g)");
         assert_eq!(Stmt::Skip.to_string(), "skip");
+    }
+
+    #[test]
+    fn read_constructors_build_expected_shapes() {
+        let s = Stmt::separate_read("x", vec![Stmt::query("x", "f")]);
+        match &s {
+            Stmt::SeparateRead { targets, body } => {
+                assert_eq!(targets, &vec!["x".to_string()]);
+                assert_eq!(body.len(), 1);
+            }
+            _ => panic!("expected separate read"),
+        }
+        assert_eq!(s.to_string(), "separate read x do 1 stmt(s) end");
+        let m = Stmt::separate_read_many(&["x", "y"], vec![]);
+        assert_eq!(m.to_string(), "separate read x y do 0 stmt(s) end");
     }
 
     #[test]

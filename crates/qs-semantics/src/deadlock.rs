@@ -30,8 +30,22 @@
 //! ([`WaitEdgeKind::OpenBlock`]), mirroring the runtime detector in
 //! `qs-deadlock`/`qs-runtime` (whose `MailboxPush` and `Serving` edges are
 //! the dynamic counterparts).
+//!
+//! Shared-read reservations ([`Stmt::SeparateRead`], the target of the
+//! effect-inference pass in `qs-lang`) add two more edge kinds with runtime
+//! counterparts: [`WaitEdgeKind::ReadWait`] (a reader waiting to acquire the
+//! writer-preferring gate) and [`WaitEdgeKind::WriterWait`] (an exclusive
+//! acquisition waiting for active readers to release) — the same kinds the
+//! runtime monitor reports for its reader gate.  Static cycles through these
+//! edges are conservative: readers never block readers directly, but the
+//! writer-preferring gate lets any pending writer wedge between a reader's
+//! hold and its next read-acquisition, so a cross wait among read blocks is
+//! still a hazard worth flagging.  Use [`assessment_diagnostics`] to turn a
+//! verdict into `QS-W002` compiler diagnostics alongside the effect lints.
 
 use std::collections::{BTreeMap, BTreeSet};
+
+use qs_compiler::Diagnostic;
 
 use crate::ast::{HandlerName, Program, Stmt};
 use crate::machine::Configuration;
@@ -204,7 +218,11 @@ fn walk(
 ) {
     for stmt in stmts {
         match stmt {
-            Stmt::Separate { targets, body } => {
+            Stmt::Separate { targets, body } | Stmt::SeparateRead { targets, body } => {
+                // A shared-read reservation still orders its targets after
+                // everything already held: the writer-preferring gate blocks
+                // the reader until exclusive holders clear, so for the
+                // reservation-order argument it behaves like a lock.
                 for outer in held.iter().flatten() {
                     for inner in targets {
                         if outer != inner {
@@ -255,6 +273,16 @@ pub enum WaitEdgeKind {
     /// intervening (mailbox-draining) query, so the block can hit
     /// backpressure.  Never present in the unbounded analysis.
     BoundedMailbox,
+    /// A shared-read acquisition: entering a `separate read` block waits for
+    /// active (and, gate preference being writer-first, pending) exclusive
+    /// reservations on the target to clear.  Mirrors the runtime monitor's
+    /// read-wait edge.
+    ReadWait,
+    /// The reader-hold side: while a `separate read` block is open and its
+    /// client can stall on *another* handler, exclusive acquisitions of the
+    /// read-held target wait for the reader to release.  Mirrors the runtime
+    /// monitor's writer-wait edge.
+    WriterWait,
     /// The handler side: while a client's single-handler separate block is
     /// open, the reserved handler is committed to it and cannot serve anyone
     /// else (the runtime detector's `Serving` edge).  Atomic multi-handler
@@ -270,6 +298,8 @@ impl WaitEdgeKind {
         match self {
             WaitEdgeKind::Query => "query",
             WaitEdgeKind::BoundedMailbox => "bounded-mailbox",
+            WaitEdgeKind::ReadWait => "read-wait",
+            WaitEdgeKind::WriterWait => "writer-wait",
             WaitEdgeKind::OpenBlock => "open-block",
         }
     }
@@ -387,10 +417,12 @@ pub fn assess_with_mailbox_capacity(
 }
 
 /// One open separate block during the bounded walk: its reserved targets,
-/// per-target call counts since the last mailbox-draining query, and the
-/// targets of client-blocking sites anywhere inside its body.
+/// whether the reservation is shared-read, per-target call counts since the
+/// last mailbox-draining query, and the targets of client-blocking sites
+/// anywhere inside its body.
 struct OpenBlock {
     targets: Vec<HandlerName>,
+    read: bool,
     calls_since_drain: BTreeMap<HandlerName, usize>,
     blocking_inside: BTreeSet<HandlerName>,
 }
@@ -426,6 +458,7 @@ fn walk_bounded(
             Stmt::Separate { targets, body } => {
                 open_blocks.push(OpenBlock {
                     targets: targets.clone(),
+                    read: false,
                     calls_since_drain: BTreeMap::new(),
                     blocking_inside: BTreeSet::new(),
                 });
@@ -459,6 +492,47 @@ fn walk_bounded(
                     }
                 }
             }
+            Stmt::SeparateRead { targets, body } => {
+                // Acquiring the writer-preferring read gate blocks the client
+                // until exclusive holders (and queued writers) clear: a
+                // client-blocking read-wait edge per target, visible to every
+                // enclosing block as a stall site.
+                for target in targets {
+                    if target != client {
+                        insert_edge(graph, client, target, WaitEdgeKind::ReadWait);
+                        note_blocking_pair(pairs, open_blocks, client, target);
+                        for block in open_blocks.iter_mut() {
+                            block.blocking_inside.insert(target.clone());
+                        }
+                    }
+                }
+                open_blocks.push(OpenBlock {
+                    targets: targets.clone(),
+                    read: true,
+                    calls_since_drain: BTreeMap::new(),
+                    blocking_inside: BTreeSet::new(),
+                });
+                walk_bounded(body, client, capacity, open_blocks, graph, pairs);
+                let block = open_blocks.pop().expect("pushed above");
+                // Reader-hold commitment: while the read block is open,
+                // exclusive acquisitions of its targets wait for this client.
+                // Like the open-block edge, that only matters if the client
+                // can stall inside the block on some *other* handler —
+                // delaying the release indefinitely.  Unlike exclusive
+                // blocks this applies per target even for multi-handler read
+                // blocks: readers coexist, so the gate acquisition is not an
+                // atomic consistent ordering, and each held gate stalls its
+                // writers independently.
+                for target in &block.targets {
+                    let can_stall_release = block
+                        .blocking_inside
+                        .iter()
+                        .any(|blocked_on| !block.targets.contains(blocked_on));
+                    if target != client && can_stall_release {
+                        insert_edge(graph, target, client, WaitEdgeKind::WriterWait);
+                    }
+                }
+            }
             Stmt::Call { target, .. } => {
                 // The call logs into the private queue of the innermost
                 // block reserving `target`; that queue is fresh per block,
@@ -483,6 +557,15 @@ fn walk_bounded(
                 }
             }
             Stmt::Query { target, .. } | Stmt::Wait(target) => {
+                // A query on a read-held target executes on the client
+                // against the shared state — no queue crossing, no wait, no
+                // blocking edge (the whole point of the read downgrade).
+                let read_held = open_blocks
+                    .iter()
+                    .any(|block| block.read && block.targets.contains(target));
+                if read_held {
+                    continue;
+                }
                 if target != client {
                     insert_edge(graph, client, target, WaitEdgeKind::Query);
                     note_blocking_pair(pairs, open_blocks, client, target);
@@ -505,6 +588,43 @@ fn walk_bounded(
     }
 }
 
+/// Converts a capacity-aware assessment into compiler diagnostics, so the
+/// static deadlock verdict reports through the same structured surface as
+/// the effect lints of `qs-compiler`/`qs-lang`.
+///
+/// A flagged cycle becomes one `QS-W002` warning spelling the cycle out with
+/// the same edge-kind labels the runtime monitor uses, plus a `QS-W002` note
+/// when the cycle exists *only* because of the mailbox bound (the topology
+/// is safe unbounded).  A clean assessment produces no diagnostics.
+pub fn assessment_diagnostics(assessment: &BoundedAssessment) -> Vec<Diagnostic> {
+    let Some(cycle) = &assessment.cycle else {
+        return Vec::new();
+    };
+    let mut rendered = String::new();
+    for (node, kind) in cycle {
+        rendered.push_str(node);
+        rendered.push_str(" --");
+        rendered.push_str(kind.label());
+        rendered.push_str("--> ");
+    }
+    rendered.push_str(&cycle[0].0);
+    let mut diagnostics = vec![Diagnostic::warning(
+        "QS-W002",
+        format!("static deadlock hazard: potential wait cycle {rendered}"),
+    )];
+    if assessment.bounded_edges_on_cycle() {
+        let capacity = assessment.capacity.expect("bounded edge implies a bound");
+        diagnostics.push(Diagnostic::note(
+            "QS-W002",
+            format!(
+                "the cycle depends on bounded-mailbox backpressure \
+                 (capacity {capacity}); unbounded mailboxes are safe here"
+            ),
+        ));
+    }
+    diagnostics
+}
+
 /// Finds a simple cycle in the labeled graph, skipping the benign immediate
 /// bounce `c --[query/push]--> t --[open-block]--> c` for pairs in
 /// `benign` (see [`assess_with_mailbox_capacity`]).  Returns each node with
@@ -525,12 +645,19 @@ fn find_nonbenign_cycle(
         let [(a, a_kind), (b, b_kind)] = cycle else {
             return false;
         };
+        // Commitment edges are the handler-side kinds: the exclusive
+        // open-block pin and the reader-hold writer-wait.  A client edge
+        // bounced straight back by its own commitment (the reservation the
+        // wait itself goes through / the gate the client already acquired)
+        // resolves by construction for single-block pairs.
+        let is_commitment =
+            |kind: WaitEdgeKind| matches!(kind, WaitEdgeKind::OpenBlock | WaitEdgeKind::WriterWait);
         let client_then_commit = |client: &HandlerName,
                                   client_kind: WaitEdgeKind,
                                   target: &HandlerName,
                                   target_kind: WaitEdgeKind| {
-            client_kind != WaitEdgeKind::OpenBlock
-                && target_kind == WaitEdgeKind::OpenBlock
+            !is_commitment(client_kind)
+                && is_commitment(target_kind)
                 && benign.contains(&(client.clone(), target.clone()))
         };
         client_then_commit(a, *a_kind, b, *b_kind) || client_then_commit(b, *b_kind, a, *a_kind)
@@ -934,6 +1061,177 @@ mod tests {
         ];
         let assessment = assess_with_mailbox_capacity(&programs, Some(1));
         assert!(!assessment.deadlock_possible(), "{:?}", assessment.cycle);
+    }
+
+    #[test]
+    fn read_held_queries_do_not_block_but_the_gate_acquisition_does() {
+        // A pure read block: acquiring the gate is a read-wait, but the
+        // queries inside execute client-side and add no blocking edges, so
+        // nothing can cycle.
+        let programs = vec![
+            Program::passive("x"),
+            Program::new(
+                "r",
+                vec![Stmt::separate_read(
+                    "x",
+                    vec![Stmt::query("x", "at"), Stmt::query("x", "mean")],
+                )],
+            ),
+        ];
+        let assessment = assess_with_mailbox_capacity(&programs, None);
+        assert_eq!(
+            assessment.wait_graph["r"]["x"],
+            WaitEdgeKind::ReadWait,
+            "{:?}",
+            assessment.wait_graph
+        );
+        // No query edge was recorded (ReadWait would have been overwritten:
+        // Query is the stronger kind), and no writer-wait either — the block
+        // never stalls on another handler.
+        assert!(!assessment.wait_graph.contains_key("x"));
+        assert!(!assessment.deadlock_possible(), "{:?}", assessment.cycle);
+        assert!(assessment_diagnostics(&assessment).is_empty());
+    }
+
+    #[test]
+    fn read_block_stalling_elsewhere_commits_a_writer_wait_edge() {
+        // The reader holds x's gate while blocking on y: writers on x wait
+        // for the reader (writer-wait), but a single such block cannot cycle
+        // on its own.
+        let programs = vec![
+            Program::passive("x"),
+            Program::passive("y"),
+            Program::new(
+                "r",
+                vec![Stmt::separate_read("x", vec![Stmt::query("y", "q")])],
+            ),
+        ];
+        let assessment = assess_with_mailbox_capacity(&programs, None);
+        assert_eq!(assessment.wait_graph["x"]["r"], WaitEdgeKind::WriterWait);
+        assert_eq!(assessment.wait_graph["r"]["y"], WaitEdgeKind::Query);
+        assert!(!assessment.deadlock_possible(), "{:?}", assessment.cycle);
+    }
+
+    #[test]
+    fn crossed_read_blocks_are_flagged_with_read_edge_kinds() {
+        // Two readers acquiring each other's held gate in opposite orders:
+        // under the writer-preferring gate a pending writer can wedge
+        // between a reader's hold and its next acquisition, so the cross
+        // wait is a (conservative) hazard.  The cycle must name the same
+        // edge kinds as the runtime monitor: read-wait and writer-wait.
+        let nested_reader = |name: &str, held: &str, wanted: &str| {
+            Program::new(
+                name,
+                vec![Stmt::separate_read(
+                    held,
+                    vec![Stmt::separate_read(wanted, vec![])],
+                )],
+            )
+        };
+        let programs = vec![
+            Program::passive("x"),
+            Program::passive("y"),
+            nested_reader("c1", "x", "y"),
+            nested_reader("c2", "y", "x"),
+        ];
+        let assessment = assess_with_mailbox_capacity(&programs, None);
+        assert!(assessment.deadlock_possible());
+        let cycle = assessment.cycle.clone().expect("cycle");
+        assert_eq!(cycle.len(), 4, "{cycle:?}");
+        assert!(
+            cycle
+                .iter()
+                .any(|(_, kind)| *kind == WaitEdgeKind::ReadWait),
+            "{cycle:?}"
+        );
+        assert!(
+            cycle
+                .iter()
+                .any(|(_, kind)| *kind == WaitEdgeKind::WriterWait),
+            "{cycle:?}"
+        );
+        assert_eq!(WaitEdgeKind::ReadWait.label(), "read-wait");
+        assert_eq!(WaitEdgeKind::WriterWait.label(), "writer-wait");
+
+        // The unified diagnostics surface reports the cycle as QS-W002 with
+        // the runtime monitor's edge labels.
+        let diagnostics = assessment_diagnostics(&assessment);
+        assert_eq!(diagnostics.len(), 1);
+        assert_eq!(diagnostics[0].code, "QS-W002");
+        assert!(diagnostics[0].message.contains("read-wait"));
+        assert!(diagnostics[0].message.contains("writer-wait"));
+    }
+
+    #[test]
+    fn reader_writer_cross_wait_is_flagged() {
+        // A reader holding y's gate while acquiring x, against a writer
+        // holding x while querying y: the classic reader/writer cross.
+        let programs = vec![
+            Program::passive("x"),
+            Program::passive("y"),
+            Program::new(
+                "r",
+                vec![Stmt::separate_read(
+                    "y",
+                    vec![Stmt::separate_read("x", vec![])],
+                )],
+            ),
+            Program::new("w", vec![Stmt::separate("x", vec![Stmt::query("y", "q")])]),
+        ];
+        let assessment = assess_with_mailbox_capacity(&programs, None);
+        assert!(
+            assessment.deadlock_possible(),
+            "{:?}",
+            assessment.wait_graph
+        );
+        let kinds: BTreeSet<WaitEdgeKind> = assessment
+            .cycle
+            .expect("cycle")
+            .into_iter()
+            .map(|(_, kind)| kind)
+            .collect();
+        assert!(
+            kinds.contains(&WaitEdgeKind::ReadWait) || kinds.contains(&WaitEdgeKind::WriterWait),
+            "{kinds:?}"
+        );
+    }
+
+    #[test]
+    fn bounded_cycle_diagnostics_note_the_capacity_dependency() {
+        let assessment = assess_with_mailbox_capacity(&fig6_program(false), Some(1));
+        let diagnostics = assessment_diagnostics(&assessment);
+        assert_eq!(diagnostics.len(), 2);
+        assert_eq!(diagnostics[0].code, "QS-W002");
+        assert!(diagnostics[0].message.contains("bounded-mailbox"));
+        assert!(diagnostics[1].message.contains("capacity 1"));
+    }
+
+    #[test]
+    fn read_reservations_participate_in_the_reservation_order() {
+        // The unbounded §2.5 analysis treats the writer-preferring gate as a
+        // lock for ordering purposes: crossed read nesting is an
+        // inconsistent reservation order.
+        let programs = vec![
+            Program::passive("x"),
+            Program::passive("y"),
+            Program::new(
+                "c1",
+                vec![Stmt::separate_read(
+                    "x",
+                    vec![Stmt::separate_read("y", vec![Stmt::query("y", "q")])],
+                )],
+            ),
+            Program::new(
+                "c2",
+                vec![Stmt::separate_read(
+                    "y",
+                    vec![Stmt::separate_read("x", vec![Stmt::query("x", "q")])],
+                )],
+            ),
+        ];
+        let assessment = assess_reservation_order(&programs);
+        assert!(assessment.lock_based_deadlock_possible());
+        assert!(assessment.qs_deadlock_possible());
     }
 
     #[test]

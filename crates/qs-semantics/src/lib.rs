@@ -34,9 +34,9 @@ pub mod trace;
 
 pub use ast::{fig1_program, fig5_program, fig6_program, HandlerName, Method, Program, Stmt};
 pub use deadlock::{
-    assess_reservation_order, assess_with_mailbox_capacity, find_cycle, is_deadlocked_now,
-    wait_for_graph, BoundedAssessment, DeadlockAssessment, HandlerGraph, LabeledHandlerGraph,
-    WaitEdgeKind,
+    assess_reservation_order, assess_with_mailbox_capacity, assessment_diagnostics, find_cycle,
+    is_deadlocked_now, wait_for_graph, BoundedAssessment, DeadlockAssessment, HandlerGraph,
+    LabeledHandlerGraph, WaitEdgeKind,
 };
 pub use explore::{explore_all, random_run, ExplorationReport, RunOutcome, Scheduler};
 pub use machine::{Configuration, HandlerState, StepResult};

@@ -169,9 +169,13 @@ impl Configuration {
                         enabled.push(Transition::Execute(name.clone()));
                     }
                 }
-                Some(Stmt::Separate { targets, .. }) => {
+                Some(Stmt::Separate { targets, .. }) | Some(Stmt::SeparateRead { targets, .. }) => {
                     // separate rule: purely asynchronous, always enabled as
-                    // long as all targets exist.
+                    // long as all targets exist.  The shared-read variant is
+                    // modelled conservatively as an exclusive registration:
+                    // the abstract machine over-approximates the schedules of
+                    // the runtime's reader gate (a reader admits strictly
+                    // more interleavings, never fewer orderings per queue).
                     if targets.iter().all(|t| self.handlers.contains_key(t)) {
                         enabled.push(Transition::Execute(name.clone()));
                     }
@@ -272,10 +276,12 @@ impl Configuration {
                     method: label,
                 }]
             }
-            Stmt::Separate { targets, body } => {
+            Stmt::Separate { targets, body } | Stmt::SeparateRead { targets, body } => {
                 // Generalised separate rule: register with every target
                 // atomically, then run the body followed by `call(t, end)`
-                // for each target.
+                // for each target.  `separate read` shares this rule: the
+                // machine keeps the per-queue orderings and lets the
+                // deadlock analysis distinguish the gate semantics.
                 for target in &targets {
                     self.handlers
                         .get_mut(target)

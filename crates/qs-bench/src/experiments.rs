@@ -210,6 +210,35 @@ pub fn table5_lang_concurrent(scale: Scale) -> Vec<Series> {
         .collect()
 }
 
+/// Percentile digest of one latency histogram, in nanoseconds.  All zeros
+/// when the run recorded no samples (observability off).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    /// Recorded samples.
+    pub samples: u64,
+    /// Median latency.
+    pub p50_ns: u64,
+    /// 95th-percentile latency.
+    pub p95_ns: u64,
+    /// 99th-percentile latency.
+    pub p99_ns: u64,
+    /// Worst observed latency.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Digests a histogram snapshot into the standard percentile set.
+    pub fn from_histogram(snap: &qs_obs::HistogramSnapshot) -> LatencySummary {
+        LatencySummary {
+            samples: snap.count,
+            p50_ns: snap.percentile(50.0),
+            p95_ns: snap.percentile(95.0),
+            p99_ns: snap.percentile(99.0),
+            max_ns: snap.max,
+        }
+    }
+}
+
 /// One measured point of the handler-count scaling sweep: `handlers` live
 /// handlers under one scheduling mode, each receiving one fan-out block of
 /// asynchronous calls followed by a fan-in query.
@@ -231,6 +260,9 @@ pub struct SchedulerPoint {
     pub peak_process_threads: usize,
     /// Scheduler-side worker-thread high-water (0 for dedicated).
     pub peak_scheduler_threads: usize,
+    /// Enqueue→execute latency distribution over the point
+    /// (`request.enqueue_to_execute_ns`).
+    pub latency: LatencySummary,
 }
 
 /// Current OS thread count of this process (`/proc/self/status`); 0 when the
@@ -256,7 +288,35 @@ pub fn scheduler_point(
     handlers: usize,
     calls_per_handler: usize,
 ) -> SchedulerPoint {
-    let rt = Runtime::new(RuntimeConfig::all_optimizations().with_scheduler(mode));
+    // Counters keep the sweep honest about latency percentiles at a cost
+    // the overhead gate proves is within noise of Off.
+    scheduler_point_with_observability(
+        mode,
+        handlers,
+        calls_per_handler,
+        qs_obs::ObservabilityMode::Counters,
+    )
+}
+
+/// [`scheduler_point`] with an explicit observability mode, for the
+/// instrumentation-overhead gate: `Off` measures the uninstrumented
+/// baseline, `Full` the worst case with tracing armed.
+pub fn scheduler_point_with_observability(
+    mode: SchedulerMode,
+    handlers: usize,
+    calls_per_handler: usize,
+    observability: qs_obs::ObservabilityMode,
+) -> SchedulerPoint {
+    // The ambient mode only ratchets up through `Runtime::new`; benches pin
+    // it per point so an earlier `Full` cell cannot leak into an `Off` one.
+    qs_obs::set_mode(observability);
+    let latency_hist = qs_obs::registry().histogram("request.enqueue_to_execute_ns");
+    latency_hist.reset();
+    let rt = Runtime::new(
+        RuntimeConfig::all_optimizations()
+            .with_scheduler(mode)
+            .with_observability(observability),
+    );
     let fleet: Vec<_> = (0..handlers).map(|_| rt.spawn_handler(0u64)).collect();
     let baseline = rt.stats_snapshot();
     // With dedicated threads the whole fleet is alive right now; sample
@@ -301,6 +361,7 @@ pub fn scheduler_point(
         requests_per_sec: snap.requests_executed as f64 / secs,
         peak_process_threads: peak_threads,
         peak_scheduler_threads: rt.scheduler_peak_threads(),
+        latency: LatencySummary::from_histogram(&latency_hist.snapshot()),
     };
     drop(fleet);
     point

@@ -15,6 +15,8 @@ use std::time::{Duration, Instant};
 use qs_cluster::ClusterClient;
 use qs_remote::{NodeAddr, WireValue};
 
+use crate::experiments::LatencySummary;
+
 /// Calls logged per user block in the sweep workload.
 pub const REMOTE_CALLS_PER_USER: u64 = 3;
 /// Queries per user block (the closing balance check).
@@ -43,6 +45,9 @@ pub struct RemotePoint {
     pub requests_per_sec: f64,
     /// Handlers hosted per node at the end (placement balance evidence).
     pub per_node_handlers: Vec<i64>,
+    /// Client-side round-trip latency distribution over the measured loop
+    /// (`remote.call_rtt_ns`; the drivers run in this process).
+    pub rtt: LatencySummary,
 }
 
 /// A spawned node process; killed (then reaped) on drop so a panicking
@@ -158,6 +163,11 @@ pub fn drive_users(
 ) -> RemotePoint {
     let threads = client_threads.max(1);
     let addrs: Arc<Vec<NodeAddr>> = Arc::new(addrs.to_vec());
+    // The drivers run in this process, so their query/sync round trips land
+    // in the local `remote.call_rtt_ns` histogram; scope it to this point.
+    qs_obs::raise_mode(qs_obs::ObservabilityMode::Counters);
+    let rtt_hist = qs_obs::registry().histogram("remote.call_rtt_ns");
+    rtt_hist.reset();
     let started = Instant::now();
     let mut joins = Vec::with_capacity(threads);
     for t in 0..threads {
@@ -189,6 +199,7 @@ pub fn drive_users(
     }
     let blocks: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
     let elapsed = started.elapsed();
+    let rtt = LatencySummary::from_histogram(&rtt_hist.snapshot());
     assert_eq!(blocks, users, "every user must be served exactly once");
 
     let calls = blocks * REMOTE_CALLS_PER_USER;
@@ -217,6 +228,7 @@ pub fn drive_users(
         elapsed,
         requests_per_sec: (calls + queries) as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
         per_node_handlers,
+        rtt,
     }
 }
 

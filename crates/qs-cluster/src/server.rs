@@ -94,6 +94,11 @@ pub struct NodeConfig {
     /// The runtime configuration handlers run under (defaults to the fully
     /// optimised pooled runtime).
     pub runtime: RuntimeConfig,
+    /// Optional TCP address (`HOST:PORT`, port 0 for ephemeral) of a
+    /// plain-text HTTP endpoint serving the process's metrics registry in
+    /// Prometheus exposition format — scrape `http://HOST:PORT/metrics`
+    /// (any path answers).  `None` (the default) starts no endpoint.
+    pub metrics_listen: Option<String>,
 }
 
 impl NodeConfig {
@@ -103,7 +108,14 @@ impl NodeConfig {
             listen,
             nodes: Vec::new(),
             runtime: RuntimeConfig::default(),
+            metrics_listen: None,
         }
+    }
+
+    /// Enables the HTTP metrics endpoint on `addr` (builder form).
+    pub fn with_metrics_listen(mut self, addr: &str) -> NodeConfig {
+        self.metrics_listen = Some(addr.to_string());
+        self
     }
 }
 
@@ -129,6 +141,9 @@ struct ServerShared<S: Send + 'static> {
     /// (the in-process analogue of a dying process closing its sockets).
     conns: Mutex<Vec<ByteSender>>,
     counters: NodeServerCounters,
+    /// Bound address of the HTTP metrics endpoint, when one was requested;
+    /// dialled once on stop to unblock its accept loop.
+    metrics_addr: Option<std::net::SocketAddr>,
 }
 
 /// A running cluster node: listener + protocol adapters + pooled runtime.
@@ -147,6 +162,15 @@ impl<S: Send + 'static> NodeServer<S> {
         if config.nodes.is_empty() {
             ring.add(&self_name);
         }
+        let metrics_listener = config
+            .metrics_listen
+            .as_deref()
+            .map(std::net::TcpListener::bind)
+            .transpose()?;
+        let metrics_addr = metrics_listener
+            .as_ref()
+            .map(std::net::TcpListener::local_addr)
+            .transpose()?;
         let shared = Arc::new(ServerShared {
             service,
             self_name,
@@ -157,7 +181,14 @@ impl<S: Send + 'static> NodeServer<S> {
             stopping: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             counters: NodeServerCounters::default(),
+            metrics_addr,
         });
+        if let Some(listener) = metrics_listener {
+            let metrics_shared = Arc::clone(&shared);
+            let _ = std::thread::Builder::new()
+                .name(format!("cluster-metrics-{}", shared.self_name))
+                .spawn(move || serve_metrics_http(&metrics_shared, &listener));
+        }
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name(format!("cluster-accept-{}", shared.self_name))
@@ -202,6 +233,13 @@ impl<S: Send + 'static> NodeServer<S> {
         self.shared.handlers.lock().len()
     }
 
+    /// The bound address of the HTTP metrics endpoint, when
+    /// [`NodeConfig::metrics_listen`] requested one (ephemeral ports
+    /// resolved).
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.shared.metrics_addr
+    }
+
     /// Blocks until the server stops (via the `shutdown` control op or
     /// [`Self::shutdown`] from another thread).
     pub fn wait(&self) {
@@ -233,9 +271,42 @@ impl<S: Send + 'static> Drop for NodeServer<S> {
 fn request_stop<S: Send + 'static>(shared: &ServerShared<S>) {
     if !shared.stopping.swap(true, Ordering::AcqRel) {
         let _ = shared.self_addr.connect();
+        if let Some(addr) = shared.metrics_addr {
+            let _ = std::net::TcpStream::connect(addr);
+        }
         for conn in shared.conns.lock().drain(..) {
             conn.close();
         }
+    }
+}
+
+/// Minimal HTTP/1.1 server for Prometheus scrapes: every request (any
+/// method, any path) is answered with the process-wide metrics registry in
+/// exposition format and the connection is closed.  One request per
+/// connection — exactly the shape a scraper produces.
+fn serve_metrics_http<S: Send + 'static>(
+    shared: &Arc<ServerShared<S>>,
+    listener: &std::net::TcpListener,
+) {
+    use std::io::{Read, Write};
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(mut stream) = stream else { return };
+        // Read (and discard) the request head; scrapers send it in one
+        // segment, and the response does not depend on it.
+        let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+        let mut head = [0u8; 1024];
+        let _ = stream.read(&mut head);
+        let body = qs_obs::registry().to_prometheus_text();
+        let response = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let _ = stream.write_all(response.as_bytes());
     }
 }
 
@@ -418,6 +489,8 @@ fn apply_control<S: Send + 'static>(
             let node = args.first().ok_or("leave needs a node address")?.as_str()?;
             Ok(WireValue::Bool(shared.ring.lock().remove(node)))
         }
+        "metrics" => Ok(WireValue::Str(qs_obs::registry().to_json())),
+        "metrics_text" => Ok(WireValue::Str(qs_obs::registry().to_prometheus_text())),
         "shutdown" => Ok(WireValue::Unit),
         other => Err(format!("unknown control op `{other}`")),
     }

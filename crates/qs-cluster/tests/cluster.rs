@@ -108,6 +108,62 @@ fn pings_and_stats_report_per_node_activity() {
 }
 
 #[test]
+fn metrics_ops_and_http_endpoint_expose_the_registry() {
+    let mut config = NodeConfig::at(NodeAddr::parse("tcp:127.0.0.1:0").unwrap())
+        .with_metrics_listen("127.0.0.1:0");
+    config.runtime = config
+        .runtime
+        .with_observability(qs_runtime::ObservabilityMode::Counters);
+    let node = NodeServer::start(bank_service(), config).unwrap();
+    let name = node.name().to_string();
+    let client = ClusterClient::new("metrics", &[node.addr().clone()])
+        .with_response_timeout(Duration::from_secs(10));
+    client.query(1, "balance", vec![]).unwrap();
+
+    // Control{op:"metrics"}: the whole registry as parseable JSON.
+    let WireValue::Str(json) = client.control(&name, "metrics", vec![]).unwrap() else {
+        panic!("metrics must answer a string");
+    };
+    let doc = qs_obs::parse_json(&json).expect("registry JSON parses");
+    let histograms = doc.get("histograms").expect("histograms section");
+    assert!(
+        histograms.get("query.round_trip_ns").is_some(),
+        "the served query left a round-trip histogram: {json}"
+    );
+
+    // Control{op:"metrics_text"}: the same registry as Prometheus text.
+    let WireValue::Str(text) = client.control(&name, "metrics_text", vec![]).unwrap() else {
+        panic!("metrics_text must answer a string");
+    };
+    assert!(
+        text.contains("# TYPE query_round_trip_ns summary"),
+        "{text}"
+    );
+
+    // The HTTP endpoint serves the exposition format to a raw scrape.
+    let addr = node.metrics_addr().expect("metrics endpoint bound");
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    {
+        use std::io::Write;
+        // One write for the whole request: the one-shot server answers (and
+        // closes) after its first successful read, so a fragmented request
+        // races EPIPE against the response.
+        stream
+            .write_all(format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes())
+            .unwrap();
+    }
+    let mut response = String::new();
+    {
+        use std::io::Read;
+        stream.read_to_string(&mut response).unwrap();
+    }
+    assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+    assert!(response.contains("text/plain"), "{response}");
+    assert!(response.contains("query_round_trip_ns_count"), "{response}");
+    client.shutdown_cluster();
+}
+
+#[test]
 fn misrouted_blocks_are_refused_loudly() {
     let a = tcp_node();
     let b = tcp_node();

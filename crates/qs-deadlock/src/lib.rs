@@ -47,7 +47,12 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime};
+
+/// Trace events per thread attached to a report's flight recorder (when
+/// full tracing is enabled): enough run-up history to see what each
+/// participant was doing as the cycle closed, small enough to log whole.
+const FLIGHT_EVENTS_PER_THREAD: usize = 64;
 
 /// Wakes a thread blocked on the instrumented wait so it can observe a break
 /// request.  Registered alongside [`EdgeKind::MailboxPush`] edges; called by
@@ -169,6 +174,10 @@ struct EdgeRecord {
     state: Arc<EdgeState>,
     waker: Option<WakerFn>,
     probe: Option<ProbeFn>,
+    /// When the edge was registered — i.e. when the waiter blocked.  A
+    /// reported edge carries its age so the report distinguishes a cycle
+    /// that just closed from one that has been wedged for minutes.
+    registered_at: Instant,
 }
 
 #[derive(Default)]
@@ -275,6 +284,7 @@ impl WaitRegistry {
                 state: Arc::clone(&state),
                 waker,
                 probe,
+                registered_at: Instant::now(),
             },
         );
         self.version.fetch_add(1, Ordering::Release);
@@ -332,6 +342,7 @@ impl WaitRegistry {
             owner: ParticipantId,
             kind: EdgeKind,
             probe: Option<ProbeFn>,
+            registered_at: Instant,
         }
         // Labels are deliberately NOT snapshotted here: the steady-state
         // scan (probed edges, no cycle) would otherwise clone two strings
@@ -349,6 +360,7 @@ impl WaitRegistry {
                     owner: record.owner,
                     kind: record.kind,
                     probe: record.probe.clone(),
+                    registered_at: record.registered_at,
                 })
                 .collect()
         };
@@ -358,6 +370,7 @@ impl WaitRegistry {
             .iter()
             .filter(|edge| edge.probe.as_ref().is_none_or(|probe| probe()))
             .collect();
+        qs_obs::trace(qs_obs::TraceKind::DeadlockScan, live.len() as u64, 0);
 
         #[derive(Clone, Copy, PartialEq)]
         enum Mark {
@@ -433,6 +446,7 @@ impl WaitRegistry {
                     .cloned()
                     .unwrap_or_else(|| participant.to_string())
             };
+            let now = Instant::now();
             reports.push(DeadlockReport {
                 edges: cycle
                     .into_iter()
@@ -445,9 +459,16 @@ impl WaitRegistry {
                             owner: edge.owner,
                             owner_label: label(edge.owner),
                             kind: edge.kind,
+                            age: now.saturating_duration_since(edge.registered_at),
                         }
                     })
                     .collect(),
+                detected_at: SystemTime::now(),
+                flight_recorder: if qs_obs::tracing_enabled() {
+                    qs_obs::flight_recorder(FLIGHT_EVENTS_PER_THREAD)
+                } else {
+                    Vec::new()
+                },
             });
         }
         reports
@@ -515,6 +536,9 @@ pub struct ReportedEdge {
     pub owner_label: String,
     /// What kind of wait this is.
     pub kind: EdgeKind,
+    /// How long the waiter had already been blocked when the scan that
+    /// produced this report ran.
+    pub age: Duration,
 }
 
 /// A confirmed wait-for cycle: the handlers/clients on it and the kind of
@@ -524,6 +548,14 @@ pub struct DeadlockReport {
     /// The edges of the cycle; edge `i`'s owner is edge `i+1`'s waiter
     /// (cyclically).
     pub edges: Vec<ReportedEdge>,
+    /// Wall-clock time of the scan that produced this report, so reports
+    /// logged from long-running services correlate with external logs.
+    pub detected_at: SystemTime,
+    /// The observability flight recorder at detection time: the last few
+    /// trace events of every thread (globally time-ordered, one formatted
+    /// line each).  Empty unless the process runs with full tracing
+    /// ([`qs_obs::ObservabilityMode::Full`]).
+    pub flight_recorder: Vec<String>,
 }
 
 impl DeadlockReport {
@@ -554,15 +586,56 @@ impl DeadlockReport {
 }
 
 impl fmt::Display for DeadlockReport {
+    /// Multi-line human rendering: a headline with the party count and the
+    /// wall-clock detection time (unix seconds), one line per edge with its
+    /// kind, age and breakability, and — when tracing was on — the attached
+    /// flight-recorder lines.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("wait cycle: ")?;
+        let unix = self
+            .detected_at
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .unwrap_or_default();
+        write!(
+            f,
+            "deadlock: {}-party wait cycle (detected at unix {}.{:03}): ",
+            self.edges.len(),
+            unix.as_secs(),
+            unix.subsec_millis()
+        )?;
         for edge in &self.edges {
             write!(f, "{} --[{}]--> ", edge.waiter_label, edge.kind)?;
         }
         match self.edges.first() {
-            Some(first) => f.write_str(&first.waiter_label),
-            None => f.write_str("(empty)"),
+            Some(first) => f.write_str(&first.waiter_label)?,
+            None => f.write_str("(empty)")?,
         }
+        for edge in &self.edges {
+            write!(
+                f,
+                "\n  {}: {} --[{}]--> {} (blocked for {:?}{})",
+                edge.id,
+                edge.waiter_label,
+                edge.kind,
+                edge.owner_label,
+                edge.age,
+                if edge.kind.breakable() {
+                    ", breakable"
+                } else {
+                    ""
+                }
+            )?;
+        }
+        if !self.flight_recorder.is_empty() {
+            write!(
+                f,
+                "\n  flight recorder ({} events):",
+                self.flight_recorder.len()
+            )?;
+            for line in &self.flight_recorder {
+                write!(f, "\n    {line}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -731,6 +804,11 @@ fn monitor_loop(
                 // Seen on two consecutive scans with identical edges:
                 // confirmed.
                 reported.insert(key);
+                qs_obs::trace(
+                    qs_obs::TraceKind::DeadlockReport,
+                    report.edges.len() as u64,
+                    0,
+                );
                 on_report(&report);
                 if break_cycles {
                     if let Some(edge) = report.breakable_edge() {
@@ -785,6 +863,56 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("handler-a"), "{text}");
         assert!(text.contains("mailbox-push"), "{text}");
+    }
+
+    #[test]
+    fn reports_carry_timestamps_ages_and_render_richly() {
+        let registry = WaitRegistry::new();
+        let a = registry.participant("handler-a");
+        let b = registry.participant("handler-b");
+        let _ab = registry.register(a, b, EdgeKind::MailboxPush, None, None);
+        std::thread::sleep(Duration::from_millis(5));
+        let _ba = registry.register(b, a, EdgeKind::Serving, None, None);
+        let report = registry.scan().remove(0);
+        assert!(report.detected_at <= SystemTime::now());
+        let push = report
+            .edges
+            .iter()
+            .find(|edge| edge.kind == EdgeKind::MailboxPush)
+            .expect("push edge on the cycle");
+        let serving = report
+            .edges
+            .iter()
+            .find(|edge| edge.kind == EdgeKind::Serving)
+            .expect("serving edge on the cycle");
+        assert!(push.age >= Duration::from_millis(5), "{:?}", push.age);
+        assert!(
+            serving.age <= push.age,
+            "the later-registered edge is younger"
+        );
+        let text = report.to_string();
+        assert!(text.contains("2-party wait cycle"), "{text}");
+        assert!(text.contains("detected at unix"), "{text}");
+        assert!(text.contains("breakable"), "{text}");
+        assert!(text.contains("blocked for"), "{text}");
+    }
+
+    #[test]
+    fn flight_recorder_attaches_under_full_tracing() {
+        let registry = WaitRegistry::new();
+        let a = registry.participant("a");
+        let b = registry.participant("b");
+        let _ab = registry.register(a, b, EdgeKind::Query, None, None);
+        let _ba = registry.register(b, a, EdgeKind::Query, None, None);
+        qs_obs::set_mode(qs_obs::ObservabilityMode::Full);
+        qs_obs::trace(qs_obs::TraceKind::GuardSignal, 7, 1);
+        let report = registry.scan().remove(0);
+        qs_obs::set_mode(qs_obs::ObservabilityMode::Off);
+        assert!(
+            !report.flight_recorder.is_empty(),
+            "full tracing attaches the recorder"
+        );
+        assert!(report.to_string().contains("flight recorder"), "{report}");
     }
 
     #[test]

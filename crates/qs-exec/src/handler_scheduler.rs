@@ -264,6 +264,7 @@ fn schedule(state: Arc<TaskState>) {
 /// arriving at any flag state upgrades exactly one subsequent enqueue.
 fn enqueue_runnable(shared: &Arc<Shared>, state: Arc<TaskState>) {
     if state.pressure.swap(false, Ordering::SeqCst) {
+        qs_obs::trace(qs_obs::TraceKind::SchedPressure, 0, 0);
         shared.enqueue_priority(state);
     } else {
         shared.enqueue(state);
@@ -446,6 +447,7 @@ impl Shared {
             if let Some(task) = stealer.steal() {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                qs_obs::trace(qs_obs::TraceKind::SchedSteal, victim as u64, 0);
                 return Some(task);
             }
         }
@@ -512,6 +514,7 @@ fn run_task(shared: &Arc<Shared>, local: Option<&Worker<Arc<TaskState>>>, state:
 /// a pressure wake raced in, which routes through the priority lane.
 fn requeue(shared: &Arc<Shared>, local: Option<&Worker<Arc<TaskState>>>, state: Arc<TaskState>) {
     if state.pressure.swap(false, Ordering::SeqCst) {
+        qs_obs::trace(qs_obs::TraceKind::SchedPressure, 0, 0);
         shared.enqueue_priority(state);
         return;
     }
@@ -590,6 +593,7 @@ fn worker_loop(index: usize, local: Worker<Arc<TaskState>>, shared: Arc<Shared>)
             continue;
         }
         shared.sleeping.fetch_add(1, Ordering::SeqCst);
+        qs_obs::trace(qs_obs::TraceKind::SchedPark, index as u64, 0);
         shared.idle_cond.wait(&mut guard);
         shared.sleeping.fetch_sub(1, Ordering::SeqCst);
     }

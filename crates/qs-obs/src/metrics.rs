@@ -1,0 +1,555 @@
+//! Counters, gauges and log-bucketed latency histograms, collected in a
+//! name-keyed registry exposable as JSON and Prometheus-style text.
+//!
+//! Everything records through relaxed atomics: a metric is a statistical
+//! summary, not a synchronisation device, and the hot paths it instruments
+//! must never serialise on it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::escape_json;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zero counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (benchmark harness use; not linearisable against
+    /// concurrent recorders).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An instantaneous level that can move both ways (queue depths, live
+/// handler counts).  Levels are *kept*, not subtracted, when comparing two
+/// points in time — the same rule `StatsSnapshot::since` applies to its
+/// gauge fields.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh zero gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Moves the level by `delta` (negative to decrease).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// Buckets per histogram: one per power of two of a `u64`, plus the zero
+/// bucket.  Bucket 0 holds exactly the value 0; bucket `i ≥ 1` holds the
+/// half-open range `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log-bucketed histogram of `u64` samples (latencies in nanoseconds by
+/// convention).  Power-of-two buckets trade ≤2× value resolution for a
+/// fixed-size, lock-free, mergeable structure — the standard trade for
+/// runtime latency tracking.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count)
+            .field("p50", &snap.percentile(50.0))
+            .field("p99", &snap.percentile(99.0))
+            .field("max", &snap.max)
+            .finish()
+    }
+}
+
+/// The bucket index a value records into.
+#[inline]
+pub(crate) fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The inclusive `(low, high)` range of values a bucket covers.
+pub fn bucket_range(index: usize) -> (u64, u64) {
+    assert!(index < HISTOGRAM_BUCKETS, "bucket index out of range");
+    if index == 0 {
+        (0, 0)
+    } else if index == 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (index - 1), (1u64 << index) - 1)
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy.  Taken with relaxed loads: concurrent
+    /// recorders may straddle the copy, skewing `count` against the bucket
+    /// total by in-flight samples — a summary, not a barrier.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Folds another histogram's current contents into this one.
+    pub fn absorb(&self, other: &Histogram) {
+        let snap = other.snapshot();
+        for (i, &n) in snap.buckets.iter().enumerate() {
+            if n > 0 {
+                self.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+
+    /// Clears every bucket (benchmark harness use; not linearisable
+    /// against concurrent recorders).
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A plain-data copy of a [`Histogram`], with the percentile arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_range`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The value at percentile `p` (0–100): the upper bound of the bucket
+    /// containing the `⌈p/100 · count⌉`-th smallest sample, clamped to the
+    /// recorded maximum so `percentile(100.0) == max`.  0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_range(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// A pure merge of two snapshots (the distributive view used for
+    /// per-thread recording; associative and commutative).
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+            count: self.count + other.count,
+            sum: self.sum.wrapping_add(other.sum),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Serialises the snapshot as a JSON object (non-empty buckets only).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.1}, \
+             \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
+            self.count,
+            self.sum,
+            self.max,
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(95.0),
+            self.percentile(99.0),
+        );
+        let mut first = true;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let (low, high) = bucket_range(i);
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("[{low}, {high}, {n}]"));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One named metric in a [`MetricsRegistry`].
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Arc<Counter>),
+    /// A [`Gauge`].
+    Gauge(Arc<Gauge>),
+    /// A [`Histogram`].
+    Histogram(Arc<Histogram>),
+}
+
+/// A name-keyed collection of metrics.  Lookup takes a lock; hot paths
+/// cache the returned `Arc` (see `obs_histogram!` / `obs_counter!`).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.lock();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
+        match metric {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// The gauge named `name`, created on first use (panics on a kind
+    /// clash, like [`counter`](Self::counter)).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.lock();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
+        match metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// The histogram named `name`, created on first use (panics on a kind
+    /// clash, like [`counter`](Self::counter)).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut metrics = self.lock();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
+        match metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// A sorted copy of every metric (name, handle).
+    pub fn all(&self) -> Vec<(String, Metric)> {
+        self.lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Resets every metric to zero (benchmark harness use).
+    pub fn reset(&self) {
+        for (_, metric) in self.all() {
+            match metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// The registry as one JSON object:
+    /// `{"counters": {..}, "gauges": {..}, "histograms": {..}}`.
+    pub fn to_json(&self) -> String {
+        let all = self.all();
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut histograms = String::new();
+        for (name, metric) in &all {
+            let name = escape_json(name);
+            match metric {
+                Metric::Counter(c) => {
+                    if !counters.is_empty() {
+                        counters.push_str(", ");
+                    }
+                    counters.push_str(&format!("\"{name}\": {}", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    if !gauges.is_empty() {
+                        gauges.push_str(", ");
+                    }
+                    gauges.push_str(&format!("\"{name}\": {}", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    if !histograms.is_empty() {
+                        histograms.push_str(", ");
+                    }
+                    histograms.push_str(&format!("\"{name}\": {}", h.snapshot().to_json()));
+                }
+            }
+        }
+        format!(
+            "{{\"counters\": {{{counters}}}, \"gauges\": {{{gauges}}}, \
+             \"histograms\": {{{histograms}}}}}"
+        )
+    }
+
+    /// The registry as Prometheus-style exposition text: counters and
+    /// gauges as plain samples, histograms as summary quantiles plus
+    /// `_count`/`_sum`/`_max`.  Metric names are sanitised to
+    /// `[a-zA-Z0-9_]` as the format requires.
+    pub fn to_prometheus_text(&self) -> String {
+        let sanitize = |name: &str| -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        };
+        let mut out = String::new();
+        for (name, metric) in self.all() {
+            let name = sanitize(&name);
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    out.push_str(&format!("# TYPE {name} summary\n"));
+                    for (q, p) in [("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0)] {
+                        out.push_str(&format!(
+                            "{name}{{quantile=\"{q}\"}} {}\n",
+                            snap.percentile(p)
+                        ));
+                    }
+                    out.push_str(&format!("{name}_count {}\n", snap.count));
+                    out.push_str(&format!("{name}_sum {}\n", snap.sum));
+                    out.push_str(&format!("{name}_max {}\n", snap.max));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+
+    #[test]
+    fn bucket_index_matches_bucket_range() {
+        for value in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let (low, high) = bucket_range(bucket_index(value));
+            assert!(
+                low <= value && value <= high,
+                "{value} not in [{low},{high}]"
+            );
+        }
+        assert_eq!(bucket_range(0), (0, 0));
+        assert_eq!(bucket_range(1), (1, 1));
+        assert_eq!(bucket_range(2), (2, 3));
+        assert_eq!(bucket_range(64).1, u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_of_a_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.max, 100);
+        assert_eq!(snap.percentile(100.0), 100);
+        // p50 = 50th smallest sample = 50, reported as its bucket's upper
+        // bound (bucket [32,63]).
+        assert_eq!(snap.percentile(50.0), 63);
+        assert_eq!(snap.percentile(0.0), bucket_range(bucket_index(1)).1);
+        assert!((snap.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.percentile(50.0), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn absorb_and_reset() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        b.record(1000);
+        a.absorb(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.max, 1000);
+        a.reset();
+        assert_eq!(a.snapshot().count, 0);
+    }
+
+    #[test]
+    fn registry_round_trips_through_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("qs.test.events").add(3);
+        reg.gauge("qs.test.depth").set(-2);
+        reg.histogram("qs.test.latency_ns").record(1500);
+        let json = reg.to_json();
+        let value = parse_json(&json).expect("registry JSON parses");
+        assert_eq!(
+            value.get("counters").and_then(|c| c.get("qs.test.events")),
+            Some(&crate::JsonValue::Number(3.0))
+        );
+        assert_eq!(
+            value.get("gauges").and_then(|g| g.get("qs.test.depth")),
+            Some(&crate::JsonValue::Number(-2.0))
+        );
+        let hist = value
+            .get("histograms")
+            .and_then(|h| h.get("qs.test.latency_ns"))
+            .expect("histogram present");
+        assert_eq!(hist.get("count"), Some(&crate::JsonValue::Number(1.0)));
+    }
+
+    #[test]
+    fn prometheus_text_has_every_metric() {
+        let reg = MetricsRegistry::new();
+        reg.counter("qs.test.events").inc();
+        reg.gauge("qs.test.depth").set(7);
+        reg.histogram("qs.test.latency_ns").record(10);
+        let text = reg.to_prometheus_text();
+        assert!(text.contains("# TYPE qs_test_events counter"));
+        assert!(text.contains("qs_test_events 1"));
+        assert!(text.contains("# TYPE qs_test_depth gauge"));
+        assert!(text.contains("qs_test_latency_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("qs_test_latency_ns_count 1"));
+    }
+
+    #[test]
+    fn registry_reuses_and_resets_metrics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("qs.test.twice").inc();
+        reg.counter("qs.test.twice").inc();
+        assert_eq!(reg.counter("qs.test.twice").get(), 2);
+        reg.reset();
+        assert_eq!(reg.counter("qs.test.twice").get(), 0);
+    }
+}

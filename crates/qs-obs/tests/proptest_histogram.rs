@@ -1,0 +1,124 @@
+//! Property-based tests for the log-bucketed latency histogram.
+//!
+//! The histogram's contract — a value lands in the bucket whose range
+//! covers it, merging per-thread histograms is associative, and reported
+//! percentiles are monotone in `p` — is what the bench harness and the
+//! metrics exposition rely on, so each clause is exercised with generated
+//! sample sets, plus a concurrent-recording stress against the atomics.
+
+use proptest::prelude::*;
+use qs_obs::{metrics::bucket_range, Histogram, HistogramSnapshot};
+use std::sync::Arc;
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every recorded value falls inside the (inclusive) range of the one
+    /// bucket whose count it incremented, and totals are conserved.
+    #[test]
+    fn recorded_value_falls_in_its_reported_bucket(
+        samples in proptest::collection::vec(any::<u64>(), 1..200)
+    ) {
+        for &value in &samples {
+            let h = Histogram::new();
+            h.record(value);
+            let snap = h.snapshot();
+            let hot: Vec<usize> = (0..snap.buckets.len())
+                .filter(|&i| snap.buckets[i] > 0)
+                .collect();
+            prop_assert_eq!(hot.len(), 1, "exactly one bucket per sample");
+            let (low, high) = bucket_range(hot[0]);
+            prop_assert!(low <= value && value <= high,
+                "{} outside its bucket [{}, {}]", value, low, high);
+        }
+        let snap = snapshot_of(&samples);
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), samples.len() as u64);
+        prop_assert_eq!(snap.max, samples.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Merging is associative (and commutative), and equals recording the
+    /// concatenated sample sets into one histogram.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+        c in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let left = sa.merge(&sb).merge(&sc);
+        let right = sa.merge(&sb.merge(&sc));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&sa.merge(&sb), &sb.merge(&sa));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &snapshot_of(&all));
+    }
+
+    /// `percentile` is monotone non-decreasing in `p`, pinned to the true
+    /// max at p=100, and never reports above the recorded maximum.
+    #[test]
+    fn percentile_is_monotone(
+        samples in proptest::collection::vec(any::<u64>(), 1..300)
+    ) {
+        let snap = snapshot_of(&samples);
+        let ps = [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0];
+        let values: Vec<u64> = ps.iter().map(|&p| snap.percentile(p)).collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1], "percentiles decreased: {:?}", values);
+        }
+        prop_assert_eq!(values[values.len() - 1], snap.max);
+        prop_assert!(values.iter().all(|&v| v <= snap.max));
+        // Each reported percentile is a valid bucket upper bound (or the
+        // max it was clamped to): at least as large as the true rank value.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for (&p, &reported) in ps.iter().zip(&values) {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            let exact = sorted[rank.clamp(1, sorted.len()) - 1];
+            prop_assert!(reported >= exact,
+                "p{} reported {} below the exact order statistic {}", p, reported, exact);
+        }
+    }
+}
+
+/// Concurrent recording: many threads hammering one histogram must lose
+/// nothing — the atomics make every sample land exactly once.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 20_000;
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                // Spread samples across many buckets; deterministic per thread.
+                let mut x = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                for _ in 0..PER_THREAD {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    h.record(x >> (x % 40));
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, (THREADS * PER_THREAD) as u64);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    assert!(snap.percentile(50.0) <= snap.percentile(99.0));
+    assert_eq!(snap.percentile(100.0), snap.max);
+}

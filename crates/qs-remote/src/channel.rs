@@ -243,6 +243,7 @@ impl ByteSender {
     /// Encodes and sends one frame.
     pub fn send_frame(&self, frame: &Frame) -> Result<(), ChannelClosed> {
         let encoded: Bytes = encode_frame(frame);
+        qs_obs::trace(qs_obs::TraceKind::FrameSend, encoded.len() as u64, 0);
         self.send_bytes(&encoded)
     }
 
@@ -352,13 +353,12 @@ impl ByteReceiver {
     /// desynchronised (partial frames stay consumed by the kernel): abandon
     /// the connection rather than reading further.
     pub fn recv_frame_timeout(&self, timeout: Option<Duration>) -> Result<Frame, RecvError> {
-        match &self.inner {
+        let body = match &self.inner {
             ReceiverInner::Channel(rx) => {
                 let deadline = timeout.map(|t| Instant::now() + t);
                 let header = rx.recv_exact_deadline(4, deadline)?;
                 let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
-                let body = rx.recv_exact_deadline(len, deadline)?;
-                decode_frame(&body).map_err(RecvError::Malformed)
+                rx.recv_exact_deadline(len, deadline)?
             }
             ReceiverInner::Stream(rx) => {
                 let mut header = [0u8; 4];
@@ -371,9 +371,12 @@ impl ByteReceiver {
                 }
                 let mut body = vec![0u8; len];
                 rx.read_exact(&mut body, timeout)?;
-                decode_frame(&body).map_err(RecvError::Malformed)
+                body
             }
-        }
+        };
+        // 4 header bytes + body = the peer's FrameSend payload size.
+        qs_obs::trace(qs_obs::TraceKind::FrameRecv, body.len() as u64 + 4, 0);
+        decode_frame(&body).map_err(RecvError::Malformed)
     }
 
     /// Returns `true` when the sender has closed the channel and no buffered

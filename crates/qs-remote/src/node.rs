@@ -517,13 +517,16 @@ impl RemoteSeparate {
     /// Performs a synchronous query and returns its value (the `query` rule).
     pub fn query(&mut self, method: &str, args: Vec<WireValue>) -> Result<WireValue, RemoteError> {
         assert!(!self.ended, "query after the separate block ended");
+        let round_trip = qs_obs::timer();
         self.requests
             .send_frame(&Frame::Query {
                 method: method.to_string(),
                 args,
             })
             .map_err(|_| self.fail(RemoteError::Disconnected))?;
-        match self.recv_response()? {
+        let response = self.recv_response()?;
+        round_trip.record(qs_obs::obs_histogram!("remote.call_rtt_ns"));
+        match response {
             Frame::QueryResult { result } => {
                 // Receiving the result implies the node drained everything we
                 // logged before the query: the block is synchronised (§3.4).
@@ -543,10 +546,13 @@ impl RemoteSeparate {
         if self.synced {
             return Ok(());
         }
+        let round_trip = qs_obs::timer();
         self.requests
             .send_frame(&Frame::Sync)
             .map_err(|_| self.fail(RemoteError::Disconnected))?;
-        match self.recv_response()? {
+        let response = self.recv_response()?;
+        round_trip.record(qs_obs::obs_histogram!("remote.call_rtt_ns"));
+        match response {
             Frame::SyncAck => {
                 self.synced = true;
                 Ok(())

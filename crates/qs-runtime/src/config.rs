@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+pub use qs_obs::ObservabilityMode;
+
 /// The five named configurations compared in §4 (Tables 1 and 2).
 ///
 /// Each level maps to a [`RuntimeConfig`]; the *Static* level additionally
@@ -265,6 +267,16 @@ pub struct RuntimeConfig {
     /// differential baseline for the auto-`.read()` path.  Enabled on the
     /// `Static` and `All` levels (the ones that trust static transforms).
     pub auto_read: bool,
+    /// How much the runtime records about itself (see `qs-obs`):
+    /// [`ObservabilityMode::Off`] (the default) keeps every instrumentation
+    /// site down to one relaxed load; `Counters` arms the latency
+    /// histograms and counters of the process-wide metrics registry;
+    /// `Full` additionally records typed trace events into per-thread ring
+    /// buffers, exportable as a Chrome trace.  The mode is process-global
+    /// (like a `tracing` subscriber): constructing a runtime *raises* it,
+    /// so one `Full` runtime among `Off` runtimes records.  Applies to
+    /// every [`OptimizationLevel`].
+    pub observability: ObservabilityMode,
 }
 
 impl RuntimeConfig {
@@ -282,6 +294,7 @@ impl RuntimeConfig {
             max_batch: DEFAULT_MAX_BATCH,
             deadlock_policy: DeadlockPolicy::Off,
             auto_read: false,
+            observability: ObservabilityMode::Off,
         }
     }
 
@@ -298,6 +311,7 @@ impl RuntimeConfig {
             max_batch: DEFAULT_MAX_BATCH,
             deadlock_policy: DeadlockPolicy::Off,
             auto_read: true,
+            observability: ObservabilityMode::Off,
         }
     }
 
@@ -346,6 +360,13 @@ impl RuntimeConfig {
     /// read-only are reserved in shared read mode.
     pub fn with_auto_read(mut self, auto_read: bool) -> Self {
         self.auto_read = auto_read;
+        self
+    }
+
+    /// Returns this configuration with the observability mode replaced;
+    /// see [`ObservabilityMode`].
+    pub fn with_observability(mut self, observability: ObservabilityMode) -> Self {
+        self.observability = observability;
         self
     }
 }
@@ -487,6 +508,22 @@ mod tests {
         assert!(c.deadlock_policy.breaks_cycles());
         assert_eq!(DeadlockPolicy::Break.to_string(), "Break");
         assert_eq!(DeadlockPolicy::default().label(), "Off");
+    }
+
+    #[test]
+    fn observability_defaults_off_on_every_level() {
+        // Off must be the zero-cost default everywhere: no level silently
+        // arms the registry or the trace rings.
+        for level in OptimizationLevel::ALL {
+            let c = level.config();
+            assert_eq!(c.observability, ObservabilityMode::Off, "{level}");
+        }
+        let c = RuntimeConfig::default().with_observability(ObservabilityMode::Counters);
+        assert_eq!(c.observability, ObservabilityMode::Counters);
+        let c = c.with_observability(ObservabilityMode::Full);
+        assert_eq!(c.observability, ObservabilityMode::Full);
+        assert_eq!(ObservabilityMode::Full.to_string(), "full");
+        assert_eq!(ObservabilityMode::default().label(), "off");
     }
 
     #[test]

@@ -106,6 +106,7 @@ impl GuardRegistry {
         self.stats
             .guard_signals
             .fetch_add(snapshot.len() as u64, Ordering::Relaxed);
+        qs_obs::trace(qs_obs::TraceKind::GuardSignal, snapshot.len() as u64, 0);
         for waiter in snapshot {
             waiter.signaled.store(true, Ordering::Release);
             waiter.parker.wake();

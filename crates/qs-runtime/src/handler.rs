@@ -371,6 +371,7 @@ impl<T: Send + 'static> HandlerCore<T> {
     /// Terminal transition shared by both scheduling modes: moves the object
     /// out so `shutdown_and_take` can return it and signals completion.
     pub(crate) fn finish(self: &Arc<Self>) {
+        qs_obs::trace(qs_obs::TraceKind::HandlerRetire, self.id, 0);
         if !self.object_taken.swap(true, Ordering::AcqRel) {
             // SAFETY: the handler loop has exited (dedicated) or stepped to
             // `Done` (pooled; the scheduler never steps a done task again),
@@ -464,6 +465,7 @@ impl<T: Send + 'static> HandlerCore<T> {
     /// With no read reservation active the gate costs one uncontended CAS.
     fn apply_batch_blocking(&self, batch: &mut Vec<Request<T>>, drained: usize) {
         self.stats.record_batch(drained);
+        qs_obs::trace(qs_obs::TraceKind::MailboxDrain, self.id, drained as u64);
         self.write_gate_blocking(None);
         for request in batch.drain(..) {
             self.apply(request);
@@ -682,6 +684,7 @@ impl<T: Send + 'static> HandlerCore<T> {
             state.writer_edges.clear();
         }
         self.stats.record_batch(drained);
+        qs_obs::trace(qs_obs::TraceKind::MailboxDrain, self.id, drained as u64);
         for request in state.batch.drain(..) {
             self.apply(request);
         }

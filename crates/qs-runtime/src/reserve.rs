@@ -218,6 +218,7 @@ impl<'h> AtomicRegistration<'h> {
     /// (exclusive/exclusive), or upgrade/downgrade ambiguously
     /// (exclusive/read), so it is rejected eagerly.
     pub(crate) fn acquire(members: &[MemberDescriptor<'h>]) -> Self {
+        let acquire_timer = qs_obs::timer();
         let first = members.first().expect("reservation sets are non-empty");
         let stats = first.core.raw_stats();
         RuntimeStats::bump(&stats.separate_blocks);
@@ -281,6 +282,12 @@ impl<'h> AtomicRegistration<'h> {
                 }
             }
         }
+        acquire_timer.record(qs_obs::obs_histogram!("reserve.acquire_ns"));
+        qs_obs::trace(
+            qs_obs::TraceKind::ReserveAcquire,
+            first.core.raw_id(),
+            members.len() as u64,
+        );
         AtomicRegistration {
             _spin_guards: spin_guards,
             lock_guards,
@@ -1107,6 +1114,7 @@ impl<'h, S: ReservationSet<'h>, C: WaitCondition<'h, S>> GuardedReservation<'h, 
                 waiter.signaled.load(std::sync::atomic::Ordering::Acquire)
                     || reserve_edges.iter().any(EdgeGuard::is_broken)
             };
+            let park_timer = qs_obs::timer();
             parked.store(true, std::sync::atomic::Ordering::Release);
             match deadline {
                 Some(deadline) => {
@@ -1122,6 +1130,10 @@ impl<'h, S: ReservationSet<'h>, C: WaitCondition<'h, S>> GuardedReservation<'h, 
                 if let Some(stats) = &stats {
                     RuntimeStats::bump(&stats.guard_wakeups);
                 }
+                // Park-to-resume interval of a signalled guard waiter: the
+                // latency cost of the event-driven wait relative to polling.
+                park_timer.record(qs_obs::obs_histogram!("guard.park_resume_ns"));
+                qs_obs::trace(qs_obs::TraceKind::GuardWakeup, attempts as u64, 0);
             }
             // Resolve a break or an expired deadline *before* re-evaluating:
             // in a genuine cycle the handlers this wait observes are

@@ -111,7 +111,13 @@ pub struct Runtime {
 
 impl Runtime {
     /// Creates a runtime with an explicit configuration.
+    ///
+    /// If [`RuntimeConfig::observability`] is above `Off`, this *raises* the
+    /// process-global observability mode (it never lowers it — see
+    /// [`qs_obs::raise_mode`]), so metrics and traces from every layer start
+    /// flowing the moment the runtime exists.
     pub fn new(config: RuntimeConfig) -> Self {
+        qs_obs::raise_mode(config.observability);
         let stats = RuntimeStats::new();
         let deadlock = config
             .deadlock_policy
@@ -191,6 +197,14 @@ impl Runtime {
         snapshot
     }
 
+    /// The process-global observability metrics registry — counters and
+    /// latency histograms recorded by every runtime in the process while the
+    /// ambient [`qs_obs::mode`] is `Counters` or `Full`.  Shared, like the
+    /// mode itself: per-runtime numbers live in [`stats`](Self::stats).
+    pub fn metrics(&self) -> &'static qs_obs::MetricsRegistry {
+        qs_obs::registry()
+    }
+
     /// Number of handlers spawned so far.
     pub fn handlers_spawned(&self) -> u64 {
         self.inner.stats.snapshot().handlers_spawned
@@ -228,6 +242,7 @@ impl Runtime {
     fn spawn_with_config<T: Send + 'static>(&self, config: RuntimeConfig, object: T) -> Handler<T> {
         let id: HandlerId = self.inner.next_handler_id.fetch_add(1, Ordering::Relaxed);
         RuntimeStats::bump(&self.inner.stats.handlers_spawned);
+        qs_obs::trace(qs_obs::TraceKind::HandlerSpawn, id, 0);
         // Deadlock tracking: give the handler its participant identity in
         // the runtime's wait-for registry before any client can reach it.
         let tracking = self.inner.deadlock.as_ref().map(|deadlock| Tracking {

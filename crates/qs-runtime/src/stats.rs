@@ -310,6 +310,13 @@ impl StatsSnapshot {
     }
 
     /// Difference between two snapshots (self - earlier), saturating at zero.
+    ///
+    /// Every field is a monotone **counter** and subtracts — except
+    /// `peak_concurrent_readers`, which is a **gauge** (a high-water level):
+    /// subtracting two levels is meaningless (a peak of 7 before and 7 after
+    /// does not mean "0 readers in between"), so the interval keeps the later
+    /// snapshot's level.  Callers that want the peak *within* an interval
+    /// must reset the underlying counter instead.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             calls_enqueued: self.calls_enqueued.saturating_sub(earlier.calls_enqueued),
@@ -469,6 +476,132 @@ mod tests {
         assert_eq!(diff.read_reservations, 1);
         assert_eq!(diff.writer_waits, 0);
         assert_eq!(diff.peak_concurrent_readers, 7);
+    }
+
+    /// Enumerates **every** `StatsSnapshot` field with a distinct value and
+    /// checks the full `since()` result wholesale: counters subtract, the
+    /// one gauge (`peak_concurrent_readers`) keeps the later level.  Adding
+    /// a field without classifying it in `since()` fails this test (the
+    /// struct literals below have no `..Default::default()` escape hatch).
+    #[test]
+    fn since_classifies_every_field_counter_or_gauge() {
+        let early = StatsSnapshot {
+            calls_enqueued: 100,
+            queries_client_executed: 101,
+            queries_handler_executed: 102,
+            queries_pipelined: 103,
+            syncs_performed: 104,
+            syncs_elided: 105,
+            separate_blocks: 106,
+            multi_reservations: 107,
+            private_queues_enqueued: 108,
+            handlers_spawned: 109,
+            call_panics: 110,
+            wait_condition_checks: 111,
+            wait_condition_retries: 112,
+            guard_signals: 113,
+            guard_wakeups: 114,
+            postcondition_checks: 115,
+            postcondition_failures: 116,
+            batches_drained: 117,
+            batch_requests_drained: 118,
+            requests_executed: 119,
+            backpressure_stalls: 120,
+            backpressure_rejections: 121,
+            handler_wakeups: 122,
+            handler_yields: 123,
+            pressure_wakes: 124,
+            budget_shrinks: 125,
+            deadlocks_detected: 126,
+            deadlocks_broken: 127,
+            read_reservations: 128,
+            peak_concurrent_readers: 9, // gauge: early level, must be ignored
+            writer_waits: 130,
+            scheduler_steals: 131,
+            monitor_scans: 132,
+            batch_size_buckets: [1, 2, 3, 4, 5, 6, 7],
+        };
+        // Later snapshot: every counter advanced by a field-specific delta
+        // (its index + 1), the gauge settled at a *lower* level than early's
+        // peak — since() must still report the later level, not a difference.
+        let late = StatsSnapshot {
+            calls_enqueued: early.calls_enqueued + 1,
+            queries_client_executed: early.queries_client_executed + 2,
+            queries_handler_executed: early.queries_handler_executed + 3,
+            queries_pipelined: early.queries_pipelined + 4,
+            syncs_performed: early.syncs_performed + 5,
+            syncs_elided: early.syncs_elided + 6,
+            separate_blocks: early.separate_blocks + 7,
+            multi_reservations: early.multi_reservations + 8,
+            private_queues_enqueued: early.private_queues_enqueued + 9,
+            handlers_spawned: early.handlers_spawned + 10,
+            call_panics: early.call_panics + 11,
+            wait_condition_checks: early.wait_condition_checks + 12,
+            wait_condition_retries: early.wait_condition_retries + 13,
+            guard_signals: early.guard_signals + 14,
+            guard_wakeups: early.guard_wakeups + 15,
+            postcondition_checks: early.postcondition_checks + 16,
+            postcondition_failures: early.postcondition_failures + 17,
+            batches_drained: early.batches_drained + 18,
+            batch_requests_drained: early.batch_requests_drained + 19,
+            requests_executed: early.requests_executed + 20,
+            backpressure_stalls: early.backpressure_stalls + 21,
+            backpressure_rejections: early.backpressure_rejections + 22,
+            handler_wakeups: early.handler_wakeups + 23,
+            handler_yields: early.handler_yields + 24,
+            pressure_wakes: early.pressure_wakes + 25,
+            budget_shrinks: early.budget_shrinks + 26,
+            deadlocks_detected: early.deadlocks_detected + 27,
+            deadlocks_broken: early.deadlocks_broken + 28,
+            read_reservations: early.read_reservations + 29,
+            peak_concurrent_readers: 6,
+            writer_waits: early.writer_waits + 30,
+            scheduler_steals: early.scheduler_steals + 31,
+            monitor_scans: early.monitor_scans + 32,
+            batch_size_buckets: [11, 12, 13, 14, 15, 16, 17],
+        };
+        let expected = StatsSnapshot {
+            calls_enqueued: 1,
+            queries_client_executed: 2,
+            queries_handler_executed: 3,
+            queries_pipelined: 4,
+            syncs_performed: 5,
+            syncs_elided: 6,
+            separate_blocks: 7,
+            multi_reservations: 8,
+            private_queues_enqueued: 9,
+            handlers_spawned: 10,
+            call_panics: 11,
+            wait_condition_checks: 12,
+            wait_condition_retries: 13,
+            guard_signals: 14,
+            guard_wakeups: 15,
+            postcondition_checks: 16,
+            postcondition_failures: 17,
+            batches_drained: 18,
+            batch_requests_drained: 19,
+            requests_executed: 20,
+            backpressure_stalls: 21,
+            backpressure_rejections: 22,
+            handler_wakeups: 23,
+            handler_yields: 24,
+            pressure_wakes: 25,
+            budget_shrinks: 26,
+            deadlocks_detected: 27,
+            deadlocks_broken: 28,
+            read_reservations: 29,
+            peak_concurrent_readers: 6, // the later level, not |6 - 9|
+            writer_waits: 30,
+            scheduler_steals: 31,
+            monitor_scans: 32,
+            batch_size_buckets: [10; BATCH_SIZE_BUCKETS],
+        };
+        assert_eq!(late.since(&early), expected);
+        // The reverse interval saturates counters at zero but still carries
+        // `self`'s gauge level.
+        let reverse = early.since(&late);
+        assert_eq!(reverse.calls_enqueued, 0);
+        assert_eq!(reverse.peak_concurrent_readers, 9);
     }
 
     #[test]

@@ -108,7 +108,15 @@ impl ReadGate {
                 Ordering::Acquire,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return true,
+                Ok(_) => {
+                    // `a` = reader count after this acquisition.
+                    qs_obs::trace(
+                        qs_obs::TraceKind::ReadAcquire,
+                        (current & READERS_MASK) + 1,
+                        0,
+                    );
+                    return true;
+                }
                 Err(now) => current = now,
             }
         }
@@ -119,6 +127,8 @@ impl ReadGate {
     pub fn end_read(&self) {
         let prev = self.state.fetch_sub(1, Ordering::Release);
         debug_assert!(prev & READERS_MASK > 0, "end_read without a read hold");
+        // `a` = reader count after this release.
+        qs_obs::trace(qs_obs::TraceKind::ReadRelease, (prev & READERS_MASK) - 1, 0);
         if prev & READERS_MASK == 1 {
             self.wake_waiters();
         }

@@ -61,6 +61,7 @@ pub use qs_compiler as compiler;
 pub use qs_deadlock as deadlock;
 pub use qs_exec as exec;
 pub use qs_lang as lang;
+pub use qs_obs as obs;
 pub use qs_queues as queues;
 pub use qs_remote as remote;
 pub use qs_runtime as runtime;
@@ -72,8 +73,8 @@ pub use qs_workloads as workloads;
 pub mod prelude {
     pub use qs_runtime::{
         read, reserve, DeadlockEdgeKind, DeadlockPolicy, DeadlockReport, GuardedReservation,
-        Handler, MailboxError, MailboxFull, OptimizationLevel, QueryToken, Read, ReadSeparate,
-        Reservation, ReservationSet, Runtime, RuntimeConfig, RuntimeStats, SchedulerMode, Separate,
-        WaitCondition, WaitConfig, WaitTimeout,
+        Handler, MailboxError, MailboxFull, ObservabilityMode, OptimizationLevel, QueryToken, Read,
+        ReadSeparate, Reservation, ReservationSet, Runtime, RuntimeConfig, RuntimeStats,
+        SchedulerMode, Separate, WaitCondition, WaitConfig, WaitTimeout,
     };
 }
